@@ -1,0 +1,219 @@
+//! Baseline wire codec.
+//!
+//! MPICH- and OpenMPI-like engines map one application request to one
+//! wire message: there is no multiplexing, so the header is a single
+//! fixed 16-byte record (smaller than NewMadeleine's frame + entry
+//! headers — the paper's §5.1 notes MAD-MPI packets are "slightly
+//! larger" for exactly this reason). Payload length is implied by the
+//! frame length.
+
+use nmad_core::segment::{SeqNo, Tag};
+use std::fmt;
+
+/// kind (1) + flags (1) + reserved (2) + tag (4) + seq (4) + aux (4).
+pub const HEADER_LEN: usize = 16;
+
+const KIND_EAGER: u8 = 1;
+const KIND_RTS: u8 = 2;
+const KIND_CTS: u8 = 3;
+const KIND_RDV_CHUNK: u8 = 4;
+
+const FLAG_LAST: u8 = 0b0000_0001;
+
+/// One baseline wire message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Msg<'a> {
+    /// A complete small message with inline payload.
+    Eager {
+        /// Logical flow identifier.
+        tag: Tag,
+        /// Per-flow sequence number.
+        seq: SeqNo,
+        /// Payload bytes.
+        payload: &'a [u8],
+    },
+    /// Rendezvous request-to-send (no payload).
+    Rts {
+        /// Logical flow identifier.
+        tag: Tag,
+        /// Per-flow sequence number.
+        seq: SeqNo,
+        /// Announced total length in bytes.
+        total: u32,
+    },
+    /// Rendezvous clear-to-send grant.
+    Cts {
+        /// Logical flow identifier.
+        tag: Tag,
+        /// Per-flow sequence number.
+        seq: SeqNo,
+        /// Announced total length in bytes.
+        total: u32,
+    },
+    /// One chunk of granted rendezvous payload.
+    RdvChunk {
+        /// Logical flow identifier.
+        tag: Tag,
+        /// Per-flow sequence number.
+        seq: SeqNo,
+        /// Byte offset within the full segment.
+        offset: u32,
+        /// Whether this is the final chunk of its segment.
+        last: bool,
+        /// Payload bytes.
+        payload: &'a [u8],
+    },
+}
+
+/// Decoding failures.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the structure was complete.
+    Truncated,
+    /// Unknown entry kind byte.
+    BadKind(u8),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "truncated baseline message"),
+            CodecError::BadKind(k) => write!(f, "unknown baseline message kind {k}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn header(kind: u8, flags: u8, tag: Tag, seq: SeqNo, aux: u32, payload_len: usize) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload_len);
+    buf.push(kind);
+    buf.push(flags);
+    buf.extend_from_slice(&[0u8; 2]);
+    buf.extend_from_slice(&tag.0.to_le_bytes());
+    buf.extend_from_slice(&seq.0.to_le_bytes());
+    buf.extend_from_slice(&aux.to_le_bytes());
+    buf
+}
+
+impl Msg<'_> {
+    /// Encodes into one wire frame.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Msg::Eager { tag, seq, payload } => {
+                let mut buf = header(KIND_EAGER, 0, *tag, *seq, 0, payload.len());
+                buf.extend_from_slice(payload);
+                buf
+            }
+            Msg::Rts { tag, seq, total } => header(KIND_RTS, 0, *tag, *seq, *total, 0),
+            Msg::Cts { tag, seq, total } => header(KIND_CTS, 0, *tag, *seq, *total, 0),
+            Msg::RdvChunk {
+                tag,
+                seq,
+                offset,
+                last,
+                payload,
+            } => {
+                let flags = if *last { FLAG_LAST } else { 0 };
+                let mut buf = header(KIND_RDV_CHUNK, flags, *tag, *seq, *offset, payload.len());
+                buf.extend_from_slice(payload);
+                buf
+            }
+        }
+    }
+}
+
+/// Decodes one wire frame.
+pub fn decode(bytes: &[u8]) -> Result<Msg<'_>, CodecError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(CodecError::Truncated);
+    }
+    let kind = bytes[0];
+    let flags = bytes[1];
+    let tag = Tag(u32::from_le_bytes(bytes[4..8].try_into().expect("4")));
+    let seq = SeqNo(u32::from_le_bytes(bytes[8..12].try_into().expect("4")));
+    let aux = u32::from_le_bytes(bytes[12..16].try_into().expect("4"));
+    let payload = &bytes[HEADER_LEN..];
+    match kind {
+        KIND_EAGER => Ok(Msg::Eager { tag, seq, payload }),
+        KIND_RTS => Ok(Msg::Rts {
+            tag,
+            seq,
+            total: aux,
+        }),
+        KIND_CTS => Ok(Msg::Cts {
+            tag,
+            seq,
+            total: aux,
+        }),
+        KIND_RDV_CHUNK => Ok(Msg::RdvChunk {
+            tag,
+            seq,
+            offset: aux,
+            last: flags & FLAG_LAST != 0,
+            payload,
+        }),
+        k => Err(CodecError::BadKind(k)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_roundtrip() {
+        let msgs = [
+            Msg::Eager {
+                tag: Tag(3),
+                seq: SeqNo(9),
+                payload: b"body",
+            },
+            Msg::Rts {
+                tag: Tag(1),
+                seq: SeqNo(0),
+                total: 1 << 20,
+            },
+            Msg::Cts {
+                tag: Tag(1),
+                seq: SeqNo(0),
+                total: 1 << 20,
+            },
+            Msg::RdvChunk {
+                tag: Tag(7),
+                seq: SeqNo(2),
+                offset: 65536,
+                last: true,
+                payload: b"chunk-bytes",
+            },
+        ];
+        for msg in &msgs {
+            let wire = msg.encode();
+            assert_eq!(&decode(&wire).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn header_is_exactly_16_bytes() {
+        let wire = Msg::Eager {
+            tag: Tag(0),
+            seq: SeqNo(0),
+            payload: b"xy",
+        }
+        .encode();
+        assert_eq!(wire.len(), HEADER_LEN + 2);
+    }
+
+    #[test]
+    fn truncated_and_bad_kind_are_rejected() {
+        assert_eq!(decode(&[1, 2, 3]).unwrap_err(), CodecError::Truncated);
+        let mut wire = Msg::Rts {
+            tag: Tag(0),
+            seq: SeqNo(0),
+            total: 1,
+        }
+        .encode();
+        wire[0] = 77;
+        assert_eq!(decode(&wire).unwrap_err(), CodecError::BadKind(77));
+    }
+}

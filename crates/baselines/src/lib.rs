@@ -1,0 +1,29 @@
+//! # baselines — the comparator engines of the evaluation
+//!
+//! The NewMadeleine paper compares MAD-MPI against MPICH (over MX and
+//! Quadrics) and OpenMPI 1.1 (over MX). Those libraries map basic
+//! point-to-point requests directly onto the low-level interface —
+//! exceptionally efficient for single transfers, but with "no message
+//! reordering or multiplexing" (§6). [`DirectEngine`] reproduces that
+//! design over the same simulated drivers the engine runs on:
+//!
+//! * one application request → one wire message, posted immediately;
+//! * efficient pipelining of back-to-back sends via the NIC queue
+//!   (§5.2 credits MPICH with this);
+//! * eager/rendezvous switching at the driver threshold;
+//! * derived datatypes packed into a contiguous buffer on the sender
+//!   and dispatched from a temporary area on the receiver (§5.3) —
+//!   the copies are charged by the MPI layer via
+//!   [`DirectEngine::charge_memcpy`] and [`UnpackMode`].
+//!
+//! Two calibrated flavours: [`mpich_config`] and [`ompi_config`]. They
+//! differ in per-request software cost (OpenMPI's component stack is
+//! heavier) and in rendezvous chunking (OpenMPI overlaps receive-side
+//! unpacking chunk by chunk).
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod direct;
+
+pub use direct::{mpich_config, ompi_config, DirectConfig, DirectEngine, DirectStats, UnpackMode};

@@ -1,0 +1,69 @@
+//! Real-time microbenchmarks of the wire codecs: the per-entry header
+//! packing/parsing cost is the engine's critical-path constant (§5.1).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nmad_core::segment::{SeqNo, Tag};
+use nmad_core::wire::{parse_frame, FrameBuilder};
+
+fn build_frame(entries: usize, payload: usize) -> Vec<u8> {
+    let body = vec![7u8; payload];
+    let mut fb = FrameBuilder::new();
+    for i in 0..entries {
+        fb.push_data(Tag(i as u32), SeqNo(i as u32), &body);
+    }
+    fb.finish()
+}
+
+fn bench_frame_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire/build");
+    for entries in [1usize, 8, 16, 64] {
+        group.throughput(Throughput::Elements(entries as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(entries),
+            &entries,
+            |b, &entries| b.iter(|| black_box(build_frame(entries, 64))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_frame_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire/parse");
+    for entries in [1usize, 8, 16, 64] {
+        let frame = build_frame(entries, 64);
+        group.throughput(Throughput::Elements(entries as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(entries), &frame, |b, frame| {
+            b.iter(|| parse_frame(black_box(frame)).expect("valid frame"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_baseline_codec(c: &mut Criterion) {
+    use baselines::codec::{decode, Msg};
+    let payload = vec![7u8; 64];
+    let wire = Msg::Eager {
+        tag: Tag(3),
+        seq: SeqNo(5),
+        payload: &payload,
+    }
+    .encode();
+    c.bench_function("baseline/encode", |b| {
+        b.iter(|| {
+            black_box(
+                Msg::Eager {
+                    tag: Tag(3),
+                    seq: SeqNo(5),
+                    payload: black_box(&payload),
+                }
+                .encode(),
+            )
+        })
+    });
+    c.bench_function("baseline/decode", |b| {
+        b.iter(|| decode(black_box(&wire)).expect("valid"))
+    });
+}
+
+criterion_group!(benches, bench_frame_build, bench_frame_parse, bench_baseline_codec);
+criterion_main!(benches);

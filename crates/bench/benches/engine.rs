@@ -1,0 +1,162 @@
+//! Real-time microbenchmarks of the engine's scheduling machinery:
+//! window operations, strategy frame synthesis, and a full engine
+//! round-trip over the in-process memory driver.
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nmad_core::segment::{PackWrapper, Priority, SendReqId, SeqNo, Tag};
+use nmad_core::strategy::{NicView, StratAggreg, StratReorder, Strategy};
+use nmad_core::window::Window;
+use nmad_core::{EngineCosts, NmadEngine};
+use nmad_net::{mem_fabric, Capabilities, NullMeter};
+use nmad_sim::{nic, NodeId};
+
+fn wrapper(seq: u32, len: usize) -> PackWrapper {
+    PackWrapper {
+        dst: NodeId(1),
+        tag: Tag(seq % 8),
+        seq: SeqNo(seq),
+        priority: Priority::Normal,
+        data: Bytes::from(vec![0u8; len]),
+        req: SendReqId(0),
+        order: seq as u64,
+    }
+}
+
+fn bench_window_ops(c: &mut Criterion) {
+    c.bench_function("window/push_take_64", |b| {
+        b.iter(|| {
+            let mut w = Window::new(1);
+            for i in 0..64 {
+                w.push_segment(wrapper(i, 64), None);
+            }
+            while w.take_front_if(0, |_| true).is_some() {}
+            black_box(w.is_empty())
+        })
+    });
+}
+
+fn bench_strategy_schedule(c: &mut Criterion) {
+    let caps = Capabilities::from_nic(&nic::mx_myri10g());
+    let mut group = c.benchmark_group("strategy/schedule");
+    for (name, mut strat) in [
+        ("aggreg", Box::new(StratAggreg) as Box<dyn Strategy>),
+        ("reorder", Box::new(StratReorder) as Box<dyn Strategy>),
+    ] {
+        for depth in [8usize, 64] {
+            group.throughput(Throughput::Elements(depth as u64));
+            group.bench_with_input(
+                BenchmarkId::new(name, depth),
+                &depth,
+                |b, &depth| {
+                    b.iter(|| {
+                        let mut w = Window::new(1);
+                        for i in 0..depth as u32 {
+                            w.push_segment(wrapper(i, 64), None);
+                        }
+                        let view = NicView {
+                            index: 0,
+                            caps: &caps,
+                        };
+                        let mut frames = 0;
+                        while let Some(plan) = strat.schedule(&mut w, &view) {
+                            frames += plan.entries.len();
+                        }
+                        black_box(frames)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_engine_roundtrip_mem(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/mem_roundtrip");
+    for size in [16usize, 4096] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let mut fabric = mem_fabric(2);
+            let eb = fabric.pop().expect("two endpoints");
+            let ea = fabric.pop().expect("two endpoints");
+            let mut a = NmadEngine::new(
+                vec![Box::new(ea)],
+                Box::new(NullMeter),
+                Box::new(StratAggreg),
+                EngineCosts::zero(),
+            );
+            let mut bb = NmadEngine::new(
+                vec![Box::new(eb)],
+                Box::new(NullMeter),
+                Box::new(StratAggreg),
+                EngineCosts::zero(),
+            );
+            let payload = Bytes::from(vec![1u8; size]);
+            b.iter(|| {
+                let s = a.isend(NodeId(1), Tag(0), payload.clone());
+                let r = bb.post_recv(NodeId(0), Tag(0), size);
+                while !(a.is_send_done(s) && bb.is_recv_done(r)) {
+                    a.progress();
+                    bb.progress();
+                }
+                black_box(bb.try_take_recv(r).expect("done").data.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    use nmad_core::matching::Matching;
+    use nmad_core::segment::RecvReqId;
+    c.bench_function("matching/post_match_take", |b| {
+        let payload = vec![7u8; 64];
+        b.iter(|| {
+            let mut m = Matching::new();
+            for i in 0..32u64 {
+                m.post_recv(NodeId(1), Tag((i % 4) as u32), 64, RecvReqId(i));
+            }
+            let mut seqs = [0u32; 4];
+            for i in 0..32u64 {
+                let tag = (i % 4) as u32;
+                let fx = m.on_data(
+                    NodeId(1),
+                    Tag(tag),
+                    SeqNo(seqs[tag as usize]),
+                    black_box(&payload),
+                );
+                seqs[tag as usize] += 1;
+                black_box(fx);
+            }
+            let mut taken = 0;
+            for i in 0..32u64 {
+                if m.try_take_done(RecvReqId(i)).is_some() {
+                    taken += 1;
+                }
+            }
+            black_box(taken)
+        })
+    });
+}
+
+fn bench_datatype(c: &mut Criterion) {
+    use mad_mpi::Datatype;
+    let mut group = c.benchmark_group("datatype");
+    let dtype = Datatype::alternating(64, 64 * 1024, 4);
+    let src: Vec<u8> = (0..dtype.extent()).map(|i| i as u8).collect();
+    group.throughput(Throughput::Bytes(dtype.total_bytes() as u64));
+    group.bench_function("pack_256k", |b| b.iter(|| black_box(dtype.pack(&src))));
+    let packed = dtype.pack(&src);
+    group.bench_function("unpack_256k", |b| b.iter(|| black_box(dtype.unpack(&packed))));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_window_ops,
+    bench_strategy_schedule,
+    bench_engine_roundtrip_mem,
+    bench_matching,
+    bench_datatype
+);
+criterion_main!(benches);

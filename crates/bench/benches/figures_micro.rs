@@ -1,0 +1,46 @@
+//! End-to-end real-time cost of regenerating figure points: one full
+//! co-simulated ping-pong per iteration. This measures the *simulator's*
+//! throughput (events/s of host time), not virtual latency — useful to
+//! size the full sweeps.
+
+use bench::{pingpong_contig, pingpong_multiseg};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mad_mpi::{EngineKind, StrategyKind};
+use nmad_sim::nic;
+
+fn bench_fig2_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/fig2_point");
+    group.sample_size(20);
+    for (label, kind) in [
+        ("madmpi", EngineKind::MadMpi(StrategyKind::Aggreg)),
+        ("mpich", EngineKind::Mpich),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &kind, |b, &kind| {
+            b.iter(|| black_box(pingpong_contig(kind, nic::mx_myri10g(), 1024, 1).one_way_us))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig3_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/fig3_point");
+    group.sample_size(20);
+    group.bench_function("madmpi_8seg", |b| {
+        b.iter(|| {
+            black_box(
+                pingpong_multiseg(
+                    EngineKind::MadMpi(StrategyKind::Aggreg),
+                    nic::mx_myri10g(),
+                    8,
+                    256,
+                    1,
+                )
+                .one_way_us,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2_point, bench_fig3_point);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Real-time microbenchmarks of the reliability decorator: per-frame
+//! protocol overhead on a lossless in-process link, and recovery cost
+//! under seeded loss.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nmad_net::{mem_fabric, Driver, LossyDriver, ReliableDriver};
+use nmad_sim::NodeId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn clock() -> (Arc<AtomicU64>, Box<dyn Fn() -> u64 + Send>) {
+    let t = Arc::new(AtomicU64::new(0));
+    let t2 = t.clone();
+    (t, Box::new(move || t2.load(Ordering::Relaxed)))
+}
+
+fn bench_reliable_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reliable/lossless_transfer");
+    for size in [64usize, 4096] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let mut fabric = mem_fabric(2);
+            let (_, clk_b) = clock();
+            let (_, clk_a) = clock();
+            let mut rx = ReliableDriver::new(
+                fabric.pop().expect("pair"),
+                clk_b,
+                None,
+                1_000_000_000,
+            );
+            let mut tx = ReliableDriver::new(
+                fabric.pop().expect("pair"),
+                clk_a,
+                None,
+                1_000_000_000,
+            );
+            let payload = vec![7u8; size];
+            b.iter(|| {
+                tx.post_send(NodeId(1), &[&payload]).expect("send");
+                loop {
+                    tx.pump().expect("pump");
+                    if let Some(f) = rx.poll_recv().expect("poll") {
+                        break black_box(f.payload.len());
+                    }
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_reliable_recovery(c: &mut Criterion) {
+    c.bench_function("reliable/recover_10pct_loss_20_frames", |b| {
+        b.iter(|| {
+            let mut fabric = mem_fabric(2);
+            let (_, clk_b) = clock();
+            let (ta, clk_a) = clock();
+            let mut rx = ReliableDriver::new(
+                LossyDriver::new(fabric.pop().expect("pair"), 0.1, 77),
+                clk_b,
+                None,
+                1_000_000,
+            );
+            let mut tx = ReliableDriver::new(
+                LossyDriver::new(fabric.pop().expect("pair"), 0.1, 78),
+                clk_a,
+                None,
+                1_000_000,
+            );
+            for i in 0..20u8 {
+                tx.post_send(NodeId(1), &[&[i; 32]]).expect("send");
+            }
+            let mut got = 0;
+            while got < 20 {
+                ta.fetch_add(100_000, Ordering::Relaxed);
+                tx.pump().expect("pump");
+                rx.pump().expect("pump");
+                while rx.poll_recv().expect("poll").is_some() {
+                    got += 1;
+                }
+            }
+            black_box(tx.stats().retransmits)
+        })
+    });
+}
+
+criterion_group!(benches, bench_reliable_roundtrip, bench_reliable_recovery);
+criterion_main!(benches);

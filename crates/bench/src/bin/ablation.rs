@@ -1,0 +1,97 @@
+//! Ablation studies of the design choices DESIGN.md calls out.
+//!
+//! * **strategy ablation** — the fig. 3 multi-segment workload under
+//!   every scheduling strategy (default / aggreg / reorder), isolating
+//!   the value of aggregation and of reordering;
+//! * **threshold sweep** — the same workload while varying the
+//!   aggregation bound (the rendezvous threshold), showing where the
+//!   paper's "accumulate until the cumulated length requires
+//!   rendezvous" rule sits in the trade-off space;
+//! * **datatype strategy ablation** — the fig. 4 workload: reordering
+//!   is what lets small blocks coalesce past the in-queue large blocks.
+//!
+//! Run: `cargo run --release -p bench --bin ablation [-- --quick]`
+
+use bench::{byte_sizes, fmt_size, pingpong_multiseg, pingpong_typed, Table};
+use mad_mpi::{Datatype, EngineKind, StrategyKind};
+use nmad_sim::nic;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let iters = if quick { 1 } else { 4 };
+
+    strategy_ablation(iters, quick);
+    threshold_sweep(iters);
+    datatype_ablation(iters, quick);
+}
+
+fn strategy_ablation(iters: usize, quick: bool) {
+    println!("\n## Strategy ablation — fig. 3 workload (8 segments, MX)\n");
+    let strategies = [
+        StrategyKind::Default,
+        StrategyKind::Aggreg,
+        StrategyKind::Reorder,
+    ];
+    let mut headers: Vec<String> = vec!["seg size".into()];
+    headers.extend(strategies.iter().map(|s| format!("{} (us)", s.name())));
+    headers.extend(strategies.iter().map(|s| format!("{} frames", s.name())));
+    let mut table = Table::new(headers);
+    let max = if quick { 1024 } else { 16 * 1024 };
+    for size in byte_sizes(4, max) {
+        let samples: Vec<_> = strategies
+            .iter()
+            .map(|&s| pingpong_multiseg(EngineKind::MadMpi(s), nic::mx_myri10g(), 8, size, iters))
+            .collect();
+        let mut row = vec![fmt_size(size)];
+        row.extend(samples.iter().map(|s| format!("{:.2}", s.one_way_us)));
+        row.extend(samples.iter().map(|s| format!("{:.1}", s.frames_per_ping)));
+        table.row(row);
+    }
+    table.print();
+}
+
+fn threshold_sweep(iters: usize) {
+    println!("\n## Aggregation-threshold sweep — 16×256 B burst, MX\n");
+    let mut table = Table::new(vec!["threshold", "one-way (us)", "frames/ping"]);
+    for threshold in [512usize, 1024, 4 * 1024, 16 * 1024, 32 * 1024, 128 * 1024] {
+        let mut nic_model = nic::mx_myri10g();
+        nic_model.rdv_threshold = threshold;
+        let s = pingpong_multiseg(
+            EngineKind::MadMpi(StrategyKind::Aggreg),
+            nic_model,
+            16,
+            256,
+            iters,
+        );
+        table.row(vec![
+            fmt_size(threshold),
+            format!("{:.2}", s.one_way_us),
+            format!("{:.1}", s.frames_per_ping),
+        ]);
+    }
+    table.print();
+    println!("\n- small thresholds fragment the burst; beyond the burst size the curve flattens.");
+}
+
+fn datatype_ablation(iters: usize, quick: bool) {
+    println!("\n## Datatype strategy ablation — fig. 4 workload, MX\n");
+    let strategies = [
+        StrategyKind::Default,
+        StrategyKind::Aggreg,
+        StrategyKind::Reorder,
+    ];
+    let mut headers: Vec<String> = vec!["msg size".into()];
+    headers.extend(strategies.iter().map(|s| format!("{} (us)", s.name())));
+    let mut table = Table::new(headers);
+    let pair_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    for &pairs in pair_counts {
+        let dtype = Datatype::alternating(64, 256 * 1024, pairs);
+        let mut row = vec![fmt_size(pairs * 256 * 1024)];
+        for &s in &strategies {
+            let sample = pingpong_typed(EngineKind::MadMpi(s), nic::mx_myri10g(), &dtype, iters);
+            row.push(format!("{:.0}", sample.one_way_us));
+        }
+        table.row(row);
+    }
+    table.print();
+}

@@ -1,0 +1,123 @@
+//! Figure 2 — raw point-to-point ping-pong (paper §5.1).
+//!
+//! Regenerates all four panels: latency and bandwidth over MX/Myri-10G
+//! (MadMPI vs MPICH vs OpenMPI) and over Elan/Quadrics (MadMPI vs
+//! MPICH), for single-segment messages of 4 B to 2 MB, plus the §5.1
+//! headline numbers (constant overhead < 0.5 µs, peak bandwidths).
+//!
+//! Run: `cargo run --release -p bench --bin fig2 [-- --quick]`
+
+use bench::{byte_sizes, fmt_size, pingpong_contig, LogLogChart, Series, Table};
+use mad_mpi::{EngineKind, StrategyKind};
+use nmad_sim::{nic, NicModel};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let iters = if quick { 1 } else { 4 };
+    let max = if quick { 64 * 1024 } else { 2 << 20 };
+    let sizes = byte_sizes(4, max);
+
+    let madmpi = EngineKind::MadMpi(StrategyKind::Aggreg);
+
+    run_platform(
+        "Fig 2(a)/(b) — MX/Myri-10G",
+        nic::mx_myri10g(),
+        &[madmpi, EngineKind::Mpich, EngineKind::Ompi],
+        &sizes,
+        iters,
+    );
+    run_platform(
+        "Fig 2(c)/(d) — Elan/Quadrics",
+        nic::quadrics_qm500(),
+        &[madmpi, EngineKind::Mpich],
+        &sizes,
+        iters,
+    );
+}
+
+fn run_platform(
+    title: &str,
+    nic_model: NicModel,
+    kinds: &[EngineKind],
+    sizes: &[usize],
+    iters: usize,
+) {
+    println!("\n## {title}\n");
+    let mut lat = Table::new(
+        std::iter::once("size".to_string())
+            .chain(kinds.iter().map(|k| format!("{} lat (us)", k.label())))
+            .collect(),
+    );
+    let mut bw = Table::new(
+        std::iter::once("size".to_string())
+            .chain(kinds.iter().map(|k| format!("{} bw (MB/s)", k.label())))
+            .collect(),
+    );
+    let mut small_overheads: Vec<f64> = Vec::new();
+    let mut peaks = vec![0f64; kinds.len()];
+    let glyphs = ['*', 'o', '+'];
+    let mut lat_series: Vec<Series> = kinds
+        .iter()
+        .enumerate()
+        .map(|(i, k)| Series::new(k.label(), glyphs[i % glyphs.len()]))
+        .collect();
+    let mut bw_series: Vec<Series> = kinds
+        .iter()
+        .enumerate()
+        .map(|(i, k)| Series::new(k.label(), glyphs[i % glyphs.len()]))
+        .collect();
+
+    for &size in sizes {
+        let samples: Vec<_> = kinds
+            .iter()
+            .map(|&k| pingpong_contig(k, nic_model.clone(), size, iters))
+            .collect();
+        lat.row(
+            std::iter::once(fmt_size(size))
+                .chain(samples.iter().map(|s| format!("{:.2}", s.one_way_us)))
+                .collect(),
+        );
+        bw.row(
+            std::iter::once(fmt_size(size))
+                .chain(samples.iter().map(|s| format!("{:.1}", s.bandwidth_mbs)))
+                .collect(),
+        );
+        for (i, s) in samples.iter().enumerate() {
+            peaks[i] = peaks[i].max(s.bandwidth_mbs);
+            lat_series[i].push(size as f64, s.one_way_us);
+            bw_series[i].push(size as f64, s.bandwidth_mbs);
+        }
+        // Overhead vs MPICH at small sizes (≤ 1 KB); kinds[1] is MPICH.
+        if size <= 1024 && kinds.len() >= 2 {
+            small_overheads.push(samples[0].one_way_us - samples[1].one_way_us);
+        }
+    }
+
+    println!("### latency (one-way, us)\n");
+    lat.print();
+    println!();
+    let mut chart = LogLogChart::new(format!("{title} — latency"), "message size (B)", "one-way us");
+    for s in lat_series {
+        chart.add(s);
+    }
+    chart.print();
+    println!("\n### bandwidth (MB/s)\n");
+    bw.print();
+    println!();
+    let mut chart = LogLogChart::new(format!("{title} — bandwidth"), "message size (B)", "MB/s");
+    for s in bw_series {
+        chart.add(s);
+    }
+    chart.print();
+
+    println!("\n### §5.1 headline checks\n");
+    if !small_overheads.is_empty() {
+        let max_ovh = small_overheads.iter().cloned().fold(f64::MIN, f64::max);
+        println!(
+            "- MadMPI latency overhead vs MPICH at ≤1K: max {max_ovh:.3} us (paper: constant, < 0.5 us)"
+        );
+    }
+    for (kind, peak) in kinds.iter().zip(&peaks) {
+        println!("- {} peak bandwidth: {:.0} MB/s", kind.label(), peak);
+    }
+}

@@ -1,0 +1,53 @@
+//! Portability panel (paper §4): the prototype ran over GM/Myrinet,
+//! MX/Myrinet, Elan/Quadrics, SISCI/SCI and TCP/Ethernet — "any
+//! strategy can be directly combined with any network protocol".
+//!
+//! Runs the same MAD-MPI ping-pong and 8-segment aggregation workload
+//! over every modelled technology, showing the engine adapting to each
+//! card's envelope (latency, bandwidth, gather capability, rendezvous
+//! threshold, MTU).
+//!
+//! Run: `cargo run --release -p bench --bin platforms`
+
+use bench::{fmt_size, gain_pct, pingpong_contig, pingpong_multiseg, Table};
+use mad_mpi::{EngineKind, StrategyKind};
+use nmad_sim::nic;
+
+fn main() {
+    let iters = 3;
+    let madmpi = EngineKind::MadMpi(StrategyKind::Aggreg);
+
+    println!("\n## MAD-MPI across every modelled technology\n");
+    let mut table = Table::new(vec![
+        "technology",
+        "4B latency (us)",
+        "peak bw (MB/s)",
+        "8x64B burst (us)",
+        "burst gain vs FIFO",
+    ]);
+    for nic_model in nic::all_presets() {
+        let small = pingpong_contig(madmpi, nic_model.clone(), 4, iters);
+        let big = pingpong_contig(madmpi, nic_model.clone(), 2 << 20, iters);
+        let burst = pingpong_multiseg(madmpi, nic_model.clone(), 8, 64, iters);
+        let fifo = pingpong_multiseg(
+            EngineKind::MadMpi(StrategyKind::Default),
+            nic_model.clone(),
+            8,
+            64,
+            iters,
+        );
+        table.row(vec![
+            nic_model.name.to_string(),
+            format!("{:.2}", small.one_way_us),
+            format!("{:.0}", big.bandwidth_mbs),
+            format!("{:.2}", burst.one_way_us),
+            format!("{:.0}%", gain_pct(burst.one_way_us, fifo.one_way_us)),
+        ]);
+    }
+    table.print();
+
+    println!("\n- every technology runs the identical engine and strategy code;");
+    println!("  only the driver capability record differs (gather limit, RDMA,");
+    println!("  rendezvous threshold, MTU — e.g. SISCI chunks rendezvous data at");
+    println!("  its {} MTU, GM stages aggregated frames through a copy).", fmt_size(64 * 1024));
+}

@@ -1,0 +1,85 @@
+//! # bench — experiment harnesses for the NewMadeleine reproduction
+//!
+//! One binary per paper figure (`fig2`, `fig3`, `fig4`) plus ablation
+//! and multirail extension studies. This library holds the shared
+//! machinery: size sweeps, the ping-pong drivers (single-segment,
+//! multi-segment, derived-datatype), and a markdown table printer.
+//!
+//! All timings are **virtual time** from the discrete-event simulator:
+//! deterministic, reproducible, and directly comparable to the paper's
+//! microsecond axes.
+
+pub mod pingpong;
+pub mod plot;
+pub mod table;
+pub mod workload;
+
+pub use pingpong::{
+    pingpong_contig, pingpong_multiseg, pingpong_typed, transfer_multirail, PingPongSample,
+};
+pub use plot::{LogLogChart, Series};
+pub use table::Table;
+pub use workload::{generate, payload_for, WorkItem, WorkloadSpec};
+
+/// Power-of-two sizes from `from` to `to` inclusive.
+pub fn byte_sizes(from: usize, to: usize) -> Vec<usize> {
+    assert!(from > 0 && from <= to);
+    let mut out = Vec::new();
+    let mut s = from;
+    while s <= to {
+        out.push(s);
+        if s > usize::MAX / 2 {
+            break;
+        }
+        s *= 2;
+    }
+    out
+}
+
+/// Formats a byte count the way the paper's x axes do (4, 64, 1K, 2M).
+pub fn fmt_size(bytes: usize) -> String {
+    if bytes >= 1 << 20 && bytes % (1 << 20) == 0 {
+        format!("{}M", bytes >> 20)
+    } else if bytes >= 1 << 10 && bytes % (1 << 10) == 0 {
+        format!("{}K", bytes >> 10)
+    } else {
+        format!("{bytes}")
+    }
+}
+
+/// Relative gain of `fast` over `slow` in percent (paper's "up to 70%
+/// faster" metric).
+pub fn gain_pct(fast: f64, slow: f64) -> f64 {
+    if slow <= 0.0 {
+        return 0.0;
+    }
+    (slow - fast) / slow * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_sizes_cover_the_paper_sweep() {
+        let sizes = byte_sizes(4, 2 << 20);
+        assert_eq!(sizes.first(), Some(&4));
+        assert_eq!(sizes.last(), Some(&(2 << 20)));
+        assert_eq!(sizes.len(), 20);
+    }
+
+    #[test]
+    fn fmt_size_matches_axis_labels() {
+        assert_eq!(fmt_size(4), "4");
+        assert_eq!(fmt_size(512), "512");
+        assert_eq!(fmt_size(1024), "1K");
+        assert_eq!(fmt_size(256 * 1024), "256K");
+        assert_eq!(fmt_size(2 << 20), "2M");
+    }
+
+    #[test]
+    fn gain_pct_is_the_paper_metric() {
+        assert!((gain_pct(3.0, 10.0) - 70.0).abs() < 1e-9);
+        assert_eq!(gain_pct(1.0, 0.0), 0.0);
+    }
+}

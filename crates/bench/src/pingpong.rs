@@ -1,0 +1,299 @@
+//! Ping-pong measurement drivers — the workloads of paper §5.
+//!
+//! * [`pingpong_contig`] — §5.1 raw point-to-point ping-pong
+//!   (fig. 2): single contiguous segment, latency and bandwidth;
+//! * [`pingpong_multiseg`] — §5.2 multi-segment ping-pong (fig. 3):
+//!   each "ping" is a burst of independent `MPI_Isend`s **on separate
+//!   communicators**, demonstrating that the optimization scope is
+//!   global;
+//! * [`pingpong_typed`] — §5.3 indexed-datatype ping-pong (fig. 4);
+//! * [`transfer_multirail`] — the heterogeneous multirail extension
+//!   (§4/§7).
+//!
+//! All drivers run the same co-simulation pump and read virtual time,
+//! so the numbers are exact and deterministic.
+
+use mad_mpi::{pump_cluster, sim_cluster, sim_cluster_multirail, Datatype, EngineKind};
+use nmad_sim::{NicModel, SharedWorld};
+
+/// One measured sweep point.
+#[derive(Clone, Copy, Debug)]
+pub struct PingPongSample {
+    /// Half round-trip, in microseconds (the paper's latency metric).
+    pub one_way_us: f64,
+    /// Payload bytes per one-way microsecond = MB/s.
+    pub bandwidth_mbs: f64,
+    /// Wire frames the initiator sent per ping (aggregation metric).
+    pub frames_per_ping: f64,
+}
+
+fn sample(total_payload: usize, rtt_us: f64, halves: f64, frames: f64, pings: f64) -> PingPongSample {
+    let one_way_us = rtt_us / halves;
+    PingPongSample {
+        one_way_us,
+        bandwidth_mbs: total_payload as f64 / one_way_us,
+        frames_per_ping: frames / pings,
+    }
+}
+
+fn elapsed_us(world: &SharedWorld, t0: nmad_sim::SimTime) -> f64 {
+    world.lock().now().saturating_since(t0).as_us_f64()
+}
+
+/// Raw single-segment ping-pong (paper fig. 2).
+pub fn pingpong_contig(
+    kind: EngineKind,
+    nic: NicModel,
+    size: usize,
+    iters: usize,
+) -> PingPongSample {
+    assert!(iters > 0);
+    let (world, mut procs) = sim_cluster(2, nic, kind);
+    let comm = procs[0].comm_world();
+    let payload = vec![0x5Au8; size];
+
+    let t0 = world.lock().now();
+    let frames0 = procs[0].backend().frames_sent();
+    for _ in 0..iters {
+        let r_pong = procs[0].irecv(comm, 1, 0, size);
+        let r_ping = procs[1].irecv(comm, 0, 0, size);
+        let _s = procs[0].isend(comm, 1, 0, payload.clone());
+        pump_cluster(&world, &mut procs, |p| p[1].test(r_ping));
+        let echo = procs[1].take(r_ping).expect("tested");
+        debug_assert_eq!(echo.len(), size);
+        let _s2 = procs[1].isend(comm, 0, 0, echo);
+        pump_cluster(&world, &mut procs, |p| p[0].test(r_pong));
+        procs[0].take(r_pong);
+    }
+    let frames = (procs[0].backend().frames_sent() - frames0) as f64;
+    sample(
+        size,
+        elapsed_us(&world, t0),
+        2.0 * iters as f64,
+        frames,
+        iters as f64,
+    )
+}
+
+/// Multi-segment ping-pong (paper fig. 3): `segs` independent isends
+/// per direction, one communicator per segment.
+pub fn pingpong_multiseg(
+    kind: EngineKind,
+    nic: NicModel,
+    segs: usize,
+    size: usize,
+    iters: usize,
+) -> PingPongSample {
+    assert!(iters > 0 && segs > 0);
+    let (world, mut procs) = sim_cluster(2, nic, kind);
+    let world_comm = procs[0].comm_world();
+    // Both ranks dup in the same order → identical context ids.
+    let comms: Vec<_> = (0..segs)
+        .map(|_| {
+            let c0 = procs[0].comm_dup(world_comm);
+            let c1 = procs[1].comm_dup(world_comm);
+            assert_eq!(c0, c1);
+            c0
+        })
+        .collect();
+    let payload = vec![0xA5u8; size];
+
+    let t0 = world.lock().now();
+    let frames0 = procs[0].backend().frames_sent();
+    for _ in 0..iters {
+        let r_pong: Vec<_> = comms
+            .iter()
+            .map(|&c| procs[0].irecv(c, 1, 0, size))
+            .collect();
+        let r_ping: Vec<_> = comms
+            .iter()
+            .map(|&c| procs[1].irecv(c, 0, 0, size))
+            .collect();
+        // The ping burst: independent isends on distinct communicators.
+        for &c in &comms {
+            procs[0].isend(c, 1, 0, payload.clone());
+        }
+        pump_cluster(&world, &mut procs, |p| {
+            r_ping.iter().all(|&r| p[1].test(r))
+        });
+        let echoes: Vec<Vec<u8>> = r_ping
+            .iter()
+            .map(|&r| procs[1].take(r).expect("tested"))
+            .collect();
+        for (&c, echo) in comms.iter().zip(echoes) {
+            procs[1].isend(c, 0, 0, echo);
+        }
+        pump_cluster(&world, &mut procs, |p| {
+            r_pong.iter().all(|&r| p[0].test(r))
+        });
+        for r in r_pong {
+            procs[0].take(r);
+        }
+    }
+    let frames = (procs[0].backend().frames_sent() - frames0) as f64;
+    sample(
+        segs * size,
+        elapsed_us(&world, t0),
+        2.0 * iters as f64,
+        frames,
+        iters as f64,
+    )
+}
+
+/// Indexed-datatype ping-pong (paper fig. 4). Returns one-way transfer
+/// time of the whole datatype.
+pub fn pingpong_typed(
+    kind: EngineKind,
+    nic: NicModel,
+    dtype: &Datatype,
+    iters: usize,
+) -> PingPongSample {
+    assert!(iters > 0);
+    let (world, mut procs) = sim_cluster(2, nic, kind);
+    let comm = procs[0].comm_world();
+    let buf: Vec<u8> = (0..dtype.extent()).map(|i| (i % 251) as u8).collect();
+
+    let t0 = world.lock().now();
+    let frames0 = procs[0].backend().frames_sent();
+    for _ in 0..iters {
+        let r_pong = procs[0].irecv_typed(comm, 1, 0, dtype);
+        let r_ping = procs[1].irecv_typed(comm, 0, 0, dtype);
+        procs[0].isend_typed(comm, 1, 0, &buf, dtype);
+        pump_cluster(&world, &mut procs, |p| p[1].test(r_ping));
+        let echo = procs[1].take(r_ping).expect("tested");
+        procs[1].isend_typed(comm, 0, 0, &echo, dtype);
+        pump_cluster(&world, &mut procs, |p| p[0].test(r_pong));
+        procs[0].take(r_pong);
+    }
+    let frames = (procs[0].backend().frames_sent() - frames0) as f64;
+    sample(
+        dtype.total_bytes(),
+        elapsed_us(&world, t0),
+        2.0 * iters as f64,
+        frames,
+        iters as f64,
+    )
+}
+
+/// One-way large transfer over several heterogeneous rails with the
+/// multirail strategy (or any other `kind`). Returns the sample plus
+/// the per-rail payload byte split observed on the wire.
+pub fn transfer_multirail(
+    kind: EngineKind,
+    rails: Vec<NicModel>,
+    size: usize,
+    iters: usize,
+) -> (PingPongSample, Vec<u64>) {
+    assert!(iters > 0);
+    let (world, mut procs) = sim_cluster_multirail(2, rails, kind);
+    let comm = procs[0].comm_world();
+    let payload = vec![0x3Cu8; size];
+
+    let t0 = world.lock().now();
+    let frames0 = procs[0].backend().frames_sent();
+    for _ in 0..iters {
+        let r_pong = procs[0].irecv(comm, 1, 0, size);
+        let r_ping = procs[1].irecv(comm, 0, 0, size);
+        procs[0].isend(comm, 1, 0, payload.clone());
+        pump_cluster(&world, &mut procs, |p| p[1].test(r_ping));
+        let echo = procs[1].take(r_ping).expect("tested");
+        procs[1].isend(comm, 0, 0, echo);
+        pump_cluster(&world, &mut procs, |p| p[0].test(r_pong));
+        procs[0].take(r_pong);
+    }
+    let frames = (procs[0].backend().frames_sent() - frames0) as f64;
+    let per_rail = world.lock().stats().per_rail_bytes.clone();
+    (
+        sample(
+            size,
+            elapsed_us(&world, t0),
+            2.0 * iters as f64,
+            frames,
+            iters as f64,
+        ),
+        per_rail,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mad_mpi::StrategyKind;
+    use nmad_sim::nic;
+
+    #[test]
+    fn contig_latency_is_positive_and_orders_sanely() {
+        let mad = pingpong_contig(
+            EngineKind::MadMpi(StrategyKind::Aggreg),
+            nic::mx_myri10g(),
+            4,
+            2,
+        );
+        let mpich = pingpong_contig(EngineKind::Mpich, nic::mx_myri10g(), 4, 2);
+        assert!(mad.one_way_us > 0.0 && mpich.one_way_us > 0.0);
+        // §5.1: MAD-MPI overhead vs MPICH is under half a microsecond.
+        let overhead = mad.one_way_us - mpich.one_way_us;
+        assert!(
+            overhead > 0.0 && overhead < 0.5,
+            "overhead {overhead:.3} us out of the paper band"
+        );
+    }
+
+    #[test]
+    fn multiseg_aggregation_beats_mpich() {
+        let mad = pingpong_multiseg(
+            EngineKind::MadMpi(StrategyKind::Aggreg),
+            nic::mx_myri10g(),
+            8,
+            64,
+            2,
+        );
+        let mpich = pingpong_multiseg(EngineKind::Mpich, nic::mx_myri10g(), 8, 64, 2);
+        assert!(
+            mad.one_way_us < mpich.one_way_us,
+            "MadMPI {:.2} us must beat MPICH {:.2} us",
+            mad.one_way_us,
+            mpich.one_way_us
+        );
+        assert!(
+            mad.frames_per_ping < mpich.frames_per_ping,
+            "aggregation must reduce frames: {} vs {}",
+            mad.frames_per_ping,
+            mpich.frames_per_ping
+        );
+    }
+
+    #[test]
+    fn typed_zero_copy_beats_pack_and_copy() {
+        let dtype = Datatype::alternating(64, 256 * 1024, 2);
+        let mad = pingpong_typed(
+            EngineKind::MadMpi(StrategyKind::Reorder),
+            nic::mx_myri10g(),
+            &dtype,
+            2,
+        );
+        let mpich = pingpong_typed(EngineKind::Mpich, nic::mx_myri10g(), &dtype, 2);
+        assert!(
+            mad.one_way_us < mpich.one_way_us * 0.6,
+            "expected a large datatype win: {:.0} vs {:.0} us",
+            mad.one_way_us,
+            mpich.one_way_us
+        );
+    }
+
+    #[test]
+    fn multirail_splits_bytes_across_rails() {
+        let (sample, per_rail) = transfer_multirail(
+            EngineKind::MadMpi(StrategyKind::Multirail),
+            vec![nic::mx_myri10g(), nic::quadrics_qm500()],
+            1 << 20,
+            1,
+        );
+        assert!(sample.one_way_us > 0.0);
+        assert_eq!(per_rail.len(), 2);
+        assert!(
+            per_rail.iter().all(|&b| b > 100_000),
+            "both rails must carry payload: {per_rail:?}"
+        );
+    }
+}

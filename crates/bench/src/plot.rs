@@ -1,0 +1,226 @@
+//! ASCII log-log charts for the figure harnesses.
+//!
+//! The paper's evaluation figures are log-log gnuplot charts; the
+//! harnesses print the same series as aligned tables *and* as a compact
+//! ASCII chart so the curve shapes (parallel lines, crossovers,
+//! convergence at the right edge) are visible straight from the
+//! terminal.
+
+use std::fmt::Write as _;
+
+/// One named series of (x, y) points, both positive.
+#[derive(Clone, Debug)]
+pub struct Series {
+    pub name: String,
+    pub points: Vec<(f64, f64)>,
+    /// Glyph used for this series' points.
+    pub glyph: char,
+}
+
+impl Series {
+    pub fn new(name: impl Into<String>, glyph: char) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+            glyph,
+        }
+    }
+
+    pub fn push(&mut self, x: f64, y: f64) {
+        assert!(x > 0.0 && y > 0.0, "log-log plots need positive values");
+        self.points.push((x, y));
+    }
+}
+
+/// A log-log chart with labelled axes.
+pub struct LogLogChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+    width: usize,
+    height: usize,
+}
+
+impl LogLogChart {
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        LogLogChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            width: 64,
+            height: 18,
+        }
+    }
+
+    /// Overrides the plot area size (columns × rows).
+    pub fn size(mut self, width: usize, height: usize) -> Self {
+        assert!(width >= 16 && height >= 6, "chart too small to read");
+        self.width = width;
+        self.height = height;
+        self
+    }
+
+    pub fn add(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    fn bounds(&self) -> Option<(f64, f64, f64, f64)> {
+        let mut pts = self.series.iter().flat_map(|s| s.points.iter());
+        let first = pts.next()?;
+        let (mut x0, mut x1, mut y0, mut y1) = (first.0, first.0, first.1, first.1);
+        for &(x, y) in self.series.iter().flat_map(|s| s.points.iter()) {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        // Avoid a degenerate (zero-span) axis.
+        if x0 == x1 {
+            x1 = x0 * 2.0;
+        }
+        if y0 == y1 {
+            y1 = y0 * 2.0;
+        }
+        Some((x0, x1, y0, y1))
+    }
+
+    /// Renders the chart.
+    pub fn render(&self) -> String {
+        let Some((x0, x1, y0, y1)) = self.bounds() else {
+            return format!("{} (no data)\n", self.title);
+        };
+        let (lx0, lx1) = (x0.log10(), x1.log10());
+        let (ly0, ly1) = (y0.log10(), y1.log10());
+        let col = |x: f64| -> usize {
+            let f = (x.log10() - lx0) / (lx1 - lx0);
+            ((f * (self.width - 1) as f64).round() as usize).min(self.width - 1)
+        };
+        let row = |y: f64| -> usize {
+            let f = (y.log10() - ly0) / (ly1 - ly0);
+            let r = (f * (self.height - 1) as f64).round() as usize;
+            (self.height - 1) - r.min(self.height - 1)
+        };
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for series in &self.series {
+            for &(x, y) in &series.points {
+                let (c, r) = (col(x), row(y));
+                // First-writer wins where curves overlap; overlap is
+                // itself informative (curves coincide).
+                if grid[r][c] == ' ' {
+                    grid[r][c] = series.glyph;
+                }
+            }
+        }
+
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let _ = writeln!(out, "{} (log scale)", self.y_label);
+        let y_hi = format!("{y1:.3e}");
+        let y_lo = format!("{y0:.3e}");
+        let margin = y_hi.len().max(y_lo.len());
+        for (r, line) in grid.iter().enumerate() {
+            let label = if r == 0 {
+                &y_hi
+            } else if r == self.height - 1 {
+                &y_lo
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "{label:>margin$} |{}",
+                line.iter().collect::<String>()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:margin$} +{}",
+            "",
+            "-".repeat(self.width),
+        );
+        let x_lo = format!("{x0:.0}");
+        let x_hi = format!("{x1:.0}");
+        let pad = self.width.saturating_sub(x_lo.len() + x_hi.len());
+        let _ = writeln!(out, "{:margin$}  {x_lo}{}{x_hi}", "", " ".repeat(pad));
+        let _ = writeln!(out, "{:margin$}  {} (log scale)", "", self.x_label);
+        let legend: Vec<String> = self
+            .series
+            .iter()
+            .map(|s| format!("{} {}", s.glyph, s.name))
+            .collect();
+        let _ = writeln!(out, "{:margin$}  legend: {}", "", legend.join("   "));
+        out
+    }
+
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_chart() -> LogLogChart {
+        let mut chart = LogLogChart::new("test chart", "size", "us");
+        let mut a = Series::new("alpha", '*');
+        let mut b = Series::new("beta", 'o');
+        for i in 0..10 {
+            let x = 4.0 * 2f64.powi(i);
+            a.push(x, 3.0 + x / 100.0);
+            b.push(x, 6.0 + x / 50.0);
+        }
+        chart.add(a);
+        chart.add(b);
+        chart
+    }
+
+    #[test]
+    fn renders_grid_with_legend_and_labels() {
+        let text = sample_chart().render();
+        assert!(text.contains("test chart"));
+        assert!(text.contains("legend: * alpha   o beta"));
+        assert!(text.contains("us (log scale)"));
+        assert!(text.contains("size (log scale)"));
+        assert!(text.contains('*') && text.contains('o'));
+    }
+
+    #[test]
+    fn empty_chart_says_so() {
+        let chart = LogLogChart::new("empty", "x", "y");
+        assert!(chart.render().contains("no data"));
+    }
+
+    #[test]
+    fn higher_series_plots_above_lower() {
+        let text = sample_chart().render();
+        // beta ('o', always above alpha) must first appear on an
+        // earlier line than alpha's first appearance.
+        let first_o = text.lines().position(|l| l.contains('o')).unwrap();
+        let first_star = text.lines().position(|l| l.contains('*')).unwrap();
+        assert!(first_o <= first_star, "o at {first_o}, * at {first_star}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_non_positive_values() {
+        let mut s = Series::new("bad", 'x');
+        s.push(0.0, 1.0);
+    }
+
+    #[test]
+    fn single_point_does_not_panic() {
+        let mut chart = LogLogChart::new("one", "x", "y");
+        let mut s = Series::new("solo", '#');
+        s.push(10.0, 5.0);
+        chart.add(s);
+        assert!(chart.render().contains('#'));
+    }
+}

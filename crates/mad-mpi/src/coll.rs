@@ -1,0 +1,1153 @@
+//! Collectives built on point-to-point (extension beyond the paper's
+//! subset).
+//!
+//! Implemented as *nonblocking state machines*: a collective is created
+//! on every rank, then advanced inside the usual progress loop. This
+//! keeps them usable both under the co-simulation pump (virtual time)
+//! and on real transports (each rank's thread advances its own op).
+//!
+//! Algorithms are the textbook ones: dissemination barrier and binomial
+//! broadcast, both O(log n) rounds. Collectives use the reserved
+//! context (0); as in MPI, every rank must issue its collectives in the
+//! same order.
+
+use bytes::Bytes;
+
+use crate::p2p::{Comm, MpiProc, Request};
+
+/// Internal tag bases inside the reserved context.
+const TAG_BARRIER: u16 = 0;
+const TAG_BCAST: u16 = 64;
+const TAG_GATHER: u16 = 128;
+const TAG_ALLTOALL: u16 = 192;
+const TAG_SCATTER: u16 = 224;
+
+/// A collective in progress on one rank.
+pub trait CollectiveOp {
+    /// Advances the state machine; returns true once complete locally.
+    /// Does not pump the backend — run it inside a progress loop.
+    fn advance(&mut self, proc: &mut MpiProc) -> bool;
+
+    /// True once complete (idempotent).
+    fn is_done(&self) -> bool;
+}
+
+/// Dissemination barrier: in round k every rank sends a token to
+/// `(rank + 2^k) mod n` and waits for one from `(rank - 2^k) mod n`.
+pub struct BarrierOp {
+    round: u32,
+    rounds: u32,
+    sent: Option<Request>,
+    rcvd: Option<Request>,
+    done: bool,
+}
+
+impl BarrierOp {
+    /// Constructs this rank's instance of the collective.
+    pub fn new(proc: &MpiProc) -> Self {
+        let n = proc.size();
+        let rounds = usize::BITS - (n - 1).leading_zeros(); // ceil(log2 n), 0 for n=1
+        BarrierOp {
+            round: 0,
+            rounds,
+            sent: None,
+            rcvd: None,
+            done: n <= 1,
+        }
+    }
+}
+
+impl CollectiveOp for BarrierOp {
+    fn advance(&mut self, proc: &mut MpiProc) -> bool {
+        while !self.done {
+            if self.sent.is_none() {
+                let n = proc.size();
+                let me = proc.rank();
+                let dist = 1usize << self.round;
+                let to = (me + dist) % n;
+                let tag = TAG_BARRIER + self.round as u16;
+                self.sent = Some(proc.internal_isend(to, tag, Bytes::from_static(&[0])));
+                let from = (me + n - dist) % n;
+                self.rcvd = Some(proc.internal_irecv(from, tag, 1));
+            }
+            let s = self.sent.expect("posted");
+            let r = self.rcvd.expect("posted");
+            if !(proc.test(s) && proc.test(r)) {
+                return false;
+            }
+            proc.take(r);
+            self.sent = None;
+            self.rcvd = None;
+            self.round += 1;
+            if self.round == self.rounds {
+                self.done = true;
+            }
+        }
+        true
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+/// Binomial-tree broadcast from `root`. Every rank constructs the op;
+/// the root passes `Some(data)`, the others `None` plus the maximum
+/// expected size. The payload is available from
+/// [`BcastOp::take_result`] once done.
+pub struct BcastOp {
+    root: usize,
+    max: usize,
+    mask: usize,
+    data: Option<Vec<u8>>,
+    pending: Option<Request>,
+    phase: BcastPhase,
+    done: bool,
+}
+
+#[derive(PartialEq, Eq)]
+enum BcastPhase {
+    /// Waiting to receive our copy (non-root ranks).
+    Receiving,
+    /// Relaying down the tree.
+    Sending,
+}
+
+impl BcastOp {
+    /// Constructs this rank's instance of the collective.
+    pub fn new(proc: &MpiProc, root: usize, data: Option<Vec<u8>>, max: usize) -> Self {
+        assert!(root < proc.size(), "root out of range");
+        let is_root = proc.rank() == root;
+        assert_eq!(
+            is_root,
+            data.is_some(),
+            "exactly the root provides the payload"
+        );
+        let n = proc.size();
+        BcastOp {
+            root,
+            max,
+            // The root may start relaying at mask 1; receivers first
+            // wait for their copy.
+            mask: 1,
+            data,
+            pending: None,
+            phase: if is_root {
+                BcastPhase::Sending
+            } else {
+                BcastPhase::Receiving
+            },
+            done: n <= 1,
+        }
+    }
+
+    fn vrank(&self, proc: &MpiProc) -> usize {
+        (proc.rank() + proc.size() - self.root) % proc.size()
+    }
+
+    /// The broadcast payload, once done (every rank).
+    pub fn take_result(&mut self) -> Option<Vec<u8>> {
+        if self.done {
+            self.data.take()
+        } else {
+            None
+        }
+    }
+}
+
+impl CollectiveOp for BcastOp {
+    fn advance(&mut self, proc: &mut MpiProc) -> bool {
+        while !self.done {
+            let n = proc.size();
+            let vrank = self.vrank(proc);
+            match self.phase {
+                BcastPhase::Receiving => {
+                    // Receive in the round where mask ≤ vrank < 2·mask.
+                    if self.mask * 2 <= vrank {
+                        self.mask *= 2;
+                        continue;
+                    }
+                    if self.pending.is_none() {
+                        let from = (vrank - self.mask + self.root) % n;
+                        let round = self.mask.trailing_zeros() as u16;
+                        self.pending =
+                            Some(proc.internal_irecv(from, TAG_BCAST + round, self.max));
+                    }
+                    let r = self.pending.expect("posted");
+                    if !proc.test(r) {
+                        return false;
+                    }
+                    self.data = Some(proc.take(r).expect("tested"));
+                    self.pending = None;
+                    self.mask *= 2;
+                    self.phase = BcastPhase::Sending;
+                }
+                BcastPhase::Sending => {
+                    if self.mask >= n {
+                        self.done = true;
+                        break;
+                    }
+                    let partner = vrank + self.mask;
+                    if partner < n {
+                        if self.pending.is_none() {
+                            let to = (partner + self.root) % n;
+                            let round = self.mask.trailing_zeros() as u16;
+                            let body =
+                                Bytes::from(self.data.clone().expect("sender holds the data"));
+                            self.pending = Some(proc.internal_isend(to, TAG_BCAST + round, body));
+                        }
+                        let s = self.pending.expect("posted");
+                        if !proc.test(s) {
+                            return false;
+                        }
+                        self.pending = None;
+                    }
+                    self.mask *= 2;
+                }
+            }
+        }
+        true
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+
+/// Linear gather to `root`: every other rank sends its contribution;
+/// the root collects one payload per rank (its own included). Linear is
+/// appropriate at the cluster sizes of the paper's platform.
+pub struct GatherOp {
+    root: usize,
+    max: usize,
+    pending: Vec<Option<Request>>,
+    my_send: Option<Request>,
+    parts: Vec<Option<Vec<u8>>>,
+    done: bool,
+}
+
+impl GatherOp {
+    /// Constructs this rank's instance of the collective.
+    pub fn new(proc: &MpiProc, root: usize, contribution: Vec<u8>, max: usize) -> Self {
+        assert!(root < proc.size(), "root out of range");
+        let n = proc.size();
+        let mut parts = vec![None; n];
+        let is_root = proc.rank() == root;
+        if is_root {
+            parts[root] = Some(contribution.clone());
+        }
+        GatherOp {
+            root,
+            max,
+            pending: vec![None; n],
+            // Non-roots send exactly once; stash the data in `parts`
+            // until posted.
+            my_send: None,
+            parts: if is_root {
+                parts
+            } else {
+                let mut p = vec![None; n];
+                p[proc.rank()] = Some(contribution);
+                p
+            },
+            done: n == 1,
+        }
+    }
+
+    /// The gathered payloads in rank order (root only), once done.
+    pub fn take_result(&mut self) -> Option<Vec<Vec<u8>>> {
+        if !self.done {
+            return None;
+        }
+        let parts: Option<Vec<Vec<u8>>> = self.parts.iter_mut().map(|p| p.take()).collect();
+        parts
+    }
+}
+
+impl CollectiveOp for GatherOp {
+    fn advance(&mut self, proc: &mut MpiProc) -> bool {
+        if self.done {
+            return true;
+        }
+        let me = proc.rank();
+        let n = proc.size();
+        if me == self.root {
+            // Post all receives once, then harvest.
+            for rank in 0..n {
+                if rank == me || self.pending[rank].is_some() || self.parts[rank].is_some() {
+                    continue;
+                }
+                self.pending[rank] = Some(proc.internal_irecv(rank, TAG_GATHER, self.max));
+            }
+            let mut all = true;
+            for rank in 0..n {
+                if rank == me || self.parts[rank].is_some() {
+                    continue;
+                }
+                let r = self.pending[rank].expect("posted above");
+                if proc.test(r) {
+                    self.parts[rank] = Some(proc.take(r).expect("tested"));
+                    self.pending[rank] = None;
+                } else {
+                    all = false;
+                }
+            }
+            self.done = all;
+        } else {
+            if self.my_send.is_none() {
+                let body = Bytes::from(self.parts[me].take().expect("own contribution"));
+                self.my_send = Some(proc.internal_isend(self.root, TAG_GATHER, body));
+            }
+            let s = self.my_send.expect("posted");
+            self.done = proc.test(s);
+        }
+        self.done
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+/// Allreduce as reduce-to-root + broadcast. `op` folds one peer
+/// contribution into the accumulator; it must be associative and
+/// commutative, and every rank must pass the same function.
+pub struct AllreduceOp {
+    gather: GatherOp,
+    bcast: Option<BcastOp>,
+    op: fn(&mut Vec<u8>, &[u8]),
+    max: usize,
+    result: Option<Vec<u8>>,
+}
+
+impl AllreduceOp {
+    /// Constructs this rank's instance of the collective.
+    pub fn new(
+        proc: &MpiProc,
+        contribution: Vec<u8>,
+        op: fn(&mut Vec<u8>, &[u8]),
+        max: usize,
+    ) -> Self {
+        AllreduceOp {
+            gather: GatherOp::new(proc, 0, contribution, max),
+            bcast: None,
+            op,
+            max,
+            result: None,
+        }
+    }
+
+    /// The reduced payload (every rank), once done.
+    pub fn take_result(&mut self) -> Option<Vec<u8>> {
+        self.result.take()
+    }
+}
+
+impl CollectiveOp for AllreduceOp {
+    fn advance(&mut self, proc: &mut MpiProc) -> bool {
+        if self.result.is_some() {
+            return true;
+        }
+        if self.bcast.is_none() {
+            if !self.gather.advance(proc) {
+                return false;
+            }
+            // Rank 0 reduces; everyone then joins the broadcast.
+            let data = if proc.rank() == 0 {
+                let parts = self.gather.take_result().expect("gather done on root");
+                let mut acc = parts[0].clone();
+                for part in &parts[1..] {
+                    (self.op)(&mut acc, part);
+                }
+                Some(acc)
+            } else {
+                None
+            };
+            self.bcast = Some(BcastOp::new(proc, 0, data, self.max));
+        }
+        let bcast = self.bcast.as_mut().expect("constructed above");
+        if !bcast.advance(proc) {
+            return false;
+        }
+        self.result = bcast.take_result();
+        debug_assert!(self.result.is_some());
+        true
+    }
+
+    fn is_done(&self) -> bool {
+        self.result.is_some()
+    }
+}
+
+
+/// Linear all-to-all personalized exchange: rank i sends `inputs[j]` to
+/// rank j and collects one payload from every rank. All sends are
+/// posted up front, so on the NewMadeleine backend the whole exchange
+/// towards one destination coalesces into few frames.
+pub struct AlltoallOp {
+    sends: Vec<Option<Request>>,
+    recvs: Vec<Option<Request>>,
+    outputs: Vec<Option<Vec<u8>>>,
+    posted: bool,
+    inputs: Vec<Vec<u8>>,
+    max: usize,
+    done: bool,
+}
+
+impl AlltoallOp {
+    /// Constructs this rank's instance of the collective.
+    pub fn new(proc: &MpiProc, inputs: Vec<Vec<u8>>, max: usize) -> Self {
+        let n = proc.size();
+        assert_eq!(inputs.len(), n, "one payload per destination rank");
+        AlltoallOp {
+            sends: vec![None; n],
+            recvs: vec![None; n],
+            outputs: vec![None; n],
+            posted: false,
+            inputs,
+            max,
+            done: false,
+        }
+    }
+
+    /// The payload received from every rank, in rank order, once done.
+    pub fn take_result(&mut self) -> Option<Vec<Vec<u8>>> {
+        if !self.done {
+            return None;
+        }
+        self.outputs.iter_mut().map(|p| p.take()).collect()
+    }
+}
+
+impl CollectiveOp for AlltoallOp {
+    fn advance(&mut self, proc: &mut MpiProc) -> bool {
+        if self.done {
+            return true;
+        }
+        let n = proc.size();
+        let me = proc.rank();
+        if !self.posted {
+            // Own contribution loops back locally.
+            self.outputs[me] = Some(std::mem::take(&mut self.inputs[me]));
+            for peer in 0..n {
+                if peer == me {
+                    continue;
+                }
+                let body = Bytes::from(std::mem::take(&mut self.inputs[peer]));
+                self.sends[peer] = Some(proc.internal_isend(peer, TAG_ALLTOALL, body));
+                self.recvs[peer] = Some(proc.internal_irecv(peer, TAG_ALLTOALL, self.max));
+            }
+            self.posted = true;
+        }
+        let mut all = true;
+        for peer in 0..n {
+            if peer == me {
+                continue;
+            }
+            if let Some(s) = self.sends[peer] {
+                if proc.test(s) {
+                    self.sends[peer] = None;
+                } else {
+                    all = false;
+                }
+            }
+            if self.outputs[peer].is_none() {
+                let r = self.recvs[peer].expect("posted");
+                if proc.test(r) {
+                    self.outputs[peer] = Some(proc.take(r).expect("tested"));
+                } else {
+                    all = false;
+                }
+            }
+        }
+        self.done = all;
+        self.done
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+
+/// Allgather as gather-to-rank-0 + broadcast of the concatenation.
+/// Every rank ends with every rank's contribution, in rank order.
+pub struct AllgatherOp {
+    gather: GatherOp,
+    bcast: Option<BcastOp>,
+    per_rank_max: usize,
+    result: Option<Vec<Vec<u8>>>,
+}
+
+impl AllgatherOp {
+    /// Constructs this rank's instance of the collective.
+    pub fn new(proc: &MpiProc, contribution: Vec<u8>, per_rank_max: usize) -> Self {
+        AllgatherOp {
+            gather: GatherOp::new(proc, 0, contribution, per_rank_max),
+            bcast: None,
+            per_rank_max,
+            result: None,
+        }
+    }
+
+    /// Every rank's contribution, once done.
+    pub fn take_result(&mut self) -> Option<Vec<Vec<u8>>> {
+        self.result.take()
+    }
+
+    fn encode(parts: &[Vec<u8>]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for p in parts {
+            out.extend_from_slice(&(u32::try_from(p.len()).expect("part too large")).to_le_bytes());
+            out.extend_from_slice(p);
+        }
+        out
+    }
+
+    fn decode(mut bytes: &[u8]) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        while bytes.len() >= 4 {
+            let len = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
+            out.push(bytes[4..4 + len].to_vec());
+            bytes = &bytes[4 + len..];
+        }
+        out
+    }
+}
+
+impl CollectiveOp for AllgatherOp {
+    fn advance(&mut self, proc: &mut MpiProc) -> bool {
+        if self.result.is_some() {
+            return true;
+        }
+        if self.bcast.is_none() {
+            if !self.gather.advance(proc) {
+                return false;
+            }
+            let data = if proc.rank() == 0 {
+                let parts = self.gather.take_result().expect("gather done on root");
+                Some(Self::encode(&parts))
+            } else {
+                None
+            };
+            let max = proc.size() * (self.per_rank_max + 4);
+            self.bcast = Some(BcastOp::new(proc, 0, data, max));
+        }
+        let bcast = self.bcast.as_mut().expect("constructed above");
+        if !bcast.advance(proc) {
+            return false;
+        }
+        let blob = bcast.take_result().expect("bcast done");
+        self.result = Some(Self::decode(&blob));
+        true
+    }
+
+    fn is_done(&self) -> bool {
+        self.result.is_some()
+    }
+}
+
+/// Linear scatter from `root`: the root sends `inputs[j]` to rank j;
+/// every rank ends with its own slice.
+pub struct ScatterOp {
+    root: usize,
+    max: usize,
+    inputs: Vec<Vec<u8>>,
+    sends: Vec<Option<Request>>,
+    recv: Option<Request>,
+    result: Option<Vec<u8>>,
+    posted: bool,
+    done: bool,
+}
+
+impl ScatterOp {
+    /// The root passes one payload per rank; the others pass an empty
+    /// vec.
+    pub fn new(proc: &MpiProc, root: usize, inputs: Vec<Vec<u8>>, max: usize) -> Self {
+        assert!(root < proc.size(), "root out of range");
+        let is_root = proc.rank() == root;
+        assert_eq!(
+            is_root,
+            !inputs.is_empty(),
+            "exactly the root provides the payloads"
+        );
+        if is_root {
+            assert_eq!(inputs.len(), proc.size(), "one payload per rank");
+        }
+        ScatterOp {
+            root,
+            max,
+            inputs,
+            sends: vec![None; proc.size()],
+            recv: None,
+            result: None,
+            posted: false,
+            done: false,
+        }
+    }
+
+    /// This rank's slice, once done.
+    pub fn take_result(&mut self) -> Option<Vec<u8>> {
+        if self.done {
+            self.result.take()
+        } else {
+            None
+        }
+    }
+}
+
+impl CollectiveOp for ScatterOp {
+    fn advance(&mut self, proc: &mut MpiProc) -> bool {
+        if self.done {
+            return true;
+        }
+        let n = proc.size();
+        let me = proc.rank();
+        if me == self.root {
+            if !self.posted {
+                self.result = Some(std::mem::take(&mut self.inputs[me]));
+                for rank in 0..n {
+                    if rank == me {
+                        continue;
+                    }
+                    let body = Bytes::from(std::mem::take(&mut self.inputs[rank]));
+                    self.sends[rank] = Some(proc.internal_isend(rank, TAG_SCATTER, body));
+                }
+                self.posted = true;
+            }
+            let mut all = true;
+            for rank in 0..n {
+                if let Some(s) = self.sends[rank] {
+                    if proc.test(s) {
+                        self.sends[rank] = None;
+                    } else {
+                        all = false;
+                    }
+                }
+            }
+            self.done = all;
+        } else {
+            if self.recv.is_none() {
+                self.recv = Some(proc.internal_irecv(self.root, TAG_SCATTER, self.max));
+            }
+            let r = self.recv.expect("posted");
+            if proc.test(r) {
+                self.result = Some(proc.take(r).expect("tested"));
+                self.done = true;
+            }
+        }
+        self.done
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+
+/// Distributed MPI_Comm_split over the whole job: every rank
+/// contributes `(color, key)`; ranks sharing a color form a new
+/// communicator, ordered by `(key, global rank)`. Implemented as an
+/// allgather of the `(color, key)` pairs followed by a purely local,
+/// deterministic group computation — so every rank registers identical
+/// groups under identical fresh contexts.
+///
+/// Current restriction: the parent must span the whole job (split of
+/// MPI_COMM_WORLD or a duplicate of it).
+pub struct CommSplitOp {
+    allgather: AllgatherOp,
+    color: i32,
+    key: i32,
+    result: Option<Comm>,
+}
+
+impl CommSplitOp {
+    /// Begins the split; collective over every rank of the job.
+    pub fn new(proc: &MpiProc, parent: Comm, color: i32, key: i32) -> Self {
+        assert_eq!(
+            proc.comm_size(parent),
+            proc.size(),
+            "comm_split currently requires a whole-job parent communicator"
+        );
+        let mut contribution = Vec::with_capacity(8);
+        contribution.extend_from_slice(&color.to_le_bytes());
+        contribution.extend_from_slice(&key.to_le_bytes());
+        CommSplitOp {
+            allgather: AllgatherOp::new(proc, contribution, 8),
+            color,
+            key,
+            result: None,
+        }
+    }
+
+    /// The new communicator, once done.
+    pub fn take_result(&mut self) -> Option<Comm> {
+        self.result.take()
+    }
+}
+
+impl CollectiveOp for CommSplitOp {
+    fn advance(&mut self, proc: &mut MpiProc) -> bool {
+        if self.result.is_some() {
+            return true;
+        }
+        if !self.allgather.advance(proc) {
+            return false;
+        }
+        let parts = self
+            .allgather
+            .take_result()
+            .expect("allgather completed");
+        let pairs: Vec<(i32, i32)> = parts
+            .iter()
+            .map(|p| {
+                (
+                    i32::from_le_bytes(p[0..4].try_into().expect("4 bytes")),
+                    i32::from_le_bytes(p[4..8].try_into().expect("4 bytes")),
+                )
+            })
+            .collect();
+        // Deterministic registration order: ascending distinct colors.
+        // Every rank registers EVERY color group so context allocation
+        // stays aligned across the job; it keeps only its own comm.
+        let mut colors: Vec<i32> = pairs.iter().map(|&(c, _)| c).collect();
+        colors.sort_unstable();
+        colors.dedup();
+        let mut mine = None;
+        for color in colors {
+            let mut members: Vec<(i32, usize)> = pairs
+                .iter()
+                .enumerate()
+                .filter(|&(_, &(c, _))| c == color)
+                .map(|(rank, &(_, key))| (key, rank))
+                .collect();
+            members.sort_unstable();
+            let group: Vec<usize> = members.into_iter().map(|(_, rank)| rank).collect();
+            let comm = proc.register_comm(group);
+            if color == self.color {
+                mine = Some(comm);
+            }
+        }
+        let _ = self.key;
+        self.result = Some(mine.expect("own color always forms a group"));
+        true
+    }
+
+    fn is_done(&self) -> bool {
+        self.result.is_some()
+    }
+}
+
+
+/// Reduce-to-root: gather + fold at the root (the root gets the result;
+/// other ranks get `None`). `op` must be associative and commutative.
+pub struct ReduceOp {
+    gather: GatherOp,
+    root: usize,
+    op: fn(&mut Vec<u8>, &[u8]),
+    result: Option<Vec<u8>>,
+    done: bool,
+}
+
+impl ReduceOp {
+    /// Constructs this rank's instance of the collective.
+    pub fn new(
+        proc: &MpiProc,
+        root: usize,
+        contribution: Vec<u8>,
+        op: fn(&mut Vec<u8>, &[u8]),
+        max: usize,
+    ) -> Self {
+        ReduceOp {
+            gather: GatherOp::new(proc, root, contribution, max),
+            root,
+            op,
+            result: None,
+            done: false,
+        }
+    }
+
+    /// The folded result (root only), once done.
+    pub fn take_result(&mut self) -> Option<Vec<u8>> {
+        self.result.take()
+    }
+}
+
+impl CollectiveOp for ReduceOp {
+    fn advance(&mut self, proc: &mut MpiProc) -> bool {
+        if self.done {
+            return true;
+        }
+        if !self.gather.advance(proc) {
+            return false;
+        }
+        if proc.rank() == self.root {
+            let parts = self.gather.take_result().expect("gather done on root");
+            let mut acc = parts[0].clone();
+            for part in &parts[1..] {
+                (self.op)(&mut acc, part);
+            }
+            self.result = Some(acc);
+        }
+        self.done = true;
+        true
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+/// Runs one collective instance per rank to completion under the
+/// co-simulation pump.
+pub fn run_collective_sim(
+    world: &nmad_sim::SharedWorld,
+    procs: &mut [MpiProc],
+    ops: &mut [Box<dyn CollectiveOp>],
+) {
+    assert_eq!(procs.len(), ops.len());
+    crate::cluster::pump_cluster(world, procs, |procs| {
+        let mut all = true;
+        for (proc, op) in procs.iter_mut().zip(ops.iter_mut()) {
+            all &= op.advance(proc);
+        }
+        all
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{sim_cluster, EngineKind, StrategyKind};
+    use nmad_sim::nic;
+
+    fn kinds() -> [EngineKind; 3] {
+        [
+            EngineKind::MadMpi(StrategyKind::Aggreg),
+            EngineKind::Mpich,
+            EngineKind::Ompi,
+        ]
+    }
+
+    #[test]
+    fn barrier_completes_on_every_backend_and_size() {
+        for kind in kinds() {
+            for n in [1usize, 2, 3, 5, 8] {
+                let (world, mut procs) = sim_cluster(n, nic::quadrics_qm500(), kind);
+                let mut ops: Vec<Box<dyn CollectiveOp>> = procs
+                    .iter()
+                    .map(|p| Box::new(BarrierOp::new(p)) as Box<dyn CollectiveOp>)
+                    .collect();
+                run_collective_sim(&world, &mut procs, &mut ops);
+                assert!(ops.iter().all(|o| o.is_done()), "{} n={n}", kind.label());
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_delivers_payload_to_every_rank() {
+        for root in [0usize, 2] {
+            let n = 5;
+            let (world, mut procs) =
+                sim_cluster(n, nic::mx_myri10g(), EngineKind::MadMpi(StrategyKind::Aggreg));
+            let payload = b"broadcast body".to_vec();
+            let mut ops: Vec<BcastOp> = procs
+                .iter()
+                .map(|p| {
+                    let data = (p.rank() == root).then(|| payload.clone());
+                    BcastOp::new(p, root, data, 64)
+                })
+                .collect();
+            crate::cluster::pump_cluster(&world, &mut procs, |procs| {
+                let mut all = true;
+                for (proc, op) in procs.iter_mut().zip(ops.iter_mut()) {
+                    all &= op.advance(proc);
+                }
+                all
+            });
+            for mut op in ops {
+                assert_eq!(op.take_result().unwrap(), payload, "root={root}");
+            }
+        }
+    }
+
+
+    #[test]
+    fn gather_collects_rank_contributions_in_order() {
+        let n = 5;
+        let (world, mut procs) =
+            sim_cluster(n, nic::mx_myri10g(), EngineKind::MadMpi(StrategyKind::Aggreg));
+        let mut ops: Vec<GatherOp> = procs
+            .iter()
+            .map(|p| GatherOp::new(p, 1, vec![p.rank() as u8; 4 + p.rank()], 64))
+            .collect();
+        crate::cluster::pump_cluster(&world, &mut procs, |procs| {
+            let mut all = true;
+            for (proc, op) in procs.iter_mut().zip(ops.iter_mut()) {
+                all &= op.advance(proc);
+            }
+            all
+        });
+        let gathered = ops[1].take_result().expect("root result");
+        for (rank, part) in gathered.iter().enumerate() {
+            assert_eq!(part, &vec![rank as u8; 4 + rank]);
+        }
+        assert!(ops[0].take_result().is_none() || 0 == 1, "only root gets data");
+    }
+
+    #[test]
+    fn allreduce_sums_on_every_rank() {
+        fn sum_fold(acc: &mut Vec<u8>, other: &[u8]) {
+            let a = u64::from_le_bytes(acc.as_slice().try_into().expect("8 bytes"));
+            let b = u64::from_le_bytes(other.try_into().expect("8 bytes"));
+            *acc = (a + b).to_le_bytes().to_vec();
+        }
+        let n = 6;
+        let (world, mut procs) =
+            sim_cluster(n, nic::quadrics_qm500(), EngineKind::MadMpi(StrategyKind::Aggreg));
+        let mut ops: Vec<AllreduceOp> = procs
+            .iter()
+            .map(|p| {
+                AllreduceOp::new(p, ((p.rank() as u64) + 1).to_le_bytes().to_vec(), sum_fold, 8)
+            })
+            .collect();
+        crate::cluster::pump_cluster(&world, &mut procs, |procs| {
+            let mut all = true;
+            for (proc, op) in procs.iter_mut().zip(ops.iter_mut()) {
+                all &= op.advance(proc);
+            }
+            all
+        });
+        let expected: u64 = (1..=n as u64).sum();
+        for mut op in ops {
+            let out = op.take_result().expect("all ranks get the result");
+            assert_eq!(u64::from_le_bytes(out.as_slice().try_into().unwrap()), expected);
+        }
+    }
+
+    #[test]
+    fn gather_single_rank_completes_immediately() {
+        let (_, procs) =
+            sim_cluster(1, nic::mx_myri10g(), EngineKind::MadMpi(StrategyKind::Aggreg));
+        let mut op = GatherOp::new(&procs[0], 0, vec![7], 8);
+        assert!(op.is_done());
+        assert_eq!(op.take_result().unwrap(), vec![vec![7]]);
+    }
+
+    #[test]
+    fn alltoall_exchanges_personalized_payloads() {
+        let n = 4;
+        let (world, mut procs) =
+            sim_cluster(n, nic::mx_myri10g(), EngineKind::MadMpi(StrategyKind::Aggreg));
+        let mut ops: Vec<AlltoallOp> = procs
+            .iter()
+            .map(|p| {
+                let inputs: Vec<Vec<u8>> = (0..n)
+                    .map(|dst| vec![(p.rank() * 10 + dst) as u8; 8])
+                    .collect();
+                AlltoallOp::new(p, inputs, 16)
+            })
+            .collect();
+        crate::cluster::pump_cluster(&world, &mut procs, |procs| {
+            let mut all = true;
+            for (proc, op) in procs.iter_mut().zip(ops.iter_mut()) {
+                all &= op.advance(proc);
+            }
+            all
+        });
+        for (me, mut op) in ops.into_iter().enumerate() {
+            let outputs = op.take_result().expect("done");
+            for (src, out) in outputs.iter().enumerate() {
+                assert_eq!(out, &vec![(src * 10 + me) as u8; 8], "rank {me} from {src}");
+            }
+        }
+    }
+
+
+    #[test]
+    fn allgather_gives_every_rank_everything() {
+        let n = 5;
+        let (world, mut procs) =
+            sim_cluster(n, nic::mx_myri10g(), EngineKind::MadMpi(StrategyKind::Aggreg));
+        let mut ops: Vec<AllgatherOp> = procs
+            .iter()
+            .map(|p| AllgatherOp::new(p, vec![p.rank() as u8 + 1; 3 + p.rank()], 16))
+            .collect();
+        crate::cluster::pump_cluster(&world, &mut procs, |procs| {
+            let mut all = true;
+            for (p, op) in procs.iter_mut().zip(ops.iter_mut()) {
+                all &= op.advance(p);
+            }
+            all
+        });
+        for mut op in ops {
+            let parts = op.take_result().expect("done everywhere");
+            assert_eq!(parts.len(), n);
+            for (rank, part) in parts.iter().enumerate() {
+                assert_eq!(part, &vec![rank as u8 + 1; 3 + rank]);
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_distributes_root_slices() {
+        let n = 4;
+        let root = 2;
+        let (world, mut procs) =
+            sim_cluster(n, nic::quadrics_qm500(), EngineKind::MadMpi(StrategyKind::Aggreg));
+        let mut ops: Vec<ScatterOp> = procs
+            .iter()
+            .map(|p| {
+                let inputs = if p.rank() == root {
+                    (0..n).map(|r| vec![r as u8 * 3; 5]).collect()
+                } else {
+                    Vec::new()
+                };
+                ScatterOp::new(p, root, inputs, 16)
+            })
+            .collect();
+        crate::cluster::pump_cluster(&world, &mut procs, |procs| {
+            let mut all = true;
+            for (p, op) in procs.iter_mut().zip(ops.iter_mut()) {
+                all &= op.advance(p);
+            }
+            all
+        });
+        for (rank, mut op) in ops.into_iter().enumerate() {
+            assert_eq!(op.take_result().unwrap(), vec![rank as u8 * 3; 5]);
+        }
+    }
+
+
+    #[test]
+    fn comm_split_partitions_and_isolates() {
+        let n = 6;
+        let (world, mut procs) =
+            sim_cluster(n, nic::mx_myri10g(), EngineKind::MadMpi(StrategyKind::Aggreg));
+        let parent = procs[0].comm_world();
+        // Split into even/odd; key reverses the order within evens.
+        let mut ops: Vec<CommSplitOp> = procs
+            .iter()
+            .map(|p| {
+                let color = (p.rank() % 2) as i32;
+                let key = if color == 0 { -(p.rank() as i32) } else { p.rank() as i32 };
+                CommSplitOp::new(p, parent, color, key)
+            })
+            .collect();
+        crate::cluster::pump_cluster(&world, &mut procs, |procs| {
+            let mut all = true;
+            for (p, op) in procs.iter_mut().zip(ops.iter_mut()) {
+                all &= op.advance(p);
+            }
+            all
+        });
+        let comms: Vec<Comm> = ops.iter_mut().map(|o| o.take_result().unwrap()).collect();
+
+        // Groups: evens reversed by key, odds ascending.
+        assert_eq!(procs[0].comm_group(comms[0]), &[4, 2, 0]);
+        assert_eq!(procs[1].comm_group(comms[1]), &[1, 3, 5]);
+        assert_eq!(procs[4].comm_rank(comms[4]), 0, "rank 4 leads the evens");
+        assert_eq!(procs[0].comm_size(comms[0]), 3);
+
+        // Exchange within the odd subcomm using subcomm ranks.
+        let odd = comms[1];
+        let s = procs[1].isend(odd, 2, 7, &b"to-odd-rank-2"[..]); // global rank 5
+        let r = procs[5].irecv(odd, 0, 7, 32); // from odd rank 0 = global 1
+        crate::cluster::pump_cluster(&world, &mut procs, |p| p[5].test(r));
+        assert_eq!(procs[5].take(r).unwrap(), b"to-odd-rank-2");
+        let _ = s;
+
+        // Isolation: the same (rank, tag) on the parent does not match
+        // subcomm traffic.
+        let s2 = procs[1].isend(odd, 1, 9, &b"subcomm"[..]); // to global 3
+        let r_wrong = procs[3].irecv(parent, 1, 9, 32);
+        let r_right = procs[3].irecv(odd, 0, 9, 32);
+        crate::cluster::pump_cluster(&world, &mut procs, |p| p[3].test(r_right));
+        assert_eq!(procs[3].take(r_right).unwrap(), b"subcomm");
+        assert!(!procs[3].test(r_wrong), "parent-comm receive must not match");
+        let _ = s2;
+    }
+
+    #[test]
+    fn comm_split_single_color_is_a_dup_with_reordering() {
+        let n = 4;
+        let (world, mut procs) =
+            sim_cluster(n, nic::quadrics_qm500(), EngineKind::MadMpi(StrategyKind::Aggreg));
+        let parent = procs[0].comm_world();
+        // Same color everywhere, key = -rank: the new comm reverses ranks.
+        let mut ops: Vec<CommSplitOp> = procs
+            .iter()
+            .map(|p| CommSplitOp::new(p, parent, 7, -(p.rank() as i32)))
+            .collect();
+        crate::cluster::pump_cluster(&world, &mut procs, |procs| {
+            let mut all = true;
+            for (p, op) in procs.iter_mut().zip(ops.iter_mut()) {
+                all &= op.advance(p);
+            }
+            all
+        });
+        let comm = ops[0].take_result().unwrap();
+        assert_eq!(procs[0].comm_group(comm), &[3, 2, 1, 0]);
+        assert_eq!(procs[3].comm_rank(comm), 0);
+    }
+
+
+    #[test]
+    fn reduce_folds_at_the_root_only() {
+        fn sum_fold(acc: &mut Vec<u8>, other: &[u8]) {
+            let a = u32::from_le_bytes(acc.as_slice().try_into().expect("4 bytes"));
+            let b = u32::from_le_bytes(other.try_into().expect("4 bytes"));
+            *acc = (a + b).to_le_bytes().to_vec();
+        }
+        let n = 5;
+        let root = 3;
+        let (world, mut procs) =
+            sim_cluster(n, nic::mx_myri10g(), EngineKind::MadMpi(StrategyKind::Aggreg));
+        let mut ops: Vec<ReduceOp> = procs
+            .iter()
+            .map(|p| {
+                ReduceOp::new(p, root, ((p.rank() as u32) * 10).to_le_bytes().to_vec(), sum_fold, 4)
+            })
+            .collect();
+        crate::cluster::pump_cluster(&world, &mut procs, |procs| {
+            let mut all = true;
+            for (p, op) in procs.iter_mut().zip(ops.iter_mut()) {
+                all &= op.advance(p);
+            }
+            all
+        });
+        for (rank, mut op) in ops.into_iter().enumerate() {
+            let out = op.take_result();
+            if rank == root {
+                let sum: u32 = (0..n as u32).map(|r| r * 10).sum();
+                assert_eq!(u32::from_le_bytes(out.unwrap().as_slice().try_into().unwrap()), sum);
+            } else {
+                assert!(out.is_none(), "non-roots get no result");
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_actually_synchronizes() {
+        // Rank 0 delays (big CPU charge); the barrier must not complete
+        // before that charge has elapsed on the virtual clock.
+        let (world, mut procs) =
+            sim_cluster(3, nic::mx_myri10g(), EngineKind::MadMpi(StrategyKind::Aggreg));
+        let delay_us = 5_000.0;
+        world.lock().charge_cpu(
+            nmad_sim::NodeId(0),
+            nmad_sim::SimDuration::from_us_f64(delay_us),
+        );
+        let mut ops: Vec<Box<dyn CollectiveOp>> = procs
+            .iter()
+            .map(|p| Box::new(BarrierOp::new(p)) as Box<dyn CollectiveOp>)
+            .collect();
+        run_collective_sim(&world, &mut procs, &mut ops);
+        let t = world.lock().now();
+        assert!(
+            t.as_us_f64() >= delay_us,
+            "barrier completed at {t} before the slow rank caught up"
+        );
+    }
+}

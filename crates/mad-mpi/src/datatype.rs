@@ -1,0 +1,392 @@
+//! MPI derived datatypes (§3.4, §5.3).
+//!
+//! A derived datatype describes noncontiguous memory: a list of (offset,
+//! length) blocks within an *extent*. The paper's fig. 4 experiment uses
+//! an indexed type alternating one small block (64 B) and one large
+//! block (256 KB).
+//!
+//! How a datatype is transmitted is the point of the experiment:
+//!
+//! * the baselines **pack** every block into one contiguous buffer
+//!   (one memcpy of the full payload), send it as a single message, and
+//!   **unpack** on the receiver (a second full memcpy);
+//! * MAD-MPI generates *one engine segment per block*, letting the
+//!   scheduler aggregate the small blocks (with reordering) alongside
+//!   the large blocks' rendezvous handshakes, and land the large blocks
+//!   zero-copy at their final offsets.
+
+use std::fmt;
+
+/// A committed datatype: resolved block layout within one extent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Datatype {
+    blocks: Vec<(usize, usize)>,
+    extent: usize,
+}
+
+/// Construction errors.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DatatypeError {
+    /// Blocks must lie inside the extent.
+    BlockOutOfExtent {
+        /// Offending block's offset.
+        offset: usize,
+        /// Offending block's length.
+        len: usize,
+        /// The datatype's declared extent.
+        extent: usize,
+    },
+    /// Blocks must be sorted and non-overlapping.
+    OverlappingBlocks {
+        /// Index of the offending block.
+        at: usize,
+    },
+}
+
+impl fmt::Display for DatatypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatatypeError::BlockOutOfExtent { offset, len, extent } => write!(
+                f,
+                "block [{offset}, {offset}+{len}) exceeds extent {extent}"
+            ),
+            DatatypeError::OverlappingBlocks { at } => {
+                write!(f, "block {at} overlaps or precedes its predecessor")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatatypeError {}
+
+impl Datatype {
+    /// A contiguous run of `len` bytes (the trivial datatype).
+    pub fn contiguous(len: usize) -> Self {
+        Datatype {
+            blocks: if len == 0 { vec![] } else { vec![(0, len)] },
+            extent: len,
+        }
+    }
+
+    /// MPI_Type_vector in bytes: `count` blocks of `blocklen` bytes,
+    /// starting `stride` bytes apart (`stride ≥ blocklen`).
+    pub fn vector(count: usize, blocklen: usize, stride: usize) -> Result<Self, DatatypeError> {
+        assert!(stride >= blocklen, "stride smaller than block length");
+        let blocks: Vec<_> = (0..count).map(|i| (i * stride, blocklen)).collect();
+        let extent = if count == 0 {
+            0
+        } else {
+            (count - 1) * stride + blocklen
+        };
+        Self::indexed_with_extent(blocks, extent)
+    }
+
+    /// MPI_Type_indexed in bytes: explicit (offset, len) blocks, sorted
+    /// by offset and non-overlapping.
+    pub fn indexed(blocks: Vec<(usize, usize)>) -> Result<Self, DatatypeError> {
+        let extent = blocks.iter().map(|&(o, l)| o + l).max().unwrap_or(0);
+        Self::indexed_with_extent(blocks, extent)
+    }
+
+    /// Indexed type with an explicit (possibly padded) extent.
+    pub fn indexed_with_extent(
+        blocks: Vec<(usize, usize)>,
+        extent: usize,
+    ) -> Result<Self, DatatypeError> {
+        let mut high = 0usize;
+        for (i, &(offset, len)) in blocks.iter().enumerate() {
+            if offset + len > extent {
+                return Err(DatatypeError::BlockOutOfExtent { offset, len, extent });
+            }
+            if offset < high {
+                return Err(DatatypeError::OverlappingBlocks { at: i });
+            }
+            high = offset + len;
+        }
+        Ok(Datatype { blocks, extent })
+    }
+
+    /// `count` copies of `child` placed back to back (MPI_Type_contiguous
+    /// over a derived type).
+    pub fn contiguous_of(count: usize, child: &Datatype) -> Self {
+        Self::hvector(count, child.extent(), child).expect("back-to-back copies cannot overlap")
+    }
+
+    /// `count` copies of `child` placed `stride` bytes apart
+    /// (MPI_Type_create_hvector over a derived type; `stride ≥
+    /// child.extent()`).
+    pub fn hvector(count: usize, stride: usize, child: &Datatype) -> Result<Self, DatatypeError> {
+        let mut blocks = Vec::with_capacity(count * child.block_count());
+        for i in 0..count {
+            let base = i * stride;
+            for &(offset, len) in child.blocks() {
+                blocks.push((base + offset, len));
+            }
+        }
+        let extent = if count == 0 {
+            0
+        } else {
+            (count - 1) * stride + child.extent()
+        };
+        Self::indexed_with_extent(Self::merge_adjacent(blocks), extent)
+    }
+
+    /// A structure: each child datatype placed at its field offset
+    /// (MPI_Type_create_struct). Fields must be sorted by offset and
+    /// non-overlapping.
+    pub fn struct_of(fields: &[(usize, Datatype)]) -> Result<Self, DatatypeError> {
+        let mut blocks = Vec::new();
+        let mut extent = 0usize;
+        for (field_offset, child) in fields {
+            for &(offset, len) in child.blocks() {
+                blocks.push((field_offset + offset, len));
+            }
+            extent = extent.max(field_offset + child.extent());
+        }
+        Self::indexed_with_extent(Self::merge_adjacent(blocks), extent)
+    }
+
+    /// Coalesces blocks that touch (`a.end == b.start`) so nested
+    /// constructions do not fragment contiguous memory into many tiny
+    /// wire segments.
+    fn merge_adjacent(blocks: Vec<(usize, usize)>) -> Vec<(usize, usize)> {
+        let mut out: Vec<(usize, usize)> = Vec::with_capacity(blocks.len());
+        for (offset, len) in blocks {
+            if len == 0 {
+                continue;
+            }
+            if let Some(last) = out.last_mut() {
+                if last.0 + last.1 == offset {
+                    last.1 += len;
+                    continue;
+                }
+            }
+            out.push((offset, len));
+        }
+        out
+    }
+
+    /// The fig. 4 workload: `pairs` repetitions of one `small`-byte
+    /// block followed by one `large`-byte block, tightly packed.
+    pub fn alternating(small: usize, large: usize, pairs: usize) -> Self {
+        let mut blocks = Vec::with_capacity(2 * pairs);
+        let mut at = 0;
+        for _ in 0..pairs {
+            blocks.push((at, small));
+            at += small;
+            blocks.push((at, large));
+            at += large;
+        }
+        Self::indexed(blocks).expect("constructed blocks are sorted and disjoint")
+    }
+
+    /// Resolved (offset, len) block list.
+    pub fn blocks(&self) -> &[(usize, usize)] {
+        &self.blocks
+    }
+
+    /// Bytes of actual payload (sum of block lengths).
+    pub fn total_bytes(&self) -> usize {
+        self.blocks.iter().map(|&(_, l)| l).sum()
+    }
+
+    /// Span of the described memory region.
+    pub fn extent(&self) -> usize {
+        self.extent
+    }
+
+    /// Block count.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Gathers the blocks of `src` (an extent-sized region) into one
+    /// contiguous buffer — the baselines' send-side behaviour.
+    pub fn pack(&self, src: &[u8]) -> Vec<u8> {
+        assert!(
+            src.len() >= self.extent,
+            "source region smaller than the datatype extent"
+        );
+        let mut out = Vec::with_capacity(self.total_bytes());
+        for &(offset, len) in &self.blocks {
+            out.extend_from_slice(&src[offset..offset + len]);
+        }
+        out
+    }
+
+    /// Scatters a packed buffer back into an extent-sized region (gaps
+    /// zeroed) — the baselines' receive-side behaviour.
+    pub fn unpack(&self, packed: &[u8]) -> Vec<u8> {
+        assert_eq!(
+            packed.len(),
+            self.total_bytes(),
+            "packed buffer length mismatch"
+        );
+        let mut out = vec![0u8; self.extent];
+        let mut at = 0;
+        for &(offset, len) in &self.blocks {
+            out[offset..offset + len].copy_from_slice(&packed[at..at + len]);
+            at += len;
+        }
+        out
+    }
+
+    /// Scatters per-block payloads into an extent-sized region — the
+    /// MAD-MPI receive-side assembly (each block arrived as its own
+    /// segment).
+    pub fn scatter_blocks(&self, parts: &[Vec<u8>]) -> Vec<u8> {
+        assert_eq!(parts.len(), self.blocks.len(), "block count mismatch");
+        let mut out = vec![0u8; self.extent];
+        for (&(offset, len), part) in self.blocks.iter().zip(parts) {
+            assert_eq!(part.len(), len, "block length mismatch at offset {offset}");
+            out[offset..offset + len].copy_from_slice(part);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_is_one_block() {
+        let t = Datatype::contiguous(100);
+        assert_eq!(t.blocks(), &[(0, 100)]);
+        assert_eq!(t.total_bytes(), 100);
+        assert_eq!(t.extent(), 100);
+        assert_eq!(Datatype::contiguous(0).block_count(), 0);
+    }
+
+    #[test]
+    fn vector_layout_matches_mpi_semantics() {
+        let t = Datatype::vector(3, 4, 10).unwrap();
+        assert_eq!(t.blocks(), &[(0, 4), (10, 4), (20, 4)]);
+        assert_eq!(t.extent(), 24);
+        assert_eq!(t.total_bytes(), 12);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_preserves_blocks_and_zeroes_gaps() {
+        let t = Datatype::vector(3, 2, 5).unwrap();
+        let src: Vec<u8> = (0..t.extent() as u8).collect();
+        let packed = t.pack(&src);
+        assert_eq!(packed, vec![0, 1, 5, 6, 10, 11]);
+        let back = t.unpack(&packed);
+        for &(offset, len) in t.blocks() {
+            assert_eq!(&back[offset..offset + len], &src[offset..offset + len]);
+        }
+        // Gap bytes are zeroed, not copied.
+        assert_eq!(back[2], 0);
+        assert_eq!(back[3], 0);
+    }
+
+    #[test]
+    fn alternating_matches_the_fig4_workload() {
+        let t = Datatype::alternating(64, 256 * 1024, 4);
+        assert_eq!(t.block_count(), 8);
+        assert_eq!(t.total_bytes(), 4 * (64 + 256 * 1024));
+        assert_eq!(t.blocks()[0], (0, 64));
+        assert_eq!(t.blocks()[1], (64, 256 * 1024));
+    }
+
+    #[test]
+    fn scatter_blocks_reassembles_typed_receive() {
+        let t = Datatype::indexed(vec![(0, 2), (5, 3)]).unwrap();
+        let out = t.scatter_blocks(&[vec![1, 2], vec![7, 8, 9]]);
+        assert_eq!(out, vec![1, 2, 0, 0, 0, 7, 8, 9]);
+    }
+
+
+    #[test]
+    fn hvector_of_indexed_flattens_and_nests() {
+        // child: two blocks [0,2) and [5,8) in an extent of 10.
+        let child = Datatype::indexed_with_extent(vec![(0, 2), (5, 3)], 10).unwrap();
+        let t = Datatype::hvector(3, 16, &child).unwrap();
+        assert_eq!(
+            t.blocks(),
+            &[(0, 2), (5, 3), (16, 2), (21, 3), (32, 2), (37, 3)]
+        );
+        assert_eq!(t.extent(), 2 * 16 + 10);
+        assert_eq!(t.total_bytes(), 15);
+    }
+
+    #[test]
+    fn contiguous_of_merges_touching_blocks() {
+        let child = Datatype::contiguous(8);
+        let t = Datatype::contiguous_of(4, &child);
+        // Four back-to-back 8-byte runs merge into one 32-byte block.
+        assert_eq!(t.blocks(), &[(0, 32)]);
+        assert_eq!(t.extent(), 32);
+    }
+
+    #[test]
+    fn struct_of_places_fields_at_offsets() {
+        let header = Datatype::contiguous(4);
+        let body = Datatype::vector(2, 3, 8).unwrap();
+        let t = Datatype::struct_of(&[(0, header), (8, body)]).unwrap();
+        assert_eq!(t.blocks(), &[(0, 4), (8, 3), (16, 3)]);
+        assert_eq!(t.extent(), 8 + 11);
+    }
+
+    #[test]
+    fn struct_of_rejects_overlapping_fields() {
+        let a = Datatype::contiguous(8);
+        let b = Datatype::contiguous(8);
+        assert!(matches!(
+            Datatype::struct_of(&[(0, a), (4, b)]),
+            Err(DatatypeError::OverlappingBlocks { .. })
+        ));
+    }
+
+    #[test]
+    fn nested_pack_unpack_roundtrips() {
+        // struct { u32 tag; padding; [block; 3] } repeated 5 times.
+        let element = Datatype::struct_of(&[
+            (0, Datatype::contiguous(4)),
+            (8, Datatype::vector(3, 2, 4).unwrap()),
+        ])
+        .unwrap();
+        let t = Datatype::hvector(5, 24, &element).unwrap();
+        let src: Vec<u8> = (0..t.extent()).map(|i| (i % 251) as u8).collect();
+        let packed = t.pack(&src);
+        assert_eq!(packed.len(), t.total_bytes());
+        let back = t.unpack(&packed);
+        for &(offset, len) in t.blocks() {
+            assert_eq!(&back[offset..offset + len], &src[offset..offset + len]);
+        }
+    }
+
+    #[test]
+    fn hvector_zero_count_is_empty() {
+        let child = Datatype::contiguous(8);
+        let t = Datatype::hvector(0, 16, &child).unwrap();
+        assert_eq!(t.total_bytes(), 0);
+        assert_eq!(t.extent(), 0);
+    }
+
+    #[test]
+    fn invalid_layouts_are_rejected() {
+        assert_eq!(
+            Datatype::indexed_with_extent(vec![(0, 10)], 5).unwrap_err(),
+            DatatypeError::BlockOutOfExtent {
+                offset: 0,
+                len: 10,
+                extent: 5
+            }
+        );
+        assert_eq!(
+            Datatype::indexed(vec![(0, 5), (3, 2)]).unwrap_err(),
+            DatatypeError::OverlappingBlocks { at: 1 }
+        );
+    }
+
+    #[test]
+    fn empty_datatype_is_consistent() {
+        let t = Datatype::indexed(vec![]).unwrap();
+        assert_eq!(t.total_bytes(), 0);
+        assert_eq!(t.extent(), 0);
+        assert_eq!(t.pack(&[]), Vec::<u8>::new());
+        assert_eq!(t.unpack(&[]), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,261 @@
+//! Application programming interfaces (§3.4).
+//!
+//! The primary interface mirrors the historical MADELEINE one: a message
+//! is built *incrementally* out of several pieces of data located
+//! anywhere in user space, between a begin and an end call. Each packed
+//! piece becomes one engine segment, which is what gives the scheduler
+//! its freedom: pieces may be aggregated with pieces of other messages,
+//! reordered, or switched to the rendezvous protocol independently.
+//!
+//! ```
+//! # use nmad_core::prelude::*;
+//! # use nmad_sim::{nic, shared_world, SimConfig, NodeId, RailId};
+//! # use nmad_net::sim::SimDriver;
+//! # let world = shared_world(SimConfig::two_nodes(nic::mx_myri10g()));
+//! # let d0 = SimDriver::new(world.clone(), NodeId(0), RailId(0));
+//! # let m0 = Box::new(d0.meter());
+//! # let mut engine = NmadEngine::new(vec![Box::new(d0)], m0, Box::new(StratAggreg), EngineCosts::zero());
+//! let req = engine
+//!     .message_to(NodeId(1), Tag(7))
+//!     .pack(&b"header"[..])
+//!     .pack(&b"body"[..])
+//!     .finish();
+//! ```
+//!
+//! A second, MPI-flavoured interface ([`NmadEngine::isend`] /
+//! [`NmadEngine::post_recv`]) maps one request to one segment; MAD-MPI
+//! builds on it.
+
+use bytes::Bytes;
+
+use crate::engine::NmadEngine;
+use crate::matching::RecvDone;
+use crate::segment::{Priority, RecvReqId, SendReqId, Tag};
+use nmad_sim::NodeId;
+
+/// Incremental builder for an outgoing message (Madeleine's
+/// `begin_packing` … `pack` … `end_packing`).
+pub struct SendMessage<'e> {
+    engine: &'e mut NmadEngine,
+    dst: NodeId,
+    tag: Tag,
+    parts: Vec<(Bytes, Priority)>,
+    rail_hint: Option<usize>,
+}
+
+impl<'e> SendMessage<'e> {
+    /// Appends one piece of data as a normal-priority segment.
+    pub fn pack(self, data: impl Into<Bytes>) -> Self {
+        self.pack_priority(data, Priority::Normal)
+    }
+
+    /// Appends one piece with an explicit scheduling priority (a
+    /// high-priority piece — e.g. an RPC service id — may be delivered
+    /// earlier by reordering strategies).
+    pub fn pack_priority(mut self, data: impl Into<Bytes>, priority: Priority) -> Self {
+        self.parts.push((data.into(), priority));
+        self
+    }
+
+    /// Pins the whole message onto one NIC's dedicated list instead of
+    /// the load-balanced common list (§3.3).
+    pub fn via_rail(mut self, nic_index: usize) -> Self {
+        self.rail_hint = Some(nic_index);
+        self
+    }
+
+    /// Ends the message: every packed piece is handed to the collect
+    /// layer. The returned request completes when all pieces have left
+    /// the host.
+    pub fn finish(self) -> SendReqId {
+        self.engine
+            .submit_send_parts(self.dst, self.tag, self.parts, self.rail_hint)
+    }
+}
+
+/// Incremental builder for an incoming message: one `unpack` per piece
+/// the sender packed, in the same order.
+pub struct RecvMessage<'e> {
+    engine: &'e mut NmadEngine,
+    src: NodeId,
+    tag: Tag,
+    reqs: Vec<RecvReqId>,
+}
+
+impl<'e> RecvMessage<'e> {
+    /// Posts the receive of the next piece (at most `max` bytes).
+    pub fn unpack(mut self, max: usize) -> Self {
+        let req = self.engine.post_recv(self.src, self.tag, max);
+        self.reqs.push(req);
+        self
+    }
+
+    /// Ends the message, returning a handle over all pieces.
+    pub fn finish(self) -> RecvHandle {
+        RecvHandle { reqs: self.reqs }
+    }
+}
+
+/// Completion handle over the pieces of one incoming message.
+#[derive(Debug, Clone)]
+pub struct RecvHandle {
+    reqs: Vec<RecvReqId>,
+}
+
+impl RecvHandle {
+    /// The per-piece receive requests, in pack order.
+    pub fn requests(&self) -> &[RecvReqId] {
+        &self.reqs
+    }
+
+    /// True once every piece has arrived.
+    pub fn is_done(&self, engine: &NmadEngine) -> bool {
+        self.reqs.iter().all(|&r| engine.is_recv_done(r))
+    }
+
+    /// Takes every piece's payload, in pack order. Call only after
+    /// [`is_done`](Self::is_done).
+    pub fn take_all(&self, engine: &mut NmadEngine) -> Vec<RecvDone> {
+        self.reqs
+            .iter()
+            .map(|&r| {
+                engine
+                    .try_take_recv(r)
+                    .expect("take_all called before completion")
+            })
+            .collect()
+    }
+}
+
+impl NmadEngine {
+    /// Begins building an outgoing message towards `dst` on flow `tag`.
+    pub fn message_to(&mut self, dst: NodeId, tag: Tag) -> SendMessage<'_> {
+        SendMessage {
+            engine: self,
+            dst,
+            tag,
+            parts: Vec::new(),
+            rail_hint: None,
+        }
+    }
+
+    /// Begins consuming an incoming message from `src` on flow `tag`.
+    pub fn message_from(&mut self, src: NodeId, tag: Tag) -> RecvMessage<'_> {
+        RecvMessage {
+            engine: self,
+            src,
+            tag,
+            reqs: Vec::new(),
+        }
+    }
+
+    /// Spins this engine's progress loop until the send completes.
+    ///
+    /// Only meaningful on *real* transports (TCP, mem): on simulated
+    /// transports time does not advance inside one engine, use the
+    /// co-simulation runner instead.
+    pub fn wait_send(&mut self, req: SendReqId) {
+        while !self.is_send_done(req) {
+            if !self.progress() {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Spins this engine's progress loop until the receive completes
+    /// and returns its payload. Same transport caveat as
+    /// [`wait_send`](Self::wait_send).
+    pub fn wait_recv(&mut self, req: RecvReqId) -> RecvDone {
+        loop {
+            if let Some(done) = self.try_take_recv(req) {
+                return done;
+            }
+            if !self.progress() {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineCosts;
+    use crate::strategy::StratAggreg;
+    use nmad_net::mem::mem_fabric;
+
+    fn mem_pair() -> (NmadEngine, NmadEngine) {
+        let mut fabric = mem_fabric(2);
+        let b = fabric.pop().expect("two endpoints");
+        let a = fabric.pop().expect("two endpoints");
+        let mk = |d: nmad_net::MemDriver| {
+            NmadEngine::new(
+                vec![Box::new(d)],
+                Box::new(nmad_net::NullMeter),
+                Box::new(StratAggreg),
+                EngineCosts::zero(),
+            )
+        };
+        (mk(a), mk(b))
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_over_mem_driver() {
+        let (mut a, mut b) = mem_pair();
+        let req = a
+            .message_to(NodeId(1), Tag(1))
+            .pack(&b"alpha"[..])
+            .pack(&b"beta"[..])
+            .pack(&b"gamma"[..])
+            .finish();
+        let handle = b
+            .message_from(NodeId(0), Tag(1))
+            .unpack(16)
+            .unpack(16)
+            .unpack(16)
+            .finish();
+        a.wait_send(req);
+        while !handle.is_done(&b) {
+            b.progress();
+        }
+        let pieces = handle.take_all(&mut b);
+        let texts: Vec<&[u8]> = pieces.iter().map(|p| p.data.as_slice()).collect();
+        assert_eq!(texts, vec![&b"alpha"[..], &b"beta"[..], &b"gamma"[..]]);
+    }
+
+    #[test]
+    fn priority_pack_is_accepted() {
+        let (mut a, mut b) = mem_pair();
+        let req = a
+            .message_to(NodeId(1), Tag(2))
+            .pack_priority(&b"service-id"[..], Priority::High)
+            .pack(&b"args"[..])
+            .finish();
+        let handle = b
+            .message_from(NodeId(0), Tag(2))
+            .unpack(32)
+            .unpack(32)
+            .finish();
+        a.wait_send(req);
+        while !handle.is_done(&b) {
+            b.progress();
+        }
+        assert_eq!(handle.take_all(&mut b)[0].data, b"service-id");
+    }
+
+    #[test]
+    fn wait_recv_returns_payload() {
+        let (mut a, mut b) = mem_pair();
+        let s = a.isend(NodeId(1), Tag(0), &b"blocking"[..]);
+        let r = b.post_recv(NodeId(0), Tag(0), 32);
+        a.wait_send(s);
+        assert_eq!(b.wait_recv(r).data, b"blocking");
+    }
+
+    #[test]
+    fn empty_message_completes_immediately() {
+        let (mut a, _b) = mem_pair();
+        let req = a.message_to(NodeId(1), Tag(0)).finish();
+        assert!(a.is_send_done(req));
+    }
+}

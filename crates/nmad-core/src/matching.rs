@@ -1,0 +1,432 @@
+//! Receiver-side matching and reassembly.
+//!
+//! Incoming entries are matched to posted receives by **(source, tag,
+//! sequence number)** — the metadata the collect layer stamped on every
+//! segment. Because identity is explicit, the scheduler is free to
+//! reorder and aggregate wire traffic arbitrarily; the receiver always
+//! reconstructs per-flow submission order.
+//!
+//! Protocol arrival cases handled here:
+//!
+//! * eager `Data` with a posted receive → landed in place by the NIC's
+//!   matching/scatter hardware (no host copy);
+//! * eager `Data` without a posted receive → *unexpected*: staged in a
+//!   bounce buffer (one copy), placed again when the receive arrives
+//!   (second copy) — exactly why eager is wrong for large segments;
+//! * `Rts` → reply CTS when the receive is posted, else park it;
+//! * `RdvData` chunks → written straight at their offset (zero-copy
+//!   when the NIC has RDMA; one copy otherwise), completion when every
+//!   byte of the announced total has landed.
+
+use crate::segment::{RecvReqId, SeqNo, Tag};
+use nmad_sim::NodeId;
+use std::collections::HashMap;
+
+/// Side effects the engine must apply after feeding an event in (CPU
+/// cost accounting and outgoing control traffic).
+#[derive(Debug, PartialEq, Eq)]
+pub enum Effect {
+    /// Account one memory copy of this many bytes.
+    ChargeCopy(usize),
+    /// Queue a CTS towards `dst` granting (tag, seq).
+    SendCts {
+        /// Destination node.
+        dst: NodeId,
+        /// Logical flow identifier.
+        tag: Tag,
+        /// Per-flow sequence number.
+        seq: SeqNo,
+        /// Announced total length in bytes.
+        total: u32,
+    },
+}
+
+/// A completed receive, ready for the application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecvDone {
+    /// Source node.
+    pub src: NodeId,
+    /// Logical flow identifier.
+    pub tag: Tag,
+    /// The received payload (possibly truncated).
+    pub data: Vec<u8>,
+    /// The sender's segment was larger than the posted buffer; `data`
+    /// holds the truncated prefix.
+    pub truncated: bool,
+}
+
+#[derive(Debug)]
+struct Slot {
+    req: RecvReqId,
+    max: usize,
+    /// Reassembly buffer, grown to the rendezvous total when granted.
+    buf: Vec<u8>,
+    /// Bytes of rendezvous payload landed so far.
+    received: usize,
+    /// Announced rendezvous total, once the RTS has been seen.
+    total: Option<usize>,
+    sender_len: usize,
+}
+
+/// Matching state of one engine (one node).
+#[derive(Debug, Default)]
+pub struct Matching {
+    posted: HashMap<(NodeId, Tag, SeqNo), Slot>,
+    next_seq: HashMap<(NodeId, Tag), SeqNo>,
+    unexpected: HashMap<(NodeId, Tag, SeqNo), Vec<u8>>,
+    pending_rts: HashMap<(NodeId, Tag, SeqNo), u32>,
+    done: HashMap<RecvReqId, RecvDone>,
+}
+
+impl Matching {
+    /// Creates empty matching state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Posts a receive of up to `max` bytes for the next segment of the
+    /// (src, tag) flow; returns the sequence number this receive will
+    /// match plus effects (an unexpected segment may complete it
+    /// immediately, a parked RTS may fire a CTS).
+    pub fn post_recv(
+        &mut self,
+        src: NodeId,
+        tag: Tag,
+        max: usize,
+        req: RecvReqId,
+    ) -> (SeqNo, Vec<Effect>) {
+        let seq_slot = self.next_seq.entry((src, tag)).or_insert(SeqNo(0));
+        let seq = *seq_slot;
+        *seq_slot = seq_slot.next();
+
+        let mut effects = Vec::new();
+        if let Some(staged) = self.unexpected.remove(&(src, tag, seq)) {
+            // Second copy: bounce buffer → application buffer.
+            effects.push(Effect::ChargeCopy(staged.len().min(max)));
+            let truncated = staged.len() > max;
+            let mut data = staged;
+            data.truncate(max);
+            self.done.insert(
+                req,
+                RecvDone {
+                    src,
+                    tag,
+                    data,
+                    truncated,
+                },
+            );
+            return (seq, effects);
+        }
+
+        let mut slot = Slot {
+            req,
+            max,
+            buf: Vec::new(),
+            received: 0,
+            total: None,
+            sender_len: 0,
+        };
+        if let Some(total) = self.pending_rts.remove(&(src, tag, seq)) {
+            Self::grant(&mut slot, total);
+            effects.push(Effect::SendCts {
+                dst: src,
+                tag,
+                seq,
+                total,
+            });
+        }
+        self.posted.insert((src, tag, seq), slot);
+        (seq, effects)
+    }
+
+    fn grant(slot: &mut Slot, total: u32) {
+        let total = total as usize;
+        slot.total = Some(total);
+        slot.sender_len = total;
+        slot.buf = vec![0u8; total.min(slot.max)];
+    }
+
+    /// Feeds an eager data entry.
+    pub fn on_data(
+        &mut self,
+        src: NodeId,
+        tag: Tag,
+        seq: SeqNo,
+        payload: &[u8],
+    ) -> Vec<Effect> {
+        match self.posted.remove(&(src, tag, seq)) {
+            Some(slot) => {
+                let truncated = payload.len() > slot.max;
+                let kept = payload.len().min(slot.max);
+                self.done.insert(
+                    slot.req,
+                    RecvDone {
+                        src,
+                        tag,
+                        data: payload[..kept].to_vec(),
+                        truncated,
+                    },
+                );
+                // Posted receive: the NIC's matching/scatter hardware
+                // lands the segment in place — no host copy (MX and
+                // Elan both match posted receives in hardware).
+                vec![]
+            }
+            None => {
+                // NIC buffer → bounce buffer; the matching copy out
+                // happens at post time.
+                self.unexpected
+                    .insert((src, tag, seq), payload.to_vec());
+                vec![Effect::ChargeCopy(payload.len())]
+            }
+        }
+    }
+
+    /// Feeds a rendezvous request-to-send.
+    pub fn on_rts(&mut self, src: NodeId, tag: Tag, seq: SeqNo, total: u32) -> Vec<Effect> {
+        match self.posted.get_mut(&(src, tag, seq)) {
+            Some(slot) => {
+                Self::grant(slot, total);
+                vec![Effect::SendCts {
+                    dst: src,
+                    tag,
+                    seq,
+                    total,
+                }]
+            }
+            None => {
+                self.pending_rts.insert((src, tag, seq), total);
+                vec![]
+            }
+        }
+    }
+
+    /// Feeds one rendezvous data chunk. `zero_copy` reflects the NIC's
+    /// RDMA capability: without it the chunk costs a copy out of the
+    /// bounce area.
+    pub fn on_rdv_chunk(
+        &mut self,
+        src: NodeId,
+        tag: Tag,
+        seq: SeqNo,
+        offset: u32,
+        payload: &[u8],
+        zero_copy: bool,
+    ) -> Vec<Effect> {
+        let key = (src, tag, seq);
+        let slot = self
+            .posted
+            .get_mut(&key)
+            .expect("rdv chunk for a never-granted segment (protocol bug)");
+        let total = slot
+            .total
+            .expect("rdv chunk before RTS grant (protocol bug)");
+        let offset = offset as usize;
+        // Place the bytes that fit in the application buffer.
+        if offset < slot.buf.len() {
+            let kept = payload.len().min(slot.buf.len() - offset);
+            slot.buf[offset..offset + kept].copy_from_slice(&payload[..kept]);
+        }
+        slot.received += payload.len();
+        assert!(
+            slot.received <= total,
+            "rendezvous over-delivery: {} of {total} bytes",
+            slot.received
+        );
+        let mut effects = Vec::new();
+        if !zero_copy {
+            effects.push(Effect::ChargeCopy(payload.len()));
+        }
+        if slot.received == total {
+            let slot = self.posted.remove(&key).expect("present");
+            let truncated = slot.sender_len > slot.max;
+            self.done.insert(
+                slot.req,
+                RecvDone {
+                    src,
+                    tag,
+                    data: slot.buf,
+                    truncated,
+                },
+            );
+        }
+        effects
+    }
+
+    /// Takes the completion of `req`, if ready.
+    pub fn try_take_done(&mut self, req: RecvReqId) -> Option<RecvDone> {
+        self.done.remove(&req)
+    }
+
+    /// True if `req` has completed (non-destructive).
+    pub fn is_done(&self, req: RecvReqId) -> bool {
+        self.done.contains_key(&req)
+    }
+
+    /// Number of unexpected segments currently staged (tests/metrics).
+    pub fn unexpected_count(&self) -> usize {
+        self.unexpected.len()
+    }
+
+    /// Non-destructive probe: length of the next segment of (src, tag)
+    /// if its arrival (eager payload) or announcement (rendezvous RTS)
+    /// has already been seen, without posting a receive.
+    pub fn probe(&self, src: NodeId, tag: Tag) -> Option<usize> {
+        let seq = self.next_seq.get(&(src, tag)).copied().unwrap_or(SeqNo(0));
+        if let Some(staged) = self.unexpected.get(&(src, tag, seq)) {
+            return Some(staged.len());
+        }
+        self.pending_rts
+            .get(&(src, tag, seq))
+            .map(|&total| total as usize)
+    }
+
+    /// Number of posted-but-incomplete receives (deadlock diagnosis).
+    pub fn posted_count(&self) -> usize {
+        self.posted.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: NodeId = NodeId(7);
+    const TAG: Tag = Tag(3);
+
+    #[test]
+    fn expected_eager_completes_copy_free() {
+        let mut m = Matching::new();
+        let fx = m.post_recv(SRC, TAG, 64, RecvReqId(1)).1;
+        assert!(fx.is_empty());
+        let fx = m.on_data(SRC, TAG, SeqNo(0), b"hello");
+        assert_eq!(fx, vec![], "posted receives land without a host copy");
+        let done = m.try_take_done(RecvReqId(1)).unwrap();
+        assert_eq!(done.data, b"hello");
+        assert!(!done.truncated);
+        assert!(m.try_take_done(RecvReqId(1)).is_none(), "taken once");
+    }
+
+    #[test]
+    fn unexpected_eager_pays_two_copies() {
+        let mut m = Matching::new();
+        let fx = m.on_data(SRC, TAG, SeqNo(0), b"early");
+        assert_eq!(fx, vec![Effect::ChargeCopy(5)]);
+        assert_eq!(m.unexpected_count(), 1);
+        let fx = m.post_recv(SRC, TAG, 64, RecvReqId(9)).1;
+        assert_eq!(fx, vec![Effect::ChargeCopy(5)]);
+        assert_eq!(m.try_take_done(RecvReqId(9)).unwrap().data, b"early");
+        assert_eq!(m.unexpected_count(), 0);
+    }
+
+    #[test]
+    fn out_of_order_arrival_matches_by_seq() {
+        let mut m = Matching::new();
+        m.post_recv(SRC, TAG, 64, RecvReqId(1)); // seq 0
+        m.post_recv(SRC, TAG, 64, RecvReqId(2)); // seq 1
+        // Wire reordered: seq 1 lands first.
+        m.on_data(SRC, TAG, SeqNo(1), b"second");
+        m.on_data(SRC, TAG, SeqNo(0), b"first");
+        assert_eq!(m.try_take_done(RecvReqId(1)).unwrap().data, b"first");
+        assert_eq!(m.try_take_done(RecvReqId(2)).unwrap().data, b"second");
+    }
+
+    #[test]
+    fn flows_are_isolated_by_tag_and_source() {
+        let mut m = Matching::new();
+        m.post_recv(SRC, Tag(1), 64, RecvReqId(1));
+        m.post_recv(SRC, Tag(2), 64, RecvReqId(2));
+        m.post_recv(NodeId(8), Tag(1), 64, RecvReqId(3));
+        m.on_data(NodeId(8), Tag(1), SeqNo(0), b"other-source");
+        m.on_data(SRC, Tag(2), SeqNo(0), b"tag-two");
+        m.on_data(SRC, Tag(1), SeqNo(0), b"tag-one");
+        assert_eq!(m.try_take_done(RecvReqId(1)).unwrap().data, b"tag-one");
+        assert_eq!(m.try_take_done(RecvReqId(2)).unwrap().data, b"tag-two");
+        assert_eq!(m.try_take_done(RecvReqId(3)).unwrap().data, b"other-source");
+    }
+
+    #[test]
+    fn rts_after_post_grants_immediately() {
+        let mut m = Matching::new();
+        m.post_recv(SRC, TAG, 1024, RecvReqId(1));
+        let fx = m.on_rts(SRC, TAG, SeqNo(0), 1000);
+        assert_eq!(
+            fx,
+            vec![Effect::SendCts {
+                dst: SRC,
+                tag: TAG,
+                seq: SeqNo(0),
+                total: 1000
+            }]
+        );
+    }
+
+    #[test]
+    fn rts_before_post_is_parked_until_post() {
+        let mut m = Matching::new();
+        assert!(m.on_rts(SRC, TAG, SeqNo(0), 500).is_empty());
+        let fx = m.post_recv(SRC, TAG, 1024, RecvReqId(1)).1;
+        assert_eq!(
+            fx,
+            vec![Effect::SendCts {
+                dst: SRC,
+                tag: TAG,
+                seq: SeqNo(0),
+                total: 500
+            }]
+        );
+    }
+
+    #[test]
+    fn rdv_chunks_reassemble_in_any_order() {
+        let mut m = Matching::new();
+        m.post_recv(SRC, TAG, 100, RecvReqId(1));
+        m.on_rts(SRC, TAG, SeqNo(0), 100);
+        let body: Vec<u8> = (0..100).collect();
+        // Deliver the second half first (multirail out-of-order).
+        let fx = m.on_rdv_chunk(SRC, TAG, SeqNo(0), 50, &body[50..], true);
+        assert!(fx.is_empty(), "zero-copy chunk charges nothing");
+        assert!(m.try_take_done(RecvReqId(1)).is_none());
+        m.on_rdv_chunk(SRC, TAG, SeqNo(0), 0, &body[..50], true);
+        let done = m.try_take_done(RecvReqId(1)).unwrap();
+        assert_eq!(done.data, body);
+        assert!(!done.truncated);
+    }
+
+    #[test]
+    fn rdv_without_rdma_charges_copies() {
+        let mut m = Matching::new();
+        m.post_recv(SRC, TAG, 10, RecvReqId(1));
+        m.on_rts(SRC, TAG, SeqNo(0), 10);
+        let fx = m.on_rdv_chunk(SRC, TAG, SeqNo(0), 0, &[1u8; 10], false);
+        assert_eq!(fx, vec![Effect::ChargeCopy(10)]);
+    }
+
+    #[test]
+    fn eager_truncation_is_flagged() {
+        let mut m = Matching::new();
+        m.post_recv(SRC, TAG, 3, RecvReqId(1));
+        m.on_data(SRC, TAG, SeqNo(0), b"toolong");
+        let done = m.try_take_done(RecvReqId(1)).unwrap();
+        assert!(done.truncated);
+        assert_eq!(done.data, b"too");
+    }
+
+    #[test]
+    fn rdv_truncation_keeps_prefix() {
+        let mut m = Matching::new();
+        m.post_recv(SRC, TAG, 4, RecvReqId(1));
+        m.on_rts(SRC, TAG, SeqNo(0), 8);
+        m.on_rdv_chunk(SRC, TAG, SeqNo(0), 0, &[1, 2, 3, 4, 5, 6, 7, 8], true);
+        let done = m.try_take_done(RecvReqId(1)).unwrap();
+        assert!(done.truncated);
+        assert_eq!(done.data, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "protocol bug")]
+    fn rdv_chunk_without_grant_is_a_protocol_bug() {
+        let mut m = Matching::new();
+        m.on_rdv_chunk(SRC, TAG, SeqNo(0), 0, b"x", true);
+    }
+}

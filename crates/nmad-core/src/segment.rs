@@ -1,0 +1,133 @@
+//! Application data segments and their identification metadata.
+//!
+//! The collect layer "registers the pieces of data submitted by the
+//! various communication flows of the application as well as the
+//! meta-data necessary in their identification by the receiving side
+//! (tag number, sender id, sequence number)" (§3.3). A [`PackWrapper`]
+//! is one such registered piece together with that metadata.
+
+use bytes::Bytes;
+use nmad_sim::NodeId;
+use std::fmt;
+
+/// Logical flow identifier. Different MPI communicators (or RPC
+/// channels, DSM streams, ...) map to different tags; the engine may
+/// still aggregate across them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tag(pub u32);
+
+/// Per-(peer, tag) sequence number, assigned by the sender's collect
+/// layer and used by the receiver to restore submission order no matter
+/// how the scheduler reordered the wire traffic.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SeqNo(pub u32);
+
+impl SeqNo {
+    /// The following sequence number (wrapping).
+    pub fn next(self) -> SeqNo {
+        SeqNo(self.0.wrapping_add(1))
+    }
+}
+
+impl fmt::Debug for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tag{}", self.0)
+    }
+}
+
+impl fmt::Debug for SeqNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Scheduling hint attached by the application: high-priority segments
+/// (e.g. an RPC service id needed to prepare receive areas, §2) are
+/// eligible for earlier delivery under reordering strategies.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Priority {
+    /// Deliver as early as possible (control/header fragments).
+    High,
+    #[default]
+    /// No special treatment.
+    Normal,
+}
+
+/// Handle of an application send request; completes when every segment
+/// it submitted has left the host.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SendReqId(pub u64);
+
+/// Handle of an application receive request.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct RecvReqId(pub u64);
+
+/// One collected application segment awaiting scheduling, sitting in
+/// the optimization window.
+#[derive(Clone, Debug)]
+pub struct PackWrapper {
+    /// Destination node.
+    pub dst: NodeId,
+    /// Logical flow identifier.
+    pub tag: Tag,
+    /// Per-flow sequence number.
+    pub seq: SeqNo,
+    /// Application scheduling hint.
+    pub priority: Priority,
+    /// The segment's payload (borrowed from user space).
+    pub data: Bytes,
+    /// Request this segment contributes one completion unit to.
+    pub req: SendReqId,
+    /// Submission order stamp (monotonic per engine) so strategies can
+    /// reason about age.
+    pub order: u64,
+}
+
+impl PackWrapper {
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True for zero-length segments.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seqno_increments_and_wraps() {
+        assert_eq!(SeqNo(0).next(), SeqNo(1));
+        assert_eq!(SeqNo(u32::MAX).next(), SeqNo(0));
+    }
+
+    #[test]
+    fn priority_defaults_to_normal() {
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+
+    #[test]
+    fn wrapper_len_tracks_payload() {
+        let w = PackWrapper {
+            dst: NodeId(1),
+            tag: Tag(0),
+            seq: SeqNo(0),
+            priority: Priority::Normal,
+            data: Bytes::from_static(b"12345"),
+            req: SendReqId(0),
+            order: 0,
+        };
+        assert_eq!(w.len(), 5);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn debug_formats_are_compact() {
+        assert_eq!(format!("{:?}", Tag(4)), "tag4");
+        assert_eq!(format!("{:?}", SeqNo(9)), "#9");
+    }
+}

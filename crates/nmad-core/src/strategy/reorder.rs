@@ -1,0 +1,208 @@
+//! Aggregation with reordering (§5.3).
+//!
+//! The derived-datatype experiment needs more than FIFO aggregation: a
+//! large block sitting at the window front must not prevent the small
+//! blocks behind it from coalescing. This strategy "aggregates all the
+//! small blocks (using messages reordering) with the rendez-vous
+//! requests of the large blocks": for the chosen destination it first
+//! pulls high-priority segments, then turns every threshold-exceeding
+//! segment into an RTS, then fills the remaining budget with any small
+//! segment — skipping over segments that do not fit. The receiver
+//! restores per-flow order from sequence numbers, so reordering is
+//! semantically invisible.
+
+use super::{eager_cutoff, plan_ctrl, plan_rdv_chunk, Budget, FramePlan, NicView, PlanEntry, Strategy};
+use crate::segment::Priority;
+use crate::window::Window;
+
+/// See the module documentation.
+#[derive(Debug, Default)]
+pub struct StratReorder;
+
+impl Strategy for StratReorder {
+    fn name(&self) -> &'static str {
+        "reorder"
+    }
+
+    fn schedule(&mut self, window: &mut Window, nic: &NicView<'_>) -> Option<FramePlan> {
+        let dst = window.next_dst(nic.index)?;
+        let mut plan = FramePlan::new(dst);
+        let mut budget = Budget::new(nic.caps);
+        let threshold = eager_cutoff(nic.caps);
+
+        plan_ctrl(&mut plan, window, &mut budget);
+        plan_rdv_chunk(&mut plan, window, &mut budget, usize::MAX);
+
+        // Pass 1: high-priority segments jump the whole queue (the RPC
+        // service-id scenario of §2).
+        while budget.fits_bare() {
+            let Some(w) = window.take_first_matching(nic.index, |w| {
+                w.dst == dst
+                    && w.priority == Priority::High
+                    && (w.len() > threshold || budget.fits_data(w.len()))
+            }) else {
+                break;
+            };
+            push(&mut plan, &mut budget, threshold, w);
+        }
+
+        // Pass 2: every large segment contributes its RTS now, so all
+        // the rendezvous handshakes overlap.
+        while budget.fits_bare() {
+            let Some(w) =
+                window.take_first_matching(nic.index, |w| w.dst == dst && w.len() > threshold)
+            else {
+                break;
+            };
+            push(&mut plan, &mut budget, threshold, w);
+        }
+
+        // Pass 3: fill with small segments, skipping any that do not
+        // fit the remaining budget (this is the reordering).
+        loop {
+            let Some(w) = window
+                .take_first_matching(nic.index, |w| w.dst == dst && budget.fits_data(w.len()))
+            else {
+                break;
+            };
+            push(&mut plan, &mut budget, threshold, w);
+        }
+
+        if plan.is_empty() {
+            None
+        } else {
+            Some(plan)
+        }
+    }
+}
+
+fn push(
+    plan: &mut FramePlan,
+    budget: &mut Budget,
+    threshold: usize,
+    w: crate::segment::PackWrapper,
+) {
+    if w.len() > threshold {
+        budget.add_bare();
+        plan.entries.push(PlanEntry::Rts(w));
+    } else {
+        budget.add_data(w.len());
+        plan.entries.push(PlanEntry::Data(w));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::{PackWrapper, SendReqId, SeqNo, Tag};
+    use bytes::Bytes;
+    use nmad_net::Capabilities;
+    use nmad_sim::{nic, NodeId};
+
+    fn caps() -> Capabilities {
+        Capabilities::from_nic(&nic::mx_myri10g())
+    }
+
+    fn seg(tag: u32, seq: u32, len: usize, prio: Priority) -> PackWrapper {
+        PackWrapper {
+            dst: NodeId(1),
+            tag: Tag(tag),
+            seq: SeqNo(seq),
+            priority: prio,
+            data: Bytes::from(vec![0u8; len]),
+            req: SendReqId(0),
+            order: seq as u64,
+        }
+    }
+
+    fn view(caps: &Capabilities) -> NicView<'_> {
+        NicView { index: 0, caps }
+    }
+
+    fn kinds(plan: &FramePlan) -> Vec<&'static str> {
+        plan.entries
+            .iter()
+            .map(|e| match e {
+                PlanEntry::Data(_) => "data",
+                PlanEntry::Rts(_) => "rts",
+                PlanEntry::Cts(_) => "cts",
+                PlanEntry::RdvChunk(_) => "chunk",
+            })
+            .collect()
+    }
+
+    #[test]
+    fn datatype_pattern_coalesces_smalls_with_rts() {
+        // The fig. 4 workload: alternating small (64 B) and large
+        // (256 KB) blocks. One frame must carry every small block plus
+        // one RTS per large block.
+        let caps = caps();
+        let mut w = Window::new(1);
+        for i in 0..4u32 {
+            w.push_segment(seg(0, 2 * i, 64, Priority::Normal), None);
+            w.push_segment(seg(0, 2 * i + 1, 256 * 1024, Priority::Normal), None);
+        }
+        let mut s = StratReorder;
+        let plan = s.schedule(&mut w, &view(&caps)).unwrap();
+        assert_eq!(
+            kinds(&plan),
+            ["rts", "rts", "rts", "rts", "data", "data", "data", "data"],
+            "all RTS first, then all small blocks, in one frame"
+        );
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn high_priority_segments_jump_the_queue() {
+        let caps = caps();
+        let mut w = Window::new(1);
+        w.push_segment(seg(0, 0, 128, Priority::Normal), None);
+        w.push_segment(seg(1, 0, 16, Priority::High), None);
+        let mut s = StratReorder;
+        let plan = s.schedule(&mut w, &view(&caps)).unwrap();
+        match &plan.entries[0] {
+            PlanEntry::Data(d) => assert_eq!(d.tag, Tag(1), "high priority first"),
+            e => panic!("unexpected {e:?}"),
+        }
+    }
+
+    #[test]
+    fn skips_non_fitting_segment_to_aggregate_later_ones() {
+        let caps = caps();
+        let big_small = caps.rdv_threshold - 10; // eager but budget-filling
+        let mut w = Window::new(1);
+        w.push_segment(seg(0, 0, 100, Priority::Normal), None);
+        w.push_segment(seg(1, 0, big_small, Priority::Normal), None); // won't fit after #0
+        w.push_segment(seg(2, 0, 100, Priority::Normal), None); // fits; must be picked
+        let mut s = StratReorder;
+        let plan = s.schedule(&mut w, &view(&caps)).unwrap();
+        let tags: Vec<Tag> = plan
+            .entries
+            .iter()
+            .map(|e| match e {
+                PlanEntry::Data(d) => d.tag,
+                e => panic!("unexpected {e:?}"),
+            })
+            .collect();
+        assert_eq!(tags, vec![Tag(0), Tag(2)], "skipped the oversized middle");
+        // The skipped one goes out next.
+        let plan2 = s.schedule(&mut w, &view(&caps)).unwrap();
+        assert_eq!(plan2.entries.len(), 1);
+    }
+
+    #[test]
+    fn drains_completely_over_successive_frames() {
+        let caps = caps();
+        let mut w = Window::new(1);
+        for seq in 0..40 {
+            w.push_segment(seg(0, seq, 3000, Priority::Normal), None);
+        }
+        let mut s = StratReorder;
+        let mut total = 0;
+        while let Some(p) = s.schedule(&mut w, &view(&caps)) {
+            total += p.entries.len();
+        }
+        assert_eq!(total, 40);
+        assert!(w.is_empty());
+    }
+}

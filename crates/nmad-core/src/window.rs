@@ -1,0 +1,517 @@
+//! The optimization window.
+//!
+//! "While the NICs are busy, NewMadeleine keeps accumulating packets in
+//! its optimization window. As soon as a NIC becomes idle, the
+//! optimization window is analyzed so as to create a new ready-to-send
+//! packet" (§3.1). The window holds three classes of outgoing work:
+//!
+//! * **control messages** — rendezvous CTS grants, always urgent;
+//! * **application segments** — on a *dedicated* per-NIC list when the
+//!   application pinned a network, otherwise on the *common* list used
+//!   for automatic load balancing across NICs (§3.3);
+//! * **rendezvous jobs** — large segments whose CTS has arrived, ready
+//!   for (possibly chunked, possibly multi-rail) zero-copy transfer.
+
+use crate::segment::{PackWrapper, SendReqId, SeqNo, Tag};
+use bytes::Bytes;
+use nmad_sim::NodeId;
+use std::collections::VecDeque;
+
+/// An outgoing control message (currently only rendezvous CTS).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CtrlMsg {
+    /// Destination node.
+    pub dst: NodeId,
+    /// Logical flow identifier.
+    pub tag: Tag,
+    /// Per-flow sequence number.
+    pub seq: SeqNo,
+    /// Announced total length in bytes.
+    pub total: u32,
+}
+
+/// A granted rendezvous transfer in progress.
+#[derive(Clone, Debug)]
+pub struct RdvJob {
+    /// Destination node.
+    pub dst: NodeId,
+    /// Logical flow identifier.
+    pub tag: Tag,
+    /// Per-flow sequence number.
+    pub seq: SeqNo,
+    /// The full granted payload.
+    pub data: Bytes,
+    /// Send request this transfer completes.
+    pub req: SendReqId,
+    cursor: usize,
+    /// Wire offset of `data[0]` within the full segment (non-zero when
+    /// the job resumes a chunk requeued after a NIC failure).
+    base: u32,
+}
+
+/// One chunk cut from a rendezvous job by a strategy.
+#[derive(Clone, Debug)]
+pub struct RdvChunk {
+    /// Destination node.
+    pub dst: NodeId,
+    /// Logical flow identifier.
+    pub tag: Tag,
+    /// Per-flow sequence number.
+    pub seq: SeqNo,
+    /// Byte offset within the full segment.
+    pub offset: u32,
+    /// This chunk's bytes.
+    pub data: Bytes,
+    /// Whether this is the final chunk of its segment.
+    pub last: bool,
+    /// Send request this transfer completes.
+    pub req: SendReqId,
+}
+
+impl RdvJob {
+    /// A fresh job covering `data` from offset zero.
+    pub fn new(dst: NodeId, tag: Tag, seq: SeqNo, data: Bytes, req: SendReqId) -> Self {
+        RdvJob {
+            dst,
+            tag,
+            seq,
+            data,
+            req,
+            cursor: 0,
+            base: 0,
+        }
+    }
+
+    /// Rebuilds a job from a chunk that could not be posted (NIC
+    /// failure failover): the chunk's bytes re-enter the window at
+    /// their original wire offset.
+    pub fn resume(chunk: RdvChunk) -> Self {
+        RdvJob {
+            dst: chunk.dst,
+            tag: chunk.tag,
+            seq: chunk.seq,
+            data: chunk.data,
+            req: chunk.req,
+            cursor: 0,
+            base: chunk.offset,
+        }
+    }
+
+    /// Bytes not yet cut into chunks.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.cursor
+    }
+
+    /// Cuts the next chunk of at most `max` bytes. Returns `None` when
+    /// exhausted (the caller should then drop the job).
+    pub fn take_chunk(&mut self, max: usize) -> Option<RdvChunk> {
+        if self.remaining() == 0 || max == 0 {
+            return None;
+        }
+        let len = self.remaining().min(max);
+        let offset = self.cursor;
+        let data = self.data.slice(offset..offset + len);
+        self.cursor += len;
+        Some(RdvChunk {
+            dst: self.dst,
+            tag: self.tag,
+            seq: self.seq,
+            offset: self.base + u32::try_from(offset).expect("segment larger than 4 GiB"),
+            data,
+            last: self.remaining() == 0,
+            req: self.req,
+        })
+    }
+}
+
+/// The optimization window. See the module documentation.
+#[derive(Debug)]
+pub struct Window {
+    ctrl: VecDeque<CtrlMsg>,
+    dedicated: Vec<VecDeque<PackWrapper>>,
+    common: VecDeque<PackWrapper>,
+    rdv: VecDeque<RdvJob>,
+}
+
+impl Window {
+    /// A fresh job covering `data` from offset zero.
+    pub fn new(nic_count: usize) -> Self {
+        Window {
+            ctrl: VecDeque::new(),
+            dedicated: (0..nic_count).map(|_| VecDeque::new()).collect(),
+            common: VecDeque::new(),
+            rdv: VecDeque::new(),
+        }
+    }
+
+    // --- submission side (collect layer) ---
+
+    /// Push ctrl.
+    pub fn push_ctrl(&mut self, msg: CtrlMsg) {
+        self.ctrl.push_back(msg);
+    }
+
+    /// Registers a collected segment; `rail_hint` selects a dedicated
+    /// per-NIC list, `None` the common load-balanced list.
+    pub fn push_segment(&mut self, wrapper: PackWrapper, rail_hint: Option<usize>) {
+        match rail_hint {
+            Some(nic) => self.dedicated[nic].push_back(wrapper),
+            None => self.common.push_back(wrapper),
+        }
+    }
+
+    /// Re-inserts a segment at the *front* of the common list (failover
+    /// requeue: the segment was already scheduled once and must keep
+    /// its place).
+    pub fn push_segment_front(&mut self, wrapper: PackWrapper) {
+        self.common.push_front(wrapper);
+    }
+
+    /// Push rdv.
+    pub fn push_rdv(&mut self, job: RdvJob) {
+        self.rdv.push_back(job);
+    }
+
+    // --- strategy side ---
+
+    /// True when nothing at all is pending for NIC `nic`.
+    pub fn is_empty_for(&self, nic: usize) -> bool {
+        self.ctrl.is_empty()
+            && self.rdv.is_empty()
+            && self.common.is_empty()
+            && self.dedicated[nic].is_empty()
+    }
+
+    /// True when the whole window is drained.
+    pub fn is_empty(&self) -> bool {
+        self.ctrl.is_empty()
+            && self.rdv.is_empty()
+            && self.common.is_empty()
+            && self.dedicated.iter().all(VecDeque::is_empty)
+    }
+
+    /// Pending application segments visible to NIC `nic` (window depth,
+    /// an input the paper lists for the optimization function).
+    pub fn depth_for(&self, nic: usize) -> usize {
+        self.dedicated[nic].len() + self.common.len()
+    }
+
+    /// Destination the next frame for `nic` should target, honouring
+    /// the urgency order control > rendezvous data > fresh segments.
+    pub fn next_dst(&self, nic: usize) -> Option<NodeId> {
+        if let Some(c) = self.ctrl.front() {
+            return Some(c.dst);
+        }
+        if let Some(j) = self.rdv.front() {
+            return Some(j.dst);
+        }
+        if let Some(w) = self.dedicated[nic].front() {
+            return Some(w.dst);
+        }
+        self.common.front().map(|w| w.dst)
+    }
+
+    /// Pops every queued control message towards `dst`.
+    pub fn drain_ctrl_for(&mut self, dst: NodeId) -> Vec<CtrlMsg> {
+        let mut out = Vec::new();
+        let mut rest = VecDeque::with_capacity(self.ctrl.len());
+        for msg in self.ctrl.drain(..) {
+            if msg.dst == dst {
+                out.push(msg);
+            } else {
+                rest.push_back(msg);
+            }
+        }
+        self.ctrl = rest;
+        out
+    }
+
+    /// Front rendezvous job towards `dst`, if any.
+    pub fn rdv_front_for(&mut self, dst: NodeId) -> Option<&mut RdvJob> {
+        self.rdv.iter_mut().find(|j| j.dst == dst)
+    }
+
+    /// Cuts a chunk of at most `max` bytes from the first rendezvous
+    /// job towards `dst`, dropping the job once exhausted.
+    pub fn take_rdv_chunk(&mut self, dst: NodeId, max: usize) -> Option<RdvChunk> {
+        let idx = self.rdv.iter().position(|j| j.dst == dst)?;
+        let chunk = self.rdv[idx].take_chunk(max)?;
+        if chunk.last {
+            self.rdv.remove(idx);
+        }
+        Some(chunk)
+    }
+
+    /// True if any rendezvous job towards anyone has bytes pending.
+    pub fn has_rdv(&self) -> bool {
+        !self.rdv.is_empty()
+    }
+
+    /// True when `dst` has pending work that is exempt from eager flow
+    /// control: control messages or granted rendezvous data.
+    pub fn has_non_data_work_for(&self, dst: NodeId) -> bool {
+        self.ctrl.iter().any(|c| c.dst == dst) || self.rdv.iter().any(|j| j.dst == dst)
+    }
+
+    /// Raw access to the dedicated list of NIC `nic` (strategies scan
+    /// and remove with their own policy).
+    pub fn dedicated_mut(&mut self, nic: usize) -> &mut VecDeque<PackWrapper> {
+        &mut self.dedicated[nic]
+    }
+
+    /// Raw access to the common (load-balanced) list.
+    pub fn common_mut(&mut self) -> &mut VecDeque<PackWrapper> {
+        &mut self.common
+    }
+
+    /// Read-only view of the common list (selection heuristics).
+    pub fn common_ref(&self) -> &VecDeque<PackWrapper> {
+        &self.common
+    }
+
+    /// Read-only view of a dedicated list (selection heuristics).
+    pub fn dedicated_ref(&self, nic: usize) -> &VecDeque<PackWrapper> {
+        &self.dedicated[nic]
+    }
+
+    /// Removes and returns the first segment visible to `nic` (its
+    /// dedicated list first, then the common list) satisfying `pred`,
+    /// scanning past non-matching segments (reordering permitted).
+    pub fn take_first_matching(
+        &mut self,
+        nic: usize,
+        mut pred: impl FnMut(&PackWrapper) -> bool,
+    ) -> Option<PackWrapper> {
+        if let Some(pos) = self.dedicated[nic].iter().position(&mut pred) {
+            return self.dedicated[nic].remove(pos);
+        }
+        if let Some(pos) = self.common.iter().position(&mut pred) {
+            return self.common.remove(pos);
+        }
+        None
+    }
+
+    /// Removes and returns the front segment visible to `nic` if it
+    /// satisfies `pred` (FIFO discipline, no reordering).
+    pub fn take_front_if(
+        &mut self,
+        nic: usize,
+        mut pred: impl FnMut(&PackWrapper) -> bool,
+    ) -> Option<PackWrapper> {
+        if let Some(front) = self.dedicated[nic].front() {
+            if pred(front) {
+                return self.dedicated[nic].pop_front();
+            }
+            return None;
+        }
+        if let Some(front) = self.common.front() {
+            if pred(front) {
+                return self.common.pop_front();
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::Priority;
+
+    fn wrapper(dst: u32, tag: u32, seq: u32, len: usize) -> PackWrapper {
+        PackWrapper {
+            dst: NodeId(dst),
+            tag: Tag(tag),
+            seq: SeqNo(seq),
+            priority: Priority::Normal,
+            data: Bytes::from(vec![0u8; len]),
+            req: SendReqId(0),
+            order: 0,
+        }
+    }
+
+    #[test]
+    fn urgency_order_ctrl_then_rdv_then_segments() {
+        let mut w = Window::new(1);
+        w.push_segment(wrapper(3, 0, 0, 8), None);
+        assert_eq!(w.next_dst(0), Some(NodeId(3)));
+        w.push_rdv(RdvJob::new(
+            NodeId(2),
+            Tag(0),
+            SeqNo(0),
+            Bytes::from_static(b"abc"),
+            SendReqId(1),
+        ));
+        assert_eq!(w.next_dst(0), Some(NodeId(2)));
+        w.push_ctrl(CtrlMsg {
+            dst: NodeId(1),
+            tag: Tag(0),
+            seq: SeqNo(0),
+            total: 3,
+        });
+        assert_eq!(w.next_dst(0), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn drain_ctrl_filters_by_destination() {
+        let mut w = Window::new(1);
+        for dst in [1, 2, 1, 3] {
+            w.push_ctrl(CtrlMsg {
+                dst: NodeId(dst),
+                tag: Tag(dst),
+                seq: SeqNo(0),
+                total: 0,
+            });
+        }
+        let for_one = w.drain_ctrl_for(NodeId(1));
+        assert_eq!(for_one.len(), 2);
+        assert!(for_one.iter().all(|c| c.dst == NodeId(1)));
+        assert_eq!(w.drain_ctrl_for(NodeId(2)).len(), 1);
+        assert_eq!(w.drain_ctrl_for(NodeId(3)).len(), 1);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn rdv_job_chunks_cover_exactly_the_payload() {
+        let data: Bytes = (0..100u8).collect::<Vec<u8>>().into();
+        let mut job = RdvJob::new(NodeId(1), Tag(0), SeqNo(0), data.clone(), SendReqId(0));
+        let mut rebuilt = Vec::new();
+        let mut last_seen = false;
+        while let Some(chunk) = job.take_chunk(33) {
+            assert_eq!(chunk.offset as usize, rebuilt.len());
+            rebuilt.extend_from_slice(&chunk.data);
+            last_seen = chunk.last;
+        }
+        assert!(last_seen);
+        assert_eq!(rebuilt, data.to_vec());
+        assert!(job.take_chunk(33).is_none(), "exhausted job yields nothing");
+    }
+
+    #[test]
+    fn take_rdv_chunk_drops_exhausted_jobs() {
+        let mut w = Window::new(1);
+        w.push_rdv(RdvJob::new(
+            NodeId(1),
+            Tag(0),
+            SeqNo(0),
+            Bytes::from(vec![0u8; 10]),
+            SendReqId(0),
+        ));
+        let c = w.take_rdv_chunk(NodeId(1), 100).unwrap();
+        assert!(c.last);
+        assert!(!w.has_rdv());
+        assert!(w.take_rdv_chunk(NodeId(1), 100).is_none());
+    }
+
+    #[test]
+    fn dedicated_list_is_preferred_over_common() {
+        let mut w = Window::new(2);
+        w.push_segment(wrapper(5, 0, 0, 4), None);
+        w.push_segment(wrapper(6, 0, 0, 4), Some(1));
+        // NIC 1 sees its dedicated segment first.
+        assert_eq!(w.next_dst(1), Some(NodeId(6)));
+        // NIC 0 has no dedicated work and sees the common list.
+        assert_eq!(w.next_dst(0), Some(NodeId(5)));
+        assert_eq!(w.depth_for(0), 1);
+        assert_eq!(w.depth_for(1), 2);
+    }
+
+    #[test]
+    fn take_first_matching_skips_non_matching() {
+        let mut w = Window::new(1);
+        w.push_segment(wrapper(1, 10, 0, 4), None);
+        w.push_segment(wrapper(2, 20, 0, 4), None);
+        w.push_segment(wrapper(1, 30, 0, 4), None);
+        let got = w.take_first_matching(0, |s| s.dst == NodeId(2)).unwrap();
+        assert_eq!(got.tag, Tag(20));
+        // Order of the rest preserved.
+        let a = w.take_front_if(0, |_| true).unwrap();
+        let b = w.take_front_if(0, |_| true).unwrap();
+        assert_eq!((a.tag, b.tag), (Tag(10), Tag(30)));
+    }
+
+    #[test]
+    fn take_front_if_respects_fifo_discipline() {
+        let mut w = Window::new(1);
+        w.push_segment(wrapper(1, 10, 0, 4), None);
+        w.push_segment(wrapper(2, 20, 0, 4), None);
+        // Front is dst 1, predicate wants dst 2: nothing may be taken.
+        assert!(w.take_front_if(0, |s| s.dst == NodeId(2)).is_none());
+        assert_eq!(w.depth_for(0), 2);
+    }
+
+    #[test]
+    fn front_of_dedicated_blocks_common_under_fifo() {
+        // FIFO discipline is per-view: a non-matching dedicated front
+        // hides the common list for take_front_if.
+        let mut w = Window::new(1);
+        w.push_segment(wrapper(1, 10, 0, 4), Some(0));
+        w.push_segment(wrapper(2, 20, 0, 4), None);
+        assert!(w.take_front_if(0, |s| s.dst == NodeId(2)).is_none());
+    }
+}
+
+#[cfg(test)]
+mod failover_tests {
+    use super::*;
+    use crate::segment::Priority;
+
+    fn wrapper(tag: u32, len: usize) -> PackWrapper {
+        PackWrapper {
+            dst: NodeId(1),
+            tag: Tag(tag),
+            seq: SeqNo(0),
+            priority: Priority::Normal,
+            data: Bytes::from(vec![0u8; len]),
+            req: SendReqId(0),
+            order: 0,
+        }
+    }
+
+    #[test]
+    fn push_segment_front_restores_queue_position() {
+        let mut w = Window::new(1);
+        w.push_segment(wrapper(2, 4), None);
+        w.push_segment_front(wrapper(1, 4));
+        let first = w.take_front_if(0, |_| true).unwrap();
+        assert_eq!(first.tag, Tag(1), "requeued segment leads the queue");
+    }
+
+    #[test]
+    fn resumed_rdv_job_keeps_wire_offsets() {
+        // Cut a chunk at offset 40, resume it, and check the chunks it
+        // emits still carry absolute offsets.
+        let data = Bytes::from((0..100u8).collect::<Vec<u8>>());
+        let mut job = RdvJob::new(NodeId(1), Tag(0), SeqNo(0), data, SendReqId(0));
+        let _head = job.take_chunk(40).unwrap();
+        let tail = job.take_chunk(100).unwrap();
+        assert_eq!(tail.offset, 40);
+        assert!(tail.last);
+        let mut resumed = RdvJob::resume(tail);
+        let c1 = resumed.take_chunk(25).unwrap();
+        assert_eq!(c1.offset, 40, "absolute offset preserved after resume");
+        let c2 = resumed.take_chunk(100).unwrap();
+        assert_eq!(c2.offset, 65);
+        assert_eq!(c2.data.len(), 35);
+        assert!(c2.last);
+    }
+
+    #[test]
+    fn has_non_data_work_distinguishes_traffic_classes() {
+        let mut w = Window::new(1);
+        assert!(!w.has_non_data_work_for(NodeId(1)));
+        w.push_segment(wrapper(0, 8), None);
+        assert!(
+            !w.has_non_data_work_for(NodeId(1)),
+            "plain segments are credit-gated data"
+        );
+        w.push_ctrl(CtrlMsg {
+            dst: NodeId(1),
+            tag: Tag(0),
+            seq: SeqNo(0),
+            total: 10,
+        });
+        assert!(w.has_non_data_work_for(NodeId(1)));
+        assert!(!w.has_non_data_work_for(NodeId(2)), "per-destination");
+    }
+}

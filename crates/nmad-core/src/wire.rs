@@ -1,0 +1,428 @@
+//! Wire format of the NewMadeleine engine.
+//!
+//! A *frame* is what one driver send moves: a frame header followed by a
+//! sequence of *entries*. Multiplexing several entries — possibly from
+//! different logical flows — into one frame is the engine's aggregation
+//! mechanism; the per-entry headers are "the extra header systematically
+//! added to the data for allowing the reordering and the multiplexing of
+//! the packets" whose cost the paper measures in §5.1.
+//!
+//! Entry kinds:
+//!
+//! * [`Entry::Data`] — an eager application segment, payload inline;
+//! * [`Entry::Rts`] — rendezvous request-to-send announcing a large
+//!   segment (no payload);
+//! * [`Entry::Cts`] — clear-to-send reply granting a rendezvous;
+//! * [`Entry::RdvData`] — one chunk of granted rendezvous data, placed
+//!   at `offset` in the receive buffer (chunking enables the multirail
+//!   strategy to spread one segment over several NICs).
+
+use crate::segment::{SeqNo, Tag};
+use std::fmt;
+
+/// Frame header: magic (2) + version (1) + flags (1) + entry count (2)
+/// + reserved (2).
+pub const FRAME_HEADER_LEN: usize = 8;
+/// Fixed entry header: kind (1) + flags (1) + reserved (2) + tag (4) +
+/// seq (4) + len (4) + offset (4).
+pub const ENTRY_HEADER_LEN: usize = 20;
+
+const MAGIC: u16 = 0xAD3E;
+const VERSION: u8 = 1;
+
+const KIND_DATA: u8 = 1;
+const KIND_RTS: u8 = 2;
+const KIND_CTS: u8 = 3;
+const KIND_RDV_DATA: u8 = 4;
+const KIND_CREDIT: u8 = 5;
+
+/// Entry flag: this rendezvous chunk is the segment's last.
+pub const EF_LAST_CHUNK: u8 = 0b0000_0001;
+
+/// A parsed entry borrowing its payload from the frame buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Entry<'a> {
+    /// An eager application segment with inline payload.
+    Data {
+        /// Logical flow identifier.
+        tag: Tag,
+        /// Per-flow sequence number.
+        seq: SeqNo,
+        /// Payload bytes.
+        payload: &'a [u8],
+    },
+    /// Rendezvous request-to-send (no payload).
+    Rts {
+        /// Logical flow identifier.
+        tag: Tag,
+        /// Per-flow sequence number.
+        seq: SeqNo,
+        /// Announced total length in bytes.
+        total: u32,
+    },
+    /// Rendezvous clear-to-send grant.
+    Cts {
+        /// Logical flow identifier.
+        tag: Tag,
+        /// Per-flow sequence number.
+        seq: SeqNo,
+        /// Announced total length in bytes.
+        total: u32,
+    },
+    /// One chunk of granted rendezvous payload.
+    RdvData {
+        /// Logical flow identifier.
+        tag: Tag,
+        /// Per-flow sequence number.
+        seq: SeqNo,
+        /// Byte offset within the full segment.
+        offset: u32,
+        /// Whether this is the final chunk of its segment.
+        last: bool,
+        /// Payload bytes.
+        payload: &'a [u8],
+    },
+    /// Returns `count` eager-frame credits to the sender (flow
+    /// control; see `engine`).
+    /// Appends a credit-return entry (flow control).
+    Credit {
+        /// Number of credits returned.
+        count: u32,
+    },
+}
+
+/// Wire decoding failures.
+#[derive(Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the structure was complete.
+    Truncated,
+    /// The frame does not start with the protocol magic.
+    BadMagic(u16),
+    /// The frame uses an unsupported protocol version.
+    BadVersion(u8),
+    /// Unknown entry kind byte.
+    BadKind(u8),
+    /// Bytes left over after the last declared entry.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:#06x}"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::BadKind(k) => write!(f, "unknown entry kind {k}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after last entry"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Incrementally builds one frame.
+pub struct FrameBuilder {
+    buf: Vec<u8>,
+    count: u16,
+    payload_segs: usize,
+    payload_bytes: usize,
+}
+
+impl FrameBuilder {
+    /// Starts an empty frame.
+    pub fn new() -> Self {
+        let mut buf = Vec::with_capacity(256);
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.push(VERSION);
+        buf.push(0); // flags
+        buf.extend_from_slice(&0u16.to_le_bytes()); // count, patched in finish()
+        buf.extend_from_slice(&0u16.to_le_bytes()); // reserved
+        FrameBuilder {
+            buf,
+            count: 0,
+            payload_segs: 0,
+            payload_bytes: 0,
+        }
+    }
+
+    fn push_header(&mut self, kind: u8, flags: u8, tag: Tag, seq: SeqNo, len: u32, offset: u32) {
+        self.buf.push(kind);
+        self.buf.push(flags);
+        self.buf.extend_from_slice(&0u16.to_le_bytes());
+        self.buf.extend_from_slice(&tag.0.to_le_bytes());
+        self.buf.extend_from_slice(&seq.0.to_le_bytes());
+        self.buf.extend_from_slice(&len.to_le_bytes());
+        self.buf.extend_from_slice(&offset.to_le_bytes());
+        self.count = self.count.checked_add(1).expect("entry count overflow");
+    }
+
+    /// Push data.
+    pub fn push_data(&mut self, tag: Tag, seq: SeqNo, payload: &[u8]) {
+        let len = u32::try_from(payload.len()).expect("segment too large for wire");
+        self.push_header(KIND_DATA, 0, tag, seq, len, 0);
+        self.buf.extend_from_slice(payload);
+        self.payload_segs += 1;
+        self.payload_bytes += payload.len();
+    }
+
+    /// Push rts.
+    pub fn push_rts(&mut self, tag: Tag, seq: SeqNo, total: u32) {
+        self.push_header(KIND_RTS, 0, tag, seq, total, 0);
+    }
+
+    /// Push cts.
+    pub fn push_cts(&mut self, tag: Tag, seq: SeqNo, total: u32) {
+        self.push_header(KIND_CTS, 0, tag, seq, total, 0);
+    }
+
+    /// Push rdv data.
+    pub fn push_rdv_data(&mut self, tag: Tag, seq: SeqNo, offset: u32, last: bool, payload: &[u8]) {
+        let len = u32::try_from(payload.len()).expect("chunk too large for wire");
+        let flags = if last { EF_LAST_CHUNK } else { 0 };
+        self.push_header(KIND_RDV_DATA, flags, tag, seq, len, offset);
+        self.buf.extend_from_slice(payload);
+        self.payload_segs += 1;
+        self.payload_bytes += payload.len();
+    }
+
+    /// Push credit.
+    pub fn push_credit(&mut self, count: u32) {
+        self.push_header(KIND_CREDIT, 0, Tag(0), SeqNo(0), count, 0);
+    }
+
+    /// Entries pushed so far.
+    pub fn entry_count(&self) -> u16 {
+        self.count
+    }
+
+    /// Number of distinct payload regions a gather-capable NIC would
+    /// DMA separately (staging-copy decision input).
+    pub fn payload_segments(&self) -> usize {
+        self.payload_segs
+    }
+
+    /// Total payload bytes (staging-copy cost input).
+    pub fn payload_bytes(&self) -> usize {
+        self.payload_bytes
+    }
+
+    /// Current frame length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Finalizes and returns the wire bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.buf[4..6].copy_from_slice(&self.count.to_le_bytes());
+        self.buf
+    }
+}
+
+impl Default for FrameBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Parses a frame into entries.
+pub fn parse_frame(bytes: &[u8]) -> Result<Vec<Entry<'_>>, WireError> {
+    if bytes.len() < FRAME_HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    let magic = u16::from_le_bytes([bytes[0], bytes[1]]);
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    if bytes[2] != VERSION {
+        return Err(WireError::BadVersion(bytes[2]));
+    }
+    let count = u16::from_le_bytes([bytes[4], bytes[5]]) as usize;
+    let mut entries = Vec::with_capacity(count);
+    let mut at = FRAME_HEADER_LEN;
+    for _ in 0..count {
+        if bytes.len() < at + ENTRY_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let h = &bytes[at..at + ENTRY_HEADER_LEN];
+        let kind = h[0];
+        let flags = h[1];
+        let tag = Tag(u32::from_le_bytes(h[4..8].try_into().expect("4")));
+        let seq = SeqNo(u32::from_le_bytes(h[8..12].try_into().expect("4")));
+        let len = u32::from_le_bytes(h[12..16].try_into().expect("4"));
+        let offset = u32::from_le_bytes(h[16..20].try_into().expect("4"));
+        at += ENTRY_HEADER_LEN;
+        let entry = match kind {
+            KIND_RTS => Entry::Rts { tag, seq, total: len },
+            KIND_CTS => Entry::Cts { tag, seq, total: len },
+            KIND_CREDIT => Entry::Credit { count: len },
+            KIND_DATA | KIND_RDV_DATA => {
+                let end = at + len as usize;
+                if bytes.len() < end {
+                    return Err(WireError::Truncated);
+                }
+                let payload = &bytes[at..end];
+                at = end;
+                if kind == KIND_DATA {
+                    Entry::Data { tag, seq, payload }
+                } else {
+                    Entry::RdvData {
+                        tag,
+                        seq,
+                        offset,
+                        last: flags & EF_LAST_CHUNK != 0,
+                        payload,
+                    }
+                }
+            }
+            k => return Err(WireError::BadKind(k)),
+        };
+        entries.push(entry);
+    }
+    if at != bytes.len() {
+        return Err(WireError::TrailingBytes(bytes.len() - at));
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_frame_roundtrips() {
+        let frame = FrameBuilder::new().finish();
+        assert_eq!(frame.len(), FRAME_HEADER_LEN);
+        assert_eq!(parse_frame(&frame).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn mixed_entries_roundtrip() {
+        let mut fb = FrameBuilder::new();
+        fb.push_cts(Tag(7), SeqNo(1), 1 << 20);
+        fb.push_data(Tag(3), SeqNo(0), b"small payload");
+        fb.push_rts(Tag(3), SeqNo(1), 512 * 1024);
+        fb.push_rdv_data(Tag(9), SeqNo(4), 4096, true, b"chunk");
+        assert_eq!(fb.entry_count(), 4);
+        assert_eq!(fb.payload_segments(), 2);
+        assert_eq!(fb.payload_bytes(), 13 + 5);
+        let frame = fb.finish();
+        let entries = parse_frame(&frame).unwrap();
+        assert_eq!(entries.len(), 4);
+        assert_eq!(
+            entries[0],
+            Entry::Cts {
+                tag: Tag(7),
+                seq: SeqNo(1),
+                total: 1 << 20
+            }
+        );
+        assert_eq!(
+            entries[1],
+            Entry::Data {
+                tag: Tag(3),
+                seq: SeqNo(0),
+                payload: b"small payload"
+            }
+        );
+        assert_eq!(
+            entries[2],
+            Entry::Rts {
+                tag: Tag(3),
+                seq: SeqNo(1),
+                total: 512 * 1024
+            }
+        );
+        assert_eq!(
+            entries[3],
+            Entry::RdvData {
+                tag: Tag(9),
+                seq: SeqNo(4),
+                offset: 4096,
+                last: true,
+                payload: b"chunk"
+            }
+        );
+    }
+
+    #[test]
+    fn header_sizes_match_constants() {
+        let mut fb = FrameBuilder::new();
+        fb.push_data(Tag(0), SeqNo(0), b"abc");
+        let frame = fb.finish();
+        assert_eq!(frame.len(), FRAME_HEADER_LEN + ENTRY_HEADER_LEN + 3);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut frame = FrameBuilder::new().finish();
+        frame[0] = 0;
+        assert_eq!(parse_frame(&frame).unwrap_err(), WireError::BadMagic(0xAD00));
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let mut frame = FrameBuilder::new().finish();
+        frame[2] = 99;
+        assert_eq!(parse_frame(&frame).unwrap_err(), WireError::BadVersion(99));
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_boundary() {
+        let mut fb = FrameBuilder::new();
+        fb.push_data(Tag(1), SeqNo(2), b"payload!");
+        let frame = fb.finish();
+        for cut in 1..frame.len() {
+            let err = parse_frame(&frame[..cut]).unwrap_err();
+            assert!(
+                matches!(err, WireError::Truncated | WireError::BadMagic(_)),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut frame = {
+            let mut fb = FrameBuilder::new();
+            fb.push_rts(Tag(1), SeqNo(0), 100);
+            fb.finish()
+        };
+        frame.push(0xFF);
+        assert_eq!(parse_frame(&frame).unwrap_err(), WireError::TrailingBytes(1));
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let mut fb = FrameBuilder::new();
+        fb.push_rts(Tag(1), SeqNo(0), 100);
+        let mut frame = fb.finish();
+        frame[FRAME_HEADER_LEN] = 42;
+        assert_eq!(parse_frame(&frame).unwrap_err(), WireError::BadKind(42));
+    }
+
+    #[test]
+    fn credit_entry_roundtrips() {
+        let mut fb = FrameBuilder::new();
+        fb.push_credit(3);
+        let frame = fb.finish();
+        assert_eq!(parse_frame(&frame).unwrap(), vec![Entry::Credit { count: 3 }]);
+    }
+
+    #[test]
+    fn last_chunk_flag_roundtrips() {
+        for last in [false, true] {
+            let mut fb = FrameBuilder::new();
+            fb.push_rdv_data(Tag(1), SeqNo(1), 0, last, b"x");
+            let frame = fb.finish();
+            match parse_frame(&frame).unwrap()[0] {
+                Entry::RdvData { last: l, .. } => assert_eq!(l, last),
+                ref e => panic!("wrong entry {e:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # nmad-net — network driver abstraction
+//!
+//! The [`Driver`] trait is the reproduction of the paper's minimal
+//! transfer-layer network API (§4): post a (gather) send, test it for
+//! completion, poll for received frames — plus the capability record the
+//! engine collects at initialisation (rendezvous threshold,
+//! gather/scatter, RDMA).
+//!
+//! Backends:
+//!
+//! * [`sim::SimDriver`] — binds a node × rail of the discrete-event
+//!   cluster of [`nmad_sim`]; substitutes for MX, Elan, GM and SISCI;
+//! * [`tcp::TcpDriver`] — real non-blocking TCP sockets (the paper's
+//!   TCP/Ethernet port);
+//! * [`mem::MemDriver`] — in-process channels for threaded tests;
+//! * [`lossy::LossyDriver`] / [`reliable::ReliableDriver`] /
+//!   [`selective::SelectiveDriver`] — driver decorators: seeded frame
+//!   loss plus go-back-N and selective-repeat reliability, extending
+//!   the engine to lossy datagram fabrics.
+//!
+//! [`CpuMeter`] routes the engine's software costs (scheduler
+//! inspection, staging copies) either to the simulated CPU account or to
+//! nowhere (real transports pay in real time).
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod lossy;
+pub mod mem;
+pub mod reliable;
+pub mod selective;
+pub mod sim;
+pub mod tcp;
+
+pub use driver::{
+    Capabilities, CpuMeter, Driver, NetError, NetResult, NullMeter, RxFrame, SendHandle,
+};
+pub use lossy::{LossStats, LossyDriver};
+pub use mem::{mem_fabric, MemDriver};
+pub use reliable::{ReliableDriver, ReliableStats};
+pub use selective::{SelectiveDriver, SelectiveStats};
+pub use sim::{SimCpuMeter, SimDriver};
+pub use tcp::TcpDriver;
+
+// Re-export the identifiers drivers speak in.
+pub use nmad_sim::{NodeId, RailId};

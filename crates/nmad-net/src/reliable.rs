@@ -1,0 +1,459 @@
+//! Go-back-N reliability as a driver decorator.
+//!
+//! The paper's fabrics (Myrinet, Quadrics, SCI) are lossless and its
+//! TCP port inherits reliability from TCP. [`ReliableDriver`] extends
+//! the reproduction to *lossy datagram* fabrics: it wraps any
+//! [`Driver`] and guarantees in-order, exactly-once frame delivery on
+//! top of a link that may drop frames (for example a
+//! [`LossyDriver`](crate::lossy::LossyDriver)).
+//!
+//! Protocol (classic go-back-N with cumulative acks):
+//!
+//! * every data frame carries `(seq, ack)`; `ack` is the receiver's
+//!   next expected sequence, piggybacked on everything;
+//! * the receiver delivers in-order frames, buffers a bounded window of
+//!   out-of-order ones, and acknowledges every arrival (a duplicate
+//!   cumulative ack signals a gap);
+//! * the sender holds unacknowledged frames and retransmits them all on
+//!   a duplicate ack or when the retransmission timeout fires.
+//!
+//! Time is abstracted: the decorator takes a `now` closure (virtual
+//! time under the simulator, `Instant` on real transports) and an
+//! optional wakeup hook so a simulated clock knows to stop at the
+//! retransmission deadline.
+
+use crate::driver::{Capabilities, Driver, NetResult, RxFrame, SendHandle};
+use nmad_sim::NodeId;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// kind (1) + seq (4) + ack (4).
+const HEADER_LEN: usize = 9;
+const KIND_DATA: u8 = 1;
+const KIND_ACK: u8 = 2;
+
+/// Cap on buffered out-of-order frames per peer (go-back-N resends
+/// everything anyway; the buffer only saves bandwidth).
+const REORDER_WINDOW: usize = 64;
+
+/// Reliability-layer counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReliableStats {
+    /// Data frames sent for the first time.
+    pub data_sent: u64,
+    /// Data frames retransmitted.
+    pub retransmits: u64,
+    /// Retransmission timeouts fired.
+    pub timeouts: u64,
+    /// Duplicate cumulative acks received (gap signals).
+    pub dup_acks: u64,
+    /// Duplicate/old data frames discarded at the receiver.
+    pub duplicates_dropped: u64,
+    /// Standalone ack frames sent.
+    pub acks_sent: u64,
+}
+
+#[derive(Default)]
+struct PeerState {
+    // --- sender side ---
+    next_tx_seq: u32,
+    /// Unacknowledged payloads, oldest first: (seq, payload).
+    unacked: VecDeque<(u32, Vec<u8>)>,
+    last_tx_ns: u64,
+    last_ack_seen: u32,
+    // --- receiver side ---
+    next_rx_seq: u32,
+    out_of_order: BTreeMap<u32, Vec<u8>>,
+    owes_ack: bool,
+}
+
+/// See the module documentation.
+pub struct ReliableDriver<D> {
+    inner: D,
+    now: Box<dyn Fn() -> u64 + Send>,
+    request_wakeup: Option<Box<dyn Fn(u64) + Send>>,
+    rto_ns: u64,
+    peers: HashMap<NodeId, PeerState>,
+    rx_ready: VecDeque<RxFrame>,
+    /// Inner send handles we fire-and-forget (acks, retransmits);
+    /// reaped opportunistically.
+    inner_handles: VecDeque<SendHandle>,
+    /// Public handles map 1:1 to data frames; complete once acked.
+    pending: HashMap<SendHandle, (NodeId, u32)>,
+    next_handle: u64,
+    stats: ReliableStats,
+}
+
+fn encode(kind: u8, seq: u32, ack: u32, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.push(kind);
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&ack.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+impl<D: Driver> ReliableDriver<D> {
+    /// Wraps `inner` with go-back-N reliability.
+    ///
+    /// `now` supplies monotonic nanoseconds; `request_wakeup` (if any)
+    /// is invoked with the absolute deadline whenever a retransmission
+    /// timer is armed, so a virtual clock can schedule a stop there.
+    /// `rto_ns` is the retransmission timeout; size it above the
+    /// worst-case round trip *including the serialization time of the
+    /// largest frame*, or go-back-N will retransmit spuriously.
+    pub fn new(
+        inner: D,
+        now: Box<dyn Fn() -> u64 + Send>,
+        request_wakeup: Option<Box<dyn Fn(u64) + Send>>,
+        rto_ns: u64,
+    ) -> Self {
+        assert!(rto_ns > 0, "zero retransmission timeout");
+        ReliableDriver {
+            inner,
+            now,
+            request_wakeup,
+            rto_ns,
+            peers: HashMap::new(),
+            rx_ready: VecDeque::new(),
+            inner_handles: VecDeque::new(),
+            pending: HashMap::new(),
+            next_handle: 0,
+            stats: ReliableStats::default(),
+        }
+    }
+
+    /// Reliability counters so far.
+    pub fn stats(&self) -> ReliableStats {
+        self.stats
+    }
+
+    /// The wrapped driver.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    fn arm_timer(&self, deadline: u64) {
+        if let Some(hook) = &self.request_wakeup {
+            hook(deadline);
+        }
+    }
+
+    fn reap_inner_handles(&mut self) -> NetResult<()> {
+        for _ in 0..self.inner_handles.len() {
+            let h = self.inner_handles.pop_front().expect("len checked");
+            if !self.inner.test_send(h)? {
+                self.inner_handles.push_back(h);
+            }
+        }
+        Ok(())
+    }
+
+    fn send_raw(&mut self, dst: NodeId, frame: &[u8]) -> NetResult<()> {
+        let h = self.inner.post_send(dst, &[frame])?;
+        self.inner_handles.push_back(h);
+        Ok(())
+    }
+
+    fn retransmit_all(&mut self, dst: NodeId) -> NetResult<()> {
+        let now = (self.now)();
+        let peer = self.peers.entry(dst).or_default();
+        let ack = peer.next_rx_seq;
+        let frames: Vec<(u32, Vec<u8>)> = peer
+            .unacked
+            .iter()
+            .map(|(seq, payload)| (*seq, encode(KIND_DATA, *seq, ack, payload)))
+            .collect();
+        let count = frames.len() as u64;
+        if count == 0 {
+            return Ok(());
+        }
+        self.peers.get_mut(&dst).expect("present").last_tx_ns = now;
+        for (_, frame) in frames {
+            self.send_raw(dst, &frame)?;
+        }
+        self.stats.retransmits += count;
+        self.arm_timer(now + self.rto_ns);
+        Ok(())
+    }
+
+    fn send_ack(&mut self, dst: NodeId) -> NetResult<()> {
+        let peer = self.peers.entry(dst).or_default();
+        let ack = peer.next_rx_seq;
+        let seq = peer.next_tx_seq; // informational on ack frames
+        peer.owes_ack = false;
+        let frame = encode(KIND_ACK, seq, ack, &[]);
+        self.send_raw(dst, &frame)?;
+        self.stats.acks_sent += 1;
+        Ok(())
+    }
+
+    fn handle_ack(&mut self, src: NodeId, ack: u32) -> NetResult<()> {
+        let (stale, dup) = {
+            let peer = self.peers.entry(src).or_default();
+            let before = peer.unacked.len();
+            while peer
+                .unacked
+                .front()
+                .is_some_and(|&(seq, _)| seq < ack)
+            {
+                peer.unacked.pop_front();
+            }
+            let advanced = peer.unacked.len() != before;
+            let dup = !advanced && ack == peer.last_ack_seen && !peer.unacked.is_empty();
+            peer.last_ack_seen = ack;
+            (peer.unacked.is_empty(), dup)
+        };
+        // Completions: every pending handle whose seq is now acked.
+        self.pending
+            .retain(|_, &mut (peer, seq)| !(peer == src && seq < ack));
+        let _ = stale;
+        if dup {
+            // A duplicate cumulative ack while data is outstanding is a
+            // gap signal: go back and resend the window.
+            self.stats.dup_acks += 1;
+            self.retransmit_all(src)?;
+        }
+        Ok(())
+    }
+
+    fn handle_data(&mut self, src: NodeId, seq: u32, payload: &[u8]) {
+        let peer = self.peers.entry(src).or_default();
+        if seq < peer.next_rx_seq {
+            self.stats.duplicates_dropped += 1;
+            peer.owes_ack = true; // re-ack so the sender advances
+            return;
+        }
+        if seq == peer.next_rx_seq {
+            peer.next_rx_seq += 1;
+            self.rx_ready.push_back(RxFrame {
+                src,
+                payload: payload.to_vec(),
+            });
+            // Drain any directly following buffered frames.
+            while let Some(p) = peer.out_of_order.remove(&peer.next_rx_seq) {
+                peer.next_rx_seq += 1;
+                self.rx_ready.push_back(RxFrame { src, payload: p });
+            }
+        } else if peer.out_of_order.len() < REORDER_WINDOW {
+            peer.out_of_order.insert(seq, payload.to_vec());
+        }
+        // Ack everything we see: in-order data advances the cumulative
+        // ack, out-of-order data produces the duplicate-ack gap signal.
+        peer.owes_ack = true;
+    }
+}
+
+impl<D: Driver> Driver for ReliableDriver<D> {
+    fn caps(&self) -> &Capabilities {
+        self.inner.caps()
+    }
+
+    fn local_node(&self) -> NodeId {
+        self.inner.local_node()
+    }
+
+    fn post_send(&mut self, dst: NodeId, iov: &[&[u8]]) -> NetResult<SendHandle> {
+        let payload: Vec<u8> = iov.concat();
+        let now = (self.now)();
+        let (seq, frame) = {
+            let peer = self.peers.entry(dst).or_default();
+            let seq = peer.next_tx_seq;
+            peer.next_tx_seq += 1;
+            peer.unacked.push_back((seq, payload.clone()));
+            peer.last_tx_ns = now;
+            (seq, encode(KIND_DATA, seq, peer.next_rx_seq, &payload))
+        };
+        self.send_raw(dst, &frame)?;
+        self.stats.data_sent += 1;
+        self.arm_timer(now + self.rto_ns);
+        let handle = SendHandle(self.next_handle);
+        self.next_handle += 1;
+        self.pending.insert(handle, (dst, seq));
+        Ok(handle)
+    }
+
+    fn test_send(&mut self, handle: SendHandle) -> NetResult<bool> {
+        self.pump()?;
+        Ok(!self.pending.contains_key(&handle))
+    }
+
+    fn poll_recv(&mut self) -> NetResult<Option<RxFrame>> {
+        if let Some(f) = self.rx_ready.pop_front() {
+            return Ok(Some(f));
+        }
+        self.pump()?;
+        Ok(self.rx_ready.pop_front())
+    }
+
+    fn tx_idle(&self) -> bool {
+        self.inner.tx_idle()
+    }
+
+    fn pump(&mut self) -> NetResult<()> {
+        self.inner.pump()?;
+        self.reap_inner_handles()?;
+
+        // Drain the wire.
+        while let Some(frame) = self.inner.poll_recv()? {
+            if frame.payload.len() < HEADER_LEN {
+                continue; // not ours; drop (corrupt or foreign)
+            }
+            let kind = frame.payload[0];
+            let seq = u32::from_le_bytes(frame.payload[1..5].try_into().expect("4"));
+            let ack = u32::from_le_bytes(frame.payload[5..9].try_into().expect("4"));
+            self.handle_ack(frame.src, ack)?;
+            if kind == KIND_DATA {
+                self.handle_data(frame.src, seq, &frame.payload[HEADER_LEN..]);
+            }
+        }
+
+        // Send owed acks.
+        let owing: Vec<NodeId> = self
+            .peers
+            .iter()
+            .filter(|&(_, p)| p.owes_ack)
+            .map(|(&n, _)| n)
+            .collect();
+        for dst in owing {
+            self.send_ack(dst)?;
+        }
+
+        // Retransmission timeouts.
+        let now = (self.now)();
+        let expired: Vec<NodeId> = self
+            .peers
+            .iter()
+            .filter(|&(_, p)| !p.unacked.is_empty() && now.saturating_sub(p.last_tx_ns) >= self.rto_ns)
+            .map(|(&n, _)| n)
+            .collect();
+        for dst in expired {
+            self.stats.timeouts += 1;
+            self.retransmit_all(dst)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lossy::LossyDriver;
+    use crate::mem::mem_fabric;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// A controllable test clock.
+    fn test_clock() -> (Arc<AtomicU64>, Box<dyn Fn() -> u64 + Send>) {
+        let t = Arc::new(AtomicU64::new(0));
+        let t2 = t.clone();
+        (t, Box::new(move || t2.load(Ordering::Relaxed)))
+    }
+
+    fn wrap<D: Driver>(d: D, clock: Box<dyn Fn() -> u64 + Send>) -> ReliableDriver<D> {
+        ReliableDriver::new(d, clock, None, 1_000_000)
+    }
+
+    #[test]
+    fn lossless_path_delivers_in_order() {
+        let mut fabric = mem_fabric(2);
+        let (ca, _) = test_clock();
+        let (cb, _) = test_clock();
+        let _ = (ca, cb);
+        let b_raw = fabric.pop().expect("pair");
+        let a_raw = fabric.pop().expect("pair");
+        let (_, clk_a) = test_clock();
+        let (_, clk_b) = test_clock();
+        let mut a = wrap(a_raw, clk_a);
+        let mut b = wrap(b_raw, clk_b);
+        let mut handles = Vec::new();
+        for i in 0..20u8 {
+            handles.push(a.post_send(NodeId(1), &[&[i; 8]]).unwrap());
+        }
+        let mut got = Vec::new();
+        while got.len() < 20 {
+            b.pump().unwrap();
+            a.pump().unwrap();
+            while let Some(f) = b.poll_recv().unwrap() {
+                got.push(f.payload[0]);
+            }
+        }
+        assert_eq!(got, (0..20).collect::<Vec<u8>>());
+        // Acks flow back: every handle eventually completes.
+        for h in handles {
+            let mut done = false;
+            for _ in 0..100 {
+                a.pump().unwrap();
+                b.pump().unwrap();
+                if a.test_send(h).unwrap() {
+                    done = true;
+                    break;
+                }
+            }
+            assert!(done, "send never acknowledged");
+        }
+        assert_eq!(a.stats().retransmits, 0, "no loss, no retransmits");
+    }
+
+    #[test]
+    fn heavy_loss_is_recovered_by_gap_signals_and_timeouts() {
+        let mut fabric = mem_fabric(2);
+        let b_raw = fabric.pop().expect("pair");
+        let a_raw = fabric.pop().expect("pair");
+        let (ta, clk_a) = test_clock();
+        let (_, clk_b) = test_clock();
+        // 30% loss in both directions.
+        let mut a = wrap(LossyDriver::new(a_raw, 0.3, 0xFEED), clk_a);
+        let mut b = wrap(LossyDriver::new(b_raw, 0.3, 0xBEEF), clk_b);
+
+        for i in 0..40u8 {
+            a.post_send(NodeId(1), &[&[i; 4]]).unwrap();
+        }
+        let mut got = Vec::new();
+        for round in 0..200_000 {
+            // Advance a's clock so its RTO can fire (b only acks).
+            ta.fetch_add(50_000, Ordering::Relaxed);
+            a.pump().unwrap();
+            b.pump().unwrap();
+            while let Some(f) = b.poll_recv().unwrap() {
+                got.push(f.payload[0]);
+            }
+            if got.len() == 40 {
+                break;
+            }
+            assert!(round < 199_999, "did not recover: got {} of 40", got.len());
+        }
+        assert_eq!(got, (0..40).collect::<Vec<u8>>(), "in order, exactly once");
+        assert!(
+            a.stats().retransmits > 0,
+            "30% loss must force retransmissions: {:?}",
+            a.stats()
+        );
+    }
+
+    #[test]
+    fn duplicates_are_dropped_not_redelivered() {
+        let mut fabric = mem_fabric(2);
+        let b_raw = fabric.pop().expect("pair");
+        let a_raw = fabric.pop().expect("pair");
+        let (ta, clk_a) = test_clock();
+        let (_, clk_b) = test_clock();
+        // Lossless inner, but force a timeout retransmission by never
+        // letting b's acks reach a... easiest: drop 100% of b→a frames.
+        let mut a = wrap(a_raw, clk_a);
+        let mut b = wrap(LossyDriver::new(b_raw, 0.99, 3), clk_b);
+        a.post_send(NodeId(1), &[b"only-once"]).unwrap();
+        let mut deliveries = 0;
+        for _ in 0..50 {
+            ta.fetch_add(2_000_000, Ordering::Relaxed); // exceed RTO
+            a.pump().unwrap();
+            b.pump().unwrap();
+            while let Some(f) = b.poll_recv().unwrap() {
+                assert_eq!(f.payload, b"only-once");
+                deliveries += 1;
+            }
+        }
+        assert_eq!(deliveries, 1, "retransmits must not duplicate delivery");
+        assert!(a.stats().timeouts > 0);
+        assert!(b.stats().duplicates_dropped > 0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Virtual-time primitives for the discrete-event substrate.
+//!
+//! All simulated instants and durations are kept in integer nanoseconds so
+//! that event ordering is exact and runs are bit-for-bit reproducible.
+//! Floating point only appears at the reporting boundary
+//! ([`SimDuration::as_us_f64`] and friends).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// An absolute instant on the simulated clock, in nanoseconds since the
+/// start of the simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// A sentinel later than every reachable instant.
+    pub const FAR_FUTURE: SimTime = SimTime(u64::MAX);
+
+    /// Builds an instant from raw nanoseconds since the epoch.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Raw nanoseconds since the epoch.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since the epoch, for human-facing reports.
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Duration elapsed since `earlier`; saturates at zero if `earlier`
+    /// is actually later (callers comparing unordered completion times
+    /// rely on this never panicking).
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Builds a duration from raw nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Builds a duration from integer microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Builds a duration from fractional microseconds (reporting /
+    /// calibration convenience; rounds to the nearest nanosecond).
+    pub fn from_us_f64(us: f64) -> Self {
+        assert!(us >= 0.0 && us.is_finite(), "negative or non-finite duration");
+        SimDuration((us * 1_000.0).round() as u64)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds as a float, for reports.
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Seconds as a float, for bandwidth computations in reports.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Exact time needed to move `bytes` bytes at `bytes_per_sec`,
+    /// rounded up so that a transfer never completes early.
+    ///
+    /// Uses 128-bit intermediates: 2 MiB at 1 byte/s would overflow u64
+    /// nanoseconds otherwise.
+    pub fn for_bytes(bytes: usize, bytes_per_sec: u64) -> Self {
+        assert!(bytes_per_sec > 0, "zero bandwidth");
+        let ns = (bytes as u128 * 1_000_000_000u128).div_ceil(bytes_per_sec as u128);
+        SimDuration(u64::try_from(ns).expect("transfer time overflows u64 ns"))
+    }
+
+    /// Saturating addition (used when accumulating worst-case bounds).
+    pub fn saturating_add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("sim time overflow"))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("negative sim duration"))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_add(rhs.0).expect("sim duration overflow"))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("negative sim duration"))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.3}us", self.as_us_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_us_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_roundtrips() {
+        let t0 = SimTime::from_ns(1_000);
+        let d = SimDuration::from_us(3);
+        let t1 = t0 + d;
+        assert_eq!(t1.as_ns(), 4_000);
+        assert_eq!(t1 - t0, d);
+    }
+
+    #[test]
+    fn saturating_since_never_underflows() {
+        let early = SimTime::from_ns(10);
+        let late = SimTime::from_ns(50);
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+        assert_eq!(late.saturating_since(early).as_ns(), 40);
+    }
+
+    #[test]
+    fn for_bytes_rounds_up() {
+        // 3 bytes at 2 bytes/s = 1.5 s, must round to 1.5e9 ns exactly;
+        // 1 byte at 3 bytes/s = 333_333_333.3..ns, must round UP.
+        assert_eq!(SimDuration::for_bytes(3, 2).as_ns(), 1_500_000_000);
+        assert_eq!(SimDuration::for_bytes(1, 3).as_ns(), 333_333_334);
+        assert_eq!(SimDuration::for_bytes(0, 1).as_ns(), 0);
+    }
+
+    #[test]
+    fn for_bytes_handles_large_messages() {
+        // 2 MiB at ~1.24 GB/s: well-defined, no overflow.
+        let d = SimDuration::for_bytes(2 << 20, 1_240_000_000);
+        assert!(d.as_us_f64() > 1_600.0 && d.as_us_f64() < 1_800.0);
+    }
+
+    #[test]
+    fn from_us_f64_rounds_to_ns() {
+        assert_eq!(SimDuration::from_us_f64(0.45).as_ns(), 450);
+        assert_eq!(SimDuration::from_us_f64(2.6).as_ns(), 2_600);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative sim duration")]
+    fn strict_sub_panics_on_underflow() {
+        let _ = SimTime::from_ns(1) - SimTime::from_ns(2);
+    }
+
+    #[test]
+    fn display_formats_microseconds() {
+        assert_eq!(format!("{}", SimDuration::from_ns(1_500)), "1.500us");
+        assert_eq!(format!("{}", SimTime::from_ns(2_000)), "t+2.000us");
+    }
+}

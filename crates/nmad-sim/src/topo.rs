@@ -1,0 +1,129 @@
+//! Cluster topology: node and rail identifiers plus the simulation
+//! configuration assembled by harnesses.
+
+use crate::host::HostModel;
+use crate::nic::NicModel;
+use std::fmt;
+
+/// Identifies one node (process) in the simulated cluster.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Identifies one rail (one NIC per node; every node owns one NIC of
+/// each configured rail, matching the paper's homogeneous multi-rail
+/// test platform).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RailId(pub u16);
+
+impl NodeId {
+    /// The node id as a plain array index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl RailId {
+    /// The rail id as a plain array index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::Debug for RailId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for RailId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Static description of a simulated cluster: `nodes` hosts, each with
+/// one NIC per entry of `rails`, all sharing the same `host` model.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Number of nodes in the cluster.
+    pub nodes: usize,
+    /// One NIC model per rail; every node owns one NIC per rail.
+    pub rails: Vec<NicModel>,
+    /// Host (CPU/memcpy) model shared by all nodes.
+    pub host: HostModel,
+}
+
+impl SimConfig {
+    /// Two nodes connected by a single rail of the given technology —
+    /// the topology of every ping-pong experiment in the paper.
+    pub fn two_nodes(nic: NicModel) -> Self {
+        SimConfig {
+            nodes: 2,
+            rails: vec![nic],
+            host: crate::host::opteron_1_8ghz(),
+        }
+    }
+
+    /// Two nodes with several heterogeneous rails (multirail
+    /// experiments).
+    pub fn two_nodes_multirail(rails: Vec<NicModel>) -> Self {
+        SimConfig {
+            nodes: 2,
+            rails,
+            host: crate::host::opteron_1_8ghz(),
+        }
+    }
+
+    /// `n` nodes on one rail (collectives, load-balancing tests).
+    pub fn cluster(n: usize, nic: NicModel) -> Self {
+        SimConfig {
+            nodes: n,
+            rails: vec![nic],
+            host: crate::host::opteron_1_8ghz(),
+        }
+    }
+
+    /// Number of configured rails.
+    pub fn rail_count(&self) -> usize {
+        self.rails.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nic;
+
+    #[test]
+    fn two_nodes_has_single_rail() {
+        let cfg = SimConfig::two_nodes(nic::mx_myri10g());
+        assert_eq!(cfg.nodes, 2);
+        assert_eq!(cfg.rail_count(), 1);
+    }
+
+    #[test]
+    fn ids_format_compactly() {
+        assert_eq!(format!("{}", NodeId(3)), "n3");
+        assert_eq!(format!("{}", RailId(1)), "r1");
+    }
+
+    #[test]
+    fn multirail_config_keeps_order() {
+        let cfg =
+            SimConfig::two_nodes_multirail(vec![nic::mx_myri10g(), nic::quadrics_qm500()]);
+        assert_eq!(cfg.rails[0].name, "MX/Myri-10G");
+        assert_eq!(cfg.rails[1].name, "Elan/QM500");
+    }
+}

@@ -1,0 +1,137 @@
+//! Optional event trace.
+//!
+//! Tests use the trace to assert determinism (same inputs ⇒ identical
+//! event sequence) and to check wire-level claims such as "the
+//! aggregation strategy sent one packet where the baseline sent eight".
+
+use crate::time::{SimDuration, SimTime};
+use crate::topo::{NodeId, RailId};
+
+/// One recorded simulator event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A packet left a node.
+    Send {
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// Rail (NIC index) the event occurred on.
+        rail: RailId,
+        /// Size in bytes.
+        bytes: usize,
+        /// Instant the packet reaches the receiver.
+        deliver_at: SimTime,
+    },
+    /// A packet reached a node.
+    Deliver {
+        /// Destination node.
+        dst: NodeId,
+        /// Source node.
+        src: NodeId,
+        /// Rail (NIC index) the event occurred on.
+        rail: RailId,
+        /// Size in bytes.
+        bytes: usize,
+    },
+    /// CPU time was charged to a node.
+    CpuCharge {
+        /// Node the event belongs to.
+        node: NodeId,
+        /// Duration of the charge.
+        dur: SimDuration,
+    },
+}
+
+impl TraceEvent {
+    /// Short stable name for assertions.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            TraceEvent::Send { .. } => "send",
+            TraceEvent::Deliver { .. } => "deliver",
+            TraceEvent::CpuCharge { .. } => "cpu",
+        }
+    }
+}
+
+/// A timestamped event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TracedEvent {
+    /// Virtual instant of the event.
+    pub time: SimTime,
+    /// The recorded event.
+    pub event: TraceEvent,
+}
+
+impl TracedEvent {
+    /// Short stable name of the event kind.
+    pub fn kind_name(&self) -> &'static str {
+        self.event.kind_name()
+    }
+}
+
+/// Append-only event log.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    events: Vec<TracedEvent>,
+}
+
+impl Trace {
+    /// Appends one timestamped event.
+    pub fn push(&mut self, time: SimTime, event: TraceEvent) {
+        self.events.push(TracedEvent { time, event });
+    }
+
+    /// All recorded events, in order.
+    pub fn events(&self) -> &[TracedEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of wire packets sent, a key metric for aggregation tests.
+    pub fn sends(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.event, TraceEvent::Send { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_counts_sends() {
+        let mut t = Trace::default();
+        t.push(
+            SimTime::ZERO,
+            TraceEvent::CpuCharge {
+                node: NodeId(0),
+                dur: SimDuration::from_us(1),
+            },
+        );
+        t.push(
+            SimTime::from_ns(10),
+            TraceEvent::Send {
+                src: NodeId(0),
+                dst: NodeId(1),
+                rail: RailId(0),
+                bytes: 42,
+                deliver_at: SimTime::from_ns(99),
+            },
+        );
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.sends(), 1);
+        assert!(!t.is_empty());
+    }
+}

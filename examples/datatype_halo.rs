@@ -1,0 +1,74 @@
+//! Derived-datatype halo exchange over MAD-MPI — both regimes of the
+//! paper's §5.3 analysis.
+//!
+//! A 2-D grid is distributed as row blocks; each rank sends a boundary
+//! *column strip* to its neighbour: a strided vector datatype, one
+//! block per row. How it should travel depends on the block size:
+//!
+//! * **thin halo** (tiny blocks): packing everything into one
+//!   contiguous buffer and sending once is cheaper than many tiny
+//!   requests — the paper concedes exactly this ("this behaviour is
+//!   certainly optimized when dealing with a small overall data size",
+//!   §5.3). The MPICH-like backend wins here.
+//! * **thick halo** (large blocks): the copies grow linearly while
+//!   MAD-MPI's per-block segments ride rendezvous zero-copy — the
+//!   engine wins, increasingly with size.
+//!
+//! Run: `cargo run --release --example datatype_halo`
+
+use newmadeleine::mpi::{pump_cluster, sim_cluster, Datatype, EngineKind, StrategyKind};
+use newmadeleine::sim::nic;
+
+fn run(kind: EngineKind, rows: usize, width: usize, pitch: usize) -> (f64, Vec<u8>) {
+    let (world, mut procs) = sim_cluster(2, nic::mx_myri10g(), kind);
+    let comm = procs[0].comm_world();
+    let grid0: Vec<u8> = vec![1u8; rows * pitch];
+    let halo = Datatype::vector(rows, width, pitch).expect("valid layout");
+
+    let t0 = world.lock().now();
+    let r = procs[1].irecv_typed(comm, 0, 0, &halo);
+    procs[0].isend_typed(comm, 1, 0, &grid0, &halo);
+    pump_cluster(&world, &mut procs, |p| p[1].test(r));
+    let received = procs[1].take(r).expect("tested");
+    let elapsed = world.lock().now().saturating_since(t0).as_us_f64();
+    (elapsed, received)
+}
+
+fn compare(label: &str, rows: usize, width: usize, pitch: usize) {
+    let madmpi = run(EngineKind::MadMpi(StrategyKind::Reorder), rows, width, pitch);
+    let mpich = run(EngineKind::Mpich, rows, width, pitch);
+
+    // Correctness on both: every block byte is the sender's fill value.
+    let halo = Datatype::vector(rows, width, pitch).expect("valid layout");
+    for (name, (_, data)) in [("MadMPI", &madmpi), ("MPICH", &mpich)] {
+        for &(offset, len) in halo.blocks() {
+            assert!(
+                data[offset..offset + len].iter().all(|&b| b == 1),
+                "{name}: halo block at {offset} corrupted"
+            );
+        }
+    }
+
+    let gain = (mpich.0 - madmpi.0) / mpich.0 * 100.0;
+    println!("{label}: {rows} blocks x {width} B = {} B of payload", rows * width);
+    println!("  MadMPI (block segments):  {:>10.1} us", madmpi.0);
+    println!("  MPICH  (pack + copy):     {:>10.1} us", mpich.0);
+    println!(
+        "  -> {}",
+        if gain >= 0.0 {
+            format!("MadMPI {gain:.0}% faster")
+        } else {
+            format!("MPICH {:.0}% faster (tiny blocks: copies beat many requests)", -gain)
+        }
+    );
+}
+
+fn main() {
+    // Thin halo: 64 rows, 8-byte strips — MPICH's single packed send
+    // beats 64 tiny requests (the regime the paper concedes).
+    compare("thin halo", 64, 8, 256);
+    println!();
+    // Thick halo: 8 rows, 64 KB strips — every block rides rendezvous
+    // zero-copy while the baseline pays two full copies.
+    compare("thick halo", 8, 64 * 1024, 96 * 1024);
+}

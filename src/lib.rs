@@ -1,0 +1,37 @@
+//! # newmadeleine — umbrella crate
+//!
+//! Rust reproduction of *"NewMadeleine: a Fast Communication Scheduling
+//! Engine for High Performance Networks"* (Aumage, Brunet, Furmento,
+//! Namyst — INRIA RR-6085 / IPPS 2007).
+//!
+//! This facade re-exports the whole public API:
+//!
+//! * [`sim`] — discrete-event network substrate (virtual clock,
+//!   calibrated NIC models for MX/Myri-10G, Elan/Quadrics, GM, SISCI);
+//! * [`net`] — driver abstraction + simulated, TCP and in-process
+//!   memory transports;
+//! * [`core`] — the engine: optimization window, pluggable strategies
+//!   (aggregation, reordering, multirail), eager/rendezvous transfer;
+//! * [`mpi`] — MAD-MPI: the MPI subset (communicators, nonblocking
+//!   point-to-point, derived datatypes, collectives) plus the MPICH-
+//!   and OpenMPI-like comparator backends;
+//! * [`baseline`] — the comparator engines themselves.
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! harnesses regenerating every figure of the paper.
+
+pub use baselines as baseline;
+pub use mad_mpi as mpi;
+pub use nmad_core as core;
+pub use nmad_net as net;
+pub use nmad_sim as sim;
+
+/// Convenience prelude for applications.
+pub mod prelude {
+    pub use mad_mpi::{
+        mem_cluster, pump_cluster, sim_cluster, sim_cluster_multirail, Comm, Datatype,
+        EngineKind, MpiProc, Request, StrategyKind,
+    };
+    pub use nmad_core::prelude::*;
+    pub use nmad_sim::{nic, NicModel, NodeId, RailId, SimConfig, SimDuration, SimTime};
+}

@@ -1,0 +1,168 @@
+//! Integration: small-sweep versions of every paper experiment, with
+//! assertions on the *shape* of the results (who wins, by roughly what
+//! factor) — the reproduction's acceptance tests.
+
+use bench::{gain_pct, pingpong_contig, pingpong_multiseg, pingpong_typed, transfer_multirail};
+use mad_mpi::{Datatype, EngineKind, StrategyKind};
+use nmad_sim::nic;
+
+const MADMPI: EngineKind = EngineKind::MadMpi(StrategyKind::Aggreg);
+const MADMPI_REORDER: EngineKind = EngineKind::MadMpi(StrategyKind::Reorder);
+
+#[test]
+fn fig2_overhead_is_constant_and_small() {
+    // §5.1: "MAD-MPI introduces a constant overhead of less than
+    // 0.5 us" on both networks.
+    for nic_model in [nic::mx_myri10g(), nic::quadrics_qm500()] {
+        let mut overheads = Vec::new();
+        for size in [4usize, 64, 1024] {
+            let mad = pingpong_contig(MADMPI, nic_model.clone(), size, 2);
+            let mpich = pingpong_contig(EngineKind::Mpich, nic_model.clone(), size, 2);
+            overheads.push(mad.one_way_us - mpich.one_way_us);
+        }
+        for &o in &overheads {
+            assert!(
+                o > 0.0 && o < 0.5,
+                "{}: overhead {o:.3} us out of the paper band ({overheads:?})",
+                nic_model.name
+            );
+        }
+        // "Constant": spread across sizes well under the bound.
+        let spread = overheads.iter().cloned().fold(f64::MIN, f64::max)
+            - overheads.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 0.3, "{}: spread {spread:.3}", nic_model.name);
+    }
+}
+
+#[test]
+fn fig2_peak_bandwidths_match_the_paper() {
+    // §5.1: 1155 MB/s over MYRI-10G, 835 MB/s over QUADRICS for
+    // MAD-MPI; we accept a ±10% band on the shape.
+    let mx = pingpong_contig(MADMPI, nic::mx_myri10g(), 2 << 20, 2);
+    assert!(
+        (1040.0..1280.0).contains(&mx.bandwidth_mbs),
+        "MX peak {:.0} MB/s",
+        mx.bandwidth_mbs
+    );
+    let qs = pingpong_contig(MADMPI, nic::quadrics_qm500(), 2 << 20, 2);
+    assert!(
+        (750.0..920.0).contains(&qs.bandwidth_mbs),
+        "Quadrics peak {:.0} MB/s",
+        qs.bandwidth_mbs
+    );
+    // And the baselines reach essentially the same asymptote (fig 2b/d).
+    let mpich = pingpong_contig(EngineKind::Mpich, nic::mx_myri10g(), 2 << 20, 2);
+    let ratio = mx.bandwidth_mbs / mpich.bandwidth_mbs;
+    assert!((0.95..1.05).contains(&ratio), "asymptote ratio {ratio:.3}");
+}
+
+#[test]
+fn fig2_openmpi_slower_than_mpich_at_small_sizes() {
+    let ompi = pingpong_contig(EngineKind::Ompi, nic::mx_myri10g(), 8, 2);
+    let mpich = pingpong_contig(EngineKind::Mpich, nic::mx_myri10g(), 8, 2);
+    assert!(
+        ompi.one_way_us > mpich.one_way_us,
+        "paper fig 2(a): OpenMPI sits above MPICH at small sizes"
+    );
+}
+
+#[test]
+fn fig3_aggregation_wins_by_paper_margins() {
+    // §5.2: "up to 70% faster than other implementations of MPI over
+    // MX-10G, and up to 50% faster than MPICH over QUADRICS".
+    let mut best_mx = f64::MIN;
+    for size in [8usize, 64, 512] {
+        let mad = pingpong_multiseg(MADMPI, nic::mx_myri10g(), 16, size, 2);
+        let mpich = pingpong_multiseg(EngineKind::Mpich, nic::mx_myri10g(), 16, size, 2);
+        best_mx = best_mx.max(gain_pct(mad.one_way_us, mpich.one_way_us));
+    }
+    assert!(
+        best_mx > 50.0 && best_mx < 90.0,
+        "MX 16-segment best gain {best_mx:.0}% (paper: up to ~70%)"
+    );
+
+    let mut best_qs = f64::MIN;
+    for size in [8usize, 64, 512] {
+        let mad = pingpong_multiseg(MADMPI, nic::quadrics_qm500(), 8, size, 2);
+        let mpich = pingpong_multiseg(EngineKind::Mpich, nic::quadrics_qm500(), 8, size, 2);
+        best_qs = best_qs.max(gain_pct(mad.one_way_us, mpich.one_way_us));
+    }
+    assert!(
+        best_qs > 35.0 && best_qs < 80.0,
+        "Quadrics 8-segment best gain {best_qs:.0}% (paper: up to ~50%)"
+    );
+}
+
+#[test]
+fn fig3_advantage_shrinks_as_segments_exceed_threshold() {
+    // Beyond the rendezvous threshold aggregation can no longer
+    // coalesce, so the curves converge at the right edge of fig. 3.
+    let small = {
+        let mad = pingpong_multiseg(MADMPI, nic::mx_myri10g(), 8, 64, 2);
+        let mpich = pingpong_multiseg(EngineKind::Mpich, nic::mx_myri10g(), 8, 64, 2);
+        gain_pct(mad.one_way_us, mpich.one_way_us)
+    };
+    let large = {
+        let mad = pingpong_multiseg(MADMPI, nic::mx_myri10g(), 8, 16 * 1024, 2);
+        let mpich = pingpong_multiseg(EngineKind::Mpich, nic::mx_myri10g(), 8, 16 * 1024, 2);
+        gain_pct(mad.one_way_us, mpich.one_way_us)
+    };
+    assert!(
+        small > large + 10.0,
+        "gain must shrink with segment size: {small:.0}% -> {large:.0}%"
+    );
+}
+
+#[test]
+fn fig4_datatype_gains_match_the_paper() {
+    // §5.3: "a gain of about 70% in comparison with MPICH and about 50%
+    // with OPENMPI over MX and until about 70% versus MPICH over
+    // QUADRICS".
+    let dtype = Datatype::alternating(64, 256 * 1024, 4);
+
+    let mad = pingpong_typed(MADMPI_REORDER, nic::mx_myri10g(), &dtype, 2);
+    let mpich = pingpong_typed(EngineKind::Mpich, nic::mx_myri10g(), &dtype, 2);
+    let ompi = pingpong_typed(EngineKind::Ompi, nic::mx_myri10g(), &dtype, 2);
+    let g_mpich = gain_pct(mad.one_way_us, mpich.one_way_us);
+    let g_ompi = gain_pct(mad.one_way_us, ompi.one_way_us);
+    assert!(
+        (55.0..80.0).contains(&g_mpich),
+        "MX gain vs MPICH {g_mpich:.0}% (paper ≈70%)"
+    );
+    assert!(
+        (35.0..65.0).contains(&g_ompi),
+        "MX gain vs OpenMPI {g_ompi:.0}% (paper ≈50%)"
+    );
+
+    let mad_q = pingpong_typed(MADMPI_REORDER, nic::quadrics_qm500(), &dtype, 2);
+    let mpich_q = pingpong_typed(EngineKind::Mpich, nic::quadrics_qm500(), &dtype, 2);
+    let g_q = gain_pct(mad_q.one_way_us, mpich_q.one_way_us);
+    assert!(
+        (50.0..80.0).contains(&g_q),
+        "Quadrics gain vs MPICH {g_q:.0}% (paper: up to ~70%)"
+    );
+}
+
+#[test]
+fn multirail_beats_the_best_single_rail() {
+    let size = 4 << 20;
+    let (mx, _) = transfer_multirail(MADMPI, vec![nic::mx_myri10g()], size, 1);
+    let (both, split) = transfer_multirail(
+        EngineKind::MadMpi(StrategyKind::Multirail),
+        vec![nic::mx_myri10g(), nic::quadrics_qm500()],
+        size,
+        1,
+    );
+    assert!(
+        both.bandwidth_mbs > mx.bandwidth_mbs * 1.3,
+        "multirail {:.0} MB/s vs single {:.0} MB/s",
+        both.bandwidth_mbs,
+        mx.bandwidth_mbs
+    );
+    // Heterogeneous split ≈ bandwidth ratio 1240:880 (±10 points).
+    let pct0 = 100.0 * split[0] as f64 / (split[0] + split[1]) as f64;
+    assert!(
+        (48.0..68.0).contains(&pct0),
+        "MX rail carried {pct0:.0}% (expected ≈58%)"
+    );
+}

@@ -1,0 +1,195 @@
+//! Property-based integration tests (proptest): the engine's delivery
+//! semantics hold for arbitrary workloads under every strategy, and the
+//! wire codecs round-trip arbitrary content.
+
+use bytes::Bytes;
+use newmadeleine::core::prelude::*;
+use newmadeleine::core::wire::{parse_frame, Entry, FrameBuilder};
+use newmadeleine::core::SeqNo;
+use newmadeleine::net::sim::SimDriver;
+use newmadeleine::net::Driver;
+use newmadeleine::sim::{nic, shared_world, NodeId, RailId, SharedWorld, SimConfig};
+use newmadeleine::core::Strategy;
+use proptest::prelude::*;
+
+fn strategies() -> Vec<(&'static str, fn() -> Box<dyn Strategy>)> {
+    vec![
+        ("default", || Box::new(StratDefault)),
+        ("aggreg", || Box::new(StratAggreg)),
+        ("reorder", || Box::new(StratReorder)),
+        ("multirail", || Box::new(StratMultirail::default())),
+    ]
+}
+
+fn engine(world: &SharedWorld, node: u32, strategy: Box<dyn Strategy>) -> NmadEngine {
+    let driver = SimDriver::new(world.clone(), NodeId(node), RailId(0));
+    let meter = Box::new(driver.meter());
+    NmadEngine::new(
+        vec![Box::new(driver) as Box<dyn Driver>],
+        meter,
+        strategy,
+        EngineCosts::zero(),
+    )
+}
+
+/// One submitted segment: flow tag, size class.
+#[derive(Clone, Debug)]
+struct Seg {
+    tag: u32,
+    len: usize,
+}
+
+fn seg_strategy() -> impl proptest::strategy::Strategy<Value = Seg> {
+    use proptest::strategy::Strategy as _;
+    (0u32..4, prop_oneof![0usize..200, 30_000usize..90_000])
+        .prop_map(|(tag, len)| Seg { tag, len })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Whatever the strategy does on the wire (aggregate, reorder,
+    /// split), every flow delivers exactly the submitted bytes in
+    /// submission order.
+    #[test]
+    fn delivery_is_exact_under_every_strategy(segs in proptest::collection::vec(seg_strategy(), 1..12)) {
+        for (name, mk) in strategies() {
+            let world = shared_world(SimConfig::two_nodes(nic::mx_myri10g()));
+            let mut a = engine(&world, 0, mk());
+            let mut b = engine(&world, 1, mk());
+            let mut expected: std::collections::HashMap<u32, Vec<Vec<u8>>> = Default::default();
+            let mut sends = Vec::new();
+            for (i, seg) in segs.iter().enumerate() {
+                let body: Vec<u8> = (0..seg.len).map(|j| ((i * 31 + j) % 251) as u8).collect();
+                expected.entry(seg.tag).or_default().push(body.clone());
+                sends.push(a.isend(NodeId(1), Tag(seg.tag), body));
+            }
+            let mut recvs: Vec<(u32, usize, newmadeleine::core::RecvReqId)> = Vec::new();
+            for seg in &segs {
+                let idx = recvs.iter().filter(|(t, _, _)| *t == seg.tag).count();
+                recvs.push((seg.tag, idx, b.post_recv(NodeId(0), Tag(seg.tag), seg.len)));
+            }
+            // Pump to completion.
+            let mut spins = 0u32;
+            loop {
+                let mut moved = a.progress();
+                moved |= b.progress();
+                let all = sends.iter().all(|&s| a.is_send_done(s))
+                    && recvs.iter().all(|&(_, _, r)| b.is_recv_done(r));
+                if all { break; }
+                if !moved && world.lock().advance().is_none() {
+                    panic!("deadlock under {name}");
+                }
+                spins += 1;
+                prop_assert!(spins < 1_000_000, "livelock under {name}");
+            }
+            for (tag, idx, r) in recvs {
+                let done = b.try_take_recv(r).expect("completed");
+                prop_assert_eq!(
+                    &done.data,
+                    &expected[&tag][idx],
+                    "strategy {} flow {} item {}", name, tag, idx
+                );
+            }
+        }
+    }
+
+    /// The engine wire codec round-trips arbitrary entry sequences.
+    #[test]
+    fn wire_frames_roundtrip(
+        entries in proptest::collection::vec(
+            (0u32..1000, 0u32..1000, proptest::collection::vec(any::<u8>(), 0..300), 0u8..4),
+            0..20
+        )
+    ) {
+        let mut fb = FrameBuilder::new();
+        for (tag, seq, payload, kind) in &entries {
+            match kind {
+                0 => fb.push_data(Tag(*tag), SeqNo(*seq), payload),
+                1 => fb.push_rts(Tag(*tag), SeqNo(*seq), payload.len() as u32),
+                2 => fb.push_cts(Tag(*tag), SeqNo(*seq), payload.len() as u32),
+                _ => fb.push_rdv_data(Tag(*tag), SeqNo(*seq), *seq, *seq % 2 == 0, payload),
+            }
+        }
+        let frame = fb.finish();
+        let parsed = parse_frame(&frame).expect("self-built frame parses");
+        prop_assert_eq!(parsed.len(), entries.len());
+        for (entry, (tag, seq, payload, kind)) in parsed.iter().zip(&entries) {
+            match (entry, kind) {
+                (Entry::Data { tag: t, seq: s, payload: p }, 0) => {
+                    prop_assert_eq!(t.0, *tag);
+                    prop_assert_eq!(s.0, *seq);
+                    prop_assert_eq!(*p, payload.as_slice());
+                }
+                (Entry::Rts { total, .. }, 1) | (Entry::Cts { total, .. }, 2) => {
+                    prop_assert_eq!(*total as usize, payload.len());
+                }
+                (Entry::RdvData { offset, payload: p, .. }, _) => {
+                    prop_assert_eq!(*offset, *seq);
+                    prop_assert_eq!(*p, payload.as_slice());
+                }
+                other => prop_assert!(false, "kind mismatch {:?}", other),
+            }
+        }
+    }
+
+    /// Baseline codec round-trips arbitrary payloads.
+    #[test]
+    fn baseline_codec_roundtrips(tag in any::<u32>(), seq in any::<u32>(), payload in proptest::collection::vec(any::<u8>(), 0..500)) {
+        use newmadeleine::baseline::codec::{decode, Msg};
+        let msg = Msg::Eager { tag: Tag(tag), seq: SeqNo(seq), payload: &payload };
+        let wire = msg.encode();
+        prop_assert_eq!(decode(&wire).expect("valid"), msg);
+    }
+
+    /// Datatype pack → unpack is identity on the blocks and zero on
+    /// the gaps, for arbitrary non-overlapping layouts.
+    #[test]
+    fn datatype_pack_unpack_identity(raw_blocks in proptest::collection::vec((0usize..64, 1usize..64), 0..10)) {
+        use newmadeleine::mpi::Datatype;
+        // Make blocks disjoint by accumulating offsets.
+        let mut blocks = Vec::new();
+        let mut at = 0usize;
+        for (gap, len) in raw_blocks {
+            at += gap;
+            blocks.push((at, len));
+            at += len;
+        }
+        let dtype = Datatype::indexed(blocks).expect("disjoint by construction");
+        let src: Vec<u8> = (0..dtype.extent()).map(|i| (i % 255) as u8 | 1).collect();
+        let packed = dtype.pack(&src);
+        prop_assert_eq!(packed.len(), dtype.total_bytes());
+        let back = dtype.unpack(&packed);
+        let mut covered = vec![false; dtype.extent()];
+        for &(offset, len) in dtype.blocks() {
+            prop_assert_eq!(&back[offset..offset + len], &src[offset..offset + len]);
+            for c in &mut covered[offset..offset + len] { *c = true; }
+        }
+        for (i, c) in covered.iter().enumerate() {
+            if !c {
+                prop_assert_eq!(back[i], 0, "gap byte {} must be zero", i);
+            }
+        }
+    }
+
+    /// Rendezvous chunking covers segments exactly once whatever the
+    /// chunk size.
+    #[test]
+    fn rdv_chunking_partitions_payload(len in 1usize..100_000, chunk in 1usize..40_000) {
+        use newmadeleine::core::{RdvJob, SendReqId};
+        let data: Bytes = (0..len).map(|i| (i % 251) as u8).collect::<Vec<u8>>().into();
+        let mut job = RdvJob::new(NodeId(1), Tag(0), SeqNo(0), data.clone(), SendReqId(0));
+        let mut rebuilt = vec![0u8; len];
+        let mut total = 0usize;
+        let mut saw_last = false;
+        while let Some(c) = job.take_chunk(chunk) {
+            prop_assert!(!saw_last, "chunks after last");
+            rebuilt[c.offset as usize..c.offset as usize + c.data.len()].copy_from_slice(&c.data);
+            total += c.data.len();
+            saw_last = c.last;
+        }
+        prop_assert!(saw_last);
+        prop_assert_eq!(total, len);
+        prop_assert_eq!(rebuilt.as_slice(), &data[..]);
+    }
+}
