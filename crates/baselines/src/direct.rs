@@ -360,7 +360,13 @@ impl DirectEngine {
                     .matching
                     .on_rdv_chunk(src, tag, seq, offset, payload, zero_copy);
                 self.apply_effects(fx);
-                self.note_unpack(src, tag, seq, payload.len(), offset as usize + payload.len());
+                self.note_unpack(
+                    src,
+                    tag,
+                    seq,
+                    payload.len(),
+                    offset as usize + payload.len(),
+                );
             }
         }
         Ok(())
@@ -405,10 +411,7 @@ impl DirectEngine {
             self.handle_msg(frame.src, &frame.payload)?;
             any = true;
         }
-        loop {
-            let Some(handle) = self.inflight.front().map(|(h, _)| *h) else {
-                break;
-            };
+        while let Some(handle) = self.inflight.front().map(|(h, _)| *h) {
             if !self.driver.test_send(handle)? {
                 break;
             }
@@ -509,8 +512,7 @@ mod tests {
             .map(|t| b.post_recv(NodeId(0), Tag(t), 64, UnpackMode::None))
             .collect();
         pump(&world, &mut a, &mut b, |a, b| {
-            sends.iter().all(|&s| a.is_send_done(s))
-                && recvs.iter().all(|&r| b.is_recv_done(r))
+            sends.iter().all(|&s| a.is_send_done(s)) && recvs.iter().all(|&r| b.is_recv_done(r))
         });
         assert_eq!(a.stats().messages_sent, 8, "the defining baseline property");
     }
@@ -540,7 +542,9 @@ mod tests {
         let s = a.isend(NodeId(1), Tag(5), &b"early"[..]);
         pump(&world, &mut a, &mut b, |a, _| a.is_send_done(s));
         // Drain delivery into the unexpected queue.
-        pump(&world, &mut a, &mut b, |_, b| b.stats().messages_received > 0);
+        pump(&world, &mut a, &mut b, |_, b| {
+            b.stats().messages_received > 0
+        });
         let r = b.post_recv(NodeId(0), Tag(5), 16, UnpackMode::None);
         assert!(b.is_recv_done(r));
         assert_eq!(b.try_take_recv(r).unwrap().data, b"early");

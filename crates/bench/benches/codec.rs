@@ -65,5 +65,10 @@ fn bench_baseline_codec(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_frame_build, bench_frame_parse, bench_baseline_codec);
+criterion_group!(
+    benches,
+    bench_frame_build,
+    bench_frame_parse,
+    bench_baseline_codec
+);
 criterion_main!(benches);

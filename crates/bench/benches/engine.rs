@@ -45,27 +45,23 @@ fn bench_strategy_schedule(c: &mut Criterion) {
     ] {
         for depth in [8usize, 64] {
             group.throughput(Throughput::Elements(depth as u64));
-            group.bench_with_input(
-                BenchmarkId::new(name, depth),
-                &depth,
-                |b, &depth| {
-                    b.iter(|| {
-                        let mut w = Window::new(1);
-                        for i in 0..depth as u32 {
-                            w.push_segment(wrapper(i, 64), None);
-                        }
-                        let view = NicView {
-                            index: 0,
-                            caps: &caps,
-                        };
-                        let mut frames = 0;
-                        while let Some(plan) = strat.schedule(&mut w, &view) {
-                            frames += plan.entries.len();
-                        }
-                        black_box(frames)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, depth), &depth, |b, &depth| {
+                b.iter(|| {
+                    let mut w = Window::new(1);
+                    for i in 0..depth as u32 {
+                        w.push_segment(wrapper(i, 64), None);
+                    }
+                    let view = NicView {
+                        index: 0,
+                        caps: &caps,
+                    };
+                    let mut frames = 0;
+                    while let Some(plan) = strat.schedule(&mut w, &view) {
+                        frames += plan.entries.len();
+                    }
+                    black_box(frames)
+                })
+            });
         }
     }
     group.finish();
@@ -147,7 +143,9 @@ fn bench_datatype(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(dtype.total_bytes() as u64));
     group.bench_function("pack_256k", |b| b.iter(|| black_box(dtype.pack(&src))));
     let packed = dtype.pack(&src);
-    group.bench_function("unpack_256k", |b| b.iter(|| black_box(dtype.unpack(&packed))));
+    group.bench_function("unpack_256k", |b| {
+        b.iter(|| black_box(dtype.unpack(&packed)))
+    });
     group.finish();
 }
 

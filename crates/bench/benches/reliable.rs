@@ -22,18 +22,10 @@ fn bench_reliable_roundtrip(c: &mut Criterion) {
             let mut fabric = mem_fabric(2);
             let (_, clk_b) = clock();
             let (_, clk_a) = clock();
-            let mut rx = ReliableDriver::new(
-                fabric.pop().expect("pair"),
-                clk_b,
-                None,
-                1_000_000_000,
-            );
-            let mut tx = ReliableDriver::new(
-                fabric.pop().expect("pair"),
-                clk_a,
-                None,
-                1_000_000_000,
-            );
+            let mut rx =
+                ReliableDriver::new(fabric.pop().expect("pair"), clk_b, None, 1_000_000_000);
+            let mut tx =
+                ReliableDriver::new(fabric.pop().expect("pair"), clk_a, None, 1_000_000_000);
             let payload = vec![7u8; size];
             b.iter(|| {
                 tx.post_send(NodeId(1), &[&payload]).expect("send");

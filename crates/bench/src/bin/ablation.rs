@@ -10,22 +10,28 @@
 //! * **datatype strategy ablation** — the fig. 4 workload: reordering
 //!   is what lets small blocks coalesce past the in-queue large blocks.
 //!
-//! Run: `cargo run --release -p bench --bin ablation [-- --quick]`
+//! Run: `cargo run --release -p bench --bin ablation [-- --quick] [-- --json PATH]`
 
-use bench::{byte_sizes, fmt_size, pingpong_multiseg, pingpong_typed, Table};
+use bench::{
+    byte_sizes, fmt_size, json_arg, pingpong_multiseg, pingpong_typed, write_json_report, Table,
+};
 use mad_mpi::{Datatype, EngineKind, StrategyKind};
+use nmad_core::MetricsRegistry;
 use nmad_sim::nic;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let json = json_arg();
     let iters = if quick { 1 } else { 4 };
+    let registry = MetricsRegistry::new();
 
-    strategy_ablation(iters, quick);
-    threshold_sweep(iters);
-    datatype_ablation(iters, quick);
+    strategy_ablation(iters, quick, &registry);
+    threshold_sweep(iters, &registry);
+    datatype_ablation(iters, quick, &registry);
+    write_json_report(json.as_deref(), &registry);
 }
 
-fn strategy_ablation(iters: usize, quick: bool) {
+fn strategy_ablation(iters: usize, quick: bool, registry: &MetricsRegistry) {
     println!("\n## Strategy ablation — fig. 3 workload (8 segments, MX)\n");
     let strategies = [
         StrategyKind::Default,
@@ -42,6 +48,14 @@ fn strategy_ablation(iters: usize, quick: bool) {
             .iter()
             .map(|&s| pingpong_multiseg(EngineKind::MadMpi(s), nic::mx_myri10g(), 8, size, iters))
             .collect();
+        for (strat, s) in strategies.iter().zip(&samples) {
+            if let Some(m) = &s.metrics {
+                registry.record(
+                    format!("ablation/strategy/{}/{}", strat.name(), fmt_size(size)),
+                    m.clone(),
+                );
+            }
+        }
         let mut row = vec![fmt_size(size)];
         row.extend(samples.iter().map(|s| format!("{:.2}", s.one_way_us)));
         row.extend(samples.iter().map(|s| format!("{:.1}", s.frames_per_ping)));
@@ -50,7 +64,7 @@ fn strategy_ablation(iters: usize, quick: bool) {
     table.print();
 }
 
-fn threshold_sweep(iters: usize) {
+fn threshold_sweep(iters: usize, registry: &MetricsRegistry) {
     println!("\n## Aggregation-threshold sweep — 16×256 B burst, MX\n");
     let mut table = Table::new(vec!["threshold", "one-way (us)", "frames/ping"]);
     for threshold in [512usize, 1024, 4 * 1024, 16 * 1024, 32 * 1024, 128 * 1024] {
@@ -63,6 +77,12 @@ fn threshold_sweep(iters: usize) {
             256,
             iters,
         );
+        if let Some(m) = &s.metrics {
+            registry.record(
+                format!("ablation/threshold/{}", fmt_size(threshold)),
+                m.clone(),
+            );
+        }
         table.row(vec![
             fmt_size(threshold),
             format!("{:.2}", s.one_way_us),
@@ -73,7 +93,7 @@ fn threshold_sweep(iters: usize) {
     println!("\n- small thresholds fragment the burst; beyond the burst size the curve flattens.");
 }
 
-fn datatype_ablation(iters: usize, quick: bool) {
+fn datatype_ablation(iters: usize, quick: bool, registry: &MetricsRegistry) {
     println!("\n## Datatype strategy ablation — fig. 4 workload, MX\n");
     let strategies = [
         StrategyKind::Default,
@@ -89,6 +109,16 @@ fn datatype_ablation(iters: usize, quick: bool) {
         let mut row = vec![fmt_size(pairs * 256 * 1024)];
         for &s in &strategies {
             let sample = pingpong_typed(EngineKind::MadMpi(s), nic::mx_myri10g(), &dtype, iters);
+            if let Some(m) = &sample.metrics {
+                registry.record(
+                    format!(
+                        "ablation/datatype/{}/{}",
+                        s.name(),
+                        fmt_size(pairs * 256 * 1024)
+                    ),
+                    m.clone(),
+                );
+            }
             row.push(format!("{:.0}", sample.one_way_us));
         }
         table.row(row);

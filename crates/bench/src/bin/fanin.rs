@@ -33,16 +33,16 @@ fn run(n: usize, kind: EngineKind, iters: usize) -> (f64, f64) {
             }
         }
         let mut reply_recvs: Vec<(usize, Vec<Request>)> = Vec::new();
-        for client in 1..n {
+        for (client, proc) in procs.iter_mut().enumerate().skip(1) {
             let rs: Vec<Request> = (0..REQS_PER_CLIENT)
-                .map(|k| procs[client].irecv(comm, 0, k as u16, REPLY_BYTES))
+                .map(|k| proc.irecv(comm, 0, k as u16, REPLY_BYTES))
                 .collect();
             reply_recvs.push((client, rs));
         }
         // Clients burst their requests.
-        for client in 1..n {
+        for (client, proc) in procs.iter_mut().enumerate().skip(1) {
             for k in 0..REQS_PER_CLIENT {
-                procs[client].isend(comm, 0, k as u16, vec![client as u8; REQ_BYTES]);
+                proc.isend(comm, 0, k as u16, vec![client as u8; REQ_BYTES]);
             }
         }
         // Server answers as requests land.
@@ -68,8 +68,7 @@ fn run(n: usize, kind: EngineKind, iters: usize) -> (f64, f64) {
         }
     }
     let elapsed = world.lock().now().saturating_since(t0).as_us_f64() / iters as f64;
-    let server_frames =
-        (procs[0].backend().frames_sent() - frames0) as f64 / iters as f64;
+    let server_frames = (procs[0].backend().frames_sent() - frames0) as f64 / iters as f64;
     (elapsed, server_frames)
 }
 

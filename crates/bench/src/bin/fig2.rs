@@ -5,17 +5,22 @@
 //! MPICH), for single-segment messages of 4 B to 2 MB, plus the §5.1
 //! headline numbers (constant overhead < 0.5 µs, peak bandwidths).
 //!
-//! Run: `cargo run --release -p bench --bin fig2 [-- --quick]`
+//! Run: `cargo run --release -p bench --bin fig2 [-- --quick] [-- --json PATH]`
 
-use bench::{byte_sizes, fmt_size, pingpong_contig, LogLogChart, Series, Table};
+use bench::{
+    byte_sizes, fmt_size, json_arg, pingpong_contig, write_json_report, LogLogChart, Series, Table,
+};
 use mad_mpi::{EngineKind, StrategyKind};
+use nmad_core::MetricsRegistry;
 use nmad_sim::{nic, NicModel};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let json = json_arg();
     let iters = if quick { 1 } else { 4 };
     let max = if quick { 64 * 1024 } else { 2 << 20 };
     let sizes = byte_sizes(4, max);
+    let registry = MetricsRegistry::new();
 
     let madmpi = EngineKind::MadMpi(StrategyKind::Aggreg);
 
@@ -25,6 +30,7 @@ fn main() {
         &[madmpi, EngineKind::Mpich, EngineKind::Ompi],
         &sizes,
         iters,
+        &registry,
     );
     run_platform(
         "Fig 2(c)/(d) — Elan/Quadrics",
@@ -32,7 +38,9 @@ fn main() {
         &[madmpi, EngineKind::Mpich],
         &sizes,
         iters,
+        &registry,
     );
+    write_json_report(json.as_deref(), &registry);
 }
 
 fn run_platform(
@@ -41,6 +49,7 @@ fn run_platform(
     kinds: &[EngineKind],
     sizes: &[usize],
     iters: usize,
+    registry: &MetricsRegistry,
 ) {
     println!("\n## {title}\n");
     let mut lat = Table::new(
@@ -72,6 +81,14 @@ fn run_platform(
             .iter()
             .map(|&k| pingpong_contig(k, nic_model.clone(), size, iters))
             .collect();
+        for (k, s) in kinds.iter().zip(&samples) {
+            if let Some(m) = &s.metrics {
+                registry.record(
+                    format!("fig2/{}/{}/{}", nic_model.name, k.label(), fmt_size(size)),
+                    m.clone(),
+                );
+            }
+        }
         lat.row(
             std::iter::once(fmt_size(size))
                 .chain(samples.iter().map(|s| format!("{:.2}", s.one_way_us)))
@@ -96,7 +113,11 @@ fn run_platform(
     println!("### latency (one-way, us)\n");
     lat.print();
     println!();
-    let mut chart = LogLogChart::new(format!("{title} — latency"), "message size (B)", "one-way us");
+    let mut chart = LogLogChart::new(
+        format!("{title} — latency"),
+        "message size (B)",
+        "one-way us",
+    );
     for s in lat_series {
         chart.add(s);
     }

@@ -7,15 +7,21 @@
 //! MAD-MPI up to ~70 % faster than MPICH/OpenMPI over MX and up to
 //! ~50 % over Quadrics.
 //!
-//! Run: `cargo run --release -p bench --bin fig3 [-- --quick]`
+//! Run: `cargo run --release -p bench --bin fig3 [-- --quick] [-- --json PATH]`
 
-use bench::{byte_sizes, fmt_size, gain_pct, pingpong_multiseg, LogLogChart, Series, Table};
+use bench::{
+    byte_sizes, fmt_size, gain_pct, json_arg, pingpong_multiseg, write_json_report, LogLogChart,
+    Series, Table,
+};
 use mad_mpi::{EngineKind, StrategyKind};
+use nmad_core::MetricsRegistry;
 use nmad_sim::{nic, NicModel};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let json = json_arg();
     let iters = if quick { 1 } else { 4 };
+    let registry = MetricsRegistry::new();
     let madmpi = EngineKind::MadMpi(StrategyKind::Aggreg);
 
     for (panel, nic_model, segs, max, kinds) in [
@@ -49,10 +55,12 @@ fn main() {
         ),
     ] {
         let max = if quick { max.min(1024) } else { max };
-        run_panel(panel, nic_model, segs, max, &kinds, iters);
+        run_panel(panel, nic_model, segs, max, &kinds, iters, &registry);
     }
+    write_json_report(json.as_deref(), &registry);
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_panel(
     title: &str,
     nic_model: NicModel,
@@ -60,6 +68,7 @@ fn run_panel(
     max_size: usize,
     kinds: &[EngineKind],
     iters: usize,
+    registry: &MetricsRegistry,
 ) {
     println!("\n## {title}\n");
     let mut headers: Vec<String> = vec!["seg size".into()];
@@ -80,6 +89,20 @@ fn run_panel(
             .iter()
             .map(|&k| pingpong_multiseg(k, nic_model.clone(), segs, size, iters))
             .collect();
+        for (k, s) in kinds.iter().zip(&samples) {
+            if let Some(m) = &s.metrics {
+                registry.record(
+                    format!(
+                        "fig3/{}/{}seg/{}/{}",
+                        nic_model.name,
+                        segs,
+                        k.label(),
+                        fmt_size(size)
+                    ),
+                    m.clone(),
+                );
+            }
+        }
         for (i, s) in samples.iter().enumerate() {
             series[i].push(size as f64, s.one_way_us);
         }

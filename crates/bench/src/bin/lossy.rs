@@ -40,13 +40,10 @@ fn engine(world: &SharedWorld, node: u32, loss: f64, seed: u64, proto: Protocol)
     let cw = world.clone();
     let ww = world.clone();
     let now: Box<dyn Fn() -> u64 + Send> = Box::new(move || cw.lock().now().as_ns());
-    let wake: Box<dyn Fn(u64) + Send> = Box::new(move |t| {
-        ww.lock().schedule_wakeup(SimTime::from_ns(t))
-    });
+    let wake: Box<dyn Fn(u64) + Send> =
+        Box::new(move |t| ww.lock().schedule_wakeup(SimTime::from_ns(t)));
     let driver: Box<dyn Driver> = match proto {
-        Protocol::GoBackN => {
-            Box::new(ReliableDriver::new(lossy, now, Some(wake), GBN_RTO_NS))
-        }
+        Protocol::GoBackN => Box::new(ReliableDriver::new(lossy, now, Some(wake), GBN_RTO_NS)),
         Protocol::SelectiveRepeat => {
             Box::new(SelectiveDriver::new(lossy, now, Some(wake), SR_RTO_NS))
         }

@@ -49,5 +49,8 @@ fn main() {
     println!("\n- every technology runs the identical engine and strategy code;");
     println!("  only the driver capability record differs (gather limit, RDMA,");
     println!("  rendezvous threshold, MTU — e.g. SISCI chunks rendezvous data at");
-    println!("  its {} MTU, GM stages aggregated frames through a copy).", fmt_size(64 * 1024));
+    println!(
+        "  its {} MTU, GM stages aggregated frames through a copy).",
+        fmt_size(64 * 1024)
+    );
 }

@@ -2,10 +2,14 @@
 //! reduced-but-representative sweep and prints a paper-vs-measured
 //! summary table (the data source for EXPERIMENTS.md).
 //!
-//! Run: `cargo run --release -p bench --bin report`
+//! Run: `cargo run --release -p bench --bin report [-- --json PATH]`
 
-use bench::{gain_pct, pingpong_contig, pingpong_multiseg, pingpong_typed, transfer_multirail, Table};
+use bench::{
+    gain_pct, json_arg, pingpong_contig, pingpong_multiseg, pingpong_typed, transfer_multirail,
+    write_json_report, Table,
+};
 use mad_mpi::{Datatype, EngineKind, StrategyKind};
+use nmad_core::MetricsRegistry;
 use nmad_sim::nic;
 
 const MADMPI: EngineKind = EngineKind::MadMpi(StrategyKind::Aggreg);
@@ -13,6 +17,8 @@ const MADMPI_REORDER: EngineKind = EngineKind::MadMpi(StrategyKind::Reorder);
 
 fn main() {
     let iters = 3;
+    let json = json_arg();
+    let registry = MetricsRegistry::new();
     let mut t = Table::new(vec!["experiment", "paper says", "measured"]);
 
     // --- §5.1 / fig 2 -------------------------------------------------
@@ -21,6 +27,9 @@ fn main() {
         for size in [4usize, 64, 1024] {
             let mad = pingpong_contig(MADMPI, nic::mx_myri10g(), size, iters);
             let mpich = pingpong_contig(EngineKind::Mpich, nic::mx_myri10g(), size, iters);
+            if let Some(m) = &mad.metrics {
+                registry.record(format!("report/fig2/mx/{size}"), m.clone());
+            }
             max_ovh = max_ovh.max(mad.one_way_us - mpich.one_way_us);
         }
         t.row(vec![
@@ -48,6 +57,9 @@ fn main() {
         for size in [4usize, 16, 64, 256] {
             let mad = pingpong_multiseg(MADMPI, nic::mx_myri10g(), 16, size, iters);
             let mpich = pingpong_multiseg(EngineKind::Mpich, nic::mx_myri10g(), 16, size, iters);
+            if let Some(m) = &mad.metrics {
+                registry.record(format!("report/fig3/mx/16seg/{size}"), m.clone());
+            }
             best = best.max(gain_pct(mad.one_way_us, mpich.one_way_us));
         }
         t.row(vec![
@@ -58,8 +70,7 @@ fn main() {
         let mut best_q = f64::MIN;
         for size in [4usize, 16, 64, 256] {
             let mad = pingpong_multiseg(MADMPI, nic::quadrics_qm500(), 8, size, iters);
-            let mpich =
-                pingpong_multiseg(EngineKind::Mpich, nic::quadrics_qm500(), 8, size, iters);
+            let mpich = pingpong_multiseg(EngineKind::Mpich, nic::quadrics_qm500(), 8, size, iters);
             best_q = best_q.max(gain_pct(mad.one_way_us, mpich.one_way_us));
         }
         t.row(vec![
@@ -73,6 +84,9 @@ fn main() {
     {
         let dtype = Datatype::alternating(64, 256 * 1024, 4);
         let mad = pingpong_typed(MADMPI_REORDER, nic::mx_myri10g(), &dtype, iters);
+        if let Some(m) = &mad.metrics {
+            registry.record("report/fig4/mx/reorder", m.clone());
+        }
         let mpich = pingpong_typed(EngineKind::Mpich, nic::mx_myri10g(), &dtype, iters);
         let ompi = pingpong_typed(EngineKind::Ompi, nic::mx_myri10g(), &dtype, iters);
         t.row(vec![
@@ -104,6 +118,9 @@ fn main() {
             size,
             1,
         );
+        if let Some(m) = &both.metrics {
+            registry.record("report/multirail/mx+quadrics/4M", m.clone());
+        }
         let pct0 = 100.0 * split[0] as f64 / (split[0] + split[1]).max(1) as f64;
         t.row(vec![
             "multirail speedup over best single rail (4 MB)".to_string(),
@@ -119,4 +136,5 @@ fn main() {
 
     println!("# NewMadeleine reproduction — paper vs measured\n");
     t.print();
+    write_json_report(json.as_deref(), &registry);
 }

@@ -38,9 +38,9 @@ pub fn byte_sizes(from: usize, to: usize) -> Vec<usize> {
 
 /// Formats a byte count the way the paper's x axes do (4, 64, 1K, 2M).
 pub fn fmt_size(bytes: usize) -> String {
-    if bytes >= 1 << 20 && bytes % (1 << 20) == 0 {
+    if bytes >= 1 << 20 && bytes.is_multiple_of(1 << 20) {
         format!("{}M", bytes >> 20)
-    } else if bytes >= 1 << 10 && bytes % (1 << 10) == 0 {
+    } else if bytes >= 1 << 10 && bytes.is_multiple_of(1 << 10) {
         format!("{}K", bytes >> 10)
     } else {
         format!("{bytes}")
@@ -54,6 +54,34 @@ pub fn gain_pct(fast: f64, slow: f64) -> f64 {
         return 0.0;
     }
     (slow - fast) / slow * 100.0
+}
+
+/// Value of a `--json PATH` argument on the command line, if present.
+/// Every bench binary accepts it and writes its collected engine
+/// metrics snapshots there as one JSON report.
+pub fn json_arg() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            let Some(path) = args.next() else {
+                eprintln!("--json requires a path; no report will be written");
+                return None;
+            };
+            return Some(path);
+        }
+    }
+    None
+}
+
+/// Writes the registry's JSON report to `path` when `--json` was given.
+/// Benchmarks must not die on a bad path: failures are printed, not
+/// propagated.
+pub fn write_json_report(path: Option<&str>, registry: &nmad_core::MetricsRegistry) {
+    let Some(path) = path else { return };
+    match std::fs::write(path, registry.to_json()) {
+        Ok(()) => eprintln!("wrote {} metrics snapshots to {path}", registry.len()),
+        Err(e) => eprintln!("could not write metrics report {path}: {e}"),
+    }
 }
 
 #[cfg(test)]

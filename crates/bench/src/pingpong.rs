@@ -13,11 +13,13 @@
 //! All drivers run the same co-simulation pump and read virtual time,
 //! so the numbers are exact and deterministic.
 
-use mad_mpi::{pump_cluster, sim_cluster, sim_cluster_multirail, Datatype, EngineKind};
+use mad_mpi::{
+    pump_cluster, sim_cluster, sim_cluster_multirail, Datatype, EngineKind, MetricsSnapshot,
+};
 use nmad_sim::{NicModel, SharedWorld};
 
 /// One measured sweep point.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct PingPongSample {
     /// Half round-trip, in microseconds (the paper's latency metric).
     pub one_way_us: f64,
@@ -25,14 +27,25 @@ pub struct PingPongSample {
     pub bandwidth_mbs: f64,
     /// Wire frames the initiator sent per ping (aggregation metric).
     pub frames_per_ping: f64,
+    /// Observability snapshot of the initiator's engine at the end of
+    /// the run (`None` for direct baselines, which have no scheduler).
+    pub metrics: Option<MetricsSnapshot>,
 }
 
-fn sample(total_payload: usize, rtt_us: f64, halves: f64, frames: f64, pings: f64) -> PingPongSample {
+fn sample(
+    total_payload: usize,
+    rtt_us: f64,
+    halves: f64,
+    frames: f64,
+    pings: f64,
+    metrics: Option<MetricsSnapshot>,
+) -> PingPongSample {
     let one_way_us = rtt_us / halves;
     PingPongSample {
         one_way_us,
         bandwidth_mbs: total_payload as f64 / one_way_us,
         frames_per_ping: frames / pings,
+        metrics,
     }
 }
 
@@ -66,12 +79,14 @@ pub fn pingpong_contig(
         procs[0].take(r_pong);
     }
     let frames = (procs[0].backend().frames_sent() - frames0) as f64;
+    let metrics = procs[0].backend().metrics();
     sample(
         size,
         elapsed_us(&world, t0),
         2.0 * iters as f64,
         frames,
         iters as f64,
+        metrics,
     )
 }
 
@@ -113,9 +128,7 @@ pub fn pingpong_multiseg(
         for &c in &comms {
             procs[0].isend(c, 1, 0, payload.clone());
         }
-        pump_cluster(&world, &mut procs, |p| {
-            r_ping.iter().all(|&r| p[1].test(r))
-        });
+        pump_cluster(&world, &mut procs, |p| r_ping.iter().all(|&r| p[1].test(r)));
         let echoes: Vec<Vec<u8>> = r_ping
             .iter()
             .map(|&r| procs[1].take(r).expect("tested"))
@@ -123,20 +136,20 @@ pub fn pingpong_multiseg(
         for (&c, echo) in comms.iter().zip(echoes) {
             procs[1].isend(c, 0, 0, echo);
         }
-        pump_cluster(&world, &mut procs, |p| {
-            r_pong.iter().all(|&r| p[0].test(r))
-        });
+        pump_cluster(&world, &mut procs, |p| r_pong.iter().all(|&r| p[0].test(r)));
         for r in r_pong {
             procs[0].take(r);
         }
     }
     let frames = (procs[0].backend().frames_sent() - frames0) as f64;
+    let metrics = procs[0].backend().metrics();
     sample(
         segs * size,
         elapsed_us(&world, t0),
         2.0 * iters as f64,
         frames,
         iters as f64,
+        metrics,
     )
 }
 
@@ -166,12 +179,14 @@ pub fn pingpong_typed(
         procs[0].take(r_pong);
     }
     let frames = (procs[0].backend().frames_sent() - frames0) as f64;
+    let metrics = procs[0].backend().metrics();
     sample(
         dtype.total_bytes(),
         elapsed_us(&world, t0),
         2.0 * iters as f64,
         frames,
         iters as f64,
+        metrics,
     )
 }
 
@@ -202,6 +217,7 @@ pub fn transfer_multirail(
         procs[0].take(r_pong);
     }
     let frames = (procs[0].backend().frames_sent() - frames0) as f64;
+    let metrics = procs[0].backend().metrics();
     let per_rail = world.lock().stats().per_rail_bytes.clone();
     (
         sample(
@@ -210,6 +226,7 @@ pub fn transfer_multirail(
             2.0 * iters as f64,
             frames,
             iters as f64,
+            metrics,
         ),
         per_rail,
     )
@@ -260,6 +277,31 @@ mod tests {
             "aggregation must reduce frames: {} vs {}",
             mad.frames_per_ping,
             mpich.frames_per_ping
+        );
+    }
+
+    #[test]
+    fn samples_carry_engine_metrics_for_madmpi_only() {
+        let mad = pingpong_multiseg(
+            EngineKind::MadMpi(StrategyKind::Aggreg),
+            nic::mx_myri10g(),
+            8,
+            64,
+            2,
+        );
+        let m = mad.metrics.expect("madmpi backends expose metrics");
+        assert_eq!(m.strategy, "aggreg");
+        assert!(
+            m.aggregation_ratio() > 1.0,
+            "a multiseg burst must aggregate: ratio {}",
+            m.aggregation_ratio()
+        );
+        assert!(m.nics[0].link.busy_ns > 0);
+
+        let mpich = pingpong_multiseg(EngineKind::Mpich, nic::mx_myri10g(), 8, 64, 2);
+        assert!(
+            mpich.metrics.is_none(),
+            "direct baselines have no scheduler to observe"
         );
     }
 

@@ -133,18 +133,9 @@ impl LogLogChart {
             } else {
                 ""
             };
-            let _ = writeln!(
-                out,
-                "{label:>margin$} |{}",
-                line.iter().collect::<String>()
-            );
+            let _ = writeln!(out, "{label:>margin$} |{}", line.iter().collect::<String>());
         }
-        let _ = writeln!(
-            out,
-            "{:margin$} +{}",
-            "",
-            "-".repeat(self.width),
-        );
+        let _ = writeln!(out, "{:margin$} +{}", "", "-".repeat(self.width),);
         let x_lo = format!("{x0:.0}");
         let x_hi = format!("{x1:.0}");
         let pad = self.width.saturating_sub(x_lo.len() + x_hi.len());

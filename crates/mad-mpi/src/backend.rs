@@ -22,7 +22,7 @@ use bytes::Bytes;
 use crate::datatype::Datatype;
 use baselines::{DirectConfig, DirectEngine, UnpackMode};
 use nmad_core::segment::{Priority, RecvReqId, SendReqId, Tag};
-use nmad_core::NmadEngine;
+use nmad_core::{MetricsSnapshot, NmadEngine};
 use nmad_sim::NodeId;
 
 /// Backend-scoped send completion token.
@@ -74,6 +74,13 @@ pub trait MpiBackend: Send {
     /// Non-destructive probe: length of the next matching segment of
     /// (src, tag) if already arrived or announced.
     fn probe(&self, src: NodeId, tag: Tag) -> Option<usize>;
+
+    /// Observability snapshot of the scheduling engine, when the
+    /// backend has one. The direct baselines have no optimization
+    /// window or strategy, so they report `None`.
+    fn metrics(&self) -> Option<MetricsSnapshot> {
+        None
+    }
 }
 
 // --- MAD-MPI over the NewMadeleine engine ------------------------------
@@ -191,9 +198,7 @@ impl MpiBackend for NmadBackend {
         match self.recvs.get(&token.0) {
             None => true,
             Some(NmadRecv::Contig(req)) => self.engine.is_recv_done(*req),
-            Some(NmadRecv::Typed { reqs, .. }) => {
-                reqs.iter().all(|&r| self.engine.is_recv_done(r))
-            }
+            Some(NmadRecv::Typed { reqs, .. }) => reqs.iter().all(|&r| self.engine.is_recv_done(r)),
         }
     }
 
@@ -226,6 +231,10 @@ impl MpiBackend for NmadBackend {
 
     fn probe(&self, src: NodeId, tag: Tag) -> Option<usize> {
         self.engine.probe(src, tag)
+    }
+
+    fn metrics(&self) -> Option<MetricsSnapshot> {
+        Some(self.engine.metrics())
     }
 }
 

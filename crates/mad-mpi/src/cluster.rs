@@ -7,7 +7,10 @@
 use crate::backend::{DirectBackend, MpiBackend, NmadBackend};
 use crate::p2p::MpiProc;
 use baselines::{mpich_config, ompi_config, DirectEngine};
-use nmad_core::{EngineCosts, NmadEngine, StratAggreg, StratDefault, StratDynamic, StratMultirail, StratReorder, Strategy};
+use nmad_core::{
+    EngineCosts, NmadEngine, StratAggreg, StratDefault, StratDynamic, StratMultirail, StratReorder,
+    Strategy,
+};
 use nmad_net::sim::SimDriver;
 use nmad_net::Driver;
 use nmad_sim::{host, shared_world, NicModel, NodeId, SharedWorld, SimConfig, SimTime};
@@ -221,8 +224,11 @@ pub fn mem_cluster(n: usize, kind: EngineKind) -> Vec<MpiProc> {
                     } else {
                         ompi_config()
                     };
-                    let engine =
-                        DirectEngine::new(Box::new(driver), Box::new(nmad_net::NullMeter), cfg.clone());
+                    let engine = DirectEngine::new(
+                        Box::new(driver),
+                        Box::new(nmad_net::NullMeter),
+                        cfg.clone(),
+                    );
                     Box::new(DirectBackend::new(engine, &cfg))
                 }
             };

@@ -170,8 +170,7 @@ impl CollectiveOp for BcastOp {
                     if self.pending.is_none() {
                         let from = (vrank - self.mask + self.root) % n;
                         let round = self.mask.trailing_zeros() as u16;
-                        self.pending =
-                            Some(proc.internal_irecv(from, TAG_BCAST + round, self.max));
+                        self.pending = Some(proc.internal_irecv(from, TAG_BCAST + round, self.max));
                     }
                     let r = self.pending.expect("posted");
                     if !proc.test(r) {
@@ -213,7 +212,6 @@ impl CollectiveOp for BcastOp {
         self.done
     }
 }
-
 
 /// Linear gather to `root`: every other rank sends its contribution;
 /// the root collects one payload per rank (its own included). Linear is
@@ -380,7 +378,6 @@ impl CollectiveOp for AllreduceOp {
     }
 }
 
-
 /// Linear all-to-all personalized exchange: rank i sends `inputs[j]` to
 /// rank j and collects one payload from every rank. All sends are
 /// posted up front, so on the NewMadeleine backend the whole exchange
@@ -469,7 +466,6 @@ impl CollectiveOp for AlltoallOp {
         self.done
     }
 }
-
 
 /// Allgather as gather-to-rank-0 + broadcast of the concatenation.
 /// Every rank ends with every rank's contribution, in rank order.
@@ -645,7 +641,6 @@ impl CollectiveOp for ScatterOp {
     }
 }
 
-
 /// Distributed MPI_Comm_split over the whole job: every rank
 /// contributes `(color, key)`; ranks sharing a color form a new
 /// communicator, ordered by `(key, global rank)`. Implemented as an
@@ -695,10 +690,7 @@ impl CollectiveOp for CommSplitOp {
         if !self.allgather.advance(proc) {
             return false;
         }
-        let parts = self
-            .allgather
-            .take_result()
-            .expect("allgather completed");
+        let parts = self.allgather.take_result().expect("allgather completed");
         let pairs: Vec<(i32, i32)> = parts
             .iter()
             .map(|p| {
@@ -738,7 +730,6 @@ impl CollectiveOp for CommSplitOp {
         self.result.is_some()
     }
 }
-
 
 /// Reduce-to-root: gather + fold at the root (the root gets the result;
 /// other ranks get `None`). `op` must be associative and commutative.
@@ -849,8 +840,11 @@ mod tests {
     fn bcast_delivers_payload_to_every_rank() {
         for root in [0usize, 2] {
             let n = 5;
-            let (world, mut procs) =
-                sim_cluster(n, nic::mx_myri10g(), EngineKind::MadMpi(StrategyKind::Aggreg));
+            let (world, mut procs) = sim_cluster(
+                n,
+                nic::mx_myri10g(),
+                EngineKind::MadMpi(StrategyKind::Aggreg),
+            );
             let payload = b"broadcast body".to_vec();
             let mut ops: Vec<BcastOp> = procs
                 .iter()
@@ -872,12 +866,14 @@ mod tests {
         }
     }
 
-
     #[test]
     fn gather_collects_rank_contributions_in_order() {
         let n = 5;
-        let (world, mut procs) =
-            sim_cluster(n, nic::mx_myri10g(), EngineKind::MadMpi(StrategyKind::Aggreg));
+        let (world, mut procs) = sim_cluster(
+            n,
+            nic::mx_myri10g(),
+            EngineKind::MadMpi(StrategyKind::Aggreg),
+        );
         let mut ops: Vec<GatherOp> = procs
             .iter()
             .map(|p| GatherOp::new(p, 1, vec![p.rank() as u8; 4 + p.rank()], 64))
@@ -893,7 +889,10 @@ mod tests {
         for (rank, part) in gathered.iter().enumerate() {
             assert_eq!(part, &vec![rank as u8; 4 + rank]);
         }
-        assert!(ops[0].take_result().is_none() || 0 == 1, "only root gets data");
+        assert!(
+            ops[0].take_result().is_none() || 0 == 1,
+            "only root gets data"
+        );
     }
 
     #[test]
@@ -904,12 +903,20 @@ mod tests {
             *acc = (a + b).to_le_bytes().to_vec();
         }
         let n = 6;
-        let (world, mut procs) =
-            sim_cluster(n, nic::quadrics_qm500(), EngineKind::MadMpi(StrategyKind::Aggreg));
+        let (world, mut procs) = sim_cluster(
+            n,
+            nic::quadrics_qm500(),
+            EngineKind::MadMpi(StrategyKind::Aggreg),
+        );
         let mut ops: Vec<AllreduceOp> = procs
             .iter()
             .map(|p| {
-                AllreduceOp::new(p, ((p.rank() as u64) + 1).to_le_bytes().to_vec(), sum_fold, 8)
+                AllreduceOp::new(
+                    p,
+                    ((p.rank() as u64) + 1).to_le_bytes().to_vec(),
+                    sum_fold,
+                    8,
+                )
             })
             .collect();
         crate::cluster::pump_cluster(&world, &mut procs, |procs| {
@@ -922,14 +929,20 @@ mod tests {
         let expected: u64 = (1..=n as u64).sum();
         for mut op in ops {
             let out = op.take_result().expect("all ranks get the result");
-            assert_eq!(u64::from_le_bytes(out.as_slice().try_into().unwrap()), expected);
+            assert_eq!(
+                u64::from_le_bytes(out.as_slice().try_into().unwrap()),
+                expected
+            );
         }
     }
 
     #[test]
     fn gather_single_rank_completes_immediately() {
-        let (_, procs) =
-            sim_cluster(1, nic::mx_myri10g(), EngineKind::MadMpi(StrategyKind::Aggreg));
+        let (_, procs) = sim_cluster(
+            1,
+            nic::mx_myri10g(),
+            EngineKind::MadMpi(StrategyKind::Aggreg),
+        );
         let mut op = GatherOp::new(&procs[0], 0, vec![7], 8);
         assert!(op.is_done());
         assert_eq!(op.take_result().unwrap(), vec![vec![7]]);
@@ -938,8 +951,11 @@ mod tests {
     #[test]
     fn alltoall_exchanges_personalized_payloads() {
         let n = 4;
-        let (world, mut procs) =
-            sim_cluster(n, nic::mx_myri10g(), EngineKind::MadMpi(StrategyKind::Aggreg));
+        let (world, mut procs) = sim_cluster(
+            n,
+            nic::mx_myri10g(),
+            EngineKind::MadMpi(StrategyKind::Aggreg),
+        );
         let mut ops: Vec<AlltoallOp> = procs
             .iter()
             .map(|p| {
@@ -964,12 +980,14 @@ mod tests {
         }
     }
 
-
     #[test]
     fn allgather_gives_every_rank_everything() {
         let n = 5;
-        let (world, mut procs) =
-            sim_cluster(n, nic::mx_myri10g(), EngineKind::MadMpi(StrategyKind::Aggreg));
+        let (world, mut procs) = sim_cluster(
+            n,
+            nic::mx_myri10g(),
+            EngineKind::MadMpi(StrategyKind::Aggreg),
+        );
         let mut ops: Vec<AllgatherOp> = procs
             .iter()
             .map(|p| AllgatherOp::new(p, vec![p.rank() as u8 + 1; 3 + p.rank()], 16))
@@ -994,8 +1012,11 @@ mod tests {
     fn scatter_distributes_root_slices() {
         let n = 4;
         let root = 2;
-        let (world, mut procs) =
-            sim_cluster(n, nic::quadrics_qm500(), EngineKind::MadMpi(StrategyKind::Aggreg));
+        let (world, mut procs) = sim_cluster(
+            n,
+            nic::quadrics_qm500(),
+            EngineKind::MadMpi(StrategyKind::Aggreg),
+        );
         let mut ops: Vec<ScatterOp> = procs
             .iter()
             .map(|p| {
@@ -1019,19 +1040,25 @@ mod tests {
         }
     }
 
-
     #[test]
     fn comm_split_partitions_and_isolates() {
         let n = 6;
-        let (world, mut procs) =
-            sim_cluster(n, nic::mx_myri10g(), EngineKind::MadMpi(StrategyKind::Aggreg));
+        let (world, mut procs) = sim_cluster(
+            n,
+            nic::mx_myri10g(),
+            EngineKind::MadMpi(StrategyKind::Aggreg),
+        );
         let parent = procs[0].comm_world();
         // Split into even/odd; key reverses the order within evens.
         let mut ops: Vec<CommSplitOp> = procs
             .iter()
             .map(|p| {
                 let color = (p.rank() % 2) as i32;
-                let key = if color == 0 { -(p.rank() as i32) } else { p.rank() as i32 };
+                let key = if color == 0 {
+                    -(p.rank() as i32)
+                } else {
+                    p.rank() as i32
+                };
                 CommSplitOp::new(p, parent, color, key)
             })
             .collect();
@@ -1065,15 +1092,21 @@ mod tests {
         let r_right = procs[3].irecv(odd, 0, 9, 32);
         crate::cluster::pump_cluster(&world, &mut procs, |p| p[3].test(r_right));
         assert_eq!(procs[3].take(r_right).unwrap(), b"subcomm");
-        assert!(!procs[3].test(r_wrong), "parent-comm receive must not match");
+        assert!(
+            !procs[3].test(r_wrong),
+            "parent-comm receive must not match"
+        );
         let _ = s2;
     }
 
     #[test]
     fn comm_split_single_color_is_a_dup_with_reordering() {
         let n = 4;
-        let (world, mut procs) =
-            sim_cluster(n, nic::quadrics_qm500(), EngineKind::MadMpi(StrategyKind::Aggreg));
+        let (world, mut procs) = sim_cluster(
+            n,
+            nic::quadrics_qm500(),
+            EngineKind::MadMpi(StrategyKind::Aggreg),
+        );
         let parent = procs[0].comm_world();
         // Same color everywhere, key = -rank: the new comm reverses ranks.
         let mut ops: Vec<CommSplitOp> = procs
@@ -1092,7 +1125,6 @@ mod tests {
         assert_eq!(procs[3].comm_rank(comm), 0);
     }
 
-
     #[test]
     fn reduce_folds_at_the_root_only() {
         fn sum_fold(acc: &mut Vec<u8>, other: &[u8]) {
@@ -1102,12 +1134,21 @@ mod tests {
         }
         let n = 5;
         let root = 3;
-        let (world, mut procs) =
-            sim_cluster(n, nic::mx_myri10g(), EngineKind::MadMpi(StrategyKind::Aggreg));
+        let (world, mut procs) = sim_cluster(
+            n,
+            nic::mx_myri10g(),
+            EngineKind::MadMpi(StrategyKind::Aggreg),
+        );
         let mut ops: Vec<ReduceOp> = procs
             .iter()
             .map(|p| {
-                ReduceOp::new(p, root, ((p.rank() as u32) * 10).to_le_bytes().to_vec(), sum_fold, 4)
+                ReduceOp::new(
+                    p,
+                    root,
+                    ((p.rank() as u32) * 10).to_le_bytes().to_vec(),
+                    sum_fold,
+                    4,
+                )
             })
             .collect();
         crate::cluster::pump_cluster(&world, &mut procs, |procs| {
@@ -1121,7 +1162,10 @@ mod tests {
             let out = op.take_result();
             if rank == root {
                 let sum: u32 = (0..n as u32).map(|r| r * 10).sum();
-                assert_eq!(u32::from_le_bytes(out.unwrap().as_slice().try_into().unwrap()), sum);
+                assert_eq!(
+                    u32::from_le_bytes(out.unwrap().as_slice().try_into().unwrap()),
+                    sum
+                );
             } else {
                 assert!(out.is_none(), "non-roots get no result");
             }
@@ -1132,8 +1176,11 @@ mod tests {
     fn barrier_actually_synchronizes() {
         // Rank 0 delays (big CPU charge); the barrier must not complete
         // before that charge has elapsed on the virtual clock.
-        let (world, mut procs) =
-            sim_cluster(3, nic::mx_myri10g(), EngineKind::MadMpi(StrategyKind::Aggreg));
+        let (world, mut procs) = sim_cluster(
+            3,
+            nic::mx_myri10g(),
+            EngineKind::MadMpi(StrategyKind::Aggreg),
+        );
         let delay_us = 5_000.0;
         world.lock().charge_cpu(
             nmad_sim::NodeId(0),

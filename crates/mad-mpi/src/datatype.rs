@@ -46,7 +46,11 @@ pub enum DatatypeError {
 impl fmt::Display for DatatypeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DatatypeError::BlockOutOfExtent { offset, len, extent } => write!(
+            DatatypeError::BlockOutOfExtent {
+                offset,
+                len,
+                extent,
+            } => write!(
                 f,
                 "block [{offset}, {offset}+{len}) exceeds extent {extent}"
             ),
@@ -96,7 +100,11 @@ impl Datatype {
         let mut high = 0usize;
         for (i, &(offset, len)) in blocks.iter().enumerate() {
             if offset + len > extent {
-                return Err(DatatypeError::BlockOutOfExtent { offset, len, extent });
+                return Err(DatatypeError::BlockOutOfExtent {
+                    offset,
+                    len,
+                    extent,
+                });
             }
             if offset < high {
                 return Err(DatatypeError::OverlappingBlocks { at: i });
@@ -296,7 +304,6 @@ mod tests {
         let out = t.scatter_blocks(&[vec![1, 2], vec![7, 8, 9]]);
         assert_eq!(out, vec![1, 2, 0, 0, 0, 7, 8, 9]);
     }
-
 
     #[test]
     fn hvector_of_indexed_flattens_and_nests() {

@@ -49,8 +49,12 @@ pub use cluster::{
     StrategyKind,
 };
 pub use coll::{
-    AllgatherOp, AllreduceOp, AlltoallOp, BarrierOp, BcastOp, CollectiveOp, CommSplitOp,
-    GatherOp, ReduceOp, ScatterOp,
+    AllgatherOp, AllreduceOp, AlltoallOp, BarrierOp, BcastOp, CollectiveOp, CommSplitOp, GatherOp,
+    ReduceOp, ScatterOp,
 };
 pub use datatype::{Datatype, DatatypeError};
 pub use p2p::{Comm, MpiProc, Persistent, Request};
+
+// Observability: harnesses collect engine snapshots through the
+// backend surface without depending on nmad-core directly.
+pub use nmad_core::MetricsSnapshot;

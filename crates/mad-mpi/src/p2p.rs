@@ -140,7 +140,10 @@ impl MpiProc {
     /// in the same order, the usual MPI collective-ordering contract).
     pub(crate) fn register_comm(&mut self, group: Vec<usize>) -> Comm {
         let ctx = self.next_ctx;
-        self.next_ctx = self.next_ctx.checked_add(1).expect("context space exhausted");
+        self.next_ctx = self
+            .next_ctx
+            .checked_add(1)
+            .expect("context space exhausted");
         self.groups.insert(ctx, group);
         Comm { ctx }
     }
@@ -181,10 +184,11 @@ impl MpiProc {
     /// Nonblocking contiguous standard-mode send.
     pub fn isend(&mut self, comm: Comm, dst: usize, tag: u16, data: impl Into<Bytes>) -> Request {
         let dst = self.translate(comm, dst);
-        Request::Send(
-            self.backend
-                .isend_contig(NodeId(dst as u32), wire_tag(comm, tag), data.into()),
-        )
+        Request::Send(self.backend.isend_contig(
+            NodeId(dst as u32),
+            wire_tag(comm, tag),
+            data.into(),
+        ))
     }
 
     /// Nonblocking typed send of `dtype` blocks from `buf`.
@@ -294,8 +298,7 @@ impl MpiProc {
     /// receiving it.
     pub fn iprobe(&mut self, comm: Comm, src: usize, tag: u16) -> Option<usize> {
         let src = self.translate(comm, src);
-        self.backend
-            .probe(NodeId(src as u32), wire_tag(comm, tag))
+        self.backend.probe(NodeId(src as u32), wire_tag(comm, tag))
     }
 
     /// Blocking standard-mode send (spins this rank's progress engine —
@@ -314,6 +317,7 @@ impl MpiProc {
 
     /// MPI_Sendrecv: concurrent send and receive, deadlock-free (same
     /// transport caveat).
+    #[allow(clippy::too_many_arguments)] // mirrors the MPI signature
     pub fn sendrecv(
         &mut self,
         comm: Comm,
@@ -371,10 +375,7 @@ impl MpiProc {
     /// request first is mandatory).
     pub fn start(&mut self, persistent: &mut Persistent) -> Request {
         if let Some(prev) = persistent.active {
-            assert!(
-                self.test(prev),
-                "MPI_Start on an active persistent request"
-            );
+            assert!(self.test(prev), "MPI_Start on an active persistent request");
         }
         let req = match &persistent.op {
             PersistentOp::Send {
@@ -395,17 +396,19 @@ impl MpiProc {
     }
 
     pub(crate) fn internal_isend(&mut self, dst: usize, tag: u16, data: Bytes) -> Request {
-        Request::Send(
-            self.backend
-                .isend_contig(NodeId(dst as u32), wire_tag(Comm::RESERVED, tag), data),
-        )
+        Request::Send(self.backend.isend_contig(
+            NodeId(dst as u32),
+            wire_tag(Comm::RESERVED, tag),
+            data,
+        ))
     }
 
     pub(crate) fn internal_irecv(&mut self, src: usize, tag: u16, max: usize) -> Request {
-        Request::Recv(
-            self.backend
-                .irecv_contig(NodeId(src as u32), wire_tag(Comm::RESERVED, tag), max),
-        )
+        Request::Recv(self.backend.irecv_contig(
+            NodeId(src as u32),
+            wire_tag(Comm::RESERVED, tag),
+            max,
+        ))
     }
 }
 
@@ -426,11 +429,9 @@ mod tests {
     fn comm_dup_allocates_fresh_deterministic_contexts() {
         // Two ranks calling dup in the same order agree on contexts.
         let mk_ctxs = || {
-            let mut next = 2u16;
             let mut out = vec![];
-            for _ in 0..3 {
+            for next in 2u16..5 {
                 out.push(next);
-                next += 1;
             }
             out
         };

@@ -20,11 +20,12 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use bytes::Bytes;
 
 use crate::matching::{Effect, Matching, RecvDone};
+use crate::metrics::{EngineMetrics, MetricsSnapshot, NicMetrics};
 use crate::segment::{PackWrapper, Priority, RecvReqId, SendReqId, SeqNo, Tag};
 use crate::strategy::{FramePlan, NicView, PlanEntry, Strategy};
 use crate::window::{CtrlMsg, RdvJob, Window};
 use crate::wire::{parse_frame, Entry, FrameBuilder};
-use nmad_net::{CpuMeter, Driver, NetResult, SendHandle};
+use nmad_net::{CpuMeter, Driver, NetResult, SendHandle, StrategyDecision};
 use nmad_sim::{NodeId, SoftwareCosts};
 
 /// Per-operation software costs the engine charges to its CPU meter.
@@ -180,6 +181,7 @@ pub struct NmadEngine {
     order: u64,
     costs: EngineCosts,
     stats: EngineStats,
+    metrics: EngineMetrics,
     /// Eager flow control: max data-bearing frames in flight per peer
     /// without a credit return. `None` disables the mechanism.
     credit_limit: Option<usize>,
@@ -228,6 +230,7 @@ impl NmadEngine {
             order: 0,
             costs,
             stats: EngineStats::default(),
+            metrics: EngineMetrics::default(),
             credit_limit: None,
             credits: HashMap::new(),
             pending_credit_returns: HashMap::new(),
@@ -266,6 +269,30 @@ impl NmadEngine {
     /// Wire-level counters since construction.
     pub fn stats(&self) -> &EngineStats {
         &self.stats
+    }
+
+    /// Collect- and scheduling-layer counters since construction.
+    pub fn engine_metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    /// A point-in-time snapshot of every observable counter: engine
+    /// metrics, wire statistics and per-NIC link counters. Cheap —
+    /// a few copies plus one `link_stats` call per driver.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            strategy: self.strategy.name(),
+            engine: self.metrics,
+            wire: self.stats.clone(),
+            nics: self
+                .nics
+                .iter()
+                .map(|n| NicMetrics {
+                    name: n.driver.caps().name.clone(),
+                    link: n.driver.link_stats(),
+                })
+                .collect(),
+        }
     }
 
     /// Segments currently accumulated in the optimization window.
@@ -326,6 +353,7 @@ impl NmadEngine {
     ) -> SendReqId {
         assert_ne!(dst, self.node, "self-sends are not routed through NICs");
         self.meter.charge_ns(self.costs.per_request_ns);
+        self.metrics.requests_submitted += 1;
         let req = self.alloc_send_req();
         if parts.is_empty() {
             self.done_sends.insert(req);
@@ -333,6 +361,7 @@ impl NmadEngine {
         }
         self.sends.insert(req, parts.len());
         for (data, priority) in parts {
+            self.metrics.bytes_enqueued += data.len() as u64;
             let seq = self.alloc_seq(dst, tag);
             let order = self.order;
             self.order += 1;
@@ -349,6 +378,11 @@ impl NmadEngine {
                 rail_hint,
             );
         }
+        let depth = (0..self.nics.len())
+            .map(|i| self.window.depth_for(i))
+            .max()
+            .unwrap_or(0);
+        self.metrics.observe_window_depth(depth);
         req
     }
 
@@ -361,6 +395,7 @@ impl NmadEngine {
     /// flow (src, tag).
     pub fn post_recv(&mut self, src: NodeId, tag: Tag, max: usize) -> RecvReqId {
         self.meter.charge_ns(self.costs.per_recv_ns);
+        self.metrics.recvs_posted += 1;
         let req = self.alloc_recv_req();
         let (_seq, effects) = self.matching.post_recv(src, tag, max, req);
         self.apply_effects(effects);
@@ -427,9 +462,7 @@ impl NmadEngine {
         })?;
         self.meter
             .charge_ns(self.costs.per_entry_ns * entries.len() as u64);
-        let had_data = entries
-            .iter()
-            .any(|e| matches!(e, Entry::Data { .. }));
+        let had_data = entries.iter().any(|e| matches!(e, Entry::Data { .. }));
         for entry in entries {
             match entry {
                 Entry::Data { tag, seq, payload } => {
@@ -465,9 +498,9 @@ impl NmadEngine {
                     last: _,
                     payload,
                 } => {
-                    let fx = self
-                        .matching
-                        .on_rdv_chunk(src, tag, seq, offset, payload, rx_zero_copy);
+                    let fx =
+                        self.matching
+                            .on_rdv_chunk(src, tag, seq, offset, payload, rx_zero_copy);
                     self.apply_effects(fx);
                 }
                 Entry::Credit { count } => {
@@ -541,8 +574,7 @@ impl NmadEngine {
         // Scheduler critical-path cost: one ready-list inspection plus
         // per-entry header packing.
         self.meter.charge_ns(
-            self.costs.scheduler_inspect_ns
-                + self.costs.per_entry_ns * u64::from(fb.entry_count()),
+            self.costs.scheduler_inspect_ns + self.costs.per_entry_ns * u64::from(fb.entry_count()),
         );
         // The header block is one gather segment; if the card cannot
         // gather every payload region, the engine stages a copy.
@@ -569,17 +601,24 @@ impl NmadEngine {
         // Phase 2: the frame is on the wire — consume the plan into
         // completion records and statistics.
         let mut dones = Vec::new();
+        let (mut n_data, mut n_rts, mut n_cts, mut n_chunk) = (0u32, 0u32, 0u32, 0u32);
+        let reordered = plan.reordered;
         for entry in plan.entries {
             match entry {
-                PlanEntry::Cts(_) => self.stats.cts_entries += 1,
+                PlanEntry::Cts(_) => {
+                    self.stats.cts_entries += 1;
+                    n_cts += 1;
+                }
                 PlanEntry::Data(w) => {
                     dones.push(TxDone::Unit(w.req));
                     self.stats.data_entries += 1;
+                    n_data += 1;
                 }
                 PlanEntry::Rts(w) => {
                     self.rdv_wait_cts
                         .insert((w.dst, w.tag, w.seq), (w.data, w.req));
                     self.stats.rts_entries += 1;
+                    n_rts += 1;
                 }
                 PlanEntry::RdvChunk(c) => {
                     dones.push(TxDone::RdvBytes {
@@ -587,11 +626,27 @@ impl NmadEngine {
                         bytes: c.data.len(),
                     });
                     self.stats.chunk_entries += 1;
+                    n_chunk += 1;
                 }
             }
         }
-        if carries_data && self.credit_limit.is_some() {
-            let limit = self.credit_limit.expect("checked");
+        let entries = n_data + n_rts + n_cts + n_chunk;
+        self.metrics.frames_synthesized += 1;
+        self.metrics.entries_aggregated += u64::from(entries);
+        self.metrics.eager_entries += u64::from(n_data);
+        self.metrics.rendezvous_entries += u64::from(n_rts + n_cts + n_chunk);
+        self.metrics.reorder_decisions += u64::from(reordered);
+        let strategy = self.strategy.name();
+        self.meter.note_decision(&StrategyDecision {
+            strategy,
+            entries,
+            data_entries: n_data,
+            rts_entries: n_rts,
+            cts_entries: n_cts,
+            chunk_entries: n_chunk,
+            reordered,
+        });
+        if let (true, Some(limit)) = (carries_data, self.credit_limit) {
             let c = self.credits.entry(plan.dst).or_insert(limit);
             // Data may piggyback on credit-exempt traffic (a grant or
             // rendezvous chunk) while the account is empty; tolerate a
@@ -632,10 +687,7 @@ impl NmadEngine {
                 self.handle_frame(frame.src, &frame.payload, rx_zero_copy)?;
                 any = true;
             }
-            loop {
-                let Some(handle) = self.nics[i].inflight.front().map(|(h, _)| *h) else {
-                    break;
-                };
+            while let Some(handle) = self.nics[i].inflight.front().map(|(h, _)| *h) {
                 if !self.nics[i].driver.test_send(handle)? {
                     break;
                 }
@@ -699,9 +751,8 @@ impl NmadEngine {
                     if !self.nics[i].driver.tx_idle() {
                         break;
                     }
-                    let count = std::mem::take(
-                        self.pending_credit_returns.get_mut(&dst).expect("present"),
-                    );
+                    let count =
+                        std::mem::take(self.pending_credit_returns.get_mut(&dst).expect("present"));
                     let mut fb = FrameBuilder::new();
                     fb.push_credit(count);
                     let frame = fb.finish();
@@ -870,7 +921,10 @@ mod tests {
             .into_iter()
             .map(|r| b.try_take_recv(r).unwrap().data)
             .collect();
-        assert_eq!(got, vec![b"one".to_vec(), b"two".to_vec(), b"three".to_vec()]);
+        assert_eq!(
+            got,
+            vec![b"one".to_vec(), b"two".to_vec(), b"three".to_vec()]
+        );
     }
 
     #[test]
@@ -920,6 +974,125 @@ mod tests {
             run_until(&world, &mut [&mut ea, &mut eb], || done.get()).expect("no deadlock");
         }
         assert_eq!(b.try_take_recv(r).unwrap().data, b"via runner");
+    }
+
+    /// Every counter in the snapshot, flattened for pairwise
+    /// monotonicity comparisons.
+    fn counter_vector(m: &crate::metrics::MetricsSnapshot) -> Vec<u64> {
+        let e = &m.engine;
+        let w = &m.wire;
+        let mut v = vec![
+            e.requests_submitted,
+            e.recvs_posted,
+            e.bytes_enqueued,
+            e.window_depth_hwm,
+            e.frames_synthesized,
+            e.entries_aggregated,
+            e.eager_entries,
+            e.rendezvous_entries,
+            e.reorder_decisions,
+            w.frames_sent,
+            w.frames_received,
+            w.data_entries,
+            w.rts_entries,
+            w.cts_entries,
+            w.chunk_entries,
+            w.staging_copies,
+            w.credit_stalls,
+            w.credit_frames,
+        ];
+        for nic in &m.nics {
+            v.extend([nic.link.busy_ns, nic.link.retransmits, nic.link.acks]);
+        }
+        v
+    }
+
+    #[test]
+    fn metrics_counters_are_monotone_across_progress() {
+        let world = shared_world(SimConfig::two_nodes(nic::mx_myri10g()));
+        let mut a = engine(&world, 0, Box::new(StratAggreg));
+        let mut b = engine(&world, 1, Box::new(StratAggreg));
+        let mut prev = counter_vector(&a.metrics());
+        let sends: Vec<_> = (0..6)
+            .map(|t| a.isend(NodeId(1), Tag(t), vec![t as u8; 128]))
+            .collect();
+        let recvs: Vec<_> = (0..6)
+            .map(|t| b.post_recv(NodeId(0), Tag(t), 128))
+            .collect();
+        for _ in 0..100_000 {
+            let moved = a.progress() | b.progress();
+            let cur = counter_vector(&a.metrics());
+            for (i, (&p, &c)) in prev.iter().zip(&cur).enumerate() {
+                assert!(c >= p, "counter #{i} went backwards: {p} -> {c}");
+            }
+            prev = cur;
+            if sends.iter().all(|&s| a.is_send_done(s)) && recvs.iter().all(|&r| b.is_recv_done(r))
+            {
+                break;
+            }
+            if !moved && world.lock().advance().is_none() {
+                panic!("deadlock");
+            }
+        }
+        let m = a.metrics();
+        assert_eq!(m.engine.requests_submitted, 6);
+        assert_eq!(m.engine.eager_entries, 6);
+        assert_eq!(m.engine.bytes_enqueued, 6 * 128);
+        assert!(m.engine.window_depth_hwm >= 1);
+        assert!(m.engine.frames_synthesized >= 1);
+    }
+
+    #[test]
+    fn metrics_snapshot_covers_all_layers() {
+        let world = shared_world(SimConfig::two_nodes(nic::mx_myri10g()));
+        let mut a = engine(&world, 0, Box::new(StratAggreg));
+        let mut b = engine(&world, 1, Box::new(StratAggreg));
+        // One eager and one rendezvous-sized message.
+        let s1 = a.isend(NodeId(1), Tag(0), vec![1u8; 256]);
+        let s2 = a.isend(NodeId(1), Tag(1), vec![2u8; 200_000]);
+        let r1 = b.post_recv(NodeId(0), Tag(0), 256);
+        let r2 = b.post_recv(NodeId(0), Tag(1), 200_000);
+        pump_pair(&world, &mut a, &mut b, |a, b| {
+            a.is_send_done(s1) && a.is_send_done(s2) && b.is_recv_done(r1) && b.is_recv_done(r2)
+        });
+        let m = a.metrics();
+        assert_eq!(m.strategy, "aggreg");
+        assert_eq!(m.engine.requests_submitted, 2);
+        assert_eq!(m.engine.eager_entries, 1);
+        assert!(m.engine.rendezvous_entries >= 2, "one RTS plus chunks");
+        assert!(m.aggregation_ratio() >= 1.0);
+        assert_eq!(m.wire.frames_sent, m.engine.frames_synthesized);
+        assert_eq!(m.nics.len(), 1);
+        assert_eq!(m.nics[0].name, "MX/Myri-10G");
+        assert!(m.nics[0].link.busy_ns > 0, "frames crossed the wire");
+        // The receiver granted the rendezvous: its snapshot shows it.
+        let mb = b.metrics();
+        assert_eq!(mb.wire.cts_entries, 1);
+        assert_eq!(mb.engine.recvs_posted, 2);
+    }
+
+    #[test]
+    fn entries_aggregated_matches_traced_decisions() {
+        let world = shared_world(SimConfig::two_nodes(nic::mx_myri10g()));
+        world.lock().enable_trace();
+        let mut a = engine(&world, 0, Box::new(StratAggreg));
+        let mut b = engine(&world, 1, Box::new(StratAggreg));
+        let sends: Vec<_> = (0..8)
+            .map(|t| a.isend(NodeId(1), Tag(t), vec![t as u8; 64]))
+            .collect();
+        let recvs: Vec<_> = (0..8).map(|t| b.post_recv(NodeId(0), Tag(t), 64)).collect();
+        pump_pair(&world, &mut a, &mut b, |a, b| {
+            sends.iter().all(|&s| a.is_send_done(s)) && recvs.iter().all(|&r| b.is_recv_done(r))
+        });
+        let m = a.metrics();
+        let trace = world.lock().take_trace();
+        // The trace sees both nodes' engines; at minimum a's frames.
+        assert!(trace.decisions() >= m.engine.frames_synthesized as usize);
+        assert_eq!(
+            m.engine.entries_aggregated,
+            trace.decision_entries_for(NodeId(0)),
+            "engine counter and trace must agree"
+        );
     }
 }
 
@@ -1002,7 +1175,9 @@ mod credit_tests {
         let sends: Vec<_> = (0..4u32)
             .map(|i| a.isend(NodeId(1), Tag(0), vec![i as u8; 32]))
             .collect();
-        let recvs: Vec<_> = (0..4u32).map(|_| b.post_recv(NodeId(0), Tag(0), 32)).collect();
+        let recvs: Vec<_> = (0..4u32)
+            .map(|_| b.post_recv(NodeId(0), Tag(0), 32))
+            .collect();
         pump(&world, &mut a, &mut b, |a, b| {
             sends.iter().all(|&s| a.is_send_done(s)) && recvs.iter().all(|&r| b.is_recv_done(r))
         });

@@ -51,6 +51,7 @@
 pub mod api;
 pub mod engine;
 pub mod matching;
+pub mod metrics;
 pub mod segment;
 pub mod strategy;
 pub mod window;
@@ -59,6 +60,7 @@ pub mod wire;
 pub use api::{RecvHandle, RecvMessage, SendMessage};
 pub use engine::{EngineCosts, EngineDiagnostics, EngineStats, NmadEngine};
 pub use matching::{Effect, Matching, RecvDone};
+pub use metrics::{EngineMetrics, MetricsRegistry, MetricsSnapshot, NicMetrics};
 pub use segment::{PackWrapper, Priority, RecvReqId, SendReqId, SeqNo, Tag};
 pub use strategy::{
     eager_cutoff, DynamicStats, FramePlan, NicView, PlanEntry, StratAggreg, StratDefault,

@@ -147,13 +147,7 @@ impl Matching {
     }
 
     /// Feeds an eager data entry.
-    pub fn on_data(
-        &mut self,
-        src: NodeId,
-        tag: Tag,
-        seq: SeqNo,
-        payload: &[u8],
-    ) -> Vec<Effect> {
+    pub fn on_data(&mut self, src: NodeId, tag: Tag, seq: SeqNo, payload: &[u8]) -> Vec<Effect> {
         match self.posted.remove(&(src, tag, seq)) {
             Some(slot) => {
                 let truncated = payload.len() > slot.max;
@@ -175,8 +169,7 @@ impl Matching {
             None => {
                 // NIC buffer → bounce buffer; the matching copy out
                 // happens at post time.
-                self.unexpected
-                    .insert((src, tag, seq), payload.to_vec());
+                self.unexpected.insert((src, tag, seq), payload.to_vec());
                 vec![Effect::ChargeCopy(payload.len())]
             }
         }
@@ -324,7 +317,7 @@ mod tests {
         let mut m = Matching::new();
         m.post_recv(SRC, TAG, 64, RecvReqId(1)); // seq 0
         m.post_recv(SRC, TAG, 64, RecvReqId(2)); // seq 1
-        // Wire reordered: seq 1 lands first.
+                                                 // Wire reordered: seq 1 lands first.
         m.on_data(SRC, TAG, SeqNo(1), b"second");
         m.on_data(SRC, TAG, SeqNo(0), b"first");
         assert_eq!(m.try_take_done(RecvReqId(1)).unwrap().data, b"first");

@@ -1,0 +1,319 @@
+//! Engine-wide observability: cheap counters every layer reports into.
+//!
+//! The engine is a polled, single-threaded state machine, so the hot
+//! counters are plain `u64` cells bumped inline — no atomics, no locks
+//! on the progress path. Synchronisation appears only at the API
+//! boundary: [`MetricsRegistry`] guards its collected snapshots with a
+//! `parking_lot` mutex so harnesses can gather reports from wherever
+//! benchmark loops run.
+//!
+//! Three layers feed the counters:
+//!
+//! * the **collect layer** counts submitted requests, enqueued bytes
+//!   and the optimization window's occupancy high-water mark;
+//! * the **scheduling layer** counts synthesized frames, aggregated
+//!   entries (their ratio is the paper's headline aggregation metric),
+//!   reorder decisions and the eager/rendezvous split;
+//! * the **transfer layer** contributes per-NIC
+//!   [`LinkStats`](nmad_net::LinkStats) (busy/idle wire time,
+//!   retransmits, acks) straight from the drivers.
+
+use crate::engine::EngineStats;
+use nmad_net::LinkStats;
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+
+/// Plain-cell counters the engine bumps inline on the progress path.
+///
+/// All counters are cumulative since engine construction and only ever
+/// increase (the high-water mark is monotone too: it ratchets).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineMetrics {
+    /// Send requests accepted by the collect layer.
+    pub requests_submitted: u64,
+    /// Receive requests posted to the matching table.
+    pub recvs_posted: u64,
+    /// Payload bytes enqueued into the optimization window.
+    pub bytes_enqueued: u64,
+    /// Most segments ever resident in the optimization window at once.
+    pub window_depth_hwm: u64,
+    /// Frames the strategy synthesized (successful posts only).
+    pub frames_synthesized: u64,
+    /// Wire entries carried by those frames.
+    pub entries_aggregated: u64,
+    /// Eager data entries among them.
+    pub eager_entries: u64,
+    /// Rendezvous entries among them (RTS + CTS + chunks).
+    pub rendezvous_entries: u64,
+    /// Entries a strategy pulled out of submission order.
+    pub reorder_decisions: u64,
+}
+
+impl EngineMetrics {
+    /// Ratchets the window high-water mark.
+    pub fn observe_window_depth(&mut self, depth: usize) {
+        self.window_depth_hwm = self.window_depth_hwm.max(depth as u64);
+    }
+
+    /// Mean wire entries per synthesized frame — the aggregation ratio
+    /// of the paper's §5.1 experiment. `0.0` before any frame leaves.
+    pub fn aggregation_ratio(&self) -> f64 {
+        if self.frames_synthesized == 0 {
+            0.0
+        } else {
+            self.entries_aggregated as f64 / self.frames_synthesized as f64
+        }
+    }
+}
+
+/// One NIC's transfer-layer counters, labeled with the driver name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NicMetrics {
+    /// Technology name from the driver capabilities.
+    pub name: String,
+    /// Cumulative link counters reported by the driver.
+    pub link: LinkStats,
+}
+
+/// A point-in-time copy of every observable counter of one engine.
+///
+/// Cheap to take (a handful of copies plus one driver call per NIC)
+/// and fully detached from the engine afterwards.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Name of the scheduling strategy driving the engine.
+    pub strategy: &'static str,
+    /// Collect- and scheduling-layer counters.
+    pub engine: EngineMetrics,
+    /// Wire-level counters (frames/entries actually sent and received).
+    pub wire: EngineStats,
+    /// Per-NIC transfer-layer counters, in rail order.
+    pub nics: Vec<NicMetrics>,
+}
+
+impl MetricsSnapshot {
+    /// Mean wire entries per synthesized frame. See
+    /// [`EngineMetrics::aggregation_ratio`].
+    pub fn aggregation_ratio(&self) -> f64 {
+        self.engine.aggregation_ratio()
+    }
+
+    /// Renders the snapshot as one machine-readable JSON object.
+    pub fn to_json(&self) -> String {
+        let e = &self.engine;
+        let w = &self.wire;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"strategy\":{},\"collect\":{{\"requests_submitted\":{},\"recvs_posted\":{},\
+             \"bytes_enqueued\":{},\"window_depth_hwm\":{}}},\
+             \"scheduling\":{{\"frames_synthesized\":{},\"entries_aggregated\":{},\
+             \"aggregation_ratio\":{:.4},\"eager_entries\":{},\"rendezvous_entries\":{},\
+             \"reorder_decisions\":{}}},\
+             \"wire\":{{\"frames_sent\":{},\"frames_received\":{},\"data_entries\":{},\
+             \"rts_entries\":{},\"cts_entries\":{},\"chunk_entries\":{},\"staging_copies\":{},\
+             \"credit_stalls\":{},\"credit_frames\":{}}},\"nics\":[",
+            json_string(self.strategy),
+            e.requests_submitted,
+            e.recvs_posted,
+            e.bytes_enqueued,
+            e.window_depth_hwm,
+            e.frames_synthesized,
+            e.entries_aggregated,
+            e.aggregation_ratio(),
+            e.eager_entries,
+            e.rendezvous_entries,
+            e.reorder_decisions,
+            w.frames_sent,
+            w.frames_received,
+            w.data_entries,
+            w.rts_entries,
+            w.cts_entries,
+            w.chunk_entries,
+            w.staging_copies,
+            w.credit_stalls,
+            w.credit_frames,
+        );
+        for (i, nic) in self.nics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"busy_ns\":{},\"idle_ns\":{},\"retransmits\":{},\"acks\":{}}}",
+                json_string(&nic.name),
+                nic.link.busy_ns,
+                nic.link.idle_ns,
+                nic.link.retransmits,
+                nic.link.acks,
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Thread-safe collection of labeled snapshots, rendered as one JSON
+/// report. The lock lives here — at the API boundary — not in the
+/// engine's counters.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    entries: Mutex<Vec<(String, MetricsSnapshot)>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `snapshot` under `label` (e.g. `"fig2/aggreg/4096B"`).
+    pub fn record(&self, label: impl Into<String>, snapshot: MetricsSnapshot) {
+        self.entries.lock().push((label.into(), snapshot));
+    }
+
+    /// Number of recorded snapshots.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// Renders every recorded snapshot as one JSON array of
+    /// `{"label": ..., "metrics": {...}}` objects, in record order.
+    pub fn to_json(&self) -> String {
+        let entries = self.entries.lock();
+        let mut out = String::from("[");
+        for (i, (label, snap)) in entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"label\":{},\"metrics\":{}}}",
+                json_string(label),
+                snap.to_json()
+            );
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal, quotes included.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        MetricsSnapshot {
+            strategy: "aggreg",
+            engine: EngineMetrics {
+                requests_submitted: 8,
+                recvs_posted: 8,
+                bytes_enqueued: 512,
+                window_depth_hwm: 7,
+                frames_synthesized: 2,
+                entries_aggregated: 8,
+                eager_entries: 8,
+                rendezvous_entries: 0,
+                reorder_decisions: 1,
+            },
+            wire: EngineStats {
+                frames_sent: 2,
+                data_entries: 8,
+                ..EngineStats::default()
+            },
+            nics: vec![NicMetrics {
+                name: "MX/\"Myri-10G\"".to_string(),
+                link: LinkStats {
+                    busy_ns: 100,
+                    idle_ns: 50,
+                    retransmits: 3,
+                    acks: 4,
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn aggregation_ratio_handles_zero_frames() {
+        let mut m = EngineMetrics::default();
+        assert_eq!(m.aggregation_ratio(), 0.0);
+        m.frames_synthesized = 2;
+        m.entries_aggregated = 8;
+        assert_eq!(m.aggregation_ratio(), 4.0);
+    }
+
+    #[test]
+    fn window_hwm_ratchets() {
+        let mut m = EngineMetrics::default();
+        m.observe_window_depth(3);
+        m.observe_window_depth(1);
+        assert_eq!(m.window_depth_hwm, 3);
+        m.observe_window_depth(9);
+        assert_eq!(m.window_depth_hwm, 9);
+    }
+
+    #[test]
+    fn snapshot_json_is_complete_and_escaped() {
+        let json = sample().to_json();
+        assert!(json.contains("\"strategy\":\"aggreg\""));
+        assert!(json.contains("\"requests_submitted\":8"));
+        assert!(json.contains("\"aggregation_ratio\":4.0000"));
+        assert!(json.contains("\"reorder_decisions\":1"));
+        assert!(json.contains("\"retransmits\":3"));
+        assert!(json.contains("\"acks\":4"));
+        // The quote inside the NIC name must be escaped.
+        assert!(json.contains("MX/\\\"Myri-10G\\\""));
+        // Balanced braces/brackets — cheap structural sanity check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in {json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn registry_renders_labeled_array() {
+        let reg = MetricsRegistry::new();
+        assert!(reg.is_empty());
+        assert_eq!(reg.to_json(), "[]");
+        reg.record("fig2/aggreg/64B", sample());
+        reg.record("fig2/default/64B", sample());
+        assert_eq!(reg.len(), 2);
+        let json = reg.to_json();
+        assert!(json.starts_with("[{\"label\":\"fig2/aggreg/64B\","));
+        assert!(json.contains("\"label\":\"fig2/default/64B\""));
+    }
+
+    #[test]
+    fn json_string_escapes_control_characters() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

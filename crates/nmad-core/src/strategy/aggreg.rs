@@ -10,7 +10,9 @@
 //! submission order is preserved on the wire (reordering is
 //! [`StratReorder`](super::StratReorder)'s job).
 
-use super::{eager_cutoff, plan_ctrl, plan_rdv_chunk, Budget, FramePlan, NicView, PlanEntry, Strategy};
+use super::{
+    eager_cutoff, plan_ctrl, plan_rdv_chunk, Budget, FramePlan, NicView, PlanEntry, Strategy,
+};
 use crate::window::Window;
 
 /// See the module documentation.

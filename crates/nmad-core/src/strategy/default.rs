@@ -6,7 +6,9 @@
 //! engine overhead, and acting as the ablation baseline for every other
 //! strategy.
 
-use super::{eager_cutoff, plan_ctrl, plan_rdv_chunk, Budget, FramePlan, NicView, PlanEntry, Strategy};
+use super::{
+    eager_cutoff, plan_ctrl, plan_rdv_chunk, Budget, FramePlan, NicView, PlanEntry, Strategy,
+};
 use crate::window::Window;
 
 /// See the module documentation.

@@ -86,10 +86,7 @@ impl StratDynamic {
         // flight) benefits from the reordering passes; a backlog of
         // uniform small segments only needs plain aggregation.
         let threshold = super::eager_cutoff(nic.caps);
-        let has_large = window
-            .common_ref()
-            .iter()
-            .any(|w| w.len() > threshold);
+        let has_large = window.common_ref().iter().any(|w| w.len() > threshold);
         if has_large || window.has_rdv() {
             Tactic::Reorder
         } else {

@@ -75,6 +75,9 @@ pub struct FramePlan {
     pub dst: NodeId,
     /// The planned wire entries, in frame order.
     pub entries: Vec<PlanEntry>,
+    /// Entries the strategy pulled out of submission order (the
+    /// reordering strategies increment this; FIFO strategies leave 0).
+    pub reordered: u32,
 }
 
 impl FramePlan {
@@ -83,6 +86,7 @@ impl FramePlan {
         FramePlan {
             dst,
             entries: Vec::new(),
+            reordered: 0,
         }
     }
 

@@ -15,7 +15,9 @@
 //!   at about the same time ("later reassembled on the receiving side",
 //!   §7; reassembly is offset-based in the matching layer).
 
-use super::{eager_cutoff, plan_ctrl, plan_rdv_chunk, Budget, FramePlan, NicView, PlanEntry, Strategy};
+use super::{
+    eager_cutoff, plan_ctrl, plan_rdv_chunk, Budget, FramePlan, NicView, PlanEntry, Strategy,
+};
 use crate::window::Window;
 use nmad_net::Capabilities;
 
@@ -107,7 +109,7 @@ mod tests {
 
     fn two_rail_caps() -> Vec<Capabilities> {
         vec![
-            Capabilities::from_nic(&nic::mx_myri10g()),     // 1240 MB/s
+            Capabilities::from_nic(&nic::mx_myri10g()), // 1240 MB/s
             Capabilities::from_nic(&nic::quadrics_qm500()), // 880 MB/s
         ]
     }

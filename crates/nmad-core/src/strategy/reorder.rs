@@ -11,7 +11,9 @@
 //! restores per-flow order from sequence numbers, so reordering is
 //! semantically invisible.
 
-use super::{eager_cutoff, plan_ctrl, plan_rdv_chunk, Budget, FramePlan, NicView, PlanEntry, Strategy};
+use super::{
+    eager_cutoff, plan_ctrl, plan_rdv_chunk, Budget, FramePlan, NicView, PlanEntry, Strategy,
+};
 use crate::segment::Priority;
 use crate::window::Window;
 
@@ -36,35 +38,35 @@ impl Strategy for StratReorder {
         // Pass 1: high-priority segments jump the whole queue (the RPC
         // service-id scenario of §2).
         while budget.fits_bare() {
-            let Some(w) = window.take_first_matching(nic.index, |w| {
+            let Some((w, jumped)) = window.take_first_matching_tracked(nic.index, |w| {
                 w.dst == dst
                     && w.priority == Priority::High
                     && (w.len() > threshold || budget.fits_data(w.len()))
             }) else {
                 break;
             };
+            plan.reordered += u32::from(jumped);
             push(&mut plan, &mut budget, threshold, w);
         }
 
         // Pass 2: every large segment contributes its RTS now, so all
         // the rendezvous handshakes overlap.
         while budget.fits_bare() {
-            let Some(w) =
-                window.take_first_matching(nic.index, |w| w.dst == dst && w.len() > threshold)
+            let Some((w, jumped)) = window
+                .take_first_matching_tracked(nic.index, |w| w.dst == dst && w.len() > threshold)
             else {
                 break;
             };
+            plan.reordered += u32::from(jumped);
             push(&mut plan, &mut budget, threshold, w);
         }
 
         // Pass 3: fill with small segments, skipping any that do not
         // fit the remaining budget (this is the reordering).
-        loop {
-            let Some(w) = window
-                .take_first_matching(nic.index, |w| w.dst == dst && budget.fits_data(w.len()))
-            else {
-                break;
-            };
+        while let Some((w, jumped)) = window
+            .take_first_matching_tracked(nic.index, |w| w.dst == dst && budget.fits_data(w.len()))
+        {
+            plan.reordered += u32::from(jumped);
             push(&mut plan, &mut budget, threshold, w);
         }
 
@@ -150,6 +152,10 @@ mod tests {
             "all RTS first, then all small blocks, in one frame"
         );
         assert!(w.is_empty());
+        assert!(
+            plan.reordered > 0,
+            "interleaving smalls with larges is a reordering decision"
+        );
     }
 
     #[test]
@@ -164,6 +170,7 @@ mod tests {
             PlanEntry::Data(d) => assert_eq!(d.tag, Tag(1), "high priority first"),
             e => panic!("unexpected {e:?}"),
         }
+        assert_eq!(plan.reordered, 1, "exactly one queue jump");
     }
 
     #[test]
@@ -185,9 +192,11 @@ mod tests {
             })
             .collect();
         assert_eq!(tags, vec![Tag(0), Tag(2)], "skipped the oversized middle");
-        // The skipped one goes out next.
+        assert_eq!(plan.reordered, 1, "only the skip over #1 counts");
+        // The skipped one goes out next, in order.
         let plan2 = s.schedule(&mut w, &view(&caps)).unwrap();
         assert_eq!(plan2.entries.len(), 1);
+        assert_eq!(plan2.reordered, 0);
     }
 
     #[test]

@@ -280,13 +280,25 @@ impl Window {
     pub fn take_first_matching(
         &mut self,
         nic: usize,
-        mut pred: impl FnMut(&PackWrapper) -> bool,
+        pred: impl FnMut(&PackWrapper) -> bool,
     ) -> Option<PackWrapper> {
+        self.take_first_matching_tracked(nic, pred).map(|(w, _)| w)
+    }
+
+    /// Like [`take_first_matching`](Self::take_first_matching) but also
+    /// reports whether the take jumped past earlier-queued segments
+    /// (i.e. an actual reordering decision, not a FIFO pop).
+    pub fn take_first_matching_tracked(
+        &mut self,
+        nic: usize,
+        mut pred: impl FnMut(&PackWrapper) -> bool,
+    ) -> Option<(PackWrapper, bool)> {
         if let Some(pos) = self.dedicated[nic].iter().position(&mut pred) {
-            return self.dedicated[nic].remove(pos);
+            return self.dedicated[nic].remove(pos).map(|w| (w, pos > 0));
         }
         if let Some(pos) = self.common.iter().position(&mut pred) {
-            return self.common.remove(pos);
+            let jumped = pos > 0 || !self.dedicated[nic].is_empty();
+            return self.common.remove(pos).map(|w| (w, jumped));
         }
         None
     }
@@ -428,6 +440,41 @@ mod tests {
         let a = w.take_front_if(0, |_| true).unwrap();
         let b = w.take_front_if(0, |_| true).unwrap();
         assert_eq!((a.tag, b.tag), (Tag(10), Tag(30)));
+    }
+
+    #[test]
+    fn tracked_take_flags_out_of_order_pops() {
+        let mut w = Window::new(2);
+        w.push_segment(wrapper(1, 10, 0, 4), None);
+        w.push_segment(wrapper(2, 20, 0, 4), None);
+        // Front of the common list: a FIFO pop, not a reorder.
+        let (got, jumped) = w
+            .take_first_matching_tracked(0, |s| s.dst == NodeId(1))
+            .unwrap();
+        assert_eq!(got.tag, Tag(10));
+        assert!(!jumped);
+        // Only one left; taking it is again in order.
+        let (_, jumped) = w.take_first_matching_tracked(0, |_| true).unwrap();
+        assert!(!jumped);
+
+        // Jumping past an earlier segment is a reorder.
+        w.push_segment(wrapper(1, 10, 0, 4), None);
+        w.push_segment(wrapper(2, 20, 0, 4), None);
+        let (got, jumped) = w
+            .take_first_matching_tracked(0, |s| s.dst == NodeId(2))
+            .unwrap();
+        assert_eq!(got.tag, Tag(20));
+        assert!(jumped);
+
+        // A common-list take behind queued dedicated work also jumps.
+        let mut w = Window::new(2);
+        w.push_segment(wrapper(3, 30, 0, 4), Some(1));
+        w.push_segment(wrapper(4, 40, 0, 4), None);
+        let (got, jumped) = w
+            .take_first_matching_tracked(1, |s| s.dst == NodeId(4))
+            .unwrap();
+        assert_eq!(got.tag, Tag(40));
+        assert!(jumped);
     }
 
     #[test]

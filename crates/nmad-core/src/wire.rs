@@ -257,8 +257,16 @@ pub fn parse_frame(bytes: &[u8]) -> Result<Vec<Entry<'_>>, WireError> {
         let offset = u32::from_le_bytes(h[16..20].try_into().expect("4"));
         at += ENTRY_HEADER_LEN;
         let entry = match kind {
-            KIND_RTS => Entry::Rts { tag, seq, total: len },
-            KIND_CTS => Entry::Cts { tag, seq, total: len },
+            KIND_RTS => Entry::Rts {
+                tag,
+                seq,
+                total: len,
+            },
+            KIND_CTS => Entry::Cts {
+                tag,
+                seq,
+                total: len,
+            },
             KIND_CREDIT => Entry::Credit { count: len },
             KIND_DATA | KIND_RDV_DATA => {
                 let end = at + len as usize;
@@ -361,7 +369,10 @@ mod tests {
     fn bad_magic_is_rejected() {
         let mut frame = FrameBuilder::new().finish();
         frame[0] = 0;
-        assert_eq!(parse_frame(&frame).unwrap_err(), WireError::BadMagic(0xAD00));
+        assert_eq!(
+            parse_frame(&frame).unwrap_err(),
+            WireError::BadMagic(0xAD00)
+        );
     }
 
     #[test]
@@ -393,7 +404,10 @@ mod tests {
             fb.finish()
         };
         frame.push(0xFF);
-        assert_eq!(parse_frame(&frame).unwrap_err(), WireError::TrailingBytes(1));
+        assert_eq!(
+            parse_frame(&frame).unwrap_err(),
+            WireError::TrailingBytes(1)
+        );
     }
 
     #[test]
@@ -410,7 +424,10 @@ mod tests {
         let mut fb = FrameBuilder::new();
         fb.push_credit(3);
         let frame = fb.finish();
-        assert_eq!(parse_frame(&frame).unwrap(), vec![Entry::Credit { count: 3 }]);
+        assert_eq!(
+            parse_frame(&frame).unwrap(),
+            vec![Entry::Credit { count: 3 }]
+        );
     }
 
     #[test]

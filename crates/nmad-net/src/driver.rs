@@ -102,6 +102,43 @@ impl From<std::io::Error> for NetError {
 /// Result alias for driver operations.
 pub type NetResult<T> = Result<T, NetError>;
 
+/// Cumulative transmit-side link counters a driver reports for
+/// observability. Drivers that do no accounting keep the all-zero
+/// default; decorators (reliability layers) add their own counters on
+/// top of the inner driver's.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Nanoseconds the transmit side spent with a frame on the wire.
+    pub busy_ns: u64,
+    /// Nanoseconds the transmit side sat idle since initialisation.
+    pub idle_ns: u64,
+    /// Frames re-sent by a reliability layer.
+    pub retransmits: u64,
+    /// Acknowledgement frames sent by a reliability layer.
+    pub acks: u64,
+}
+
+/// One frame-synthesis decision taken by a scheduling strategy,
+/// reported through [`CpuMeter::note_decision`] so simulated transports
+/// can trace scheduling behaviour alongside wire events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StrategyDecision {
+    /// Name of the strategy that synthesized the frame.
+    pub strategy: &'static str,
+    /// Wire entries in the synthesized frame.
+    pub entries: u32,
+    /// Eager data entries among them.
+    pub data_entries: u32,
+    /// Rendezvous announcements among them.
+    pub rts_entries: u32,
+    /// Rendezvous grants among them.
+    pub cts_entries: u32,
+    /// Rendezvous payload chunks among them.
+    pub chunk_entries: u32,
+    /// Entries the strategy took out of submission order.
+    pub reordered: u32,
+}
+
 /// A frame transport bound to one local node on one rail.
 pub trait Driver: Send {
     /// Facts collected at initialisation.
@@ -133,6 +170,12 @@ pub trait Driver: Send {
     fn pump(&mut self) -> NetResult<()> {
         Ok(())
     }
+
+    /// Cumulative transmit-side counters for observability. Drivers
+    /// without accounting keep the all-zero default.
+    fn link_stats(&self) -> LinkStats {
+        LinkStats::default()
+    }
 }
 
 /// Accounts engine CPU costs.
@@ -148,6 +191,11 @@ pub trait CpuMeter: Send {
 
     /// Accounts one memory copy of `bytes` bytes.
     fn charge_memcpy(&mut self, bytes: usize);
+
+    /// Observes one strategy scheduling decision. Free (no virtual
+    /// time is charged); simulated transports forward it to the event
+    /// trace, real transports use the default no-op.
+    fn note_decision(&mut self, _decision: &StrategyDecision) {}
 }
 
 /// Meter for real transports: executing the code *is* the cost.

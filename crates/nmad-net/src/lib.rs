@@ -33,7 +33,8 @@ pub mod sim;
 pub mod tcp;
 
 pub use driver::{
-    Capabilities, CpuMeter, Driver, NetError, NetResult, NullMeter, RxFrame, SendHandle,
+    Capabilities, CpuMeter, Driver, LinkStats, NetError, NetResult, NullMeter, RxFrame, SendHandle,
+    StrategyDecision,
 };
 pub use lossy::{LossStats, LossyDriver};
 pub use mem::{mem_fabric, MemDriver};

@@ -22,9 +22,7 @@ struct XorShift64 {
 
 impl XorShift64 {
     fn new(seed: u64) -> Self {
-        XorShift64 {
-            state: seed.max(1),
-        }
+        XorShift64 { state: seed.max(1) }
     }
 
     fn next(&mut self) -> u64 {
@@ -139,7 +137,13 @@ mod tests {
         for _ in 0..50 {
             lossy.post_send(NodeId(1), &[b"x"]).unwrap();
         }
-        assert_eq!(lossy.stats(), LossStats { passed: 50, dropped: 0 });
+        assert_eq!(
+            lossy.stats(),
+            LossStats {
+                passed: 50,
+                dropped: 0
+            }
+        );
         drop(b);
     }
 

@@ -308,7 +308,8 @@ mod tests {
         let (ta, clk_a) = test_clock();
         let (_, clk_b) = test_clock();
         // Loss only on a→b data; acks flow losslessly back.
-        let mut a = SelectiveDriver::new(LossyDriver::new(a_raw, 0.3, 0xD00D), clk_a, None, 500_000);
+        let mut a =
+            SelectiveDriver::new(LossyDriver::new(a_raw, 0.3, 0xD00D), clk_a, None, 500_000);
         let mut b = SelectiveDriver::new(b_raw, clk_b, None, 500_000);
         let n = 60u8;
         for i in 0..n {

@@ -8,8 +8,11 @@
 //! charges staging copies and software costs to the node's virtual CPU
 //! account.
 
-use crate::driver::{Capabilities, CpuMeter, Driver, NetError, NetResult, RxFrame, SendHandle};
-use nmad_sim::{NodeId, RailId, SendToken, SharedWorld, SimDuration};
+use crate::driver::{
+    Capabilities, CpuMeter, Driver, LinkStats, NetError, NetResult, RxFrame, SendHandle,
+    StrategyDecision,
+};
+use nmad_sim::{NodeId, RailId, SendToken, SharedWorld, SimDuration, SimTime};
 use std::collections::HashMap;
 
 /// A [`Driver`] over one rail of a shared simulated world.
@@ -136,6 +139,20 @@ impl Driver for SimDriver {
         let w = self.world.lock();
         w.rail_failed(self.node, self.rail) || w.nic_idle(self.node, self.rail)
     }
+
+    fn link_stats(&self) -> LinkStats {
+        let w = self.world.lock();
+        let busy_ns = w.nic_busy_total(self.node, self.rail).as_ns();
+        let elapsed_ns = w.now().saturating_since(SimTime::ZERO).as_ns();
+        LinkStats {
+            busy_ns,
+            // Busy time is charged at post time for the whole frame, so
+            // it can briefly run ahead of the clock; saturate.
+            idle_ns: elapsed_ns.saturating_sub(busy_ns),
+            retransmits: 0,
+            acks: 0,
+        }
+    }
 }
 
 /// [`CpuMeter`] charging a node's virtual CPU account.
@@ -164,6 +181,15 @@ impl CpuMeter for SimCpuMeter {
         if bytes > 0 {
             self.world.lock().charge_memcpy(self.node, bytes);
         }
+    }
+
+    fn note_decision(&mut self, decision: &StrategyDecision) {
+        self.world.lock().record_strategy_decision(
+            self.node,
+            decision.strategy,
+            decision.entries,
+            decision.reordered,
+        );
     }
 }
 
@@ -233,6 +259,41 @@ mod tests {
         // zero-byte copies are free
         a.meter().charge_memcpy(0);
         assert_eq!(world.lock().cpu_free_at(NodeId(0)), after);
+    }
+
+    #[test]
+    fn link_stats_split_busy_and_idle_time() {
+        let (world, mut a, _b) = pair();
+        assert_eq!(a.link_stats(), LinkStats::default());
+        a.post_send(NodeId(1), &[&vec![0u8; 1 << 20]]).unwrap();
+        settle(&world);
+        let stats = a.link_stats();
+        assert!(stats.busy_ns > 0, "wire time must be accounted");
+        assert!(stats.idle_ns > 0, "latency tail counts as idle");
+        let elapsed = world
+            .lock()
+            .now()
+            .saturating_since(nmad_sim::SimTime::ZERO)
+            .as_ns();
+        assert_eq!(stats.busy_ns + stats.idle_ns, elapsed);
+    }
+
+    #[test]
+    fn meter_forwards_decisions_to_the_trace() {
+        let (world, a, _b) = pair();
+        world.lock().enable_trace();
+        a.meter().note_decision(&StrategyDecision {
+            strategy: "aggreg",
+            entries: 5,
+            data_entries: 4,
+            rts_entries: 1,
+            cts_entries: 0,
+            chunk_entries: 0,
+            reordered: 2,
+        });
+        let trace = world.lock().take_trace();
+        assert_eq!(trace.decisions(), 1);
+        assert_eq!(trace.decision_entries_for(NodeId(0)), 5);
     }
 
     #[test]

@@ -306,10 +306,7 @@ impl Driver for TcpDriver {
     }
 
     fn tx_idle(&self) -> bool {
-        self.peers
-            .iter()
-            .flatten()
-            .all(|c| c.out.is_empty())
+        self.peers.iter().flatten().all(|c| c.out.is_empty())
     }
 
     fn pump(&mut self) -> NetResult<()> {
@@ -376,7 +373,10 @@ mod tests {
         }
         for i in 0..100u32 {
             let f = recv_blocking(&mut b);
-            assert_eq!(u32::from_le_bytes(f.payload.as_slice().try_into().unwrap()), i);
+            assert_eq!(
+                u32::from_le_bytes(f.payload.as_slice().try_into().unwrap()),
+                i
+            );
         }
     }
 
@@ -397,8 +397,7 @@ mod tests {
             })
         };
         let handles: Vec<_> = (0..3).map(mk).collect();
-        let mut drivers: Vec<TcpDriver> =
-            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let mut drivers: Vec<TcpDriver> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         // Node 2 sends to node 0 and 1.
         drivers[2].post_send(NodeId(0), &[b"to zero"]).unwrap();
         drivers[2].post_send(NodeId(1), &[b"to one"]).unwrap();

@@ -63,7 +63,10 @@ impl SimDuration {
     /// Builds a duration from fractional microseconds (reporting /
     /// calibration convenience; rounds to the nearest nanosecond).
     pub fn from_us_f64(us: f64) -> Self {
-        assert!(us >= 0.0 && us.is_finite(), "negative or non-finite duration");
+        assert!(
+            us >= 0.0 && us.is_finite(),
+            "negative or non-finite duration"
+        );
         SimDuration((us * 1_000.0).round() as u64)
     }
 

@@ -36,9 +36,17 @@ pub fn render_events(trace: &Trace) -> String {
                 "{:>14}  {dst} ←{src} {rail}  recv {bytes}B",
                 ev.time.to_string()
             ),
-            TraceEvent::CpuCharge { node, dur } => writeln!(
+            TraceEvent::CpuCharge { node, dur } => {
+                writeln!(out, "{:>14}  {node}        cpu  {dur}", ev.time.to_string())
+            }
+            TraceEvent::StrategyDecision {
+                node,
+                strategy,
+                entries,
+                reordered,
+            } => writeln!(
                 out,
-                "{:>14}  {node}        cpu  {dur}",
+                "{:>14}  {node}        plan {strategy}: {entries} entries ({reordered} reordered)",
                 ev.time.to_string()
             ),
         };
@@ -61,6 +69,8 @@ pub struct NodeSummary {
     pub bytes_received: usize,
     /// Number of CPU charges recorded.
     pub cpu_charges: usize,
+    /// Strategy frame-synthesis decisions recorded.
+    pub decisions: usize,
 }
 
 /// Aggregates the trace into per-node summaries, ordered by node id.
@@ -75,6 +85,7 @@ pub fn summarize(trace: &Trace) -> Vec<NodeSummary> {
             bytes_sent: 0,
             bytes_received: 0,
             cpu_charges: 0,
+            decisions: 0,
         });
     };
     for ev in trace.events() {
@@ -94,6 +105,10 @@ pub fn summarize(trace: &Trace) -> Vec<NodeSummary> {
             TraceEvent::CpuCharge { node, .. } => {
                 entry(&mut map, node.0);
                 map.get_mut(&node.0).expect("inserted").cpu_charges += 1;
+            }
+            TraceEvent::StrategyDecision { node, .. } => {
+                entry(&mut map, node.0);
+                map.get_mut(&node.0).expect("inserted").decisions += 1;
             }
         }
     }
@@ -174,7 +189,10 @@ mod tests {
         assert_eq!((n0.node, n0.frames_sent, n0.bytes_sent), (0, 1, 128));
         assert_eq!(n0.cpu_charges, 1);
         let n1 = &summaries[1];
-        assert_eq!((n1.node, n1.frames_received, n1.bytes_received), (1, 1, 128));
+        assert_eq!(
+            (n1.node, n1.frames_received, n1.bytes_received),
+            (1, 1, 128)
+        );
     }
 
     #[test]

@@ -121,8 +121,7 @@ mod tests {
 
     #[test]
     fn multirail_config_keeps_order() {
-        let cfg =
-            SimConfig::two_nodes_multirail(vec![nic::mx_myri10g(), nic::quadrics_qm500()]);
+        let cfg = SimConfig::two_nodes_multirail(vec![nic::mx_myri10g(), nic::quadrics_qm500()]);
         assert_eq!(cfg.rails[0].name, "MX/Myri-10G");
         assert_eq!(cfg.rails[1].name, "Elan/QM500");
     }

@@ -41,6 +41,17 @@ pub enum TraceEvent {
         /// Duration of the charge.
         dur: SimDuration,
     },
+    /// A scheduling strategy synthesized a frame on a node.
+    StrategyDecision {
+        /// Node whose engine took the decision.
+        node: NodeId,
+        /// Name of the strategy that synthesized the frame.
+        strategy: &'static str,
+        /// Wire entries in the synthesized frame.
+        entries: u32,
+        /// Entries the strategy took out of submission order.
+        reordered: u32,
+    },
 }
 
 impl TraceEvent {
@@ -50,6 +61,7 @@ impl TraceEvent {
             TraceEvent::Send { .. } => "send",
             TraceEvent::Deliver { .. } => "deliver",
             TraceEvent::CpuCharge { .. } => "cpu",
+            TraceEvent::StrategyDecision { .. } => "decision",
         }
     }
 }
@@ -103,6 +115,28 @@ impl Trace {
             .iter()
             .filter(|e| matches!(e.event, TraceEvent::Send { .. }))
             .count()
+    }
+
+    /// Number of recorded strategy decisions (frames synthesized).
+    pub fn decisions(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.event, TraceEvent::StrategyDecision { .. }))
+            .count()
+    }
+
+    /// Total wire entries across `node`'s recorded strategy decisions —
+    /// the trace-side view of the engine's `entries_aggregated` counter.
+    pub fn decision_entries_for(&self, node: NodeId) -> u64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e.event {
+                TraceEvent::StrategyDecision {
+                    node: n, entries, ..
+                } if n == node => Some(u64::from(entries)),
+                _ => None,
+            })
+            .sum()
     }
 }
 

@@ -85,6 +85,8 @@ impl Ord for InFlight {
 #[derive(Debug, Default)]
 struct RailState {
     tx_busy_until: SimTime,
+    /// Cumulative wire occupancy of this transmit side (observability).
+    tx_busy_total: SimDuration,
     inbox: BinaryHeap<Reverse<InFlight>>,
     pending_sends: HashMap<SendToken, SimTime>,
     failed: bool,
@@ -238,6 +240,32 @@ impl SimWorld {
         self.nodes[node.index()].rails[rail.index()].tx_busy_until
     }
 
+    /// Cumulative wire occupancy of `node`'s transmit side on `rail`
+    /// since construction. Charged at post time for the whole frame, so
+    /// it includes the tail of a transmission still in progress and may
+    /// briefly exceed elapsed virtual time.
+    pub fn nic_busy_total(&self, node: NodeId, rail: RailId) -> SimDuration {
+        self.nodes[node.index()].rails[rail.index()].tx_busy_total
+    }
+
+    /// Records a strategy scheduling decision into the event trace
+    /// (no-op while tracing is disabled). Scalar arguments keep this
+    /// crate free of engine-layer types.
+    pub fn record_strategy_decision(
+        &mut self,
+        node: NodeId,
+        strategy: &'static str,
+        entries: u32,
+        reordered: u32,
+    ) {
+        self.record(TraceEvent::StrategyDecision {
+            node,
+            strategy,
+            entries,
+            reordered,
+        });
+    }
+
     /// Posts a send of `payload` from `src` to `dst` on `rail`.
     ///
     /// The post itself costs the NIC's `tx_overhead` of CPU on `src`;
@@ -255,7 +283,10 @@ impl SimWorld {
     ) -> SendToken {
         assert!(src.index() < self.nodes.len(), "bad src {src}");
         assert!(dst.index() < self.nodes.len(), "bad dst {dst}");
-        assert_ne!(src, dst, "self-send must be short-circuited above the driver");
+        assert_ne!(
+            src, dst,
+            "self-send must be short-circuited above the driver"
+        );
         let model = &self.rails[rail.index()];
         assert!(
             payload.len() <= model.mtu,
@@ -279,6 +310,7 @@ impl SimWorld {
         let tx_end = start + wire;
         let deliver_at = tx_end + latency;
         rail_state.tx_busy_until = tx_end;
+        rail_state.tx_busy_total += wire;
 
         let token = SendToken(self.next_seq);
         let seq = self.next_seq;
@@ -493,16 +525,16 @@ mod tests {
         w.post_send(N0, RailId(1), N1, vec![0u8; bytes]);
         let mut done = [None, None];
         drain_to(&mut w, |w| {
-            for r in 0..2 {
-                if done[r].is_none() && w.poll_recv(N1, RailId(r as u16)).is_some() {
-                    done[r] = Some(w.now());
+            for (r, slot) in done.iter_mut().enumerate() {
+                if slot.is_none() && w.poll_recv(N1, RailId(r as u16)).is_some() {
+                    *slot = Some(w.now());
                 }
             }
             done.iter().all(Option::is_some)
         });
         // Both transfers overlapped: total time is near max, not sum.
-        let serial = nic::mx_myri10g().one_way_time(bytes)
-            + nic::quadrics_qm500().one_way_time(bytes);
+        let serial =
+            nic::mx_myri10g().one_way_time(bytes) + nic::quadrics_qm500().one_way_time(bytes);
         assert!(w.now().saturating_since(SimTime::ZERO) < serial);
     }
 
@@ -575,6 +607,31 @@ mod tests {
     fn mtu_is_enforced() {
         let mut w = SimWorld::new(SimConfig::two_nodes(nic::sisci_sci()));
         w.post_send(N0, R0, N1, vec![0u8; 128 * 1024]);
+    }
+
+    #[test]
+    fn tx_busy_total_accumulates_wire_time() {
+        let mut w = world();
+        assert_eq!(w.nic_busy_total(N0, R0), SimDuration::ZERO);
+        w.post_send(N0, R0, N1, vec![0u8; 1024]);
+        let wire = nic::mx_myri10g().wire_time(1024);
+        assert_eq!(w.nic_busy_total(N0, R0), wire);
+        w.post_send(N0, R0, N1, vec![0u8; 1024]);
+        assert_eq!(w.nic_busy_total(N0, R0), wire + wire);
+        assert_eq!(w.nic_busy_total(N1, R0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn strategy_decisions_enter_the_trace() {
+        let mut w = world();
+        w.record_strategy_decision(N0, "aggreg", 3, 0); // tracing off: dropped
+        w.enable_trace();
+        w.record_strategy_decision(N0, "aggreg", 8, 2);
+        let t = w.take_trace();
+        assert_eq!(t.decisions(), 1);
+        assert_eq!(t.decision_entries_for(N0), 8);
+        assert_eq!(t.decision_entries_for(N1), 0);
+        assert_eq!(t.events()[0].kind_name(), "decision");
     }
 
     #[test]

@@ -39,7 +39,10 @@ fn main() {
         }
         all
     });
-    let comms: Vec<_> = splits.iter_mut().map(|s| s.take_result().unwrap()).collect();
+    let comms: Vec<_> = splits
+        .iter_mut()
+        .map(|s| s.take_result().unwrap())
+        .collect();
 
     for (rank, comm) in comms.iter().enumerate() {
         println!(
@@ -68,10 +71,7 @@ fn main() {
         procs[g].isend(comm, to, 0, format!("hi from local {me}").into_bytes());
     }
     pump_cluster(&world, &mut procs, |p| {
-        recvs
-            .iter()
-            .enumerate()
-            .all(|(g, &r)| p[g].test(r))
+        recvs.iter().enumerate().all(|(g, &r)| p[g].test(r))
     });
     for (g, r) in recvs.into_iter().enumerate() {
         let comm = comms[g];
@@ -81,5 +81,8 @@ fn main() {
         let msg = String::from_utf8(procs[g].take(r).unwrap()).unwrap();
         assert_eq!(msg, format!("hi from local {from}"));
     }
-    println!("\nboth group rings completed in isolation at {}", world.lock().now());
+    println!(
+        "\nboth group rings completed in isolation at {}",
+        world.lock().now()
+    );
 }

@@ -35,7 +35,12 @@ fn run(kind: EngineKind, rows: usize, width: usize, pitch: usize) -> (f64, Vec<u
 }
 
 fn compare(label: &str, rows: usize, width: usize, pitch: usize) {
-    let madmpi = run(EngineKind::MadMpi(StrategyKind::Reorder), rows, width, pitch);
+    let madmpi = run(
+        EngineKind::MadMpi(StrategyKind::Reorder),
+        rows,
+        width,
+        pitch,
+    );
     let mpich = run(EngineKind::Mpich, rows, width, pitch);
 
     // Correctness on both: every block byte is the sender's fill value.
@@ -50,7 +55,10 @@ fn compare(label: &str, rows: usize, width: usize, pitch: usize) {
     }
 
     let gain = (mpich.0 - madmpi.0) / mpich.0 * 100.0;
-    println!("{label}: {rows} blocks x {width} B = {} B of payload", rows * width);
+    println!(
+        "{label}: {rows} blocks x {width} B = {} B of payload",
+        rows * width
+    );
     println!("  MadMPI (block segments):  {:>10.1} us", madmpi.0);
     println!("  MPICH  (pack + copy):     {:>10.1} us", mpich.0);
     println!(
@@ -58,7 +66,10 @@ fn compare(label: &str, rows: usize, width: usize, pitch: usize) {
         if gain >= 0.0 {
             format!("MadMPI {gain:.0}% faster")
         } else {
-            format!("MPICH {:.0}% faster (tiny blocks: copies beat many requests)", -gain)
+            format!(
+                "MPICH {:.0}% faster (tiny blocks: copies beat many requests)",
+                -gain
+            )
         }
     );
 }

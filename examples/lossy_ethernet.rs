@@ -54,7 +54,9 @@ fn main() {
     let (mut a, read_wire) = engine(&world, 0, 0xE7);
     let (mut b, _) = engine(&world, 1, 0x5EED);
 
-    let pump = |a: &mut NmadEngine, b: &mut NmadEngine, done: &mut dyn FnMut(&NmadEngine, &NmadEngine) -> bool| {
+    let pump = |a: &mut NmadEngine,
+                b: &mut NmadEngine,
+                done: &mut dyn FnMut(&NmadEngine, &NmadEngine) -> bool| {
         loop {
             let moved = a.progress() | b.progress();
             if done(a, b) {
@@ -79,7 +81,10 @@ fn main() {
     for (i, r) in recvs.into_iter().enumerate() {
         assert_eq!(b.try_take_recv(r).unwrap().data, vec![i as u8; 300]);
     }
-    println!("burst of 10 x 300 B delivered exactly, in order, across {:.0}% loss", LOSS * 100.0);
+    println!(
+        "burst of 10 x 300 B delivered exactly, in order, across {:.0}% loss",
+        LOSS * 100.0
+    );
 
     // A rendezvous-sized transfer (RTS/CTS/chunks all subject to loss).
     let body: Vec<u8> = (0..200_000u32).map(|i| (i % 255) as u8).collect();

@@ -91,7 +91,7 @@ fn main() {
             .collect();
 
         // --- relax -------------------------------------------------
-        let mut local_residual = vec![0.0f64; RANKS];
+        let mut local_residual = [0.0f64; RANKS];
         for r in 0..RANKS {
             let left_halo = halos[r]
                 .iter()

@@ -49,8 +49,7 @@ fn main() {
             }
             moved
         };
-        run_until(&world, &mut [&mut pump_s, &mut pump_r], || done.get())
-            .expect("no deadlock");
+        run_until(&world, &mut [&mut pump_s, &mut pump_r], || done.get()).expect("no deadlock");
     }
     assert!(sender.is_send_done(send_req));
     assert_eq!(receiver.try_take_recv(recv_req).expect("done").data, body);

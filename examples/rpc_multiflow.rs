@@ -86,12 +86,18 @@ fn main() {
     }
 
     let stats = client.stats();
-    println!("{N_RPCS} RPCs ({PAYLOAD} B payload each) completed at {}", world.lock().now());
+    println!(
+        "{N_RPCS} RPCs ({PAYLOAD} B payload each) completed at {}",
+        world.lock().now()
+    );
     println!(
         "wire frames: {} | eager entries: {} | rendezvous: {} RTS / {} data chunks",
         stats.frames_sent, stats.data_entries, stats.rts_entries, stats.chunk_entries
     );
-    assert_eq!(stats.rts_entries as u32, N_RPCS, "one rendezvous per payload");
+    assert_eq!(
+        stats.rts_entries as u32, N_RPCS,
+        "one rendezvous per payload"
+    );
     assert!(
         stats.frames_sent < (3 * N_RPCS) as u64,
         "small fragments of different flows must share frames"

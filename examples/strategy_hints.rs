@@ -33,18 +33,19 @@ fn main() {
     let mut client = mk_engine(0, Box::new(StratDynamic::new()));
     let mut server = mk_engine(1, Box::new(StratAggreg));
 
-    let pump =
-        |client: &mut NmadEngine, server: &mut NmadEngine, done: &mut dyn FnMut(&NmadEngine, &NmadEngine) -> bool| {
-            loop {
-                let moved = client.progress() | server.progress();
-                if done(client, server) {
-                    break;
-                }
-                if !moved && world.lock().advance().is_none() {
-                    panic!("deadlock");
-                }
+    let pump = |client: &mut NmadEngine,
+                server: &mut NmadEngine,
+                done: &mut dyn FnMut(&NmadEngine, &NmadEngine) -> bool| {
+        loop {
+            let moved = client.progress() | server.progress();
+            if done(client, server) {
+                break;
             }
-        };
+            if !moved && world.lock().advance().is_none() {
+                panic!("deadlock");
+            }
+        }
+    };
 
     // Phase 1: interactive metadata lookups (lone request/response).
     let t0 = world.lock().now();
@@ -52,9 +53,15 @@ fn main() {
         let req = client.isend(NodeId(1), Tag(i), format!("stat inode {i}").into_bytes());
         let resp_r = client.post_recv(NodeId(1), Tag(i), 64);
         let lookup_r = server.post_recv(NodeId(0), Tag(i), 64);
-        pump(&mut client, &mut server, &mut |_, s| s.is_recv_done(lookup_r));
+        pump(&mut client, &mut server, &mut |_, s| {
+            s.is_recv_done(lookup_r)
+        });
         let lookup = server.try_take_recv(lookup_r).expect("done");
-        server.isend(NodeId(0), Tag(i), [b"ok: ", lookup.data.as_slice()].concat());
+        server.isend(
+            NodeId(0),
+            Tag(i),
+            [b"ok: ", lookup.data.as_slice()].concat(),
+        );
         pump(&mut client, &mut server, &mut |c, _| c.is_recv_done(resp_r));
         client.try_take_recv(resp_r).expect("done");
         let _ = req;
@@ -87,7 +94,10 @@ fn main() {
         "dynamic selector picks — latency: {}, aggregate: {}, reorder: {}",
         stats.latency_picks, stats.aggregate_picks, stats.reorder_picks
     );
-    assert!(stats.latency_picks >= 4, "lone lookups take the latency path");
+    assert!(
+        stats.latency_picks >= 4,
+        "lone lookups take the latency path"
+    );
     assert!(stats.aggregate_picks >= 1, "the flush burst aggregates");
 
     // An explicit application hint pins the tactic regardless of state.
@@ -103,7 +113,10 @@ fn replay_selector() -> DynamicStats {
     use newmadeleine::net::Capabilities;
     let caps = Capabilities::from_nic(&nic::mx_myri10g());
     let mut strat = StratDynamic::new();
-    let view = NicView { index: 0, caps: &caps };
+    let view = NicView {
+        index: 0,
+        caps: &caps,
+    };
     let mut window = Window::new(1);
     let wrapper = |i: u32, len: usize| newmadeleine::core::PackWrapper {
         dst: NodeId(1),

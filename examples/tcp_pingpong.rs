@@ -50,6 +50,9 @@ fn main() {
 
     let rtt_us = elapsed.as_secs_f64() * 1e6 / ROUNDS as f64;
     println!("{ROUNDS} rounds of {SIZE}-byte ping-pong over loopback TCP");
-    println!("  mean RTT: {rtt_us:.1} us  (one-way ≈ {:.1} us)", rtt_us / 2.0);
+    println!(
+        "  mean RTT: {rtt_us:.1} us  (one-way ≈ {:.1} us)",
+        rtt_us / 2.0
+    );
     println!("  engine frames sent: {}", ping.stats().frames_sent);
 }

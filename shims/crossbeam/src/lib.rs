@@ -1,0 +1,142 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::channel`'s unbounded MPMC channel over
+//! `std::sync::mpsc`. Receivers are cloneable (guarded by a mutex) to
+//! keep crossbeam's multi-consumer contract.
+
+pub mod channel {
+    use std::fmt;
+    use std::sync::{mpsc, Arc, Mutex};
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    /// Receiving half of an unbounded channel (cloneable).
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone;
+    /// carries the unsent message back.
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    pub enum TryRecvError {
+        /// No message was buffered at the time of the call.
+        Empty,
+        /// All senders are gone and the buffer is drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    pub struct RecvError;
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender { inner: tx },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+            },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `msg`; fails only when every receiver was dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.inner.send(msg).map_err(|e| SendError(e.0))
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let rx = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+            rx.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Blocking receive.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let rx = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+            rx.recv().map_err(|_| RecvError)
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            Receiver {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_try_recv_roundtrip() {
+            let (tx, rx) = unbounded();
+            tx.send(5u32).unwrap();
+            assert_eq!(rx.try_recv(), Ok(5));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn disconnected_after_sender_drop() {
+            let (tx, rx) = unbounded::<u8>();
+            tx.send(1).unwrap();
+            drop(tx);
+            assert_eq!(rx.try_recv(), Ok(1), "buffered frames drain first");
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn send_to_no_receiver_returns_message() {
+            let (tx, rx) = unbounded::<&str>();
+            drop(rx);
+            let err = tx.send("lost").unwrap_err();
+            assert_eq!(err.0, "lost");
+        }
+
+        #[test]
+        fn cloned_receiver_shares_the_stream() {
+            let (tx, rx) = unbounded();
+            let rx2 = rx.clone();
+            tx.send(1u8).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.try_recv(), Ok(1));
+            assert_eq!(rx2.try_recv(), Ok(2));
+        }
+    }
+}

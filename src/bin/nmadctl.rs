@@ -170,7 +170,10 @@ fn cmd_burst(flags: &Flags) {
     let segs = flags.num("segs", 8);
     let iters = flags.num("iters", 3);
     let sample = pingpong_multiseg(flags.kind(), flags.nic(), segs, size, iters);
-    println!("one-way latency : {:.2} us ({segs} x {size} B)", sample.one_way_us);
+    println!(
+        "one-way latency : {:.2} us ({segs} x {size} B)",
+        sample.one_way_us
+    );
     println!("frames per ping : {:.1}", sample.frames_per_ping);
 }
 
@@ -258,7 +261,12 @@ fn cmd_lossy(flags: &Flags) {
             _ => usage(),
         };
         let meter = Box::new(SimCpuMeter::new(world.clone(), NodeId(node)));
-        NmadEngine::new(vec![driver], meter, Box::new(StratAggreg), EngineCosts::zero())
+        NmadEngine::new(
+            vec![driver],
+            meter,
+            Box::new(StratAggreg),
+            EngineCosts::zero(),
+        )
     };
     let mut a = mk(0, seed);
     let mut b = mk(1, seed ^ 0xABCD);
@@ -280,7 +288,11 @@ fn cmd_lossy(flags: &Flags) {
     println!(
         "{size} B delivered across {:.0}% loss via {} in {}",
         loss * 100.0,
-        if proto == "sr" { "selective repeat" } else { "go-back-N" },
+        if proto == "sr" {
+            "selective repeat"
+        } else {
+            "go-back-N"
+        },
         w.now()
     );
     println!(

@@ -29,8 +29,8 @@ pub use nmad_sim as sim;
 /// Convenience prelude for applications.
 pub mod prelude {
     pub use mad_mpi::{
-        mem_cluster, pump_cluster, sim_cluster, sim_cluster_multirail, Comm, Datatype,
-        EngineKind, MpiProc, Request, StrategyKind,
+        mem_cluster, pump_cluster, sim_cluster, sim_cluster_multirail, Comm, Datatype, EngineKind,
+        MpiProc, Request, StrategyKind,
     };
     pub use nmad_core::prelude::*;
     pub use nmad_sim::{nic, NicModel, NodeId, RailId, SimConfig, SimDuration, SimTime};

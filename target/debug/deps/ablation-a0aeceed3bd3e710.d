@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-a0aeceed3bd3e710.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-a0aeceed3bd3e710: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-d09a00581638b26e.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-d09a00581638b26e: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/api_surface-3ee78c2bdac026e8.d: tests/api_surface.rs
+
+/root/repo/target/debug/deps/api_surface-3ee78c2bdac026e8: tests/api_surface.rs
+
+tests/api_surface.rs:

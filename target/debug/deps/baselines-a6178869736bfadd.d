@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/baselines-a6178869736bfadd.d: crates/baselines/src/lib.rs crates/baselines/src/codec.rs crates/baselines/src/direct.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines-a6178869736bfadd.rmeta: crates/baselines/src/lib.rs crates/baselines/src/codec.rs crates/baselines/src/direct.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/codec.rs:
+crates/baselines/src/direct.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/baselines-c2c7bb4906225b80.d: crates/baselines/src/lib.rs crates/baselines/src/codec.rs crates/baselines/src/direct.rs
+
+/root/repo/target/debug/deps/baselines-c2c7bb4906225b80: crates/baselines/src/lib.rs crates/baselines/src/codec.rs crates/baselines/src/direct.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/codec.rs:
+crates/baselines/src/direct.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/baselines-cd351c93d11fa5c9.d: crates/baselines/src/lib.rs crates/baselines/src/codec.rs crates/baselines/src/direct.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines-cd351c93d11fa5c9.rmeta: crates/baselines/src/lib.rs crates/baselines/src/codec.rs crates/baselines/src/direct.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/codec.rs:
+crates/baselines/src/direct.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baselines-d81923aec4fe3045.d: crates/baselines/src/lib.rs crates/baselines/src/codec.rs crates/baselines/src/direct.rs
+
+/root/repo/target/debug/deps/libbaselines-d81923aec4fe3045.rlib: crates/baselines/src/lib.rs crates/baselines/src/codec.rs crates/baselines/src/direct.rs
+
+/root/repo/target/debug/deps/libbaselines-d81923aec4fe3045.rmeta: crates/baselines/src/lib.rs crates/baselines/src/codec.rs crates/baselines/src/direct.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/codec.rs:
+crates/baselines/src/direct.rs:

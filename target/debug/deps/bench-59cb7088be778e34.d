@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench-59cb7088be778e34.d: crates/bench/src/lib.rs crates/bench/src/pingpong.rs crates/bench/src/plot.rs crates/bench/src/table.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/bench-59cb7088be778e34: crates/bench/src/lib.rs crates/bench/src/pingpong.rs crates/bench/src/plot.rs crates/bench/src/table.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/pingpong.rs:
+crates/bench/src/plot.rs:
+crates/bench/src/table.rs:
+crates/bench/src/workload.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bench-6b0db3fe456a2b74.d: crates/bench/src/lib.rs crates/bench/src/pingpong.rs crates/bench/src/plot.rs crates/bench/src/table.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/libbench-6b0db3fe456a2b74.rlib: crates/bench/src/lib.rs crates/bench/src/pingpong.rs crates/bench/src/plot.rs crates/bench/src/table.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/libbench-6b0db3fe456a2b74.rmeta: crates/bench/src/lib.rs crates/bench/src/pingpong.rs crates/bench/src/plot.rs crates/bench/src/table.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/pingpong.rs:
+crates/bench/src/plot.rs:
+crates/bench/src/table.rs:
+crates/bench/src/workload.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bench-7b5cfbda34a546f5.d: crates/bench/src/lib.rs crates/bench/src/pingpong.rs crates/bench/src/plot.rs crates/bench/src/table.rs crates/bench/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-7b5cfbda34a546f5.rmeta: crates/bench/src/lib.rs crates/bench/src/pingpong.rs crates/bench/src/plot.rs crates/bench/src/table.rs crates/bench/src/workload.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/pingpong.rs:
+crates/bench/src/plot.rs:
+crates/bench/src/table.rs:
+crates/bench/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codec-6a02ee4e812bfaf3.d: crates/bench/benches/codec.rs
+
+/root/repo/target/debug/deps/codec-6a02ee4e812bfaf3: crates/bench/benches/codec.rs
+
+crates/bench/benches/codec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-2d23f458f087390c.d: crates/bench/benches/engine.rs
+
+/root/repo/target/debug/deps/engine-2d23f458f087390c: crates/bench/benches/engine.rs
+
+crates/bench/benches/engine.rs:

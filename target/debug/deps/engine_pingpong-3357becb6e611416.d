@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_pingpong-3357becb6e611416.d: tests/engine_pingpong.rs
+
+/root/repo/target/debug/deps/engine_pingpong-3357becb6e611416: tests/engine_pingpong.rs
+
+tests/engine_pingpong.rs:

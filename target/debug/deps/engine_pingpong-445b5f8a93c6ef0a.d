@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_pingpong-445b5f8a93c6ef0a.d: tests/engine_pingpong.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_pingpong-445b5f8a93c6ef0a.rmeta: tests/engine_pingpong.rs Cargo.toml
+
+tests/engine_pingpong.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

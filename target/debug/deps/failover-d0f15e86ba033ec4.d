@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failover-d0f15e86ba033ec4.d: tests/failover.rs
+
+/root/repo/target/debug/deps/failover-d0f15e86ba033ec4: tests/failover.rs
+
+tests/failover.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fanin-28e2b7e39293a988.d: crates/bench/src/bin/fanin.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfanin-28e2b7e39293a988.rmeta: crates/bench/src/bin/fanin.rs Cargo.toml
+
+crates/bench/src/bin/fanin.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

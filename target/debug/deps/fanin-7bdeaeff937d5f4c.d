@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fanin-7bdeaeff937d5f4c.d: crates/bench/src/bin/fanin.rs
+
+/root/repo/target/debug/deps/fanin-7bdeaeff937d5f4c: crates/bench/src/bin/fanin.rs
+
+crates/bench/src/bin/fanin.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fanin-969c5e072a46288c.d: crates/bench/src/bin/fanin.rs
+
+/root/repo/target/debug/deps/fanin-969c5e072a46288c: crates/bench/src/bin/fanin.rs
+
+crates/bench/src/bin/fanin.rs:

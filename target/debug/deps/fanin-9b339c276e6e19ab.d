@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fanin-9b339c276e6e19ab.d: crates/bench/src/bin/fanin.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfanin-9b339c276e6e19ab.rmeta: crates/bench/src/bin/fanin.rs Cargo.toml
+
+crates/bench/src/bin/fanin.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-8238d8db7c8893ef.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-8238d8db7c8893ef: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

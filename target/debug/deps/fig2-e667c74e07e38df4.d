@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-e667c74e07e38df4.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-e667c74e07e38df4: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-32c0ab012d06f570.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-32c0ab012d06f570: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-bf798a123027fe05.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-bf798a123027fe05: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-349e54d8d162e071.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-349e54d8d162e071: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-9a843802925e1909.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-9a843802925e1909: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures_micro-3f16e502d27d9477.d: crates/bench/benches/figures_micro.rs
+
+/root/repo/target/debug/deps/figures_micro-3f16e502d27d9477: crates/bench/benches/figures_micro.rs
+
+crates/bench/benches/figures_micro.rs:

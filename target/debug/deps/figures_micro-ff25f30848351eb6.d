@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures_micro-ff25f30848351eb6.d: crates/bench/benches/figures_micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures_micro-ff25f30848351eb6.rmeta: crates/bench/benches/figures_micro.rs Cargo.toml
+
+crates/bench/benches/figures_micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures_smoke-30ae026ac2605265.d: tests/figures_smoke.rs
+
+/root/repo/target/debug/deps/figures_smoke-30ae026ac2605265: tests/figures_smoke.rs
+
+tests/figures_smoke.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lossy-2cc54246aa27adf3.d: crates/bench/src/bin/lossy.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblossy-2cc54246aa27adf3.rmeta: crates/bench/src/bin/lossy.rs Cargo.toml
+
+crates/bench/src/bin/lossy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

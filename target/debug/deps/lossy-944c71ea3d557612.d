@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lossy-944c71ea3d557612.d: crates/bench/src/bin/lossy.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblossy-944c71ea3d557612.rmeta: crates/bench/src/bin/lossy.rs Cargo.toml
+
+crates/bench/src/bin/lossy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lossy-ab16ff740d0559eb.d: crates/bench/src/bin/lossy.rs
+
+/root/repo/target/debug/deps/lossy-ab16ff740d0559eb: crates/bench/src/bin/lossy.rs
+
+crates/bench/src/bin/lossy.rs:

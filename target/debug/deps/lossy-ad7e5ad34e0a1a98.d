@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lossy-ad7e5ad34e0a1a98.d: crates/bench/src/bin/lossy.rs
+
+/root/repo/target/debug/deps/lossy-ad7e5ad34e0a1a98: crates/bench/src/bin/lossy.rs
+
+crates/bench/src/bin/lossy.rs:

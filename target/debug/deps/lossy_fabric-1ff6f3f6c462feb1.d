@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lossy_fabric-1ff6f3f6c462feb1.d: tests/lossy_fabric.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblossy_fabric-1ff6f3f6c462feb1.rmeta: tests/lossy_fabric.rs Cargo.toml
+
+tests/lossy_fabric.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lossy_fabric-723590bff6b00f3a.d: tests/lossy_fabric.rs
+
+/root/repo/target/debug/deps/lossy_fabric-723590bff6b00f3a: tests/lossy_fabric.rs
+
+tests/lossy_fabric.rs:

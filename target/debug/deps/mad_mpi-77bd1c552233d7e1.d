@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mad_mpi-77bd1c552233d7e1.d: crates/mad-mpi/src/lib.rs crates/mad-mpi/src/backend.rs crates/mad-mpi/src/cluster.rs crates/mad-mpi/src/coll.rs crates/mad-mpi/src/datatype.rs crates/mad-mpi/src/p2p.rs
+
+/root/repo/target/debug/deps/libmad_mpi-77bd1c552233d7e1.rlib: crates/mad-mpi/src/lib.rs crates/mad-mpi/src/backend.rs crates/mad-mpi/src/cluster.rs crates/mad-mpi/src/coll.rs crates/mad-mpi/src/datatype.rs crates/mad-mpi/src/p2p.rs
+
+/root/repo/target/debug/deps/libmad_mpi-77bd1c552233d7e1.rmeta: crates/mad-mpi/src/lib.rs crates/mad-mpi/src/backend.rs crates/mad-mpi/src/cluster.rs crates/mad-mpi/src/coll.rs crates/mad-mpi/src/datatype.rs crates/mad-mpi/src/p2p.rs
+
+crates/mad-mpi/src/lib.rs:
+crates/mad-mpi/src/backend.rs:
+crates/mad-mpi/src/cluster.rs:
+crates/mad-mpi/src/coll.rs:
+crates/mad-mpi/src/datatype.rs:
+crates/mad-mpi/src/p2p.rs:

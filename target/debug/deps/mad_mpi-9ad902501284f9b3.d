@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mad_mpi-9ad902501284f9b3.d: crates/mad-mpi/src/lib.rs crates/mad-mpi/src/backend.rs crates/mad-mpi/src/cluster.rs crates/mad-mpi/src/coll.rs crates/mad-mpi/src/datatype.rs crates/mad-mpi/src/p2p.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmad_mpi-9ad902501284f9b3.rmeta: crates/mad-mpi/src/lib.rs crates/mad-mpi/src/backend.rs crates/mad-mpi/src/cluster.rs crates/mad-mpi/src/coll.rs crates/mad-mpi/src/datatype.rs crates/mad-mpi/src/p2p.rs Cargo.toml
+
+crates/mad-mpi/src/lib.rs:
+crates/mad-mpi/src/backend.rs:
+crates/mad-mpi/src/cluster.rs:
+crates/mad-mpi/src/coll.rs:
+crates/mad-mpi/src/datatype.rs:
+crates/mad-mpi/src/p2p.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

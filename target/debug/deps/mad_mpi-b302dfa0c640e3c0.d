@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mad_mpi-b302dfa0c640e3c0.d: crates/mad-mpi/src/lib.rs crates/mad-mpi/src/backend.rs crates/mad-mpi/src/cluster.rs crates/mad-mpi/src/coll.rs crates/mad-mpi/src/datatype.rs crates/mad-mpi/src/p2p.rs
+
+/root/repo/target/debug/deps/mad_mpi-b302dfa0c640e3c0: crates/mad-mpi/src/lib.rs crates/mad-mpi/src/backend.rs crates/mad-mpi/src/cluster.rs crates/mad-mpi/src/coll.rs crates/mad-mpi/src/datatype.rs crates/mad-mpi/src/p2p.rs
+
+crates/mad-mpi/src/lib.rs:
+crates/mad-mpi/src/backend.rs:
+crates/mad-mpi/src/cluster.rs:
+crates/mad-mpi/src/coll.rs:
+crates/mad-mpi/src/datatype.rs:
+crates/mad-mpi/src/p2p.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/metrics-5013a48dea4d96c5.d: tests/metrics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmetrics-5013a48dea4d96c5.rmeta: tests/metrics.rs Cargo.toml
+
+tests/metrics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/metrics-99f965f49e17ee0a.d: tests/metrics.rs
+
+/root/repo/target/debug/deps/metrics-99f965f49e17ee0a: tests/metrics.rs
+
+tests/metrics.rs:

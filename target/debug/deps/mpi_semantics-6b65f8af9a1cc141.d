@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mpi_semantics-6b65f8af9a1cc141.d: tests/mpi_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpi_semantics-6b65f8af9a1cc141.rmeta: tests/mpi_semantics.rs Cargo.toml
+
+tests/mpi_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpi_semantics-a84209fe73bd5500.d: tests/mpi_semantics.rs
+
+/root/repo/target/debug/deps/mpi_semantics-a84209fe73bd5500: tests/mpi_semantics.rs
+
+tests/mpi_semantics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multirail-1cbda6a716ebcf82.d: crates/bench/src/bin/multirail.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmultirail-1cbda6a716ebcf82.rmeta: crates/bench/src/bin/multirail.rs Cargo.toml
+
+crates/bench/src/bin/multirail.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

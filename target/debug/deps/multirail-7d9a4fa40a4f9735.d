@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multirail-7d9a4fa40a4f9735.d: crates/bench/src/bin/multirail.rs
+
+/root/repo/target/debug/deps/multirail-7d9a4fa40a4f9735: crates/bench/src/bin/multirail.rs
+
+crates/bench/src/bin/multirail.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multirail-b084a5e841733acd.d: crates/bench/src/bin/multirail.rs
+
+/root/repo/target/debug/deps/multirail-b084a5e841733acd: crates/bench/src/bin/multirail.rs
+
+crates/bench/src/bin/multirail.rs:

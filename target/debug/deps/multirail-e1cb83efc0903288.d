@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multirail-e1cb83efc0903288.d: crates/bench/src/bin/multirail.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmultirail-e1cb83efc0903288.rmeta: crates/bench/src/bin/multirail.rs Cargo.toml
+
+crates/bench/src/bin/multirail.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

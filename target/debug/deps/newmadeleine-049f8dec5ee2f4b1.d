@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/newmadeleine-049f8dec5ee2f4b1.d: src/lib.rs
+
+/root/repo/target/debug/deps/newmadeleine-049f8dec5ee2f4b1: src/lib.rs
+
+src/lib.rs:

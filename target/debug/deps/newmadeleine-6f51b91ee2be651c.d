@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/newmadeleine-6f51b91ee2be651c.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnewmadeleine-6f51b91ee2be651c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/newmadeleine-a31247bca400adf8.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnewmadeleine-a31247bca400adf8.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnewmadeleine-a31247bca400adf8.rmeta: src/lib.rs
+
+src/lib.rs:

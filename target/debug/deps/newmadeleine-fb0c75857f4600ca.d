@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/newmadeleine-fb0c75857f4600ca.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnewmadeleine-fb0c75857f4600ca.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/nmad_core-25fac0daf885c34d.d: crates/nmad-core/src/lib.rs crates/nmad-core/src/api.rs crates/nmad-core/src/engine.rs crates/nmad-core/src/matching.rs crates/nmad-core/src/metrics.rs crates/nmad-core/src/segment.rs crates/nmad-core/src/strategy/mod.rs crates/nmad-core/src/strategy/aggreg.rs crates/nmad-core/src/strategy/default.rs crates/nmad-core/src/strategy/dynamic.rs crates/nmad-core/src/strategy/multirail.rs crates/nmad-core/src/strategy/reorder.rs crates/nmad-core/src/window.rs crates/nmad-core/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnmad_core-25fac0daf885c34d.rmeta: crates/nmad-core/src/lib.rs crates/nmad-core/src/api.rs crates/nmad-core/src/engine.rs crates/nmad-core/src/matching.rs crates/nmad-core/src/metrics.rs crates/nmad-core/src/segment.rs crates/nmad-core/src/strategy/mod.rs crates/nmad-core/src/strategy/aggreg.rs crates/nmad-core/src/strategy/default.rs crates/nmad-core/src/strategy/dynamic.rs crates/nmad-core/src/strategy/multirail.rs crates/nmad-core/src/strategy/reorder.rs crates/nmad-core/src/window.rs crates/nmad-core/src/wire.rs Cargo.toml
+
+crates/nmad-core/src/lib.rs:
+crates/nmad-core/src/api.rs:
+crates/nmad-core/src/engine.rs:
+crates/nmad-core/src/matching.rs:
+crates/nmad-core/src/metrics.rs:
+crates/nmad-core/src/segment.rs:
+crates/nmad-core/src/strategy/mod.rs:
+crates/nmad-core/src/strategy/aggreg.rs:
+crates/nmad-core/src/strategy/default.rs:
+crates/nmad-core/src/strategy/dynamic.rs:
+crates/nmad-core/src/strategy/multirail.rs:
+crates/nmad-core/src/strategy/reorder.rs:
+crates/nmad-core/src/window.rs:
+crates/nmad-core/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

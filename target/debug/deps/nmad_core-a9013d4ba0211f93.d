@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/nmad_core-a9013d4ba0211f93.d: crates/nmad-core/src/lib.rs crates/nmad-core/src/api.rs crates/nmad-core/src/engine.rs crates/nmad-core/src/matching.rs crates/nmad-core/src/metrics.rs crates/nmad-core/src/segment.rs crates/nmad-core/src/strategy/mod.rs crates/nmad-core/src/strategy/aggreg.rs crates/nmad-core/src/strategy/default.rs crates/nmad-core/src/strategy/dynamic.rs crates/nmad-core/src/strategy/multirail.rs crates/nmad-core/src/strategy/reorder.rs crates/nmad-core/src/window.rs crates/nmad-core/src/wire.rs
+
+/root/repo/target/debug/deps/libnmad_core-a9013d4ba0211f93.rlib: crates/nmad-core/src/lib.rs crates/nmad-core/src/api.rs crates/nmad-core/src/engine.rs crates/nmad-core/src/matching.rs crates/nmad-core/src/metrics.rs crates/nmad-core/src/segment.rs crates/nmad-core/src/strategy/mod.rs crates/nmad-core/src/strategy/aggreg.rs crates/nmad-core/src/strategy/default.rs crates/nmad-core/src/strategy/dynamic.rs crates/nmad-core/src/strategy/multirail.rs crates/nmad-core/src/strategy/reorder.rs crates/nmad-core/src/window.rs crates/nmad-core/src/wire.rs
+
+/root/repo/target/debug/deps/libnmad_core-a9013d4ba0211f93.rmeta: crates/nmad-core/src/lib.rs crates/nmad-core/src/api.rs crates/nmad-core/src/engine.rs crates/nmad-core/src/matching.rs crates/nmad-core/src/metrics.rs crates/nmad-core/src/segment.rs crates/nmad-core/src/strategy/mod.rs crates/nmad-core/src/strategy/aggreg.rs crates/nmad-core/src/strategy/default.rs crates/nmad-core/src/strategy/dynamic.rs crates/nmad-core/src/strategy/multirail.rs crates/nmad-core/src/strategy/reorder.rs crates/nmad-core/src/window.rs crates/nmad-core/src/wire.rs
+
+crates/nmad-core/src/lib.rs:
+crates/nmad-core/src/api.rs:
+crates/nmad-core/src/engine.rs:
+crates/nmad-core/src/matching.rs:
+crates/nmad-core/src/metrics.rs:
+crates/nmad-core/src/segment.rs:
+crates/nmad-core/src/strategy/mod.rs:
+crates/nmad-core/src/strategy/aggreg.rs:
+crates/nmad-core/src/strategy/default.rs:
+crates/nmad-core/src/strategy/dynamic.rs:
+crates/nmad-core/src/strategy/multirail.rs:
+crates/nmad-core/src/strategy/reorder.rs:
+crates/nmad-core/src/window.rs:
+crates/nmad-core/src/wire.rs:

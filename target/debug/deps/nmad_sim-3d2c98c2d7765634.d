@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nmad_sim-3d2c98c2d7765634.d: crates/nmad-sim/src/lib.rs crates/nmad-sim/src/host.rs crates/nmad-sim/src/nic.rs crates/nmad-sim/src/runner.rs crates/nmad-sim/src/time.rs crates/nmad-sim/src/timeline.rs crates/nmad-sim/src/topo.rs crates/nmad-sim/src/trace.rs crates/nmad-sim/src/world.rs
+
+/root/repo/target/debug/deps/nmad_sim-3d2c98c2d7765634: crates/nmad-sim/src/lib.rs crates/nmad-sim/src/host.rs crates/nmad-sim/src/nic.rs crates/nmad-sim/src/runner.rs crates/nmad-sim/src/time.rs crates/nmad-sim/src/timeline.rs crates/nmad-sim/src/topo.rs crates/nmad-sim/src/trace.rs crates/nmad-sim/src/world.rs
+
+crates/nmad-sim/src/lib.rs:
+crates/nmad-sim/src/host.rs:
+crates/nmad-sim/src/nic.rs:
+crates/nmad-sim/src/runner.rs:
+crates/nmad-sim/src/time.rs:
+crates/nmad-sim/src/timeline.rs:
+crates/nmad-sim/src/topo.rs:
+crates/nmad-sim/src/trace.rs:
+crates/nmad-sim/src/world.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/nmad_sim-9f3aadf6083d1165.d: crates/nmad-sim/src/lib.rs crates/nmad-sim/src/host.rs crates/nmad-sim/src/nic.rs crates/nmad-sim/src/runner.rs crates/nmad-sim/src/time.rs crates/nmad-sim/src/timeline.rs crates/nmad-sim/src/topo.rs crates/nmad-sim/src/trace.rs crates/nmad-sim/src/world.rs
+
+/root/repo/target/debug/deps/libnmad_sim-9f3aadf6083d1165.rlib: crates/nmad-sim/src/lib.rs crates/nmad-sim/src/host.rs crates/nmad-sim/src/nic.rs crates/nmad-sim/src/runner.rs crates/nmad-sim/src/time.rs crates/nmad-sim/src/timeline.rs crates/nmad-sim/src/topo.rs crates/nmad-sim/src/trace.rs crates/nmad-sim/src/world.rs
+
+/root/repo/target/debug/deps/libnmad_sim-9f3aadf6083d1165.rmeta: crates/nmad-sim/src/lib.rs crates/nmad-sim/src/host.rs crates/nmad-sim/src/nic.rs crates/nmad-sim/src/runner.rs crates/nmad-sim/src/time.rs crates/nmad-sim/src/timeline.rs crates/nmad-sim/src/topo.rs crates/nmad-sim/src/trace.rs crates/nmad-sim/src/world.rs
+
+crates/nmad-sim/src/lib.rs:
+crates/nmad-sim/src/host.rs:
+crates/nmad-sim/src/nic.rs:
+crates/nmad-sim/src/runner.rs:
+crates/nmad-sim/src/time.rs:
+crates/nmad-sim/src/timeline.rs:
+crates/nmad-sim/src/topo.rs:
+crates/nmad-sim/src/trace.rs:
+crates/nmad-sim/src/world.rs:

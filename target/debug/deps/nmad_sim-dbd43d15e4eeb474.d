@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/nmad_sim-dbd43d15e4eeb474.d: crates/nmad-sim/src/lib.rs crates/nmad-sim/src/host.rs crates/nmad-sim/src/nic.rs crates/nmad-sim/src/runner.rs crates/nmad-sim/src/time.rs crates/nmad-sim/src/timeline.rs crates/nmad-sim/src/topo.rs crates/nmad-sim/src/trace.rs crates/nmad-sim/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnmad_sim-dbd43d15e4eeb474.rmeta: crates/nmad-sim/src/lib.rs crates/nmad-sim/src/host.rs crates/nmad-sim/src/nic.rs crates/nmad-sim/src/runner.rs crates/nmad-sim/src/time.rs crates/nmad-sim/src/timeline.rs crates/nmad-sim/src/topo.rs crates/nmad-sim/src/trace.rs crates/nmad-sim/src/world.rs Cargo.toml
+
+crates/nmad-sim/src/lib.rs:
+crates/nmad-sim/src/host.rs:
+crates/nmad-sim/src/nic.rs:
+crates/nmad-sim/src/runner.rs:
+crates/nmad-sim/src/time.rs:
+crates/nmad-sim/src/timeline.rs:
+crates/nmad-sim/src/topo.rs:
+crates/nmad-sim/src/trace.rs:
+crates/nmad-sim/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

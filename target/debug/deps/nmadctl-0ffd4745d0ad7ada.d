@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nmadctl-0ffd4745d0ad7ada.d: src/bin/nmadctl.rs
+
+/root/repo/target/debug/deps/nmadctl-0ffd4745d0ad7ada: src/bin/nmadctl.rs
+
+src/bin/nmadctl.rs:

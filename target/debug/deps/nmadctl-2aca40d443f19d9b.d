@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nmadctl-2aca40d443f19d9b.d: src/bin/nmadctl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnmadctl-2aca40d443f19d9b.rmeta: src/bin/nmadctl.rs Cargo.toml
+
+src/bin/nmadctl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nmadctl-527bfc282e9a4bcf.d: src/bin/nmadctl.rs
+
+/root/repo/target/debug/deps/nmadctl-527bfc282e9a4bcf: src/bin/nmadctl.rs
+
+src/bin/nmadctl.rs:

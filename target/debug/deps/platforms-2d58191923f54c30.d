@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/platforms-2d58191923f54c30.d: crates/bench/src/bin/platforms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplatforms-2d58191923f54c30.rmeta: crates/bench/src/bin/platforms.rs Cargo.toml
+
+crates/bench/src/bin/platforms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/platforms-43141df1cad2a346.d: crates/bench/src/bin/platforms.rs
+
+/root/repo/target/debug/deps/platforms-43141df1cad2a346: crates/bench/src/bin/platforms.rs
+
+crates/bench/src/bin/platforms.rs:

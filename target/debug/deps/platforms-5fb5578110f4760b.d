@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/platforms-5fb5578110f4760b.d: crates/bench/src/bin/platforms.rs
+
+/root/repo/target/debug/deps/platforms-5fb5578110f4760b: crates/bench/src/bin/platforms.rs
+
+crates/bench/src/bin/platforms.rs:

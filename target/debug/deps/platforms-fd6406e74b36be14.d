@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/platforms-fd6406e74b36be14.d: crates/bench/src/bin/platforms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplatforms-fd6406e74b36be14.rmeta: crates/bench/src/bin/platforms.rs Cargo.toml
+
+crates/bench/src/bin/platforms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-06fcd64af62d23c3.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-06fcd64af62d23c3: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_edges-67cca28e98ee2e2d.d: tests/protocol_edges.rs
+
+/root/repo/target/debug/deps/protocol_edges-67cca28e98ee2e2d: tests/protocol_edges.rs
+
+tests/protocol_edges.rs:

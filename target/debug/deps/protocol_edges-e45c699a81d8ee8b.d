@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol_edges-e45c699a81d8ee8b.d: tests/protocol_edges.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol_edges-e45c699a81d8ee8b.rmeta: tests/protocol_edges.rs Cargo.toml
+
+tests/protocol_edges.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/real_transports-084a8d6e5d30e7d6.d: tests/real_transports.rs
+
+/root/repo/target/debug/deps/real_transports-084a8d6e5d30e7d6: tests/real_transports.rs
+
+tests/real_transports.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/real_transports-23c485245c7ccb8e.d: tests/real_transports.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreal_transports-23c485245c7ccb8e.rmeta: tests/real_transports.rs Cargo.toml
+
+tests/real_transports.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

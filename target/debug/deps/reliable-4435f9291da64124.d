@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reliable-4435f9291da64124.d: crates/bench/benches/reliable.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreliable-4435f9291da64124.rmeta: crates/bench/benches/reliable.rs Cargo.toml
+
+crates/bench/benches/reliable.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reliable-914814d79e783a73.d: crates/bench/benches/reliable.rs
+
+/root/repo/target/debug/deps/reliable-914814d79e783a73: crates/bench/benches/reliable.rs
+
+crates/bench/benches/reliable.rs:

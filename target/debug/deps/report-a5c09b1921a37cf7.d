@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-a5c09b1921a37cf7.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-a5c09b1921a37cf7: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/report-db3926f53e6f83ba.d: crates/bench/src/bin/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreport-db3926f53e6f83ba.rmeta: crates/bench/src/bin/report.rs Cargo.toml
+
+crates/bench/src/bin/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-f2d9a79222fbeda3.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-f2d9a79222fbeda3: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/strategy_invariants-03fe728e9c4ad38f.d: tests/strategy_invariants.rs
+
+/root/repo/target/debug/deps/strategy_invariants-03fe728e9c4ad38f: tests/strategy_invariants.rs
+
+tests/strategy_invariants.rs:

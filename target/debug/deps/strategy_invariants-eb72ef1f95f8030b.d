@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/strategy_invariants-eb72ef1f95f8030b.d: tests/strategy_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstrategy_invariants-eb72ef1f95f8030b.rmeta: tests/strategy_invariants.rs Cargo.toml
+
+tests/strategy_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

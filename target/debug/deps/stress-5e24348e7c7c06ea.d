@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-5e24348e7c7c06ea.d: tests/stress.rs
+
+/root/repo/target/debug/deps/stress-5e24348e7c7c06ea: tests/stress.rs
+
+tests/stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/comm_split_groups-14e4784a5a18b11e.d: examples/comm_split_groups.rs
+
+/root/repo/target/debug/examples/comm_split_groups-14e4784a5a18b11e: examples/comm_split_groups.rs
+
+examples/comm_split_groups.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/comm_split_groups-adef2414ec691106.d: examples/comm_split_groups.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcomm_split_groups-adef2414ec691106.rmeta: examples/comm_split_groups.rs Cargo.toml
+
+examples/comm_split_groups.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/datatype_halo-11ae37cbdaad1db4.d: examples/datatype_halo.rs
+
+/root/repo/target/debug/examples/datatype_halo-11ae37cbdaad1db4: examples/datatype_halo.rs
+
+examples/datatype_halo.rs:

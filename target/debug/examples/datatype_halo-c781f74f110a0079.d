@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/datatype_halo-c781f74f110a0079.d: examples/datatype_halo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdatatype_halo-c781f74f110a0079.rmeta: examples/datatype_halo.rs Cargo.toml
+
+examples/datatype_halo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lossy_ethernet-2f7cda7488de4a77.d: examples/lossy_ethernet.rs
+
+/root/repo/target/debug/examples/lossy_ethernet-2f7cda7488de4a77: examples/lossy_ethernet.rs
+
+examples/lossy_ethernet.rs:

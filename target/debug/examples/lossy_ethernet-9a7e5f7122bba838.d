@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lossy_ethernet-9a7e5f7122bba838.d: examples/lossy_ethernet.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblossy_ethernet-9a7e5f7122bba838.rmeta: examples/lossy_ethernet.rs Cargo.toml
+
+examples/lossy_ethernet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

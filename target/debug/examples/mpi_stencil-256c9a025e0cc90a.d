@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mpi_stencil-256c9a025e0cc90a.d: examples/mpi_stencil.rs
+
+/root/repo/target/debug/examples/mpi_stencil-256c9a025e0cc90a: examples/mpi_stencil.rs
+
+examples/mpi_stencil.rs:

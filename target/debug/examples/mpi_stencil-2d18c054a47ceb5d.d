@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mpi_stencil-2d18c054a47ceb5d.d: examples/mpi_stencil.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmpi_stencil-2d18c054a47ceb5d.rmeta: examples/mpi_stencil.rs Cargo.toml
+
+examples/mpi_stencil.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multirail_transfer-7f48aa3074cfbe2e.d: examples/multirail_transfer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmultirail_transfer-7f48aa3074cfbe2e.rmeta: examples/multirail_transfer.rs Cargo.toml
+
+examples/multirail_transfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multirail_transfer-f1ecdf9cbc2fd527.d: examples/multirail_transfer.rs
+
+/root/repo/target/debug/examples/multirail_transfer-f1ecdf9cbc2fd527: examples/multirail_transfer.rs
+
+examples/multirail_transfer.rs:

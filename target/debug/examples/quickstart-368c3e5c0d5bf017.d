@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-368c3e5c0d5bf017.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-368c3e5c0d5bf017: examples/quickstart.rs
+
+examples/quickstart.rs:

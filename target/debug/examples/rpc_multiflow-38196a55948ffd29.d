@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rpc_multiflow-38196a55948ffd29.d: examples/rpc_multiflow.rs
+
+/root/repo/target/debug/examples/rpc_multiflow-38196a55948ffd29: examples/rpc_multiflow.rs
+
+examples/rpc_multiflow.rs:

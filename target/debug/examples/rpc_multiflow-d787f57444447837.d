@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rpc_multiflow-d787f57444447837.d: examples/rpc_multiflow.rs Cargo.toml
+
+/root/repo/target/debug/examples/librpc_multiflow-d787f57444447837.rmeta: examples/rpc_multiflow.rs Cargo.toml
+
+examples/rpc_multiflow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

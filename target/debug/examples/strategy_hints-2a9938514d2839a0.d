@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/strategy_hints-2a9938514d2839a0.d: examples/strategy_hints.rs
+
+/root/repo/target/debug/examples/strategy_hints-2a9938514d2839a0: examples/strategy_hints.rs
+
+examples/strategy_hints.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/strategy_hints-94c8f122f877b4f5.d: examples/strategy_hints.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstrategy_hints-94c8f122f877b4f5.rmeta: examples/strategy_hints.rs Cargo.toml
+
+examples/strategy_hints.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

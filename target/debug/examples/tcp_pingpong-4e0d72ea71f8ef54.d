@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tcp_pingpong-4e0d72ea71f8ef54.d: examples/tcp_pingpong.rs
+
+/root/repo/target/debug/examples/tcp_pingpong-4e0d72ea71f8ef54: examples/tcp_pingpong.rs
+
+examples/tcp_pingpong.rs:

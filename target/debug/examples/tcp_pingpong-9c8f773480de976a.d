@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tcp_pingpong-9c8f773480de976a.d: examples/tcp_pingpong.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtcp_pingpong-9c8f773480de976a.rmeta: examples/tcp_pingpong.rs Cargo.toml
+
+examples/tcp_pingpong.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

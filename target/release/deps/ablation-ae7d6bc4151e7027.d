@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-ae7d6bc4151e7027.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-ae7d6bc4151e7027: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/baselines-ed370ee214eb3aa3.d: crates/baselines/src/lib.rs crates/baselines/src/codec.rs crates/baselines/src/direct.rs
+
+/root/repo/target/release/deps/libbaselines-ed370ee214eb3aa3.rlib: crates/baselines/src/lib.rs crates/baselines/src/codec.rs crates/baselines/src/direct.rs
+
+/root/repo/target/release/deps/libbaselines-ed370ee214eb3aa3.rmeta: crates/baselines/src/lib.rs crates/baselines/src/codec.rs crates/baselines/src/direct.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/codec.rs:
+crates/baselines/src/direct.rs:

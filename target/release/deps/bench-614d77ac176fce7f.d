@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/bench-614d77ac176fce7f.d: crates/bench/src/lib.rs crates/bench/src/pingpong.rs crates/bench/src/plot.rs crates/bench/src/table.rs crates/bench/src/workload.rs
+
+/root/repo/target/release/deps/libbench-614d77ac176fce7f.rlib: crates/bench/src/lib.rs crates/bench/src/pingpong.rs crates/bench/src/plot.rs crates/bench/src/table.rs crates/bench/src/workload.rs
+
+/root/repo/target/release/deps/libbench-614d77ac176fce7f.rmeta: crates/bench/src/lib.rs crates/bench/src/pingpong.rs crates/bench/src/plot.rs crates/bench/src/table.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/pingpong.rs:
+crates/bench/src/plot.rs:
+crates/bench/src/table.rs:
+crates/bench/src/workload.rs:

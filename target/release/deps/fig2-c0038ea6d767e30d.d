@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-c0038ea6d767e30d.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-c0038ea6d767e30d: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

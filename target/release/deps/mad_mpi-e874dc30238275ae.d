@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mad_mpi-e874dc30238275ae.d: crates/mad-mpi/src/lib.rs crates/mad-mpi/src/backend.rs crates/mad-mpi/src/cluster.rs crates/mad-mpi/src/coll.rs crates/mad-mpi/src/datatype.rs crates/mad-mpi/src/p2p.rs
+
+/root/repo/target/release/deps/libmad_mpi-e874dc30238275ae.rlib: crates/mad-mpi/src/lib.rs crates/mad-mpi/src/backend.rs crates/mad-mpi/src/cluster.rs crates/mad-mpi/src/coll.rs crates/mad-mpi/src/datatype.rs crates/mad-mpi/src/p2p.rs
+
+/root/repo/target/release/deps/libmad_mpi-e874dc30238275ae.rmeta: crates/mad-mpi/src/lib.rs crates/mad-mpi/src/backend.rs crates/mad-mpi/src/cluster.rs crates/mad-mpi/src/coll.rs crates/mad-mpi/src/datatype.rs crates/mad-mpi/src/p2p.rs
+
+crates/mad-mpi/src/lib.rs:
+crates/mad-mpi/src/backend.rs:
+crates/mad-mpi/src/cluster.rs:
+crates/mad-mpi/src/coll.rs:
+crates/mad-mpi/src/datatype.rs:
+crates/mad-mpi/src/p2p.rs:

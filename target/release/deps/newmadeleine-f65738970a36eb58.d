@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/newmadeleine-f65738970a36eb58.d: src/lib.rs
+
+/root/repo/target/release/deps/libnewmadeleine-f65738970a36eb58.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libnewmadeleine-f65738970a36eb58.rmeta: src/lib.rs
+
+src/lib.rs:

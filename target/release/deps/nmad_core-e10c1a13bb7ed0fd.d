@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/nmad_core-e10c1a13bb7ed0fd.d: crates/nmad-core/src/lib.rs crates/nmad-core/src/api.rs crates/nmad-core/src/engine.rs crates/nmad-core/src/matching.rs crates/nmad-core/src/metrics.rs crates/nmad-core/src/segment.rs crates/nmad-core/src/strategy/mod.rs crates/nmad-core/src/strategy/aggreg.rs crates/nmad-core/src/strategy/default.rs crates/nmad-core/src/strategy/dynamic.rs crates/nmad-core/src/strategy/multirail.rs crates/nmad-core/src/strategy/reorder.rs crates/nmad-core/src/window.rs crates/nmad-core/src/wire.rs
+
+/root/repo/target/release/deps/libnmad_core-e10c1a13bb7ed0fd.rlib: crates/nmad-core/src/lib.rs crates/nmad-core/src/api.rs crates/nmad-core/src/engine.rs crates/nmad-core/src/matching.rs crates/nmad-core/src/metrics.rs crates/nmad-core/src/segment.rs crates/nmad-core/src/strategy/mod.rs crates/nmad-core/src/strategy/aggreg.rs crates/nmad-core/src/strategy/default.rs crates/nmad-core/src/strategy/dynamic.rs crates/nmad-core/src/strategy/multirail.rs crates/nmad-core/src/strategy/reorder.rs crates/nmad-core/src/window.rs crates/nmad-core/src/wire.rs
+
+/root/repo/target/release/deps/libnmad_core-e10c1a13bb7ed0fd.rmeta: crates/nmad-core/src/lib.rs crates/nmad-core/src/api.rs crates/nmad-core/src/engine.rs crates/nmad-core/src/matching.rs crates/nmad-core/src/metrics.rs crates/nmad-core/src/segment.rs crates/nmad-core/src/strategy/mod.rs crates/nmad-core/src/strategy/aggreg.rs crates/nmad-core/src/strategy/default.rs crates/nmad-core/src/strategy/dynamic.rs crates/nmad-core/src/strategy/multirail.rs crates/nmad-core/src/strategy/reorder.rs crates/nmad-core/src/window.rs crates/nmad-core/src/wire.rs
+
+crates/nmad-core/src/lib.rs:
+crates/nmad-core/src/api.rs:
+crates/nmad-core/src/engine.rs:
+crates/nmad-core/src/matching.rs:
+crates/nmad-core/src/metrics.rs:
+crates/nmad-core/src/segment.rs:
+crates/nmad-core/src/strategy/mod.rs:
+crates/nmad-core/src/strategy/aggreg.rs:
+crates/nmad-core/src/strategy/default.rs:
+crates/nmad-core/src/strategy/dynamic.rs:
+crates/nmad-core/src/strategy/multirail.rs:
+crates/nmad-core/src/strategy/reorder.rs:
+crates/nmad-core/src/window.rs:
+crates/nmad-core/src/wire.rs:

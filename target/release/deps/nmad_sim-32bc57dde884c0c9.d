@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/nmad_sim-32bc57dde884c0c9.d: crates/nmad-sim/src/lib.rs crates/nmad-sim/src/host.rs crates/nmad-sim/src/nic.rs crates/nmad-sim/src/runner.rs crates/nmad-sim/src/time.rs crates/nmad-sim/src/timeline.rs crates/nmad-sim/src/topo.rs crates/nmad-sim/src/trace.rs crates/nmad-sim/src/world.rs
+
+/root/repo/target/release/deps/libnmad_sim-32bc57dde884c0c9.rlib: crates/nmad-sim/src/lib.rs crates/nmad-sim/src/host.rs crates/nmad-sim/src/nic.rs crates/nmad-sim/src/runner.rs crates/nmad-sim/src/time.rs crates/nmad-sim/src/timeline.rs crates/nmad-sim/src/topo.rs crates/nmad-sim/src/trace.rs crates/nmad-sim/src/world.rs
+
+/root/repo/target/release/deps/libnmad_sim-32bc57dde884c0c9.rmeta: crates/nmad-sim/src/lib.rs crates/nmad-sim/src/host.rs crates/nmad-sim/src/nic.rs crates/nmad-sim/src/runner.rs crates/nmad-sim/src/time.rs crates/nmad-sim/src/timeline.rs crates/nmad-sim/src/topo.rs crates/nmad-sim/src/trace.rs crates/nmad-sim/src/world.rs
+
+crates/nmad-sim/src/lib.rs:
+crates/nmad-sim/src/host.rs:
+crates/nmad-sim/src/nic.rs:
+crates/nmad-sim/src/runner.rs:
+crates/nmad-sim/src/time.rs:
+crates/nmad-sim/src/timeline.rs:
+crates/nmad-sim/src/topo.rs:
+crates/nmad-sim/src/trace.rs:
+crates/nmad-sim/src/world.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nmadctl-32042c0a6cae6116.d: src/bin/nmadctl.rs
+
+/root/repo/target/release/deps/nmadctl-32042c0a6cae6116: src/bin/nmadctl.rs
+
+src/bin/nmadctl.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-688ecbde3d03f4f0.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-688ecbde3d03f4f0: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -84,7 +84,12 @@ fn truncation_is_reported_at_the_engine_level() {
     let mk = |n: u32| {
         let d = SimDriver::new(world.clone(), NodeId(n), RailId(0));
         let m = Box::new(d.meter());
-        NmadEngine::new(vec![Box::new(d)], m, Box::new(StratAggreg), EngineCosts::zero())
+        NmadEngine::new(
+            vec![Box::new(d)],
+            m,
+            Box::new(StratAggreg),
+            EngineCosts::zero(),
+        )
     };
     let (mut a, mut b) = (mk(0), mk(1));
     let s = a.isend(NodeId(1), Tag(0), vec![7u8; 100]);
@@ -163,7 +168,12 @@ fn timeline_summarizes_real_engine_traffic() {
     let mk = |n: u32| {
         let d = SimDriver::new(world.clone(), NodeId(n), RailId(0));
         let m = Box::new(d.meter());
-        NmadEngine::new(vec![Box::new(d)], m, Box::new(StratAggreg), EngineCosts::zero())
+        NmadEngine::new(
+            vec![Box::new(d)],
+            m,
+            Box::new(StratAggreg),
+            EngineCosts::zero(),
+        )
     };
     let (mut a, mut b) = (mk(0), mk(1));
     let sends: Vec<_> = (0..4u32)

@@ -25,9 +25,7 @@ fn message_ordering_within_comm_and_tag() {
             procs[0].isend(comm, 1, 5, vec![i as u8; 64]);
         }
         let recvs: Vec<Request> = (0..n).map(|_| procs[1].irecv(comm, 0, 5, 64)).collect();
-        pump_cluster(&world, &mut procs, |p| {
-            recvs.iter().all(|&r| p[1].test(r))
-        });
+        pump_cluster(&world, &mut procs, |p| recvs.iter().all(|&r| p[1].test(r)));
         for (i, &r) in recvs.iter().enumerate() {
             assert_eq!(
                 procs[1].take(r).expect("tested"),
@@ -98,7 +96,10 @@ fn typed_transfers_agree_across_backends() {
     }
     // And the blocks match the source.
     for &(offset, len) in dtype.blocks() {
-        assert_eq!(&outputs[0][offset..offset + len], &buf[offset..offset + len]);
+        assert_eq!(
+            &outputs[0][offset..offset + len],
+            &buf[offset..offset + len]
+        );
     }
 }
 
@@ -122,13 +123,13 @@ fn three_rank_traffic_patterns() {
         let comm = procs[0].comm_world();
         // Ring: i sends to (i+1) % 3.
         let mut recvs = Vec::new();
-        for i in 0..3usize {
+        for (i, proc) in procs.iter_mut().enumerate() {
             let from = (i + 2) % 3;
-            recvs.push(procs[i].irecv(comm, from, 0, 16));
+            recvs.push(proc.irecv(comm, from, 0, 16));
         }
-        for i in 0..3usize {
+        for (i, proc) in procs.iter_mut().enumerate() {
             let to = (i + 1) % 3;
-            procs[i].isend(comm, to, 0, vec![i as u8; 16]);
+            proc.isend(comm, to, 0, vec![i as u8; 16]);
         }
         pump_cluster(&world, &mut procs, |p| {
             (0..3).all(|i| {

@@ -6,13 +6,15 @@ use bytes::Bytes;
 use newmadeleine::core::prelude::*;
 use newmadeleine::core::wire::{parse_frame, Entry, FrameBuilder};
 use newmadeleine::core::SeqNo;
+use newmadeleine::core::Strategy;
 use newmadeleine::net::sim::SimDriver;
 use newmadeleine::net::Driver;
 use newmadeleine::sim::{nic, shared_world, NodeId, RailId, SharedWorld, SimConfig};
-use newmadeleine::core::Strategy;
 use proptest::prelude::*;
 
-fn strategies() -> Vec<(&'static str, fn() -> Box<dyn Strategy>)> {
+type MkStrategy = fn() -> Box<dyn Strategy>;
+
+fn strategies() -> Vec<(&'static str, MkStrategy)> {
     vec![
         ("default", || Box::new(StratDefault)),
         ("aggreg", || Box::new(StratAggreg)),
@@ -41,8 +43,7 @@ struct Seg {
 
 fn seg_strategy() -> impl proptest::strategy::Strategy<Value = Seg> {
     use proptest::strategy::Strategy as _;
-    (0u32..4, prop_oneof![0usize..200, 30_000usize..90_000])
-        .prop_map(|(tag, len)| Seg { tag, len })
+    (0u32..4, prop_oneof![0usize..200, 30_000usize..90_000]).prop_map(|(tag, len)| Seg { tag, len })
 }
 
 proptest! {

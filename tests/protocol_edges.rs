@@ -4,8 +4,8 @@
 
 use newmadeleine::core::prelude::*;
 use newmadeleine::mpi::{
-    pump_cluster, sim_cluster, AllreduceOp, BarrierOp, BcastOp, CollectiveOp, EngineKind,
-    GatherOp, StrategyKind,
+    pump_cluster, sim_cluster, AllreduceOp, BarrierOp, BcastOp, CollectiveOp, EngineKind, GatherOp,
+    StrategyKind,
 };
 use newmadeleine::net::sim::SimDriver;
 use newmadeleine::net::Driver;
@@ -276,10 +276,7 @@ fn collectives_compose_in_sequence() {
 
 #[test]
 fn zero_length_and_exact_fit_messages() {
-    for kind in [
-        EngineKind::MadMpi(StrategyKind::Aggreg),
-        EngineKind::Mpich,
-    ] {
+    for kind in [EngineKind::MadMpi(StrategyKind::Aggreg), EngineKind::Mpich] {
         let (world, mut procs) = sim_cluster(2, nic::mx_myri10g(), kind);
         let comm = procs[0].comm_world();
         // Zero-length message still matches and completes.

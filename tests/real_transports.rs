@@ -142,7 +142,12 @@ fn mem_cluster_all_backends_roundtrip() {
                 break;
             }
         }
-        assert_eq!(procs[1].take(r).unwrap(), b"any backend", "{}", kind.label());
+        assert_eq!(
+            procs[1].take(r).unwrap(),
+            b"any backend",
+            "{}",
+            kind.label()
+        );
     }
 }
 

@@ -9,11 +9,11 @@ use bytes::Bytes;
 use newmadeleine::core::eager_cutoff;
 use newmadeleine::core::wire::{ENTRY_HEADER_LEN, FRAME_HEADER_LEN};
 use newmadeleine::core::{
-    PackWrapper, PlanEntry, Priority, SendReqId, SeqNo, StratAggreg, StratDefault, StratDynamic,
-    StratMultirail, StratReorder, Strategy, Tag, Window,
+    EngineCosts, NmadEngine, PackWrapper, PlanEntry, Priority, SendReqId, SeqNo, StratAggreg,
+    StratDefault, StratDynamic, StratMultirail, StratReorder, Strategy, Tag, Window,
 };
-use newmadeleine::net::Capabilities;
-use newmadeleine::sim::{nic, NodeId};
+use newmadeleine::net::{Capabilities, SimDriver};
+use newmadeleine::sim::{nic, shared_world, NodeId, RailId, SimConfig};
 use proptest::prelude::*;
 
 #[derive(Clone, Debug)]
@@ -150,6 +150,76 @@ proptest! {
             scheduled.sort_unstable();
             prop_assert_eq!(scheduled, expected, "{}: segment set mismatch", name);
         }
+    }
+
+    #[test]
+    fn entries_aggregated_counter_matches_the_trace(
+        sizes in proptest::collection::vec(1usize..1500, 1..16),
+        strat_idx in 0usize..3,
+    ) {
+        // The engine's scheduling-layer counter and the simulator's
+        // strategy-decision trace are independent observers of the same
+        // frames; for any small-message workload they must agree, on
+        // both sides of the link (the receiver's engine schedules
+        // frames too when traffic flows back).
+        let world = shared_world(SimConfig::two_nodes(nic::mx_myri10g()));
+        world.lock().enable_trace();
+        let mut engines: Vec<NmadEngine> = (0..2u32)
+            .map(|n| {
+                let strat: Box<dyn Strategy> = match strat_idx {
+                    0 => Box::new(StratDefault),
+                    1 => Box::new(StratAggreg),
+                    _ => Box::new(StratReorder),
+                };
+                let d = SimDriver::new(world.clone(), NodeId(n), RailId(0));
+                let m = Box::new(d.meter());
+                NmadEngine::new(vec![Box::new(d)], m, strat, EngineCosts::zero())
+            })
+            .collect();
+        let (b, a) = (engines.pop().unwrap(), engines.pop().unwrap());
+        let (mut a, mut b) = (a, b);
+        let sends: Vec<_> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| a.isend(NodeId(1), Tag(i as u32), vec![0u8; len]))
+            .collect();
+        let recvs: Vec<_> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| b.post_recv(NodeId(0), Tag(i as u32), len))
+            .collect();
+        let mut converged = false;
+        for _ in 0..200_000 {
+            let moved = a.progress() | b.progress();
+            if sends.iter().all(|&s| a.is_send_done(s))
+                && recvs.iter().all(|&r| b.is_recv_done(r))
+            {
+                converged = true;
+                break;
+            }
+            if !moved && world.lock().advance().is_none() {
+                break;
+            }
+        }
+        prop_assert!(converged, "workload did not complete");
+        let trace = world.lock().take_trace();
+        let ma = a.metrics();
+        prop_assert_eq!(
+            ma.engine.entries_aggregated,
+            trace.decision_entries_for(NodeId(0)),
+            "sender counter diverged from trace"
+        );
+        let mb = b.metrics();
+        prop_assert_eq!(
+            mb.engine.entries_aggregated,
+            trace.decision_entries_for(NodeId(1)),
+            "receiver counter diverged from trace"
+        );
+        prop_assert_eq!(
+            ma.engine.frames_synthesized + mb.engine.frames_synthesized,
+            trace.decisions() as u64,
+            "every synthesized frame is one traced decision"
+        );
     }
 
     #[test]

@@ -22,7 +22,11 @@ fn engine(world: &SharedWorld, node: u32, strategy: Box<dyn Strategy>) -> NmadEn
 
 /// Runs a generated workload through one strategy; returns (virtual us,
 /// frames sent).
-fn run_workload(spec: &WorkloadSpec, strategy: Box<dyn Strategy>, strategy2: Box<dyn Strategy>) -> (f64, u64) {
+fn run_workload(
+    spec: &WorkloadSpec,
+    strategy: Box<dyn Strategy>,
+    strategy2: Box<dyn Strategy>,
+) -> (f64, u64) {
     let items = generate(spec);
     let world = shared_world(SimConfig::two_nodes(nic::mx_myri10g()));
     let mut a = engine(&world, 0, strategy);
@@ -39,7 +43,11 @@ fn run_workload(spec: &WorkloadSpec, strategy: Box<dyn Strategy>, strategy2: Box
     let mut per_flow_index: HashMap<u32, usize> = HashMap::new();
     for item in &items {
         let idx = per_flow_index.entry(item.tag).or_default();
-        recvs.push((item.tag, *idx, b.post_recv(NodeId(0), Tag(item.tag), item.len)));
+        recvs.push((
+            item.tag,
+            *idx,
+            b.post_recv(NodeId(0), Tag(item.tag), item.len),
+        ));
         *idx += 1;
     }
 
@@ -66,7 +74,8 @@ fn run_workload(spec: &WorkloadSpec, strategy: Box<dyn Strategy>, strategy2: Box
 #[test]
 fn rpc_mix_delivers_exactly_under_every_strategy() {
     let spec = WorkloadSpec::rpc_mix(150, 0xC0FFEE);
-    let mk: [(&str, fn() -> Box<dyn Strategy>); 4] = [
+    type MkStrategy = fn() -> Box<dyn Strategy>;
+    let mk: [(&str, MkStrategy); 4] = [
         ("default", || Box::new(StratDefault)),
         ("aggreg", || Box::new(StratAggreg)),
         ("reorder", || Box::new(StratReorder)),
@@ -123,7 +132,11 @@ fn mpi_backends_survive_the_rpc_mix() {
         let mut per_flow: HashMap<u32, usize> = HashMap::new();
         for item in &items {
             let idx = per_flow.entry(item.tag).or_default();
-            recvs.push((item.tag, *idx, procs[1].irecv(comm, 0, item.tag as u16, item.len)));
+            recvs.push((
+                item.tag,
+                *idx,
+                procs[1].irecv(comm, 0, item.tag as u16, item.len),
+            ));
             *idx += 1;
         }
         pump_cluster(&world, &mut procs, |p| {
@@ -155,10 +168,16 @@ fn bidirectional_stress_with_different_strategies_per_side() {
     let mut expected_at_a: HashMap<u32, Vec<Vec<u8>>> = HashMap::new();
     for (i, item) in items.iter().enumerate() {
         let body = payload_for(i, item.len);
-        expected_at_b.entry(item.tag).or_default().push(body.clone());
+        expected_at_b
+            .entry(item.tag)
+            .or_default()
+            .push(body.clone());
         sends.push(a.isend(NodeId(1), Tag(item.tag), body));
         let back = payload_for(i + 10_000, item.len);
-        expected_at_a.entry(item.tag).or_default().push(back.clone());
+        expected_at_a
+            .entry(item.tag)
+            .or_default()
+            .push(back.clone());
         sends.push(b.isend(NodeId(0), Tag(item.tag), back));
     }
     let mut recvs_b = Vec::new();
@@ -167,10 +186,18 @@ fn bidirectional_stress_with_different_strategies_per_side() {
     let mut idx_a: HashMap<u32, usize> = HashMap::new();
     for item in &items {
         let ib = idx_b.entry(item.tag).or_default();
-        recvs_b.push((item.tag, *ib, b.post_recv(NodeId(0), Tag(item.tag), item.len)));
+        recvs_b.push((
+            item.tag,
+            *ib,
+            b.post_recv(NodeId(0), Tag(item.tag), item.len),
+        ));
         *ib += 1;
         let ia = idx_a.entry(item.tag).or_default();
-        recvs_a.push((item.tag, *ia, a.post_recv(NodeId(1), Tag(item.tag), item.len)));
+        recvs_a.push((
+            item.tag,
+            *ia,
+            a.post_recv(NodeId(1), Tag(item.tag), item.len),
+        ));
         *ia += 1;
     }
     for _ in 0..20_000_000u64 {
