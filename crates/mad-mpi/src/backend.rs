@@ -23,6 +23,7 @@ use crate::datatype::Datatype;
 use baselines::{DirectConfig, DirectEngine, UnpackMode};
 use nmad_core::segment::{Priority, RecvReqId, SendReqId, Tag};
 use nmad_core::{MetricsSnapshot, NmadEngine};
+use nmad_net::{FaultPlan, FaultStats};
 use nmad_sim::NodeId;
 
 /// Backend-scoped send completion token.
@@ -80,6 +81,19 @@ pub trait MpiBackend: Send {
     /// window or strategy, so they report `None`.
     fn metrics(&self) -> Option<MetricsSnapshot> {
         None
+    }
+
+    /// Installs a deterministic fault plan on rail `rail` of the
+    /// backend's transport. Returns `false` when the transport does
+    /// not support injection (the direct baselines and real sockets).
+    fn install_faults(&mut self, _rail: usize, _plan: FaultPlan) -> bool {
+        false
+    }
+
+    /// Fault-injection statistics for rail `rail`; all-zero when no
+    /// plan is installed or injection is unsupported.
+    fn fault_stats(&self, _rail: usize) -> FaultStats {
+        FaultStats::default()
     }
 }
 
@@ -235,6 +249,14 @@ impl MpiBackend for NmadBackend {
 
     fn metrics(&self) -> Option<MetricsSnapshot> {
         Some(self.engine.metrics())
+    }
+
+    fn install_faults(&mut self, rail: usize, plan: FaultPlan) -> bool {
+        self.engine.install_faults(rail, plan)
+    }
+
+    fn fault_stats(&self, rail: usize) -> FaultStats {
+        self.engine.fault_stats(rail)
     }
 }
 

@@ -168,6 +168,18 @@ impl MpiProc {
         self.backend.as_ref()
     }
 
+    /// Installs a deterministic fault plan on rail `rail` of this
+    /// rank's transport; `false` if the backend does not support
+    /// injection.
+    pub fn install_faults(&mut self, rail: usize, plan: nmad_net::FaultPlan) -> bool {
+        self.backend.install_faults(rail, plan)
+    }
+
+    /// Fault-injection statistics for rail `rail` of this rank.
+    pub fn fault_stats(&self, rail: usize) -> nmad_net::FaultStats {
+        self.backend.fault_stats(rail)
+    }
+
     /// MPI_COMM_WORLD.
     pub fn comm_world(&self) -> Comm {
         Comm { ctx: 1 }

@@ -155,7 +155,11 @@ struct RdvTx {
 
 struct NicState {
     driver: Box<dyn Driver>,
-    inflight: VecDeque<(SendHandle, Vec<TxDone>)>,
+    /// Posted frames whose transmit has not completed. Each entry
+    /// retains the plan it was built from, so a rail fault can hand
+    /// the stranded work back to the window (the receiver's matching
+    /// layer drops whatever the rail did manage to deliver).
+    inflight: VecDeque<(SendHandle, Vec<TxDone>, FramePlan)>,
     /// Set when the driver refused a send (transport/NIC failure);
     /// the refill loop stops offering this NIC work.
     dead: bool,
@@ -173,6 +177,9 @@ pub struct NmadEngine {
     rdv_wait_cts: HashMap<RdvKey, (Bytes, SendReqId)>,
     /// Granted rendezvous transfers: transmit-side byte accounting.
     rdv_tx: HashMap<RdvKey, RdvTx>,
+    /// Rendezvous transfers that fully completed (transmit side); a
+    /// late duplicate grant must never restart one.
+    rdv_done: HashSet<RdvKey>,
     /// Send requests → segments still in flight.
     sends: HashMap<SendReqId, usize>,
     done_sends: HashSet<SendReqId>,
@@ -223,6 +230,7 @@ impl NmadEngine {
             matching: Matching::new(),
             rdv_wait_cts: HashMap::new(),
             rdv_tx: HashMap::new(),
+            rdv_done: HashSet::new(),
             sends: HashMap::new(),
             done_sends: HashSet::new(),
             next_req: 0,
@@ -439,6 +447,7 @@ impl NmadEngine {
                     seq,
                     total,
                 }),
+                Effect::DuplicateDropped => self.metrics.duplicates_dropped += 1,
             }
         }
     }
@@ -475,7 +484,22 @@ impl NmadEngine {
                 }
                 Entry::Cts { tag, seq, total } => {
                     let key = (src, tag, seq);
+                    if self.rdv_tx.contains_key(&key) || self.rdv_done.contains(&key) {
+                        // Duplicate grant for a transfer already moving
+                        // bytes — or already finished (the receiver
+                        // re-granted after seeing a retransmitted or
+                        // failover-requeued RTS).
+                        self.metrics.stale_cts_ignored += 1;
+                        continue;
+                    }
                     let Some((data, req)) = self.rdv_wait_cts.remove(&key) else {
+                        let stale = self.next_seq.get(&(src, tag)).is_some_and(|&n| seq < n);
+                        if stale {
+                            // The transfer this CTS grants has already
+                            // completed; the grant is a late duplicate.
+                            self.metrics.stale_cts_ignored += 1;
+                            continue;
+                        }
                         return Err(nmad_net::NetError::Protocol(format!(
                             "CTS from {src} for unannounced rendezvous ({tag:?}, {seq:?})"
                         )));
@@ -534,6 +558,11 @@ impl NmadEngine {
                     };
                     if let Some(req) = finished {
                         self.rdv_tx.remove(&key);
+                        // A failover requeue may have re-announced this
+                        // transfer; drop the now-moot announcement and
+                        // remember the key so a late grant is ignored.
+                        self.rdv_wait_cts.remove(&key);
+                        self.rdv_done.insert(key);
                         self.complete_send_part(req);
                     }
                 }
@@ -589,21 +618,25 @@ impl NmadEngine {
                 // The NIC died under us: hand everything back to the
                 // window (failover — another rail will pick it up).
                 self.nics[nic_idx].dead = true;
+                self.metrics.rail_faults += 1;
                 if owed_credits > 0 {
                     *self.pending_credit_returns.entry(plan.dst).or_insert(0) += owed_credits;
                 }
+                self.metrics.requeued_entries += plan.entries.len() as u64;
                 self.requeue_plan(plan);
+                self.reclaim_rail(nic_idx);
                 return Ok(());
             }
             Err(e) => return Err(e),
         };
 
-        // Phase 2: the frame is on the wire — consume the plan into
-        // completion records and statistics.
+        // Phase 2: the frame is on the wire — derive completion records
+        // and statistics from the plan, which is retained alongside the
+        // handle so a later rail fault can requeue the stranded work.
         let mut dones = Vec::new();
         let (mut n_data, mut n_rts, mut n_cts, mut n_chunk) = (0u32, 0u32, 0u32, 0u32);
         let reordered = plan.reordered;
-        for entry in plan.entries {
+        for entry in &plan.entries {
             match entry {
                 PlanEntry::Cts(_) => {
                     self.stats.cts_entries += 1;
@@ -616,7 +649,7 @@ impl NmadEngine {
                 }
                 PlanEntry::Rts(w) => {
                     self.rdv_wait_cts
-                        .insert((w.dst, w.tag, w.seq), (w.data, w.req));
+                        .insert((w.dst, w.tag, w.seq), (w.data.clone(), w.req));
                     self.stats.rts_entries += 1;
                     n_rts += 1;
                 }
@@ -653,7 +686,7 @@ impl NmadEngine {
             // bounded overdraft rather than splitting the frame.
             *c = c.saturating_sub(1);
         }
-        self.nics[nic_idx].inflight.push_back((handle, dones));
+        self.nics[nic_idx].inflight.push_back((handle, dones, plan));
         self.stats.frames_sent += 1;
         Ok(())
     }
@@ -668,6 +701,36 @@ impl NmadEngine {
                 PlanEntry::RdvChunk(c) => self.window.push_rdv(RdvJob::resume(c)),
             }
         }
+    }
+
+    /// Recovery after `nic_idx` was marked dead: stranded in-flight
+    /// frames and window segments dedicated to the rail go back to the
+    /// window (the receiver's matching layer drops whatever the dead
+    /// rail did manage to deliver), and the strategy re-plans its
+    /// bandwidth split over the survivors.
+    fn reclaim_rail(&mut self, nic_idx: usize) {
+        let stranded: Vec<FramePlan> = self.nics[nic_idx]
+            .inflight
+            .drain(..)
+            .map(|(_, _, plan)| plan)
+            .collect();
+        for plan in stranded {
+            self.metrics.requeued_entries += plan.entries.len() as u64;
+            self.requeue_plan(plan);
+        }
+        self.metrics.requeued_entries += self.window.reclaim_dedicated(nic_idx) as u64;
+        self.strategy.on_rail_fault(nic_idx);
+    }
+
+    /// Installs a deterministic fault plan on rail `nic_idx`'s driver;
+    /// returns whether the driver consumed it (real transports refuse).
+    pub fn install_faults(&mut self, nic_idx: usize, plan: nmad_net::FaultPlan) -> bool {
+        self.nics[nic_idx].driver.install_faults(plan)
+    }
+
+    /// Fault-injection counters reported by rail `nic_idx`'s driver.
+    pub fn fault_stats(&self, nic_idx: usize) -> nmad_net::FaultStats {
+        self.nics[nic_idx].driver.fault_stats()
     }
 
     /// One pump: drain receives, harvest transmit completions, refill
@@ -687,11 +750,11 @@ impl NmadEngine {
                 self.handle_frame(frame.src, &frame.payload, rx_zero_copy)?;
                 any = true;
             }
-            while let Some(handle) = self.nics[i].inflight.front().map(|(h, _)| *h) {
+            while let Some(handle) = self.nics[i].inflight.front().map(|(h, _, _)| *h) {
                 if !self.nics[i].driver.test_send(handle)? {
                     break;
                 }
-                let (_, dones) = self.nics[i].inflight.pop_front().expect("checked");
+                let (_, dones, _) = self.nics[i].inflight.pop_front().expect("checked");
                 self.apply_tx_done(dones);
                 any = true;
             }
@@ -757,7 +820,9 @@ impl NmadEngine {
                     fb.push_credit(count);
                     let frame = fb.finish();
                     let handle = self.nics[i].driver.post_send(dst, &[&frame])?;
-                    self.nics[i].inflight.push_back((handle, Vec::new()));
+                    self.nics[i]
+                        .inflight
+                        .push_back((handle, Vec::new(), FramePlan::new(dst)));
                     self.stats.frames_sent += 1;
                     self.stats.credit_frames += 1;
                     any = true;
@@ -991,6 +1056,10 @@ mod tests {
             e.eager_entries,
             e.rendezvous_entries,
             e.reorder_decisions,
+            e.rail_faults,
+            e.requeued_entries,
+            e.duplicates_dropped,
+            e.stale_cts_ignored,
             w.frames_sent,
             w.frames_received,
             w.data_entries,

@@ -20,7 +20,7 @@
 
 use crate::segment::{RecvReqId, SeqNo, Tag};
 use nmad_sim::NodeId;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Side effects the engine must apply after feeding an event in (CPU
 /// cost accounting and outgoing control traffic).
@@ -39,6 +39,10 @@ pub enum Effect {
         /// Announced total length in bytes.
         total: u32,
     },
+    /// A duplicate wire entry was discarded (retransmission or a
+    /// conservative failover requeue re-delivered it); the engine
+    /// counts these.
+    DuplicateDropped,
 }
 
 /// A completed receive, ready for the application.
@@ -66,6 +70,36 @@ struct Slot {
     /// Announced rendezvous total, once the RTS has been seen.
     total: Option<usize>,
     sender_len: usize,
+    /// Offsets of rendezvous chunks already landed — duplicates of a
+    /// chunk (retransmission, failover requeue) are dropped instead of
+    /// double-counted.
+    chunk_offsets: HashSet<u32>,
+}
+
+/// Per-flow record of sequence numbers whose receive has completed:
+/// a watermark plus the out-of-order completions above it, compacted
+/// as the watermark advances.
+#[derive(Debug, Default)]
+struct FlowDelivered {
+    next: u32,
+    ahead: HashSet<u32>,
+}
+
+impl FlowDelivered {
+    fn contains(&self, seq: SeqNo) -> bool {
+        seq.0 < self.next || self.ahead.contains(&seq.0)
+    }
+
+    fn mark(&mut self, seq: SeqNo) {
+        if seq.0 == self.next {
+            self.next += 1;
+            while self.ahead.remove(&self.next) {
+                self.next += 1;
+            }
+        } else if seq.0 > self.next {
+            self.ahead.insert(seq.0);
+        }
+    }
 }
 
 /// Matching state of one engine (one node).
@@ -76,6 +110,7 @@ pub struct Matching {
     unexpected: HashMap<(NodeId, Tag, SeqNo), Vec<u8>>,
     pending_rts: HashMap<(NodeId, Tag, SeqNo), u32>,
     done: HashMap<RecvReqId, RecvDone>,
+    delivered: HashMap<(NodeId, Tag), FlowDelivered>,
 }
 
 impl Matching {
@@ -115,6 +150,7 @@ impl Matching {
                     truncated,
                 },
             );
+            self.mark_delivered(src, tag, seq);
             return (seq, effects);
         }
 
@@ -125,6 +161,7 @@ impl Matching {
             received: 0,
             total: None,
             sender_len: 0,
+            chunk_offsets: HashSet::new(),
         };
         if let Some(total) = self.pending_rts.remove(&(src, tag, seq)) {
             Self::grant(&mut slot, total);
@@ -146,8 +183,23 @@ impl Matching {
         slot.buf = vec![0u8; total.min(slot.max)];
     }
 
+    fn already_delivered(&self, src: NodeId, tag: Tag, seq: SeqNo) -> bool {
+        self.delivered
+            .get(&(src, tag))
+            .is_some_and(|f| f.contains(seq))
+    }
+
+    fn mark_delivered(&mut self, src: NodeId, tag: Tag, seq: SeqNo) {
+        self.delivered.entry((src, tag)).or_default().mark(seq);
+    }
+
     /// Feeds an eager data entry.
     pub fn on_data(&mut self, src: NodeId, tag: Tag, seq: SeqNo, payload: &[u8]) -> Vec<Effect> {
+        if self.already_delivered(src, tag, seq) || self.unexpected.contains_key(&(src, tag, seq)) {
+            // Retransmission or failover requeue re-delivered the
+            // segment: the first copy won.
+            return vec![Effect::DuplicateDropped];
+        }
         match self.posted.remove(&(src, tag, seq)) {
             Some(slot) => {
                 let truncated = payload.len() > slot.max;
@@ -161,6 +213,7 @@ impl Matching {
                         truncated,
                     },
                 );
+                self.mark_delivered(src, tag, seq);
                 // Posted receive: the NIC's matching/scatter hardware
                 // lands the segment in place — no host copy (MX and
                 // Elan both match posted receives in hardware).
@@ -177,8 +230,26 @@ impl Matching {
 
     /// Feeds a rendezvous request-to-send.
     pub fn on_rts(&mut self, src: NodeId, tag: Tag, seq: SeqNo, total: u32) -> Vec<Effect> {
+        if self.already_delivered(src, tag, seq) {
+            return vec![Effect::DuplicateDropped];
+        }
         match self.posted.get_mut(&(src, tag, seq)) {
             Some(slot) => {
+                if slot.total.is_some() {
+                    // Duplicate RTS for an already-granted transfer:
+                    // the original CTS may have been lost. Re-grant
+                    // idempotently — without resetting the reassembly
+                    // buffer — so the handshake can recover.
+                    return vec![
+                        Effect::DuplicateDropped,
+                        Effect::SendCts {
+                            dst: src,
+                            tag,
+                            seq,
+                            total,
+                        },
+                    ];
+                }
                 Self::grant(slot, total);
                 vec![Effect::SendCts {
                     dst: src,
@@ -188,7 +259,9 @@ impl Matching {
                 }]
             }
             None => {
-                self.pending_rts.insert((src, tag, seq), total);
+                if self.pending_rts.insert((src, tag, seq), total).is_some() {
+                    return vec![Effect::DuplicateDropped];
+                }
                 vec![]
             }
         }
@@ -207,13 +280,21 @@ impl Matching {
         zero_copy: bool,
     ) -> Vec<Effect> {
         let key = (src, tag, seq);
-        let slot = self
-            .posted
-            .get_mut(&key)
-            .expect("rdv chunk for a never-granted segment (protocol bug)");
+        let Some(slot) = self.posted.get_mut(&key) else {
+            if self.already_delivered(src, tag, seq) {
+                // Late chunk for a transfer that already completed —
+                // a conservative failover requeue re-sent bytes the
+                // first attempt had in fact delivered.
+                return vec![Effect::DuplicateDropped];
+            }
+            panic!("rdv chunk for a never-granted segment (protocol bug)");
+        };
         let total = slot
             .total
             .expect("rdv chunk before RTS grant (protocol bug)");
+        if !slot.chunk_offsets.insert(offset) {
+            return vec![Effect::DuplicateDropped];
+        }
         let offset = offset as usize;
         // Place the bytes that fit in the application buffer.
         if offset < slot.buf.len() {
@@ -242,6 +323,7 @@ impl Matching {
                     truncated,
                 },
             );
+            self.mark_delivered(src, tag, seq);
         }
         effects
     }
@@ -421,5 +503,108 @@ mod tests {
     fn rdv_chunk_without_grant_is_a_protocol_bug() {
         let mut m = Matching::new();
         m.on_rdv_chunk(SRC, TAG, SeqNo(0), 0, b"x", true);
+    }
+
+    #[test]
+    fn duplicate_eager_data_is_dropped_not_redelivered() {
+        let mut m = Matching::new();
+        m.post_recv(SRC, TAG, 64, RecvReqId(1));
+        assert!(m.on_data(SRC, TAG, SeqNo(0), b"once").is_empty());
+        assert_eq!(
+            m.on_data(SRC, TAG, SeqNo(0), b"once"),
+            vec![Effect::DuplicateDropped]
+        );
+        assert_eq!(m.try_take_done(RecvReqId(1)).unwrap().data, b"once");
+        // A third copy after the completion was taken is still a dup.
+        assert_eq!(
+            m.on_data(SRC, TAG, SeqNo(0), b"once"),
+            vec![Effect::DuplicateDropped]
+        );
+        assert_eq!(m.unexpected_count(), 0, "duplicates must not be staged");
+    }
+
+    #[test]
+    fn duplicate_unexpected_data_is_dropped_while_staged() {
+        let mut m = Matching::new();
+        m.on_data(SRC, TAG, SeqNo(0), b"early");
+        assert_eq!(
+            m.on_data(SRC, TAG, SeqNo(0), b"early"),
+            vec![Effect::DuplicateDropped]
+        );
+        assert_eq!(m.unexpected_count(), 1);
+        m.post_recv(SRC, TAG, 64, RecvReqId(1));
+        assert_eq!(m.try_take_done(RecvReqId(1)).unwrap().data, b"early");
+        // And after consumption too.
+        assert_eq!(
+            m.on_data(SRC, TAG, SeqNo(0), b"early"),
+            vec![Effect::DuplicateDropped]
+        );
+    }
+
+    #[test]
+    fn duplicate_rdv_chunk_offsets_are_dropped() {
+        let mut m = Matching::new();
+        m.post_recv(SRC, TAG, 100, RecvReqId(1));
+        m.on_rts(SRC, TAG, SeqNo(0), 100);
+        let body: Vec<u8> = (0..100).collect();
+        m.on_rdv_chunk(SRC, TAG, SeqNo(0), 0, &body[..50], true);
+        // A retransmitted copy of the same chunk must not double-count.
+        assert_eq!(
+            m.on_rdv_chunk(SRC, TAG, SeqNo(0), 0, &body[..50], true),
+            vec![Effect::DuplicateDropped]
+        );
+        assert!(m.try_take_done(RecvReqId(1)).is_none());
+        m.on_rdv_chunk(SRC, TAG, SeqNo(0), 50, &body[50..], true);
+        assert_eq!(m.try_take_done(RecvReqId(1)).unwrap().data, body);
+    }
+
+    #[test]
+    fn late_chunk_after_completion_is_dropped_not_a_panic() {
+        let mut m = Matching::new();
+        m.post_recv(SRC, TAG, 10, RecvReqId(1));
+        m.on_rts(SRC, TAG, SeqNo(0), 10);
+        m.on_rdv_chunk(SRC, TAG, SeqNo(0), 0, &[1u8; 10], true);
+        assert!(m.is_done(RecvReqId(1)));
+        // A failover requeue re-sent bytes the first rail delivered.
+        assert_eq!(
+            m.on_rdv_chunk(SRC, TAG, SeqNo(0), 0, &[1u8; 10], true),
+            vec![Effect::DuplicateDropped]
+        );
+    }
+
+    #[test]
+    fn duplicate_rts_regrants_without_wiping_received_chunks() {
+        let mut m = Matching::new();
+        m.post_recv(SRC, TAG, 100, RecvReqId(1));
+        m.on_rts(SRC, TAG, SeqNo(0), 100);
+        let body: Vec<u8> = (0..100).collect();
+        m.on_rdv_chunk(SRC, TAG, SeqNo(0), 0, &body[..50], true);
+        // The CTS was lost; the sender re-announces. The re-grant must
+        // not reset the reassembly buffer.
+        let fx = m.on_rts(SRC, TAG, SeqNo(0), 100);
+        assert_eq!(
+            fx,
+            vec![
+                Effect::DuplicateDropped,
+                Effect::SendCts {
+                    dst: SRC,
+                    tag: TAG,
+                    seq: SeqNo(0),
+                    total: 100
+                }
+            ]
+        );
+        m.on_rdv_chunk(SRC, TAG, SeqNo(0), 50, &body[50..], true);
+        assert_eq!(m.try_take_done(RecvReqId(1)).unwrap().data, body);
+    }
+
+    #[test]
+    fn duplicate_parked_rts_is_dropped() {
+        let mut m = Matching::new();
+        assert!(m.on_rts(SRC, TAG, SeqNo(0), 500).is_empty());
+        assert_eq!(
+            m.on_rts(SRC, TAG, SeqNo(0), 500),
+            vec![Effect::DuplicateDropped]
+        );
     }
 }

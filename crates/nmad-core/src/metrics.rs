@@ -47,6 +47,17 @@ pub struct EngineMetrics {
     pub rendezvous_entries: u64,
     /// Entries a strategy pulled out of submission order.
     pub reorder_decisions: u64,
+    /// Rails whose driver refused a send and was marked dead.
+    pub rail_faults: u64,
+    /// Plan entries handed back to the window after a rail fault
+    /// (both the refused frame and stranded in-flight frames).
+    pub requeued_entries: u64,
+    /// Duplicate wire entries the matching layer discarded
+    /// (retransmissions and conservative failover requeues).
+    pub duplicates_dropped: u64,
+    /// CTS entries for already-granted or completed rendezvous
+    /// transfers, ignored instead of treated as protocol errors.
+    pub stale_cts_ignored: u64,
 }
 
 impl EngineMetrics {
@@ -110,6 +121,8 @@ impl MetricsSnapshot {
              \"scheduling\":{{\"frames_synthesized\":{},\"entries_aggregated\":{},\
              \"aggregation_ratio\":{:.4},\"eager_entries\":{},\"rendezvous_entries\":{},\
              \"reorder_decisions\":{}}},\
+             \"faults\":{{\"rail_faults\":{},\"requeued_entries\":{},\
+             \"duplicates_dropped\":{},\"stale_cts_ignored\":{}}},\
              \"wire\":{{\"frames_sent\":{},\"frames_received\":{},\"data_entries\":{},\
              \"rts_entries\":{},\"cts_entries\":{},\"chunk_entries\":{},\"staging_copies\":{},\
              \"credit_stalls\":{},\"credit_frames\":{}}},\"nics\":[",
@@ -124,6 +137,10 @@ impl MetricsSnapshot {
             e.eager_entries,
             e.rendezvous_entries,
             e.reorder_decisions,
+            e.rail_faults,
+            e.requeued_entries,
+            e.duplicates_dropped,
+            e.stale_cts_ignored,
             w.frames_sent,
             w.frames_received,
             w.data_entries,
@@ -241,6 +258,10 @@ mod tests {
                 eager_entries: 8,
                 rendezvous_entries: 0,
                 reorder_decisions: 1,
+                rail_faults: 1,
+                requeued_entries: 5,
+                duplicates_dropped: 2,
+                stale_cts_ignored: 1,
             },
             wire: EngineStats {
                 frames_sent: 2,
@@ -285,6 +306,10 @@ mod tests {
         assert!(json.contains("\"requests_submitted\":8"));
         assert!(json.contains("\"aggregation_ratio\":4.0000"));
         assert!(json.contains("\"reorder_decisions\":1"));
+        assert!(json.contains("\"rail_faults\":1"));
+        assert!(json.contains("\"requeued_entries\":5"));
+        assert!(json.contains("\"duplicates_dropped\":2"));
+        assert!(json.contains("\"stale_cts_ignored\":1"));
         assert!(json.contains("\"retransmits\":3"));
         assert!(json.contains("\"acks\":4"));
         // The quote inside the NIC name must be escaped.

@@ -112,6 +112,12 @@ impl Strategy for StratDynamic {
         self.reorder.init(nics);
     }
 
+    fn on_rail_fault(&mut self, rail: usize) {
+        self.latency.on_rail_fault(rail);
+        self.aggregate.on_rail_fault(rail);
+        self.reorder.on_rail_fault(rail);
+    }
+
     fn schedule(&mut self, window: &mut Window, nic: &NicView<'_>) -> Option<FramePlan> {
         match self.select(window, nic) {
             Tactic::Latency => {

@@ -108,6 +108,11 @@ pub trait Strategy: Send {
     /// Synthesizes the next frame for an idle NIC, or `None` when the
     /// window holds nothing this NIC can send.
     fn schedule(&mut self, window: &mut Window, nic: &NicView<'_>) -> Option<FramePlan>;
+
+    /// Notifies the strategy that `rail` refused a send and was marked
+    /// dead. Strategies holding per-rail state (bandwidth shares)
+    /// re-plan over the survivors; the default is a no-op.
+    fn on_rail_fault(&mut self, _rail: usize) {}
 }
 
 /// Per-frame aggregation budget shared by the strategy implementations.

@@ -53,6 +53,15 @@ impl Strategy for StratMultirail {
         self.total_bw = self.rail_bw.iter().sum();
     }
 
+    fn on_rail_fault(&mut self, rail: usize) {
+        // The dead rail no longer counts towards the bandwidth split:
+        // survivors absorb its share of future rendezvous chunks.
+        if let Some(bw) = self.rail_bw.get_mut(rail) {
+            *bw = 0;
+        }
+        self.total_bw = self.rail_bw.iter().sum();
+    }
+
     fn schedule(&mut self, window: &mut Window, nic: &NicView<'_>) -> Option<FramePlan> {
         let dst = window.next_dst(nic.index)?;
         let mut plan = FramePlan::new(dst);
@@ -222,6 +231,38 @@ mod tests {
             PlanEntry::RdvChunk(c) => {
                 assert_eq!(c.data.len(), 1 << 20, "no pointless splitting");
                 assert!(c.last);
+            }
+            e => panic!("unexpected {e:?}"),
+        }
+    }
+
+    #[test]
+    fn rail_fault_shifts_the_whole_split_to_survivors() {
+        let caps = two_rail_caps();
+        let mut s = StratMultirail::default();
+        s.init(&caps);
+        s.on_rail_fault(0);
+        let total = 1 << 20;
+        let mut w = Window::new(2);
+        w.push_rdv(RdvJob::new(
+            NodeId(1),
+            Tag(0),
+            SeqNo(0),
+            Bytes::from(vec![0u8; total]),
+            SendReqId(0),
+        ));
+        let p = s
+            .schedule(
+                &mut w,
+                &NicView {
+                    index: 1,
+                    caps: &caps[1],
+                },
+            )
+            .unwrap();
+        match &p.entries[0] {
+            PlanEntry::RdvChunk(c) => {
+                assert_eq!(c.data.len(), total, "survivor takes the whole job");
             }
             e => panic!("unexpected {e:?}"),
         }

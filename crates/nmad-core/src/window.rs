@@ -172,6 +172,18 @@ impl Window {
         self.rdv.push_back(job);
     }
 
+    /// Moves every segment dedicated to `nic` back onto the front of
+    /// the common list, preserving their order (failover: the rail
+    /// died, the survivors take its work). Returns how many moved.
+    pub fn reclaim_dedicated(&mut self, nic: usize) -> usize {
+        let mut moved = 0;
+        while let Some(w) = self.dedicated[nic].pop_back() {
+            self.common.push_front(w);
+            moved += 1;
+        }
+        moved
+    }
+
     // --- strategy side ---
 
     /// True when nothing at all is pending for NIC `nic`.

@@ -1,0 +1,119 @@
+//! Shared exponential-backoff policy.
+//!
+//! One policy serves every retry loop in the transfer layer: the
+//! reliability decorators' retransmit timers (`reliable`, `selective`)
+//! and the TCP driver's real-time sleep loops. Centralising it keeps
+//! the retry behaviour uniform and tunable in one place instead of
+//! scattering hard-coded sleeps through the drivers.
+
+/// An exponential-backoff schedule: `initial_ns * multiplier^attempt`,
+/// capped at `max_ns`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Delay for the first attempt.
+    pub initial_ns: u64,
+    /// Ceiling the schedule saturates at.
+    pub max_ns: u64,
+    /// Growth factor per attempt (usually 2).
+    pub multiplier: u32,
+}
+
+impl BackoffPolicy {
+    /// A doubling schedule from `initial_ns` up to `max_ns`.
+    pub const fn new(initial_ns: u64, max_ns: u64) -> Self {
+        BackoffPolicy {
+            initial_ns,
+            max_ns,
+            multiplier: 2,
+        }
+    }
+
+    /// Delay for the `attempt`-th consecutive retry (0-based),
+    /// saturating at the ceiling.
+    pub fn delay_for(&self, attempt: u32) -> u64 {
+        let mut d = self.initial_ns;
+        for _ in 0..attempt {
+            d = d.saturating_mul(self.multiplier as u64);
+            if d >= self.max_ns {
+                return self.max_ns;
+            }
+        }
+        d.min(self.max_ns)
+    }
+}
+
+/// Mutable backoff state: a policy plus the consecutive-failure count.
+#[derive(Clone, Copy, Debug)]
+pub struct Backoff {
+    policy: BackoffPolicy,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// Fresh state over `policy` (attempt 0).
+    pub fn new(policy: BackoffPolicy) -> Self {
+        Backoff { policy, attempt: 0 }
+    }
+
+    /// The delay the *current* attempt should wait.
+    pub fn current_ns(&self) -> u64 {
+        self.policy.delay_for(self.attempt)
+    }
+
+    /// Records a failure: returns the delay for the attempt that just
+    /// failed and advances to the next (longer) one.
+    pub fn step(&mut self) -> u64 {
+        let d = self.current_ns();
+        self.attempt = self.attempt.saturating_add(1);
+        d
+    }
+
+    /// Progress was made: the next failure starts over at the initial
+    /// delay.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// Consecutive failures recorded since the last reset.
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Real-time convenience for socket loops: sleeps for the current
+    /// delay and advances the schedule.
+    pub fn sleep(&mut self) {
+        std::thread::sleep(std::time::Duration::from_nanos(self.step()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_doubles_and_saturates() {
+        let p = BackoffPolicy::new(1_000, 8_000);
+        assert_eq!(p.delay_for(0), 1_000);
+        assert_eq!(p.delay_for(1), 2_000);
+        assert_eq!(p.delay_for(2), 4_000);
+        assert_eq!(p.delay_for(3), 8_000);
+        assert_eq!(p.delay_for(4), 8_000);
+        assert_eq!(
+            p.delay_for(u32::MAX),
+            8_000,
+            "no overflow at large attempts"
+        );
+    }
+
+    #[test]
+    fn step_advances_and_reset_restarts() {
+        let mut b = Backoff::new(BackoffPolicy::new(100, 1_000));
+        assert_eq!(b.step(), 100);
+        assert_eq!(b.step(), 200);
+        assert_eq!(b.step(), 400);
+        assert_eq!(b.attempt(), 3);
+        b.reset();
+        assert_eq!(b.current_ns(), 100);
+        assert_eq!(b.attempt(), 0);
+    }
+}

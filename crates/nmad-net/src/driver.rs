@@ -12,6 +12,7 @@
 //! nodes, preserving per-link FIFO order, and report transmit-side
 //! completion. The engine's multiplexing headers live inside the frame.
 
+use crate::fault::{FaultPlan, FaultStats};
 use nmad_sim::NodeId;
 use std::fmt;
 
@@ -175,6 +176,21 @@ pub trait Driver: Send {
     /// without accounting keep the all-zero default.
     fn link_stats(&self) -> LinkStats {
         LinkStats::default()
+    }
+
+    /// Installs a deterministic [`FaultPlan`] on this endpoint.
+    ///
+    /// Returns `true` if the driver consumes the plan (the simulated
+    /// transports do; decorators forward to their inner driver). The
+    /// default refuses: real transports cannot inject faults.
+    fn install_faults(&mut self, _plan: FaultPlan) -> bool {
+        false
+    }
+
+    /// Counters from an installed fault plan; all-zero when no plan is
+    /// installed (or the driver does not support injection).
+    fn fault_stats(&self) -> FaultStats {
+        FaultStats::default()
     }
 }
 

@@ -18,13 +18,21 @@
 //!   loss plus go-back-N and selective-repeat reliability, extending
 //!   the engine to lossy datagram fabrics.
 //!
+//! [`fault::FaultPlan`] adds deterministic, seeded fault injection
+//! (link flaps, NIC death, corruption, latency spikes) that any
+//! simulated driver consumes through [`Driver::install_faults`];
+//! [`backoff::BackoffPolicy`] is the shared exponential-backoff
+//! schedule the retry loops (reliability timers, TCP sleeps) draw from.
+//!
 //! [`CpuMeter`] routes the engine's software costs (scheduler
 //! inspection, staging copies) either to the simulated CPU account or to
 //! nowhere (real transports pay in real time).
 
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod driver;
+pub mod fault;
 pub mod lossy;
 pub mod mem;
 pub mod reliable;
@@ -32,9 +40,13 @@ pub mod selective;
 pub mod sim;
 pub mod tcp;
 
+pub use backoff::{Backoff, BackoffPolicy};
 pub use driver::{
     Capabilities, CpuMeter, Driver, LinkStats, NetError, NetResult, NullMeter, RxFrame, SendHandle,
     StrategyDecision,
+};
+pub use fault::{
+    checksum32, DetRng, FaultEvent, FaultInjector, FaultPlan, FaultStats, FaultVerdict,
 };
 pub use lossy::{LossStats, LossyDriver};
 pub use mem::{mem_fabric, MemDriver};

@@ -7,38 +7,12 @@
 //! networks are lossless; plain Ethernet is not).
 
 use crate::driver::{Capabilities, Driver, NetResult, RxFrame, SendHandle};
+use crate::fault::{DetRng, FaultPlan, FaultStats};
 use nmad_sim::NodeId;
 
 /// Dropped sends get handles with this bit set so `test_send` can
 /// report them complete without consulting the inner driver.
 const DROPPED_BIT: u64 = 1 << 63;
-
-/// A tiny deterministic PRNG (xorshift64*), so the crate needs no RNG
-/// dependency and losses reproduce exactly from the seed.
-#[derive(Clone, Debug)]
-struct XorShift64 {
-    state: u64,
-}
-
-impl XorShift64 {
-    fn new(seed: u64) -> Self {
-        XorShift64 { state: seed.max(1) }
-    }
-
-    fn next(&mut self) -> u64 {
-        let mut x = self.state;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.state = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    }
-
-    /// Uniform in [0, 1).
-    fn next_unit(&mut self) -> f64 {
-        (self.next() >> 11) as f64 / (1u64 << 53) as f64
-    }
-}
 
 /// Loss-injection statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -52,7 +26,7 @@ pub struct LossStats {
 /// See the module documentation.
 pub struct LossyDriver<D> {
     inner: D,
-    rng: XorShift64,
+    rng: DetRng,
     loss_probability: f64,
     stats: LossStats,
 }
@@ -67,7 +41,7 @@ impl<D: Driver> LossyDriver<D> {
         );
         LossyDriver {
             inner,
-            rng: XorShift64::new(seed),
+            rng: DetRng::new(seed),
             loss_probability,
             stats: LossStats::default(),
         }
@@ -120,6 +94,14 @@ impl<D: Driver> Driver for LossyDriver<D> {
 
     fn pump(&mut self) -> NetResult<()> {
         self.inner.pump()
+    }
+
+    fn install_faults(&mut self, plan: FaultPlan) -> bool {
+        self.inner.install_faults(plan)
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        self.inner.fault_stats()
     }
 }
 

@@ -6,6 +6,7 @@
 //! sockets. Used by threaded integration tests and examples.
 
 use crate::driver::{Capabilities, Driver, NetError, NetResult, RxFrame, SendHandle};
+use crate::fault::{FaultInjector, FaultPlan, FaultStats, FaultVerdict};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use nmad_sim::NodeId;
 
@@ -16,6 +17,12 @@ pub struct MemDriver {
     peers: Vec<Option<Sender<RxFrame>>>,
     inbox: Receiver<RxFrame>,
     next_handle: u64,
+    /// The fabric has no clock; an installed fault plan is driven by a
+    /// frame counter as pseudo-time (event *N* fires at the *N*-th
+    /// posted frame).
+    faults: Option<FaultInjector>,
+    frames_posted: u64,
+    dead: bool,
 }
 
 /// Builds a fully-connected fabric of `n` endpoints.
@@ -48,6 +55,9 @@ pub fn mem_fabric(n: usize) -> Vec<MemDriver> {
                 .collect(),
             inbox,
             next_handle: 0,
+            faults: None,
+            frames_posted: 0,
+            dead: false,
         })
         .collect()
 }
@@ -62,6 +72,9 @@ impl Driver for MemDriver {
     }
 
     fn post_send(&mut self, dst: NodeId, iov: &[&[u8]]) -> NetResult<SendHandle> {
+        if self.dead {
+            return Err(NetError::Closed);
+        }
         let sender = self
             .peers
             .get(dst.index())
@@ -71,6 +84,24 @@ impl Driver for MemDriver {
         let mut payload = Vec::with_capacity(len);
         for seg in iov {
             payload.extend_from_slice(seg);
+        }
+        if let Some(inj) = &mut self.faults {
+            let pseudo_now = self.frames_posted;
+            self.frames_posted += 1;
+            match inj.on_post(pseudo_now, &mut payload) {
+                FaultVerdict::Dead => {
+                    self.dead = true;
+                    return Err(NetError::Closed);
+                }
+                FaultVerdict::Drop => {
+                    let handle = SendHandle(self.next_handle);
+                    self.next_handle += 1;
+                    return Ok(handle);
+                }
+                // The channel has no timeline to delay on; late
+                // delivery degenerates to on-time delivery.
+                FaultVerdict::Deliver { .. } => {}
+            }
         }
         sender
             .send(RxFrame {
@@ -103,6 +134,15 @@ impl Driver for MemDriver {
     fn tx_idle(&self) -> bool {
         true
     }
+
+    fn install_faults(&mut self, plan: FaultPlan) -> bool {
+        self.faults = Some(FaultInjector::new(plan));
+        true
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|f| f.stats()).unwrap_or_default()
+    }
 }
 
 #[cfg(test)]
@@ -127,6 +167,35 @@ mod tests {
         let mut fabric = mem_fabric(2);
         let err = fabric[0].post_send(NodeId(0), &[b"x"]).unwrap_err();
         assert!(matches!(err, NetError::Closed));
+    }
+
+    #[test]
+    fn fault_plan_runs_on_the_frame_counter() {
+        let mut fabric = mem_fabric(2);
+        // Frames 0 and 1 pass, frames 2..4 are in a link-down window,
+        // frame 4 onward the NIC is dead.
+        assert!(fabric[0].install_faults(FaultPlan::new(9).link_down(2, 4).nic_death(4)));
+        for _ in 0..2 {
+            fabric[0].post_send(NodeId(1), &[b"ok"]).unwrap();
+        }
+        for _ in 0..2 {
+            fabric[0].post_send(NodeId(1), &[b"lost"]).unwrap();
+        }
+        let err = fabric[0].post_send(NodeId(1), &[b"dead"]).unwrap_err();
+        assert!(matches!(err, NetError::Closed));
+        let mut delivered = Vec::new();
+        while let Some(f) = fabric[1].poll_recv().unwrap() {
+            delivered.push(f.payload);
+        }
+        assert_eq!(delivered, vec![b"ok".to_vec(), b"ok".to_vec()]);
+        let stats = fabric[0].fault_stats();
+        assert_eq!(stats.link_down_drops, 2);
+        assert_eq!(stats.dead_posts, 1);
+        // Death is sticky even without consulting the injector again.
+        assert!(matches!(
+            fabric[0].post_send(NodeId(1), &[b"still dead"]),
+            Err(NetError::Closed)
+        ));
     }
 
     #[test]

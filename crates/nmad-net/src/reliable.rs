@@ -22,14 +22,24 @@
 //! optional wakeup hook so a simulated clock knows to stop at the
 //! retransmission deadline.
 
+use crate::backoff::BackoffPolicy;
 use crate::driver::{Capabilities, Driver, LinkStats, NetResult, RxFrame, SendHandle};
+use crate::fault::{checksum32, FaultPlan, FaultStats};
 use nmad_sim::NodeId;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
-/// kind (1) + seq (4) + ack (4).
-const HEADER_LEN: usize = 9;
-const KIND_DATA: u8 = 1;
-const KIND_ACK: u8 = 2;
+/// Decorator header: kind (1) + seq (4) + ack (4) + checksum (4).
+/// Public so harnesses can peel the header off captured frames.
+pub const HEADER_LEN: usize = 13;
+/// Frame kind: data carrying an engine frame as payload.
+pub const KIND_DATA: u8 = 1;
+/// Frame kind: standalone cumulative acknowledgement.
+pub const KIND_ACK: u8 = 2;
+
+/// Consecutive timeouts double the retransmission timeout up to this
+/// multiple of the base RTO (exponential backoff; reset on ack
+/// progress).
+const RTO_BACKOFF_CAP: u64 = 32;
 
 /// Cap on buffered out-of-order frames per peer (go-back-N resends
 /// everything anyway; the buffer only saves bandwidth).
@@ -50,6 +60,9 @@ pub struct ReliableStats {
     pub duplicates_dropped: u64,
     /// Standalone ack frames sent.
     pub acks_sent: u64,
+    /// Frames discarded because their checksum did not verify
+    /// (corruption on the wire).
+    pub corrupt_dropped: u64,
 }
 
 #[derive(Default)]
@@ -60,6 +73,9 @@ struct PeerState {
     unacked: VecDeque<(u32, Vec<u8>)>,
     last_tx_ns: u64,
     last_ack_seen: u32,
+    /// Consecutive retransmission timeouts without ack progress; feeds
+    /// the exponential backoff of this peer's effective RTO.
+    rto_attempt: u32,
     // --- receiver side ---
     next_rx_seq: u32,
     out_of_order: BTreeMap<u32, Vec<u8>>,
@@ -88,8 +104,17 @@ fn encode(kind: u8, seq: u32, ack: u32, payload: &[u8]) -> Vec<u8> {
     out.push(kind);
     out.extend_from_slice(&seq.to_le_bytes());
     out.extend_from_slice(&ack.to_le_bytes());
+    let crc = checksum32(&[&out[..9], payload]);
+    out.extend_from_slice(&crc.to_le_bytes());
     out.extend_from_slice(payload);
     out
+}
+
+/// Verifies a received decorator frame's checksum.
+fn verify(frame: &[u8]) -> bool {
+    debug_assert!(frame.len() >= HEADER_LEN);
+    let stamped = u32::from_le_bytes(frame[9..13].try_into().expect("4"));
+    stamped == checksum32(&[&frame[..9], &frame[HEADER_LEN..]])
 }
 
 impl<D: Driver> ReliableDriver<D> {
@@ -138,6 +163,13 @@ impl<D: Driver> ReliableDriver<D> {
         }
     }
 
+    /// Effective RTO after `attempt` consecutive timeouts: the shared
+    /// exponential-backoff schedule over the base RTO.
+    fn rto_for(&self, attempt: u32) -> u64 {
+        BackoffPolicy::new(self.rto_ns, self.rto_ns.saturating_mul(RTO_BACKOFF_CAP))
+            .delay_for(attempt)
+    }
+
     fn reap_inner_handles(&mut self) -> NetResult<()> {
         for _ in 0..self.inner_handles.len() {
             let h = self.inner_handles.pop_front().expect("len checked");
@@ -167,12 +199,16 @@ impl<D: Driver> ReliableDriver<D> {
         if count == 0 {
             return Ok(());
         }
-        self.peers.get_mut(&dst).expect("present").last_tx_ns = now;
+        let attempt = {
+            let peer = self.peers.get_mut(&dst).expect("present");
+            peer.last_tx_ns = now;
+            peer.rto_attempt
+        };
         for (_, frame) in frames {
             self.send_raw(dst, &frame)?;
         }
         self.stats.retransmits += count;
-        self.arm_timer(now + self.rto_ns);
+        self.arm_timer(now + self.rto_for(attempt));
         Ok(())
     }
 
@@ -195,6 +231,11 @@ impl<D: Driver> ReliableDriver<D> {
                 peer.unacked.pop_front();
             }
             let advanced = peer.unacked.len() != before;
+            if advanced {
+                // Ack progress: the next timeout starts over at the
+                // base RTO.
+                peer.rto_attempt = 0;
+            }
             let dup = !advanced && ack == peer.last_ack_seen && !peer.unacked.is_empty();
             peer.last_ack_seen = ack;
             (peer.unacked.is_empty(), dup)
@@ -251,17 +292,21 @@ impl<D: Driver> Driver for ReliableDriver<D> {
     fn post_send(&mut self, dst: NodeId, iov: &[&[u8]]) -> NetResult<SendHandle> {
         let payload: Vec<u8> = iov.concat();
         let now = (self.now)();
-        let (seq, frame) = {
+        let (seq, frame, attempt) = {
             let peer = self.peers.entry(dst).or_default();
             let seq = peer.next_tx_seq;
             peer.next_tx_seq += 1;
             peer.unacked.push_back((seq, payload.clone()));
             peer.last_tx_ns = now;
-            (seq, encode(KIND_DATA, seq, peer.next_rx_seq, &payload))
+            (
+                seq,
+                encode(KIND_DATA, seq, peer.next_rx_seq, &payload),
+                peer.rto_attempt,
+            )
         };
         self.send_raw(dst, &frame)?;
         self.stats.data_sent += 1;
-        self.arm_timer(now + self.rto_ns);
+        self.arm_timer(now + self.rto_for(attempt));
         let handle = SendHandle(self.next_handle);
         self.next_handle += 1;
         self.pending.insert(handle, (dst, seq));
@@ -301,6 +346,12 @@ impl<D: Driver> Driver for ReliableDriver<D> {
             if frame.payload.len() < HEADER_LEN {
                 continue; // not ours; drop (corrupt or foreign)
             }
+            if !verify(&frame.payload) {
+                // Bit rot on the wire: drop the whole frame; the
+                // sender's window retransmits it intact.
+                self.stats.corrupt_dropped += 1;
+                continue;
+            }
             let kind = frame.payload[0];
             let seq = u32::from_le_bytes(frame.payload[1..5].try_into().expect("4"));
             let ack = u32::from_le_bytes(frame.payload[5..9].try_into().expect("4"));
@@ -321,21 +372,35 @@ impl<D: Driver> Driver for ReliableDriver<D> {
             self.send_ack(dst)?;
         }
 
-        // Retransmission timeouts.
+        // Retransmission timeouts, each peer judged against its own
+        // backed-off RTO.
         let now = (self.now)();
         let expired: Vec<NodeId> = self
             .peers
             .iter()
             .filter(|&(_, p)| {
-                !p.unacked.is_empty() && now.saturating_sub(p.last_tx_ns) >= self.rto_ns
+                !p.unacked.is_empty()
+                    && now.saturating_sub(p.last_tx_ns) >= self.rto_for(p.rto_attempt)
             })
             .map(|(&n, _)| n)
             .collect();
         for dst in expired {
             self.stats.timeouts += 1;
+            // Another consecutive timeout: back the RTO off before the
+            // retransmission arms the next timer.
+            let peer = self.peers.get_mut(&dst).expect("expired implies present");
+            peer.rto_attempt = peer.rto_attempt.saturating_add(1);
             self.retransmit_all(dst)?;
         }
         Ok(())
+    }
+
+    fn install_faults(&mut self, plan: FaultPlan) -> bool {
+        self.inner.install_faults(plan)
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        self.inner.fault_stats()
     }
 }
 
@@ -458,6 +523,77 @@ mod tests {
         assert_eq!(a.link_stats().retransmits, 0, "lossless path");
         // Counters stack on top of the inner driver's (mem driver: zero).
         assert_eq!(b.link_stats().acks, b.stats().acks_sent);
+    }
+
+    #[test]
+    fn injected_corruption_is_detected_and_recovered() {
+        let mut fabric = mem_fabric(2);
+        let b_raw = fabric.pop().expect("pair");
+        let mut a_raw = fabric.pop().expect("pair");
+        // Corrupt ~half of a→b frames (mem pseudo-time = frame count).
+        assert!(a_raw.install_faults(FaultPlan::new(0xC0).with_corrupt_probability(0.5)));
+        let (ta, clk_a) = test_clock();
+        let (_, clk_b) = test_clock();
+        let mut a = wrap(a_raw, clk_a);
+        let mut b = wrap(b_raw, clk_b);
+        for i in 0..30u8 {
+            a.post_send(NodeId(1), &[&[i; 16]]).unwrap();
+        }
+        let mut got = Vec::new();
+        for round in 0..10_000 {
+            ta.fetch_add(2_000_000, Ordering::Relaxed);
+            a.pump().unwrap();
+            b.pump().unwrap();
+            while let Some(f) = b.poll_recv().unwrap() {
+                assert_eq!(f.payload, vec![got.len() as u8; 16], "order and content");
+                got.push(f.payload[0]);
+            }
+            if got.len() == 30 {
+                break;
+            }
+            assert!(round < 9_999, "did not recover: got {} of 30", got.len());
+        }
+        assert!(
+            b.stats().corrupt_dropped > 0,
+            "checksum must catch the injected flips: {:?}",
+            b.stats()
+        );
+        assert!(a.fault_stats().corrupted > 0);
+    }
+
+    #[test]
+    fn rto_backs_off_exponentially_and_resets_on_progress() {
+        let mut fabric = mem_fabric(2);
+        let _b_raw = fabric.pop().expect("pair");
+        let a_raw = fabric.pop().expect("pair");
+        let (ta, clk_a) = test_clock();
+        // b never pumps: no acks ever come back.
+        let mut a = wrap(a_raw, clk_a);
+        a.post_send(NodeId(1), &[b"never acked"]).unwrap();
+        // Base RTO is 1ms. Walk time forward in base-RTO steps: with
+        // exponential backoff, later timeouts need more steps to fire.
+        let mut timeouts_at = Vec::new();
+        for step in 0..64u64 {
+            ta.fetch_add(1_000_000, Ordering::Relaxed);
+            let before = a.stats().timeouts;
+            a.pump().unwrap();
+            if a.stats().timeouts > before {
+                timeouts_at.push(step);
+            }
+        }
+        assert!(
+            timeouts_at.len() >= 3,
+            "several timeouts must fire in 64ms: {timeouts_at:?}"
+        );
+        let gaps: Vec<u64> = timeouts_at.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(
+            gaps.windows(2).all(|w| w[1] >= w[0]),
+            "gaps must be non-decreasing: {gaps:?}"
+        );
+        assert!(
+            *gaps.last().unwrap() > *gaps.first().unwrap(),
+            "backoff must actually grow: {gaps:?}"
+        );
     }
 
     #[test]

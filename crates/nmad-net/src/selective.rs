@@ -7,16 +7,28 @@
 //! frames, and only frames whose own timer expires are retransmitted.
 //! The lossy-fabric study (`bench --bin lossy`) compares the two.
 //!
-//! Wire format per frame: `kind (1) + seq (4) + payload`, where an ack
-//! frame's `seq` names the acknowledged data frame.
+//! Wire format per frame: `kind (1) + seq (4) + checksum (4) +
+//! payload`, where an ack frame's `seq` names the acknowledged data
+//! frame. The checksum ([`checksum32`]) covers the rest of the frame;
+//! frames that fail to verify are dropped and recovered by each
+//! frame's own retransmission timer, which backs off exponentially
+//! per attempt (shared [`BackoffPolicy`] schedule).
 
+use crate::backoff::BackoffPolicy;
 use crate::driver::{Capabilities, Driver, NetResult, RxFrame, SendHandle};
+use crate::fault::{checksum32, FaultPlan, FaultStats};
 use nmad_sim::NodeId;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
-const HEADER_LEN: usize = 5;
-const KIND_DATA: u8 = 1;
-const KIND_ACK: u8 = 2;
+/// Decorator header: kind (1) + seq (4) + checksum (4).
+pub const HEADER_LEN: usize = 9;
+/// Frame kind: data carrying an engine frame as payload.
+pub const KIND_DATA: u8 = 1;
+/// Frame kind: individual acknowledgement of one data frame.
+pub const KIND_ACK: u8 = 2;
+
+/// Per-frame retransmission backoff cap, as a multiple of the base RTO.
+const RTO_BACKOFF_CAP: u64 = 32;
 
 /// Bound on receiver-side out-of-order buffering per peer.
 const REORDER_WINDOW: usize = 1024;
@@ -32,11 +44,16 @@ pub struct SelectiveStats {
     pub acks_sent: u64,
     /// Duplicate data frames discarded at the receiver.
     pub duplicates_dropped: u64,
+    /// Frames discarded because their checksum did not verify.
+    pub corrupt_dropped: u64,
 }
 
 struct Outstanding {
     payload: Vec<u8>,
     last_tx_ns: u64,
+    /// Times this frame's own timer has expired; feeds its
+    /// exponentially backed-off RTO.
+    attempt: u32,
 }
 
 #[derive(Default)]
@@ -67,8 +84,17 @@ fn encode(kind: u8, seq: u32, payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
     out.push(kind);
     out.extend_from_slice(&seq.to_le_bytes());
+    let crc = checksum32(&[&out[..5], payload]);
+    out.extend_from_slice(&crc.to_le_bytes());
     out.extend_from_slice(payload);
     out
+}
+
+/// Verifies a received decorator frame's checksum.
+fn verify(frame: &[u8]) -> bool {
+    debug_assert!(frame.len() >= HEADER_LEN);
+    let stamped = u32::from_le_bytes(frame[5..9].try_into().expect("4"));
+    stamped == checksum32(&[&frame[..5], &frame[HEADER_LEN..]])
 }
 
 impl<D: Driver> SelectiveDriver<D> {
@@ -173,6 +199,7 @@ impl<D: Driver> Driver for SelectiveDriver<D> {
                 Outstanding {
                     payload: payload.clone(),
                     last_tx_ns: now,
+                    attempt: 0,
                 },
             );
             (seq, encode(KIND_DATA, seq, &payload))
@@ -211,6 +238,10 @@ impl<D: Driver> Driver for SelectiveDriver<D> {
             if frame.payload.len() < HEADER_LEN {
                 continue;
             }
+            if !verify(&frame.payload) {
+                self.stats.corrupt_dropped += 1;
+                continue;
+            }
             let kind = frame.payload[0];
             let seq = u32::from_le_bytes(frame.payload[1..5].try_into().expect("4"));
             match kind {
@@ -242,25 +273,40 @@ impl<D: Driver> Driver for SelectiveDriver<D> {
             }
         }
 
-        // Per-frame retransmission timers.
+        // Per-frame retransmission timers, each with its own
+        // exponentially backed-off deadline (shared backoff schedule,
+        // capped at RTO_BACKOFF_CAP × the base RTO).
         let now = (self.now)();
+        let policy = BackoffPolicy::new(self.rto_ns, self.rto_ns.saturating_mul(RTO_BACKOFF_CAP));
         let mut resends: Vec<(NodeId, Vec<u8>)> = Vec::new();
+        let mut next_deadline: Option<u64> = None;
         for (&dst, peer) in &mut self.peers {
             for (&seq, out) in &mut peer.unacked {
-                if now.saturating_sub(out.last_tx_ns) >= self.rto_ns {
+                if now.saturating_sub(out.last_tx_ns) >= policy.delay_for(out.attempt) {
                     out.last_tx_ns = now;
+                    out.attempt = out.attempt.saturating_add(1);
                     resends.push((dst, encode(KIND_DATA, seq, &out.payload)));
                 }
+                let deadline = out.last_tx_ns.saturating_add(policy.delay_for(out.attempt));
+                next_deadline = Some(next_deadline.map_or(deadline, |d| d.min(deadline)));
             }
         }
-        if !resends.is_empty() {
-            self.arm_timer(now + self.rto_ns);
+        if let Some(deadline) = next_deadline {
+            self.arm_timer(deadline);
         }
         for (dst, frame) in resends {
             self.send_raw(dst, &frame)?;
             self.stats.retransmits += 1;
         }
         Ok(())
+    }
+
+    fn install_faults(&mut self, plan: FaultPlan) -> bool {
+        self.inner.install_faults(plan)
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        self.inner.fault_stats()
     }
 }
 
@@ -338,6 +384,75 @@ mod tests {
         assert!(
             retx < 3 * lost + 6,
             "selective repeat resent {retx} for {lost} losses"
+        );
+    }
+
+    #[test]
+    fn injected_corruption_is_detected_and_recovered() {
+        let mut fabric = mem_fabric(2);
+        let b_raw = fabric.pop().expect("pair");
+        let mut a_raw = fabric.pop().expect("pair");
+        // Flip one bit in roughly half of a's outgoing frames.
+        assert!(a_raw.install_faults(FaultPlan::new(0xC0).with_corrupt_probability(0.5)));
+        let (ta, clk_a) = test_clock();
+        let (_, clk_b) = test_clock();
+        let mut a = SelectiveDriver::new(a_raw, clk_a, None, 500_000);
+        let mut b = SelectiveDriver::new(b_raw, clk_b, None, 500_000);
+        let n = 30u8;
+        for i in 0..n {
+            a.post_send(NodeId(1), &[&[i; 16]]).unwrap();
+        }
+        let mut got = Vec::new();
+        for _ in 0..100_000 {
+            ta.fetch_add(2_000_000, Ordering::Relaxed);
+            a.pump().unwrap();
+            b.pump().unwrap();
+            while let Some(f) = b.poll_recv().unwrap() {
+                got.push(f.payload.clone());
+            }
+            if got.len() == n as usize {
+                break;
+            }
+        }
+        assert_eq!(got.len(), n as usize, "all frames recovered");
+        for (i, payload) in got.iter().enumerate() {
+            assert_eq!(payload, &vec![i as u8; 16], "in-order, uncorrupted content");
+        }
+        let corrupted_on_wire = a.fault_stats().corrupted;
+        assert!(corrupted_on_wire > 0, "the plan must have corrupted frames");
+        // Corrupted data frames land at b; corrupted acks land back at a.
+        assert!(
+            a.stats().corrupt_dropped + b.stats().corrupt_dropped > 0,
+            "checksum must have caught corruption"
+        );
+    }
+
+    #[test]
+    fn per_frame_rto_backs_off_exponentially() {
+        let mut fabric = mem_fabric(2);
+        let _b_raw = fabric.pop().expect("pair");
+        let a_raw = fabric.pop().expect("pair");
+        let (ta, clk_a) = test_clock();
+        // No peer ever pumps, so the single frame times out repeatedly.
+        let mut a = SelectiveDriver::new(a_raw, clk_a, None, 1_000_000);
+        a.post_send(NodeId(1), &[b"lonely"]).unwrap();
+        let mut timeout_steps = Vec::new();
+        for step in 0..64u64 {
+            ta.fetch_add(1_000_000, Ordering::Relaxed);
+            let before = a.stats().retransmits;
+            a.pump().unwrap();
+            if a.stats().retransmits > before {
+                timeout_steps.push(step);
+            }
+        }
+        assert!(timeout_steps.len() >= 3, "expected several timeouts");
+        let gaps: Vec<u64> = timeout_steps.windows(2).map(|w| w[1] - w[0]).collect();
+        for pair in gaps.windows(2) {
+            assert!(pair[1] >= pair[0], "gaps must not shrink: {gaps:?}");
+        }
+        assert!(
+            gaps.last().expect("gaps") > gaps.first().expect("gaps"),
+            "backoff must actually grow: {gaps:?}"
         );
     }
 

@@ -12,6 +12,7 @@ use crate::driver::{
     Capabilities, CpuMeter, Driver, LinkStats, NetError, NetResult, RxFrame, SendHandle,
     StrategyDecision,
 };
+use crate::fault::{FaultInjector, FaultPlan, FaultStats, FaultVerdict};
 use nmad_sim::{NodeId, RailId, SendToken, SharedWorld, SimDuration, SimTime};
 use std::collections::HashMap;
 
@@ -23,6 +24,7 @@ pub struct SimDriver {
     caps: Capabilities,
     next_handle: u64,
     tokens: HashMap<SendHandle, SendToken>,
+    faults: Option<FaultInjector>,
 }
 
 impl SimDriver {
@@ -40,6 +42,7 @@ impl SimDriver {
             caps,
             next_handle: 0,
             tokens: HashMap::new(),
+            faults: None,
         }
     }
 
@@ -97,10 +100,34 @@ impl Driver for SimDriver {
         for seg in iov {
             frame.extend_from_slice(seg);
         }
-        let token = self
-            .world
-            .lock()
-            .post_send(self.node, self.rail, dst, frame);
+        // An installed fault plan judges the frame just before the wire.
+        let mut extra_delay = SimDuration::ZERO;
+        if let Some(inj) = &mut self.faults {
+            let now_ns = self.world.lock().now().as_ns();
+            match inj.on_post(now_ns, &mut frame) {
+                FaultVerdict::Dead => {
+                    // The NIC died: tear the rail down in the world so
+                    // every layer (tx_idle, future posts, in-flight
+                    // delivery) sees the same death, and refuse.
+                    self.world.lock().fail_rail(self.node, self.rail);
+                    return Err(NetError::Closed);
+                }
+                FaultVerdict::Drop => {
+                    // Swallow the frame but report a completed send:
+                    // a handle with no token tests complete at once.
+                    let handle = SendHandle(self.next_handle);
+                    self.next_handle += 1;
+                    return Ok(handle);
+                }
+                FaultVerdict::Deliver { extra_delay_ns } => {
+                    extra_delay = SimDuration::from_ns(extra_delay_ns);
+                }
+            }
+        }
+        let token =
+            self.world
+                .lock()
+                .post_send_delayed(self.node, self.rail, dst, frame, extra_delay);
         let handle = SendHandle(self.next_handle);
         self.next_handle += 1;
         self.tokens.insert(handle, token);
@@ -152,6 +179,15 @@ impl Driver for SimDriver {
             retransmits: 0,
             acks: 0,
         }
+    }
+
+    fn install_faults(&mut self, plan: FaultPlan) -> bool {
+        self.faults = Some(FaultInjector::new(plan));
+        true
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|f| f.stats()).unwrap_or_default()
     }
 }
 
@@ -294,6 +330,51 @@ mod tests {
         let trace = world.lock().take_trace();
         assert_eq!(trace.decisions(), 1);
         assert_eq!(trace.decision_entries_for(NodeId(0)), 5);
+    }
+
+    #[test]
+    fn fault_drop_swallows_the_frame_but_completes_the_send() {
+        let (world, mut a, mut b) = pair();
+        assert!(a.install_faults(FaultPlan::new(1).link_down(0, u64::MAX)));
+        let h = a.post_send(NodeId(1), &[b"vanishes"]).unwrap();
+        assert!(a.test_send(h).unwrap(), "dropped sends complete at once");
+        settle(&world);
+        assert!(b.poll_recv().unwrap().is_none(), "frame must be swallowed");
+        assert_eq!(a.fault_stats().link_down_drops, 1);
+    }
+
+    #[test]
+    fn fault_death_tears_the_rail_down() {
+        let (world, mut a, _b) = pair();
+        assert!(a.install_faults(FaultPlan::new(1).nic_death(0)));
+        let err = a.post_send(NodeId(1), &[b"x"]).unwrap_err();
+        assert!(matches!(err, NetError::Closed));
+        assert!(world.lock().rail_failed(NodeId(0), RailId(0)));
+        // Subsequent posts are refused by the failed rail itself.
+        let err = a.post_send(NodeId(1), &[b"y"]).unwrap_err();
+        assert!(matches!(err, NetError::Closed));
+        assert_eq!(a.fault_stats().dead_posts, 1);
+    }
+
+    #[test]
+    fn fault_latency_spike_delays_delivery() {
+        let (world, mut a, mut b) = pair();
+        let extra = 10_000_000;
+        assert!(a.install_faults(FaultPlan::new(1).latency_spike(0, u64::MAX, extra)));
+        a.post_send(NodeId(1), &[b"slow"]).unwrap();
+        let mut delivered_at = None;
+        for _ in 0..64 {
+            if let Some(_f) = b.poll_recv().unwrap() {
+                delivered_at = Some(world.lock().now().as_ns());
+                break;
+            }
+            if world.lock().advance().is_none() {
+                break;
+            }
+        }
+        let at = delivered_at.expect("frame still delivered");
+        assert!(at >= extra, "delivery at {at} ns, expected ≥ {extra} ns");
+        assert_eq!(a.fault_stats().delayed, 1);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! operations are non-blocking: buffered bytes move during
 //! [`Driver::pump`], which both `poll_recv` and `test_send` invoke.
 
+use crate::backoff::{Backoff, BackoffPolicy};
 use crate::driver::{Capabilities, Driver, NetError, NetResult, RxFrame, SendHandle};
 use nmad_sim::NodeId;
 use std::collections::{HashMap, VecDeque};
@@ -95,6 +96,7 @@ impl TcpDriver {
         let deadline = Instant::now() + timeout;
         let mut accepted = 0;
         listener.set_nonblocking(true)?;
+        let mut backoff = Backoff::new(ACCEPT_BACKOFF);
         while accepted < expected {
             match listener.accept() {
                 Ok((mut stream, _)) => {
@@ -110,6 +112,7 @@ impl TcpDriver {
                     }
                     peers[peer] = Some(PeerConn::new(stream)?);
                     accepted += 1;
+                    backoff.reset();
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
                     if Instant::now() > deadline {
@@ -118,7 +121,7 @@ impl TcpDriver {
                             "peers did not connect in time",
                         )));
                     }
-                    std::thread::sleep(Duration::from_millis(2));
+                    backoff.sleep();
                 }
                 Err(e) => return Err(e.into()),
             }
@@ -224,8 +227,15 @@ impl TcpDriver {
     }
 }
 
+/// Accept-loop poll schedule: 500 µs doubling to 10 ms.
+const ACCEPT_BACKOFF: BackoffPolicy = BackoffPolicy::new(500_000, 10_000_000);
+/// Connect-retry schedule: 1 ms doubling to 50 ms (the peer's listener
+/// may not be up yet; later attempts wait longer).
+const CONNECT_BACKOFF: BackoffPolicy = BackoffPolicy::new(1_000_000, 50_000_000);
+
 fn connect_retry(addr: SocketAddr, timeout: Duration) -> NetResult<TcpStream> {
     let deadline = Instant::now() + timeout;
+    let mut backoff = Backoff::new(CONNECT_BACKOFF);
     loop {
         match TcpStream::connect(addr) {
             Ok(s) => return Ok(s),
@@ -233,7 +243,7 @@ fn connect_retry(addr: SocketAddr, timeout: Duration) -> NetResult<TcpStream> {
                 if Instant::now() > deadline {
                     return Err(e.into());
                 }
-                std::thread::sleep(Duration::from_millis(5));
+                backoff.sleep();
             }
         }
     }
@@ -325,12 +335,13 @@ mod tests {
 
     fn recv_blocking(d: &mut TcpDriver) -> RxFrame {
         let deadline = Instant::now() + Duration::from_secs(5);
+        let mut backoff = Backoff::new(BackoffPolicy::new(50_000, 1_000_000));
         loop {
             if let Some(f) = d.poll_recv().unwrap() {
                 return f;
             }
             assert!(Instant::now() < deadline, "timed out waiting for frame");
-            std::thread::sleep(Duration::from_micros(100));
+            backoff.sleep();
         }
     }
 

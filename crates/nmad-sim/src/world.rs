@@ -281,6 +281,21 @@ impl SimWorld {
         dst: NodeId,
         payload: Vec<u8>,
     ) -> SendToken {
+        self.post_send_delayed(src, rail, dst, payload, SimDuration::ZERO)
+    }
+
+    /// Like [`post_send`](Self::post_send), but delivered `extra`
+    /// later than the model's latency (fault-injected latency spike).
+    /// The transmit side is unaffected: the wire occupancy and the
+    /// sender's completion point are those of a normal send.
+    pub fn post_send_delayed(
+        &mut self,
+        src: NodeId,
+        rail: RailId,
+        dst: NodeId,
+        payload: Vec<u8>,
+        extra: SimDuration,
+    ) -> SendToken {
         assert!(src.index() < self.nodes.len(), "bad src {src}");
         assert!(dst.index() < self.nodes.len(), "bad dst {dst}");
         assert_ne!(
@@ -308,7 +323,7 @@ impl SimWorld {
         let rail_state = &mut self.nodes[src.index()].rails[rail.index()];
         let start = cpu_done.max(rail_state.tx_busy_until).max(self.now);
         let tx_end = start + wire;
-        let deliver_at = tx_end + latency;
+        let deliver_at = tx_end + latency + extra;
         rail_state.tx_busy_until = tx_end;
         rail_state.tx_busy_total += wire;
 

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-6c8fdd0e7483e1eb.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-6c8fdd0e7483e1eb: tests/chaos.rs
+
+tests/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_soak-5c6df09be6179ac6.d: crates/bench/src/bin/chaos_soak.rs
+
+/root/repo/target/debug/deps/chaos_soak-5c6df09be6179ac6: crates/bench/src/bin/chaos_soak.rs
+
+crates/bench/src/bin/chaos_soak.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_soak-ab08fe5480ac56e2.d: crates/bench/src/bin/chaos_soak.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_soak-ab08fe5480ac56e2.rmeta: crates/bench/src/bin/chaos_soak.rs Cargo.toml
+
+crates/bench/src/bin/chaos_soak.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

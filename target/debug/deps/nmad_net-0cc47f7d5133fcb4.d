@@ -1,9 +1,11 @@
-/root/repo/target/debug/deps/nmad_net-0cc47f7d5133fcb4.d: crates/nmad-net/src/lib.rs crates/nmad-net/src/driver.rs crates/nmad-net/src/lossy.rs crates/nmad-net/src/mem.rs crates/nmad-net/src/reliable.rs crates/nmad-net/src/selective.rs crates/nmad-net/src/sim.rs crates/nmad-net/src/tcp.rs Cargo.toml
+/root/repo/target/debug/deps/nmad_net-0cc47f7d5133fcb4.d: crates/nmad-net/src/lib.rs crates/nmad-net/src/backoff.rs crates/nmad-net/src/driver.rs crates/nmad-net/src/fault.rs crates/nmad-net/src/lossy.rs crates/nmad-net/src/mem.rs crates/nmad-net/src/reliable.rs crates/nmad-net/src/selective.rs crates/nmad-net/src/sim.rs crates/nmad-net/src/tcp.rs Cargo.toml
 
-/root/repo/target/debug/deps/libnmad_net-0cc47f7d5133fcb4.rmeta: crates/nmad-net/src/lib.rs crates/nmad-net/src/driver.rs crates/nmad-net/src/lossy.rs crates/nmad-net/src/mem.rs crates/nmad-net/src/reliable.rs crates/nmad-net/src/selective.rs crates/nmad-net/src/sim.rs crates/nmad-net/src/tcp.rs Cargo.toml
+/root/repo/target/debug/deps/libnmad_net-0cc47f7d5133fcb4.rmeta: crates/nmad-net/src/lib.rs crates/nmad-net/src/backoff.rs crates/nmad-net/src/driver.rs crates/nmad-net/src/fault.rs crates/nmad-net/src/lossy.rs crates/nmad-net/src/mem.rs crates/nmad-net/src/reliable.rs crates/nmad-net/src/selective.rs crates/nmad-net/src/sim.rs crates/nmad-net/src/tcp.rs Cargo.toml
 
 crates/nmad-net/src/lib.rs:
+crates/nmad-net/src/backoff.rs:
 crates/nmad-net/src/driver.rs:
+crates/nmad-net/src/fault.rs:
 crates/nmad-net/src/lossy.rs:
 crates/nmad-net/src/mem.rs:
 crates/nmad-net/src/reliable.rs:

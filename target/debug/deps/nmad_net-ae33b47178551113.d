@@ -1,9 +1,11 @@
-/root/repo/target/debug/deps/nmad_net-ae33b47178551113.d: crates/nmad-net/src/lib.rs crates/nmad-net/src/driver.rs crates/nmad-net/src/lossy.rs crates/nmad-net/src/mem.rs crates/nmad-net/src/reliable.rs crates/nmad-net/src/selective.rs crates/nmad-net/src/sim.rs crates/nmad-net/src/tcp.rs
+/root/repo/target/debug/deps/nmad_net-ae33b47178551113.d: crates/nmad-net/src/lib.rs crates/nmad-net/src/backoff.rs crates/nmad-net/src/driver.rs crates/nmad-net/src/fault.rs crates/nmad-net/src/lossy.rs crates/nmad-net/src/mem.rs crates/nmad-net/src/reliable.rs crates/nmad-net/src/selective.rs crates/nmad-net/src/sim.rs crates/nmad-net/src/tcp.rs
 
-/root/repo/target/debug/deps/nmad_net-ae33b47178551113: crates/nmad-net/src/lib.rs crates/nmad-net/src/driver.rs crates/nmad-net/src/lossy.rs crates/nmad-net/src/mem.rs crates/nmad-net/src/reliable.rs crates/nmad-net/src/selective.rs crates/nmad-net/src/sim.rs crates/nmad-net/src/tcp.rs
+/root/repo/target/debug/deps/nmad_net-ae33b47178551113: crates/nmad-net/src/lib.rs crates/nmad-net/src/backoff.rs crates/nmad-net/src/driver.rs crates/nmad-net/src/fault.rs crates/nmad-net/src/lossy.rs crates/nmad-net/src/mem.rs crates/nmad-net/src/reliable.rs crates/nmad-net/src/selective.rs crates/nmad-net/src/sim.rs crates/nmad-net/src/tcp.rs
 
 crates/nmad-net/src/lib.rs:
+crates/nmad-net/src/backoff.rs:
 crates/nmad-net/src/driver.rs:
+crates/nmad-net/src/fault.rs:
 crates/nmad-net/src/lossy.rs:
 crates/nmad-net/src/mem.rs:
 crates/nmad-net/src/reliable.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos_soak-c60577af50ff98f3.d: crates/bench/src/bin/chaos_soak.rs
+
+/root/repo/target/release/deps/chaos_soak-c60577af50ff98f3: crates/bench/src/bin/chaos_soak.rs
+
+crates/bench/src/bin/chaos_soak.rs:

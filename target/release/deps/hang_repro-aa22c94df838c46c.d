@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hang_repro-aa22c94df838c46c.d: tests/hang_repro.rs
+
+/root/repo/target/release/deps/hang_repro-aa22c94df838c46c: tests/hang_repro.rs
+
+tests/hang_repro.rs:

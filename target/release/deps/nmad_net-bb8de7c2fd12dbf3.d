@@ -1,11 +1,13 @@
-/root/repo/target/release/deps/nmad_net-bb8de7c2fd12dbf3.d: crates/nmad-net/src/lib.rs crates/nmad-net/src/driver.rs crates/nmad-net/src/lossy.rs crates/nmad-net/src/mem.rs crates/nmad-net/src/reliable.rs crates/nmad-net/src/selective.rs crates/nmad-net/src/sim.rs crates/nmad-net/src/tcp.rs
+/root/repo/target/release/deps/nmad_net-bb8de7c2fd12dbf3.d: crates/nmad-net/src/lib.rs crates/nmad-net/src/backoff.rs crates/nmad-net/src/driver.rs crates/nmad-net/src/fault.rs crates/nmad-net/src/lossy.rs crates/nmad-net/src/mem.rs crates/nmad-net/src/reliable.rs crates/nmad-net/src/selective.rs crates/nmad-net/src/sim.rs crates/nmad-net/src/tcp.rs
 
-/root/repo/target/release/deps/libnmad_net-bb8de7c2fd12dbf3.rlib: crates/nmad-net/src/lib.rs crates/nmad-net/src/driver.rs crates/nmad-net/src/lossy.rs crates/nmad-net/src/mem.rs crates/nmad-net/src/reliable.rs crates/nmad-net/src/selective.rs crates/nmad-net/src/sim.rs crates/nmad-net/src/tcp.rs
+/root/repo/target/release/deps/libnmad_net-bb8de7c2fd12dbf3.rlib: crates/nmad-net/src/lib.rs crates/nmad-net/src/backoff.rs crates/nmad-net/src/driver.rs crates/nmad-net/src/fault.rs crates/nmad-net/src/lossy.rs crates/nmad-net/src/mem.rs crates/nmad-net/src/reliable.rs crates/nmad-net/src/selective.rs crates/nmad-net/src/sim.rs crates/nmad-net/src/tcp.rs
 
-/root/repo/target/release/deps/libnmad_net-bb8de7c2fd12dbf3.rmeta: crates/nmad-net/src/lib.rs crates/nmad-net/src/driver.rs crates/nmad-net/src/lossy.rs crates/nmad-net/src/mem.rs crates/nmad-net/src/reliable.rs crates/nmad-net/src/selective.rs crates/nmad-net/src/sim.rs crates/nmad-net/src/tcp.rs
+/root/repo/target/release/deps/libnmad_net-bb8de7c2fd12dbf3.rmeta: crates/nmad-net/src/lib.rs crates/nmad-net/src/backoff.rs crates/nmad-net/src/driver.rs crates/nmad-net/src/fault.rs crates/nmad-net/src/lossy.rs crates/nmad-net/src/mem.rs crates/nmad-net/src/reliable.rs crates/nmad-net/src/selective.rs crates/nmad-net/src/sim.rs crates/nmad-net/src/tcp.rs
 
 crates/nmad-net/src/lib.rs:
+crates/nmad-net/src/backoff.rs:
 crates/nmad-net/src/driver.rs:
+crates/nmad-net/src/fault.rs:
 crates/nmad-net/src/lossy.rs:
 crates/nmad-net/src/mem.rs:
 crates/nmad-net/src/reliable.rs:

@@ -7,7 +7,7 @@
 
 use newmadeleine::core::prelude::*;
 use newmadeleine::net::sim::SimDriver;
-use newmadeleine::net::{Driver, NetError, SimCpuMeter};
+use newmadeleine::net::{Driver, FaultPlan, FaultStats, NetError, SimCpuMeter};
 use newmadeleine::sim::{nic, shared_world, NodeId, RailId, SharedWorld, SimConfig};
 
 fn multirail_engine(world: &SharedWorld, node: u32) -> NmadEngine {
@@ -145,6 +145,64 @@ fn losing_every_rail_surfaces_a_transport_error() {
         }
     }
     assert!(saw_error, "a fully dead endpoint must report Closed");
+}
+
+/// The engine's fault counters in `MetricsSnapshot` must agree with
+/// the injected `FaultPlan`: a plan that kills one rail produces
+/// exactly one recorded rail fault, requeued entries, dead-post stats
+/// on that rail only, and a "faults" section in the JSON export.
+#[test]
+fn fault_counters_pin_to_the_injected_plan() {
+    let world = two_rail_world();
+    let mut a = multirail_engine(&world, 0);
+    let mut b = multirail_engine(&world, 1);
+    // Rail 0 dies on its very first post; rail 1 runs a long latency
+    // spike, so every surviving post is delayed but delivered.
+    assert!(a.install_faults(0, FaultPlan::new(1).nic_death(0)));
+    assert!(a.install_faults(1, FaultPlan::new(2).latency_spike(0, 10_000_000, 50_000)));
+
+    let sends: Vec<_> = (0..12u32)
+        .map(|i| a.isend(NodeId(1), Tag(i), vec![i as u8; 256]))
+        .collect();
+    let recvs: Vec<_> = (0..12u32)
+        .map(|i| b.post_recv(NodeId(0), Tag(i), 256))
+        .collect();
+    pump(&world, &mut a, &mut b, |a, b| {
+        sends.iter().all(|&x| a.is_send_done(x)) && recvs.iter().all(|&x| b.is_recv_done(x))
+    });
+    for (i, x) in recvs.into_iter().enumerate() {
+        assert_eq!(b.try_take_recv(x).unwrap().data, vec![i as u8; 256]);
+    }
+
+    let m = a.metrics();
+    assert_eq!(m.engine.rail_faults, 1, "one rail died exactly once");
+    assert!(
+        m.engine.requeued_entries >= 1,
+        "dead-rail work must have been requeued: {:?}",
+        m.engine
+    );
+    let f0 = a.fault_stats(0);
+    assert!(f0.dead_posts >= 1, "rail 0 refused posts: {f0:?}");
+    assert_eq!(
+        f0.total(),
+        f0.dead_posts,
+        "a pure-death plan inflicts nothing but dead posts: {f0:?}"
+    );
+    let f1 = a.fault_stats(1);
+    assert!(f1.delayed >= 1, "rail 1 spiked: {f1:?}");
+    assert_eq!(
+        f1.total(),
+        f1.delayed,
+        "a pure-spike plan inflicts nothing but delays: {f1:?}"
+    );
+    assert_eq!(
+        b.fault_stats(0),
+        FaultStats::default(),
+        "no plan was installed on the receiver"
+    );
+    let json = m.to_json();
+    assert!(json.contains("\"faults\""), "metrics JSON: {json}");
+    assert!(json.contains("\"rail_faults\":1"), "metrics JSON: {json}");
 }
 
 #[test]

@@ -134,6 +134,65 @@ proptest! {
         }
     }
 
+    /// Every strict prefix of a valid frame is rejected with an error:
+    /// the count header promises entries the truncated bytes cannot
+    /// hold, so `parse_frame` must return `Err`, never deliver a
+    /// partial parse and never panic.
+    #[test]
+    fn truncated_frames_are_rejected_not_panicked(
+        entries in proptest::collection::vec(
+            (0u32..1000, 0u32..1000, proptest::collection::vec(any::<u8>(), 0..200), 0u8..4),
+            1..10
+        ),
+        cut_sel in 0u32..10_000
+    ) {
+        let mut fb = FrameBuilder::new();
+        for (tag, seq, payload, kind) in &entries {
+            match kind {
+                0 => fb.push_data(Tag(*tag), SeqNo(*seq), payload),
+                1 => fb.push_rts(Tag(*tag), SeqNo(*seq), payload.len() as u32),
+                2 => fb.push_cts(Tag(*tag), SeqNo(*seq), payload.len() as u32),
+                _ => fb.push_rdv_data(Tag(*tag), SeqNo(*seq), *seq, *seq % 2 == 0, payload),
+            }
+        }
+        let frame = fb.finish();
+        // Any strict prefix, from the empty slice to one byte short.
+        let cut = (frame.len() * cut_sel as usize) / 10_000;
+        prop_assert!(cut < frame.len());
+        prop_assert!(
+            parse_frame(&frame[..cut]).is_err(),
+            "truncation to {} of {} bytes must be rejected", cut, frame.len()
+        );
+    }
+
+    /// A single flipped bit anywhere in a frame never panics the
+    /// parser: it either still parses (the flip landed in payload
+    /// bytes) or returns a structured error.
+    #[test]
+    fn bit_flipped_frames_never_panic_the_parser(
+        entries in proptest::collection::vec(
+            (0u32..1000, 0u32..1000, proptest::collection::vec(any::<u8>(), 0..200), 0u8..4),
+            0..10
+        ),
+        pos_sel in 0u32..10_000,
+        bit in 0u8..8
+    ) {
+        let mut fb = FrameBuilder::new();
+        for (tag, seq, payload, kind) in &entries {
+            match kind {
+                0 => fb.push_data(Tag(*tag), SeqNo(*seq), payload),
+                1 => fb.push_rts(Tag(*tag), SeqNo(*seq), payload.len() as u32),
+                2 => fb.push_cts(Tag(*tag), SeqNo(*seq), payload.len() as u32),
+                _ => fb.push_rdv_data(Tag(*tag), SeqNo(*seq), *seq, *seq % 2 == 0, payload),
+            }
+        }
+        let mut frame = fb.finish();
+        let pos = (frame.len() * pos_sel as usize) / 10_000;
+        frame[pos] ^= 1 << bit;
+        // Must not panic; Ok or Err are both acceptable outcomes.
+        let _ = parse_frame(&frame);
+    }
+
     /// Baseline codec round-trips arbitrary payloads.
     #[test]
     fn baseline_codec_roundtrips(tag in any::<u32>(), seq in any::<u32>(), payload in proptest::collection::vec(any::<u8>(), 0..500)) {

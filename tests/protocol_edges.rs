@@ -1,15 +1,23 @@
 //! Integration: protocol edge cases — MTU-constrained rendezvous
 //! chunking, gather-less NICs forcing staging copies, probe semantics,
-//! the dynamic strategy end-to-end, and sendrecv/collectives.
+//! the dynamic strategy end-to-end, sendrecv/collectives, and the
+//! rendezvous handshake under frame loss and duplication.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 
 use newmadeleine::core::prelude::*;
+use newmadeleine::core::wire::{parse_frame, Entry};
 use newmadeleine::mpi::{
     pump_cluster, sim_cluster, AllreduceOp, BarrierOp, BcastOp, CollectiveOp, EngineKind, GatherOp,
     StrategyKind,
 };
 use newmadeleine::net::sim::SimDriver;
-use newmadeleine::net::Driver;
-use newmadeleine::sim::{nic, shared_world, NodeId, RailId, SharedWorld, SimConfig};
+use newmadeleine::net::{
+    reliable, Capabilities, Driver, FaultPlan, FaultStats, NetResult, ReliableDriver, RxFrame,
+    SendHandle, SimCpuMeter,
+};
+use newmadeleine::sim::{nic, shared_world, NodeId, RailId, SharedWorld, SimConfig, SimTime};
 
 fn engine(world: &SharedWorld, node: u32, strategy: Box<dyn Strategy>) -> NmadEngine {
     let driver = SimDriver::new(world.clone(), NodeId(node), RailId(0));
@@ -315,4 +323,271 @@ fn malformed_frames_surface_as_protocol_errors() {
         "unexpected error {err}"
     );
     assert!(err.to_string().contains("malformed"));
+}
+
+// --- rendezvous handshake under loss and duplication ----------------
+
+/// Dropped sends get handles with this bit set so `test_send` can
+/// report them complete without consulting the inner driver (same
+/// idiom as `LossyDriver`).
+const DROPPED_BIT: u64 = 1 << 63;
+
+/// A scripted dropper: silently discards the first `budget` outgoing
+/// frames matching `predicate`, passes everything else through. Placed
+/// *below* the reliability decorator it models targeted wire loss of
+/// specific protocol frames (RTS, CTS, one rendezvous chunk).
+struct ScriptedDropper<D> {
+    inner: D,
+    predicate: fn(&[u8]) -> bool,
+    budget: u32,
+    dropped: Arc<AtomicU32>,
+}
+
+impl<D: Driver> Driver for ScriptedDropper<D> {
+    fn caps(&self) -> &Capabilities {
+        self.inner.caps()
+    }
+
+    fn local_node(&self) -> NodeId {
+        self.inner.local_node()
+    }
+
+    fn post_send(&mut self, dst: NodeId, iov: &[&[u8]]) -> NetResult<SendHandle> {
+        let flat: Vec<u8> = iov.concat();
+        if self.budget > 0 && (self.predicate)(&flat) {
+            self.budget -= 1;
+            let n = self.dropped.fetch_add(1, Ordering::Relaxed) as u64;
+            return Ok(SendHandle(DROPPED_BIT | n));
+        }
+        self.inner.post_send(dst, iov)
+    }
+
+    fn test_send(&mut self, handle: SendHandle) -> NetResult<bool> {
+        if handle.0 & DROPPED_BIT != 0 {
+            return Ok(true);
+        }
+        self.inner.test_send(handle)
+    }
+
+    fn poll_recv(&mut self) -> NetResult<Option<RxFrame>> {
+        self.inner.poll_recv()
+    }
+
+    fn tx_idle(&self) -> bool {
+        self.inner.tx_idle()
+    }
+
+    fn pump(&mut self) -> NetResult<()> {
+        self.inner.pump()
+    }
+
+    fn install_faults(&mut self, plan: FaultPlan) -> bool {
+        self.inner.install_faults(plan)
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        self.inner.fault_stats()
+    }
+}
+
+/// A duplicator placed directly below the engine: the first `budget`
+/// frames matching `predicate` are posted twice, exercising the
+/// engine's tolerance to duplicated control traffic.
+struct ScriptedDuplicator<D> {
+    inner: D,
+    predicate: fn(&[u8]) -> bool,
+    budget: u32,
+    duplicated: Arc<AtomicU32>,
+    extra: Vec<SendHandle>,
+}
+
+impl<D: Driver> Driver for ScriptedDuplicator<D> {
+    fn caps(&self) -> &Capabilities {
+        self.inner.caps()
+    }
+
+    fn local_node(&self) -> NodeId {
+        self.inner.local_node()
+    }
+
+    fn post_send(&mut self, dst: NodeId, iov: &[&[u8]]) -> NetResult<SendHandle> {
+        let flat: Vec<u8> = iov.concat();
+        if self.budget > 0 && (self.predicate)(&flat) {
+            self.budget -= 1;
+            self.duplicated.fetch_add(1, Ordering::Relaxed);
+            let twin = self.inner.post_send(dst, iov)?;
+            self.extra.push(twin);
+        }
+        self.inner.post_send(dst, iov)
+    }
+
+    fn test_send(&mut self, handle: SendHandle) -> NetResult<bool> {
+        self.inner.test_send(handle)
+    }
+
+    fn poll_recv(&mut self) -> NetResult<Option<RxFrame>> {
+        self.inner.poll_recv()
+    }
+
+    fn tx_idle(&self) -> bool {
+        self.inner.tx_idle()
+    }
+
+    fn pump(&mut self) -> NetResult<()> {
+        self.inner.pump()?;
+        // Reap fire-and-forget twin handles.
+        let mut still = Vec::new();
+        for h in self.extra.drain(..) {
+            if !self.inner.test_send(h)? {
+                still.push(h);
+            }
+        }
+        self.extra = still;
+        Ok(())
+    }
+
+    fn install_faults(&mut self, plan: FaultPlan) -> bool {
+        self.inner.install_faults(plan)
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        self.inner.fault_stats()
+    }
+}
+
+/// Does a reliability-layer frame carry an engine entry matching `f`?
+/// (Peels the go-back-N data header, then parses the engine frame.)
+fn reliable_frame_has(bytes: &[u8], f: fn(&Entry) -> bool) -> bool {
+    bytes.first() == Some(&reliable::KIND_DATA)
+        && bytes.len() > reliable::HEADER_LEN
+        && parse_frame(&bytes[reliable::HEADER_LEN..]).is_ok_and(|es| es.iter().any(f))
+}
+
+const RTO_NS: u64 = 200_000;
+
+/// Engine over `ReliableDriver` over `ScriptedDropper` over the
+/// simulator; returns the engine plus the dropper's shared counter.
+fn dropper_engine(
+    world: &SharedWorld,
+    node: u32,
+    predicate: fn(&[u8]) -> bool,
+    budget: u32,
+) -> (NmadEngine, Arc<AtomicU32>) {
+    let raw = SimDriver::new(world.clone(), NodeId(node), RailId(0));
+    let dropped = Arc::new(AtomicU32::new(0));
+    let dropper = ScriptedDropper {
+        inner: raw,
+        predicate,
+        budget,
+        dropped: dropped.clone(),
+    };
+    let clock_world = world.clone();
+    let now = Box::new(move || clock_world.lock().now().as_ns());
+    let wake_world = world.clone();
+    let wakeup = Box::new(move |deadline: u64| {
+        wake_world
+            .lock()
+            .schedule_wakeup(SimTime::from_ns(deadline));
+    });
+    let driver = ReliableDriver::new(dropper, now, Some(wakeup), RTO_NS);
+    let meter = Box::new(SimCpuMeter::new(world.clone(), NodeId(node)));
+    let engine = NmadEngine::new(
+        vec![Box::new(driver) as Box<dyn Driver>],
+        meter,
+        Box::new(StratAggreg),
+        EngineCosts::zero(),
+    );
+    (engine, dropped)
+}
+
+/// A scripted loss for one side: (frame predicate, drop budget).
+type DropScript = Option<(fn(&[u8]) -> bool, u32)>;
+
+/// One rendezvous transfer a→b under a scripted loss; asserts exact
+/// delivery and that the script actually fired.
+fn rendezvous_survives(drop_on_sender: DropScript, drop_on_receiver: DropScript) {
+    fn never(_: &[u8]) -> bool {
+        false
+    }
+    let world = shared_world(SimConfig::two_nodes(nic::mx_myri10g()));
+    let (pa, ba) = drop_on_sender.unwrap_or((never, 0));
+    let (pb, bb) = drop_on_receiver.unwrap_or((never, 0));
+    let (mut a, dropped_a) = dropper_engine(&world, 0, pa, ba);
+    let (mut b, dropped_b) = dropper_engine(&world, 1, pb, bb);
+
+    let body: Vec<u8> = (0..80_000u32).map(|i| (i % 239) as u8).collect();
+    let s = a.isend(NodeId(1), Tag(3), body.clone());
+    let r = b.post_recv(NodeId(0), Tag(3), body.len());
+    pump(&world, &mut a, &mut b, |a, b| {
+        a.is_send_done(s) && b.is_recv_done(r)
+    });
+    assert_eq!(b.try_take_recv(r).unwrap().data, body, "payload intact");
+    let fired = dropped_a.load(Ordering::Relaxed) + dropped_b.load(Ordering::Relaxed);
+    let scripted = ba + bb;
+    assert_eq!(fired, scripted, "the scripted loss must actually happen");
+}
+
+#[test]
+fn dropped_rts_is_retransmitted_and_rendezvous_completes() {
+    fn is_rts(bytes: &[u8]) -> bool {
+        reliable_frame_has(bytes, |e| matches!(e, Entry::Rts { .. }))
+    }
+    rendezvous_survives(Some((is_rts, 1)), None);
+}
+
+#[test]
+fn dropped_cts_is_retransmitted_and_rendezvous_completes() {
+    fn is_cts(bytes: &[u8]) -> bool {
+        reliable_frame_has(bytes, |e| matches!(e, Entry::Cts { .. }))
+    }
+    rendezvous_survives(None, Some((is_cts, 1)));
+}
+
+#[test]
+fn dropped_data_chunk_mid_rendezvous_is_recovered() {
+    fn is_chunk(bytes: &[u8]) -> bool {
+        reliable_frame_has(bytes, |e| matches!(e, Entry::RdvData { .. }))
+    }
+    rendezvous_survives(Some((is_chunk, 1)), None);
+}
+
+/// A duplicated CTS must not restart the transfer: the engine ignores
+/// the stale grant (counting it) and the payload arrives exactly once.
+#[test]
+fn duplicate_cts_is_ignored_not_restarted() {
+    fn is_cts(bytes: &[u8]) -> bool {
+        parse_frame(bytes).is_ok_and(|es| es.iter().any(|e| matches!(e, Entry::Cts { .. })))
+    }
+    let world = shared_world(SimConfig::two_nodes(nic::mx_myri10g()));
+    let mut a = engine(&world, 0, Box::new(StratAggreg));
+    // CTS flows receiver → sender, so the duplicator sits under b.
+    let duplicated = Arc::new(AtomicU32::new(0));
+    let dup = ScriptedDuplicator {
+        inner: SimDriver::new(world.clone(), NodeId(1), RailId(0)),
+        predicate: is_cts,
+        budget: 1,
+        duplicated: duplicated.clone(),
+        extra: Vec::new(),
+    };
+    let meter = Box::new(SimCpuMeter::new(world.clone(), NodeId(1)));
+    let mut b = NmadEngine::new(
+        vec![Box::new(dup) as Box<dyn Driver>],
+        meter,
+        Box::new(StratAggreg),
+        EngineCosts::zero(),
+    );
+
+    let body: Vec<u8> = (0..90_000u32).map(|i| (i % 241) as u8).collect();
+    let s = a.isend(NodeId(1), Tag(5), body.clone());
+    let r = b.post_recv(NodeId(0), Tag(5), body.len());
+    pump(&world, &mut a, &mut b, |a, b| {
+        a.is_send_done(s) && b.is_recv_done(r)
+    });
+    assert_eq!(b.try_take_recv(r).unwrap().data, body, "payload intact");
+    assert_eq!(duplicated.load(Ordering::Relaxed), 1, "CTS was duplicated");
+    assert!(
+        a.metrics().engine.stale_cts_ignored >= 1,
+        "sender must count the stale CTS: {:?}",
+        a.metrics().engine
+    );
 }
