@@ -342,7 +342,12 @@ impl DirectEngine {
         })?;
         match msg {
             Msg::Eager { tag, seq, payload } => {
-                let fx = self.matching.on_data(src, tag, seq, payload);
+                // The direct baseline stays copy-based on purpose: it
+                // bounces the eager payload through an owned buffer the
+                // way a classical library would.
+                let fx = self
+                    .matching
+                    .on_data(src, tag, seq, payload.to_vec().into());
                 self.apply_effects(fx);
                 self.note_unpack(src, tag, seq, payload.len(), payload.len());
             }

@@ -106,7 +106,7 @@ fn bench_matching(c: &mut Criterion) {
     use nmad_core::matching::Matching;
     use nmad_core::segment::RecvReqId;
     c.bench_function("matching/post_match_take", |b| {
-        let payload = vec![7u8; 64];
+        let payload = bytes::Bytes::from(vec![7u8; 64]);
         b.iter(|| {
             let mut m = Matching::new();
             for i in 0..32u64 {
@@ -119,7 +119,7 @@ fn bench_matching(c: &mut Criterion) {
                     NodeId(1),
                     Tag(tag),
                     SeqNo(seqs[tag as usize]),
-                    black_box(&payload),
+                    black_box(payload.clone()),
                 );
                 seqs[tag as usize] += 1;
                 black_box(fx);

@@ -8,7 +8,8 @@
 //! Run: `cargo run --release -p bench --bin fig2 [-- --quick] [-- --json PATH]`
 
 use bench::{
-    byte_sizes, fmt_size, json_arg, pingpong_contig, write_json_report, LogLogChart, Series, Table,
+    bench_json_arg, byte_sizes, fmt_size, json_arg, pingpong_contig, write_json_report,
+    BenchReport, LogLogChart, Series, Table,
 };
 use mad_mpi::{EngineKind, StrategyKind};
 use nmad_core::MetricsRegistry;
@@ -21,6 +22,7 @@ fn main() {
     let max = if quick { 64 * 1024 } else { 2 << 20 };
     let sizes = byte_sizes(4, max);
     let registry = MetricsRegistry::new();
+    let report = BenchReport::new();
 
     let madmpi = EngineKind::MadMpi(StrategyKind::Aggreg);
 
@@ -31,6 +33,7 @@ fn main() {
         &sizes,
         iters,
         &registry,
+        &report,
     );
     run_platform(
         "Fig 2(c)/(d) — Elan/Quadrics",
@@ -39,8 +42,10 @@ fn main() {
         &sizes,
         iters,
         &registry,
+        &report,
     );
     write_json_report(json.as_deref(), &registry);
+    report.write(&bench_json_arg());
 }
 
 fn run_platform(
@@ -50,6 +55,7 @@ fn run_platform(
     sizes: &[usize],
     iters: usize,
     registry: &MetricsRegistry,
+    report: &BenchReport,
 ) {
     println!("\n## {title}\n");
     let mut lat = Table::new(
@@ -88,6 +94,12 @@ fn run_platform(
                     m.clone(),
                 );
             }
+            report.record(
+                &format!("fig2/{}", nic_model.name),
+                k.label(),
+                size,
+                std::slice::from_ref(s),
+            );
         }
         lat.row(
             std::iter::once(fmt_size(size))

@@ -10,8 +10,8 @@
 //! Run: `cargo run --release -p bench --bin fig3 [-- --quick] [-- --json PATH]`
 
 use bench::{
-    byte_sizes, fmt_size, gain_pct, json_arg, pingpong_multiseg, write_json_report, LogLogChart,
-    Series, Table,
+    bench_json_arg, byte_sizes, fmt_size, gain_pct, json_arg, pingpong_multiseg, write_json_report,
+    BenchReport, LogLogChart, Series, Table,
 };
 use mad_mpi::{EngineKind, StrategyKind};
 use nmad_core::MetricsRegistry;
@@ -22,6 +22,7 @@ fn main() {
     let json = json_arg();
     let iters = if quick { 1 } else { 4 };
     let registry = MetricsRegistry::new();
+    let report = BenchReport::new();
     let madmpi = EngineKind::MadMpi(StrategyKind::Aggreg);
 
     for (panel, nic_model, segs, max, kinds) in [
@@ -55,9 +56,12 @@ fn main() {
         ),
     ] {
         let max = if quick { max.min(1024) } else { max };
-        run_panel(panel, nic_model, segs, max, &kinds, iters, &registry);
+        run_panel(
+            panel, nic_model, segs, max, &kinds, iters, &registry, &report,
+        );
     }
     write_json_report(json.as_deref(), &registry);
+    report.write(&bench_json_arg());
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -69,6 +73,7 @@ fn run_panel(
     kinds: &[EngineKind],
     iters: usize,
     registry: &MetricsRegistry,
+    report: &BenchReport,
 ) {
     println!("\n## {title}\n");
     let mut headers: Vec<String> = vec!["seg size".into()];
@@ -102,6 +107,12 @@ fn run_panel(
                     m.clone(),
                 );
             }
+            report.record(
+                &format!("fig3/{}/{}seg", nic_model.name, segs),
+                k.label(),
+                size,
+                std::slice::from_ref(s),
+            );
         }
         for (i, s) in samples.iter().enumerate() {
             series[i].push(size as f64, s.one_way_us);

@@ -11,6 +11,7 @@
 
 pub mod pingpong;
 pub mod plot;
+pub mod report;
 pub mod table;
 pub mod workload;
 
@@ -18,6 +19,7 @@ pub use pingpong::{
     pingpong_contig, pingpong_multiseg, pingpong_typed, transfer_multirail, PingPongSample,
 };
 pub use plot::{LogLogChart, Series};
+pub use report::{bench_json_arg, median, BenchReport, BenchRow, BENCH_JSON_PATH};
 pub use table::Table;
 pub use workload::{generate, payload_for, WorkItem, WorkloadSpec};
 

@@ -1,0 +1,205 @@
+//! Machine-readable ping-pong reports (`BENCH_pingpong.json`).
+//!
+//! The figure binaries print markdown tables for humans; CI wants the
+//! same numbers as JSON it can archive and diff across runs. Each row
+//! is one sweep point: the median one-way latency over the repeats,
+//! the frames per ping, and the zero-copy counters (staging copies,
+//! gather sends, pool traffic) read from the initiator's engine at the
+//! end of the run.
+
+use crate::pingpong::PingPongSample;
+use std::sync::Mutex;
+
+/// Default output path; every ping-pong-style binary writes here
+/// unless `--bench-json PATH` overrides it.
+pub const BENCH_JSON_PATH: &str = "BENCH_pingpong.json";
+
+/// Value of a `--bench-json PATH` argument, or the default path.
+pub fn bench_json_arg() -> String {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--bench-json" {
+            if let Some(path) = args.next() {
+                return path;
+            }
+            eprintln!("--bench-json requires a path; using {BENCH_JSON_PATH}");
+        }
+    }
+    BENCH_JSON_PATH.to_string()
+}
+
+/// One sweep point of one benchmark, flattened for JSON.
+#[derive(Clone, Debug)]
+pub struct BenchRow {
+    /// Benchmark label, e.g. `fig2/MX/Myri-10G` or `pingpong/mem`.
+    pub bench: String,
+    /// Engine or library under test, e.g. `madmpi(aggreg)`.
+    pub engine: String,
+    /// Message size in bytes.
+    pub size: usize,
+    /// Median one-way latency over the recorded repeats, µs.
+    pub one_way_us_median: f64,
+    /// Bandwidth of the median repeat, MB/s.
+    pub bandwidth_mbs: f64,
+    /// Wire frames the initiator sent per ping.
+    pub frames_per_ping: f64,
+    /// Frames that needed a staging copy (gather fallback).
+    pub staging_copies: u64,
+    /// Frames posted as multi-segment gather iovs.
+    pub gather_sends: u64,
+    /// Frame buffers served from the recycling pool.
+    pub pool_hits: u64,
+    /// Frame buffers freshly allocated.
+    pub pool_misses: u64,
+}
+
+/// Thread-safe accumulator for [`BenchRow`]s; render with
+/// [`to_json`](Self::to_json) or persist with [`write`](Self::write).
+#[derive(Default)]
+pub struct BenchReport {
+    rows: Mutex<Vec<BenchRow>>,
+}
+
+/// Median of `values`; NaN-free inputs assumed (they are latencies).
+pub fn median(values: &[f64]) -> f64 {
+    assert!(!values.is_empty());
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+impl BenchReport {
+    /// Fresh.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sweep point from its repeat samples. The latency is
+    /// the median across `samples`; counters come from the last repeat
+    /// (they are cumulative over the engine's life).
+    pub fn record(&self, bench: &str, engine: &str, size: usize, samples: &[PingPongSample]) {
+        assert!(!samples.is_empty());
+        let lats: Vec<f64> = samples.iter().map(|s| s.one_way_us).collect();
+        let last = samples.last().expect("non-empty");
+        let (staging, gather, hits, misses) = match &last.metrics {
+            Some(m) => (
+                m.wire.staging_copies,
+                m.engine.gather_sends,
+                m.engine.pool_hits,
+                m.engine.pool_misses,
+            ),
+            None => (0, 0, 0, 0),
+        };
+        self.rows.lock().expect("report poisoned").push(BenchRow {
+            bench: bench.to_string(),
+            engine: engine.to_string(),
+            size,
+            one_way_us_median: median(&lats),
+            bandwidth_mbs: last.bandwidth_mbs,
+            frames_per_ping: last.frames_per_ping,
+            staging_copies: staging,
+            gather_sends: gather,
+            pool_hits: hits,
+            pool_misses: misses,
+        });
+    }
+
+    /// Rows recorded so far.
+    pub fn len(&self) -> usize {
+        self.rows.lock().expect("report poisoned").len()
+    }
+
+    /// No rows yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The whole report as one JSON document.
+    pub fn to_json(&self) -> String {
+        let rows = self.rows.lock().expect("report poisoned");
+        let mut out = String::from("{\"benchmarks\":[");
+        for (i, r) in rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"bench\":\"{}\",\"engine\":\"{}\",\"size\":{},\
+                 \"one_way_us_median\":{:.4},\"bandwidth_mbs\":{:.2},\
+                 \"frames_per_ping\":{:.3},\"staging_copies\":{},\
+                 \"gather_sends\":{},\"pool_hits\":{},\"pool_misses\":{}}}",
+                escape(&r.bench),
+                escape(&r.engine),
+                r.size,
+                r.one_way_us_median,
+                r.bandwidth_mbs,
+                r.frames_per_ping,
+                r.staging_copies,
+                r.gather_sends,
+                r.pool_hits,
+                r.pool_misses,
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Writes the report; failures are printed, never propagated (a
+    /// benchmark must not die on a bad path).
+    pub fn write(&self, path: &str) {
+        match std::fs::write(path, self.to_json()) {
+            Ok(()) => eprintln!("wrote {} bench rows to {path}", self.len()),
+            Err(e) => eprintln!("could not write bench report {path}: {e}"),
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(us: f64) -> PingPongSample {
+        PingPongSample {
+            one_way_us: us,
+            bandwidth_mbs: 100.0,
+            frames_per_ping: 1.0,
+            metrics: None,
+        }
+    }
+
+    #[test]
+    fn median_handles_odd_and_even_counts() {
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0]), 3.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn report_renders_rows_as_json() {
+        let report = BenchReport::new();
+        report.record(
+            "pingpong/mem",
+            "madmpi(aggreg)",
+            64,
+            &[sample(2.0), sample(1.0), sample(3.0)],
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"bench\":\"pingpong/mem\""));
+        assert!(json.contains("\"size\":64"));
+        assert!(json.contains("\"one_way_us_median\":2.0000"), "{json}");
+        assert!(json.contains("\"staging_copies\":0"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+    }
+}

@@ -221,14 +221,20 @@ impl MpiBackend for NmadBackend {
             return None;
         }
         match self.recvs.remove(&token.0)? {
-            NmadRecv::Contig(req) => Some(self.engine.try_take_recv(req).expect("tested").data),
+            NmadRecv::Contig(req) => Some(
+                self.engine
+                    .try_take_recv(req)
+                    .expect("tested")
+                    .data
+                    .to_vec(),
+            ),
             NmadRecv::Typed { reqs, dtype } => {
                 // Each block landed in its own buffer (the large ones
                 // zero-copy); assembling the extent view is a host-side
                 // restructuring, not a modeled copy.
                 let parts: Vec<Vec<u8>> = reqs
                     .into_iter()
-                    .map(|r| self.engine.try_take_recv(r).expect("tested").data)
+                    .map(|r| self.engine.try_take_recv(r).expect("tested").data.to_vec())
                     .collect();
                 Some(dtype.scatter_blocks(&parts))
             }
@@ -379,7 +385,13 @@ impl MpiBackend for DirectBackend {
             return None;
         }
         match self.recvs.remove(&token.0)? {
-            DirectRecv::Contig(req) => Some(self.engine.try_take_recv(req).expect("tested").data),
+            DirectRecv::Contig(req) => Some(
+                self.engine
+                    .try_take_recv(req)
+                    .expect("tested")
+                    .data
+                    .to_vec(),
+            ),
             DirectRecv::Typed { req, dtype } => {
                 // The unpack *cost* was already charged (per flavour);
                 // this is the host-side restructuring only.

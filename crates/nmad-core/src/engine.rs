@@ -24,7 +24,7 @@ use crate::metrics::{EngineMetrics, MetricsSnapshot, NicMetrics};
 use crate::segment::{PackWrapper, Priority, RecvReqId, SendReqId, SeqNo, Tag};
 use crate::strategy::{FramePlan, NicView, PlanEntry, Strategy};
 use crate::window::{CtrlMsg, RdvJob, Window};
-use crate::wire::{parse_frame, Entry, FrameBuilder};
+use crate::wire::{parse_frame, Entry, FrameEncoder};
 use nmad_net::{CpuMeter, Driver, NetResult, SendHandle, StrategyDecision};
 use nmad_sim::{NodeId, SoftwareCosts};
 
@@ -153,13 +153,67 @@ struct RdvTx {
     req: SendReqId,
 }
 
-struct NicState {
-    driver: Box<dyn Driver>,
-    /// Posted frames whose transmit has not completed. Each entry
-    /// retains the plan it was built from, so a rail fault can hand
+/// Bounded recycling pool for frame buffers. Transmit-side header
+/// blocks and staging buffers return here once the NIC reports the
+/// send complete; receive-side frame buffers return once every eager
+/// slice taken from them has been delivered (the `Arc` inside
+/// [`Bytes`] tells us). Reuse keeps the steady-state hot path free of
+/// allocator traffic — the paper's engine likewise recycles its iovec
+/// and bounce buffers per rail.
+struct FramePool {
+    bufs: Vec<Vec<u8>>,
+    cap: usize,
+}
+
+impl FramePool {
+    fn new(cap: usize) -> Self {
+        FramePool {
+            bufs: Vec::new(),
+            cap,
+        }
+    }
+
+    /// A cleared buffer, recycled when possible. Counts the hit or
+    /// miss in the engine metrics.
+    fn take(&mut self, metrics: &mut EngineMetrics) -> Vec<u8> {
+        match self.bufs.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                metrics.pool_hits += 1;
+                buf
+            }
+            None => {
+                metrics.pool_misses += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Returns a buffer for reuse; beyond the cap it is simply freed.
+    fn put(&mut self, buf: Vec<u8>) {
+        if self.bufs.len() < self.cap {
+            self.bufs.push(buf);
+        }
+    }
+}
+
+/// A posted frame whose transmit has not completed.
+struct InflightFrame {
+    handle: SendHandle,
+    dones: Vec<TxDone>,
+    /// The plan the frame was built from, so a rail fault can hand
     /// the stranded work back to the window (the receiver's matching
     /// layer drops whatever the rail did manage to deliver).
-    inflight: VecDeque<(SendHandle, Vec<TxDone>, FramePlan)>,
+    plan: FramePlan,
+    /// Header-block and staging buffers the NIC is still reading
+    /// (gather DMA pins them until completion); recycled through the
+    /// pool when `test_send` reports done.
+    bufs: Vec<Vec<u8>>,
+}
+
+struct NicState {
+    driver: Box<dyn Driver>,
+    inflight: VecDeque<InflightFrame>,
     /// Set when the driver refused a send (transport/NIC failure);
     /// the refill loop stops offering this NIC work.
     dead: bool,
@@ -189,6 +243,7 @@ pub struct NmadEngine {
     costs: EngineCosts,
     stats: EngineStats,
     metrics: EngineMetrics,
+    pool: FramePool,
     /// Eager flow control: max data-bearing frames in flight per peer
     /// without a credit return. `None` disables the mechanism.
     credit_limit: Option<usize>,
@@ -239,6 +294,7 @@ impl NmadEngine {
             costs,
             stats: EngineStats::default(),
             metrics: EngineMetrics::default(),
+            pool: FramePool::new(64),
             credit_limit: None,
             credits: HashMap::new(),
             pending_credit_returns: HashMap::new(),
@@ -435,7 +491,10 @@ impl NmadEngine {
     fn apply_effects(&mut self, effects: Vec<Effect>) {
         for effect in effects {
             match effect {
-                Effect::ChargeCopy(bytes) => self.meter.charge_memcpy(bytes),
+                Effect::ChargeCopy(bytes) => {
+                    self.metrics.bytes_copied_rx += bytes as u64;
+                    self.meter.charge_memcpy(bytes);
+                }
                 Effect::SendCts {
                     dst,
                     tag,
@@ -464,9 +523,9 @@ impl NmadEngine {
         }
     }
 
-    fn handle_frame(&mut self, src: NodeId, payload: &[u8], rx_zero_copy: bool) -> NetResult<()> {
+    fn handle_frame(&mut self, src: NodeId, frame: &Bytes, rx_zero_copy: bool) -> NetResult<()> {
         self.stats.frames_received += 1;
-        let entries = parse_frame(payload).map_err(|e| {
+        let entries = parse_frame(frame).map_err(|e| {
             nmad_net::NetError::Protocol(format!("malformed frame from {src}: {e}"))
         })?;
         self.meter
@@ -475,6 +534,11 @@ impl NmadEngine {
         for entry in entries {
             match entry {
                 Entry::Data { tag, seq, payload } => {
+                    // Re-anchor the parsed payload as a zero-copy slice
+                    // of the frame buffer: the matching layer retains or
+                    // delivers it without a bounce-buffer copy.
+                    let off = payload.as_ptr() as usize - frame.as_slice().as_ptr() as usize;
+                    let payload = frame.slice(off..off + payload.len());
                     let fx = self.matching.on_data(src, tag, seq, payload);
                     self.apply_effects(fx);
                 }
@@ -572,51 +636,77 @@ impl NmadEngine {
 
     fn build_and_post(&mut self, nic_idx: usize, plan: FramePlan) -> NetResult<()> {
         // Phase 1: encode the frame without consuming the plan, so a
-        // failed NIC can hand its work back to the window.
-        let mut fb = FrameBuilder::new();
+        // failed NIC can hand its work back to the window. The encoder
+        // writes only the header block (frame header plus entry
+        // headers) into a pooled buffer and records where each payload
+        // splices in — payload bytes are not touched.
+        let mut fe = FrameEncoder::with_buffer(self.pool.take(&mut self.metrics));
         let mut owed_credits = 0u32;
         if self.credit_limit.is_some() {
             if let Some(owed) = self.pending_credit_returns.get_mut(&plan.dst) {
                 owed_credits = std::mem::take(owed);
                 if owed_credits > 0 {
-                    fb.push_credit(owed_credits);
+                    fe.push_credit(owed_credits);
                 }
             }
         }
         let mut carries_data = false;
         for entry in &plan.entries {
             match entry {
-                PlanEntry::Cts(c) => fb.push_cts(c.tag, c.seq, c.total),
+                PlanEntry::Cts(c) => fe.push_cts(c.tag, c.seq, c.total),
                 PlanEntry::Data(w) => {
-                    fb.push_data(w.tag, w.seq, &w.data);
+                    fe.push_data(w.tag, w.seq, &w.data);
                     carries_data = true;
                 }
                 PlanEntry::Rts(w) => {
                     let total = u32::try_from(w.data.len()).expect("segment above 4 GiB");
-                    fb.push_rts(w.tag, w.seq, total);
+                    fe.push_rts(w.tag, w.seq, total);
                 }
                 PlanEntry::RdvChunk(c) => {
-                    fb.push_rdv_data(c.tag, c.seq, c.offset, c.last, &c.data);
+                    fe.push_rdv_data(c.tag, c.seq, c.offset, c.last, &c.data);
                 }
             }
         }
         // Scheduler critical-path cost: one ready-list inspection plus
         // per-entry header packing.
         self.meter.charge_ns(
-            self.costs.scheduler_inspect_ns + self.costs.per_entry_ns * u64::from(fb.entry_count()),
+            self.costs.scheduler_inspect_ns + self.costs.per_entry_ns * u64::from(fe.entry_count()),
         );
-        // The header block is one gather segment; if the card cannot
-        // gather every payload region, the engine stages a copy.
-        if fb.payload_segments() + 1 > self.nics[nic_idx].driver.caps().gather_max_segs {
-            self.meter.charge_memcpy(fb.payload_bytes());
+        let gather_max = self.nics[nic_idx].driver.caps().gather_max_segs;
+        let iov = fe.finish();
+        // Buffers the NIC will read until transmit completes; recycled
+        // through the pool at completion (or immediately on failover).
+        let mut bufs: Vec<Vec<u8>> = Vec::with_capacity(2);
+        let posted = if iov.segment_count() <= gather_max {
+            // Zero-copy path: hand the NIC the header block and the
+            // application payloads in wire order and let it gather.
+            let segs = iov.segments();
+            let multi = segs.len() > 1;
+            let res = self.nics[nic_idx].driver.post_send(plan.dst, &segs);
+            if res.is_ok() && multi {
+                self.metrics.gather_sends += 1;
+            }
+            res
+        } else {
+            // The card cannot gather this many regions: stage one
+            // contiguous copy (and pay for it).
+            let mut staged = self.pool.take(&mut self.metrics);
+            iov.stage_into(&mut staged);
+            self.meter.charge_memcpy(iov.payload_bytes());
             self.stats.staging_copies += 1;
-        }
-        let frame = fb.finish();
-        let handle = match self.nics[nic_idx].driver.post_send(plan.dst, &[&frame]) {
+            let res = self.nics[nic_idx].driver.post_send(plan.dst, &[&staged]);
+            bufs.push(staged);
+            res
+        };
+        bufs.push(iov.into_meta());
+        let handle = match posted {
             Ok(handle) => handle,
             Err(nmad_net::NetError::Closed) => {
                 // The NIC died under us: hand everything back to the
                 // window (failover — another rail will pick it up).
+                for buf in bufs {
+                    self.pool.put(buf);
+                }
                 self.nics[nic_idx].dead = true;
                 self.metrics.rail_faults += 1;
                 if owed_credits > 0 {
@@ -627,7 +717,12 @@ impl NmadEngine {
                 self.reclaim_rail(nic_idx);
                 return Ok(());
             }
-            Err(e) => return Err(e),
+            Err(e) => {
+                for buf in bufs {
+                    self.pool.put(buf);
+                }
+                return Err(e);
+            }
         };
 
         // Phase 2: the frame is on the wire — derive completion records
@@ -686,7 +781,12 @@ impl NmadEngine {
             // bounded overdraft rather than splitting the frame.
             *c = c.saturating_sub(1);
         }
-        self.nics[nic_idx].inflight.push_back((handle, dones, plan));
+        self.nics[nic_idx].inflight.push_back(InflightFrame {
+            handle,
+            dones,
+            plan,
+            bufs,
+        });
         self.stats.frames_sent += 1;
         Ok(())
     }
@@ -709,14 +809,13 @@ impl NmadEngine {
     /// rail did manage to deliver), and the strategy re-plans its
     /// bandwidth split over the survivors.
     fn reclaim_rail(&mut self, nic_idx: usize) {
-        let stranded: Vec<FramePlan> = self.nics[nic_idx]
-            .inflight
-            .drain(..)
-            .map(|(_, _, plan)| plan)
-            .collect();
-        for plan in stranded {
-            self.metrics.requeued_entries += plan.entries.len() as u64;
-            self.requeue_plan(plan);
+        let stranded: Vec<InflightFrame> = self.nics[nic_idx].inflight.drain(..).collect();
+        for frame in stranded {
+            for buf in frame.bufs {
+                self.pool.put(buf);
+            }
+            self.metrics.requeued_entries += frame.plan.entries.len() as u64;
+            self.requeue_plan(frame.plan);
         }
         self.metrics.requeued_entries += self.window.reclaim_dedicated(nic_idx) as u64;
         self.strategy.on_rail_fault(nic_idx);
@@ -747,15 +846,25 @@ impl NmadEngine {
             let rx_zero_copy = self.nics[i].driver.caps().supports_rdma;
             while let Some(frame) = self.nics[i].driver.poll_recv()? {
                 debug_assert_ne!(frame.src, self.node);
-                self.handle_frame(frame.src, &frame.payload, rx_zero_copy)?;
+                let payload = frame.payload;
+                self.handle_frame(frame.src, &payload, rx_zero_copy)?;
+                // If no eager slice of the frame was retained (posted
+                // receives consumed everything), the buffer is uniquely
+                // owned again — recycle it.
+                if let Ok(buf) = payload.try_unwrap() {
+                    self.pool.put(buf);
+                }
                 any = true;
             }
-            while let Some(handle) = self.nics[i].inflight.front().map(|(h, _, _)| *h) {
+            while let Some(handle) = self.nics[i].inflight.front().map(|f| f.handle) {
                 if !self.nics[i].driver.test_send(handle)? {
                     break;
                 }
-                let (_, dones, _) = self.nics[i].inflight.pop_front().expect("checked");
-                self.apply_tx_done(dones);
+                let frame = self.nics[i].inflight.pop_front().expect("checked");
+                for buf in frame.bufs {
+                    self.pool.put(buf);
+                }
+                self.apply_tx_done(frame.dones);
                 any = true;
             }
         }
@@ -816,13 +925,16 @@ impl NmadEngine {
                     }
                     let count =
                         std::mem::take(self.pending_credit_returns.get_mut(&dst).expect("present"));
-                    let mut fb = FrameBuilder::new();
-                    fb.push_credit(count);
-                    let frame = fb.finish();
-                    let handle = self.nics[i].driver.post_send(dst, &[&frame])?;
-                    self.nics[i]
-                        .inflight
-                        .push_back((handle, Vec::new(), FramePlan::new(dst)));
+                    let mut fe = FrameEncoder::with_buffer(self.pool.take(&mut self.metrics));
+                    fe.push_credit(count);
+                    let iov = fe.finish();
+                    let handle = self.nics[i].driver.post_send(dst, &iov.segments())?;
+                    self.nics[i].inflight.push_back(InflightFrame {
+                        handle,
+                        dones: Vec::new(),
+                        plan: FramePlan::new(dst),
+                        bufs: vec![iov.into_meta()],
+                    });
                     self.stats.frames_sent += 1;
                     self.stats.credit_frames += 1;
                     any = true;
@@ -984,7 +1096,7 @@ mod tests {
         });
         let got: Vec<Vec<u8>> = recvs
             .into_iter()
-            .map(|r| b.try_take_recv(r).unwrap().data)
+            .map(|r| b.try_take_recv(r).unwrap().data.to_vec())
             .collect();
         assert_eq!(
             got,
@@ -1060,6 +1172,10 @@ mod tests {
             e.requeued_entries,
             e.duplicates_dropped,
             e.stale_cts_ignored,
+            e.gather_sends,
+            e.pool_hits,
+            e.pool_misses,
+            e.bytes_copied_rx,
             w.frames_sent,
             w.frames_received,
             w.data_entries,
@@ -1138,6 +1254,122 @@ mod tests {
         let mb = b.metrics();
         assert_eq!(mb.wire.cts_entries, 1);
         assert_eq!(mb.engine.recvs_posted, 2);
+    }
+
+    #[test]
+    fn gather_capable_nic_posts_multi_segment_iovs_without_staging() {
+        // MX gathers up to 32 segments: an aggregated multi-entry
+        // eager frame must leave as a multi-segment iov, never as a
+        // staged copy.
+        let world = shared_world(SimConfig::two_nodes(nic::mx_myri10g()));
+        let mut a = engine(&world, 0, Box::new(StratAggreg));
+        let mut b = engine(&world, 1, Box::new(StratAggreg));
+        let sends: Vec<_> = (0..8)
+            .map(|t| a.isend(NodeId(1), Tag(t), vec![t as u8; 64]))
+            .collect();
+        let recvs: Vec<_> = (0..8).map(|t| b.post_recv(NodeId(0), Tag(t), 64)).collect();
+        pump_pair(&world, &mut a, &mut b, |a, b| {
+            sends.iter().all(|&s| a.is_send_done(s)) && recvs.iter().all(|&r| b.is_recv_done(r))
+        });
+        assert!(
+            a.metrics().engine.gather_sends > 0,
+            "multi-entry frames must use the gather path: {:?}",
+            a.metrics().engine
+        );
+        assert_eq!(a.stats().staging_copies, 0);
+    }
+
+    #[test]
+    fn gatherless_nic_stages_a_copy_per_data_frame() {
+        // GM advertises gather_max_segs == 1: every frame that carries
+        // payload must be staged through a contiguous copy.
+        let world = shared_world(SimConfig::two_nodes(nic::gm_myrinet2000()));
+        let mut a = engine(&world, 0, Box::new(StratAggreg));
+        let mut b = engine(&world, 1, Box::new(StratAggreg));
+        let s = a.isend(NodeId(1), Tag(0), vec![7u8; 64]);
+        let r = b.post_recv(NodeId(0), Tag(0), 64);
+        pump_pair(&world, &mut a, &mut b, |a, b| {
+            a.is_send_done(s) && b.is_recv_done(r)
+        });
+        assert!(a.stats().staging_copies > 0, "{:?}", a.stats());
+        assert_eq!(a.metrics().engine.gather_sends, 0);
+    }
+
+    #[test]
+    fn frame_buffers_recycle_through_the_pool() {
+        // Sequential one-at-a-time sends: after the first frame's
+        // buffers return to the pool, later frames must reuse them.
+        let world = shared_world(SimConfig::two_nodes(nic::mx_myri10g()));
+        let mut a = engine(&world, 0, Box::new(StratAggreg));
+        let mut b = engine(&world, 1, Box::new(StratAggreg));
+        for round in 0..6u32 {
+            let s = a.isend(NodeId(1), Tag(0), vec![round as u8; 128]);
+            let r = b.post_recv(NodeId(0), Tag(0), 128);
+            pump_pair(&world, &mut a, &mut b, |a, b| {
+                a.is_send_done(s) && b.is_recv_done(r)
+            });
+            assert_eq!(b.try_take_recv(r).unwrap().data, vec![round as u8; 128]);
+        }
+        let m = a.metrics().engine;
+        assert!(
+            m.pool_hits > m.pool_misses,
+            "steady state must be dominated by pool reuse: hits={} misses={}",
+            m.pool_hits,
+            m.pool_misses
+        );
+    }
+
+    #[test]
+    fn recycled_buffers_never_leak_stale_bytes() {
+        // A long first message followed by shorter ones through the
+        // same (recycled) buffers: each delivery must carry exactly its
+        // own payload, nothing from a previous frame.
+        let world = shared_world(SimConfig::two_nodes(nic::mx_myri10g()));
+        let mut a = engine(&world, 0, Box::new(StratAggreg));
+        let mut b = engine(&world, 1, Box::new(StratAggreg));
+        let bodies: Vec<Vec<u8>> = vec![vec![0xAA; 512], vec![0x11; 16], vec![0x22; 3], vec![0x33]];
+        for body in &bodies {
+            let s = a.isend(NodeId(1), Tag(9), body.clone());
+            let r = b.post_recv(NodeId(0), Tag(9), 1024);
+            pump_pair(&world, &mut a, &mut b, |a, b| {
+                a.is_send_done(s) && b.is_recv_done(r)
+            });
+            let done = b.try_take_recv(r).unwrap();
+            assert_eq!(done.data, body[..], "stale bytes leaked into delivery");
+            assert!(!done.truncated);
+        }
+    }
+
+    #[test]
+    fn rx_copy_counter_tracks_rendezvous_reassembly_without_rdma() {
+        // Eager traffic on the receive side is zero-copy (slices of the
+        // frame buffer); only copy-mode rendezvous reassembly moves
+        // bytes. GM has no RDMA, so a rendezvous transfer must count.
+        let world = shared_world(SimConfig::two_nodes(nic::gm_myrinet2000()));
+        let mut a = engine(&world, 0, Box::new(StratAggreg));
+        let mut b = engine(&world, 1, Box::new(StratAggreg));
+        let small = a.isend(NodeId(1), Tag(0), vec![1u8; 64]);
+        let r0 = b.post_recv(NodeId(0), Tag(0), 64);
+        pump_pair(&world, &mut a, &mut b, |a, b| {
+            a.is_send_done(small) && b.is_recv_done(r0)
+        });
+        assert_eq!(
+            b.metrics().engine.bytes_copied_rx,
+            0,
+            "eager delivery must be copy-free"
+        );
+        let body: Vec<u8> = (0..100_000u32).map(|i| (i % 201) as u8).collect();
+        let s = a.isend(NodeId(1), Tag(1), body.clone());
+        let r = b.post_recv(NodeId(0), Tag(1), body.len());
+        pump_pair(&world, &mut a, &mut b, |a, b| {
+            a.is_send_done(s) && b.is_recv_done(r)
+        });
+        assert_eq!(b.try_take_recv(r).unwrap().data, body);
+        assert_eq!(
+            b.metrics().engine.bytes_copied_rx,
+            body.len() as u64,
+            "copy-mode rendezvous reassembly must be accounted"
+        );
     }
 
     #[test]

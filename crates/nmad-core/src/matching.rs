@@ -10,15 +10,19 @@
 //!
 //! * eager `Data` with a posted receive → landed in place by the NIC's
 //!   matching/scatter hardware (no host copy);
-//! * eager `Data` without a posted receive → *unexpected*: staged in a
-//!   bounce buffer (one copy), placed again when the receive arrives
-//!   (second copy) — exactly why eager is wrong for large segments;
+//! * eager `Data` without a posted receive → *unexpected*: retained as
+//!   a zero-copy [`Bytes`] slice of the received frame (the frame
+//!   buffer stays pinned instead of being copied into a bounce buffer)
+//!   and handed over as-is when the receive arrives — still the reason
+//!   eager is wrong for large segments, which would pin whole frames
+//!   indefinitely;
 //! * `Rts` → reply CTS when the receive is posted, else park it;
 //! * `RdvData` chunks → written straight at their offset (zero-copy
 //!   when the NIC has RDMA; one copy otherwise), completion when every
 //!   byte of the announced total has landed.
 
 use crate::segment::{RecvReqId, SeqNo, Tag};
+use bytes::Bytes;
 use nmad_sim::NodeId;
 use std::collections::{HashMap, HashSet};
 
@@ -52,8 +56,9 @@ pub struct RecvDone {
     pub src: NodeId,
     /// Logical flow identifier.
     pub tag: Tag,
-    /// The received payload (possibly truncated).
-    pub data: Vec<u8>,
+    /// The received payload (possibly truncated). For eager segments
+    /// this is a zero-copy slice of the received frame buffer.
+    pub data: Bytes,
     /// The sender's segment was larger than the posted buffer; `data`
     /// holds the truncated prefix.
     pub truncated: bool,
@@ -107,7 +112,7 @@ impl FlowDelivered {
 pub struct Matching {
     posted: HashMap<(NodeId, Tag, SeqNo), Slot>,
     next_seq: HashMap<(NodeId, Tag), SeqNo>,
-    unexpected: HashMap<(NodeId, Tag, SeqNo), Vec<u8>>,
+    unexpected: HashMap<(NodeId, Tag, SeqNo), Bytes>,
     pending_rts: HashMap<(NodeId, Tag, SeqNo), u32>,
     done: HashMap<RecvReqId, RecvDone>,
     delivered: HashMap<(NodeId, Tag), FlowDelivered>,
@@ -136,11 +141,11 @@ impl Matching {
 
         let mut effects = Vec::new();
         if let Some(staged) = self.unexpected.remove(&(src, tag, seq)) {
-            // Second copy: bounce buffer → application buffer.
-            effects.push(Effect::ChargeCopy(staged.len().min(max)));
+            // The staged segment is a zero-copy slice of its receive
+            // frame; handing it over costs nothing — the frame buffer
+            // was the bounce buffer.
             let truncated = staged.len() > max;
-            let mut data = staged;
-            data.truncate(max);
+            let data = staged.slice(..staged.len().min(max));
             self.done.insert(
                 req,
                 RecvDone {
@@ -193,8 +198,9 @@ impl Matching {
         self.delivered.entry((src, tag)).or_default().mark(seq);
     }
 
-    /// Feeds an eager data entry.
-    pub fn on_data(&mut self, src: NodeId, tag: Tag, seq: SeqNo, payload: &[u8]) -> Vec<Effect> {
+    /// Feeds an eager data entry as a zero-copy slice of the received
+    /// frame buffer.
+    pub fn on_data(&mut self, src: NodeId, tag: Tag, seq: SeqNo, payload: Bytes) -> Vec<Effect> {
         if self.already_delivered(src, tag, seq) || self.unexpected.contains_key(&(src, tag, seq)) {
             // Retransmission or failover requeue re-delivered the
             // segment: the first copy won.
@@ -209,7 +215,7 @@ impl Matching {
                     RecvDone {
                         src,
                         tag,
-                        data: payload[..kept].to_vec(),
+                        data: payload.slice(..kept),
                         truncated,
                     },
                 );
@@ -220,10 +226,10 @@ impl Matching {
                 vec![]
             }
             None => {
-                // NIC buffer → bounce buffer; the matching copy out
-                // happens at post time.
-                self.unexpected.insert((src, tag, seq), payload.to_vec());
-                vec![Effect::ChargeCopy(payload.len())]
+                // Unexpected: retain the slice — the receive frame
+                // buffer stays pinned in place of a bounce-buffer copy.
+                self.unexpected.insert((src, tag, seq), payload);
+                vec![]
             }
         }
     }
@@ -319,7 +325,9 @@ impl Matching {
                 RecvDone {
                     src,
                     tag,
-                    data: slot.buf,
+                    // Zero-copy wrap: the reassembly buffer becomes the
+                    // delivered payload without another copy.
+                    data: Bytes::from(slot.buf),
                     truncated,
                 },
             );
@@ -369,12 +377,16 @@ mod tests {
     const SRC: NodeId = NodeId(7);
     const TAG: Tag = Tag(3);
 
+    fn by(p: &'static [u8]) -> Bytes {
+        Bytes::from_static(p)
+    }
+
     #[test]
     fn expected_eager_completes_copy_free() {
         let mut m = Matching::new();
         let fx = m.post_recv(SRC, TAG, 64, RecvReqId(1)).1;
         assert!(fx.is_empty());
-        let fx = m.on_data(SRC, TAG, SeqNo(0), b"hello");
+        let fx = m.on_data(SRC, TAG, SeqNo(0), by(b"hello"));
         assert_eq!(fx, vec![], "posted receives land without a host copy");
         let done = m.try_take_done(RecvReqId(1)).unwrap();
         assert_eq!(done.data, b"hello");
@@ -383,15 +395,33 @@ mod tests {
     }
 
     #[test]
-    fn unexpected_eager_pays_two_copies() {
+    fn unexpected_eager_is_retained_and_delivered_copy_free() {
         let mut m = Matching::new();
-        let fx = m.on_data(SRC, TAG, SeqNo(0), b"early");
-        assert_eq!(fx, vec![Effect::ChargeCopy(5)]);
+        // The frame slice is retained as-is: no bounce-buffer copy at
+        // arrival, no placement copy at post time.
+        let frame = Bytes::from(b"frame: early".to_vec());
+        let fx = m.on_data(SRC, TAG, SeqNo(0), frame.slice(7..));
+        assert_eq!(fx, vec![], "staging an unexpected slice is copy-free");
         assert_eq!(m.unexpected_count(), 1);
         let fx = m.post_recv(SRC, TAG, 64, RecvReqId(9)).1;
-        assert_eq!(fx, vec![Effect::ChargeCopy(5)]);
-        assert_eq!(m.try_take_done(RecvReqId(9)).unwrap().data, b"early");
+        assert_eq!(fx, vec![], "handover is copy-free too");
+        let done = m.try_take_done(RecvReqId(9)).unwrap();
+        assert_eq!(done.data, b"early");
+        // Zero-copy means the delivered data still shares the frame's
+        // backing storage.
+        assert_eq!(done.data.as_slice().as_ptr(), frame[7..].as_ptr());
         assert_eq!(m.unexpected_count(), 0);
+    }
+
+    #[test]
+    fn unexpected_truncation_slices_the_retained_frame() {
+        let mut m = Matching::new();
+        m.on_data(SRC, TAG, SeqNo(0), by(b"oversized"));
+        let fx = m.post_recv(SRC, TAG, 4, RecvReqId(9)).1;
+        assert_eq!(fx, vec![]);
+        let done = m.try_take_done(RecvReqId(9)).unwrap();
+        assert!(done.truncated);
+        assert_eq!(done.data, b"over");
     }
 
     #[test]
@@ -400,8 +430,8 @@ mod tests {
         m.post_recv(SRC, TAG, 64, RecvReqId(1)); // seq 0
         m.post_recv(SRC, TAG, 64, RecvReqId(2)); // seq 1
                                                  // Wire reordered: seq 1 lands first.
-        m.on_data(SRC, TAG, SeqNo(1), b"second");
-        m.on_data(SRC, TAG, SeqNo(0), b"first");
+        m.on_data(SRC, TAG, SeqNo(1), by(b"second"));
+        m.on_data(SRC, TAG, SeqNo(0), by(b"first"));
         assert_eq!(m.try_take_done(RecvReqId(1)).unwrap().data, b"first");
         assert_eq!(m.try_take_done(RecvReqId(2)).unwrap().data, b"second");
     }
@@ -412,9 +442,9 @@ mod tests {
         m.post_recv(SRC, Tag(1), 64, RecvReqId(1));
         m.post_recv(SRC, Tag(2), 64, RecvReqId(2));
         m.post_recv(NodeId(8), Tag(1), 64, RecvReqId(3));
-        m.on_data(NodeId(8), Tag(1), SeqNo(0), b"other-source");
-        m.on_data(SRC, Tag(2), SeqNo(0), b"tag-two");
-        m.on_data(SRC, Tag(1), SeqNo(0), b"tag-one");
+        m.on_data(NodeId(8), Tag(1), SeqNo(0), by(b"other-source"));
+        m.on_data(SRC, Tag(2), SeqNo(0), by(b"tag-two"));
+        m.on_data(SRC, Tag(1), SeqNo(0), by(b"tag-one"));
         assert_eq!(m.try_take_done(RecvReqId(1)).unwrap().data, b"tag-one");
         assert_eq!(m.try_take_done(RecvReqId(2)).unwrap().data, b"tag-two");
         assert_eq!(m.try_take_done(RecvReqId(3)).unwrap().data, b"other-source");
@@ -481,7 +511,7 @@ mod tests {
     fn eager_truncation_is_flagged() {
         let mut m = Matching::new();
         m.post_recv(SRC, TAG, 3, RecvReqId(1));
-        m.on_data(SRC, TAG, SeqNo(0), b"toolong");
+        m.on_data(SRC, TAG, SeqNo(0), by(b"toolong"));
         let done = m.try_take_done(RecvReqId(1)).unwrap();
         assert!(done.truncated);
         assert_eq!(done.data, b"too");
@@ -509,15 +539,15 @@ mod tests {
     fn duplicate_eager_data_is_dropped_not_redelivered() {
         let mut m = Matching::new();
         m.post_recv(SRC, TAG, 64, RecvReqId(1));
-        assert!(m.on_data(SRC, TAG, SeqNo(0), b"once").is_empty());
+        assert!(m.on_data(SRC, TAG, SeqNo(0), by(b"once")).is_empty());
         assert_eq!(
-            m.on_data(SRC, TAG, SeqNo(0), b"once"),
+            m.on_data(SRC, TAG, SeqNo(0), by(b"once")),
             vec![Effect::DuplicateDropped]
         );
         assert_eq!(m.try_take_done(RecvReqId(1)).unwrap().data, b"once");
         // A third copy after the completion was taken is still a dup.
         assert_eq!(
-            m.on_data(SRC, TAG, SeqNo(0), b"once"),
+            m.on_data(SRC, TAG, SeqNo(0), by(b"once")),
             vec![Effect::DuplicateDropped]
         );
         assert_eq!(m.unexpected_count(), 0, "duplicates must not be staged");
@@ -526,9 +556,9 @@ mod tests {
     #[test]
     fn duplicate_unexpected_data_is_dropped_while_staged() {
         let mut m = Matching::new();
-        m.on_data(SRC, TAG, SeqNo(0), b"early");
+        m.on_data(SRC, TAG, SeqNo(0), by(b"early"));
         assert_eq!(
-            m.on_data(SRC, TAG, SeqNo(0), b"early"),
+            m.on_data(SRC, TAG, SeqNo(0), by(b"early")),
             vec![Effect::DuplicateDropped]
         );
         assert_eq!(m.unexpected_count(), 1);
@@ -536,7 +566,7 @@ mod tests {
         assert_eq!(m.try_take_done(RecvReqId(1)).unwrap().data, b"early");
         // And after consumption too.
         assert_eq!(
-            m.on_data(SRC, TAG, SeqNo(0), b"early"),
+            m.on_data(SRC, TAG, SeqNo(0), by(b"early")),
             vec![Effect::DuplicateDropped]
         );
     }

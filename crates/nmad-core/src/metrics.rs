@@ -58,6 +58,16 @@ pub struct EngineMetrics {
     /// CTS entries for already-granted or completed rendezvous
     /// transfers, ignored instead of treated as protocol errors.
     pub stale_cts_ignored: u64,
+    /// Frames posted as multi-segment gather iovs (the NIC DMA-
+    /// gathered them; no staging copy was paid).
+    pub gather_sends: u64,
+    /// Frame buffers served from the recycling pool.
+    pub pool_hits: u64,
+    /// Frame buffers freshly allocated because the pool was empty.
+    pub pool_misses: u64,
+    /// Receive-side bytes actually memcpy'd (rendezvous reassembly
+    /// without RDMA; eager paths are zero-copy slices).
+    pub bytes_copied_rx: u64,
 }
 
 impl EngineMetrics {
@@ -123,6 +133,8 @@ impl MetricsSnapshot {
              \"reorder_decisions\":{}}},\
              \"faults\":{{\"rail_faults\":{},\"requeued_entries\":{},\
              \"duplicates_dropped\":{},\"stale_cts_ignored\":{}}},\
+             \"zero_copy\":{{\"gather_sends\":{},\"pool_hits\":{},\"pool_misses\":{},\
+             \"bytes_copied_rx\":{}}},\
              \"wire\":{{\"frames_sent\":{},\"frames_received\":{},\"data_entries\":{},\
              \"rts_entries\":{},\"cts_entries\":{},\"chunk_entries\":{},\"staging_copies\":{},\
              \"credit_stalls\":{},\"credit_frames\":{}}},\"nics\":[",
@@ -141,6 +153,10 @@ impl MetricsSnapshot {
             e.requeued_entries,
             e.duplicates_dropped,
             e.stale_cts_ignored,
+            e.gather_sends,
+            e.pool_hits,
+            e.pool_misses,
+            e.bytes_copied_rx,
             w.frames_sent,
             w.frames_received,
             w.data_entries,
@@ -262,6 +278,10 @@ mod tests {
                 requeued_entries: 5,
                 duplicates_dropped: 2,
                 stale_cts_ignored: 1,
+                gather_sends: 2,
+                pool_hits: 6,
+                pool_misses: 2,
+                bytes_copied_rx: 128,
             },
             wire: EngineStats {
                 frames_sent: 2,
@@ -310,6 +330,10 @@ mod tests {
         assert!(json.contains("\"requeued_entries\":5"));
         assert!(json.contains("\"duplicates_dropped\":2"));
         assert!(json.contains("\"stale_cts_ignored\":1"));
+        assert!(json.contains("\"gather_sends\":2"));
+        assert!(json.contains("\"pool_hits\":6"));
+        assert!(json.contains("\"pool_misses\":2"));
+        assert!(json.contains("\"bytes_copied_rx\":128"));
         assert!(json.contains("\"retransmits\":3"));
         assert!(json.contains("\"acks\":4"));
         // The quote inside the NIC name must be escaped.

@@ -15,7 +15,7 @@
 use crate::segment::{PackWrapper, SendReqId, SeqNo, Tag};
 use bytes::Bytes;
 use nmad_sim::NodeId;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// An outgoing control message (currently only rendezvous CTS).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -124,13 +124,36 @@ impl RdvJob {
     }
 }
 
+/// Per-destination work counts, maintained at every push and take so
+/// the per-refill queries below never have to scan a queue that holds
+/// nothing for their destination.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct DstCounts {
+    ctrl: usize,
+    rdv: usize,
+}
+
+impl DstCounts {
+    fn is_zero(&self) -> bool {
+        self.ctrl == 0 && self.rdv == 0
+    }
+}
+
 /// The optimization window. See the module documentation.
+///
+/// Every refill of an idle NIC queries the window per destination
+/// (drain the grants for `dst`, cut a rendezvous chunk for `dst`, is
+/// there credit-exempt work for `dst`?). The window keeps a
+/// per-destination count index so those queries return in O(1) when
+/// the answer is "nothing", instead of rescanning the full control and
+/// rendezvous queues on every poll.
 #[derive(Debug)]
 pub struct Window {
     ctrl: VecDeque<CtrlMsg>,
     dedicated: Vec<VecDeque<PackWrapper>>,
     common: VecDeque<PackWrapper>,
     rdv: VecDeque<RdvJob>,
+    index: HashMap<NodeId, DstCounts>,
 }
 
 impl Window {
@@ -141,6 +164,19 @@ impl Window {
             dedicated: (0..nic_count).map(|_| VecDeque::new()).collect(),
             common: VecDeque::new(),
             rdv: VecDeque::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    fn counts_for(&self, dst: NodeId) -> DstCounts {
+        self.index.get(&dst).copied().unwrap_or_default()
+    }
+
+    fn update_counts(&mut self, dst: NodeId, f: impl FnOnce(&mut DstCounts)) {
+        let counts = self.index.entry(dst).or_default();
+        f(counts);
+        if counts.is_zero() {
+            self.index.remove(&dst);
         }
     }
 
@@ -148,6 +184,7 @@ impl Window {
 
     /// Push ctrl.
     pub fn push_ctrl(&mut self, msg: CtrlMsg) {
+        self.update_counts(msg.dst, |c| c.ctrl += 1);
         self.ctrl.push_back(msg);
     }
 
@@ -169,6 +206,7 @@ impl Window {
 
     /// Push rdv.
     pub fn push_rdv(&mut self, job: RdvJob) {
+        self.update_counts(job.dst, |c| c.rdv += 1);
         self.rdv.push_back(job);
     }
 
@@ -223,10 +261,15 @@ impl Window {
         self.common.front().map(|w| w.dst)
     }
 
-    /// Pops every queued control message towards `dst`.
+    /// Pops every queued control message towards `dst`. O(1) when the
+    /// index shows none pending.
     pub fn drain_ctrl_for(&mut self, dst: NodeId) -> Vec<CtrlMsg> {
-        let mut out = Vec::new();
-        let mut rest = VecDeque::with_capacity(self.ctrl.len());
+        let pending = self.counts_for(dst).ctrl;
+        if pending == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(pending);
+        let mut rest = VecDeque::with_capacity(self.ctrl.len() - pending);
         for msg in self.ctrl.drain(..) {
             if msg.dst == dst {
                 out.push(msg);
@@ -235,21 +278,31 @@ impl Window {
             }
         }
         self.ctrl = rest;
+        self.update_counts(dst, |c| c.ctrl = 0);
         out
     }
 
-    /// Front rendezvous job towards `dst`, if any.
-    pub fn rdv_front_for(&mut self, dst: NodeId) -> Option<&mut RdvJob> {
-        self.rdv.iter_mut().find(|j| j.dst == dst)
+    /// Front rendezvous job towards `dst`, if any. O(1) when the index
+    /// shows none pending.
+    pub fn rdv_front_for(&self, dst: NodeId) -> Option<&RdvJob> {
+        if self.counts_for(dst).rdv == 0 {
+            return None;
+        }
+        self.rdv.iter().find(|j| j.dst == dst)
     }
 
     /// Cuts a chunk of at most `max` bytes from the first rendezvous
-    /// job towards `dst`, dropping the job once exhausted.
+    /// job towards `dst`, dropping the job once exhausted. O(1) when
+    /// the index shows none pending.
     pub fn take_rdv_chunk(&mut self, dst: NodeId, max: usize) -> Option<RdvChunk> {
+        if self.counts_for(dst).rdv == 0 {
+            return None;
+        }
         let idx = self.rdv.iter().position(|j| j.dst == dst)?;
         let chunk = self.rdv[idx].take_chunk(max)?;
         if chunk.last {
             self.rdv.remove(idx);
+            self.update_counts(dst, |c| c.rdv -= 1);
         }
         Some(chunk)
     }
@@ -260,20 +313,10 @@ impl Window {
     }
 
     /// True when `dst` has pending work that is exempt from eager flow
-    /// control: control messages or granted rendezvous data.
+    /// control: control messages or granted rendezvous data. O(1) via
+    /// the destination index (the engine asks on every refill poll).
     pub fn has_non_data_work_for(&self, dst: NodeId) -> bool {
-        self.ctrl.iter().any(|c| c.dst == dst) || self.rdv.iter().any(|j| j.dst == dst)
-    }
-
-    /// Raw access to the dedicated list of NIC `nic` (strategies scan
-    /// and remove with their own policy).
-    pub fn dedicated_mut(&mut self, nic: usize) -> &mut VecDeque<PackWrapper> {
-        &mut self.dedicated[nic]
-    }
-
-    /// Raw access to the common (load-balanced) list.
-    pub fn common_mut(&mut self) -> &mut VecDeque<PackWrapper> {
-        &mut self.common
+        !self.counts_for(dst).is_zero()
     }
 
     /// Read-only view of the common list (selection heuristics).
@@ -487,6 +530,52 @@ mod tests {
             .unwrap();
         assert_eq!(got.tag, Tag(40));
         assert!(jumped);
+    }
+
+    #[test]
+    fn destination_index_tracks_every_push_and_take() {
+        let mut w = Window::new(1);
+        // Interleave control and rendezvous work for two destinations.
+        for dst in [1u32, 2, 1] {
+            w.push_ctrl(CtrlMsg {
+                dst: NodeId(dst),
+                tag: Tag(0),
+                seq: SeqNo(0),
+                total: 0,
+            });
+        }
+        w.push_rdv(RdvJob::new(
+            NodeId(2),
+            Tag(0),
+            SeqNo(0),
+            Bytes::from(vec![0u8; 10]),
+            SendReqId(0),
+        ));
+        assert!(w.has_non_data_work_for(NodeId(1)));
+        assert!(w.has_non_data_work_for(NodeId(2)));
+        assert!(!w.has_non_data_work_for(NodeId(3)));
+
+        // Draining node 1's grants empties its index entry.
+        assert_eq!(w.drain_ctrl_for(NodeId(1)).len(), 2);
+        assert!(!w.has_non_data_work_for(NodeId(1)));
+        assert!(w.drain_ctrl_for(NodeId(1)).is_empty(), "indexed early-out");
+
+        // Node 2 still has a grant and a rendezvous job.
+        assert_eq!(w.drain_ctrl_for(NodeId(2)).len(), 1);
+        assert!(w.has_non_data_work_for(NodeId(2)), "rdv job still queued");
+        assert!(w.rdv_front_for(NodeId(2)).is_some());
+        assert!(w.rdv_front_for(NodeId(1)).is_none());
+
+        // A partial chunk keeps the job (and the index entry); the
+        // final chunk removes both.
+        let head = w.take_rdv_chunk(NodeId(2), 6).unwrap();
+        assert!(!head.last);
+        assert!(w.has_non_data_work_for(NodeId(2)));
+        let tail = w.take_rdv_chunk(NodeId(2), 100).unwrap();
+        assert!(tail.last);
+        assert!(!w.has_non_data_work_for(NodeId(2)));
+        assert!(w.take_rdv_chunk(NodeId(2), 100).is_none());
+        assert!(w.is_empty());
     }
 
     #[test]

@@ -84,7 +84,6 @@ pub enum Entry<'a> {
     },
     /// Returns `count` eager-frame credits to the sender (flow
     /// control; see `engine`).
-    /// Appends a credit-return entry (flow control).
     Credit {
         /// Number of credits returned.
         count: u32,
@@ -120,6 +119,35 @@ impl fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+/// Writes the 8-byte frame header with a zero entry count (patched at
+/// finish time by both encoders).
+fn write_frame_header(buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&MAGIC.to_le_bytes());
+    buf.push(VERSION);
+    buf.push(0); // flags
+    buf.extend_from_slice(&0u16.to_le_bytes()); // count, patched in finish()
+    buf.extend_from_slice(&0u16.to_le_bytes()); // reserved
+}
+
+/// Writes one 20-byte entry header.
+fn write_entry_header(
+    buf: &mut Vec<u8>,
+    kind: u8,
+    flags: u8,
+    tag: Tag,
+    seq: SeqNo,
+    len: u32,
+    offset: u32,
+) {
+    buf.push(kind);
+    buf.push(flags);
+    buf.extend_from_slice(&0u16.to_le_bytes());
+    buf.extend_from_slice(&tag.0.to_le_bytes());
+    buf.extend_from_slice(&seq.0.to_le_bytes());
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.extend_from_slice(&offset.to_le_bytes());
+}
+
 /// Incrementally builds one frame.
 pub struct FrameBuilder {
     buf: Vec<u8>,
@@ -132,11 +160,7 @@ impl FrameBuilder {
     /// Starts an empty frame.
     pub fn new() -> Self {
         let mut buf = Vec::with_capacity(256);
-        buf.extend_from_slice(&MAGIC.to_le_bytes());
-        buf.push(VERSION);
-        buf.push(0); // flags
-        buf.extend_from_slice(&0u16.to_le_bytes()); // count, patched in finish()
-        buf.extend_from_slice(&0u16.to_le_bytes()); // reserved
+        write_frame_header(&mut buf);
         FrameBuilder {
             buf,
             count: 0,
@@ -146,13 +170,7 @@ impl FrameBuilder {
     }
 
     fn push_header(&mut self, kind: u8, flags: u8, tag: Tag, seq: SeqNo, len: u32, offset: u32) {
-        self.buf.push(kind);
-        self.buf.push(flags);
-        self.buf.extend_from_slice(&0u16.to_le_bytes());
-        self.buf.extend_from_slice(&tag.0.to_le_bytes());
-        self.buf.extend_from_slice(&seq.0.to_le_bytes());
-        self.buf.extend_from_slice(&len.to_le_bytes());
-        self.buf.extend_from_slice(&offset.to_le_bytes());
+        write_entry_header(&mut self.buf, kind, flags, tag, seq, len, offset);
         self.count = self.count.checked_add(1).expect("entry count overflow");
     }
 
@@ -226,6 +244,226 @@ impl FrameBuilder {
 impl Default for FrameBuilder {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Builds one frame as a header block plus borrowed payload slices, so
+/// the transfer layer can hand a gather-capable NIC a multi-segment iov
+/// instead of staging payloads through a contiguous copy (paper §4:
+/// "the scheduler is responsible for staging copies when the hardware
+/// cannot gather").
+///
+/// The wire encoding is bit-identical to [`FrameBuilder`]: entry
+/// headers are interleaved with payloads on the wire, so the encoder
+/// keeps all headers in one contiguous `meta` buffer and records where
+/// each payload splices in. [`FrameEncoder::finish`] yields a
+/// [`FrameIov`] that can either emit the gather iov or stage the frame
+/// into a single buffer when the NIC cannot gather.
+pub struct FrameEncoder<'p> {
+    meta: Vec<u8>,
+    splices: Vec<(usize, &'p [u8])>,
+    count: u16,
+    payload_segs: usize,
+    payload_bytes: usize,
+}
+
+impl<'p> FrameEncoder<'p> {
+    /// Starts an empty frame with a fresh header buffer.
+    pub fn new() -> Self {
+        Self::with_buffer(Vec::with_capacity(256))
+    }
+
+    /// Starts an empty frame reusing `buf` as the header buffer
+    /// (frame pooling: the buffer is cleared, its capacity kept).
+    pub fn with_buffer(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        write_frame_header(&mut buf);
+        FrameEncoder {
+            meta: buf,
+            splices: Vec::new(),
+            count: 0,
+            payload_segs: 0,
+            payload_bytes: 0,
+        }
+    }
+
+    fn push_header(&mut self, kind: u8, flags: u8, tag: Tag, seq: SeqNo, len: u32, offset: u32) {
+        write_entry_header(&mut self.meta, kind, flags, tag, seq, len, offset);
+        self.count = self.count.checked_add(1).expect("entry count overflow");
+    }
+
+    fn push_payload(&mut self, payload: &'p [u8]) {
+        self.payload_segs += 1;
+        self.payload_bytes += payload.len();
+        if !payload.is_empty() {
+            self.splices.push((self.meta.len(), payload));
+        }
+    }
+
+    /// Push data (payload borrowed, not copied).
+    pub fn push_data(&mut self, tag: Tag, seq: SeqNo, payload: &'p [u8]) {
+        let len = u32::try_from(payload.len()).expect("segment too large for wire");
+        self.push_header(KIND_DATA, 0, tag, seq, len, 0);
+        self.push_payload(payload);
+    }
+
+    /// Push rts.
+    pub fn push_rts(&mut self, tag: Tag, seq: SeqNo, total: u32) {
+        self.push_header(KIND_RTS, 0, tag, seq, total, 0);
+    }
+
+    /// Push cts.
+    pub fn push_cts(&mut self, tag: Tag, seq: SeqNo, total: u32) {
+        self.push_header(KIND_CTS, 0, tag, seq, total, 0);
+    }
+
+    /// Push rdv data (payload borrowed, not copied).
+    pub fn push_rdv_data(
+        &mut self,
+        tag: Tag,
+        seq: SeqNo,
+        offset: u32,
+        last: bool,
+        payload: &'p [u8],
+    ) {
+        let len = u32::try_from(payload.len()).expect("chunk too large for wire");
+        let flags = if last { EF_LAST_CHUNK } else { 0 };
+        self.push_header(KIND_RDV_DATA, flags, tag, seq, len, offset);
+        self.push_payload(payload);
+    }
+
+    /// Push credit.
+    pub fn push_credit(&mut self, count: u32) {
+        self.push_header(KIND_CREDIT, 0, Tag(0), SeqNo(0), count, 0);
+    }
+
+    /// Entries pushed so far.
+    pub fn entry_count(&self) -> u16 {
+        self.count
+    }
+
+    /// Number of distinct payload regions a gather-capable NIC would
+    /// DMA separately (staging-copy decision input).
+    pub fn payload_segments(&self) -> usize {
+        self.payload_segs
+    }
+
+    /// Total payload bytes (staging-copy cost input).
+    pub fn payload_bytes(&self) -> usize {
+        self.payload_bytes
+    }
+
+    /// Is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Total frame length in wire bytes.
+    pub fn wire_len(&self) -> usize {
+        self.meta.len() + self.payload_bytes
+    }
+
+    /// Finalizes the headers and returns the iov assembler.
+    pub fn finish(mut self) -> FrameIov<'p> {
+        self.meta[4..6].copy_from_slice(&self.count.to_le_bytes());
+        FrameIov {
+            meta: self.meta,
+            splices: self.splices,
+            payload_segs: self.payload_segs,
+            payload_bytes: self.payload_bytes,
+        }
+    }
+}
+
+impl Default for FrameEncoder<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A finished frame as a header block plus payload splice points.
+///
+/// Emits either a multi-segment gather iov ([`FrameIov::segments`]) or
+/// a staged contiguous copy ([`FrameIov::stage_into`]); both produce
+/// identical wire bytes.
+pub struct FrameIov<'p> {
+    meta: Vec<u8>,
+    splices: Vec<(usize, &'p [u8])>,
+    payload_segs: usize,
+    payload_bytes: usize,
+}
+
+impl<'p> FrameIov<'p> {
+    /// Wire-order iov: alternating header-block fragments and borrowed
+    /// payload slices. Concatenating the segments yields exactly the
+    /// bytes [`FrameBuilder`] would have produced.
+    pub fn segments(&self) -> Vec<&[u8]> {
+        let mut segs = Vec::with_capacity(2 * self.splices.len() + 1);
+        let mut cursor = 0;
+        for &(at, payload) in &self.splices {
+            if at > cursor {
+                segs.push(&self.meta[cursor..at]);
+                cursor = at;
+            }
+            segs.push(payload);
+        }
+        if cursor < self.meta.len() {
+            segs.push(&self.meta[cursor..]);
+        }
+        segs
+    }
+
+    /// Number of iov segments [`segments`](FrameIov::segments) would
+    /// emit, without allocating (gather-capability decision input).
+    pub fn segment_count(&self) -> usize {
+        let mut n = 0;
+        let mut cursor = 0;
+        for &(at, _) in &self.splices {
+            if at > cursor {
+                n += 1;
+                cursor = at;
+            }
+            n += 1;
+        }
+        if cursor < self.meta.len() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Stages the frame into one contiguous buffer (the copy charged
+    /// via `CpuMeter::charge_memcpy` when the NIC cannot gather). The
+    /// buffer is cleared first so a pooled buffer can be reused.
+    pub fn stage_into(&self, buf: &mut Vec<u8>) {
+        buf.clear();
+        buf.reserve(self.wire_len());
+        let mut cursor = 0;
+        for &(at, payload) in &self.splices {
+            buf.extend_from_slice(&self.meta[cursor..at]);
+            cursor = at;
+            buf.extend_from_slice(payload);
+        }
+        buf.extend_from_slice(&self.meta[cursor..]);
+    }
+
+    /// Total frame length in wire bytes.
+    pub fn wire_len(&self) -> usize {
+        self.meta.len() + self.payload_bytes
+    }
+
+    /// Number of payload regions in the frame.
+    pub fn payload_segments(&self) -> usize {
+        self.payload_segs
+    }
+
+    /// Total payload bytes in the frame.
+    pub fn payload_bytes(&self) -> usize {
+        self.payload_bytes
+    }
+
+    /// Releases the header buffer for recycling (frame pooling).
+    pub fn into_meta(self) -> Vec<u8> {
+        self.meta
     }
 }
 
@@ -428,6 +666,120 @@ mod tests {
             parse_frame(&frame).unwrap(),
             vec![Entry::Credit { count: 3 }]
         );
+    }
+
+    /// Pushes the same mixed entry sequence into both encoders.
+    fn mixed_both<'p>(
+        fb: &mut FrameBuilder,
+        fe: &mut FrameEncoder<'p>,
+        p1: &'p [u8],
+        p2: &'p [u8],
+    ) {
+        fb.push_cts(Tag(7), SeqNo(1), 1 << 20);
+        fe.push_cts(Tag(7), SeqNo(1), 1 << 20);
+        fb.push_data(Tag(3), SeqNo(0), p1);
+        fe.push_data(Tag(3), SeqNo(0), p1);
+        fb.push_rts(Tag(3), SeqNo(1), 512 * 1024);
+        fe.push_rts(Tag(3), SeqNo(1), 512 * 1024);
+        fb.push_rdv_data(Tag(9), SeqNo(4), 4096, true, p2);
+        fe.push_rdv_data(Tag(9), SeqNo(4), 4096, true, p2);
+        fb.push_credit(2);
+        fe.push_credit(2);
+    }
+
+    #[test]
+    fn encoder_segments_match_builder_bytes() {
+        let mut fb = FrameBuilder::new();
+        let mut fe = FrameEncoder::new();
+        mixed_both(&mut fb, &mut fe, b"small payload", b"chunk");
+        assert_eq!(fe.entry_count(), fb.entry_count());
+        assert_eq!(fe.payload_segments(), fb.payload_segments());
+        assert_eq!(fe.payload_bytes(), fb.payload_bytes());
+        assert_eq!(fe.wire_len(), fb.len());
+        let reference = fb.finish();
+        let iov = fe.finish();
+        assert_eq!(iov.wire_len(), reference.len());
+        let segs = iov.segments();
+        assert_eq!(segs.len(), iov.segment_count());
+        // Mixed frame: header block split around each payload —
+        // [hdr..cts..data-hdr][payload1][rts-hdr..rdv-hdr][payload2][credit-hdr]
+        assert_eq!(segs.len(), 5);
+        let gathered: Vec<u8> = segs.concat();
+        assert_eq!(gathered, reference, "gather iov must be wire-identical");
+        parse_frame(&gathered).unwrap();
+    }
+
+    #[test]
+    fn encoder_stage_into_matches_builder_bytes() {
+        let mut fb = FrameBuilder::new();
+        let mut fe = FrameEncoder::new();
+        mixed_both(&mut fb, &mut fe, b"small payload", b"chunk");
+        let reference = fb.finish();
+        let iov = fe.finish();
+        let mut staged = vec![0xEEu8; 3]; // stale content must be cleared
+        iov.stage_into(&mut staged);
+        assert_eq!(staged, reference);
+    }
+
+    #[test]
+    fn encoder_skips_empty_payloads_in_iov() {
+        let mut fe = FrameEncoder::new();
+        fe.push_data(Tag(1), SeqNo(0), b"");
+        fe.push_data(Tag(1), SeqNo(1), b"x");
+        assert_eq!(fe.payload_segments(), 2);
+        let iov = fe.finish();
+        // Empty payload contributes no segment: [headers][b"x"].
+        assert_eq!(iov.segment_count(), 2);
+        let gathered: Vec<u8> = iov.segments().concat();
+        let entries = parse_frame(&gathered).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(
+            entries[0],
+            Entry::Data {
+                tag: Tag(1),
+                seq: SeqNo(0),
+                payload: b""
+            }
+        );
+    }
+
+    #[test]
+    fn encoder_headers_only_frame_is_single_segment() {
+        let mut fe = FrameEncoder::new();
+        fe.push_rts(Tag(1), SeqNo(0), 1 << 16);
+        fe.push_cts(Tag(2), SeqNo(0), 1 << 16);
+        fe.push_credit(1);
+        let iov = fe.finish();
+        assert_eq!(iov.segment_count(), 1);
+        assert_eq!(iov.segments().len(), 1);
+    }
+
+    #[test]
+    fn encoder_trailing_payload_has_no_tail_fragment() {
+        let mut fe = FrameEncoder::new();
+        fe.push_data(Tag(1), SeqNo(0), b"tail");
+        let iov = fe.finish();
+        // [frame-hdr + entry-hdr][payload]; nothing after the payload.
+        assert_eq!(iov.segment_count(), 2);
+        let segs = iov.segments();
+        assert_eq!(segs[1], b"tail");
+    }
+
+    #[test]
+    fn encoder_with_buffer_recycles_and_clears() {
+        let stale = vec![0xAAu8; 128];
+        let cap = stale.capacity();
+        let mut fe = FrameEncoder::with_buffer(stale);
+        fe.push_credit(9);
+        let iov = fe.finish();
+        let gathered: Vec<u8> = iov.segments().concat();
+        assert_eq!(
+            parse_frame(&gathered).unwrap(),
+            vec![Entry::Credit { count: 9 }]
+        );
+        let recycled = iov.into_meta();
+        assert!(recycled.capacity() >= cap.min(128));
+        assert_eq!(recycled.len(), FRAME_HEADER_LEN + ENTRY_HEADER_LEN);
     }
 
     #[test]

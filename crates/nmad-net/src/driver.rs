@@ -13,6 +13,7 @@
 //! completion. The engine's multiplexing headers live inside the frame.
 
 use crate::fault::{FaultPlan, FaultStats};
+use bytes::Bytes;
 use nmad_sim::NodeId;
 use std::fmt;
 
@@ -42,12 +43,17 @@ pub struct Capabilities {
 pub struct SendHandle(pub u64);
 
 /// A received frame.
+///
+/// The payload is a shared [`Bytes`] buffer so the engine can hand
+/// zero-copy slices of it to the matching layer (unexpected-message
+/// queue, eager delivery) and recycle the buffer once every slice has
+/// been consumed.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RxFrame {
     /// Source node.
     pub src: NodeId,
     /// Payload bytes.
-    pub payload: Vec<u8>,
+    pub payload: Bytes,
 }
 
 /// Driver-level failures.

@@ -106,7 +106,7 @@ impl Driver for MemDriver {
         sender
             .send(RxFrame {
                 src: self.node,
-                payload,
+                payload: payload.into(),
             })
             .map_err(|_| NetError::Closed)?;
         let handle = SendHandle(self.next_handle);

@@ -25,6 +25,7 @@
 use crate::backoff::BackoffPolicy;
 use crate::driver::{Capabilities, Driver, LinkStats, NetResult, RxFrame, SendHandle};
 use crate::fault::{checksum32, FaultPlan, FaultStats};
+use bytes::Bytes;
 use nmad_sim::NodeId;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
@@ -78,7 +79,7 @@ struct PeerState {
     rto_attempt: u32,
     // --- receiver side ---
     next_rx_seq: u32,
-    out_of_order: BTreeMap<u32, Vec<u8>>,
+    out_of_order: BTreeMap<u32, Bytes>,
     owes_ack: bool,
 }
 
@@ -100,13 +101,28 @@ pub struct ReliableDriver<D> {
 }
 
 fn encode(kind: u8, seq: u32, ack: u32, payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    encode_iov(kind, seq, ack, &[payload])
+}
+
+/// Encodes a decorator frame directly from the engine's gather iov, so
+/// multi-segment posts are assembled once instead of concatenated into
+/// an intermediate buffer first.
+fn encode_iov(kind: u8, seq: u32, ack: u32, iov: &[&[u8]]) -> Vec<u8> {
+    let len: usize = iov.iter().map(|s| s.len()).sum();
+    let mut out = Vec::with_capacity(HEADER_LEN + len);
     out.push(kind);
     out.extend_from_slice(&seq.to_le_bytes());
     out.extend_from_slice(&ack.to_le_bytes());
-    let crc = checksum32(&[&out[..9], payload]);
+    let crc = {
+        let mut parts: Vec<&[u8]> = Vec::with_capacity(iov.len() + 1);
+        parts.push(&out[..9]);
+        parts.extend_from_slice(iov);
+        checksum32(&parts)
+    };
     out.extend_from_slice(&crc.to_le_bytes());
-    out.extend_from_slice(payload);
+    for seg in iov {
+        out.extend_from_slice(seg);
+    }
     out
 }
 
@@ -253,7 +269,7 @@ impl<D: Driver> ReliableDriver<D> {
         Ok(())
     }
 
-    fn handle_data(&mut self, src: NodeId, seq: u32, payload: &[u8]) {
+    fn handle_data(&mut self, src: NodeId, seq: u32, payload: Bytes) {
         let peer = self.peers.entry(src).or_default();
         if seq < peer.next_rx_seq {
             self.stats.duplicates_dropped += 1;
@@ -262,17 +278,14 @@ impl<D: Driver> ReliableDriver<D> {
         }
         if seq == peer.next_rx_seq {
             peer.next_rx_seq += 1;
-            self.rx_ready.push_back(RxFrame {
-                src,
-                payload: payload.to_vec(),
-            });
+            self.rx_ready.push_back(RxFrame { src, payload });
             // Drain any directly following buffered frames.
             while let Some(p) = peer.out_of_order.remove(&peer.next_rx_seq) {
                 peer.next_rx_seq += 1;
                 self.rx_ready.push_back(RxFrame { src, payload: p });
             }
         } else if peer.out_of_order.len() < REORDER_WINDOW {
-            peer.out_of_order.insert(seq, payload.to_vec());
+            peer.out_of_order.insert(seq, payload);
         }
         // Ack everything we see: in-order data advances the cumulative
         // ack, out-of-order data produces the duplicate-ack gap signal.
@@ -290,19 +303,17 @@ impl<D: Driver> Driver for ReliableDriver<D> {
     }
 
     fn post_send(&mut self, dst: NodeId, iov: &[&[u8]]) -> NetResult<SendHandle> {
-        let payload: Vec<u8> = iov.concat();
         let now = (self.now)();
         let (seq, frame, attempt) = {
             let peer = self.peers.entry(dst).or_default();
             let seq = peer.next_tx_seq;
             peer.next_tx_seq += 1;
-            peer.unacked.push_back((seq, payload.clone()));
+            // Assemble the wire frame straight from the gather iov;
+            // the retransmission copy is carved from the frame itself.
+            let frame = encode_iov(KIND_DATA, seq, peer.next_rx_seq, iov);
+            peer.unacked.push_back((seq, frame[HEADER_LEN..].to_vec()));
             peer.last_tx_ns = now;
-            (
-                seq,
-                encode(KIND_DATA, seq, peer.next_rx_seq, &payload),
-                peer.rto_attempt,
-            )
+            (seq, frame, peer.rto_attempt)
         };
         self.send_raw(dst, &frame)?;
         self.stats.data_sent += 1;
@@ -357,7 +368,9 @@ impl<D: Driver> Driver for ReliableDriver<D> {
             let ack = u32::from_le_bytes(frame.payload[5..9].try_into().expect("4"));
             self.handle_ack(frame.src, ack)?;
             if kind == KIND_DATA {
-                self.handle_data(frame.src, seq, &frame.payload[HEADER_LEN..]);
+                // Zero-copy: the delivered payload is a slice of the
+                // received frame buffer.
+                self.handle_data(frame.src, seq, frame.payload.slice(HEADER_LEN..));
             }
         }
 

@@ -17,6 +17,7 @@
 use crate::backoff::BackoffPolicy;
 use crate::driver::{Capabilities, Driver, NetResult, RxFrame, SendHandle};
 use crate::fault::{checksum32, FaultPlan, FaultStats};
+use bytes::Bytes;
 use nmad_sim::NodeId;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
@@ -61,7 +62,7 @@ struct PeerState {
     next_tx_seq: u32,
     unacked: BTreeMap<u32, Outstanding>,
     next_rx_seq: u32,
-    out_of_order: BTreeMap<u32, Vec<u8>>,
+    out_of_order: BTreeMap<u32, Bytes>,
     /// Seqs received since the last pump, to acknowledge.
     owed_acks: Vec<u32>,
 }
@@ -81,12 +82,26 @@ pub struct SelectiveDriver<D> {
 }
 
 fn encode(kind: u8, seq: u32, payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    encode_iov(kind, seq, &[payload])
+}
+
+/// Encodes a decorator frame directly from the engine's gather iov,
+/// avoiding an intermediate concatenation buffer.
+fn encode_iov(kind: u8, seq: u32, iov: &[&[u8]]) -> Vec<u8> {
+    let len: usize = iov.iter().map(|s| s.len()).sum();
+    let mut out = Vec::with_capacity(HEADER_LEN + len);
     out.push(kind);
     out.extend_from_slice(&seq.to_le_bytes());
-    let crc = checksum32(&[&out[..5], payload]);
+    let crc = {
+        let mut parts: Vec<&[u8]> = Vec::with_capacity(iov.len() + 1);
+        parts.push(&out[..5]);
+        parts.extend_from_slice(iov);
+        checksum32(&parts)
+    };
     out.extend_from_slice(&crc.to_le_bytes());
-    out.extend_from_slice(payload);
+    for seg in iov {
+        out.extend_from_slice(seg);
+    }
     out
 }
 
@@ -155,7 +170,7 @@ impl<D: Driver> SelectiveDriver<D> {
         Ok(())
     }
 
-    fn handle_data(&mut self, src: NodeId, seq: u32, payload: &[u8]) {
+    fn handle_data(&mut self, src: NodeId, seq: u32, payload: Bytes) {
         let peer = self.peers.entry(src).or_default();
         peer.owed_acks.push(seq);
         if seq < peer.next_rx_seq || peer.out_of_order.contains_key(&seq) {
@@ -164,16 +179,13 @@ impl<D: Driver> SelectiveDriver<D> {
         }
         if seq == peer.next_rx_seq {
             peer.next_rx_seq += 1;
-            self.rx_ready.push_back(RxFrame {
-                src,
-                payload: payload.to_vec(),
-            });
+            self.rx_ready.push_back(RxFrame { src, payload });
             while let Some(p) = peer.out_of_order.remove(&peer.next_rx_seq) {
                 peer.next_rx_seq += 1;
                 self.rx_ready.push_back(RxFrame { src, payload: p });
             }
         } else if peer.out_of_order.len() < REORDER_WINDOW {
-            peer.out_of_order.insert(seq, payload.to_vec());
+            peer.out_of_order.insert(seq, payload);
         }
     }
 }
@@ -188,21 +200,23 @@ impl<D: Driver> Driver for SelectiveDriver<D> {
     }
 
     fn post_send(&mut self, dst: NodeId, iov: &[&[u8]]) -> NetResult<SendHandle> {
-        let payload: Vec<u8> = iov.concat();
         let now = (self.now)();
         let (seq, frame) = {
             let peer = self.peers.entry(dst).or_default();
             let seq = peer.next_tx_seq;
             peer.next_tx_seq += 1;
+            // Assemble the wire frame straight from the gather iov;
+            // the retransmission copy is carved from the frame itself.
+            let frame = encode_iov(KIND_DATA, seq, iov);
             peer.unacked.insert(
                 seq,
                 Outstanding {
-                    payload: payload.clone(),
+                    payload: frame[HEADER_LEN..].to_vec(),
                     last_tx_ns: now,
                     attempt: 0,
                 },
             );
-            (seq, encode(KIND_DATA, seq, &payload))
+            (seq, frame)
         };
         self.send_raw(dst, &frame)?;
         self.stats.data_sent += 1;
@@ -252,7 +266,9 @@ impl<D: Driver> Driver for SelectiveDriver<D> {
                     self.pending
                         .retain(|_, &mut (peer, s)| !(peer == frame.src && s == seq));
                 }
-                KIND_DATA => self.handle_data(frame.src, seq, &frame.payload[HEADER_LEN..]),
+                // Zero-copy: the delivered payload is a slice of the
+                // received frame buffer.
+                KIND_DATA => self.handle_data(frame.src, seq, frame.payload.slice(HEADER_LEN..)),
                 _ => {}
             }
         }

@@ -22,6 +22,7 @@ pub struct SimDriver {
     node: NodeId,
     rail: RailId,
     caps: Capabilities,
+    gather_entry_overhead: SimDuration,
     next_handle: u64,
     tokens: HashMap<SendHandle, SendToken>,
     faults: Option<FaultInjector>,
@@ -30,16 +31,18 @@ pub struct SimDriver {
 impl SimDriver {
     /// Binds `node`'s NIC on `rail`.
     pub fn new(world: SharedWorld, node: NodeId, rail: RailId) -> Self {
-        let caps = {
+        let (caps, gather_entry_overhead) = {
             let w = world.lock();
             assert!(node.index() < w.node_count(), "unknown node {node}");
-            Capabilities::from_nic(w.rail_model(rail))
+            let model = w.rail_model(rail);
+            (Capabilities::from_nic(model), model.gather_entry_overhead)
         };
         SimDriver {
             world,
             node,
             rail,
             caps,
+            gather_entry_overhead,
             next_handle: 0,
             tokens: HashMap::new(),
             faults: None,
@@ -95,7 +98,15 @@ impl Driver for SimDriver {
                 mtu: self.caps.mtu,
             });
         }
-        // The card gathers: assembling the frame costs no virtual time.
+        // The card gathers: assembly costs no memcpy, only the per-
+        // descriptor DMA setup the firmware charges for each gather
+        // entry beyond the first (the paper's MX model). Single-segment
+        // posts pay nothing extra.
+        if iov.len() > 1 && self.gather_entry_overhead > SimDuration::ZERO {
+            let extra =
+                SimDuration::from_ns(self.gather_entry_overhead.as_ns() * (iov.len() as u64 - 1));
+            self.world.lock().charge_cpu(self.node, extra);
+        }
         let mut frame = Vec::with_capacity(len);
         for seg in iov {
             frame.extend_from_slice(seg);
@@ -154,7 +165,7 @@ impl Driver for SimDriver {
             .poll_recv(self.node, self.rail)
             .map(|p| RxFrame {
                 src: p.src,
-                payload: p.payload,
+                payload: p.payload.into(),
             }))
     }
 
@@ -263,6 +274,18 @@ mod tests {
         // GM has no hardware gather (max 1 segment).
         let err = a.post_send(NodeId(1), &[b"a", b"b"]).unwrap_err();
         assert!(matches!(err, NetError::TooManySegments { max: 1, .. }));
+    }
+
+    #[test]
+    fn multi_segment_posts_charge_gather_dma_setup() {
+        let (world, mut a, _b) = pair();
+        a.post_send(NodeId(1), &[b"one"]).unwrap();
+        let single = world.lock().cpu_free_at(NodeId(0));
+        a.post_send(NodeId(1), &[b"hd", b"p1", b"p2"]).unwrap();
+        let multi = world.lock().cpu_free_at(NodeId(0));
+        let model = nic::mx_myri10g();
+        let expected = model.tx_overhead.as_ns() + 2 * model.gather_entry_overhead.as_ns();
+        assert_eq!(multi.saturating_since(single).as_ns(), expected);
     }
 
     #[test]

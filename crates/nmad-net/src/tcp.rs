@@ -216,7 +216,7 @@ impl TcpDriver {
             let start = consumed + LEN_PREFIX;
             rx_ready.push_back(RxFrame {
                 src: NodeId(idx as u32),
-                payload: conn.in_buf[start..start + len].to_vec(),
+                payload: conn.in_buf[start..start + len].to_vec().into(),
             });
             consumed = start + len;
         }

@@ -32,6 +32,11 @@ pub struct NicModel {
     /// descriptor. `1` means no hardware gather: a multi-segment packet
     /// must be copied into a staging buffer first.
     pub gather_max_segs: usize,
+    /// Host CPU cost of each gather entry beyond the first when a send
+    /// descriptor carries a multi-segment iov (the per-descriptor DMA
+    /// setup the MX firmware charges for scatter/gather lists). Zero
+    /// for single-segment posts and for cards without hardware gather.
+    pub gather_entry_overhead: SimDuration,
     /// Driver-suggested eager→rendezvous switch point, in bytes.
     pub rdv_threshold: usize,
     /// Whether the card offers remote direct memory access (zero-copy
@@ -73,6 +78,7 @@ pub fn mx_myri10g() -> NicModel {
         tx_overhead: SimDuration::from_us_f64(0.65),
         rx_overhead: SimDuration::from_us_f64(0.30),
         gather_max_segs: 32,
+        gather_entry_overhead: SimDuration::from_ns(40),
         rdv_threshold: 32 * 1024,
         supports_rdma: true,
         mtu: usize::MAX,
@@ -88,6 +94,7 @@ pub fn quadrics_qm500() -> NicModel {
         tx_overhead: SimDuration::from_us_f64(0.50),
         rx_overhead: SimDuration::from_us_f64(0.25),
         gather_max_segs: 16,
+        gather_entry_overhead: SimDuration::from_ns(50),
         rdv_threshold: 16 * 1024,
         supports_rdma: true,
         mtu: usize::MAX,
@@ -103,6 +110,7 @@ pub fn gm_myrinet2000() -> NicModel {
         tx_overhead: SimDuration::from_us_f64(0.9),
         rx_overhead: SimDuration::from_us_f64(0.6),
         gather_max_segs: 1,
+        gather_entry_overhead: SimDuration::ZERO,
         rdv_threshold: 32 * 1024,
         supports_rdma: false,
         mtu: usize::MAX,
@@ -118,6 +126,7 @@ pub fn sisci_sci() -> NicModel {
         tx_overhead: SimDuration::from_us_f64(0.6),
         rx_overhead: SimDuration::from_us_f64(0.4),
         gather_max_segs: 8,
+        gather_entry_overhead: SimDuration::from_ns(60),
         rdv_threshold: 8 * 1024,
         supports_rdma: true,
         mtu: 64 * 1024,
@@ -134,6 +143,7 @@ pub fn tcp_gige() -> NicModel {
         tx_overhead: SimDuration::from_us_f64(4.0),
         rx_overhead: SimDuration::from_us_f64(3.0),
         gather_max_segs: 64, // writev
+        gather_entry_overhead: SimDuration::from_ns(20),
         rdv_threshold: 64 * 1024,
         supports_rdma: false,
         mtu: usize::MAX,

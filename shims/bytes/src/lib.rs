@@ -11,9 +11,13 @@ use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
 /// A cheaply cloneable, immutable slice of shared memory.
+///
+/// Backed by an `Arc<Vec<u8>>` so that `From<Vec<u8>>` is zero-copy
+/// and a uniquely-owned buffer can be recovered with
+/// [`try_unwrap`](Bytes::try_unwrap) for recycling (frame pooling).
 #[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -70,8 +74,19 @@ impl Bytes {
         }
     }
 
-    fn as_slice(&self) -> &[u8] {
+    /// View of the bytes as a plain slice.
+    pub fn as_slice(&self) -> &[u8] {
         &self.data[self.start..self.end]
+    }
+
+    /// Recovers the full backing buffer when this handle is its sole
+    /// owner (no clones or slices alive), so the allocation can be
+    /// recycled. Returns the handle unchanged otherwise. Note the
+    /// recovered `Vec` is the *whole* backing store, not the sliced
+    /// view — callers recycle it as raw capacity.
+    pub fn try_unwrap(self) -> Result<Vec<u8>, Bytes> {
+        let Bytes { data, start, end } = self;
+        Arc::try_unwrap(data).map_err(|data| Bytes { data, start, end })
     }
 }
 
@@ -103,10 +118,9 @@ impl Borrow<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
-        let data: Arc<[u8]> = Arc::from(v);
-        let end = data.len();
+        let end = v.len();
         Bytes {
-            data,
+            data: Arc::new(v),
             start: 0,
             end,
         }
@@ -259,5 +273,26 @@ mod tests {
     fn debug_escapes_bytes() {
         let a = Bytes::from(vec![b'h', b'i', 0]);
         assert_eq!(format!("{a:?}"), "b\"hi\\x00\"");
+    }
+
+    #[test]
+    fn from_vec_is_zero_copy() {
+        let v = vec![9u8; 64];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_slice().as_ptr(), ptr, "no copy on From<Vec<u8>>");
+    }
+
+    #[test]
+    fn try_unwrap_recovers_unique_buffers_only() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4]);
+        let clone = b.clone();
+        let b = b.try_unwrap().expect_err("clone alive, must not unwrap");
+        drop(clone);
+        // A sliced view still recovers the *whole* backing store once
+        // it is the only handle left.
+        let s = b.slice(1..3);
+        drop(b);
+        assert_eq!(s.try_unwrap().expect("sole owner"), vec![1, 2, 3, 4]);
     }
 }

@@ -4,7 +4,7 @@
 
 use bytes::Bytes;
 use newmadeleine::core::prelude::*;
-use newmadeleine::core::wire::{parse_frame, Entry, FrameBuilder};
+use newmadeleine::core::wire::{parse_frame, Entry, FrameBuilder, FrameEncoder};
 use newmadeleine::core::SeqNo;
 use newmadeleine::core::Strategy;
 use newmadeleine::net::sim::SimDriver;
@@ -134,6 +134,59 @@ proptest! {
         }
     }
 
+    /// The gather encoder is bit-identical to the staged builder: for
+    /// any entry sequence, concatenating [`FrameEncoder`]'s iov
+    /// segments yields exactly the bytes [`FrameBuilder`] produces,
+    /// `stage_into` produces the same bytes again, and the result
+    /// parses back to the same entries (paper §4: gather vs staging
+    /// copy must be a pure transport decision, invisible on the wire).
+    #[test]
+    fn gather_iov_is_bit_identical_to_staged_frame(
+        entries in proptest::collection::vec(
+            (0u32..1000, 0u32..1000, proptest::collection::vec(any::<u8>(), 0..300), 0u8..5),
+            0..20
+        )
+    ) {
+        let mut fb = FrameBuilder::new();
+        let mut fe = FrameEncoder::new();
+        for (tag, seq, payload, kind) in &entries {
+            match kind {
+                0 => {
+                    fb.push_data(Tag(*tag), SeqNo(*seq), payload);
+                    fe.push_data(Tag(*tag), SeqNo(*seq), payload);
+                }
+                1 => {
+                    fb.push_rts(Tag(*tag), SeqNo(*seq), payload.len() as u32);
+                    fe.push_rts(Tag(*tag), SeqNo(*seq), payload.len() as u32);
+                }
+                2 => {
+                    fb.push_cts(Tag(*tag), SeqNo(*seq), payload.len() as u32);
+                    fe.push_cts(Tag(*tag), SeqNo(*seq), payload.len() as u32);
+                }
+                3 => {
+                    fb.push_rdv_data(Tag(*tag), SeqNo(*seq), *seq, *seq % 2 == 0, payload);
+                    fe.push_rdv_data(Tag(*tag), SeqNo(*seq), *seq, *seq % 2 == 0, payload);
+                }
+                _ => {
+                    fb.push_credit(*tag);
+                    fe.push_credit(*tag);
+                }
+            }
+        }
+        prop_assert_eq!(fb.len(), fe.wire_len());
+        let staged_by_builder = fb.finish();
+        let iov = fe.finish();
+        let segs = iov.segments();
+        prop_assert_eq!(segs.len(), iov.segment_count());
+        let gathered: Vec<u8> = segs.concat();
+        prop_assert_eq!(&gathered, &staged_by_builder, "gather iov differs from builder bytes");
+        let mut staged_by_iov = vec![0xAAu8; 7]; // dirty pooled buffer
+        iov.stage_into(&mut staged_by_iov);
+        prop_assert_eq!(&staged_by_iov, &staged_by_builder, "staged copy differs from builder bytes");
+        let parsed = parse_frame(&gathered).expect("gather-built frame parses");
+        prop_assert_eq!(parsed.len(), entries.len());
+    }
+
     /// Every strict prefix of a valid frame is rejected with an error:
     /// the count header promises entries the truncated bytes cannot
     /// hold, so `parse_frame` must return `Err`, never deliver a
@@ -252,4 +305,95 @@ proptest! {
         prop_assert_eq!(total, len);
         prop_assert_eq!(rebuilt.as_slice(), &data[..]);
     }
+}
+
+/// Drives both engines (and virtual time) until `done` holds.
+fn pump_until(
+    world: &SharedWorld,
+    a: &mut NmadEngine,
+    b: &mut NmadEngine,
+    done: impl Fn(&NmadEngine, &NmadEngine) -> bool,
+) {
+    let mut spins = 0u32;
+    loop {
+        let mut moved = a.progress();
+        moved |= b.progress();
+        if done(a, b) {
+            break;
+        }
+        if !moved && world.lock().advance().is_none() {
+            panic!("deadlock");
+        }
+        spins += 1;
+        assert!(spins < 1_000_000, "livelock");
+    }
+}
+
+/// One eager data frame is two iov segments (header block + payload).
+/// A NIC whose gather limit is exactly two must take the gather path
+/// with zero staging copies: the `segments <= gather_max_segs` decision
+/// is inclusive at the boundary.
+#[test]
+fn frame_exactly_at_gather_limit_posts_without_staging() {
+    let model = newmadeleine::sim::NicModel {
+        gather_max_segs: 2,
+        ..nic::mx_myri10g()
+    };
+    let world = shared_world(SimConfig::two_nodes(model));
+    let mut a = engine(&world, 0, Box::new(StratDefault));
+    let mut b = engine(&world, 1, Box::new(StratDefault));
+    let s = a.isend(NodeId(1), Tag(7), vec![0x42u8; 128]);
+    let r = b.post_recv(NodeId(0), Tag(7), 128);
+    pump_until(&world, &mut a, &mut b, |a, b| {
+        a.is_send_done(s) && b.is_recv_done(r)
+    });
+    let m = a.metrics();
+    assert!(m.engine.gather_sends > 0, "boundary frame must gather");
+    assert_eq!(m.wire.staging_copies, 0, "no staging at the boundary");
+}
+
+/// The same frame on a NIC that allows one segment fewer must fall
+/// back to a staged copy — and still deliver identical bytes.
+#[test]
+fn frame_one_over_gather_limit_stages_a_copy() {
+    let model = newmadeleine::sim::NicModel {
+        gather_max_segs: 1,
+        ..nic::mx_myri10g()
+    };
+    let world = shared_world(SimConfig::two_nodes(model));
+    let mut a = engine(&world, 0, Box::new(StratDefault));
+    let mut b = engine(&world, 1, Box::new(StratDefault));
+    let body: Vec<u8> = (0..128u32).map(|i| (i % 251) as u8).collect();
+    let s = a.isend(NodeId(1), Tag(7), body.clone());
+    let r = b.post_recv(NodeId(0), Tag(7), 128);
+    pump_until(&world, &mut a, &mut b, |a, b| {
+        a.is_send_done(s) && b.is_recv_done(r)
+    });
+    let m = a.metrics();
+    assert_eq!(m.engine.gather_sends, 0, "gatherless NIC must not gather");
+    assert!(m.wire.staging_copies > 0, "fallback must stage");
+    assert_eq!(&b.try_take_recv(r).expect("completed").data, &body);
+}
+
+/// The sim driver enforces its MTU exactly: a frame of `mtu` bytes is
+/// accepted, one byte more is rejected as `FrameTooLarge`.
+#[test]
+fn mtu_boundary_is_exact_at_the_driver() {
+    let model = newmadeleine::sim::NicModel {
+        mtu: 4096,
+        ..nic::mx_myri10g()
+    };
+    let world = shared_world(SimConfig::two_nodes(model));
+    let mut d = SimDriver::new(world.clone(), NodeId(0), RailId(0));
+    let mut fb = FrameBuilder::new();
+    fb.push_data(Tag(0), SeqNo(0), &vec![0u8; 4096 - fb.len() - 20]);
+    let at_mtu = fb.finish();
+    assert_eq!(at_mtu.len(), 4096);
+    d.post_send(NodeId(1), &[&at_mtu])
+        .expect("frame at mtu fits");
+    let over = vec![0u8; 4097];
+    assert!(
+        d.post_send(NodeId(1), &[&over]).is_err(),
+        "frame one byte over mtu must be rejected"
+    );
 }
