@@ -1,0 +1,236 @@
+//! Computation/communication overlap benchmark (paper §4: "a
+//! *progression engine* [...] lets communication progress in the
+//! background while the application computes").
+//!
+//! One round posts a burst of sends, busy-computes for a fixed time
+//! slice, then drains. With **inline** progression the whole world is
+//! polled by the application thread, so nothing moves while it
+//! computes and the post-compute drain pays the full communication
+//! time. With **threaded** progression both endpoints run progression
+//! threads that move the bytes *during* the compute phase, so the
+//! drain is nearly free. The overlap metric is the share of the
+//! reference communication cost taken off the application's critical
+//! path:
+//!
+//! ```text
+//! overlap% = clamp((T_comm - T_drain) / T_comm, 0..1) * 100
+//! ```
+//!
+//! where `T_comm` is the median drain of an **inline** round with no
+//! compute phase — the full communication cost when nothing can hide
+//! it — and `T_drain` the median post-compute drain of a full round in
+//! the mode under test. Inline mode therefore scores ~0% by
+//! construction, and a mode only scores high by genuinely finishing
+//! communication while the application computes. (Scoring against the
+//! whole round or per-mode calibration is misleading on small
+//! machines, where the OS can schedule progression work into the
+//! *post* phase.) Results land in `BENCH_overlap.json` (override with
+//! `--json PATH`).
+//!
+//! Run: `cargo run --release -p bench --bin overlap [-- --quick]`
+
+use std::time::{Duration, Instant};
+
+use bench::{fmt_size, median, OverlapReport, OverlapRow, Table, BENCH_OVERLAP_JSON_PATH};
+use nmad_core::prelude::*;
+use nmad_net::mem::mem_fabric;
+use nmad_net::{MemDriver, NullMeter};
+use nmad_sim::NodeId;
+
+/// Messages posted per round (a burst, so the window and aggregation
+/// paths are exercised, not a single in-flight transfer).
+const MSGS_PER_ROUND: usize = 8;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let json = bench::json_arg().unwrap_or_else(|| BENCH_OVERLAP_JSON_PATH.to_string());
+    let reps = if quick { 3 } else { 7 };
+    let sizes = [16 * 1024usize, 64 * 1024, 256 * 1024];
+    let report = OverlapReport::new();
+
+    println!("\n## computation/communication overlap — mem driver, {MSGS_PER_ROUND} msgs/round\n");
+    let mut table = Table::new(vec![
+        "mode",
+        "size",
+        "comm (us)",
+        "compute",
+        "total",
+        "overlap",
+        "drain (us)",
+    ]);
+    for &size in &sizes {
+        // Inline first: its zero-compute drain is the reference
+        // communication cost the threaded row is scored against.
+        let inline_row = run_mode(false, size, reps, None);
+        let threaded_row = run_mode(true, size, reps, Some(inline_row.comm_us));
+        for row in [inline_row, threaded_row] {
+            table.row(vec![
+                row.mode.clone(),
+                fmt_size(row.size),
+                format!("{:.1}", row.comm_us),
+                format!("{:.1}", row.compute_us),
+                format!("{:.1}", row.total_us),
+                format!("{:.1}%", row.overlap_pct),
+                format!("{:.1}", row.drain_us),
+            ]);
+            report.record(row);
+        }
+    }
+    table.print();
+    report.write(&json);
+}
+
+fn engine(d: MemDriver) -> NmadEngine {
+    NmadEngine::new(
+        vec![Box::new(d)],
+        Box::new(NullMeter),
+        Box::new(StratAggreg),
+        EngineCosts::zero(),
+    )
+}
+
+/// Busy-computes for `dur` without ever touching the engine — the
+/// application's "useful work" phase.
+fn compute(dur: Duration) {
+    let t0 = Instant::now();
+    while t0.elapsed() < dur {
+        std::hint::spin_loop();
+    }
+}
+
+/// One progression mode at one size: calibrate the communication cost
+/// (drain of a round with no compute), pick the compute slice, then
+/// measure full rounds. `baseline` overrides the calibrated cost with
+/// the inline reference so both modes are scored on the same scale.
+fn run_mode(threaded: bool, size: usize, reps: usize, baseline: Option<f64>) -> OverlapRow {
+    let mut fabric = mem_fabric(2);
+    let sink = fabric.pop().expect("two");
+    let init = fabric.pop().expect("two");
+    // Both endpoints run the mode under test: the inline rows measure a
+    // fully polled world (nothing anywhere moves during compute), the
+    // threaded rows a fully background-progressed one.
+    let mut bench: Box<dyn Round> = if threaded {
+        Box::new(ThreadedRound {
+            init: ThreadedEngine::launch(engine(init), EngineConfig::threaded()),
+            sink: ThreadedEngine::launch(engine(sink), EngineConfig::threaded()),
+        })
+    } else {
+        Box::new(InlineRound {
+            init: engine(init),
+            sink: engine(sink),
+        })
+    };
+
+    // Warmup + calibration: rounds with no compute phase; the drain is
+    // the communication cost on the critical path when nothing hides it.
+    bench.round(size, Duration::ZERO);
+    let comm: Vec<f64> = (0..reps)
+        .map(|_| bench.round(size, Duration::ZERO).1)
+        .collect();
+    let comm_us = baseline.unwrap_or_else(|| median(&comm));
+    // The compute slice dwarfs the communication so hidden vs exposed
+    // communication separates clearly; floored for tiny messages where
+    // timer noise would otherwise dominate.
+    let compute_us = (2.0 * comm_us).max(200.0);
+    let slice = Duration::from_secs_f64(compute_us / 1e6);
+
+    let mut totals = Vec::with_capacity(reps);
+    let mut drains = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let (total, drain) = bench.round(size, slice);
+        totals.push(total);
+        drains.push(drain);
+    }
+    let drain_us = median(&drains);
+    let overlap_pct =
+        (((comm_us - drain_us) / comm_us.max(f64::EPSILON)) * 100.0).clamp(0.0, 100.0);
+    OverlapRow {
+        mode: if threaded { "threaded" } else { "inline" }.to_string(),
+        size,
+        msgs_per_round: MSGS_PER_ROUND,
+        comm_us,
+        compute_us,
+        total_us: median(&totals),
+        overlap_pct,
+        drain_us,
+    }
+}
+
+/// One post→compute→drain round; returns (total µs, post-compute
+/// drain µs).
+trait Round {
+    fn round(&mut self, size: usize, compute_for: Duration) -> (f64, f64);
+}
+
+struct InlineRound {
+    init: NmadEngine,
+    sink: NmadEngine,
+}
+
+impl Round for InlineRound {
+    fn round(&mut self, size: usize, compute_for: Duration) -> (f64, f64) {
+        let recvs: Vec<_> = (0..MSGS_PER_ROUND)
+            .map(|i| self.sink.post_recv(NodeId(0), Tag(i as u32), size))
+            .collect();
+        let payload = vec![0xA5u8; size];
+        let t0 = Instant::now();
+        let sends: Vec<_> = (0..MSGS_PER_ROUND)
+            .map(|i| self.init.isend(NodeId(1), Tag(i as u32), payload.clone()))
+            .collect();
+        // Inline progression: while the application computes, nobody
+        // pumps either engine — communication sits still. That is the
+        // behaviour this benchmark quantifies.
+        compute(compute_for);
+        let t_drain = Instant::now();
+        loop {
+            let moved = self.init.progress_until_idle();
+            let moved = self.sink.progress_until_idle() || moved;
+            if sends.iter().all(|&s| self.init.is_send_done(s))
+                && recvs.iter().all(|&r| self.sink.is_recv_done(r))
+            {
+                break;
+            }
+            assert!(moved, "inline drain stalled with transfers pending");
+        }
+        let total = t0.elapsed().as_secs_f64() * 1e6;
+        let drain = t_drain.elapsed().as_secs_f64() * 1e6;
+        for r in recvs {
+            self.sink.try_take_recv(r);
+        }
+        (total, drain)
+    }
+}
+
+struct ThreadedRound {
+    init: ThreadedEngine,
+    sink: ThreadedEngine,
+}
+
+impl Round for ThreadedRound {
+    fn round(&mut self, size: usize, compute_for: Duration) -> (f64, f64) {
+        let h = self.init.handle();
+        let sink = self.sink.handle();
+        let recvs: Vec<_> = (0..MSGS_PER_ROUND)
+            .map(|i| sink.post_recv(NodeId(0), Tag(i as u32), size))
+            .collect();
+        let payload = vec![0xA5u8; size];
+        let t0 = Instant::now();
+        let sends: Vec<_> = (0..MSGS_PER_ROUND)
+            .map(|i| h.isend(NodeId(1), Tag(i as u32), payload.clone()))
+            .collect();
+        // The progression threads move the bytes while we compute.
+        compute(compute_for);
+        let t_drain = Instant::now();
+        while !(sends.iter().all(|&s| h.is_send_done(s))
+            && recvs.iter().all(|&r| sink.is_recv_done(r)))
+        {
+            std::thread::yield_now();
+        }
+        let total = t0.elapsed().as_secs_f64() * 1e6;
+        let drain = t_drain.elapsed().as_secs_f64() * 1e6;
+        for r in recvs {
+            sink.try_take_recv(r);
+        }
+        (total, drain)
+    }
+}

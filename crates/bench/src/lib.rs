@@ -19,7 +19,10 @@ pub use pingpong::{
     pingpong_contig, pingpong_multiseg, pingpong_typed, transfer_multirail, PingPongSample,
 };
 pub use plot::{LogLogChart, Series};
-pub use report::{bench_json_arg, median, BenchReport, BenchRow, BENCH_JSON_PATH};
+pub use report::{
+    bench_json_arg, median, BenchReport, BenchRow, OverlapReport, OverlapRow, BENCH_JSON_PATH,
+    BENCH_OVERLAP_JSON_PATH,
+};
 pub use table::Table;
 pub use workload::{generate, payload_for, WorkItem, WorkloadSpec};
 

@@ -162,6 +162,100 @@ fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Default output path of the computation/communication overlap
+/// benchmark (`overlap` binary); `--json PATH` overrides it.
+pub const BENCH_OVERLAP_JSON_PATH: &str = "BENCH_overlap.json";
+
+/// One sweep point of the overlap benchmark: one progression mode at
+/// one message size.
+#[derive(Clone, Debug)]
+pub struct OverlapRow {
+    /// Progression mode under test: `inline` or `threaded`.
+    pub mode: String,
+    /// Message size in bytes.
+    pub size: usize,
+    /// Messages posted per round.
+    pub msgs_per_round: usize,
+    /// Reference communication cost: median drain of an inline round
+    /// with no compute phase at this size, µs. Both modes of a size
+    /// are scored against the same reference.
+    pub comm_us: f64,
+    /// Busy-compute phase injected between post and drain, µs.
+    pub compute_us: f64,
+    /// Median wall-clock of the full post→compute→drain round, µs.
+    pub total_us: f64,
+    /// Communication/computation overlap achieved: the share of the
+    /// communication already finished when the compute phase ended,
+    /// `clamp((comm_us - drain_us) / comm_us, 0..1) * 100`.
+    pub overlap_pct: f64,
+    /// Median latency from the end of the compute phase until every
+    /// transfer completed, µs.
+    pub drain_us: f64,
+}
+
+/// Thread-safe accumulator for [`OverlapRow`]s, rendered as one JSON
+/// document (`BENCH_overlap.json`).
+#[derive(Default)]
+pub struct OverlapReport {
+    rows: Mutex<Vec<OverlapRow>>,
+}
+
+impl OverlapReport {
+    /// Fresh.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sweep point.
+    pub fn record(&self, row: OverlapRow) {
+        self.rows.lock().expect("report poisoned").push(row);
+    }
+
+    /// Rows recorded so far.
+    pub fn len(&self) -> usize {
+        self.rows.lock().expect("report poisoned").len()
+    }
+
+    /// No rows yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The whole report as one JSON document.
+    pub fn to_json(&self) -> String {
+        let rows = self.rows.lock().expect("report poisoned");
+        let mut out = String::from("{\"overlap\":[");
+        for (i, r) in rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"mode\":\"{}\",\"size\":{},\"msgs_per_round\":{},\
+                 \"comm_us\":{:.2},\"compute_us\":{:.2},\"total_us\":{:.2},\
+                 \"overlap_pct\":{:.1},\"drain_us\":{:.2}}}",
+                escape(&r.mode),
+                r.size,
+                r.msgs_per_round,
+                r.comm_us,
+                r.compute_us,
+                r.total_us,
+                r.overlap_pct,
+                r.drain_us,
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Writes the report; failures are printed, never propagated.
+    pub fn write(&self, path: &str) {
+        match std::fs::write(path, self.to_json()) {
+            Ok(()) => eprintln!("wrote {} overlap rows to {path}", self.len()),
+            Err(e) => eprintln!("could not write overlap report {path}: {e}"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +274,27 @@ mod tests {
         assert_eq!(median(&[3.0]), 3.0);
         assert_eq!(median(&[4.0, 1.0, 3.0]), 3.0);
         assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn overlap_report_renders_rows_as_json() {
+        let report = OverlapReport::new();
+        assert!(report.is_empty());
+        report.record(OverlapRow {
+            mode: "threaded".to_string(),
+            size: 65536,
+            msgs_per_round: 8,
+            comm_us: 120.0,
+            compute_us: 240.0,
+            total_us: 250.0,
+            overlap_pct: 91.7,
+            drain_us: 10.0,
+        });
+        let json = report.to_json();
+        assert!(json.contains("\"mode\":\"threaded\""));
+        assert!(json.contains("\"size\":65536"));
+        assert!(json.contains("\"overlap_pct\":91.7"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

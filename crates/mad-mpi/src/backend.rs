@@ -242,7 +242,9 @@ impl MpiBackend for NmadBackend {
     }
 
     fn progress(&mut self) -> bool {
-        self.engine.progress()
+        // Drain cascades (completion → idle NIC → window refill) in one
+        // call instead of relying on the caller to loop.
+        self.engine.progress_until_idle()
     }
 
     fn frames_sent(&self) -> u64 {

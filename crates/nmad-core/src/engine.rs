@@ -63,6 +63,61 @@ impl EngineCosts {
     }
 }
 
+/// How the engine is driven.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ProgressMode {
+    /// The application thread pumps [`NmadEngine::progress`] itself.
+    /// The only mode the simulated transports support: virtual time
+    /// advances through the co-simulation loop, so progression must
+    /// stay on the application thread to remain deterministic.
+    #[default]
+    Inline,
+    /// A dedicated progression thread owns the engine and pumps it;
+    /// application threads submit through a lock-free ring and poll a
+    /// sharded completion board (see [`crate::threaded`]). For the
+    /// mem/tcp/lossy transports, where communication should overlap
+    /// application computation.
+    Threaded,
+}
+
+/// Engine driving configuration — progression mode plus the knobs of
+/// the threaded mode's submission ring and idle parking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Driving mode. Inline by default.
+    pub mode: ProgressMode,
+    /// Capacity of the lock-free submission ring (threaded mode). A
+    /// full ring pushes back on submitters instead of growing.
+    pub submit_ring_capacity: usize,
+    /// Max operations the progression thread drains from the ring
+    /// between pumps, bounding submission-drain latency vs fairness.
+    pub submit_batch: usize,
+    /// How long the progression thread parks when the engine is idle
+    /// and the ring is empty before re-checking.
+    pub idle_park: std::time::Duration,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            mode: ProgressMode::Inline,
+            submit_ring_capacity: 1024,
+            submit_batch: 256,
+            idle_park: std::time::Duration::from_micros(200),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The default configuration with the threaded mode selected.
+    pub fn threaded() -> Self {
+        EngineConfig {
+            mode: ProgressMode::Threaded,
+            ..Self::default()
+        }
+    }
+}
+
 /// Point-in-time snapshot of an engine's internal queues (debugging,
 /// deadlock reports).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -415,13 +470,30 @@ impl NmadEngine {
         parts: Vec<(Bytes, Priority)>,
         rail_hint: Option<usize>,
     ) -> SendReqId {
+        let req = self.alloc_send_req();
+        self.submit_send_parts_as(req, dst, tag, parts, rail_hint);
+        req
+    }
+
+    /// [`submit_send_parts`](Self::submit_send_parts) under a
+    /// caller-allocated request id. The threaded front-end allocates
+    /// ids on the application thread (one atomic) so the application
+    /// holds its handle before the operation ever crosses the
+    /// submission ring.
+    pub fn submit_send_parts_as(
+        &mut self,
+        req: SendReqId,
+        dst: NodeId,
+        tag: Tag,
+        parts: Vec<(Bytes, Priority)>,
+        rail_hint: Option<usize>,
+    ) {
         assert_ne!(dst, self.node, "self-sends are not routed through NICs");
         self.meter.charge_ns(self.costs.per_request_ns);
         self.metrics.requests_submitted += 1;
-        let req = self.alloc_send_req();
         if parts.is_empty() {
             self.done_sends.insert(req);
-            return req;
+            return;
         }
         self.sends.insert(req, parts.len());
         for (data, priority) in parts {
@@ -447,7 +519,6 @@ impl NmadEngine {
             .max()
             .unwrap_or(0);
         self.metrics.observe_window_depth(depth);
-        req
     }
 
     /// Nonblocking single-segment send.
@@ -458,12 +529,18 @@ impl NmadEngine {
     /// Posts a receive of up to `max` bytes for the next segment of
     /// flow (src, tag).
     pub fn post_recv(&mut self, src: NodeId, tag: Tag, max: usize) -> RecvReqId {
+        let req = self.alloc_recv_req();
+        self.post_recv_as(req, src, tag, max);
+        req
+    }
+
+    /// [`post_recv`](Self::post_recv) under a caller-allocated request
+    /// id (the threaded front-end's submission path).
+    pub fn post_recv_as(&mut self, req: RecvReqId, src: NodeId, tag: Tag, max: usize) {
         self.meter.charge_ns(self.costs.per_recv_ns);
         self.metrics.recvs_posted += 1;
-        let req = self.alloc_recv_req();
         let (_seq, effects) = self.matching.post_recv(src, tag, max, req);
         self.apply_effects(effects);
-        req
     }
 
     /// True once the send request has fully left the host.
@@ -948,6 +1025,95 @@ impl NmadEngine {
     /// failure (simulated transports cannot fail).
     pub fn progress(&mut self) -> bool {
         self.try_progress().expect("transport failure")
+    }
+
+    /// Pumps until a pump reports nothing moved; returns whether any
+    /// pump moved anything. The standard way to drain an inline engine
+    /// after submissions instead of hand-rolled `while progress()`
+    /// loops — a single pump can cascade (a harvested completion frees
+    /// a NIC which refills from the window), so one call is rarely
+    /// enough.
+    pub fn progress_until_idle(&mut self) -> bool {
+        let mut any = false;
+        while self.progress() {
+            any = true;
+        }
+        any
+    }
+
+    /// True when every rail's driver consents to being pumped from a
+    /// background progression thread (threaded mode's precondition).
+    /// The simulated driver refuses — virtual time must advance on the
+    /// application thread.
+    pub fn threaded_progress_safe(&self) -> bool {
+        self.nics.iter().all(|n| n.driver.threaded_progress_safe())
+    }
+
+    /// Send requests that fully left the host since the last drain.
+    /// The threaded progression loop harvests these into the
+    /// completion board after each pump; inline users keep using
+    /// [`is_send_done`](Self::is_send_done).
+    pub fn drain_done_sends(&mut self) -> Vec<SendReqId> {
+        if self.done_sends.is_empty() {
+            return Vec::new();
+        }
+        self.done_sends.drain().collect()
+    }
+
+    /// Receive completions ready since the last drain (payload
+    /// included). The threaded harvest path, mirroring
+    /// [`drain_done_sends`](Self::drain_done_sends).
+    pub fn drain_done_recvs(&mut self) -> Vec<(RecvReqId, RecvDone)> {
+        self.matching.drain_done()
+    }
+
+    /// True while any submitted work could still complete: pending
+    /// sends, posted receives, queued window entries, rendezvous
+    /// handshakes, in-flight frames or owed credit returns. The
+    /// threaded progression loop spins while this holds and parks on
+    /// the submission ring otherwise.
+    pub fn has_outstanding(&self) -> bool {
+        !self.sends.is_empty()
+            || self.matching.posted_count() > 0
+            || !self.window.is_empty()
+            || !self.rdv_wait_cts.is_empty()
+            || !self.rdv_tx.is_empty()
+            || self.nics.iter().any(|n| !n.inflight.is_empty())
+            || self.pending_credit_returns.values().any(|&c| c > 0)
+    }
+
+    /// True when the transmit side is fully drained: no pending sends,
+    /// nothing queued in the window, no rendezvous in flight, no frame
+    /// awaiting completion. Unlike
+    /// [`has_outstanding`](Self::has_outstanding) this ignores posted
+    /// receives, so a shutdown cannot hang on a receive the peer will
+    /// never match.
+    pub fn tx_quiescent(&self) -> bool {
+        self.sends.is_empty()
+            && self.window.is_empty()
+            && self.rdv_wait_cts.is_empty()
+            && self.rdv_tx.is_empty()
+            && self.nics.iter().all(|n| n.inflight.is_empty())
+    }
+
+    /// True when the optimization window's per-destination index
+    /// matches its actual queue contents. Exposed for failover
+    /// regression tests; release builds also check this via
+    /// `debug_assert!` on the requeue/reclaim paths.
+    pub fn window_index_consistent(&self) -> bool {
+        self.window.index_is_consistent()
+    }
+
+    /// The next unallocated request id — the threaded front-end seeds
+    /// its atomic allocator from this at launch and restores it at
+    /// shutdown.
+    pub(crate) fn req_watermark(&self) -> u64 {
+        self.next_req
+    }
+
+    pub(crate) fn set_req_watermark(&mut self, next: u64) {
+        debug_assert!(next >= self.next_req, "request ids must never reuse");
+        self.next_req = next;
     }
 }
 

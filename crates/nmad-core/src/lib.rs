@@ -52,28 +52,35 @@ pub mod api;
 pub mod engine;
 pub mod matching;
 pub mod metrics;
+pub mod ring;
 pub mod segment;
 pub mod strategy;
+pub mod threaded;
 pub mod window;
 pub mod wire;
 
 pub use api::{RecvHandle, RecvMessage, SendMessage};
-pub use engine::{EngineCosts, EngineDiagnostics, EngineStats, NmadEngine};
+pub use engine::{
+    EngineConfig, EngineCosts, EngineDiagnostics, EngineStats, NmadEngine, ProgressMode,
+};
 pub use matching::{Effect, Matching, RecvDone};
-pub use metrics::{EngineMetrics, MetricsRegistry, MetricsSnapshot, NicMetrics};
+pub use metrics::{EngineMetrics, MetricsRegistry, MetricsSnapshot, NicMetrics, SharedMetrics};
+pub use ring::SubmitRing;
 pub use segment::{PackWrapper, Priority, RecvReqId, SendReqId, SeqNo, Tag};
 pub use strategy::{
     eager_cutoff, DynamicStats, FramePlan, NicView, PlanEntry, StratAggreg, StratDefault,
     StratDynamic, StratMultirail, StratReorder, Strategy, Tactic,
 };
+pub use threaded::{CompletionBoard, ThreadedEngine, ThreadedHandle};
 pub use window::{CtrlMsg, RdvChunk, RdvJob, Window};
 
 /// Everything a typical application needs.
 pub mod prelude {
     pub use crate::api::RecvHandle;
-    pub use crate::engine::{EngineCosts, NmadEngine};
+    pub use crate::engine::{EngineConfig, EngineCosts, NmadEngine, ProgressMode};
     pub use crate::segment::{Priority, RecvReqId, SendReqId, Tag};
     pub use crate::strategy::{
         StratAggreg, StratDefault, StratDynamic, StratMultirail, StratReorder, Strategy,
     };
+    pub use crate::threaded::{ThreadedEngine, ThreadedHandle};
 }

@@ -346,6 +346,17 @@ impl Matching {
         self.done.contains_key(&req)
     }
 
+    /// Drains every ready completion at once. The threaded progression
+    /// loop harvests with this after each pump so app threads observe
+    /// completions through the completion board instead of probing the
+    /// matching table request by request.
+    pub fn drain_done(&mut self) -> Vec<(RecvReqId, RecvDone)> {
+        if self.done.is_empty() {
+            return Vec::new();
+        }
+        self.done.drain().collect()
+    }
+
     /// Number of unexpected segments currently staged (tests/metrics).
     pub fn unexpected_count(&self) -> usize {
         self.unexpected.len()

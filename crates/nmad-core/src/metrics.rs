@@ -22,6 +22,7 @@ use crate::engine::EngineStats;
 use nmad_net::LinkStats;
 use parking_lot::Mutex;
 use std::fmt::Write as _;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
 
 /// Plain-cell counters the engine bumps inline on the progress path.
 ///
@@ -236,6 +237,143 @@ impl MetricsRegistry {
     }
 }
 
+/// Number of `u64` counters mirrored through [`SharedMetrics`]:
+/// 17 [`EngineMetrics`] fields plus 9 [`EngineStats`] fields.
+const SHARED_WORDS: usize = 26;
+
+/// Seqlock-published mirror of the engine's hot counters for the
+/// threaded progression mode.
+///
+/// The progression thread owns the engine, so the plain-`u64` counters
+/// stay plain and lock-free on the progress path; after each pump it
+/// *publishes* a copy here. Application threads read the mirror without
+/// taking any lock and without ever blocking the publisher: a torn read
+/// (publisher mid-write) is detected through the sequence word and
+/// retried, so a snapshot handed out is always one the publisher
+/// actually wrote — counters from progression threads can never race a
+/// half-updated view into a report.
+#[derive(Debug)]
+pub struct SharedMetrics {
+    /// Odd while a publish is in flight, even when the mirror is stable.
+    seq: AtomicU64,
+    vals: [AtomicU64; SHARED_WORDS],
+}
+
+impl Default for SharedMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedMetrics {
+    /// An all-zero mirror.
+    pub fn new() -> Self {
+        SharedMetrics {
+            seq: AtomicU64::new(0),
+            vals: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Writer side (progression thread only): publishes a consistent
+    /// copy of the counters. Never blocks and never waits on readers.
+    pub fn publish(&self, engine: &EngineMetrics, wire: &EngineStats) {
+        let s = self.seq.load(Ordering::Relaxed);
+        debug_assert_eq!(s % 2, 0, "concurrent SharedMetrics writers");
+        self.seq.store(s.wrapping_add(1), Ordering::Relaxed);
+        fence(Ordering::Release);
+        for (cell, word) in self.vals.iter().zip(flatten(engine, wire)) {
+            cell.store(word, Ordering::Relaxed);
+        }
+        self.seq.store(s.wrapping_add(2), Ordering::Release);
+    }
+
+    /// Reader side (any thread): a consistent copy of the last
+    /// published counters. Loops on torn reads; wait-free in practice
+    /// because the writer publishes in O(26 stores).
+    pub fn read(&self) -> (EngineMetrics, EngineStats) {
+        loop {
+            let s1 = self.seq.load(Ordering::Acquire);
+            if s1 % 2 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let words: [u64; SHARED_WORDS] =
+                std::array::from_fn(|i| self.vals[i].load(Ordering::Relaxed));
+            fence(Ordering::Acquire);
+            if self.seq.load(Ordering::Relaxed) == s1 {
+                return unflatten(&words);
+            }
+            std::hint::spin_loop();
+        }
+    }
+}
+
+fn flatten(e: &EngineMetrics, w: &EngineStats) -> [u64; SHARED_WORDS] {
+    [
+        e.requests_submitted,
+        e.recvs_posted,
+        e.bytes_enqueued,
+        e.window_depth_hwm,
+        e.frames_synthesized,
+        e.entries_aggregated,
+        e.eager_entries,
+        e.rendezvous_entries,
+        e.reorder_decisions,
+        e.rail_faults,
+        e.requeued_entries,
+        e.duplicates_dropped,
+        e.stale_cts_ignored,
+        e.gather_sends,
+        e.pool_hits,
+        e.pool_misses,
+        e.bytes_copied_rx,
+        w.frames_sent,
+        w.frames_received,
+        w.data_entries,
+        w.rts_entries,
+        w.cts_entries,
+        w.chunk_entries,
+        w.staging_copies,
+        w.credit_stalls,
+        w.credit_frames,
+    ]
+}
+
+fn unflatten(v: &[u64; SHARED_WORDS]) -> (EngineMetrics, EngineStats) {
+    (
+        EngineMetrics {
+            requests_submitted: v[0],
+            recvs_posted: v[1],
+            bytes_enqueued: v[2],
+            window_depth_hwm: v[3],
+            frames_synthesized: v[4],
+            entries_aggregated: v[5],
+            eager_entries: v[6],
+            rendezvous_entries: v[7],
+            reorder_decisions: v[8],
+            rail_faults: v[9],
+            requeued_entries: v[10],
+            duplicates_dropped: v[11],
+            stale_cts_ignored: v[12],
+            gather_sends: v[13],
+            pool_hits: v[14],
+            pool_misses: v[15],
+            bytes_copied_rx: v[16],
+        },
+        EngineStats {
+            frames_sent: v[17],
+            frames_received: v[18],
+            data_entries: v[19],
+            rts_entries: v[20],
+            cts_entries: v[21],
+            chunk_entries: v[22],
+            staging_copies: v[23],
+            credit_stalls: v[24],
+            credit_frames: v[25],
+        },
+    )
+}
+
 /// Escapes `s` as a JSON string literal, quotes included.
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -364,5 +502,50 @@ mod tests {
     fn json_string_escapes_control_characters() {
         assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
         assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn shared_metrics_roundtrip_every_field() {
+        // Distinct values per field so a swapped flatten/unflatten slot
+        // cannot cancel out.
+        let mut words = [0u64; SHARED_WORDS];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = 100 + i as u64;
+        }
+        let (e, w) = unflatten(&words);
+        assert_eq!(flatten(&e, &w), words);
+        let shared = SharedMetrics::new();
+        shared.publish(&e, &w);
+        assert_eq!(shared.read(), (e, w));
+    }
+
+    #[test]
+    fn threaded_shared_metrics_reads_never_tear() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let shared = Arc::new(SharedMetrics::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // Every word equals `i`: any torn read mixes two
+                    // publishes and shows up as unequal words.
+                    let (e, w) = unflatten(&[i; SHARED_WORDS]);
+                    shared.publish(&e, &w);
+                    i = i.wrapping_add(1);
+                }
+            })
+        };
+        for _ in 0..200_000 {
+            let (e, w) = shared.read();
+            let words = flatten(&e, &w);
+            assert!(words.iter().all(|&x| x == words[0]), "torn read: {words:?}");
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
     }
 }

@@ -1,0 +1,254 @@
+//! Bounded lock-free submission ring between application threads and a
+//! progression thread.
+//!
+//! The collect layer of the threaded progression mode: application
+//! threads push operations with one CAS (no engine lock, no allocation
+//! beyond the op itself), the progression thread drains them between
+//! pump iterations. The ring is bounded — a full ring pushes back on
+//! the application instead of growing without limit, exactly like a
+//! NIC submission queue.
+//!
+//! Wakeup protocol: the progression thread parks on a condvar when the
+//! engine is idle and the ring is empty. Producers raise the condvar
+//! only when the `sleeping` flag is set, so the steady-state fast path
+//! (consumer busy) costs producers one relaxed load. The flag-store /
+//! emptiness-check race is closed Dekker-style with `SeqCst` fences on
+//! both sides; the consumer additionally parks with a timeout, so even
+//! a hypothetical missed wakeup only costs one park period.
+
+use crossbeam::queue::ArrayQueue;
+use std::sync::atomic::{fence, AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A bounded MPSC (by convention; MPMC-safe) submission ring with
+/// consumer parking. See the module documentation.
+pub struct SubmitRing<T> {
+    queue: ArrayQueue<T>,
+    sleeping: AtomicBool,
+    lock: Mutex<()>,
+    wakeup: Condvar,
+}
+
+impl<T: Send> SubmitRing<T> {
+    /// A ring holding at most `capacity` pending operations.
+    pub fn new(capacity: usize) -> Self {
+        SubmitRing {
+            queue: ArrayQueue::new(capacity),
+            sleeping: AtomicBool::new(false),
+            lock: Mutex::new(()),
+            wakeup: Condvar::new(),
+        }
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+
+    /// Operations currently buffered (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when nothing is buffered (approximate under concurrency).
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Non-blocking push; a full ring returns the operation back.
+    /// Wakes the consumer if it is parked.
+    pub fn try_push(&self, op: T) -> Result<(), T> {
+        self.queue.push(op)?;
+        self.notify();
+        Ok(())
+    }
+
+    /// Pushes `op`, spinning (with yields) while the ring is full —
+    /// backpressure, not loss.
+    pub fn push(&self, mut op: T) {
+        loop {
+            match self.queue.push(op) {
+                Ok(()) => {
+                    self.notify();
+                    return;
+                }
+                Err(back) => {
+                    op = back;
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Consumer side: next buffered operation, if any.
+    pub fn pop(&self) -> Option<T> {
+        self.queue.pop()
+    }
+
+    /// Consumer side: parks the calling thread until the ring is
+    /// (probably) non-empty or `timeout` elapses. Returns whether any
+    /// operation is buffered on exit.
+    pub fn wait_nonempty(&self, timeout: Duration) -> bool {
+        if !self.queue.is_empty() {
+            return true;
+        }
+        let guard = self.lock.lock().unwrap_or_else(|p| p.into_inner());
+        self.sleeping.store(true, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        // Re-check after raising the flag: a producer that pushed
+        // before our store will be seen here; one that pushes after
+        // will see the flag and notify under the lock we hold.
+        if !self.queue.is_empty() {
+            self.sleeping.store(false, Ordering::SeqCst);
+            return true;
+        }
+        let guard = self
+            .wakeup
+            .wait_timeout(guard, timeout)
+            .map(|(g, _)| g)
+            .unwrap_or_else(|p| {
+                let (g, _) = p.into_inner();
+                g
+            });
+        self.sleeping.store(false, Ordering::SeqCst);
+        drop(guard);
+        !self.queue.is_empty()
+    }
+
+    /// Producer-side half of the wakeup protocol.
+    fn notify(&self) {
+        fence(Ordering::SeqCst);
+        if self.sleeping.load(Ordering::SeqCst) {
+            // Taking the lock orders this notify after the consumer's
+            // flag-store and before (or after) its wait — never between.
+            let _guard = self.lock.lock().unwrap_or_else(|p| p.into_inner());
+            self.wakeup.notify_one();
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for SubmitRing<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubmitRing")
+            .field("cap", &self.queue.capacity())
+            .field("len", &self.queue.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_and_capacity_bound() {
+        let ring = SubmitRing::new(4);
+        for i in 0..4 {
+            ring.try_push(i).unwrap();
+        }
+        assert_eq!(ring.try_push(99), Err(99), "no loss at capacity");
+        for i in 0..4 {
+            assert_eq!(ring.pop(), Some(i));
+        }
+        assert_eq!(ring.pop(), None);
+    }
+
+    #[test]
+    fn wakeup_on_nonempty() {
+        let ring = Arc::new(SubmitRing::new(8));
+        let consumer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                // Park for up to 5 s; the producer below must wake us
+                // long before that.
+                let t0 = std::time::Instant::now();
+                while ring.pop().is_none() {
+                    ring.wait_nonempty(Duration::from_secs(5));
+                    assert!(t0.elapsed() < Duration::from_secs(30), "never woken");
+                }
+            })
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        ring.push(1u32);
+        consumer.join().unwrap();
+    }
+
+    #[test]
+    fn wait_returns_immediately_when_nonempty() {
+        let ring = SubmitRing::new(2);
+        ring.push(7u8);
+        let t0 = std::time::Instant::now();
+        assert!(ring.wait_nonempty(Duration::from_secs(10)));
+        assert!(t0.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn blocking_push_applies_backpressure_not_loss() {
+        let ring = Arc::new(SubmitRing::new(2));
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for i in 0..1_000u32 {
+                    ring.push(i);
+                }
+            })
+        };
+        let mut next = 0;
+        while next < 1_000 {
+            if let Some(v) = ring.pop() {
+                assert_eq!(v, next, "single-producer FIFO broken");
+                next += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+    }
+
+    proptest! {
+        /// Any interleaved push/pop schedule preserves FIFO order and
+        /// loses nothing: values popped are exactly the longest-pushed
+        /// prefix, in order, and pushes refused by a full ring are
+        /// exactly the overflow beyond capacity.
+        #[test]
+        fn ring_is_fifo_and_lossless(ops in proptest::collection::vec(any::<bool>(), 1..200)) {
+            let cap = 8;
+            let ring = SubmitRing::new(cap);
+            let mut next_push = 0u64;
+            let mut next_pop = 0u64;
+            for push in ops {
+                if push {
+                    match ring.try_push(next_push) {
+                        Ok(()) => {
+                            prop_assert!(next_push - next_pop < cap as u64,
+                                "accepted a push beyond capacity");
+                            next_push += 1;
+                        }
+                        Err(v) => {
+                            prop_assert_eq!(v, next_push, "refused push must hand the value back");
+                            prop_assert_eq!(next_push - next_pop, cap as u64,
+                                "refused a push below capacity");
+                        }
+                    }
+                } else {
+                    match ring.pop() {
+                        Some(v) => {
+                            prop_assert_eq!(v, next_pop, "out-of-order pop");
+                            next_pop += 1;
+                        }
+                        None => prop_assert_eq!(next_pop, next_push, "empty pop with values pending"),
+                    }
+                }
+            }
+            // Drain: everything pushed and not yet popped comes out in order.
+            while let Some(v) = ring.pop() {
+                prop_assert_eq!(v, next_pop);
+                next_pop += 1;
+            }
+            prop_assert_eq!(next_pop, next_push, "values lost in the ring");
+        }
+    }
+}

@@ -1,0 +1,605 @@
+//! Threaded asynchronous progression: a dedicated thread owns the
+//! engine and pumps it, so communication overlaps application
+//! computation instead of waiting for the application to poll.
+//!
+//! Ownership map:
+//!
+//! * the **progression thread** exclusively owns the [`NmadEngine`] —
+//!   drivers, optimization window, strategy, matching state. No lock
+//!   guards any of it: the engine's single-threaded state machine runs
+//!   unmodified, just on another thread.
+//! * **application threads** hold a cloneable [`ThreadedHandle`].
+//!   Submissions cross over through a bounded lock-free
+//!   [`SubmitRing`]; request ids are allocated application-side from
+//!   one shared atomic, so the caller has its handle before the
+//!   operation is even enqueued.
+//! * **completions** come back through a sharded [`CompletionBoard`]
+//!   that `test`/`wait` poll without touching the engine, and hot
+//!   counters through a seqlock-published
+//!   [`SharedMetrics`](crate::metrics::SharedMetrics) mirror.
+//!
+//! The simulated transports stay on the inline path
+//! ([`ProgressMode::Inline`]): virtual time only advances through the
+//! co-simulation loop on the application thread, and a background pump
+//! would desynchronise the discrete-event world. Drivers veto the
+//! threaded mode through
+//! [`Driver::threaded_progress_safe`](nmad_net::Driver::threaded_progress_safe).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::utils::CachePadded;
+use nmad_sim::NodeId;
+
+use crate::engine::{EngineConfig, NmadEngine, ProgressMode};
+use crate::matching::RecvDone;
+use crate::metrics::{EngineMetrics, MetricsSnapshot, SharedMetrics};
+use crate::ring::SubmitRing;
+use crate::segment::{Priority, RecvReqId, SendReqId, Tag};
+use crate::EngineStats;
+
+// The whole design rests on the engine being movable to the
+// progression thread; breaking any layer's Send bound must fail here,
+// not in a user's build.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<NmadEngine>();
+};
+
+/// An operation crossing the submission ring.
+enum EngineOp {
+    Send {
+        req: SendReqId,
+        dst: NodeId,
+        tag: Tag,
+        parts: Vec<(Bytes, Priority)>,
+        rail_hint: Option<usize>,
+    },
+    Recv {
+        req: RecvReqId,
+        src: NodeId,
+        tag: Tag,
+        max: usize,
+    },
+    /// Request a full [`MetricsSnapshot`] (needs the engine, so it is
+    /// taken on the progression thread and posted back).
+    Snapshot,
+    Shutdown,
+}
+
+const BOARD_SHARDS: usize = 16;
+
+#[derive(Default)]
+struct BoardShard {
+    sends: HashSet<u64>,
+    recvs: HashMap<u64, RecvDone>,
+}
+
+/// Sharded completion queue the progression thread fills and
+/// application threads poll. Sharding by request id keeps unrelated
+/// waiters off each other's cache lines and locks; the engine itself
+/// is never touched on the poll path.
+pub struct CompletionBoard {
+    shards: Vec<CachePadded<parking_lot::Mutex<BoardShard>>>,
+    /// Completions posted for an id already on the board — always a
+    /// bug (request ids are unique); counted instead of silently
+    /// overwritten so stress tests can assert zero.
+    duplicates: AtomicU64,
+}
+
+impl CompletionBoard {
+    fn new() -> Self {
+        CompletionBoard {
+            shards: (0..BOARD_SHARDS)
+                .map(|_| CachePadded::new(parking_lot::Mutex::new(BoardShard::default())))
+                .collect(),
+            duplicates: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, id: u64) -> &parking_lot::Mutex<BoardShard> {
+        &self.shards[(id as usize) % BOARD_SHARDS]
+    }
+
+    fn post_send_done(&self, req: SendReqId) {
+        if !self.shard(req.0).lock().sends.insert(req.0) {
+            self.duplicates.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn post_recv_done(&self, req: RecvReqId, done: RecvDone) {
+        if self.shard(req.0).lock().recvs.insert(req.0, done).is_some() {
+            self.duplicates.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// True once the send has fully left the host.
+    pub fn is_send_done(&self, req: SendReqId) -> bool {
+        self.shard(req.0).lock().sends.contains(&req.0)
+    }
+
+    /// True once the receive completed (non-destructive).
+    pub fn is_recv_done(&self, req: RecvReqId) -> bool {
+        self.shard(req.0).lock().recvs.contains_key(&req.0)
+    }
+
+    /// Takes a completed receive's payload, once.
+    pub fn try_take_recv(&self, req: RecvReqId) -> Option<RecvDone> {
+        self.shard(req.0).lock().recvs.remove(&req.0)
+    }
+
+    /// Completions posted twice for one request id — must stay zero.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates.load(Ordering::Relaxed)
+    }
+}
+
+/// State shared between application threads and the progression thread.
+struct Shared {
+    ring: SubmitRing<EngineOp>,
+    board: CompletionBoard,
+    /// Application-side request id allocator, seeded from the engine's
+    /// watermark at launch.
+    next_req: AtomicU64,
+    /// Seqlock mirror of the hot counters, published after every pump.
+    hot: SharedMetrics,
+    /// Serialises snapshot requesters (one RPC slot).
+    snap_serial: Mutex<()>,
+    snap_slot: Mutex<Option<MetricsSnapshot>>,
+    snap_cv: Condvar,
+    /// The progression thread died on a transport error.
+    dead: AtomicBool,
+    fail: Mutex<Option<String>>,
+}
+
+/// A running progression thread plus the engine it owns. Created with
+/// [`ThreadedEngine::launch`]; hand out [`ThreadedHandle`]s with
+/// [`handle`](Self::handle); get the engine back with
+/// [`shutdown`](Self::shutdown).
+pub struct ThreadedEngine {
+    shared: Arc<Shared>,
+    node: NodeId,
+    thread: Option<std::thread::JoinHandle<NmadEngine>>,
+}
+
+/// Cloneable application-side handle to a [`ThreadedEngine`]: submit
+/// through the ring, poll the completion board, read mirrored metrics.
+#[derive(Clone)]
+pub struct ThreadedHandle {
+    shared: Arc<Shared>,
+    node: NodeId,
+}
+
+impl ThreadedEngine {
+    /// Moves `engine` onto a freshly spawned progression thread.
+    ///
+    /// Panics if `config.mode` is not [`ProgressMode::Threaded`] or if
+    /// any of the engine's drivers vetoes background progression (the
+    /// simulated transport does — see the module documentation).
+    pub fn launch(engine: NmadEngine, config: EngineConfig) -> Self {
+        assert_eq!(
+            config.mode,
+            ProgressMode::Threaded,
+            "ThreadedEngine requires EngineConfig::threaded()"
+        );
+        assert!(
+            engine.threaded_progress_safe(),
+            "a driver on node {} refuses background progression \
+             (simulated transports must stay inline)",
+            engine.node()
+        );
+        let node = engine.node();
+        let shared = Arc::new(Shared {
+            ring: SubmitRing::new(config.submit_ring_capacity),
+            board: CompletionBoard::new(),
+            next_req: AtomicU64::new(engine.req_watermark()),
+            hot: SharedMetrics::new(),
+            snap_serial: Mutex::new(()),
+            snap_slot: Mutex::new(None),
+            snap_cv: Condvar::new(),
+            dead: AtomicBool::new(false),
+            fail: Mutex::new(None),
+        });
+        let thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("nmad-progress-{}", node.0))
+                .spawn(move || run(engine, &shared, &config))
+                .expect("spawn progression thread")
+        };
+        ThreadedEngine {
+            shared,
+            node,
+            thread: Some(thread),
+        }
+    }
+
+    /// A cloneable submission/poll handle for application threads.
+    pub fn handle(&self) -> ThreadedHandle {
+        ThreadedHandle {
+            shared: Arc::clone(&self.shared),
+            node: self.node,
+        }
+    }
+
+    /// Node this engine belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Stops the progression thread — after draining the ring and
+    /// quiescing the transmit side — and returns the engine for inline
+    /// use. Completions still parked on the board are dropped with it.
+    pub fn shutdown(mut self) -> NmadEngine {
+        self.shared.ring.push(EngineOp::Shutdown);
+        let thread = self.thread.take().expect("not yet joined");
+        let mut engine = thread.join().expect("progression thread panicked");
+        // Ids handed out by handles but never submitted must still
+        // never be reallocated inline.
+        engine.set_req_watermark(self.shared.next_req.load(Ordering::Relaxed));
+        engine
+    }
+}
+
+impl Drop for ThreadedEngine {
+    fn drop(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            self.shared.ring.push(EngineOp::Shutdown);
+            // The engine is discarded; a panic on the progression
+            // thread surfaces at the join unless we are already
+            // unwinding.
+            if std::thread::panicking() {
+                let _ = thread.join();
+            } else {
+                let _engine = thread.join().expect("progression thread panicked");
+            }
+        }
+    }
+}
+
+impl ThreadedHandle {
+    /// Node the underlying engine belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn alloc(&self) -> u64 {
+        self.shared.next_req.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn check_alive(&self, waiting_on: &str) {
+        if self.shared.dead.load(Ordering::Relaxed) {
+            let msg = self
+                .shared
+                .fail
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .clone()
+                .unwrap_or_else(|| "progression thread stopped".to_string());
+            panic!("progression thread died while waiting on {waiting_on}: {msg}");
+        }
+    }
+
+    /// Submits one application send made of `parts` segments (see
+    /// [`NmadEngine::submit_send_parts`]). Blocks only for ring
+    /// backpressure (a full submission ring).
+    pub fn submit_send_parts(
+        &self,
+        dst: NodeId,
+        tag: Tag,
+        parts: Vec<(Bytes, Priority)>,
+        rail_hint: Option<usize>,
+    ) -> SendReqId {
+        let req = SendReqId(self.alloc());
+        self.shared.ring.push(EngineOp::Send {
+            req,
+            dst,
+            tag,
+            parts,
+            rail_hint,
+        });
+        req
+    }
+
+    /// Nonblocking single-segment send.
+    pub fn isend(&self, dst: NodeId, tag: Tag, data: impl Into<Bytes>) -> SendReqId {
+        self.submit_send_parts(dst, tag, vec![(data.into(), Priority::Normal)], None)
+    }
+
+    /// Posts a receive of up to `max` bytes for the next segment of
+    /// flow (src, tag).
+    pub fn post_recv(&self, src: NodeId, tag: Tag, max: usize) -> RecvReqId {
+        let req = RecvReqId(self.alloc());
+        self.shared.ring.push(EngineOp::Recv { req, src, tag, max });
+        req
+    }
+
+    /// True once the send has fully left the host.
+    pub fn is_send_done(&self, req: SendReqId) -> bool {
+        self.shared.board.is_send_done(req)
+    }
+
+    /// True once the receive completed (non-destructive).
+    pub fn is_recv_done(&self, req: RecvReqId) -> bool {
+        self.shared.board.is_recv_done(req)
+    }
+
+    /// Takes a completed receive's payload, once.
+    pub fn try_take_recv(&self, req: RecvReqId) -> Option<RecvDone> {
+        self.shared.board.try_take_recv(req)
+    }
+
+    /// Blocks until the send has fully left the host. Panics if the
+    /// progression thread died of a transport error.
+    pub fn wait_send(&self, req: SendReqId) {
+        while !self.shared.board.is_send_done(req) {
+            self.check_alive("send");
+            std::thread::yield_now();
+        }
+    }
+
+    /// Blocks until the receive completes and takes its payload.
+    /// Panics if the progression thread died of a transport error.
+    pub fn wait_recv(&self, req: RecvReqId) -> RecvDone {
+        loop {
+            if let Some(done) = self.shared.board.try_take_recv(req) {
+                return done;
+            }
+            self.check_alive("recv");
+            std::thread::yield_now();
+        }
+    }
+
+    /// The hot counters as last published by the progression thread
+    /// (seqlock read: never torn, never blocking the publisher). Lags
+    /// the engine by at most one pump.
+    pub fn hot_metrics(&self) -> (EngineMetrics, EngineStats) {
+        self.shared.hot.read()
+    }
+
+    /// A full [`MetricsSnapshot`] including per-NIC link counters,
+    /// taken *on the progression thread* between pumps — exact at the
+    /// moment it is taken, like the inline [`NmadEngine::metrics`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        // One requester at a time owns the RPC slot.
+        let _serial = self
+            .shared
+            .snap_serial
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        let mut slot = self
+            .shared
+            .snap_slot
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        *slot = None;
+        self.shared.ring.push(EngineOp::Snapshot);
+        loop {
+            if let Some(snap) = slot.take() {
+                return snap;
+            }
+            self.check_alive("metrics snapshot");
+            slot = self
+                .shared
+                .snap_cv
+                .wait_timeout(slot, Duration::from_millis(50))
+                .map(|(g, _)| g)
+                .unwrap_or_else(|p| {
+                    let (g, _) = p.into_inner();
+                    g
+                });
+        }
+    }
+
+    /// Completions the board saw twice for one request id — must stay
+    /// zero (stress tests assert it).
+    pub fn completion_duplicates(&self) -> u64 {
+        self.shared.board.duplicates()
+    }
+}
+
+/// The progression thread body: drain the ring, pump the engine,
+/// harvest completions, publish metrics, park when idle.
+fn run(mut engine: NmadEngine, shared: &Shared, config: &EngineConfig) -> NmadEngine {
+    let mut shutting_down = false;
+    loop {
+        // 1. Drain a bounded batch of submissions.
+        let mut drained = 0usize;
+        while drained < config.submit_batch {
+            match shared.ring.pop() {
+                Some(EngineOp::Send {
+                    req,
+                    dst,
+                    tag,
+                    parts,
+                    rail_hint,
+                }) => engine.submit_send_parts_as(req, dst, tag, parts, rail_hint),
+                Some(EngineOp::Recv { req, src, tag, max }) => {
+                    engine.post_recv_as(req, src, tag, max)
+                }
+                Some(EngineOp::Snapshot) => {
+                    let snap = engine.metrics();
+                    *shared.snap_slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(snap);
+                    shared.snap_cv.notify_all();
+                }
+                Some(EngineOp::Shutdown) => shutting_down = true,
+                None => break,
+            }
+            drained += 1;
+        }
+
+        // 2. One engine pump. A transport error kills the thread but
+        // leaves a diagnosis for blocked waiters.
+        let moved = match engine.try_progress() {
+            Ok(moved) => moved,
+            Err(e) => {
+                *shared.fail.lock().unwrap_or_else(|p| p.into_inner()) =
+                    Some(format!("transport failure on node {}: {e}", engine.node()));
+                shared.dead.store(true, Ordering::SeqCst);
+                shared.snap_cv.notify_all();
+                return engine;
+            }
+        };
+
+        // 3. Harvest completions onto the board.
+        let mut harvested = false;
+        for req in engine.drain_done_sends() {
+            shared.board.post_send_done(req);
+            harvested = true;
+        }
+        for (req, done) in engine.drain_done_recvs() {
+            shared.board.post_recv_done(req, done);
+            harvested = true;
+        }
+
+        // 4. Mirror the hot counters.
+        shared.hot.publish(engine.engine_metrics(), engine.stats());
+
+        if shutting_down && shared.ring.is_empty() && engine.tx_quiescent() {
+            return engine;
+        }
+
+        // 5. Pace: spin while work is outstanding, park on the ring
+        // otherwise.
+        if !moved && !harvested && drained == 0 {
+            if engine.has_outstanding() || shutting_down {
+                std::thread::yield_now();
+            } else {
+                shared.ring.wait_nonempty(config.idle_park);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineCosts;
+    use crate::strategy::StratAggreg;
+    use nmad_net::mem::mem_fabric;
+    use nmad_net::NullMeter;
+
+    fn mem_pair() -> (ThreadedEngine, ThreadedEngine) {
+        let mut fabric = mem_fabric(2);
+        let b = fabric.pop().unwrap();
+        let a = fabric.pop().unwrap();
+        let launch = |d: nmad_net::mem::MemDriver| {
+            ThreadedEngine::launch(
+                NmadEngine::new(
+                    vec![Box::new(d)],
+                    Box::new(NullMeter),
+                    Box::new(StratAggreg),
+                    EngineCosts::zero(),
+                ),
+                EngineConfig::threaded(),
+            )
+        };
+        (launch(a), launch(b))
+    }
+
+    #[test]
+    fn threaded_roundtrip_delivers_payload() {
+        let (a, b) = mem_pair();
+        let (ah, bh) = (a.handle(), b.handle());
+        let r = bh.post_recv(NodeId(0), Tag(5), 64);
+        let s = ah.isend(NodeId(1), Tag(5), &b"payload"[..]);
+        ah.wait_send(s);
+        let done = bh.wait_recv(r);
+        assert_eq!(done.data, b"payload");
+        assert_eq!(done.src, NodeId(0));
+        assert!(bh.try_take_recv(r).is_none(), "taken once");
+        assert_eq!(ah.completion_duplicates(), 0);
+        assert_eq!(bh.completion_duplicates(), 0);
+    }
+
+    #[test]
+    fn threaded_rendezvous_roundtrip() {
+        let (a, b) = mem_pair();
+        let (ah, bh) = (a.handle(), b.handle());
+        let body: Vec<u8> = (0..200_000u32).map(|i| (i % 241) as u8).collect();
+        let r = bh.post_recv(NodeId(0), Tag(1), body.len());
+        let s = ah.isend(NodeId(1), Tag(1), body.clone());
+        ah.wait_send(s);
+        assert_eq!(bh.wait_recv(r).data, body);
+    }
+
+    #[test]
+    fn threaded_shutdown_returns_the_engine_for_inline_use() {
+        let (a, b) = mem_pair();
+        let (ah, bh) = (a.handle(), b.handle());
+        let r = bh.post_recv(NodeId(0), Tag(0), 16);
+        let s = ah.isend(NodeId(1), Tag(0), &b"one"[..]);
+        ah.wait_send(s);
+        bh.wait_recv(r);
+        let mut a = a.shutdown();
+        let mut b = b.shutdown();
+        // Inline use after shutdown; ids must not collide with the
+        // threaded phase's.
+        let r2 = b.post_recv(NodeId(0), Tag(0), 16);
+        let s2 = a.isend(NodeId(1), Tag(0), &b"two"[..]);
+        assert!(s2.0 > s.0, "request ids reused after shutdown");
+        for _ in 0..10_000 {
+            a.progress_until_idle();
+            b.progress_until_idle();
+            if a.is_send_done(s2) && b.is_recv_done(r2) {
+                break;
+            }
+        }
+        assert_eq!(b.try_take_recv(r2).unwrap().data, b"two");
+    }
+
+    #[test]
+    fn threaded_metrics_snapshot_is_exact_and_hot_mirror_converges() {
+        let (a, b) = mem_pair();
+        let (ah, bh) = (a.handle(), b.handle());
+        let n = 8u32;
+        let recvs: Vec<_> = (0..n)
+            .map(|t| bh.post_recv(NodeId(0), Tag(t), 64))
+            .collect();
+        let sends: Vec<_> = (0..n)
+            .map(|t| ah.isend(NodeId(1), Tag(t), vec![t as u8; 64]))
+            .collect();
+        for s in sends {
+            ah.wait_send(s);
+        }
+        for r in recvs {
+            bh.wait_recv(r);
+        }
+        // The snapshot RPC runs on the progression thread: totals are
+        // exact, not approximate.
+        let snap = ah.metrics();
+        assert_eq!(snap.engine.requests_submitted, u64::from(n));
+        assert_eq!(snap.engine.eager_entries, u64::from(n));
+        assert_eq!(snap.wire.data_entries, u64::from(n));
+        assert_eq!(snap.nics.len(), 1);
+        // The seqlock mirror converges to the same totals.
+        for _ in 0..1_000_000 {
+            let (hot, wire) = ah.hot_metrics();
+            if hot == snap.engine && wire == snap.wire {
+                return;
+            }
+            std::thread::yield_now();
+        }
+        panic!("hot mirror never converged to the snapshot totals");
+    }
+
+    #[test]
+    #[should_panic(expected = "refuses background progression")]
+    fn threaded_launch_rejects_simulated_drivers() {
+        use nmad_net::sim::SimDriver;
+        use nmad_sim::{nic, shared_world, RailId, SimConfig};
+        let world = shared_world(SimConfig::two_nodes(nic::mx_myri10g()));
+        let d = SimDriver::new(world, NodeId(0), RailId(0));
+        let m = Box::new(d.meter());
+        let engine = NmadEngine::new(
+            vec![Box::new(d)],
+            m,
+            Box::new(StratAggreg),
+            EngineCosts::zero(),
+        );
+        let _ = ThreadedEngine::launch(engine, EngineConfig::threaded());
+    }
+}

@@ -172,6 +172,26 @@ impl Window {
         self.index.get(&dst).copied().unwrap_or_default()
     }
 
+    /// Recomputes the per-destination index from the actual queue
+    /// contents and compares. `true` when every entry matches and no
+    /// zero entry lingers. O(ctrl + rdv) — meant for `debug_assert!`
+    /// on the mutation paths a rail fault exercises (requeue, reclaim)
+    /// and for regression tests, not for the per-refill hot path.
+    pub fn index_is_consistent(&self) -> bool {
+        let mut expect: HashMap<NodeId, DstCounts> = HashMap::new();
+        for msg in &self.ctrl {
+            expect.entry(msg.dst).or_default().ctrl += 1;
+        }
+        for job in &self.rdv {
+            expect.entry(job.dst).or_default().rdv += 1;
+        }
+        self.index.len() == expect.len()
+            && self
+                .index
+                .iter()
+                .all(|(dst, counts)| !counts.is_zero() && expect.get(dst) == Some(counts))
+    }
+
     fn update_counts(&mut self, dst: NodeId, f: impl FnOnce(&mut DstCounts)) {
         let counts = self.index.entry(dst).or_default();
         f(counts);
@@ -219,6 +239,12 @@ impl Window {
             self.common.push_front(w);
             moved += 1;
         }
+        // Segments are not indexed, so reclaiming must leave the
+        // control/rendezvous counts untouched.
+        debug_assert!(
+            self.index_is_consistent(),
+            "DstCounts index diverged across reclaim_dedicated({nic})"
+        );
         moved
     }
 
@@ -279,6 +305,10 @@ impl Window {
         }
         self.ctrl = rest;
         self.update_counts(dst, |c| c.ctrl = 0);
+        debug_assert!(
+            self.index_is_consistent(),
+            "DstCounts index diverged across drain_ctrl_for({dst:?})"
+        );
         out
     }
 
@@ -304,6 +334,10 @@ impl Window {
             self.rdv.remove(idx);
             self.update_counts(dst, |c| c.rdv -= 1);
         }
+        debug_assert!(
+            self.index_is_consistent(),
+            "DstCounts index diverged across take_rdv_chunk({dst:?})"
+        );
         Some(chunk)
     }
 
@@ -642,6 +676,55 @@ mod failover_tests {
         assert_eq!(c2.offset, 65);
         assert_eq!(c2.data.len(), 35);
         assert!(c2.last);
+    }
+
+    #[test]
+    fn reclaim_keeps_the_destination_index_consistent() {
+        // A rail fault reclaims dedicated segments while control and
+        // rendezvous work is queued: the (ctrl, rdv) index must come
+        // through untouched and the checker must agree.
+        let mut w = Window::new(2);
+        w.push_segment(wrapper(1, 8), Some(0));
+        w.push_segment(wrapper(2, 8), Some(0));
+        w.push_ctrl(CtrlMsg {
+            dst: NodeId(1),
+            tag: Tag(0),
+            seq: SeqNo(0),
+            total: 10,
+        });
+        w.push_rdv(RdvJob::new(
+            NodeId(1),
+            Tag(1),
+            SeqNo(0),
+            Bytes::from(vec![0u8; 16]),
+            SendReqId(3),
+        ));
+        assert!(w.index_is_consistent());
+        assert_eq!(w.reclaim_dedicated(0), 2);
+        assert!(w.index_is_consistent());
+        assert!(w.has_non_data_work_for(NodeId(1)));
+        // The reclaimed segments lead the common list in order.
+        let first = w.take_front_if(1, |_| true).unwrap();
+        assert_eq!(first.tag, Tag(1));
+    }
+
+    #[test]
+    fn index_consistency_checker_detects_divergence() {
+        let mut w = Window::new(1);
+        w.push_ctrl(CtrlMsg {
+            dst: NodeId(1),
+            tag: Tag(0),
+            seq: SeqNo(0),
+            total: 0,
+        });
+        assert!(w.index_is_consistent());
+        // Corrupt the index directly: the checker must notice both an
+        // inflated count and a lingering zero entry.
+        w.index.get_mut(&NodeId(1)).unwrap().ctrl += 1;
+        assert!(!w.index_is_consistent());
+        w.index.get_mut(&NodeId(1)).unwrap().ctrl = 1;
+        w.index.insert(NodeId(9), DstCounts::default());
+        assert!(!w.index_is_consistent());
     }
 
     #[test]

@@ -198,6 +198,16 @@ pub trait Driver: Send {
     fn fault_stats(&self) -> FaultStats {
         FaultStats::default()
     }
+
+    /// True when this endpoint may be owned and polled by a background
+    /// progression thread (the engine's threaded mode). Real transports
+    /// are (`Driver: Send` and their pumps touch only their own state);
+    /// the simulated driver overrides this to `false` — virtual time
+    /// only advances through the co-simulation loop on the application
+    /// thread, so it must stay inline to remain deterministic.
+    fn threaded_progress_safe(&self) -> bool {
+        true
+    }
 }
 
 /// Accounts engine CPU costs.

@@ -81,6 +81,13 @@ impl Driver for SimDriver {
         self.node
     }
 
+    fn threaded_progress_safe(&self) -> bool {
+        // Virtual time advances only through the co-simulation loop on
+        // the application thread; a background pump would deadlock (or
+        // worse, desynchronise) the discrete-event world.
+        false
+    }
+
     fn post_send(&mut self, dst: NodeId, iov: &[&[u8]]) -> NetResult<SendHandle> {
         if self.world.lock().rail_failed(self.node, self.rail) {
             return Err(NetError::Closed);

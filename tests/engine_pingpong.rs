@@ -48,8 +48,8 @@ fn pump(
     mut done: impl FnMut(&mut NmadEngine, &mut NmadEngine) -> bool,
 ) -> SimTime {
     for _ in 0..1_000_000 {
-        let mut moved = a.progress();
-        moved |= b.progress();
+        let mut moved = a.progress_until_idle();
+        moved |= b.progress_until_idle();
         if done(a, b) {
             return world.lock().now();
         }

@@ -205,6 +205,75 @@ fn fault_counters_pin_to_the_injected_plan() {
     assert!(json.contains("\"rail_faults\":1"), "metrics JSON: {json}");
 }
 
+/// Satellite invariant: a rail fault that fires while the optimization
+/// window is non-empty reclaims dedicated work and requeues stranded
+/// plans — and the window's per-destination (ctrl, rdv) index must
+/// stay consistent with the queues through every one of those
+/// mutations. The index is recounted after every pump on both ends
+/// (the receiver's window carries the CTS control traffic).
+#[test]
+fn rail_fault_with_nonempty_window_keeps_dst_index_consistent() {
+    let world = two_rail_world();
+    let mut a = multirail_engine(&world, 0);
+    let mut b = multirail_engine(&world, 1);
+    // Rail 0 dies on its third post: by then the burst below has
+    // filled the window, so the fault reclaims live dedicated queues
+    // and requeues a non-trivial plan.
+    assert!(a.install_faults(0, FaultPlan::new(7).nic_death(2)));
+
+    // Mixed traffic: eager segments plus two rendezvous-sized
+    // messages, so the requeue touches segments, control (CTS on the
+    // receiver) and granted rendezvous jobs.
+    let big: Vec<u8> = (0..200_000u32).map(|i| (i % 239) as u8).collect();
+    let mut sends = vec![
+        a.isend(NodeId(1), Tag(100), big.clone()),
+        a.isend(NodeId(1), Tag(101), big.clone()),
+    ];
+    sends.extend((0..10u32).map(|i| a.isend(NodeId(1), Tag(i), vec![i as u8; 256])));
+    let mut recvs = vec![
+        b.post_recv(NodeId(0), Tag(100), big.len()),
+        b.post_recv(NodeId(0), Tag(101), big.len()),
+    ];
+    recvs.extend((0..10u32).map(|i| b.post_recv(NodeId(0), Tag(i), 256)));
+
+    for _ in 0..1_000_000 {
+        let moved = a.progress() | b.progress();
+        assert!(
+            a.window_index_consistent(),
+            "sender window index diverged: {:?}",
+            a.diagnostics()
+        );
+        assert!(
+            b.window_index_consistent(),
+            "receiver window index diverged: {:?}",
+            b.diagnostics()
+        );
+        if sends.iter().all(|&x| a.is_send_done(x)) && recvs.iter().all(|&x| b.is_recv_done(x)) {
+            break;
+        }
+        if !moved && world.lock().advance().is_none() {
+            panic!("deadlock:\n{}", world.lock().pending_summary());
+        }
+    }
+    assert_eq!(b.try_take_recv(recvs[0]).unwrap().data, big);
+    assert_eq!(b.try_take_recv(recvs[1]).unwrap().data, big);
+    for (i, &x) in recvs[2..].iter().enumerate() {
+        assert_eq!(
+            b.try_take_recv(x).unwrap().data,
+            vec![i as u8; 256],
+            "message {i} lost or corrupted across the failover"
+        );
+    }
+    let m = a.metrics();
+    assert_eq!(m.engine.rail_faults, 1, "rail 0 died exactly once");
+    assert!(
+        m.engine.requeued_entries >= 1,
+        "the fault fired with work in flight: {:?}",
+        m.engine
+    );
+    assert!(a.window_index_consistent() && b.window_index_consistent());
+}
+
 #[test]
 fn fail_rail_drops_in_flight_packets() {
     // Documented loss semantics: what was already on the wire towards
