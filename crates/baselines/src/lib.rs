@@ -21,6 +21,7 @@
 //! heavier) and in rendezvous chunking (OpenMPI overlaps receive-side
 //! unpacking chunk by chunk).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod codec;

@@ -3,9 +3,9 @@
 //! under seeded loss.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nmad_core::sync::{AtomicU64, Ordering};
 use nmad_net::{mem_fabric, Driver, LossyDriver, ReliableDriver};
 use nmad_sim::NodeId;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 fn clock() -> (Arc<AtomicU64>, Box<dyn Fn() -> u64 + Send>) {

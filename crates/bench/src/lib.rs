@@ -9,6 +9,8 @@
 //! deterministic, reproducible, and directly comparable to the paper's
 //! microsecond axes.
 
+#![forbid(unsafe_code)]
+
 pub mod pingpong;
 pub mod plot;
 pub mod report;

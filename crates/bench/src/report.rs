@@ -8,7 +8,7 @@
 //! end of the run.
 
 use crate::pingpong::PingPongSample;
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// Default output path; every ping-pong-style binary writes here
 /// unless `--bench-json PATH` overrides it.
@@ -119,7 +119,8 @@ impl BenchReport {
         self.len() == 0
     }
 
-    /// The whole report as one JSON document.
+    /// The whole report as one JSON document, including the
+    /// verification-coverage section (see [`VerifySummary`]).
     pub fn to_json(&self) -> String {
         let rows = self.rows.lock().expect("report poisoned");
         let mut out = String::from("{\"benchmarks\":[");
@@ -144,7 +145,9 @@ impl BenchReport {
                 r.pool_misses,
             ));
         }
-        out.push_str("]}");
+        out.push_str("],\"verify\":");
+        out.push_str(&VerifySummary::probe().to_json());
+        out.push('}');
         out
     }
 
@@ -160,6 +163,53 @@ impl BenchReport {
 
 fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Verification coverage bundled into every bench report.
+///
+/// Performance numbers from the lock-free engine are only as good as
+/// the engine's correctness, so each report records what the
+/// verification layer covered when it was produced: how many distinct
+/// schedules the nmad-verify coverage probe explored (and how many
+/// states its dedup pruned), and how many rules the
+/// ordering/determinism lint enforces. CI archives the report, so a
+/// regression that guts the exploration shows up in the diff.
+#[derive(Clone, Debug)]
+pub struct VerifySummary {
+    /// Distinct schedules the model-checking coverage probe explored.
+    pub schedules_explored: u64,
+    /// Scheduling subtrees pruned by state-hash dedup during the probe.
+    pub states_deduped: u64,
+    /// Deepest decision path over all explored executions.
+    pub max_depth: usize,
+    /// Rules the `xtask lint` ordering/determinism pass enforces.
+    pub lint_rules: usize,
+}
+
+impl VerifySummary {
+    /// Runs the nmad-verify coverage probe (once per process — the
+    /// result is cached) and pairs it with the lint rule count.
+    pub fn probe() -> &'static VerifySummary {
+        static PROBE: OnceLock<VerifySummary> = OnceLock::new();
+        PROBE.get_or_init(|| {
+            let stats = nmad_verify::coverage_probe();
+            VerifySummary {
+                schedules_explored: stats.schedules,
+                states_deduped: stats.states_deduped,
+                max_depth: stats.max_depth,
+                lint_rules: nmad_verify::lint::RULES.len(),
+            }
+        })
+    }
+
+    /// The summary as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"schedules_explored\":{},\"states_deduped\":{},\
+             \"max_depth\":{},\"lint_rules\":{}}}",
+            self.schedules_explored, self.states_deduped, self.max_depth, self.lint_rules,
+        )
+    }
 }
 
 /// Default output path of the computation/communication overlap
@@ -294,6 +344,22 @@ mod tests {
         assert!(json.contains("\"mode\":\"threaded\""));
         assert!(json.contains("\"size\":65536"));
         assert!(json.contains("\"overlap_pct\":91.7"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn report_includes_verification_coverage() {
+        let report = BenchReport::new();
+        report.record("pingpong/mem", "nmad(aggreg)", 64, &[sample(1.0)]);
+        let json = report.to_json();
+        assert!(
+            json.contains("\"verify\":{\"schedules_explored\":"),
+            "{json}"
+        );
+        assert!(json.contains("\"lint_rules\":"), "{json}");
+        let v = VerifySummary::probe();
+        assert!(v.schedules_explored > 0, "probe explored nothing: {v:?}");
+        assert!(v.lint_rules >= 6, "lint catalog shrank: {v:?}");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

@@ -35,6 +35,7 @@
 //! # let _ = s;
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod backend;

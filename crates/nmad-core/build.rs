@@ -1,0 +1,11 @@
+//! Maps the `nmad-model` cargo feature onto `cfg(nmad_model)` so the
+//! sync facade and the model-check test suites can use a plain cfg
+//! (usable in `#[cfg(...)]` on tests and modules alike) while staying
+//! a well-known cfg for `--cfg`-checking lints.
+
+fn main() {
+    println!("cargo::rustc-check-cfg=cfg(nmad_model)");
+    if std::env::var_os("CARGO_FEATURE_NMAD_MODEL").is_some() {
+        println!("cargo::rustc-cfg=nmad_model");
+    }
+}

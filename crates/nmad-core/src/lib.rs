@@ -46,6 +46,7 @@
 //! assert_eq!(b.try_take_recv(r).unwrap().data, b"hello");
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod api;
@@ -55,6 +56,7 @@ pub mod metrics;
 pub mod ring;
 pub mod segment;
 pub mod strategy;
+pub mod sync;
 pub mod threaded;
 pub mod window;
 pub mod wire;
@@ -64,7 +66,9 @@ pub use engine::{
     EngineConfig, EngineCosts, EngineDiagnostics, EngineStats, NmadEngine, ProgressMode,
 };
 pub use matching::{Effect, Matching, RecvDone};
-pub use metrics::{EngineMetrics, MetricsRegistry, MetricsSnapshot, NicMetrics, SharedMetrics};
+pub use metrics::{
+    EngineMetrics, MetricsRegistry, MetricsSnapshot, NicMetrics, Seqlock, SharedMetrics,
+};
 pub use ring::SubmitRing;
 pub use segment::{PackWrapper, Priority, RecvReqId, SendReqId, SeqNo, Tag};
 pub use strategy::{

@@ -19,10 +19,10 @@
 //!   retransmits, acks) straight from the drivers.
 
 use crate::engine::EngineStats;
+use crate::sync::{fence, spin_loop, AtomicU64, Ordering};
 use nmad_net::LinkStats;
 use parking_lot::Mutex;
 use std::fmt::Write as _;
-use std::sync::atomic::{fence, AtomicU64, Ordering};
 
 /// Plain-cell counters the engine bumps inline on the progress path.
 ///
@@ -241,70 +241,104 @@ impl MetricsRegistry {
 /// 17 [`EngineMetrics`] fields plus 9 [`EngineStats`] fields.
 const SHARED_WORDS: usize = 26;
 
-/// Seqlock-published mirror of the engine's hot counters for the
-/// threaded progression mode.
+/// A single-writer seqlock over `N` words: the writer publishes a
+/// consistent array without ever blocking, readers retry torn reads.
 ///
-/// The progression thread owns the engine, so the plain-`u64` counters
-/// stay plain and lock-free on the progress path; after each pump it
-/// *publishes* a copy here. Application threads read the mirror without
-/// taking any lock and without ever blocking the publisher: a torn read
-/// (publisher mid-write) is detected through the sequence word and
-/// retried, so a snapshot handed out is always one the publisher
-/// actually wrote — counters from progression threads can never race a
-/// half-updated view into a report.
+/// The sequence word is odd while a publish is in flight and even while
+/// the cells are stable. A reader that observes the same even sequence
+/// before and after copying the cells holds a copy some writer actually
+/// published; the `Release` store on the writer side and the `Acquire`
+/// fence between the reader's copy and its re-check close the race on
+/// weak memory. All atomics go through [`crate::sync`], so the whole
+/// protocol — including a deliberately weakened mutant — is
+/// exhaustively model-checked under `cfg(nmad_model)`.
 #[derive(Debug)]
-pub struct SharedMetrics {
-    /// Odd while a publish is in flight, even when the mirror is stable.
+pub struct Seqlock<const N: usize> {
+    /// Odd while a publish is in flight, even when the cells are stable.
     seq: AtomicU64,
-    vals: [AtomicU64; SHARED_WORDS],
+    vals: [AtomicU64; N],
 }
 
-impl Default for SharedMetrics {
+impl<const N: usize> Default for Seqlock<N> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl SharedMetrics {
-    /// An all-zero mirror.
+impl<const N: usize> Seqlock<N> {
+    /// An all-zero seqlock.
     pub fn new() -> Self {
-        SharedMetrics {
+        Seqlock {
             seq: AtomicU64::new(0),
             vals: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
-    /// Writer side (progression thread only): publishes a consistent
-    /// copy of the counters. Never blocks and never waits on readers.
-    pub fn publish(&self, engine: &EngineMetrics, wire: &EngineStats) {
+    /// Writer side (single writer only): publishes a consistent copy of
+    /// `words`. Never blocks and never waits on readers.
+    pub fn publish(&self, words: &[u64; N]) {
         let s = self.seq.load(Ordering::Relaxed);
-        debug_assert_eq!(s % 2, 0, "concurrent SharedMetrics writers");
+        debug_assert_eq!(s % 2, 0, "concurrent Seqlock writers");
         self.seq.store(s.wrapping_add(1), Ordering::Relaxed);
         fence(Ordering::Release);
-        for (cell, word) in self.vals.iter().zip(flatten(engine, wire)) {
-            cell.store(word, Ordering::Relaxed);
+        for (cell, word) in self.vals.iter().zip(words) {
+            cell.store(*word, Ordering::Relaxed);
         }
         self.seq.store(s.wrapping_add(2), Ordering::Release);
     }
 
     /// Reader side (any thread): a consistent copy of the last
-    /// published counters. Loops on torn reads; wait-free in practice
-    /// because the writer publishes in O(26 stores).
-    pub fn read(&self) -> (EngineMetrics, EngineStats) {
+    /// published words. Loops on torn reads; wait-free in practice
+    /// because the writer publishes in O(N stores).
+    pub fn read(&self) -> [u64; N] {
         loop {
             let s1 = self.seq.load(Ordering::Acquire);
             if s1 % 2 == 1 {
-                std::hint::spin_loop();
+                spin_loop();
                 continue;
             }
-            let words: [u64; SHARED_WORDS] =
-                std::array::from_fn(|i| self.vals[i].load(Ordering::Relaxed));
+            let words: [u64; N] = std::array::from_fn(|i| self.vals[i].load(Ordering::Relaxed));
             fence(Ordering::Acquire);
             if self.seq.load(Ordering::Relaxed) == s1 {
-                return unflatten(&words);
+                return words;
             }
-            std::hint::spin_loop();
+            spin_loop();
         }
+    }
+}
+
+/// Seqlock-published mirror of the engine's hot counters for the
+/// threaded progression mode.
+///
+/// The progression thread owns the engine, so the plain-`u64` counters
+/// stay plain and lock-free on the progress path; after each pump it
+/// *publishes* a copy here through a [`Seqlock`]. Application threads
+/// read the mirror without taking any lock and without ever blocking
+/// the publisher: a torn read (publisher mid-write) is detected through
+/// the sequence word and retried, so a snapshot handed out is always
+/// one the publisher actually wrote — counters from progression threads
+/// can never race a half-updated view into a report.
+#[derive(Debug, Default)]
+pub struct SharedMetrics {
+    words: Seqlock<SHARED_WORDS>,
+}
+
+impl SharedMetrics {
+    /// An all-zero mirror.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writer side (progression thread only): publishes a consistent
+    /// copy of the counters. Never blocks and never waits on readers.
+    pub fn publish(&self, engine: &EngineMetrics, wire: &EngineStats) {
+        self.words.publish(&flatten(engine, wire));
+    }
+
+    /// Reader side (any thread): a consistent copy of the last
+    /// published counters.
+    pub fn read(&self) -> (EngineMetrics, EngineStats) {
+        unflatten(&self.words.read())
     }
 }
 
@@ -521,7 +555,7 @@ mod tests {
 
     #[test]
     fn threaded_shared_metrics_reads_never_tear() {
-        use std::sync::atomic::{AtomicBool, Ordering};
+        use crate::sync::AtomicBool;
         use std::sync::Arc;
 
         let shared = Arc::new(SharedMetrics::new());

@@ -16,9 +16,8 @@
 //! both sides; the consumer additionally parks with a timeout, so even
 //! a hypothetical missed wakeup only costs one park period.
 
+use crate::sync::{fence, spin_loop, AtomicBool, Condvar, Mutex, Ordering};
 use crossbeam::queue::ArrayQueue;
-use std::sync::atomic::{fence, AtomicBool, Ordering};
-use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
 /// A bounded MPSC (by convention; MPMC-safe) submission ring with
@@ -75,7 +74,7 @@ impl<T: Send> SubmitRing<T> {
                 }
                 Err(back) => {
                     op = back;
-                    std::thread::yield_now();
+                    spin_loop();
                 }
             }
         }
@@ -93,7 +92,7 @@ impl<T: Send> SubmitRing<T> {
         if !self.queue.is_empty() {
             return true;
         }
-        let guard = self.lock.lock().unwrap_or_else(|p| p.into_inner());
+        let guard = self.lock.lock();
         self.sleeping.store(true, Ordering::SeqCst);
         fence(Ordering::SeqCst);
         // Re-check after raising the flag: a producer that pushed
@@ -103,14 +102,7 @@ impl<T: Send> SubmitRing<T> {
             self.sleeping.store(false, Ordering::SeqCst);
             return true;
         }
-        let guard = self
-            .wakeup
-            .wait_timeout(guard, timeout)
-            .map(|(g, _)| g)
-            .unwrap_or_else(|p| {
-                let (g, _) = p.into_inner();
-                g
-            });
+        let (guard, _) = self.wakeup.wait_timeout(guard, timeout);
         self.sleeping.store(false, Ordering::SeqCst);
         drop(guard);
         !self.queue.is_empty()
@@ -122,7 +114,7 @@ impl<T: Send> SubmitRing<T> {
         if self.sleeping.load(Ordering::SeqCst) {
             // Taking the lock orders this notify after the consumer's
             // flag-store and before (or after) its wait — never between.
-            let _guard = self.lock.lock().unwrap_or_else(|p| p.into_inner());
+            let _guard = self.lock.lock();
             self.wakeup.notify_one();
         }
     }

@@ -1,0 +1,171 @@
+//! The engine's synchronisation facade.
+//!
+//! Every atomic, fence, lock, and condvar on the submit/progress hot
+//! path (`ring`, `threaded`, `metrics`, `window`, `engine`) goes
+//! through this module — the only file in the crate allowed to name
+//! raw `std::sync` primitives (enforced by `cargo run -p xtask --
+//! lint`). The indirection buys one thing: under `cfg(nmad_model)`
+//! (the `nmad-model` cargo feature, mapped by build.rs) the same types
+//! route to the nmad-verify model-checking runtime, so the engine's
+//! lock-free protocols are exhaustively checked across thread
+//! interleavings *and* weak-memory load results instead of stress-
+//! tested on one lucky seed. In normal builds everything here is a
+//! zero-cost re-export or a thin poison-free wrapper.
+//!
+//! API shape (identical in both modes):
+//! * atomics/`fence`/`Ordering` — as in `std::sync::atomic`
+//!   (`compare_exchange_weak` is the strong version under the model,
+//!   which never fails spuriously);
+//! * `Mutex::lock()` returns the guard directly (parking_lot
+//!   convention, no poison);
+//! * `Condvar::wait_timeout(guard, dur)` returns `(guard, timed_out)`;
+//! * `spin_loop()` — `std::hint::spin_loop` normally, a fairness yield
+//!   under the model (every busy-wait retry loop on the hot path must
+//!   call it, or model executions of that loop could spin forever).
+
+#[cfg(nmad_model)]
+pub use nmad_verify::sync::{
+    fence, spin_loop, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Condvar, Mutex, MutexGuard,
+    Ordering,
+};
+
+#[cfg(not(nmad_model))]
+pub use real::*;
+
+#[cfg(not(nmad_model))]
+mod real {
+    pub use std::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    pub use std::hint::spin_loop;
+
+    /// Poison-free mutex with the parking_lot calling convention.
+    pub struct Mutex<T> {
+        inner: std::sync::Mutex<T>,
+    }
+
+    /// RAII guard returned by [`Mutex::lock`].
+    pub struct MutexGuard<'a, T> {
+        inner: std::sync::MutexGuard<'a, T>,
+    }
+
+    impl<T> Mutex<T> {
+        /// A mutex guarding `value`.
+        pub const fn new(value: T) -> Self {
+            Mutex {
+                inner: std::sync::Mutex::new(value),
+            }
+        }
+
+        /// Blocks until the lock is held; poison is swallowed.
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            MutexGuard {
+                inner: self.inner.lock().unwrap_or_else(|p| p.into_inner()),
+            }
+        }
+
+        /// Takes the lock only if it is free right now.
+        pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+            match self.inner.try_lock() {
+                Ok(g) => Some(MutexGuard { inner: g }),
+                Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                    inner: p.into_inner(),
+                }),
+                Err(std::sync::TryLockError::WouldBlock) => None,
+            }
+        }
+
+        /// Consumes the mutex, returning the guarded value.
+        pub fn into_inner(self) -> T {
+            self.inner.into_inner().unwrap_or_else(|p| p.into_inner())
+        }
+    }
+
+    impl<T: Default> Default for Mutex<T> {
+        fn default() -> Self {
+            Mutex::new(T::default())
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self.try_lock() {
+                Some(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
+                None => f.write_str("Mutex { <locked> }"),
+            }
+        }
+    }
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+
+    /// Condvar whose `wait_timeout` returns `(guard, timed_out)`.
+    pub struct Condvar {
+        inner: std::sync::Condvar,
+    }
+
+    impl Condvar {
+        /// A fresh condition variable.
+        pub fn new() -> Self {
+            Condvar {
+                inner: std::sync::Condvar::new(),
+            }
+        }
+
+        /// Atomically releases `guard` and parks until notified.
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+            MutexGuard {
+                inner: self
+                    .inner
+                    .wait(guard.inner)
+                    .unwrap_or_else(|p| p.into_inner()),
+            }
+        }
+
+        /// Like [`wait`](Self::wait) with an upper bound on the park
+        /// time; the flag reports whether the bound was hit.
+        pub fn wait_timeout<'a, T>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            dur: Duration,
+        ) -> (MutexGuard<'a, T>, bool) {
+            let (inner, res) = self
+                .inner
+                .wait_timeout(guard.inner, dur)
+                .unwrap_or_else(|p| p.into_inner());
+            (MutexGuard { inner }, res.timed_out())
+        }
+
+        /// Wakes one parked waiter, if any.
+        pub fn notify_one(&self) {
+            self.inner.notify_one();
+        }
+
+        /// Wakes every parked waiter.
+        pub fn notify_all(&self) {
+            self.inner.notify_all();
+        }
+    }
+
+    impl Default for Condvar {
+        fn default() -> Self {
+            Condvar::new()
+        }
+    }
+
+    impl std::fmt::Debug for Condvar {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Condvar")
+        }
+    }
+}

@@ -26,13 +26,14 @@
 //! [`Driver::threaded_progress_safe`](nmad_net::Driver::threaded_progress_safe).
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
 use crossbeam::utils::CachePadded;
 use nmad_sim::NodeId;
+
+use crate::sync::{AtomicBool, AtomicU64, Condvar, Mutex, Ordering};
 
 use crate::engine::{EngineConfig, NmadEngine, ProgressMode};
 use crate::matching::RecvDone;
@@ -83,7 +84,7 @@ struct BoardShard {
 /// waiters off each other's cache lines and locks; the engine itself
 /// is never touched on the poll path.
 pub struct CompletionBoard {
-    shards: Vec<CachePadded<parking_lot::Mutex<BoardShard>>>,
+    shards: Vec<CachePadded<Mutex<BoardShard>>>,
     /// Completions posted for an id already on the board — always a
     /// bug (request ids are unique); counted instead of silently
     /// overwritten so stress tests can assert zero.
@@ -94,13 +95,13 @@ impl CompletionBoard {
     fn new() -> Self {
         CompletionBoard {
             shards: (0..BOARD_SHARDS)
-                .map(|_| CachePadded::new(parking_lot::Mutex::new(BoardShard::default())))
+                .map(|_| CachePadded::new(Mutex::new(BoardShard::default())))
                 .collect(),
             duplicates: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, id: u64) -> &parking_lot::Mutex<BoardShard> {
+    fn shard(&self, id: u64) -> &Mutex<BoardShard> {
         &self.shards[(id as usize) % BOARD_SHARDS]
     }
 
@@ -276,7 +277,6 @@ impl ThreadedHandle {
                 .shared
                 .fail
                 .lock()
-                .unwrap_or_else(|p| p.into_inner())
                 .clone()
                 .unwrap_or_else(|| "progression thread stopped".to_string());
             panic!("progression thread died while waiting on {waiting_on}: {msg}");
@@ -365,16 +365,8 @@ impl ThreadedHandle {
     /// moment it is taken, like the inline [`NmadEngine::metrics`].
     pub fn metrics(&self) -> MetricsSnapshot {
         // One requester at a time owns the RPC slot.
-        let _serial = self
-            .shared
-            .snap_serial
-            .lock()
-            .unwrap_or_else(|p| p.into_inner());
-        let mut slot = self
-            .shared
-            .snap_slot
-            .lock()
-            .unwrap_or_else(|p| p.into_inner());
+        let _serial = self.shared.snap_serial.lock();
+        let mut slot = self.shared.snap_slot.lock();
         *slot = None;
         self.shared.ring.push(EngineOp::Snapshot);
         loop {
@@ -382,15 +374,11 @@ impl ThreadedHandle {
                 return snap;
             }
             self.check_alive("metrics snapshot");
-            slot = self
+            let (g, _) = self
                 .shared
                 .snap_cv
-                .wait_timeout(slot, Duration::from_millis(50))
-                .map(|(g, _)| g)
-                .unwrap_or_else(|p| {
-                    let (g, _) = p.into_inner();
-                    g
-                });
+                .wait_timeout(slot, Duration::from_millis(50));
+            slot = g;
         }
     }
 
@@ -422,7 +410,7 @@ fn run(mut engine: NmadEngine, shared: &Shared, config: &EngineConfig) -> NmadEn
                 }
                 Some(EngineOp::Snapshot) => {
                     let snap = engine.metrics();
-                    *shared.snap_slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(snap);
+                    *shared.snap_slot.lock() = Some(snap);
                     shared.snap_cv.notify_all();
                 }
                 Some(EngineOp::Shutdown) => shutting_down = true,
@@ -436,7 +424,7 @@ fn run(mut engine: NmadEngine, shared: &Shared, config: &EngineConfig) -> NmadEn
         let moved = match engine.try_progress() {
             Ok(moved) => moved,
             Err(e) => {
-                *shared.fail.lock().unwrap_or_else(|p| p.into_inner()) =
+                *shared.fail.lock() =
                     Some(format!("transport failure on node {}: {e}", engine.node()));
                 shared.dead.store(true, Ordering::SeqCst);
                 shared.snap_cv.notify_all();
@@ -471,6 +459,71 @@ fn run(mut engine: NmadEngine, shared: &Shared, config: &EngineConfig) -> NmadEn
                 shared.ring.wait_nonempty(config.idle_park);
             }
         }
+    }
+}
+
+/// Model-checked board properties (see `tests/model_check.rs` for the
+/// rest of the suite): the [`CompletionBoard`] constructor is private,
+/// so its exhaustive checks live here.
+#[cfg(all(test, nmad_model))]
+mod model_tests {
+    use super::*;
+    use crate::matching::RecvDone;
+    use nmad_verify::{thread, Checker};
+
+    /// Concurrent posts of *distinct* request ids never count as
+    /// duplicates and are all observable afterwards, in every schedule.
+    #[test]
+    fn model_board_distinct_posts_are_duplicate_free() {
+        let stats = Checker::new()
+            .check(|| {
+                let board = Arc::new(CompletionBoard::new());
+                let (b1, b2) = (Arc::clone(&board), Arc::clone(&board));
+                let t1 = thread::spawn(move || b1.post_send_done(SendReqId(1)));
+                let t2 = thread::spawn(move || b2.post_send_done(SendReqId(2)));
+                board.post_recv_done(
+                    RecvReqId(3),
+                    RecvDone {
+                        src: NodeId(0),
+                        tag: Tag(0),
+                        data: Bytes::from_static(b"x"),
+                        truncated: false,
+                    },
+                );
+                t1.join();
+                t2.join();
+                assert_eq!(board.duplicates(), 0, "distinct ids flagged duplicate");
+                assert!(board.is_send_done(SendReqId(1)));
+                assert!(board.is_send_done(SendReqId(2)));
+                assert!(board.is_recv_done(RecvReqId(3)));
+            })
+            .expect("board posting must be duplicate-free in every schedule");
+        assert!(
+            stats.schedules >= 20,
+            "board model underexplored: {stats:?}"
+        );
+    }
+
+    /// Racing posts of the *same* id are counted — exactly once — no
+    /// matter which thread wins the shard lock.
+    #[test]
+    fn model_board_counts_racing_duplicate_posts() {
+        Checker::new()
+            .check(|| {
+                let board = Arc::new(CompletionBoard::new());
+                let (b1, b2) = (Arc::clone(&board), Arc::clone(&board));
+                let t1 = thread::spawn(move || b1.post_send_done(SendReqId(7)));
+                let t2 = thread::spawn(move || b2.post_send_done(SendReqId(7)));
+                t1.join();
+                t2.join();
+                assert_eq!(
+                    board.duplicates(),
+                    1,
+                    "exactly one of the two racing posts is the duplicate"
+                );
+                assert!(board.is_send_done(SendReqId(7)));
+            })
+            .expect("duplicate accounting must hold in every schedule");
     }
 }
 

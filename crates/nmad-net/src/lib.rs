@@ -28,6 +28,7 @@
 //! inspection, staging copies) either to the simulated CPU account or to
 //! nowhere (real transports pay in real time).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod backoff;

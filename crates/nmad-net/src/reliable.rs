@@ -422,7 +422,7 @@ mod tests {
     use super::*;
     use crate::lossy::LossyDriver;
     use crate::mem::mem_fabric;
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use nmad_verify::sync::{AtomicU64, Ordering};
     use std::sync::Arc;
 
     /// A controllable test clock.

@@ -331,7 +331,7 @@ mod tests {
     use super::*;
     use crate::lossy::LossyDriver;
     use crate::mem::mem_fabric;
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use nmad_verify::sync::{AtomicU64, Ordering};
     use std::sync::Arc;
 
     fn test_clock() -> (Arc<AtomicU64>, Box<dyn Fn() -> u64 + Send>) {

@@ -21,6 +21,7 @@
 //! * [`trace`] — optional event log for tests and debugging;
 //! * [`timeline`] — human-readable rendering of traces.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod host;

@@ -1,0 +1,128 @@
+//! Vector clocks over model-thread ids.
+//!
+//! Every synchronisation event in the model runtime carries one of
+//! these: stores remember the writer's clock (to decide which stores a
+//! later load may still read), release operations publish it, acquire
+//! operations join it. The clock is a plain `Vec<u32>` indexed by
+//! model thread id — executions involve a handful of threads, so no
+//! sparse representation is needed.
+
+use std::hash::{Hash, Hasher};
+
+/// A vector clock: component `t` counts synchronisation events
+/// performed by model thread `t`.
+#[derive(Clone, Debug, Default)]
+pub struct VClock {
+    parts: Vec<u32>,
+}
+
+impl PartialEq for VClock {
+    fn eq(&self, other: &VClock) -> bool {
+        // Trailing zeros are not significant.
+        self.leq(other) && other.leq(self)
+    }
+}
+
+impl Eq for VClock {}
+
+impl VClock {
+    /// The zero clock (happens before everything).
+    pub fn new() -> Self {
+        VClock::default()
+    }
+
+    /// This thread's own component, advanced by [`tick`](Self::tick).
+    pub fn get(&self, tid: usize) -> u32 {
+        self.parts.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Advances component `tid` by one event.
+    pub fn tick(&mut self, tid: usize) {
+        if self.parts.len() <= tid {
+            self.parts.resize(tid + 1, 0);
+        }
+        self.parts[tid] += 1;
+    }
+
+    /// Pointwise maximum: afterwards `self` dominates both inputs.
+    pub fn join(&mut self, other: &VClock) {
+        if self.parts.len() < other.parts.len() {
+            self.parts.resize(other.parts.len(), 0);
+        }
+        for (mine, theirs) in self.parts.iter_mut().zip(other.parts.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// True when every component of `self` is ≤ the matching component
+    /// of `other` — i.e. the event stamped `self` happens-before (or
+    /// is) any event that has observed `other`.
+    pub fn leq(&self, other: &VClock) -> bool {
+        self.parts
+            .iter()
+            .enumerate()
+            .all(|(t, &c)| c <= other.get(t))
+    }
+}
+
+impl Hash for VClock {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Trailing zeros are not significant (a short clock equals the
+        // same clock padded with zeros), so hash only the trimmed part.
+        let trimmed = match self.parts.iter().rposition(|&c| c != 0) {
+            Some(last) => &self.parts[..=last],
+            None => &[],
+        };
+        trimmed.hash(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_join_leq() {
+        let mut a = VClock::new();
+        let mut b = VClock::new();
+        a.tick(0);
+        b.tick(1);
+        assert!(!a.leq(&b));
+        assert!(!b.leq(&a));
+        let mut j = a.clone();
+        j.join(&b);
+        assert!(a.leq(&j));
+        assert!(b.leq(&j));
+        assert_eq!(j.get(0), 1);
+        assert_eq!(j.get(1), 1);
+    }
+
+    #[test]
+    fn zero_clock_precedes_everything() {
+        let zero = VClock::new();
+        let mut a = VClock::new();
+        a.tick(3);
+        assert!(zero.leq(&a));
+        assert!(zero.leq(&zero));
+    }
+
+    #[test]
+    fn hash_ignores_trailing_zeros() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        fn digest(c: &VClock) -> u64 {
+            let mut h = DefaultHasher::new();
+            c.hash(&mut h);
+            h.finish()
+        }
+        let mut short = VClock::new();
+        short.tick(0);
+        // `long` observed a thread-5 clock of all zeros: same content,
+        // longer backing vector.
+        let mut long = VClock::new();
+        long.tick(0);
+        long.parts.resize(6, 0);
+        assert_eq!(short, long.clone());
+        assert_eq!(digest(&short), digest(&long));
+    }
+}

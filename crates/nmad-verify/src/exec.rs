@@ -1,0 +1,1279 @@
+//! The model-checking execution engine: a cooperative scheduler that
+//! enumerates thread interleavings (and weak-memory load results) with
+//! a bounded-preemption depth-first search.
+//!
+//! One [`Exec`] drives many *executions* of the same closure. Model
+//! threads are real OS threads, but exactly one runs at a time: every
+//! model operation (atomic access, fence, mutex, condvar, spawn, join)
+//! is a *decision point* where the scheduler either continues the
+//! current thread or hands control to another. Decisions are recorded
+//! on a DFS path; after each execution the deepest decision with an
+//! untried alternative is advanced and the closure re-runs, replaying
+//! the recorded prefix deterministically.
+//!
+//! Two sources of nondeterminism are explored:
+//!
+//! * **scheduling** — which runnable thread performs the next
+//!   operation. Alternatives that switch away from a still-runnable
+//!   thread cost one *preemption*; executions are explored up to a
+//!   configurable preemption bound (forced switches at blocking points
+//!   are free), which is the classic CHESS-style bound that finds most
+//!   concurrency bugs at small depth.
+//! * **load values** — which store a (non-seq-cst) load observes. The
+//!   memory model is an operational release/acquire model with vector
+//!   clocks: every store records the writer's clock; a load may read
+//!   any store not yet obsoleted for the reading thread (coherence
+//!   floor = the newest store that happens-before the load), so
+//!   relaxed code really does observe stale values unless fences or
+//!   release/acquire edges forbid it. `SeqCst` operations additionally
+//!   join a global clock in both directions (treating them as seq-cst
+//!   fences — slightly stronger than C11, never weaker than what the
+//!   hardware may do, and exactly strong enough to validate
+//!   Dekker-style flag protocols).
+//!
+//! State-hash dedup: at each fresh scheduling point the full model
+//! state (store histories, thread clocks and positions, lock/condvar
+//! queues, remaining preemption budget) is hashed; a repeated hash
+//! prunes the subtree (the first visit explores it). Executions that
+//! exceed the per-run step bound are abandoned and counted, which
+//! keeps the search finite even for models that can spin.
+
+use crate::clock::VClock;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once};
+
+pub use std::sync::atomic::Ordering;
+
+/// Marker payload unwound through model threads when an execution is
+/// being torn down (failure elsewhere, step bound, or controller
+/// abort). Never reported as a user failure.
+struct AbortToken;
+
+/// Per-thread scheduling status.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum Status {
+    Runnable,
+    BlockedMutex(usize),
+    BlockedCondvar { cv: usize, can_timeout: bool },
+    BlockedJoin(usize),
+    Finished,
+}
+
+/// One store event on a model location.
+struct Store {
+    val: u64,
+    /// Writer's full clock at the store — decides the coherence floor
+    /// (a load whose thread has observed this clock cannot read an
+    /// older store).
+    hb: VClock,
+    /// Clock an acquire-load of this store synchronises with (the
+    /// writer's clock for release stores, its release-fence clock for
+    /// relaxed stores, extended along RMW release sequences).
+    msg: VClock,
+}
+
+struct Location {
+    stores: Vec<Store>,
+}
+
+struct MutexState {
+    owner: Option<usize>,
+    /// Release clock of the last unlock; joined on acquire.
+    msg: VClock,
+}
+
+struct CvState {
+    /// Waiting thread ids in wait order (FIFO wakeup).
+    waiters: Vec<usize>,
+}
+
+struct ThreadState {
+    status: Status,
+    cur: VClock,
+    /// Clock published by this thread's last release fence.
+    fence_rel: VClock,
+    /// Join of message clocks read by relaxed loads since thread
+    /// start; an acquire fence folds it into `cur`.
+    acq_pending: VClock,
+    /// Coherence floor per location: the newest store index this
+    /// thread has already observed.
+    seen: BTreeMap<usize, usize>,
+    /// (store index, consecutive repeats) of the last load per
+    /// location — drives the staleness-fairness rule that models
+    /// store buffers eventually draining.
+    last_read: BTreeMap<usize, (usize, u32)>,
+    /// Set when this thread was woken by the modelled park timeout.
+    timeout_fired: bool,
+    /// Operation counter — a program-position proxy for state hashing.
+    op_count: u64,
+    /// Running hash of every value this thread has loaded — a proxy
+    /// for its data-dependent local state.
+    obs_hash: u64,
+    final_clock: Option<VClock>,
+}
+
+impl ThreadState {
+    fn new(cur: VClock) -> Self {
+        ThreadState {
+            status: Status::Runnable,
+            cur,
+            fence_rel: VClock::new(),
+            acq_pending: VClock::new(),
+            seen: BTreeMap::new(),
+            last_read: BTreeMap::new(),
+            timeout_fired: false,
+            op_count: 0,
+            obs_hash: 0,
+            final_clock: None,
+        }
+    }
+}
+
+/// What a recorded decision chose between.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ChoiceKind {
+    /// Which thread runs next (options are thread ids).
+    Sched,
+    /// Which store a load observes (options are store indices).
+    Value,
+}
+
+struct ChoicePoint {
+    kind: ChoiceKind,
+    options: Vec<usize>,
+    taken: usize,
+}
+
+/// Aggregate statistics of one [`check`](crate::checker::Checker::check) run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Distinct schedules executed to completion.
+    pub schedules: u64,
+    /// Executions abandoned at the per-run step bound.
+    pub truncated: u64,
+    /// Scheduling subtrees pruned because the hashed model state had
+    /// already been explored.
+    pub states_deduped: u64,
+    /// Modelled park timeouts fired because no thread could otherwise
+    /// make progress — zero for a wakeup protocol with no missed
+    /// wakeups.
+    pub timeouts_fired: u64,
+    /// Deepest decision path over all executions.
+    pub max_depth: usize,
+    /// Most live model threads in any execution.
+    pub max_threads: usize,
+}
+
+/// A failing schedule: the assertion (or deadlock) message plus the
+/// decision path that reproduces it.
+#[derive(Clone, Debug)]
+pub struct CheckFailure {
+    /// Panic payload of the failing assertion, or the deadlock report.
+    pub message: String,
+    /// Human-readable decision path, e.g. `t0 t1 v2 t1 …`.
+    pub schedule: String,
+    /// Statistics gathered up to (and including) the failing run.
+    pub stats: CheckStats,
+}
+
+impl std::fmt::Display for CheckFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model check failed after {} schedule(s): {}\n  schedule: {}",
+            self.stats.schedules + 1,
+            self.message,
+            self.schedule
+        )
+    }
+}
+
+/// Tunables of one check. Constructed through
+/// [`Checker`](crate::checker::Checker).
+#[derive(Clone, Debug)]
+pub struct Config {
+    pub preemption_bound: usize,
+    pub max_schedules: u64,
+    pub max_steps: u64,
+    pub max_threads: usize,
+    pub dedup: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            preemption_bound: 2,
+            max_schedules: 500_000,
+            max_steps: 20_000,
+            max_threads: 8,
+            dedup: true,
+        }
+    }
+}
+
+struct ExecInner {
+    threads: Vec<ThreadState>,
+    locations: Vec<Location>,
+    mutexes: Vec<MutexState>,
+    condvars: Vec<CvState>,
+    /// Global seq-cst clock (see the module docs).
+    sc: VClock,
+    /// Thread currently allowed to run; `usize::MAX` when the
+    /// execution has drained.
+    active: usize,
+    /// Threads spawned and not yet finished.
+    live: usize,
+    /// OS handles of every thread spawned this execution.
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+
+    // --- DFS state (persists across executions of one check) ---
+    path: Vec<ChoicePoint>,
+    depth: usize,
+    visited: HashSet<u64>,
+    stats: CheckStats,
+
+    // --- per-execution state ---
+    preemptions: usize,
+    steps: u64,
+    pruned: bool,
+    abort: bool,
+    failure: Option<String>,
+}
+
+/// The shared execution engine; one per `Checker::check` call.
+pub(crate) struct Exec {
+    inner: Mutex<ExecInner>,
+    cv: Condvar,
+    config: Config,
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local context: which execution (and model thread) am I?
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<(Arc<Exec>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The calling OS thread's model context, if it is a model thread of a
+/// live execution.
+pub(crate) fn current() -> Option<(Arc<Exec>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn set_ctx(ctx: Option<(Arc<Exec>, usize)>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// True on threads that are currently inside a model execution — used
+/// by the panic-hook shim to keep expected model panics quiet.
+static HOOK: Once = Once::new();
+thread_local! {
+    static IN_MODEL: AtomicBool = const { AtomicBool::new(false) };
+}
+
+fn install_quiet_hook() {
+    HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let quiet = IN_MODEL.with(|f| f.load(StdOrdering::Relaxed));
+            if !quiet {
+                previous(info);
+            }
+        }));
+    });
+}
+
+fn ordering_is_acquire(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn ordering_is_release(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// Consecutive stale (non-newest) re-reads of one location a thread
+/// may perform before the model forces it to observe the newest store
+/// — the operational stand-in for "store buffers drain eventually",
+/// and what keeps polling loops terminating.
+const MAX_STALE_REPEATS: u32 = 1;
+
+type Guard<'a> = MutexGuard<'a, ExecInner>;
+
+impl Exec {
+    pub(crate) fn new(config: Config) -> Arc<Exec> {
+        install_quiet_hook();
+        Arc::new(Exec {
+            inner: Mutex::new(ExecInner {
+                threads: Vec::new(),
+                locations: Vec::new(),
+                mutexes: Vec::new(),
+                condvars: Vec::new(),
+                sc: VClock::new(),
+                active: 0,
+                live: 0,
+                os_handles: Vec::new(),
+                path: Vec::new(),
+                depth: 0,
+                visited: HashSet::new(),
+                stats: CheckStats::default(),
+                preemptions: 0,
+                steps: 0,
+                pruned: false,
+                abort: false,
+                failure: None,
+            }),
+            cv: Condvar::new(),
+            config,
+        })
+    }
+
+    fn lock(&self) -> Guard<'_> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn wait<'a>(&self, g: Guard<'a>) -> Guard<'a> {
+        self.cv.wait(g).unwrap_or_else(|p| p.into_inner())
+    }
+
+    // -----------------------------------------------------------------
+    // Controller side: one execution per call, then DFS advance.
+    // -----------------------------------------------------------------
+
+    /// Runs one execution of `f`. Returns `false` once the DFS path is
+    /// exhausted *before* running (i.e. nothing new to explore).
+    pub(crate) fn run_once(self: &Arc<Self>, f: &Arc<dyn Fn() + Send + Sync>) {
+        {
+            let mut g = self.lock();
+            g.threads.clear();
+            g.locations.clear();
+            g.mutexes.clear();
+            g.condvars.clear();
+            g.sc = VClock::new();
+            g.active = 0;
+            g.live = 0;
+            g.depth = 0;
+            g.preemptions = 0;
+            g.steps = 0;
+            g.pruned = false;
+            g.abort = false;
+        }
+        // Thread 0: the model main thread running the user closure.
+        let root = Arc::clone(f);
+        self.spawn_model_thread(move || root(), true);
+        // Wait for the execution to drain, then reap the OS threads.
+        let handles = {
+            let mut g = self.lock();
+            while g.live > 0 {
+                g = self.wait(g);
+            }
+            std::mem::take(&mut g.os_handles)
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        let mut g = self.lock();
+        g.stats.max_depth = g.stats.max_depth.max(g.depth);
+        // A branch taken earlier can end the program sooner than the
+        // previous execution did; drop the stale decision suffix so
+        // `advance` only flips choices this execution actually made.
+        let depth = g.depth;
+        g.path.truncate(depth);
+        if g.steps > self.config.max_steps {
+            g.stats.truncated += 1;
+        }
+    }
+
+    /// Advances the DFS path to the next unexplored branch. Returns
+    /// `false` when the search space is exhausted.
+    pub(crate) fn advance(&self) -> bool {
+        let mut g = self.lock();
+        g.stats.schedules += 1;
+        while let Some(cp) = g.path.last_mut() {
+            if cp.taken + 1 < cp.options.len() {
+                cp.taken += 1;
+                return true;
+            }
+            g.path.pop();
+        }
+        false
+    }
+
+    pub(crate) fn stats(&self) -> CheckStats {
+        self.lock().stats.clone()
+    }
+
+    pub(crate) fn failure(&self) -> Option<CheckFailure> {
+        let g = self.lock();
+        g.failure.as_ref().map(|message| CheckFailure {
+            message: message.clone(),
+            schedule: render_path(&g.path),
+            stats: g.stats.clone(),
+        })
+    }
+
+    pub(crate) fn hit_schedule_cap(&self) -> bool {
+        self.lock().stats.schedules >= self.config.max_schedules
+    }
+
+    // -----------------------------------------------------------------
+    // Model-thread lifecycle.
+    // -----------------------------------------------------------------
+
+    /// Registers and starts a new model thread. Called by the
+    /// controller for thread 0 and by running model threads for the
+    /// rest (via [`crate::thread::spawn`]).
+    pub(crate) fn spawn_model_thread<F>(self: &Arc<Self>, f: F, is_root: bool) -> usize
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let mut g = self.lock();
+        if !is_root {
+            // The spawning thread yields a decision point first: spawn
+            // is an observable event.
+            g = self.yield_sched(g);
+        }
+        let tid = g.threads.len();
+        if tid >= self.config.max_threads {
+            drop(g);
+            panic!(
+                "model execution spawned more than {} threads",
+                self.config.max_threads
+            );
+        }
+        let cur = if is_root {
+            VClock::new()
+        } else {
+            let me = g.active;
+            g.threads[me].cur.tick(me);
+            g.threads[me].cur.clone()
+        };
+        g.threads.push(ThreadState::new(cur));
+        g.live += 1;
+        let threads_now = g.threads.len();
+        g.stats.max_threads = g.stats.max_threads.max(threads_now);
+        let exec = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("nmad-model-{tid}"))
+            .spawn(move || exec.model_thread_body(tid, f))
+            .expect("spawn model thread");
+        g.os_handles.push(handle);
+        drop(g);
+        tid
+    }
+
+    fn model_thread_body<F: FnOnce()>(self: Arc<Self>, tid: usize, f: F) {
+        set_ctx(Some((Arc::clone(&self), tid)));
+        IN_MODEL.with(|flag| flag.store(true, StdOrdering::Relaxed));
+        // Wait to be scheduled for the first time.
+        {
+            let mut g = self.lock();
+            while g.active != tid && !g.abort {
+                g = self.wait(g);
+            }
+        }
+        let result = panic::catch_unwind(AssertUnwindSafe(f));
+        IN_MODEL.with(|flag| flag.store(false, StdOrdering::Relaxed));
+        set_ctx(None);
+        match result {
+            Ok(()) => self.thread_exit(tid),
+            Err(payload) => {
+                if payload.downcast_ref::<AbortToken>().is_none() {
+                    let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                        (*s).to_string()
+                    } else if let Some(s) = payload.downcast_ref::<String>() {
+                        s.clone()
+                    } else {
+                        "model thread panicked".to_string()
+                    };
+                    self.fail(format!("thread t{tid} panicked: {message}"));
+                }
+                self.abandon_thread(tid);
+            }
+        }
+    }
+
+    /// Records a failure and tears the execution down.
+    fn fail(&self, message: String) {
+        let mut g = self.lock();
+        if g.failure.is_none() {
+            g.failure = Some(message);
+        }
+        g.abort = true;
+        self.cv.notify_all();
+    }
+
+    /// Clean exit of a model thread: publish the final clock, wake
+    /// joiners, hand control onward.
+    fn thread_exit(self: &Arc<Self>, tid: usize) {
+        let mut g = self.lock();
+        let final_clock = g.threads[tid].cur.clone();
+        g.threads[tid].status = Status::Finished;
+        g.threads[tid].final_clock = Some(final_clock);
+        // Joiners become runnable.
+        for t in 0..g.threads.len() {
+            if g.threads[t].status == Status::BlockedJoin(tid) {
+                g.threads[t].status = Status::Runnable;
+            }
+        }
+        g.live -= 1;
+        if g.live == 0 || g.abort {
+            g.active = usize::MAX;
+            self.cv.notify_all();
+            return;
+        }
+        drop(self.hand_off(g, tid));
+    }
+
+    /// Exit path for aborted/panicked threads: only bookkeeping.
+    fn abandon_thread(&self, tid: usize) {
+        let mut g = self.lock();
+        g.threads[tid].status = Status::Finished;
+        g.live -= 1;
+        if g.live == 0 {
+            g.active = usize::MAX;
+        }
+        self.cv.notify_all();
+    }
+
+    // -----------------------------------------------------------------
+    // Scheduling core.
+    // -----------------------------------------------------------------
+
+    fn runnable(g: &ExecInner) -> Vec<usize> {
+        (0..g.threads.len())
+            .filter(|&t| g.threads[t].status == Status::Runnable)
+            .collect()
+    }
+
+    fn abort_unwind(&self, g: Guard<'_>) -> ! {
+        drop(g);
+        panic::panic_any(AbortToken);
+    }
+
+    /// Entry gate for every model operation. During execution teardown
+    /// (abort set) an *unwinding* thread must not panic again — its
+    /// destructors legitimately perform model operations (guard drops,
+    /// engine shutdown) — so those operations become no-ops instead.
+    fn enter(&self) -> Option<Guard<'_>> {
+        let g = self.lock();
+        if g.abort && std::thread::panicking() {
+            return None;
+        }
+        Some(g)
+    }
+
+    /// Takes one recorded (or fresh) decision.
+    fn choose(&self, g: &mut ExecInner, kind: ChoiceKind, options: &[usize]) -> usize {
+        debug_assert!(!options.is_empty());
+        if options.len() == 1 {
+            return options[0];
+        }
+        if g.depth < g.path.len() {
+            let d = g.depth;
+            g.depth += 1;
+            let cp = &g.path[d];
+            debug_assert_eq!(cp.kind, kind, "nondeterministic replay (kind)");
+            let v = cp.options[cp.taken];
+            debug_assert!(
+                options.contains(&v),
+                "nondeterministic replay: recorded option {v} not offered"
+            );
+            return v;
+        }
+        if g.pruned {
+            return options[0];
+        }
+        g.path.push(ChoicePoint {
+            kind,
+            options: options.to_vec(),
+            taken: 0,
+        });
+        g.depth += 1;
+        options[0]
+    }
+
+    /// The scheduling decision taken before every model operation.
+    /// On return the calling thread is active again and may perform
+    /// its operation under the returned guard.
+    fn yield_sched<'a>(&self, mut g: Guard<'a>) -> Guard<'a> {
+        if g.abort {
+            if std::thread::panicking() {
+                // Teardown on an unwinding thread: skip scheduling,
+                // the caller checks `abort` and bails out.
+                return g;
+            }
+            self.abort_unwind(g);
+        }
+        let me = g.active;
+        debug_assert_eq!(g.threads[me].status, Status::Runnable);
+        g.steps += 1;
+        if g.steps > self.config.max_steps {
+            // Abandon this execution (counted by the controller).
+            g.abort = true;
+            self.cv.notify_all();
+            self.abort_unwind(g);
+        }
+        // State-hash dedup, only in fresh territory.
+        if self.config.dedup && g.depth >= g.path.len() && !g.pruned {
+            let fp = fingerprint(&g, self.config.preemption_bound);
+            if !g.visited.insert(fp) {
+                g.pruned = true;
+                g.stats.states_deduped += 1;
+            }
+        }
+        let enabled = Self::runnable(&g);
+        debug_assert!(enabled.contains(&me));
+        // NOTE: the option set must be a function of *execution* state
+        // only (never of the recorded path's length), or replay would
+        // misalign with the recording.
+        let options: Vec<usize> = if g.pruned || g.preemptions >= self.config.preemption_bound {
+            vec![me]
+        } else {
+            // Current thread first: the default path runs without
+            // preemption.
+            let mut v = vec![me];
+            v.extend(enabled.iter().copied().filter(|&t| t != me));
+            v
+        };
+        let next = self.choose(&mut g, ChoiceKind::Sched, &options);
+        if next != me {
+            g.preemptions += 1;
+            g.active = next;
+            self.cv.notify_all();
+            while g.active != me && !g.abort {
+                g = self.wait(g);
+            }
+            if g.abort && !std::thread::panicking() {
+                self.abort_unwind(g);
+            }
+        }
+        g
+    }
+
+    /// A fairness yield for busy-wait loops (`sync::spin_loop`,
+    /// `thread::yield_now`): hands control to some *other* runnable
+    /// thread, costing no preemption. Without this a polling loop's
+    /// default schedule (current thread first) would spin to the step
+    /// bound before the thread it polls ever runs.
+    pub(crate) fn spin_loop(&self) {
+        let Some(mut g) = self.enter() else { return };
+        if g.abort {
+            self.abort_unwind(g);
+        }
+        let me = g.active;
+        g.steps += 1;
+        if g.steps > self.config.max_steps {
+            g.abort = true;
+            self.cv.notify_all();
+            self.abort_unwind(g);
+        }
+        if self.config.dedup && g.depth >= g.path.len() && !g.pruned {
+            let fp = fingerprint(&g, self.config.preemption_bound);
+            if !g.visited.insert(fp) {
+                g.pruned = true;
+                g.stats.states_deduped += 1;
+            }
+        }
+        let others: Vec<usize> = Self::runnable(&g)
+            .into_iter()
+            .filter(|&t| t != me)
+            .collect();
+        if others.is_empty() {
+            // Nothing else can run; the spinner must make progress on
+            // its own (the staleness rule guarantees it eventually
+            // observes the newest stores).
+            return;
+        }
+        let next = self.choose(&mut g, ChoiceKind::Sched, &others);
+        g.active = next;
+        self.cv.notify_all();
+        while g.active != me && !g.abort {
+            g = self.wait(g);
+        }
+        if g.abort && !std::thread::panicking() {
+            self.abort_unwind(g);
+        }
+    }
+
+    /// Hands control to some other thread while the caller is blocked
+    /// (or exiting). Fires a modelled timeout, or reports deadlock,
+    /// when nothing is runnable.
+    fn hand_off<'a>(&self, mut g: Guard<'a>, _me: usize) -> Guard<'a> {
+        let enabled = Self::runnable(&g);
+        if enabled.is_empty() {
+            // A thread parked with a timeout may always come back.
+            let timeout_candidate = (0..g.threads.len()).find(|&t| {
+                matches!(
+                    g.threads[t].status,
+                    Status::BlockedCondvar {
+                        can_timeout: true,
+                        ..
+                    }
+                )
+            });
+            match timeout_candidate {
+                Some(t) => {
+                    g.threads[t].status = Status::Runnable;
+                    g.threads[t].timeout_fired = true;
+                    g.stats.timeouts_fired += 1;
+                    g.active = t;
+                }
+                None => {
+                    let blocked: Vec<String> = (0..g.threads.len())
+                        .filter(|&t| {
+                            !matches!(g.threads[t].status, Status::Finished | Status::Runnable)
+                        })
+                        .map(|t| format!("t{t}:{:?}", g.threads[t].status))
+                        .collect();
+                    drop(g);
+                    self.fail(format!(
+                        "deadlock: all live threads blocked [{}]",
+                        blocked.join(" ")
+                    ));
+                    panic::panic_any(AbortToken);
+                }
+            }
+        } else {
+            // A forced switch: the blocked thread cannot continue, so
+            // this costs no preemption.
+            let next = self.choose(&mut g, ChoiceKind::Sched, &enabled);
+            g.active = next;
+        }
+        self.cv.notify_all();
+        g
+    }
+
+    /// Blocks the calling thread with `status` until it is runnable
+    /// and scheduled again.
+    fn block<'a>(&self, mut g: Guard<'a>, me: usize, status: Status) -> Guard<'a> {
+        g.threads[me].status = status;
+        g = self.hand_off(g, me);
+        loop {
+            if g.abort || (g.active == me && g.threads[me].status == Status::Runnable) {
+                break;
+            }
+            g = self.wait(g);
+        }
+        if g.abort {
+            self.abort_unwind(g);
+        }
+        g
+    }
+
+    // -----------------------------------------------------------------
+    // Memory model: locations, loads, stores, RMWs, fences.
+    // -----------------------------------------------------------------
+
+    pub(crate) fn new_location(&self, init: u64) -> usize {
+        let mut g = self.lock();
+        let creator = g.active;
+        let hb = g.threads[creator].cur.clone();
+        let msg = hb.clone();
+        g.locations.push(Location {
+            stores: vec![Store { val: init, hb, msg }],
+        });
+        g.locations.len() - 1
+    }
+
+    /// Coherence floor: index of the newest store that happens-before
+    /// the reading thread's current point (it cannot read older), also
+    /// bounded by what the thread already observed.
+    fn floor(g: &ExecInner, me: usize, loc: usize) -> usize {
+        let stores = &g.locations[loc].stores;
+        let cur = &g.threads[me].cur;
+        let mut floor = g.threads[me].seen.get(&loc).copied().unwrap_or(0);
+        for (i, s) in stores.iter().enumerate().skip(floor) {
+            if s.hb.leq(cur) {
+                floor = i;
+            }
+        }
+        floor
+    }
+
+    pub(crate) fn atomic_load(&self, loc: usize, ord: Ordering) -> u64 {
+        let Some(mut g) = self.enter() else { return 0 };
+        g = self.yield_sched(g);
+        if g.abort {
+            return 0;
+        }
+        let me = g.active;
+        if ord == Ordering::SeqCst {
+            let sc = g.sc.clone();
+            g.threads[me].cur.join(&sc);
+        }
+        let floor = Self::floor(&g, me, loc);
+        let last = g.locations[loc].stores.len() - 1;
+        // Newest first: the default (no extra branch) execution is
+        // sequentially consistent.
+        let mut candidates: Vec<usize> = (floor..=last).rev().collect();
+        if let Some(&(prev, reps)) = g.threads[me].last_read.get(&loc) {
+            if reps > MAX_STALE_REPEATS && prev < last {
+                // Store buffers drain eventually: stop offering the
+                // same stale store over and over.
+                candidates.retain(|&i| i > prev);
+            }
+        }
+        let idx = if g.pruned {
+            candidates[0]
+        } else {
+            self.choose(&mut g, ChoiceKind::Value, &candidates)
+        };
+        let val = g.locations[loc].stores[idx].val;
+        let msg = g.locations[loc].stores[idx].msg.clone();
+        let t = &mut g.threads[me];
+        let seen = t.seen.entry(loc).or_insert(0);
+        *seen = (*seen).max(idx);
+        let entry = t.last_read.entry(loc).or_insert((idx, 0));
+        *entry = if entry.0 == idx && idx < last {
+            (idx, entry.1 + 1)
+        } else {
+            (idx, 0)
+        };
+        if ordering_is_acquire(ord) {
+            t.cur.join(&msg);
+        } else {
+            t.acq_pending.join(&msg);
+        }
+        t.op_count += 1;
+        t.obs_hash = mix(
+            t.obs_hash,
+            (loc as u64) << 32 ^ idx as u64 ^ val.rotate_left(17),
+        );
+        if ord == Ordering::SeqCst {
+            let cur = g.threads[me].cur.clone();
+            g.sc.join(&cur);
+        }
+        val
+    }
+
+    pub(crate) fn atomic_store(&self, loc: usize, val: u64, ord: Ordering) {
+        let Some(mut g) = self.enter() else { return };
+        g = self.yield_sched(g);
+        if g.abort {
+            return;
+        }
+        let me = g.active;
+        if ord == Ordering::SeqCst {
+            let sc = g.sc.clone();
+            g.threads[me].cur.join(&sc);
+        }
+        g.threads[me].cur.tick(me);
+        let hb = g.threads[me].cur.clone();
+        let msg = if ordering_is_release(ord) {
+            hb.clone()
+        } else {
+            g.threads[me].fence_rel.clone()
+        };
+        g.locations[loc].stores.push(Store { val, hb, msg });
+        let idx = g.locations[loc].stores.len() - 1;
+        let t = &mut g.threads[me];
+        t.seen.insert(loc, idx);
+        t.last_read.insert(loc, (idx, 0));
+        t.op_count += 1;
+        if ord == Ordering::SeqCst {
+            let cur = g.threads[me].cur.clone();
+            g.sc.join(&cur);
+        }
+    }
+
+    /// Read-modify-write: atomically reads the newest store and
+    /// replaces it. Returns the previous value.
+    pub(crate) fn atomic_rmw<F: FnOnce(u64) -> u64>(&self, loc: usize, ord: Ordering, f: F) -> u64 {
+        let Some(mut g) = self.enter() else { return 0 };
+        g = self.yield_sched(g);
+        if g.abort {
+            return 0;
+        }
+        let me = g.active;
+        if ord == Ordering::SeqCst {
+            let sc = g.sc.clone();
+            g.threads[me].cur.join(&sc);
+        }
+        let last = g.locations[loc].stores.len() - 1;
+        let old = g.locations[loc].stores[last].val;
+        let read_msg = g.locations[loc].stores[last].msg.clone();
+        {
+            let t = &mut g.threads[me];
+            if ordering_is_acquire(ord) {
+                t.cur.join(&read_msg);
+            } else {
+                t.acq_pending.join(&read_msg);
+            }
+            t.cur.tick(me);
+        }
+        let hb = g.threads[me].cur.clone();
+        let mut msg = if ordering_is_release(ord) {
+            hb.clone()
+        } else {
+            g.threads[me].fence_rel.clone()
+        };
+        // Release-sequence continuation: an acquire of this RMW also
+        // synchronises with the store it replaced.
+        msg.join(&read_msg);
+        g.locations[loc].stores.push(Store {
+            val: f(old),
+            hb,
+            msg,
+        });
+        let idx = g.locations[loc].stores.len() - 1;
+        let t = &mut g.threads[me];
+        t.seen.insert(loc, idx);
+        t.last_read.insert(loc, (idx, 0));
+        t.op_count += 1;
+        t.obs_hash = mix(t.obs_hash, (loc as u64) << 32 ^ old.rotate_left(9));
+        if ord == Ordering::SeqCst {
+            let cur = g.threads[me].cur.clone();
+            g.sc.join(&cur);
+        }
+        old
+    }
+
+    /// Compare-exchange (strong; the model has no spurious failures).
+    pub(crate) fn atomic_cas(
+        &self,
+        loc: usize,
+        expected: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        let Some(mut g) = self.enter() else {
+            return Err(0);
+        };
+        g = self.yield_sched(g);
+        if g.abort {
+            return Err(0);
+        }
+        let me = g.active;
+        let sc_involved = success == Ordering::SeqCst || failure == Ordering::SeqCst;
+        if sc_involved {
+            let sc = g.sc.clone();
+            g.threads[me].cur.join(&sc);
+        }
+        let last = g.locations[loc].stores.len() - 1;
+        let old = g.locations[loc].stores[last].val;
+        let read_msg = g.locations[loc].stores[last].msg.clone();
+        let ok = old == expected;
+        let ord = if ok { success } else { failure };
+        {
+            let t = &mut g.threads[me];
+            if ordering_is_acquire(ord) {
+                t.cur.join(&read_msg);
+            } else {
+                t.acq_pending.join(&read_msg);
+            }
+        }
+        if ok {
+            g.threads[me].cur.tick(me);
+            let hb = g.threads[me].cur.clone();
+            let mut msg = if ordering_is_release(success) {
+                hb.clone()
+            } else {
+                g.threads[me].fence_rel.clone()
+            };
+            msg.join(&read_msg);
+            g.locations[loc].stores.push(Store { val: new, hb, msg });
+        }
+        let idx = g.locations[loc].stores.len() - 1;
+        let t = &mut g.threads[me];
+        t.seen.insert(loc, idx);
+        t.last_read.insert(loc, (idx, 0));
+        t.op_count += 1;
+        t.obs_hash = mix(t.obs_hash, (loc as u64) << 32 ^ old ^ u64::from(ok) << 63);
+        if sc_involved {
+            let cur = g.threads[me].cur.clone();
+            g.sc.join(&cur);
+        }
+        if ok {
+            Ok(old)
+        } else {
+            Err(old)
+        }
+    }
+
+    pub(crate) fn fence(&self, ord: Ordering) {
+        let Some(mut g) = self.enter() else { return };
+        g = self.yield_sched(g);
+        if g.abort {
+            return;
+        }
+        let me = g.active;
+        if ordering_is_acquire(ord) {
+            let pending = g.threads[me].acq_pending.clone();
+            g.threads[me].cur.join(&pending);
+        }
+        if ord == Ordering::SeqCst {
+            let sc = g.sc.clone();
+            g.threads[me].cur.join(&sc);
+        }
+        if ordering_is_release(ord) {
+            g.threads[me].fence_rel = g.threads[me].cur.clone();
+        }
+        if ord == Ordering::SeqCst {
+            let cur = g.threads[me].cur.clone();
+            g.sc.join(&cur);
+        }
+        g.threads[me].op_count += 1;
+    }
+
+    // -----------------------------------------------------------------
+    // Model mutex & condvar.
+    // -----------------------------------------------------------------
+
+    pub(crate) fn mutex_new(&self) -> usize {
+        let mut g = self.lock();
+        g.mutexes.push(MutexState {
+            owner: None,
+            msg: VClock::new(),
+        });
+        g.mutexes.len() - 1
+    }
+
+    pub(crate) fn mutex_lock(&self, mid: usize) {
+        let Some(mut g) = self.enter() else { return };
+        g = self.yield_sched(g);
+        if g.abort {
+            return;
+        }
+        g = self.mutex_lock_locked(g, mid);
+        drop(g);
+    }
+
+    /// Acquire `mid` for the active thread; the scheduling decision
+    /// has already been taken.
+    fn mutex_lock_locked<'a>(&self, mut g: Guard<'a>, mid: usize) -> Guard<'a> {
+        loop {
+            let me = g.active;
+            if g.mutexes[mid].owner.is_none() {
+                g.mutexes[mid].owner = Some(me);
+                let msg = g.mutexes[mid].msg.clone();
+                g.threads[me].cur.join(&msg);
+                g.threads[me].op_count += 1;
+                return g;
+            }
+            debug_assert_ne!(
+                g.mutexes[mid].owner,
+                Some(me),
+                "model mutex is not reentrant"
+            );
+            g = self.block(g, me, Status::BlockedMutex(mid));
+        }
+    }
+
+    pub(crate) fn mutex_try_lock(&self, mid: usize) -> bool {
+        let Some(mut g) = self.enter() else {
+            return true;
+        };
+        g = self.yield_sched(g);
+        if g.abort {
+            return true;
+        }
+        let me = g.active;
+        g.threads[me].op_count += 1;
+        if g.mutexes[mid].owner.is_none() {
+            g.mutexes[mid].owner = Some(me);
+            let msg = g.mutexes[mid].msg.clone();
+            g.threads[me].cur.join(&msg);
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn mutex_unlock(&self, mid: usize) {
+        let Some(mut g) = self.enter() else { return };
+        g = self.yield_sched(g);
+        if g.abort {
+            return;
+        }
+        let me = g.active;
+        debug_assert_eq!(g.mutexes[mid].owner, Some(me), "unlock by non-owner");
+        g.threads[me].cur.tick(me);
+        g.mutexes[mid].owner = None;
+        g.mutexes[mid].msg = g.threads[me].cur.clone();
+        g.threads[me].op_count += 1;
+        // Contenders become runnable and re-race for the lock.
+        for t in 0..g.threads.len() {
+            if g.threads[t].status == Status::BlockedMutex(mid) {
+                g.threads[t].status = Status::Runnable;
+            }
+        }
+        drop(g);
+    }
+
+    pub(crate) fn condvar_new(&self) -> usize {
+        let mut g = self.lock();
+        g.condvars.push(CvState {
+            waiters: Vec::new(),
+        });
+        g.condvars.len() - 1
+    }
+
+    /// Releases `mid`, parks on `cvid`, and reacquires `mid` on
+    /// wakeup. Returns true when the wakeup was the modelled timeout
+    /// (fired only when the whole execution would otherwise be stuck).
+    pub(crate) fn condvar_wait(&self, cvid: usize, mid: usize, can_timeout: bool) -> bool {
+        let Some(mut g) = self.enter() else {
+            return false;
+        };
+        g = self.yield_sched(g);
+        if g.abort {
+            return false;
+        }
+        let me = g.active;
+        // Atomically: release the mutex, join the wait queue.
+        debug_assert_eq!(
+            g.mutexes[mid].owner,
+            Some(me),
+            "condvar wait without the lock"
+        );
+        g.threads[me].cur.tick(me);
+        g.mutexes[mid].owner = None;
+        g.mutexes[mid].msg = g.threads[me].cur.clone();
+        for t in 0..g.threads.len() {
+            if g.threads[t].status == Status::BlockedMutex(mid) {
+                g.threads[t].status = Status::Runnable;
+            }
+        }
+        g.condvars[cvid].waiters.push(me);
+        g.threads[me].timeout_fired = false;
+        g = self.block(
+            g,
+            me,
+            Status::BlockedCondvar {
+                cv: cvid,
+                can_timeout,
+            },
+        );
+        // Woken (notify or timeout): leave the queue if still on it,
+        // then reacquire the mutex.
+        g.condvars[cvid].waiters.retain(|&t| t != me);
+        let timed_out = g.threads[me].timeout_fired;
+        g.threads[me].timeout_fired = false;
+        g = self.mutex_lock_locked(g, mid);
+        drop(g);
+        timed_out
+    }
+
+    pub(crate) fn condvar_notify_one(&self, cvid: usize) {
+        let Some(mut g) = self.enter() else { return };
+        g = self.yield_sched(g);
+        if g.abort {
+            return;
+        }
+        if let Some(&t) = g.condvars[cvid].waiters.first() {
+            g.condvars[cvid].waiters.remove(0);
+            g.threads[t].status = Status::Runnable;
+        }
+        let me = g.active;
+        g.threads[me].op_count += 1;
+        drop(g);
+    }
+
+    pub(crate) fn condvar_notify_all(&self, cvid: usize) {
+        let Some(mut g) = self.enter() else { return };
+        g = self.yield_sched(g);
+        if g.abort {
+            return;
+        }
+        let waiters = std::mem::take(&mut g.condvars[cvid].waiters);
+        for t in waiters {
+            g.threads[t].status = Status::Runnable;
+        }
+        let me = g.active;
+        g.threads[me].op_count += 1;
+        drop(g);
+    }
+
+    // -----------------------------------------------------------------
+    // Join.
+    // -----------------------------------------------------------------
+
+    pub(crate) fn join_thread(&self, target: usize) {
+        let Some(mut g) = self.enter() else { return };
+        g = self.yield_sched(g);
+        if g.abort {
+            return;
+        }
+        let me = g.active;
+        if g.threads[target].status != Status::Finished {
+            g = self.block(g, me, Status::BlockedJoin(target));
+        }
+        debug_assert_eq!(g.threads[target].status, Status::Finished);
+        let final_clock = g.threads[target]
+            .final_clock
+            .clone()
+            .expect("finished thread has a final clock");
+        g.threads[me].cur.join(&final_clock);
+        g.threads[me].op_count += 1;
+        drop(g);
+    }
+}
+
+fn mix(h: u64, v: u64) -> u64 {
+    // splitmix64-style diffusion; quality only matters for dedup.
+    let mut x = h ^ v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x
+}
+
+/// Hash of the complete model state at a scheduling point.
+fn fingerprint(g: &ExecInner, bound: usize) -> u64 {
+    let mut h = DefaultHasher::new();
+    g.active.hash(&mut h);
+    (bound - g.preemptions.min(bound)).hash(&mut h);
+    g.sc.hash(&mut h);
+    for loc in &g.locations {
+        loc.stores.len().hash(&mut h);
+        for s in &loc.stores {
+            s.val.hash(&mut h);
+            s.hb.hash(&mut h);
+            s.msg.hash(&mut h);
+        }
+    }
+    for t in &g.threads {
+        t.status.hash(&mut h);
+        t.cur.hash(&mut h);
+        t.fence_rel.hash(&mut h);
+        t.acq_pending.hash(&mut h);
+        t.seen.hash(&mut h);
+        t.last_read.hash(&mut h);
+        t.timeout_fired.hash(&mut h);
+        t.op_count.hash(&mut h);
+        t.obs_hash.hash(&mut h);
+    }
+    for m in &g.mutexes {
+        m.owner.hash(&mut h);
+        m.msg.hash(&mut h);
+    }
+    for c in &g.condvars {
+        c.waiters.hash(&mut h);
+    }
+    h.finish()
+}
+
+fn render_path(path: &[ChoicePoint]) -> String {
+    let mut out = String::new();
+    for cp in path {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        match cp.kind {
+            ChoiceKind::Sched => out.push('t'),
+            ChoiceKind::Value => out.push('v'),
+        }
+        out.push_str(&cp.options[cp.taken].to_string());
+    }
+    if out.is_empty() {
+        out.push_str("(deterministic)");
+    }
+    out
+}

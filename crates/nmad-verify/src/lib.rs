@@ -1,0 +1,35 @@
+//! `nmad-verify`: the engine's in-repo verification layer.
+//!
+//! Two halves, both dependency-free so they work in the offline build:
+//!
+//! * A **bounded exhaustive model checker** ([`Checker`]) for the
+//!   lock-free primitives behind the threaded progression engine
+//!   (submit ring, seqlock metrics snapshots, completion board,
+//!   request-id watermark). Code written against the [`sync`] facade
+//!   runs unchanged; inside a [`Checker::check`] closure every atomic
+//!   operation, fence, lock, and park becomes a decision point, and
+//!   the checker enumerates thread interleavings *and* weak-memory
+//!   load results with a bounded-preemption DFS plus state-hash
+//!   pruning. An assertion that holds across the explored space holds
+//!   for every schedule up to the bound — not for one lucky seed.
+//!
+//! * The **lint rule catalog** ([`lint`]) behind
+//!   `cargo run -p xtask -- lint`: repo invariants clippy cannot
+//!   express (unsafe confinement, sync-facade discipline, virtual-time
+//!   determinism, hot-path lock bans).
+//!
+//! See `DESIGN.md` §12 for the memory-model write-up and the list of
+//! what is and is not covered.
+
+#![forbid(unsafe_code)]
+
+pub mod clock;
+mod exec;
+pub mod lint;
+pub mod sync;
+pub mod thread;
+
+mod checker;
+
+pub use checker::{coverage_probe, Checker};
+pub use exec::{CheckFailure, CheckStats};

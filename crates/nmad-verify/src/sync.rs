@@ -1,0 +1,521 @@
+//! Model-aware synchronisation primitives.
+//!
+//! These types have the same shape as the `std::sync::atomic` /
+//! `Mutex` / `Condvar` APIs the engine uses, with one twist: when they
+//! are constructed *on a model thread* (inside a
+//! [`Checker::check`](crate::Checker::check) closure) they register
+//! with the model runtime, and every operation becomes a scheduling +
+//! memory-model decision point. Constructed anywhere else they are
+//! plain wrappers over the std primitives with zero behavioural
+//! change — so a binary compiled with the model feature still runs all
+//! of its ordinary tests normally.
+//!
+//! Consequence worth repeating in every model test: **create the state
+//! you want checked inside the closure.** A primitive created outside
+//! is invisible to the checker (it stays a real atomic/lock), and a
+//! real lock contended between model threads can hang the execution.
+//!
+//! The model `Mutex<T>` keeps its data in a `std::sync::Mutex` (always
+//! uncontended, because only one model thread runs at a time) and the
+//! *contention* in the model runtime — which keeps this crate free of
+//! `unsafe`.
+
+use crate::exec::{self, Exec};
+use std::sync::Arc;
+use std::time::Duration;
+
+pub use std::sync::atomic::Ordering;
+
+// ---------------------------------------------------------------------------
+// Atomics: one shared u64 representation.
+// ---------------------------------------------------------------------------
+
+enum AtomicRepr {
+    Real(std::sync::atomic::AtomicU64),
+    Model { exec: Arc<Exec>, loc: usize },
+}
+
+impl AtomicRepr {
+    fn new(init: u64) -> Self {
+        match exec::current() {
+            Some((exec, _tid)) => {
+                let loc = exec.new_location(init);
+                AtomicRepr::Model { exec, loc }
+            }
+            None => AtomicRepr::Real(std::sync::atomic::AtomicU64::new(init)),
+        }
+    }
+
+    fn load(&self, ord: Ordering) -> u64 {
+        match self {
+            AtomicRepr::Real(a) => a.load(ord),
+            AtomicRepr::Model { exec, loc } => exec.atomic_load(*loc, ord),
+        }
+    }
+
+    fn store(&self, val: u64, ord: Ordering) {
+        match self {
+            AtomicRepr::Real(a) => a.store(val, ord),
+            AtomicRepr::Model { exec, loc } => exec.atomic_store(*loc, val, ord),
+        }
+    }
+
+    fn swap(&self, val: u64, ord: Ordering) -> u64 {
+        match self {
+            AtomicRepr::Real(a) => a.swap(val, ord),
+            AtomicRepr::Model { exec, loc } => exec.atomic_rmw(*loc, ord, |_| val),
+        }
+    }
+
+    fn fetch_add(&self, val: u64, ord: Ordering) -> u64 {
+        match self {
+            AtomicRepr::Real(a) => a.fetch_add(val, ord),
+            AtomicRepr::Model { exec, loc } => exec.atomic_rmw(*loc, ord, |x| x.wrapping_add(val)),
+        }
+    }
+
+    fn fetch_sub(&self, val: u64, ord: Ordering) -> u64 {
+        match self {
+            AtomicRepr::Real(a) => a.fetch_sub(val, ord),
+            AtomicRepr::Model { exec, loc } => exec.atomic_rmw(*loc, ord, |x| x.wrapping_sub(val)),
+        }
+    }
+
+    fn fetch_or(&self, val: u64, ord: Ordering) -> u64 {
+        match self {
+            AtomicRepr::Real(a) => a.fetch_or(val, ord),
+            AtomicRepr::Model { exec, loc } => exec.atomic_rmw(*loc, ord, |x| x | val),
+        }
+    }
+
+    fn fetch_and(&self, val: u64, ord: Ordering) -> u64 {
+        match self {
+            AtomicRepr::Real(a) => a.fetch_and(val, ord),
+            AtomicRepr::Model { exec, loc } => exec.atomic_rmw(*loc, ord, |x| x & val),
+        }
+    }
+
+    fn fetch_max(&self, val: u64, ord: Ordering) -> u64 {
+        match self {
+            AtomicRepr::Real(a) => a.fetch_max(val, ord),
+            AtomicRepr::Model { exec, loc } => exec.atomic_rmw(*loc, ord, |x| x.max(val)),
+        }
+    }
+
+    fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        match self {
+            AtomicRepr::Real(a) => a.compare_exchange(current, new, success, failure),
+            AtomicRepr::Model { exec, loc } => {
+                exec.atomic_cas(*loc, current, new, success, failure)
+            }
+        }
+    }
+}
+
+macro_rules! atomic_int {
+    ($name:ident, $ty:ty, $doc:literal) => {
+        #[doc = $doc]
+        pub struct $name(AtomicRepr);
+
+        impl $name {
+            pub fn new(v: $ty) -> Self {
+                $name(AtomicRepr::new(v as u64))
+            }
+            pub fn load(&self, ord: Ordering) -> $ty {
+                self.0.load(ord) as $ty
+            }
+            pub fn store(&self, v: $ty, ord: Ordering) {
+                self.0.store(v as u64, ord)
+            }
+            pub fn swap(&self, v: $ty, ord: Ordering) -> $ty {
+                self.0.swap(v as u64, ord) as $ty
+            }
+            pub fn fetch_add(&self, v: $ty, ord: Ordering) -> $ty {
+                self.0.fetch_add(v as u64, ord) as $ty
+            }
+            pub fn fetch_sub(&self, v: $ty, ord: Ordering) -> $ty {
+                self.0.fetch_sub(v as u64, ord) as $ty
+            }
+            pub fn fetch_or(&self, v: $ty, ord: Ordering) -> $ty {
+                self.0.fetch_or(v as u64, ord) as $ty
+            }
+            pub fn fetch_and(&self, v: $ty, ord: Ordering) -> $ty {
+                self.0.fetch_and(v as u64, ord) as $ty
+            }
+            pub fn fetch_max(&self, v: $ty, ord: Ordering) -> $ty {
+                self.0.fetch_max(v as u64, ord) as $ty
+            }
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.0
+                    .compare_exchange(current as u64, new as u64, success, failure)
+                    .map(|v| v as $ty)
+                    .map_err(|v| v as $ty)
+            }
+            /// The model has no spurious CAS failures, so this is the
+            /// strong compare-exchange; algorithms must therefore not
+            /// *rely* on spurious failure (none do).
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.compare_exchange(current, new, success, failure)
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(0)
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                match &self.0 {
+                    AtomicRepr::Real(a) => write!(f, "{}({:?})", stringify!($name), a),
+                    AtomicRepr::Model { loc, .. } => {
+                        write!(f, "{}(model loc {})", stringify!($name), loc)
+                    }
+                }
+            }
+        }
+    };
+}
+
+atomic_int!(
+    AtomicU64,
+    u64,
+    "Model-aware `AtomicU64` (see the module docs)."
+);
+atomic_int!(
+    AtomicUsize,
+    usize,
+    "Model-aware `AtomicUsize` (see the module docs)."
+);
+atomic_int!(
+    AtomicU32,
+    u32,
+    "Model-aware `AtomicU32` (see the module docs)."
+);
+
+/// Model-aware `AtomicBool` (see the module docs).
+pub struct AtomicBool(AtomicRepr);
+
+impl AtomicBool {
+    pub fn new(v: bool) -> Self {
+        AtomicBool(AtomicRepr::new(u64::from(v)))
+    }
+    pub fn load(&self, ord: Ordering) -> bool {
+        self.0.load(ord) != 0
+    }
+    pub fn store(&self, v: bool, ord: Ordering) {
+        self.0.store(u64::from(v), ord)
+    }
+    pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+        self.0.swap(u64::from(v), ord) != 0
+    }
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.0
+            .compare_exchange(u64::from(current), u64::from(new), success, failure)
+            .map(|v| v != 0)
+            .map_err(|v| v != 0)
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> Self {
+        Self::new(false)
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            AtomicRepr::Real(a) => write!(f, "AtomicBool({:?})", a),
+            AtomicRepr::Model { loc, .. } => write!(f, "AtomicBool(model loc {})", loc),
+        }
+    }
+}
+
+/// Model-aware memory fence.
+pub fn fence(ord: Ordering) {
+    match exec::current() {
+        Some((exec, _)) => exec.fence(ord),
+        None => std::sync::atomic::fence(ord),
+    }
+}
+
+/// Busy-wait hint. On a model thread this is a fairness yield to some
+/// other runnable thread (spin loops would otherwise run the spinner
+/// to the step bound before the thread it polls ever executes); on a
+/// real thread it is `std::hint::spin_loop`.
+pub fn spin_loop() {
+    match exec::current() {
+        Some((exec, _)) => exec.spin_loop(),
+        None => std::hint::spin_loop(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutex & Condvar.
+// ---------------------------------------------------------------------------
+
+enum LockRepr {
+    Real,
+    Model { exec: Arc<Exec>, id: usize },
+}
+
+/// Model-aware, poison-free mutex with the `parking_lot` calling
+/// convention (`lock()` returns the guard directly).
+pub struct Mutex<T> {
+    repr: LockRepr,
+    data: std::sync::Mutex<T>,
+}
+
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(t: T) -> Self {
+        let repr = match exec::current() {
+            Some((exec, _)) => {
+                let id = exec.mutex_new();
+                LockRepr::Model { exec, id }
+            }
+            None => LockRepr::Real,
+        };
+        Mutex {
+            repr,
+            data: std::sync::Mutex::new(t),
+        }
+    }
+
+    fn data_guard(&self) -> std::sync::MutexGuard<'_, T> {
+        self.data.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        if let LockRepr::Model { exec, id } = &self.repr {
+            exec.mutex_lock(*id);
+        }
+        MutexGuard {
+            lock: self,
+            inner: Some(self.data_guard()),
+        }
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match &self.repr {
+            LockRepr::Model { exec, id } => {
+                if !exec.mutex_try_lock(*id) {
+                    return None;
+                }
+                Some(MutexGuard {
+                    lock: self,
+                    inner: Some(self.data_guard()),
+                })
+            }
+            LockRepr::Real => match self.data.try_lock() {
+                Ok(g) => Some(MutexGuard {
+                    lock: self,
+                    inner: Some(g),
+                }),
+                Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                    lock: self,
+                    inner: Some(p.into_inner()),
+                }),
+                Err(std::sync::TryLockError::WouldBlock) => None,
+            },
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Mutex {{ data: {:?} }}", self.data)
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard still holds the lock")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard still holds the lock")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the data lock first: the model unlock wakes other
+        // model threads, which will want the data lock next.
+        self.inner.take();
+        if let LockRepr::Model { exec, id } = &self.lock.repr {
+            exec.mutex_unlock(*id);
+        }
+    }
+}
+
+impl<'a, T> MutexGuard<'a, T> {
+    /// Dismantles the guard *without* releasing the model lock —
+    /// condvar wait needs the pieces.
+    fn into_parts(mut self) -> (&'a Mutex<T>, std::sync::MutexGuard<'a, T>) {
+        let inner = self.inner.take().expect("guard still holds the lock");
+        let lock = self.lock;
+        std::mem::forget(self);
+        (lock, inner)
+    }
+}
+
+enum CvRepr {
+    Real(std::sync::Condvar),
+    Model { exec: Arc<Exec>, id: usize },
+}
+
+/// Model-aware condition variable.
+///
+/// In the model, a `wait_timeout` "timeout" fires only as a last
+/// resort — when *no* model thread can otherwise make progress. This
+/// keeps missed-wakeup bugs observable (the execution does not
+/// deadlock, it times out and the [`CheckStats::timeouts_fired`]
+/// counter records it) without exploding the schedule space with
+/// spurious early wakeups.
+///
+/// [`CheckStats::timeouts_fired`]: crate::CheckStats::timeouts_fired
+pub struct Condvar(CvRepr);
+
+impl Condvar {
+    pub fn new() -> Self {
+        match exec::current() {
+            Some((exec, _)) => {
+                let id = exec.condvar_new();
+                Condvar(CvRepr::Model { exec, id })
+            }
+            None => Condvar(CvRepr::Real(std::sync::Condvar::new())),
+        }
+    }
+
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.wait_inner(guard, None).0
+    }
+
+    /// Returns the reacquired guard and whether the wait timed out.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        self.wait_inner(guard, Some(dur))
+    }
+
+    fn wait_inner<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Option<Duration>,
+    ) -> (MutexGuard<'a, T>, bool) {
+        match (&self.0, &guard.lock.repr) {
+            (CvRepr::Real(cv), LockRepr::Real) => {
+                let (lock, std_guard) = guard.into_parts();
+                let (std_guard, timed_out) = match dur {
+                    Some(dur) => {
+                        let (g, res) = cv
+                            .wait_timeout(std_guard, dur)
+                            .unwrap_or_else(|p| p.into_inner());
+                        (g, res.timed_out())
+                    }
+                    None => (cv.wait(std_guard).unwrap_or_else(|p| p.into_inner()), false),
+                };
+                (
+                    MutexGuard {
+                        lock,
+                        inner: Some(std_guard),
+                    },
+                    timed_out,
+                )
+            }
+            (CvRepr::Model { exec, id }, LockRepr::Model { id: mid, .. }) => {
+                let (lock, std_guard) = guard.into_parts();
+                // Free the data lock before parking; the model lock is
+                // released (and reacquired) by `condvar_wait`.
+                drop(std_guard);
+                let timed_out = exec.condvar_wait(*id, *mid, dur.is_some());
+                (
+                    MutexGuard {
+                        lock,
+                        inner: Some(lock.data_guard()),
+                    },
+                    timed_out,
+                )
+            }
+            _ => panic!(
+                "Condvar and Mutex were created in different contexts \
+                 (one inside a model execution, one outside)"
+            ),
+        }
+    }
+
+    pub fn notify_one(&self) {
+        match &self.0 {
+            CvRepr::Real(cv) => cv.notify_one(),
+            CvRepr::Model { exec, id } => exec.condvar_notify_one(*id),
+        }
+    }
+
+    pub fn notify_all(&self) {
+        match &self.0 {
+            CvRepr::Real(cv) => cv.notify_all(),
+            CvRepr::Model { exec, id } => exec.condvar_notify_all(*id),
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            CvRepr::Real(_) => write!(f, "Condvar(real)"),
+            CvRepr::Model { id, .. } => write!(f, "Condvar(model cv {})", id),
+        }
+    }
+}

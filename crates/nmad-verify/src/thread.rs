@@ -1,0 +1,70 @@
+//! Model-aware thread spawn/join.
+//!
+//! On a model thread, `spawn` registers a new *model* thread with the
+//! current execution: its operations become part of the explored
+//! schedule, and `join` establishes the usual happens-before edge from
+//! the child's last operation. Outside a model execution these are
+//! plain `std::thread` wrappers.
+
+use crate::exec;
+use std::sync::Arc;
+
+enum Repr<T> {
+    Real(std::thread::JoinHandle<T>),
+    Model {
+        exec: Arc<exec::Exec>,
+        tid: usize,
+        slot: Arc<std::sync::Mutex<Option<T>>>,
+    },
+}
+
+pub struct JoinHandle<T>(Repr<T>);
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match exec::current() {
+        Some((exec, _tid)) => {
+            let slot = Arc::new(std::sync::Mutex::new(None));
+            let out = Arc::clone(&slot);
+            let tid = exec.spawn_model_thread(
+                move || {
+                    let v = f();
+                    *out.lock().unwrap_or_else(|p| p.into_inner()) = Some(v);
+                },
+                false,
+            );
+            JoinHandle(Repr::Model { exec, tid, slot })
+        }
+        None => JoinHandle(Repr::Real(std::thread::spawn(f))),
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread and returns its result. A panic in the
+    /// joined thread panics here too (in the model it has already been
+    /// recorded as the execution's failure).
+    pub fn join(self) -> T {
+        match self.0 {
+            Repr::Real(h) => h.join().expect("joined thread panicked"),
+            Repr::Model { exec, tid, slot } => {
+                exec.join_thread(tid);
+                slot.lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .take()
+                    .expect("joined model thread produced no result")
+            }
+        }
+    }
+}
+
+/// Cooperative yield: on a model thread this hands control to another
+/// runnable thread (same fairness rule as [`crate::sync::spin_loop`]).
+pub fn yield_now() {
+    match exec::current() {
+        Some((exec, _)) => exec.spin_loop(),
+        None => std::thread::yield_now(),
+    }
+}

@@ -1,0 +1,363 @@
+//! Litmus tests for the model checker itself: classic weak-memory
+//! shapes must explore exactly the outcomes the memory model permits,
+//! the DFS must terminate, dedup must prune, and deliberately broken
+//! protocols must be *caught*. These pin down the checker before the
+//! engine suites (crates/nmad-core) lean on it.
+
+use nmad_verify::sync::{fence, spin_loop, AtomicU64, Condvar, Mutex, Ordering};
+use nmad_verify::{thread, Checker};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+type Outcomes = Arc<std::sync::Mutex<HashSet<(u64, u64)>>>;
+
+/// Store buffering with relaxed everything: both threads may read the
+/// other's flag as still 0 — the checker must find (0,0) *and* the SC
+/// outcomes.
+#[test]
+fn store_buffering_relaxed_explores_both_zero() {
+    let outcomes: Outcomes = Arc::new(std::sync::Mutex::new(HashSet::new()));
+    let sink = Arc::clone(&outcomes);
+    let stats = Checker::new()
+        .check(move || {
+            let x = Arc::new(AtomicU64::new(0));
+            let y = Arc::new(AtomicU64::new(0));
+            let (x1, y1) = (Arc::clone(&x), Arc::clone(&y));
+            let t1 = thread::spawn(move || {
+                x1.store(1, Ordering::Relaxed);
+                y1.load(Ordering::Relaxed)
+            });
+            let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+            let t2 = thread::spawn(move || {
+                y2.store(1, Ordering::Relaxed);
+                x2.load(Ordering::Relaxed)
+            });
+            let r1 = t1.join();
+            let r2 = t2.join();
+            sink.lock().unwrap().insert((r1, r2));
+        })
+        .expect("nothing asserts in this model");
+    let seen = outcomes.lock().unwrap();
+    assert!(
+        seen.contains(&(0, 0)),
+        "relaxed SB must exhibit the store-buffered outcome, saw {seen:?} over {stats:?}"
+    );
+    assert!(
+        seen.contains(&(1, 1)) || seen.contains(&(0, 1)) || seen.contains(&(1, 0)),
+        "SC-like outcomes must appear too, saw {seen:?}"
+    );
+    assert!(stats.schedules >= 4, "too few schedules: {stats:?}");
+}
+
+/// The same shape with a seq-cst fence between each store and load:
+/// (0,0) becomes impossible. This is the Dekker pattern the
+/// SubmitRing wakeup protocol relies on.
+#[test]
+fn store_buffering_seqcst_fences_exclude_both_zero() {
+    let outcomes: Outcomes = Arc::new(std::sync::Mutex::new(HashSet::new()));
+    let sink = Arc::clone(&outcomes);
+    Checker::new()
+        .check(move || {
+            let x = Arc::new(AtomicU64::new(0));
+            let y = Arc::new(AtomicU64::new(0));
+            let (x1, y1) = (Arc::clone(&x), Arc::clone(&y));
+            let t1 = thread::spawn(move || {
+                x1.store(1, Ordering::Relaxed);
+                fence(Ordering::SeqCst);
+                y1.load(Ordering::Relaxed)
+            });
+            let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+            let t2 = thread::spawn(move || {
+                y2.store(1, Ordering::Relaxed);
+                fence(Ordering::SeqCst);
+                x2.load(Ordering::Relaxed)
+            });
+            let r1 = t1.join();
+            let r2 = t2.join();
+            sink.lock().unwrap().insert((r1, r2));
+        })
+        .expect("nothing asserts in this model");
+    let seen = outcomes.lock().unwrap();
+    assert!(
+        !seen.contains(&(0, 0)),
+        "seq-cst fences must forbid the store-buffered outcome, saw {seen:?}"
+    );
+    assert!(!seen.is_empty());
+}
+
+/// Message passing with release/acquire holds in every schedule.
+#[test]
+fn message_passing_release_acquire_holds() {
+    let stats = Checker::new()
+        .check(|| {
+            let data = Arc::new(AtomicU64::new(0));
+            let flag = Arc::new(AtomicU64::new(0));
+            let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+            let producer = thread::spawn(move || {
+                d.store(42, Ordering::Relaxed);
+                f.store(1, Ordering::Release);
+            });
+            if flag.load(Ordering::Acquire) == 1 {
+                assert_eq!(
+                    data.load(Ordering::Relaxed),
+                    42,
+                    "acquire of the flag must make the data visible"
+                );
+            }
+            producer.join();
+        })
+        .expect("release/acquire message passing is correct");
+    assert!(stats.schedules >= 2);
+}
+
+/// The same protocol with a relaxed flag publish is broken — and the
+/// checker must say so. This is the canonical "weakened ordering
+/// mutant caught" guarantee the engine mutants build on.
+#[test]
+fn message_passing_relaxed_mutant_is_caught() {
+    let failure = Checker::new()
+        .check(|| {
+            let data = Arc::new(AtomicU64::new(0));
+            let flag = Arc::new(AtomicU64::new(0));
+            let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+            let producer = thread::spawn(move || {
+                d.store(42, Ordering::Relaxed);
+                f.store(1, Ordering::Relaxed); // mutant: publish not release
+            });
+            if flag.load(Ordering::Acquire) == 1 {
+                assert_eq!(data.load(Ordering::Relaxed), 42, "stale data leaked");
+            }
+            producer.join();
+        })
+        .expect_err("the relaxed publish must be detected");
+    assert!(
+        failure.message.contains("stale data leaked"),
+        "unexpected failure: {failure}"
+    );
+}
+
+/// Mutual exclusion: non-atomic state guarded by the model mutex never
+/// loses an increment, in any schedule.
+#[test]
+fn mutex_guards_plain_state() {
+    Checker::new()
+        .check(|| {
+            let counter = Arc::new(Mutex::new(0u64));
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&counter);
+                    thread::spawn(move || {
+                        for _ in 0..2 {
+                            let mut g = c.lock();
+                            let v = *g;
+                            *g = v + 1;
+                        }
+                    })
+                })
+                .collect();
+            for w in workers {
+                w.join();
+            }
+            assert_eq!(*counter.lock(), 4, "lost increment under the mutex");
+        })
+        .expect("mutex exclusion holds");
+}
+
+/// Atomic RMW allocates unique, dense ids in every schedule — the
+/// watermark allocation pattern used by the threaded engine handles.
+#[test]
+fn fetch_add_ids_are_unique() {
+    Checker::new()
+        .check(|| {
+            let next = Arc::new(AtomicU64::new(0));
+            let (a, b) = (Arc::clone(&next), Arc::clone(&next));
+            let t1 = thread::spawn(move || {
+                (
+                    a.fetch_add(1, Ordering::Relaxed),
+                    a.fetch_add(1, Ordering::Relaxed),
+                )
+            });
+            let t2 = thread::spawn(move || {
+                (
+                    b.fetch_add(1, Ordering::Relaxed),
+                    b.fetch_add(1, Ordering::Relaxed),
+                )
+            });
+            let (a1, a2) = t1.join();
+            let (b1, b2) = t2.join();
+            let mut ids = [a1, a2, b1, b2];
+            ids.sort_unstable();
+            assert_eq!(ids, [0, 1, 2, 3], "ids must be dense and duplicate-free");
+            assert_eq!(next.load(Ordering::Relaxed), 4);
+        })
+        .expect("fetch_add id allocation is linearizable");
+}
+
+/// Correct condvar use (predicate re-checked under the lock) never
+/// needs the model's last-resort timeout.
+#[test]
+fn condvar_wakeup_never_times_out() {
+    let stats = Checker::new()
+        .check(|| {
+            let slot = Arc::new((Mutex::new(false), Condvar::new()));
+            let s = Arc::clone(&slot);
+            let producer = thread::spawn(move || {
+                let (lock, cv) = &*s;
+                let mut ready = lock.lock();
+                *ready = true;
+                cv.notify_one();
+                drop(ready);
+            });
+            let (lock, cv) = &*slot;
+            let mut ready = lock.lock();
+            while !*ready {
+                let (g, _timed_out) = cv.wait_timeout(ready, std::time::Duration::from_millis(1));
+                ready = g;
+            }
+            drop(ready);
+            producer.join();
+        })
+        .expect("condvar protocol is correct");
+    assert_eq!(
+        stats.timeouts_fired, 0,
+        "a correct wakeup protocol must never rely on the timeout: {stats:?}"
+    );
+}
+
+/// A *missed* wakeup (flag set without notifying) does not deadlock
+/// the model — the timeout fires as a last resort and is counted,
+/// which is exactly how the ring-wakeup mutant is detected.
+#[test]
+fn condvar_missed_wakeup_counts_timeouts() {
+    let stats = Checker::new()
+        .check(|| {
+            let slot = Arc::new((Mutex::new(false), Condvar::new()));
+            let s = Arc::clone(&slot);
+            let producer = thread::spawn(move || {
+                let (lock, _cv) = &*s;
+                *lock.lock() = true; // mutant: no notify
+            });
+            let (lock, cv) = &*slot;
+            let mut ready = lock.lock();
+            while !*ready {
+                let (g, _timed_out) = cv.wait_timeout(ready, std::time::Duration::from_millis(1));
+                ready = g;
+            }
+            drop(ready);
+            producer.join();
+        })
+        .expect("the timeout rescues the missed wakeup");
+    assert!(
+        stats.timeouts_fired > 0,
+        "the missed wakeup must surface as fired timeouts: {stats:?}"
+    );
+}
+
+/// A spin loop (with the facade's fairness hint) terminates and the
+/// DFS completes rather than diverging.
+#[test]
+fn bounded_dfs_terminates_on_spin_loop() {
+    let stats = Checker::new()
+        .check(|| {
+            let flag = Arc::new(AtomicU64::new(0));
+            let f = Arc::clone(&flag);
+            let setter = thread::spawn(move || f.store(1, Ordering::Release));
+            while flag.load(Ordering::Acquire) == 0 {
+                spin_loop();
+            }
+            setter.join();
+        })
+        .expect("the spin loop always terminates");
+    assert!(stats.schedules >= 2, "spin model underexplored: {stats:?}");
+    assert_eq!(
+        stats.truncated, 0,
+        "no execution may hit the step bound: {stats:?}"
+    );
+}
+
+/// State-hash dedup prunes commuting interleavings: the same model
+/// explored with dedup disabled needs strictly more schedules.
+#[test]
+fn state_hash_dedup_prunes() {
+    let model = || {
+        let a = Arc::new(AtomicU64::new(0));
+        let b = Arc::new(AtomicU64::new(0));
+        let (a1, b1) = (Arc::clone(&a), Arc::clone(&b));
+        let t1 = thread::spawn(move || {
+            a1.fetch_add(1, Ordering::Relaxed);
+            b1.fetch_add(1, Ordering::Relaxed);
+        });
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t2 = thread::spawn(move || {
+            a2.fetch_add(1, Ordering::Relaxed);
+            b2.fetch_add(1, Ordering::Relaxed);
+        });
+        t1.join();
+        t2.join();
+        assert_eq!(a.load(Ordering::Relaxed), 2);
+        assert_eq!(b.load(Ordering::Relaxed), 2);
+    };
+    let with_dedup = Checker::new().check(model).expect("model is correct");
+    let without_dedup = Checker::new()
+        .dedup(false)
+        .check(model)
+        .expect("model is correct");
+    assert!(
+        with_dedup.states_deduped > 0,
+        "dedup found nothing to prune: {with_dedup:?}"
+    );
+    assert!(
+        with_dedup.schedules < without_dedup.schedules,
+        "dedup must reduce the schedule count: {with_dedup:?} vs {without_dedup:?}"
+    );
+}
+
+/// Deadlock (lock-order inversion) is reported as a failure, not a
+/// hang.
+#[test]
+fn deadlock_is_reported() {
+    let failure = Checker::new()
+        .check(|| {
+            let m1 = Arc::new(Mutex::new(()));
+            let m2 = Arc::new(Mutex::new(()));
+            let (a1, a2) = (Arc::clone(&m1), Arc::clone(&m2));
+            let t = thread::spawn(move || {
+                let g1 = a1.lock();
+                let g2 = a2.lock();
+                drop((g1, g2));
+            });
+            let g2 = m2.lock();
+            let g1 = m1.lock();
+            drop((g2, g1));
+            t.join();
+        })
+        .expect_err("lock-order inversion must deadlock in some schedule");
+    assert!(
+        failure.message.contains("deadlock"),
+        "unexpected failure: {failure}"
+    );
+}
+
+/// The failure report carries a replayable schedule string.
+#[test]
+fn failure_reports_a_schedule() {
+    let failure = Checker::new()
+        .check(|| {
+            let x = Arc::new(AtomicU64::new(0));
+            let x2 = Arc::clone(&x);
+            let t = thread::spawn(move || x2.store(1, Ordering::Relaxed));
+            assert_eq!(x.load(Ordering::Relaxed), 0, "saw the store");
+            t.join();
+        })
+        .expect_err("some schedule observes the store first");
+    assert!(!failure.schedule.is_empty());
+    assert!(failure.message.contains("saw the store"), "{failure}");
+}
+
+/// The coverage probe used by the bench harness runs green and
+/// reports real exploration numbers.
+#[test]
+fn coverage_probe_reports_exploration() {
+    let stats = nmad_verify::coverage_probe();
+    assert!(stats.schedules >= 10, "probe underexplored: {stats:?}");
+}

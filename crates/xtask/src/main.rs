@@ -1,0 +1,135 @@
+//! Workspace automation tasks, invoked as `cargo run -p xtask -- <task>`.
+//!
+//! The only task today is `lint`: walk every Rust source in the
+//! workspace and enforce the repo invariants in
+//! [`nmad_verify::lint::RULES`]. Exit code 0 when clean, 1 with one
+//! line per violation otherwise (`--json` for machine-readable
+//! output).
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(args.iter().any(|a| a == "--json")),
+        Some(other) => {
+            eprintln!("unknown task `{other}`");
+            usage();
+            ExitCode::FAILURE
+        }
+        None => {
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: cargo run -p xtask -- lint [--json]");
+}
+
+/// Workspace root: xtask lives at <root>/crates/xtask.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("xtask sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Collects every tracked Rust source under the workspace, skipping
+/// build output and VCS metadata.
+fn rust_sources(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = match std::fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(err) => {
+                eprintln!("warning: cannot read {}: {err}", dir.display());
+                continue;
+            }
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn lint(json: bool) -> ExitCode {
+    let root = workspace_root();
+    let files = rust_sources(&root);
+    let mut violations = Vec::new();
+    let mut checked = 0usize;
+    for path in &files {
+        let rel = path
+            .strip_prefix(&root)
+            .expect("file under workspace root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        let raw = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(err) => {
+                eprintln!("warning: cannot read {}: {err}", path.display());
+                continue;
+            }
+        };
+        checked += 1;
+        violations.extend(nmad_verify::lint::lint_file(&rel, &raw));
+    }
+
+    if json {
+        // Hand-rolled JSON: the workspace has no serde and the shape
+        // is tiny.
+        let mut s = String::from("{\"task\":\"lint\",\"violations\":[");
+        for (i, v) in violations.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"excerpt\":\"{}\"}}",
+                v.rule,
+                v.file,
+                v.line,
+                v.excerpt.replace('\\', "\\\\").replace('"', "\\\"")
+            ));
+        }
+        s.push_str(&format!(
+            "],\"files_checked\":{},\"rules\":{}}}",
+            checked,
+            nmad_verify::lint::RULES.len()
+        ));
+        println!("{s}");
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
+        println!(
+            "lint: {} file(s) checked against {} rule(s), {} violation(s)",
+            checked,
+            nmad_verify::lint::RULES.len(),
+            violations.len()
+        );
+    }
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

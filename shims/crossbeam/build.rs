@@ -1,0 +1,9 @@
+//! Maps the `nmad-model` cargo feature onto `cfg(nmad_model)` — same
+//! scheme as nmad-core's build script.
+
+fn main() {
+    println!("cargo::rustc-check-cfg=cfg(nmad_model)");
+    if std::env::var_os("CARGO_FEATURE_NMAD_MODEL").is_some() {
+        println!("cargo::rustc-cfg=nmad_model");
+    }
+}

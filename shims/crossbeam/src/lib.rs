@@ -7,6 +7,18 @@
 //! `queue::ArrayQueue` (a bounded MPMC ring in the style of Dmitry
 //! Vyukov's bounded queue, as shipped by the real crossbeam) and
 //! `utils::CachePadded`.
+//!
+//! This shim is the only workspace crate allowed to contain `unsafe`
+//! (the engine crates all carry `#![forbid(unsafe_code)]`); every
+//! unsafe site below documents its invariant with a `// SAFETY:`
+//! comment, and `cargo run -p xtask -- lint` enforces both rules. The
+//! queue's atomics go through [`sync`], so under the `nmad-model`
+//! feature the whole ticket/sequence protocol runs on the nmad-verify
+//! model checker.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod sync;
 
 pub mod utils {
     use std::fmt;
@@ -60,11 +72,11 @@ pub mod utils {
 }
 
 pub mod queue {
+    use crate::sync::{AtomicUsize, Ordering};
     use crate::utils::CachePadded;
     use std::cell::UnsafeCell;
     use std::fmt;
     use std::mem::MaybeUninit;
-    use std::sync::atomic::{AtomicUsize, Ordering};
 
     /// One ring slot: a sequence word plus storage.
     ///
@@ -91,7 +103,13 @@ pub mod queue {
         cap: usize,
     }
 
+    // SAFETY: sending the queue moves the buffered `T`s with it, so
+    // `T: Send` suffices; no thread-affine state is held.
     unsafe impl<T: Send> Send for ArrayQueue<T> {}
+    // SAFETY: the UnsafeCell slots are never accessed concurrently —
+    // the seq/ticket protocol gives the claiming pusher (resp. popper)
+    // exclusive access to a slot between its CAS and its seq store —
+    // so sharing `&ArrayQueue` across threads only requires `T: Send`.
     unsafe impl<T: Send> Sync for ArrayQueue<T> {}
 
     impl<T> ArrayQueue<T> {
@@ -135,6 +153,12 @@ pub mod queue {
                         Ordering::Relaxed,
                     ) {
                         Ok(_) => {
+                            // SAFETY: the tail CAS claimed ticket
+                            // `tail` exclusively, and `seq == tail`
+                            // showed the popper one lap behind is done
+                            // with the slot; nobody else touches it
+                            // until the Release store below publishes
+                            // it.
                             unsafe { (*slot.value.get()).write(value) };
                             slot.seq.store(tail.wrapping_add(1), Ordering::Release);
                             return Ok(());
@@ -167,6 +191,12 @@ pub mod queue {
                         Ordering::Relaxed,
                     ) {
                         Ok(_) => {
+                            // SAFETY: the head CAS claimed ticket
+                            // `head` exclusively, and `seq == head+1`
+                            // (Acquire, pairing with the pusher's
+                            // Release) proves the pusher's write to
+                            // this slot is complete and visible; the
+                            // value is moved out exactly once.
                             let value = unsafe { (*slot.value.get()).assume_init_read() };
                             // Free the slot for the pusher one lap ahead.
                             slot.seq

@@ -20,6 +20,8 @@
 //! See `examples/` for runnable scenarios and `crates/bench` for the
 //! harnesses regenerating every figure of the paper.
 
+#![forbid(unsafe_code)]
+
 pub use baselines as baseline;
 pub use mad_mpi as mpi;
 pub use nmad_core as core;

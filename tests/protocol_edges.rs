@@ -3,10 +3,10 @@
 //! the dynamic strategy end-to-end, sendrecv/collectives, and the
 //! rendezvous handshake under frame loss and duplication.
 
-use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 use newmadeleine::core::prelude::*;
+use newmadeleine::core::sync::{AtomicU32, Ordering};
 use newmadeleine::core::wire::{parse_frame, Entry};
 use newmadeleine::mpi::{
     pump_cluster, sim_cluster, AllreduceOp, BarrierOp, BcastOp, CollectiveOp, EngineKind, GatherOp,
