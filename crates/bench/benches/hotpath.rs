@@ -1,0 +1,105 @@
+//! Microbenchmarks of the two batched-hot-path primitives this crate's
+//! `batch` binary measures end to end: the branchless fixed-layout
+//! header pack/unpack (`nmad_core::wire`) and the submission ring's
+//! slot traffic (`nmad_core::ring`). The perf-gate CI job runs these
+//! with `--quick` and archives the text report next to the
+//! `BENCH_*.json` deltas.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nmad_core::ring::{Batch, SubmitRing};
+use nmad_core::segment::{SeqNo, Tag};
+use nmad_core::wire::{
+    pack_entry_header, pack_frame_header, unpack_entry_header, unpack_frame_header, EntryHeader,
+};
+
+fn sample_header(i: u32) -> EntryHeader {
+    EntryHeader {
+        kind: 1,
+        flags: 0,
+        tag: Tag(i),
+        seq: SeqNo(i.wrapping_mul(7)),
+        len: 64 + i,
+        offset: 0,
+    }
+}
+
+fn bench_header_pack(c: &mut Criterion) {
+    c.bench_function("hotpath/pack_entry_header", |b| {
+        let h = sample_header(42);
+        b.iter(|| black_box(pack_entry_header(black_box(h))))
+    });
+    c.bench_function("hotpath/unpack_entry_header", |b| {
+        let img = pack_entry_header(sample_header(42));
+        b.iter(|| black_box(unpack_entry_header(black_box(&img))))
+    });
+    c.bench_function("hotpath/pack_frame_header", |b| {
+        b.iter(|| black_box(pack_frame_header(black_box(16))))
+    });
+    c.bench_function("hotpath/unpack_frame_header", |b| {
+        let img = pack_frame_header(16);
+        b.iter(|| unpack_frame_header(black_box(&img)).expect("valid"))
+    });
+}
+
+/// One producer-side push + consumer-side pop per iteration, the
+/// single-submission ring cost the batched path amortizes.
+fn bench_ring_push_pop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath/ring");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("push_pop_single", |b| {
+        let ring: SubmitRing<u64> = SubmitRing::new(1024);
+        b.iter(|| {
+            ring.push_quiet(black_box(7));
+            black_box(ring.pop())
+        })
+    });
+    // A full 8-op slot per push: the batched slot format. Per element
+    // this should beat push_pop_single by the slot amortization the
+    // `batch` binary demonstrates end to end.
+    group.bench_function("push_pop_slot8", |b| {
+        let ring: SubmitRing<Batch<u64, 8>> = SubmitRing::new(1024);
+        b.iter(|| {
+            let mut slot = Batch::new();
+            for i in 0..8u64 {
+                slot.push(black_box(i)).expect("capacity 8");
+            }
+            ring.push_quiet(slot);
+            let got = ring.pop().expect("just pushed");
+            let mut sum = 0u64;
+            for v in got {
+                sum = sum.wrapping_add(v);
+            }
+            black_box(sum)
+        })
+    });
+    group.finish();
+}
+
+fn bench_batch_fill(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath/batch");
+    for n in [1usize, 8] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("fill_drain", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut batch: Batch<u64, 8> = Batch::new();
+                for i in 0..n as u64 {
+                    batch.push(black_box(i)).expect("fits");
+                }
+                let mut sum = 0u64;
+                for v in batch {
+                    sum = sum.wrapping_add(v);
+                }
+                black_box(sum)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_header_pack,
+    bench_ring_push_pop,
+    bench_batch_fill
+);
+criterion_main!(benches);

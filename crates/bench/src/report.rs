@@ -306,6 +306,102 @@ impl OverlapReport {
     }
 }
 
+/// Default output path of the hot-path batching benchmark (`batch`
+/// binary); `--json PATH` overrides it.
+pub const BENCH_BATCH_JSON_PATH: &str = "BENCH_batch.json";
+
+/// One measurement of the batching benchmark: one variant (e.g.
+/// `batch=1` vs `batch=32` submission, or `heap` vs `wheel` event
+/// queue) of one scenario.
+#[derive(Clone, Debug)]
+pub struct BatchRow {
+    /// Scenario, e.g. `submit_overhead` or `sim_events_10k`.
+    pub bench: String,
+    /// Variant within the scenario, e.g. `batch1`, `batch32`, `heap`,
+    /// `wheel`.
+    pub variant: String,
+    /// Cost per operation (per submitted op, per event), nanoseconds.
+    pub ns_per_op: f64,
+    /// Operations measured.
+    pub ops: u64,
+}
+
+/// Accumulator for [`BatchRow`]s plus named speedup ratios derived
+/// from them, rendered as one JSON document (`BENCH_batch.json`).
+#[derive(Default)]
+pub struct BatchReport {
+    rows: Mutex<Vec<BatchRow>>,
+    speedups: Mutex<Vec<(String, f64)>>,
+}
+
+impl BatchReport {
+    /// Fresh.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one measurement.
+    pub fn record(&self, row: BatchRow) {
+        self.rows.lock().expect("report poisoned").push(row);
+    }
+
+    /// Records a named speedup ratio (baseline time / variant time —
+    /// higher is better, 1.0 is parity).
+    pub fn record_speedup(&self, name: &str, ratio: f64) {
+        self.speedups
+            .lock()
+            .expect("report poisoned")
+            .push((name.to_string(), ratio));
+    }
+
+    /// Rows recorded so far.
+    pub fn len(&self) -> usize {
+        self.rows.lock().expect("report poisoned").len()
+    }
+
+    /// No rows yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The whole report as one JSON document.
+    pub fn to_json(&self) -> String {
+        let rows = self.rows.lock().expect("report poisoned");
+        let mut out = String::from("{\"batch\":[");
+        for (i, r) in rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"bench\":\"{}\",\"variant\":\"{}\",\
+                 \"ns_per_op\":{:.2},\"ops\":{}}}",
+                escape(&r.bench),
+                escape(&r.variant),
+                r.ns_per_op,
+                r.ops,
+            ));
+        }
+        out.push_str("],\"speedups\":{");
+        let speedups = self.speedups.lock().expect("report poisoned");
+        for (i, (name, ratio)) in speedups.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{:.3}", escape(name), ratio));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Writes the report; failures are printed, never propagated.
+    pub fn write(&self, path: &str) {
+        match std::fs::write(path, self.to_json()) {
+            Ok(()) => eprintln!("wrote {} batch rows to {path}", self.len()),
+            Err(e) => eprintln!("could not write batch report {path}: {e}"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -317,6 +413,28 @@ mod tests {
             frames_per_ping: 1.0,
             metrics: None,
         }
+    }
+
+    #[test]
+    fn batch_report_renders_rows_and_speedups_as_json() {
+        let report = BatchReport::new();
+        assert!(report.is_empty());
+        report.record(BatchRow {
+            bench: "submit_overhead".to_string(),
+            variant: "batch32".to_string(),
+            ns_per_op: 41.25,
+            ops: 100_000,
+        });
+        report.record_speedup("submit_batch32_vs_batch1", 3.7);
+        let json = report.to_json();
+        assert!(json.contains("\"bench\":\"submit_overhead\""));
+        assert!(json.contains("\"variant\":\"batch32\""));
+        assert!(json.contains("\"ns_per_op\":41.25"), "{json}");
+        assert!(
+            json.contains("\"submit_batch32_vs_batch1\":3.700"),
+            "{json}"
+        );
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

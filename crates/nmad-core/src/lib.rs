@@ -69,13 +69,13 @@ pub use matching::{Effect, Matching, RecvDone};
 pub use metrics::{
     EngineMetrics, MetricsRegistry, MetricsSnapshot, NicMetrics, Seqlock, SharedMetrics,
 };
-pub use ring::SubmitRing;
+pub use ring::{Batch, SubmitRing};
 pub use segment::{PackWrapper, Priority, RecvReqId, SendReqId, SeqNo, Tag};
 pub use strategy::{
     eager_cutoff, DynamicStats, FramePlan, NicView, PlanEntry, StratAggreg, StratDefault,
     StratDynamic, StratMultirail, StratReorder, Strategy, Tactic,
 };
-pub use threaded::{CompletionBoard, ThreadedEngine, ThreadedHandle};
+pub use threaded::{CompletionBoard, SubmitBatch, ThreadedEngine, ThreadedHandle, SLOT_OPS};
 pub use window::{CtrlMsg, RdvChunk, RdvJob, Window};
 
 /// Everything a typical application needs.

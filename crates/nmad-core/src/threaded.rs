@@ -12,7 +12,12 @@
 //!   Submissions cross over through a bounded lock-free
 //!   [`SubmitRing`]; request ids are allocated application-side from
 //!   one shared atomic, so the caller has its handle before the
-//!   operation is even enqueued.
+//!   operation is even enqueued. Each ring slot carries an inline
+//!   [`Batch`] of up to [`SLOT_OPS`] operations: single submissions
+//!   ride as batches of one, and [`ThreadedHandle::submit_batch`]
+//!   stages a run of operations with **one doorbell per flush**
+//!   (io_uring-style), so a burst pays one CAS per `SLOT_OPS` ops and
+//!   one wakeup total instead of one of each per op.
 //! * **completions** come back through a sharded [`CompletionBoard`]
 //!   that `test`/`wait` poll without touching the engine, and hot
 //!   counters through a seqlock-published
@@ -38,7 +43,7 @@ use crate::sync::{AtomicBool, AtomicU64, Condvar, Mutex, Ordering};
 use crate::engine::{EngineConfig, NmadEngine, ProgressMode};
 use crate::matching::RecvDone;
 use crate::metrics::{EngineMetrics, MetricsSnapshot, SharedMetrics};
-use crate::ring::SubmitRing;
+use crate::ring::{Batch, SubmitRing};
 use crate::segment::{Priority, RecvReqId, SendReqId, Tag};
 use crate::EngineStats;
 
@@ -70,6 +75,14 @@ enum EngineOp {
     Snapshot,
     Shutdown,
 }
+
+/// Operations carried inline by one ring slot. Sized so a slot stays a
+/// few cache lines: big enough to amortize the per-slot CAS across a
+/// burst, small enough that a lone submission doesn't waste the ring.
+pub const SLOT_OPS: usize = 8;
+
+/// The ring slot format: an inline batch of up to [`SLOT_OPS`] ops.
+type OpBatch = Batch<EngineOp, SLOT_OPS>;
 
 const BOARD_SHARDS: usize = 16;
 
@@ -105,16 +118,71 @@ impl CompletionBoard {
         &self.shards[(id as usize) % BOARD_SHARDS]
     }
 
-    fn post_send_done(&self, req: SendReqId) {
-        if !self.shard(req.0).lock().sends.insert(req.0) {
-            self.duplicates.fetch_add(1, Ordering::Relaxed);
+    /// Posts a harvest of send completions, taking each shard lock at
+    /// most once — the consumer-side half of batching: a pump that
+    /// finishes a burst pays ≤ [`BOARD_SHARDS`] lock rounds, not one
+    /// per completion.
+    fn post_sends_done(&self, reqs: &[SendReqId]) {
+        if reqs.is_empty() {
+            return;
+        }
+        let mut buckets: [Vec<u64>; BOARD_SHARDS] = std::array::from_fn(|_| Vec::new());
+        for req in reqs {
+            buckets[(req.0 as usize) % BOARD_SHARDS].push(req.0);
+        }
+        for (shard, bucket) in self.shards.iter().zip(buckets) {
+            if bucket.is_empty() {
+                continue;
+            }
+            let mut guard = shard.lock();
+            for id in bucket {
+                if !guard.sends.insert(id) {
+                    self.duplicates.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
     }
 
-    fn post_recv_done(&self, req: RecvReqId, done: RecvDone) {
-        if self.shard(req.0).lock().recvs.insert(req.0, done).is_some() {
-            self.duplicates.fetch_add(1, Ordering::Relaxed);
+    /// Posts a harvest of receive completions; same locking contract
+    /// as [`post_sends_done`](Self::post_sends_done).
+    fn post_recvs_done(&self, dones: Vec<(RecvReqId, RecvDone)>) {
+        if dones.is_empty() {
+            return;
         }
+        let mut buckets: [Vec<(u64, RecvDone)>; BOARD_SHARDS] = std::array::from_fn(|_| Vec::new());
+        for (req, done) in dones {
+            buckets[(req.0 as usize) % BOARD_SHARDS].push((req.0, done));
+        }
+        for (shard, bucket) in self.shards.iter().zip(buckets) {
+            if bucket.is_empty() {
+                continue;
+            }
+            let mut guard = shard.lock();
+            for (id, done) in bucket {
+                if guard.recvs.insert(id, done).is_some() {
+                    self.duplicates.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// True once *every* listed send has left the host, taking each
+    /// shard lock at most once (the poll half of batched waiting).
+    pub fn all_sends_done(&self, reqs: &[SendReqId]) -> bool {
+        let mut buckets: [Vec<u64>; BOARD_SHARDS] = std::array::from_fn(|_| Vec::new());
+        for req in reqs {
+            buckets[(req.0 as usize) % BOARD_SHARDS].push(req.0);
+        }
+        for (shard, bucket) in self.shards.iter().zip(buckets) {
+            if bucket.is_empty() {
+                continue;
+            }
+            let guard = shard.lock();
+            if !bucket.iter().all(|id| guard.sends.contains(id)) {
+                return false;
+            }
+        }
+        true
     }
 
     /// True once the send has fully left the host.
@@ -140,7 +208,7 @@ impl CompletionBoard {
 
 /// State shared between application threads and the progression thread.
 struct Shared {
-    ring: SubmitRing<EngineOp>,
+    ring: SubmitRing<OpBatch>,
     board: CompletionBoard,
     /// Application-side request id allocator, seeded from the engine's
     /// watermark at launch.
@@ -235,7 +303,7 @@ impl ThreadedEngine {
     /// quiescing the transmit side — and returns the engine for inline
     /// use. Completions still parked on the board are dropped with it.
     pub fn shutdown(mut self) -> NmadEngine {
-        self.shared.ring.push(EngineOp::Shutdown);
+        self.shared.ring.push(Batch::of_one(EngineOp::Shutdown));
         let thread = self.thread.take().expect("not yet joined");
         let mut engine = thread.join().expect("progression thread panicked");
         // Ids handed out by handles but never submitted must still
@@ -248,7 +316,7 @@ impl ThreadedEngine {
 impl Drop for ThreadedEngine {
     fn drop(&mut self) {
         if let Some(thread) = self.thread.take() {
-            self.shared.ring.push(EngineOp::Shutdown);
+            self.shared.ring.push(Batch::of_one(EngineOp::Shutdown));
             // The engine is discarded; a panic on the progression
             // thread surfaces at the join unless we are already
             // unwinding.
@@ -267,6 +335,7 @@ impl ThreadedHandle {
         self.node
     }
 
+    #[inline]
     fn alloc(&self) -> u64 {
         self.shared.next_req.fetch_add(1, Ordering::Relaxed)
     }
@@ -294,13 +363,13 @@ impl ThreadedHandle {
         rail_hint: Option<usize>,
     ) -> SendReqId {
         let req = SendReqId(self.alloc());
-        self.shared.ring.push(EngineOp::Send {
+        self.shared.ring.push(Batch::of_one(EngineOp::Send {
             req,
             dst,
             tag,
             parts,
             rail_hint,
-        });
+        }));
         req
     }
 
@@ -313,8 +382,26 @@ impl ThreadedHandle {
     /// flow (src, tag).
     pub fn post_recv(&self, src: NodeId, tag: Tag, max: usize) -> RecvReqId {
         let req = RecvReqId(self.alloc());
-        self.shared.ring.push(EngineOp::Recv { req, src, tag, max });
+        self.shared
+            .ring
+            .push(Batch::of_one(EngineOp::Recv { req, src, tag, max }));
         req
+    }
+
+    /// Opens a batched submission: operations staged on the returned
+    /// builder share ring slots ([`SLOT_OPS`] per CAS) and the consumer
+    /// doorbell rings **once**, at [`flush`](SubmitBatch::flush) (or
+    /// drop). Request ids are allocated eagerly, so staged operations
+    /// can be waited on — after the flush — exactly like single
+    /// submissions.
+    pub fn submit_batch(&self) -> SubmitBatch<'_> {
+        SubmitBatch {
+            handle: self,
+            current: Batch::new(),
+            staged: 0,
+            next_id: 0,
+            id_limit: 0,
+        }
     }
 
     /// True once the send has fully left the host.
@@ -353,6 +440,38 @@ impl ThreadedHandle {
         }
     }
 
+    /// Blocks until *every* listed send has left the host. Each poll
+    /// round takes each board shard lock at most once, instead of one
+    /// lock per request per round as a `wait_send` loop would.
+    pub fn wait_sends(&self, reqs: &[SendReqId]) {
+        while !self.shared.board.all_sends_done(reqs) {
+            self.check_alive("sends");
+            std::thread::yield_now();
+        }
+    }
+
+    /// Blocks until every listed receive completes; payloads come back
+    /// in `reqs` order.
+    pub fn wait_recvs(&self, reqs: &[RecvReqId]) -> Vec<RecvDone> {
+        let mut out: Vec<Option<RecvDone>> = reqs.iter().map(|_| None).collect();
+        let mut missing = reqs.len();
+        while missing > 0 {
+            for (slot, req) in out.iter_mut().zip(reqs) {
+                if slot.is_none() {
+                    if let Some(done) = self.shared.board.try_take_recv(*req) {
+                        *slot = Some(done);
+                        missing -= 1;
+                    }
+                }
+            }
+            if missing > 0 {
+                self.check_alive("recvs");
+                std::thread::yield_now();
+            }
+        }
+        out.into_iter().map(|d| d.expect("all taken")).collect()
+    }
+
     /// The hot counters as last published by the progression thread
     /// (seqlock read: never torn, never blocking the publisher). Lags
     /// the engine by at most one pump.
@@ -368,7 +487,7 @@ impl ThreadedHandle {
         let _serial = self.shared.snap_serial.lock();
         let mut slot = self.shared.snap_slot.lock();
         *slot = None;
-        self.shared.ring.push(EngineOp::Snapshot);
+        self.shared.ring.push(Batch::of_one(EngineOp::Snapshot));
         loop {
             if let Some(snap) = slot.take() {
                 return snap;
@@ -389,34 +508,166 @@ impl ThreadedHandle {
     }
 }
 
+/// A staged run of submissions sharing ring slots and one doorbell.
+///
+/// Obtained from [`ThreadedHandle::submit_batch`]. Operations staged
+/// here are pushed quietly — full slots go into the ring without waking
+/// the consumer — and the doorbell rings once at
+/// [`flush`](Self::flush). Until the flush, a parked progression thread
+/// stays parked, so **never wait on a staged request before flushing**.
+/// Dropping the builder flushes.
+pub struct SubmitBatch<'a> {
+    handle: &'a ThreadedHandle,
+    current: OpBatch,
+    /// Operations staged (pushed quietly or buffered) since the last
+    /// flush.
+    staged: usize,
+    /// Block-reserved request ids: `next_id..id_limit` belong to this
+    /// builder. Reserving [`SLOT_OPS`] ids per `fetch_add` amortizes
+    /// the shared counter's RMW the same way slots amortize the ring
+    /// CAS. Ids left unused when the builder drops are simply skipped
+    /// — the id space only needs uniqueness, not density.
+    next_id: u64,
+    id_limit: u64,
+}
+
+impl SubmitBatch<'_> {
+    #[inline]
+    fn alloc_id(&mut self) -> u64 {
+        if self.next_id == self.id_limit {
+            let block = SLOT_OPS as u64;
+            self.next_id = self
+                .handle
+                .shared
+                .next_req
+                .fetch_add(block, Ordering::Relaxed);
+            self.id_limit = self.next_id + block;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    #[inline]
+    fn stage(&mut self, op: EngineOp) {
+        if let Err(op) = self.current.push(op) {
+            let full = std::mem::take(&mut self.current);
+            self.push_slot(full);
+            let _ = self.current.push(op);
+        }
+        self.staged += 1;
+    }
+
+    /// Quiet slot push with backpressure: a full ring gets the doorbell
+    /// (the consumer may be parked behind our own unflushed work) and a
+    /// yield, never a drop.
+    fn push_slot(&self, mut slot: OpBatch) {
+        let ring = &self.handle.shared.ring;
+        loop {
+            match ring.try_push_quiet(slot) {
+                Ok(()) => return,
+                Err(back) => {
+                    slot = back;
+                    ring.doorbell();
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Stages one application send made of `parts` segments; the id is
+    /// live (waitable) once [`flush`](Self::flush) returns.
+    pub fn submit_send_parts(
+        &mut self,
+        dst: NodeId,
+        tag: Tag,
+        parts: Vec<(Bytes, Priority)>,
+        rail_hint: Option<usize>,
+    ) -> SendReqId {
+        let req = SendReqId(self.alloc_id());
+        self.stage(EngineOp::Send {
+            req,
+            dst,
+            tag,
+            parts,
+            rail_hint,
+        });
+        req
+    }
+
+    /// Stages a single-segment send.
+    pub fn isend(&mut self, dst: NodeId, tag: Tag, data: impl Into<Bytes>) -> SendReqId {
+        self.submit_send_parts(dst, tag, vec![(data.into(), Priority::Normal)], None)
+    }
+
+    /// Stages a receive of up to `max` bytes for flow (src, tag).
+    #[inline]
+    pub fn post_recv(&mut self, src: NodeId, tag: Tag, max: usize) -> RecvReqId {
+        let req = RecvReqId(self.alloc_id());
+        self.stage(EngineOp::Recv { req, src, tag, max });
+        req
+    }
+
+    /// Operations staged since the last flush.
+    pub fn pending(&self) -> usize {
+        self.staged
+    }
+
+    /// Pushes the partially filled slot (if any) and rings the doorbell
+    /// once for everything staged since the last flush. The builder is
+    /// reusable afterwards.
+    pub fn flush(&mut self) {
+        if !self.current.is_empty() {
+            let full = std::mem::take(&mut self.current);
+            self.push_slot(full);
+        }
+        if self.staged > 0 {
+            self.handle.shared.ring.doorbell();
+            self.staged = 0;
+        }
+    }
+}
+
+impl Drop for SubmitBatch<'_> {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
 /// The progression thread body: drain the ring, pump the engine,
 /// harvest completions, publish metrics, park when idle.
 fn run(mut engine: NmadEngine, shared: &Shared, config: &EngineConfig) -> NmadEngine {
     let mut shutting_down = false;
     loop {
-        // 1. Drain a bounded batch of submissions.
+        // 1. Drain a bounded batch of submissions: one ring pop hands
+        // over a whole slot of up to SLOT_OPS operations, so the
+        // per-slot synchronization cost is amortized across the run.
         let mut drained = 0usize;
         while drained < config.submit_batch {
-            match shared.ring.pop() {
-                Some(EngineOp::Send {
-                    req,
-                    dst,
-                    tag,
-                    parts,
-                    rail_hint,
-                }) => engine.submit_send_parts_as(req, dst, tag, parts, rail_hint),
-                Some(EngineOp::Recv { req, src, tag, max }) => {
-                    engine.post_recv_as(req, src, tag, max)
+            let Some(batch) = shared.ring.pop() else {
+                break;
+            };
+            for op in batch {
+                match op {
+                    EngineOp::Send {
+                        req,
+                        dst,
+                        tag,
+                        parts,
+                        rail_hint,
+                    } => engine.submit_send_parts_as(req, dst, tag, parts, rail_hint),
+                    EngineOp::Recv { req, src, tag, max } => {
+                        engine.post_recv_as(req, src, tag, max)
+                    }
+                    EngineOp::Snapshot => {
+                        let snap = engine.metrics();
+                        *shared.snap_slot.lock() = Some(snap);
+                        shared.snap_cv.notify_all();
+                    }
+                    EngineOp::Shutdown => shutting_down = true,
                 }
-                Some(EngineOp::Snapshot) => {
-                    let snap = engine.metrics();
-                    *shared.snap_slot.lock() = Some(snap);
-                    shared.snap_cv.notify_all();
-                }
-                Some(EngineOp::Shutdown) => shutting_down = true,
-                None => break,
+                drained += 1;
             }
-            drained += 1;
         }
 
         // 2. One engine pump. A transport error kills the thread but
@@ -432,16 +683,14 @@ fn run(mut engine: NmadEngine, shared: &Shared, config: &EngineConfig) -> NmadEn
             }
         };
 
-        // 3. Harvest completions onto the board.
-        let mut harvested = false;
-        for req in engine.drain_done_sends() {
-            shared.board.post_send_done(req);
-            harvested = true;
-        }
-        for (req, done) in engine.drain_done_recvs() {
-            shared.board.post_recv_done(req, done);
-            harvested = true;
-        }
+        // 3. Harvest completions onto the board, batched symmetrically
+        // with submission: each shard lock is taken at most once per
+        // harvest instead of once per completion.
+        let done_sends = engine.drain_done_sends();
+        let done_recvs = engine.drain_done_recvs();
+        let harvested = !done_sends.is_empty() || !done_recvs.is_empty();
+        shared.board.post_sends_done(&done_sends);
+        shared.board.post_recvs_done(done_recvs);
 
         // 4. Mirror the hot counters.
         shared.hot.publish(engine.engine_metrics(), engine.stats());
@@ -479,9 +728,9 @@ mod model_tests {
             .check(|| {
                 let board = Arc::new(CompletionBoard::new());
                 let (b1, b2) = (Arc::clone(&board), Arc::clone(&board));
-                let t1 = thread::spawn(move || b1.post_send_done(SendReqId(1)));
-                let t2 = thread::spawn(move || b2.post_send_done(SendReqId(2)));
-                board.post_recv_done(
+                let t1 = thread::spawn(move || b1.post_sends_done(&[SendReqId(1)]));
+                let t2 = thread::spawn(move || b2.post_sends_done(&[SendReqId(2)]));
+                board.post_recvs_done(vec![(
                     RecvReqId(3),
                     RecvDone {
                         src: NodeId(0),
@@ -489,7 +738,7 @@ mod model_tests {
                         data: Bytes::from_static(b"x"),
                         truncated: false,
                     },
-                );
+                )]);
                 t1.join();
                 t2.join();
                 assert_eq!(board.duplicates(), 0, "distinct ids flagged duplicate");
@@ -512,8 +761,8 @@ mod model_tests {
             .check(|| {
                 let board = Arc::new(CompletionBoard::new());
                 let (b1, b2) = (Arc::clone(&board), Arc::clone(&board));
-                let t1 = thread::spawn(move || b1.post_send_done(SendReqId(7)));
-                let t2 = thread::spawn(move || b2.post_send_done(SendReqId(7)));
+                let t1 = thread::spawn(move || b1.post_sends_done(&[SendReqId(7)]));
+                let t2 = thread::spawn(move || b2.post_sends_done(&[SendReqId(7)]));
                 t1.join();
                 t2.join();
                 assert_eq!(
@@ -566,6 +815,77 @@ mod tests {
         assert!(bh.try_take_recv(r).is_none(), "taken once");
         assert_eq!(ah.completion_duplicates(), 0);
         assert_eq!(bh.completion_duplicates(), 0);
+    }
+
+    #[test]
+    fn batched_submission_roundtrip_with_one_flush() {
+        let (a, b) = mem_pair();
+        let (ah, bh) = (a.handle(), b.handle());
+        let n = 40u32; // several ring slots' worth
+
+        let mut rb = bh.submit_batch();
+        let recvs: Vec<_> = (0..n)
+            .map(|t| rb.post_recv(NodeId(0), Tag(t), 64))
+            .collect();
+        assert_eq!(rb.pending(), n as usize);
+        rb.flush();
+        assert_eq!(rb.pending(), 0);
+        drop(rb);
+
+        let mut sb = ah.submit_batch();
+        let sends: Vec<_> = (0..n)
+            .map(|t| sb.isend(NodeId(1), Tag(t), vec![t as u8; 48]))
+            .collect();
+        sb.flush();
+
+        ah.wait_sends(&sends);
+        let dones = bh.wait_recvs(&recvs);
+        for (t, done) in dones.iter().enumerate() {
+            assert_eq!(done.data, vec![t as u8; 48], "payload for tag {t}");
+            assert_eq!(done.src, NodeId(0));
+        }
+        assert_eq!(ah.completion_duplicates(), 0);
+        assert_eq!(bh.completion_duplicates(), 0);
+    }
+
+    #[test]
+    fn dropping_an_unflushed_batch_flushes_it() {
+        let (a, b) = mem_pair();
+        let (ah, bh) = (a.handle(), b.handle());
+        let r = bh.post_recv(NodeId(0), Tag(9), 16);
+        let s = {
+            let mut batch = ah.submit_batch();
+            batch.isend(NodeId(1), Tag(9), &b"implicit"[..])
+            // No explicit flush: Drop must push the partial slot and
+            // ring the doorbell.
+        };
+        ah.wait_send(s);
+        assert_eq!(bh.wait_recv(r).data, b"implicit");
+    }
+
+    #[test]
+    fn batched_and_single_submissions_interleave_per_flow_fifo() {
+        let (a, b) = mem_pair();
+        let (ah, bh) = (a.handle(), b.handle());
+        let recvs: Vec<_> = (0..6).map(|_| bh.post_recv(NodeId(0), Tag(3), 8)).collect();
+        let s1 = ah.isend(NodeId(1), Tag(3), &b"m0"[..]);
+        let mut batch = ah.submit_batch();
+        let s2 = batch.isend(NodeId(1), Tag(3), &b"m1"[..]);
+        let s3 = batch.isend(NodeId(1), Tag(3), &b"m2"[..]);
+        batch.flush();
+        let s4 = ah.isend(NodeId(1), Tag(3), &b"m3"[..]);
+        let mut batch2 = ah.submit_batch();
+        let s5 = batch2.isend(NodeId(1), Tag(3), &b"m4"[..]);
+        let s6 = batch2.isend(NodeId(1), Tag(3), &b"m5"[..]);
+        batch2.flush();
+        ah.wait_sends(&[s1, s2, s3, s4, s5, s6]);
+        let dones = bh.wait_recvs(&recvs);
+        let got: Vec<_> = dones.iter().map(|d| d.data.clone()).collect();
+        assert_eq!(
+            got,
+            [&b"m0"[..], b"m1", b"m2", b"m3", b"m4", b"m5"],
+            "same-flow order across batched/unbatched submissions"
+        );
     }
 
     #[test]

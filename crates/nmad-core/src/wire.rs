@@ -39,6 +39,87 @@ const KIND_CREDIT: u8 = 5;
 /// Entry flag: this rendezvous chunk is the segment's last.
 pub const EF_LAST_CHUNK: u8 = 0b0000_0001;
 
+/// The fixed fields of one entry header, as packed on the wire.
+///
+/// [`pack_entry_header`]/[`unpack_entry_header`] move this whole
+/// struct to and from its 20-byte wire image in straight-line code:
+/// every store and load targets a constant offset of a fixed-size
+/// array, so the compiler proves all bounds at compile time and the
+/// per-entry header cost on the hot path is a handful of register
+/// moves — no per-field capacity checks, no per-segment branching.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EntryHeader {
+    /// Entry kind byte (`KIND_*`).
+    pub kind: u8,
+    /// Entry flag bits (`EF_*`).
+    pub flags: u8,
+    /// Logical flow identifier.
+    pub tag: Tag,
+    /// Per-flow sequence number.
+    pub seq: SeqNo,
+    /// Payload length (Data/RdvData), announced total (Rts/Cts), or
+    /// credit count (Credit).
+    pub len: u32,
+    /// Byte offset within the full segment (RdvData only).
+    pub offset: u32,
+}
+
+/// Packs one entry header into its fixed 20-byte wire image.
+/// Branchless: constant-offset stores into a stack array.
+#[inline]
+pub fn pack_entry_header(h: EntryHeader) -> [u8; ENTRY_HEADER_LEN] {
+    let mut out = [0u8; ENTRY_HEADER_LEN];
+    out[0] = h.kind;
+    out[1] = h.flags;
+    // out[2..4] stays zero (reserved).
+    out[4..8].copy_from_slice(&h.tag.0.to_le_bytes());
+    out[8..12].copy_from_slice(&h.seq.0.to_le_bytes());
+    out[12..16].copy_from_slice(&h.len.to_le_bytes());
+    out[16..20].copy_from_slice(&h.offset.to_le_bytes());
+    out
+}
+
+/// Unpacks one entry header from its fixed 20-byte wire image.
+/// Branchless: the caller supplies a fixed-size array reference, so
+/// every field load is a constant-offset read with no further bounds
+/// checks. Kind validation stays with the caller, which dispatches on
+/// it anyway.
+#[inline]
+pub fn unpack_entry_header(h: &[u8; ENTRY_HEADER_LEN]) -> EntryHeader {
+    EntryHeader {
+        kind: h[0],
+        flags: h[1],
+        tag: Tag(u32::from_le_bytes([h[4], h[5], h[6], h[7]])),
+        seq: SeqNo(u32::from_le_bytes([h[8], h[9], h[10], h[11]])),
+        len: u32::from_le_bytes([h[12], h[13], h[14], h[15]]),
+        offset: u32::from_le_bytes([h[16], h[17], h[18], h[19]]),
+    }
+}
+
+/// Packs the 8-byte frame header with the given entry count.
+#[inline]
+pub fn pack_frame_header(count: u16) -> [u8; FRAME_HEADER_LEN] {
+    let mut out = [0u8; FRAME_HEADER_LEN];
+    out[0..2].copy_from_slice(&MAGIC.to_le_bytes());
+    out[2] = VERSION;
+    // out[3] flags, out[6..8] reserved: zero.
+    out[4..6].copy_from_slice(&count.to_le_bytes());
+    out
+}
+
+/// Validates a frame header image and returns its entry count.
+#[inline]
+pub fn unpack_frame_header(h: &[u8; FRAME_HEADER_LEN]) -> Result<u16, WireError> {
+    let magic = u16::from_le_bytes([h[0], h[1]]);
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    if h[2] != VERSION {
+        return Err(WireError::BadVersion(h[2]));
+    }
+    Ok(u16::from_le_bytes([h[4], h[5]]))
+}
+
 /// A parsed entry borrowing its payload from the frame buffer.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Entry<'a> {
@@ -120,16 +201,14 @@ impl fmt::Display for WireError {
 impl std::error::Error for WireError {}
 
 /// Writes the 8-byte frame header with a zero entry count (patched at
-/// finish time by both encoders).
+/// finish time by both encoders): one packed image, one append.
 fn write_frame_header(buf: &mut Vec<u8>) {
-    buf.extend_from_slice(&MAGIC.to_le_bytes());
-    buf.push(VERSION);
-    buf.push(0); // flags
-    buf.extend_from_slice(&0u16.to_le_bytes()); // count, patched in finish()
-    buf.extend_from_slice(&0u16.to_le_bytes()); // reserved
+    buf.extend_from_slice(&pack_frame_header(0));
 }
 
-/// Writes one 20-byte entry header.
+/// Writes one 20-byte entry header: pack into a stack image (all
+/// bounds compile-time), then one append — a single capacity check
+/// instead of seven.
 fn write_entry_header(
     buf: &mut Vec<u8>,
     kind: u8,
@@ -139,13 +218,14 @@ fn write_entry_header(
     len: u32,
     offset: u32,
 ) {
-    buf.push(kind);
-    buf.push(flags);
-    buf.extend_from_slice(&0u16.to_le_bytes());
-    buf.extend_from_slice(&tag.0.to_le_bytes());
-    buf.extend_from_slice(&seq.0.to_le_bytes());
-    buf.extend_from_slice(&len.to_le_bytes());
-    buf.extend_from_slice(&offset.to_le_bytes());
+    buf.extend_from_slice(&pack_entry_header(EntryHeader {
+        kind,
+        flags,
+        tag,
+        seq,
+        len,
+        offset,
+    }));
 }
 
 /// Incrementally builds one frame.
@@ -468,59 +548,54 @@ impl<'p> FrameIov<'p> {
 }
 
 /// Parses a frame into entries.
+///
+/// Each header is bounds-checked exactly once (`get` of a fixed-size
+/// window); field extraction from the resulting `[u8; N]` references
+/// is branch-free straight-line code.
 pub fn parse_frame(bytes: &[u8]) -> Result<Vec<Entry<'_>>, WireError> {
-    if bytes.len() < FRAME_HEADER_LEN {
-        return Err(WireError::Truncated);
-    }
-    let magic = u16::from_le_bytes([bytes[0], bytes[1]]);
-    if magic != MAGIC {
-        return Err(WireError::BadMagic(magic));
-    }
-    if bytes[2] != VERSION {
-        return Err(WireError::BadVersion(bytes[2]));
-    }
-    let count = u16::from_le_bytes([bytes[4], bytes[5]]) as usize;
+    let fh: &[u8; FRAME_HEADER_LEN] = bytes
+        .get(..FRAME_HEADER_LEN)
+        .and_then(|w| w.try_into().ok())
+        .ok_or(WireError::Truncated)?;
+    let count = unpack_frame_header(fh)? as usize;
     let mut entries = Vec::with_capacity(count);
     let mut at = FRAME_HEADER_LEN;
     for _ in 0..count {
-        if bytes.len() < at + ENTRY_HEADER_LEN {
-            return Err(WireError::Truncated);
-        }
-        let h = &bytes[at..at + ENTRY_HEADER_LEN];
-        let kind = h[0];
-        let flags = h[1];
-        let tag = Tag(u32::from_le_bytes(h[4..8].try_into().expect("4")));
-        let seq = SeqNo(u32::from_le_bytes(h[8..12].try_into().expect("4")));
-        let len = u32::from_le_bytes(h[12..16].try_into().expect("4"));
-        let offset = u32::from_le_bytes(h[16..20].try_into().expect("4"));
+        let hw: &[u8; ENTRY_HEADER_LEN] = bytes
+            .get(at..at + ENTRY_HEADER_LEN)
+            .and_then(|w| w.try_into().ok())
+            .ok_or(WireError::Truncated)?;
+        let h = unpack_entry_header(hw);
         at += ENTRY_HEADER_LEN;
-        let entry = match kind {
+        let entry = match h.kind {
             KIND_RTS => Entry::Rts {
-                tag,
-                seq,
-                total: len,
+                tag: h.tag,
+                seq: h.seq,
+                total: h.len,
             },
             KIND_CTS => Entry::Cts {
-                tag,
-                seq,
-                total: len,
+                tag: h.tag,
+                seq: h.seq,
+                total: h.len,
             },
-            KIND_CREDIT => Entry::Credit { count: len },
+            KIND_CREDIT => Entry::Credit { count: h.len },
             KIND_DATA | KIND_RDV_DATA => {
-                let end = at + len as usize;
-                if bytes.len() < end {
-                    return Err(WireError::Truncated);
-                }
-                let payload = &bytes[at..end];
-                at = end;
-                if kind == KIND_DATA {
-                    Entry::Data { tag, seq, payload }
+                let payload = bytes
+                    .get(at..at + h.len as usize)
+                    .ok_or(WireError::Truncated)?;
+                at += h.len as usize;
+                if h.kind == KIND_DATA {
+                    Entry::Data {
+                        tag: h.tag,
+                        seq: h.seq,
+                        payload,
+                    }
                 } else {
                     Entry::RdvData {
-                        tag,
-                        seq,
-                        offset,
-                        last: flags & EF_LAST_CHUNK != 0,
+                        tag: h.tag,
+                        seq: h.seq,
+                        offset: h.offset,
+                        last: h.flags & EF_LAST_CHUNK != 0,
                         payload,
                     }
                 }
@@ -780,6 +855,62 @@ mod tests {
         let recycled = iov.into_meta();
         assert!(recycled.capacity() >= cap.min(128));
         assert_eq!(recycled.len(), FRAME_HEADER_LEN + ENTRY_HEADER_LEN);
+    }
+
+    #[test]
+    fn entry_header_pack_unpack_roundtrips() {
+        for (kind, flags) in [
+            (KIND_DATA, 0),
+            (KIND_RTS, 0),
+            (KIND_CTS, 0),
+            (KIND_RDV_DATA, EF_LAST_CHUNK),
+            (KIND_CREDIT, 0),
+        ] {
+            let h = EntryHeader {
+                kind,
+                flags,
+                tag: Tag(0xDEAD_BEEF),
+                seq: SeqNo(0x0102_0304),
+                len: 0xA5A5_5A5A,
+                offset: 0x1122_3344,
+            };
+            assert_eq!(unpack_entry_header(&pack_entry_header(h)), h);
+        }
+    }
+
+    #[test]
+    fn packed_entry_header_matches_builder_layout() {
+        // The packed image must be byte-identical to what the builders
+        // put on the wire, or the pack path silently forks the format.
+        let mut fb = FrameBuilder::new();
+        fb.push_rdv_data(Tag(9), SeqNo(4), 4096, true, b"x");
+        let frame = fb.finish();
+        let packed = pack_entry_header(EntryHeader {
+            kind: KIND_RDV_DATA,
+            flags: EF_LAST_CHUNK,
+            tag: Tag(9),
+            seq: SeqNo(4),
+            len: 1,
+            offset: 4096,
+        });
+        assert_eq!(
+            &frame[FRAME_HEADER_LEN..FRAME_HEADER_LEN + ENTRY_HEADER_LEN],
+            &packed
+        );
+    }
+
+    #[test]
+    fn frame_header_pack_unpack_roundtrips() {
+        for count in [0u16, 1, 7, u16::MAX] {
+            let img = pack_frame_header(count);
+            assert_eq!(unpack_frame_header(&img), Ok(count));
+        }
+        let mut bad = pack_frame_header(1);
+        bad[0] = 0;
+        assert_eq!(unpack_frame_header(&bad), Err(WireError::BadMagic(0xAD00)));
+        let mut bad = pack_frame_header(1);
+        bad[2] = 9;
+        assert_eq!(unpack_frame_header(&bad), Err(WireError::BadVersion(9)));
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Differential property: a batched submission run is observably
+//! identical to the same operations submitted one by one.
+//!
+//! For an arbitrary schedule of sends over a handful of flows, the
+//! same traffic is driven through two independent engine pairs — one
+//! using plain [`ThreadedHandle`] single submissions (one ring slot +
+//! one doorbell per op), one staging everything through
+//! [`ThreadedHandle::submit_batch`] with flush points sprinkled by the
+//! property — and the two sides must deliver byte-identical payloads
+//! in the same per-flow order, with zero duplicate completions.
+//! Batching is pure amortization: it may change *when* the consumer
+//! wakes, never *what* it delivers.
+
+use bytes::Bytes;
+use nmad_core::prelude::*;
+use nmad_core::{ThreadedEngine, ThreadedHandle};
+use nmad_net::mem::{mem_fabric, MemDriver};
+use nmad_net::NullMeter;
+use nmad_sim::NodeId;
+
+const FLOWS: u32 = 4;
+
+fn mem_pair() -> (ThreadedEngine, ThreadedEngine) {
+    let mut fabric = mem_fabric(2);
+    let b = fabric.pop().unwrap();
+    let a = fabric.pop().unwrap();
+    let launch = |d: MemDriver| {
+        ThreadedEngine::launch(
+            NmadEngine::new(
+                vec![Box::new(d)],
+                Box::new(NullMeter),
+                Box::new(StratAggreg),
+                EngineCosts::zero(),
+            ),
+            EngineConfig::threaded(),
+        )
+    };
+    (launch(a), launch(b))
+}
+
+/// One generated send: (flow, payload length). The payload bytes are
+/// derived from (flow, index) so any reordering or cross-wiring shows
+/// up as a byte mismatch, not just a length mismatch.
+fn payload(flow: u32, idx: usize, len: usize) -> Bytes {
+    Bytes::from(vec![(flow as u8) ^ (idx as u8).wrapping_mul(31); len])
+}
+
+/// Drives `sends` through one engine pair and returns, per flow, the
+/// received payloads in arrival order. `flushes` marks the op indices
+/// after which the batched variant flushes (ignored by the single
+/// variant); both variants flush everything before waiting.
+fn deliver(sends: &[(u32, usize)], flushes: &[usize], batched: bool) -> Vec<Vec<Bytes>> {
+    let (tx, rx) = mem_pair();
+    let (txh, rxh): (ThreadedHandle, ThreadedHandle) = (tx.handle(), rx.handle());
+
+    // Post one receive per send, per flow, in order: matching is FIFO
+    // within a flow, so arrival order per flow is observable.
+    let mut recv_ids = Vec::with_capacity(sends.len());
+    for &(flow, len) in sends {
+        recv_ids.push((flow, rxh.post_recv(NodeId(0), Tag(flow), len.max(1))));
+    }
+
+    let mut send_ids = Vec::with_capacity(sends.len());
+    if batched {
+        let mut batch = txh.submit_batch();
+        for (i, &(flow, len)) in sends.iter().enumerate() {
+            send_ids.push(batch.isend(NodeId(1), Tag(flow), payload(flow, i, len)));
+            if flushes.contains(&i) {
+                batch.flush();
+            }
+        }
+        batch.flush();
+    } else {
+        for (i, &(flow, len)) in sends.iter().enumerate() {
+            send_ids.push(txh.isend(NodeId(1), Tag(flow), payload(flow, i, len)));
+        }
+    }
+
+    txh.wait_sends(&send_ids);
+    let mut by_flow: Vec<Vec<Bytes>> = (0..FLOWS).map(|_| Vec::new()).collect();
+    for (flow, id) in recv_ids {
+        by_flow[flow as usize].push(rxh.wait_recv(id).data);
+    }
+    assert_eq!(txh.completion_duplicates(), 0, "tx duplicates");
+    assert_eq!(rxh.completion_duplicates(), 0, "rx duplicates");
+    by_flow
+}
+
+proptest::proptest! {
+    #[test]
+    fn batched_submission_equals_singles(
+        sends in proptest::collection::vec((0u32..FLOWS, 1usize..96), 1..40),
+        flushes in proptest::collection::vec(0usize..40, 0..6),
+    ) {
+        let single = deliver(&sends, &[], false);
+        let batched = deliver(&sends, &flushes, true);
+        proptest::prop_assert_eq!(single, batched);
+    }
+}
+
+/// The deterministic anchor case the property generalizes: every flow
+/// busy, flushes landing mid-slot, across several ring slots.
+#[test]
+fn batched_submission_equals_singles_anchor() {
+    let sends: Vec<(u32, usize)> = (0..48)
+        .map(|i| (i % FLOWS, 1 + (i as usize * 7) % 90))
+        .collect();
+    let flushes = [5usize, 6, 17, 40];
+    let single = deliver(&sends, &[], false);
+    let batched = deliver(&sends, &flushes, true);
+    assert_eq!(single, batched);
+    // Sanity: the per-flow transcript really carries data.
+    assert!(single.iter().map(|f| f.len()).sum::<usize>() == 48);
+}

@@ -16,7 +16,7 @@
 
 #![cfg(nmad_model)]
 
-use nmad_core::ring::SubmitRing;
+use nmad_core::ring::{Batch, SubmitRing};
 use nmad_core::sync::{fence, spin_loop, AtomicU64, AtomicUsize, Condvar, Mutex, Ordering};
 use nmad_core::Seqlock;
 use nmad_verify::{thread, Checker};
@@ -116,6 +116,96 @@ fn model_ring_wakeup_never_needs_the_timeout() {
         stats.timeouts_fired, 0,
         "a schedule exists where the wakeup is lost and only the \
          park timeout rescues the consumer: {stats:?}"
+    );
+}
+
+/// The batched slot protocol: a producer stages two slots with
+/// `push_quiet` and rings the doorbell **once**, after the last push.
+/// In every schedule the parked consumer is woken without its timeout
+/// firing, and the flattened slots preserve FIFO across the whole run —
+/// the exact invariant `SubmitBatch::flush` relies on.
+#[test]
+fn model_ring_batched_slots_flatten_fifo() {
+    let stats = Checker::new()
+        .max_schedules(15_000)
+        .check(|| {
+            let ring: Arc<SubmitRing<Batch<u64, 2>>> = Arc::new(SubmitRing::new(2));
+            let r = Arc::clone(&ring);
+            let consumer = thread::spawn(move || {
+                let mut got = Vec::new();
+                while got.len() < 4 {
+                    match r.pop() {
+                        Some(slot) => got.extend(slot),
+                        None => {
+                            r.wait_nonempty(Duration::from_millis(1));
+                        }
+                    }
+                }
+                got
+            });
+            let mut s1 = Batch::<u64, 2>::new();
+            s1.push(1).unwrap();
+            s1.push(2).unwrap();
+            let mut s2 = Batch::<u64, 2>::new();
+            s2.push(3).unwrap();
+            s2.push(4).unwrap();
+            ring.push_quiet(s1);
+            ring.push_quiet(s2);
+            ring.doorbell();
+            assert_eq!(
+                consumer.join(),
+                [1, 2, 3, 4],
+                "flattened slots broke FIFO or lost an op"
+            );
+        })
+        .expect("batched slot protocol must hold in every schedule");
+    assert!(
+        stats.schedules >= 100,
+        "batched ring model underexplored: {stats:?}"
+    );
+    assert_eq!(
+        stats.timeouts_fired, 0,
+        "a schedule exists where the single flush doorbell is lost and \
+         only the park timeout rescues the consumer: {stats:?}"
+    );
+}
+
+/// Mutant: the doorbell rung *before* the quiet pushes (the ordering
+/// `SubmitBatch::flush` must never produce). The consumer can then
+/// check emptiness after the doorbell but before the pushes and park
+/// with the batch already committed — the checker must find a schedule
+/// where only the timeout rescues it.
+#[test]
+fn model_ring_doorbell_before_push_mutant_is_caught() {
+    let stats = Checker::new()
+        .max_schedules(30_000)
+        .check(|| {
+            let ring: Arc<SubmitRing<Batch<u64, 2>>> = Arc::new(SubmitRing::new(2));
+            let r = Arc::clone(&ring);
+            let consumer = thread::spawn(move || {
+                let mut got = Vec::new();
+                while got.len() < 2 {
+                    match r.pop() {
+                        Some(slot) => got.extend(slot),
+                        None => {
+                            r.wait_nonempty(Duration::from_millis(1));
+                        }
+                    }
+                }
+                got
+            });
+            let mut slot = Batch::<u64, 2>::new();
+            slot.push(1).unwrap();
+            slot.push(2).unwrap();
+            ring.doorbell(); // mutant: doorbell precedes the push
+            ring.push_quiet(slot);
+            assert_eq!(consumer.join(), [1, 2]);
+        })
+        .expect("the park timeout keeps even the mutant live");
+    assert!(
+        stats.timeouts_fired > 0,
+        "the doorbell-before-push mutant must exhibit a stranded park \
+         (rescued only by the timeout) in some schedule: {stats:?}"
     );
 }
 

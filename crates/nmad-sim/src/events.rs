@@ -1,0 +1,498 @@
+//! Event queues for the discrete-event core.
+//!
+//! [`TimerWheel`] is the production queue behind
+//! [`SimWorld::advance`](crate::world::SimWorld::advance): a
+//! hierarchical calendar (timing wheel) with per-level occupancy
+//! bitmaps, giving O(1) insertion and near-O(1) extraction regardless
+//! of how many wakeups are pending. A `BinaryHeap` costs O(log n) per
+//! operation with poor locality once tens of thousands of flows each
+//! keep a few wakeups in flight — exactly the regime the fanout and
+//! tail-latency workloads live in. [`HeapQueue`] keeps the old heap
+//! behind the same interface as the differential-testing and
+//! benchmarking baseline.
+//!
+//! ## Wheel geometry
+//!
+//! `LEVELS` levels of `SLOTS = 64` slots each; leaf slots are
+//! `2^LEAF_BITS` ns wide and each level above is 64× coarser, so the
+//! wheel spans `2^(LEAF_BITS + 6·LEVELS)` ns (≈ 275 simulated seconds
+//! at the defaults) ahead of its cursor. The leaf level is
+//! deliberately 256 ns per slot, not 1 ns: a leaf slot drains into
+//! the ready list with one bulk sort, so a dense event population
+//! pays one sort per 256 ns window instead of one cascade step plus
+//! one ordered insert per event. Events beyond the span land in an
+//! overflow list that is redistributed when the wheel drains —
+//! far-future events pay a rare O(overflow) rebase instead of taxing
+//! every operation.
+//!
+//! ## Exactness
+//!
+//! Slots store the exact nanosecond instants, never rounded to slot
+//! width: bucketing only affects *where* an event waits, not *when*
+//! it fires (leaf slots are sorted as they drain). Extraction returns
+//! instants in nondecreasing order, and equal instants are
+//! indistinguishable (the queue stores bare times), so ties need no
+//! normalization: any pop order of an equal-time run is the same
+//! sequence of values. The differential suite below holds the wheel
+//! to the heap's exact output on seeded 10k-event workloads.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// log2 of the slot count per level.
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// log2 of the leaf slot width in nanoseconds. 256 ns leaves keep the
+/// leaf level's span (64 slots × 256 ns = 16.4 µs) ahead of typical
+/// wakeup horizons — link/CPU charges are ns-to-µs scale — so most
+/// events are filed directly into the leaf and never cascade. The
+/// trade-off is the size of the bulk sort when a leaf slot drains
+/// (~window width × event density), which stays cache-resident.
+const LEAF_BITS: u32 = 9;
+/// Hierarchy depth. 5 levels of 64 slots over 256 ns leaves span
+/// 2^38 ns ≈ 275 s of virtual time ahead of the cursor; events beyond
+/// that overflow.
+const LEVELS: usize = 5;
+
+/// Slot width of level `l` is `1 << level_shift(l)` ns: 2^LEAF_BITS
+/// at the leaf, ×64 per level above it.
+const fn level_shift(level: usize) -> u32 {
+    LEAF_BITS + SLOT_BITS * level as u32
+}
+
+/// Hierarchical timer wheel over [`SimTime`] instants. See the module
+/// documentation for geometry and ordering guarantees.
+pub struct TimerWheel {
+    /// All instants ≤ `cursor`, sorted descending so `pop` takes the
+    /// minimum from the tail. Holds the leaf slot most recently
+    /// drained plus any stale (past-cursor) insertions.
+    ready: Vec<u64>,
+    /// `slots[l * SLOTS + i]` holds instants whose level-`l` absolute
+    /// slot number (`t >> level_shift(l)`) is ≡ i (mod 64) and within
+    /// 64 slots of the cursor. Flattened to one `Vec` so a slot access
+    /// is a single indirection.
+    slots: Vec<Vec<u64>>,
+    /// One occupancy bit per slot, per level: `occ[l] >> i & 1`.
+    occ: [u64; LEVELS],
+    /// Instants beyond the top level's span.
+    overflow: Vec<u64>,
+    /// Drain buffer swapped with the slot being emptied, so slot
+    /// vectors keep their capacity instead of reallocating on every
+    /// refill (steady-state extraction allocates nothing).
+    scratch: Vec<u64>,
+    /// Wheel position in nanoseconds. Invariant: every instant stored
+    /// in the levels is strictly greater than `cursor`, and every
+    /// instant in `ready` is ≤ `cursor`.
+    cursor: u64,
+    len: usize,
+}
+
+impl Default for TimerWheel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimerWheel {
+    /// An empty wheel with its cursor at the epoch.
+    pub fn new() -> Self {
+        TimerWheel {
+            ready: Vec::new(),
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occ: [0; LEVELS],
+            overflow: Vec::new(),
+            scratch: Vec::new(),
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    /// Pending instants (duplicates counted).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedules an instant. Duplicates are kept (one pop each), and
+    /// instants at or before the last popped one are returned by the
+    /// next pops — exactly the `BinaryHeap` semantics the sim core
+    /// was written against.
+    #[inline]
+    pub fn push(&mut self, t: SimTime) {
+        self.len += 1;
+        let t = t.as_ns();
+        // Leaf fast path, duplicated from insert() so the overwhelming
+        // common case (an instant within the leaf span) inlines into
+        // the caller as a handful of instructions.
+        if t > self.cursor && (t >> LEAF_BITS) - (self.cursor >> LEAF_BITS) < SLOTS as u64 {
+            let idx = ((t >> LEAF_BITS) & (SLOTS as u64 - 1)) as usize;
+            self.slots[idx].push(t);
+            self.occ[0] |= 1 << idx;
+            return;
+        }
+        self.insert(t);
+    }
+
+    fn insert(&mut self, t: u64) {
+        if t <= self.cursor {
+            // Stale or due now: straight to the ready list, keeping it
+            // sorted descending so the tail stays the minimum.
+            let at = self.ready.partition_point(|&r| r > t);
+            self.ready.insert(at, t);
+            return;
+        }
+        let mut shift = level_shift(0);
+        for l in 0..LEVELS {
+            if (t >> shift) - (self.cursor >> shift) < SLOTS as u64 {
+                let idx = ((t >> shift) & (SLOTS as u64 - 1)) as usize;
+                self.slots[l * SLOTS + idx].push(t);
+                self.occ[l] |= 1 << idx;
+                return;
+            }
+            shift += SLOT_BITS;
+        }
+        self.overflow.push(t);
+    }
+
+    /// Removes and returns the earliest pending instant. Instants come
+    /// out in nondecreasing order (modulo stale insertions, which come
+    /// out immediately — as with a heap).
+    #[inline]
+    pub fn pop_earliest(&mut self) -> Option<SimTime> {
+        // Fast path: the ready list already holds due instants, tail
+        // first. Everything else — scanning, draining, the overflow
+        // rebase — is the cold refill.
+        if let Some(t) = self.ready.pop() {
+            self.len -= 1;
+            debug_assert!(t <= self.cursor);
+            return Some(SimTime::from_ns(t));
+        }
+        self.pop_refill()
+    }
+
+    /// Refills `ready` from the wheel (or overflow) and pops. Cold:
+    /// runs once per drained slot, not once per event.
+    #[cold]
+    fn pop_refill(&mut self) -> Option<SimTime> {
+        loop {
+            if let Some(t) = self.ready.pop() {
+                self.len -= 1;
+                debug_assert!(t <= self.cursor);
+                return Some(SimTime::from_ns(t));
+            }
+            // Level residency is decided at insert time and goes stale
+            // as the cursor advances: a coarse-level slot can hold
+            // instants earlier than everything at finer levels. The
+            // earliest pending instant is therefore found by comparing
+            // the earliest occupied slot's *start* across all levels
+            // and draining the minimum. Since every occupied slot
+            // start is ≥ that minimum, advancing the cursor to it
+            // never jumps past a pending instant. Ties MUST prefer the
+            // coarser level (`<=` below with the fine-to-coarse loop):
+            // draining a leaf slot advances the cursor to the slot's
+            // *end*, which would orphan instants still parked in a
+            // coarse slot that starts at the same nanosecond. Slot
+            // starts are width-aligned, so a coarse start never falls
+            // strictly inside a finer slot — equal starts are the only
+            // overlap, and the coarse drain re-files those instants
+            // downward before the leaf drain commits the jump.
+            let mut best: Option<(usize, u64, usize)> = None;
+            for level in 0..LEVELS {
+                if self.occ[level] == 0 {
+                    continue;
+                }
+                // Earliest occupied slot of the level, scanning
+                // circularly from the cursor's slot. All occupied
+                // slots sit within 64 absolute slots ahead of the
+                // cursor, so the circular distance IS the absolute
+                // distance.
+                let shift = level_shift(level);
+                let cur_slot = self.cursor >> shift;
+                let start = (cur_slot & (SLOTS as u64 - 1)) as u32;
+                let off = self.occ[level].rotate_right(start).trailing_zeros() as u64;
+                let abs_slot = cur_slot + off;
+                let slot_start = abs_slot << shift;
+                let idx = (abs_slot & (SLOTS as u64 - 1)) as usize;
+                if best.is_none_or(|(_, s, _)| slot_start <= s) {
+                    best = Some((level, slot_start, idx));
+                }
+            }
+            let Some((level, slot_start, idx)) = best else {
+                if self.overflow.is_empty() {
+                    return None;
+                }
+                self.rebase_from_overflow();
+                continue;
+            };
+            self.occ[level] &= !(1 << idx);
+            if level == 0 {
+                // Leaf slot: its whole window becomes due at once —
+                // one bulk sort per window instead of one ordered
+                // insert per event — and the cursor jumps to the
+                // window's end so later pushes into the window merge
+                // into `ready` rather than re-occupying the drained
+                // slot out of order. Every instant in the slot shares
+                // the bits above LEAF_BITS, so for dense slots a
+                // one-byte counting scatter (two linear passes, no
+                // comparisons) replaces the comparison sort; both
+                // paths leave `ready` sorted descending, tail = min.
+                debug_assert!(self.ready.is_empty());
+                const MASK: u64 = (1 << LEAF_BITS) - 1;
+                let slot = &mut self.slots[idx];
+                if slot.len() < 64 {
+                    std::mem::swap(&mut self.ready, slot);
+                    self.ready.sort_unstable();
+                    self.ready.reverse();
+                } else {
+                    let mut counts = [0u32; 1 << LEAF_BITS];
+                    for &t in slot.iter() {
+                        counts[(t & MASK) as usize] += 1;
+                    }
+                    // Descending scatter offsets: the largest low byte
+                    // lands at index 0.
+                    let mut offs = counts;
+                    let mut acc = 0u32;
+                    for b in (0..1usize << LEAF_BITS).rev() {
+                        offs[b] = acc;
+                        acc += counts[b];
+                    }
+                    self.ready.resize(slot.len(), 0);
+                    for &t in slot.iter() {
+                        let b = (t & MASK) as usize;
+                        self.ready[offs[b] as usize] = t;
+                        offs[b] += 1;
+                    }
+                    slot.clear();
+                }
+                self.cursor = self.cursor.max(slot_start + (1 << level_shift(0)) - 1);
+                continue;
+            }
+            // Coarse slot: swap its buffer out through `scratch`
+            // rather than `mem::take` it, so the buffer keeps its
+            // capacity for the slot's next tenants and steady-state
+            // cascading never allocates. Advancing to the slot's start
+            // keeps every drained instant within the windows of the
+            // levels below, so reinsertion strictly descends the
+            // hierarchy.
+            let mut drained = std::mem::take(&mut self.scratch);
+            std::mem::swap(&mut drained, &mut self.slots[level * SLOTS + idx]);
+            self.cursor = self.cursor.max(slot_start);
+            for &t in &drained {
+                self.insert(t);
+            }
+            drained.clear();
+            self.scratch = drained;
+        }
+    }
+
+    /// All levels are empty: jump the cursor to the earliest overflow
+    /// instant and redistribute the overflow list. Instants still
+    /// beyond the span stay in overflow for a later rebase.
+    fn rebase_from_overflow(&mut self) {
+        let min = *self.overflow.iter().min().expect("overflow non-empty");
+        self.cursor = self.cursor.max(min);
+        let spilled = std::mem::take(&mut self.overflow);
+        for t in spilled {
+            self.insert(t);
+        }
+    }
+}
+
+impl std::fmt::Debug for TimerWheel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimerWheel")
+            .field("len", &self.len)
+            .field("cursor", &self.cursor)
+            .field("ready", &self.ready.len())
+            .field("overflow", &self.overflow.len())
+            .finish()
+    }
+}
+
+/// The pre-wheel event queue — a plain binary heap — kept as the
+/// reference implementation for differential tests and as the baseline
+/// the `batch` benchmark measures the wheel against.
+#[derive(Default, Debug)]
+pub struct HeapQueue {
+    heap: BinaryHeap<Reverse<u64>>,
+}
+
+impl HeapQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pending instants (duplicates counted).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules an instant.
+    #[inline]
+    pub fn push(&mut self, t: SimTime) {
+        self.heap.push(Reverse(t.as_ns()));
+    }
+
+    /// Removes and returns the earliest pending instant.
+    #[inline]
+    pub fn pop_earliest(&mut self) -> Option<SimTime> {
+        self.heap.pop().map(|Reverse(t)| SimTime::from_ns(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn drain(w: &mut TimerWheel) -> Vec<u64> {
+        let mut out = Vec::new();
+        while let Some(t) = w.pop_earliest() {
+            out.push(t.as_ns());
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut w = TimerWheel::new();
+        for t in [5u64, 1, 1_000_000, 3, 64, 65, 4096, 2] {
+            w.push(SimTime::from_ns(t));
+        }
+        assert_eq!(w.len(), 8);
+        assert_eq!(drain(&mut w), [1, 2, 3, 5, 64, 65, 4096, 1_000_000]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn duplicates_pop_once_each() {
+        let mut w = TimerWheel::new();
+        for t in [7u64, 7, 7, 3, 3] {
+            w.push(SimTime::from_ns(t));
+        }
+        assert_eq!(drain(&mut w), [3, 3, 7, 7, 7]);
+    }
+
+    #[test]
+    fn stale_pushes_pop_immediately() {
+        let mut w = TimerWheel::new();
+        w.push(SimTime::from_ns(100));
+        assert_eq!(w.pop_earliest(), Some(SimTime::from_ns(100)));
+        // A heap would happily return an instant before the last pop;
+        // the sim core discards them by comparing against `now`. The
+        // wheel must hand them back the same way, not lose them.
+        w.push(SimTime::from_ns(5));
+        w.push(SimTime::from_ns(200));
+        assert_eq!(w.pop_earliest(), Some(SimTime::from_ns(5)));
+        assert_eq!(w.pop_earliest(), Some(SimTime::from_ns(200)));
+        assert_eq!(w.pop_earliest(), None);
+    }
+
+    #[test]
+    fn far_future_instants_survive_the_overflow_path() {
+        let mut w = TimerWheel::new();
+        let span = 1u64 << (LEAF_BITS + SLOT_BITS * LEVELS as u32);
+        let far = span * 3 + 12_345;
+        let farther = span * 7 + 1;
+        w.push(SimTime::from_ns(far));
+        w.push(SimTime::from_ns(farther));
+        w.push(SimTime::from_ns(17));
+        assert_eq!(drain(&mut w), [17, far, farther]);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut w = TimerWheel::new();
+        w.push(SimTime::from_ns(10));
+        w.push(SimTime::from_ns(30));
+        assert_eq!(w.pop_earliest(), Some(SimTime::from_ns(10)));
+        // New work scheduled relative to the popped instant, the sim
+        // core's steady-state pattern.
+        w.push(SimTime::from_ns(20));
+        w.push(SimTime::from_ns(25));
+        assert_eq!(w.pop_earliest(), Some(SimTime::from_ns(20)));
+        w.push(SimTime::from_ns(22));
+        assert_eq!(w.pop_earliest(), Some(SimTime::from_ns(22)));
+        assert_eq!(w.pop_earliest(), Some(SimTime::from_ns(25)));
+        assert_eq!(w.pop_earliest(), Some(SimTime::from_ns(30)));
+    }
+
+    /// The acceptance workload: 10k concurrent "flows", each popping
+    /// its next event and scheduling a successor — wheel and heap must
+    /// produce bit-identical pop sequences.
+    #[test]
+    fn differential_10k_flow_workload_matches_heap() {
+        let mut rng = StdRng::seed_from_u64(0xBA7C);
+        let mut wheel = TimerWheel::new();
+        let mut heap = HeapQueue::new();
+        for _ in 0..10_000 {
+            let t = rng.gen_range(0..1_000_000u64);
+            wheel.push(SimTime::from_ns(t));
+            heap.push(SimTime::from_ns(t));
+        }
+        // Steady state: every pop schedules 0–2 successors, biased so
+        // the population stays near 10k for a while then drains.
+        for step in 0..30_000u64 {
+            let wt = wheel.pop_earliest().expect("wheel drained early");
+            let ht = heap.pop_earliest().expect("heap drained early");
+            assert_eq!(wt, ht, "divergence at step {step}");
+            if step < 20_000 {
+                let succ = wt + SimDurationNs(rng.gen_range(1..10_000));
+                wheel.push(succ);
+                heap.push(succ);
+            }
+        }
+        loop {
+            let (wt, ht) = (wheel.pop_earliest(), heap.pop_earliest());
+            assert_eq!(wt, ht, "divergence while draining");
+            if wt.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Tiny helper so the differential test reads as time arithmetic.
+    #[allow(non_snake_case)]
+    fn SimDurationNs(ns: u64) -> crate::time::SimDuration {
+        crate::time::SimDuration::from_ns(ns)
+    }
+
+    proptest::proptest! {
+        /// Arbitrary instants, arbitrary interleaving of pushes and
+        /// pops: the wheel's output always equals the heap's.
+        #[test]
+        fn wheel_equals_heap_on_any_schedule(
+            ops in proptest::collection::vec((proptest::prelude::any::<bool>(), 0u64..200_000), 1..400)
+        ) {
+            let mut wheel = TimerWheel::new();
+            let mut heap = HeapQueue::new();
+            for (push, t) in ops {
+                if push {
+                    wheel.push(SimTime::from_ns(t));
+                    heap.push(SimTime::from_ns(t));
+                } else {
+                    proptest::prop_assert_eq!(wheel.pop_earliest(), heap.pop_earliest());
+                }
+                proptest::prop_assert_eq!(wheel.len(), heap.len());
+            }
+            loop {
+                let (w, h) = (wheel.pop_earliest(), heap.pop_earliest());
+                proptest::prop_assert_eq!(w, h);
+                if w.is_none() { break; }
+            }
+        }
+    }
+}

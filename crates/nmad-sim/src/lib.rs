@@ -12,6 +12,7 @@
 //! Layering:
 //!
 //! * [`time`] — integer-nanosecond virtual instants and durations;
+//! * [`events`] — hierarchical timer wheel backing the wakeup queue;
 //! * [`nic`] — calibrated per-technology NIC models;
 //! * [`host`] — CPU/memcpy model plus per-library software costs;
 //! * [`topo`] — node/rail identifiers, cluster configuration;
@@ -24,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod events;
 pub mod host;
 pub mod nic;
 pub mod runner;
@@ -33,6 +35,7 @@ pub mod topo;
 pub mod trace;
 pub mod world;
 
+pub use events::{HeapQueue, TimerWheel};
 pub use host::{HostModel, SoftwareCosts};
 pub use nic::NicModel;
 pub use runner::{run_until, shared_world, Deadlock, SharedWorld};

@@ -18,6 +18,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
+use crate::events::TimerWheel;
 use crate::host::HostModel;
 use crate::nic::NicModel;
 use crate::time::{SimDuration, SimTime};
@@ -105,7 +106,7 @@ pub struct SimWorld {
     rails: Vec<NicModel>,
     nodes: Vec<NodeState>,
     next_seq: u64,
-    wakeups: BinaryHeap<Reverse<SimTime>>,
+    wakeups: TimerWheel,
     stats: WorldStats,
     trace: Option<Trace>,
 }
@@ -128,7 +129,7 @@ impl SimWorld {
             rails: config.rails,
             nodes,
             next_seq: 0,
-            wakeups: BinaryHeap::new(),
+            wakeups: TimerWheel::new(),
             stats: WorldStats {
                 per_rail_bytes: vec![0; rail_count],
                 ..WorldStats::default()
@@ -195,7 +196,7 @@ impl SimWorld {
         let start = state.cpu_free_at.max(self.now);
         state.cpu_free_at = start + dur;
         let free_at = state.cpu_free_at;
-        self.wakeups.push(Reverse(free_at));
+        self.wakeups.push(free_at);
         self.stats.cpu_charges += 1;
         self.stats.cpu_time += dur;
         self.record(TraceEvent::CpuCharge { node, dur });
@@ -348,8 +349,8 @@ impl SimWorld {
                 }));
         }
 
-        self.wakeups.push(Reverse(tx_end));
-        self.wakeups.push(Reverse(deliver_at));
+        self.wakeups.push(tx_end);
+        self.wakeups.push(deliver_at);
         self.stats.packets_sent += 1;
         self.stats.bytes_sent += bytes as u64;
         self.stats.per_rail_bytes[rail.index()] += bytes as u64;
@@ -411,7 +412,7 @@ impl SimWorld {
     /// flush-on-threshold strategies).
     pub fn schedule_wakeup(&mut self, t: SimTime) {
         if t > self.now {
-            self.wakeups.push(Reverse(t));
+            self.wakeups.push(t);
         }
     }
 
@@ -420,7 +421,7 @@ impl SimWorld {
     /// (every queue drained — quiescence or deadlock, the caller knows
     /// which from its own state).
     pub fn advance(&mut self) -> Option<SimTime> {
-        while let Some(Reverse(t)) = self.wakeups.pop() {
+        while let Some(t) = self.wakeups.pop_earliest() {
             if t > self.now {
                 self.now = t;
                 return Some(t);

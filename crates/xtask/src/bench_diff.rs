@@ -1,0 +1,403 @@
+//! `cargo run -p xtask -- bench-diff`: gate the perf benchmarks
+//! against the committed baseline.
+//!
+//! Freshly generated reports (repo root by default) are compared with
+//! the blessed copies in `BENCH_baseline/`, metric by metric:
+//!
+//! * `BENCH_pingpong.json` — `one_way_us_median` per (bench, engine,
+//!   size) row, lower is better. Only the `sim` rows gate: simulated
+//!   time is deterministic, so any drift there is a real scheduling
+//!   change. The `mem`-driver rows are wall clock on a shared runner
+//!   (observed ±70% run to run) and are reported but never gated.
+//! * `BENCH_overlap.json` — `overlap_pct` per (mode, size) row,
+//!   higher is better. Rows whose baseline sits below the stable
+//!   floor (50%) are reported but never gated: marginal overlap is
+//!   scheduler luck — 47% and 0% were observed on consecutive runs of
+//!   the same build on one core — while saturated overlap (the 256K
+//!   threaded row pins at ~99.9%) is robust enough to defend.
+//! * `BENCH_batch.json` — the `speedups` ratios (batched vs single
+//!   submission, wheel vs heap), higher is better. The absolute
+//!   `ns_per_op` rows are printed for context but not gated: wall
+//!   clock ns depends on the machine, while the amortization *ratio*
+//!   is the property the batching work guarantees.
+//!
+//! A metric is a regression when it moves past the tolerance in its
+//! bad direction; a baseline metric missing from the current report
+//! is also a regression (coverage loss fails, silently dropping a
+//! bench must not pass CI). Exit code 1 on any regression or
+//! malformed/missing report, with a delta table either way.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use crate::json::{parse, Json};
+
+/// Which direction is an improvement for a metric.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Better {
+    Lower,
+    Higher,
+    /// Context only: printed, never gated.
+    Info,
+}
+
+struct Metric {
+    key: String,
+    baseline: f64,
+    current: Option<f64>,
+    better: Better,
+    /// Gating suppressed (below the noise floor), with the reason.
+    skipped: Option<&'static str>,
+}
+
+pub fn bench_diff(args: &[String]) -> ExitCode {
+    let mut tolerance = 0.20f64;
+    let mut baseline_dir = "BENCH_baseline".to_string();
+    let mut current_dir = ".".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tolerance" => match it.next().map(|v| parse_tolerance(v)) {
+                Some(Ok(t)) => tolerance = t,
+                Some(Err(e)) => {
+                    eprintln!("bench-diff: {e}");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("bench-diff: --tolerance needs a value (e.g. 20%)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--baseline" => match it.next() {
+                Some(dir) => baseline_dir = dir.clone(),
+                None => {
+                    eprintln!("bench-diff: --baseline needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--current" => match it.next() {
+                Some(dir) => current_dir = dir.clone(),
+                None => {
+                    eprintln!("bench-diff: --current needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("bench-diff: unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut metrics = Vec::new();
+    let mut broken = false;
+    for (file, extract) in [
+        (
+            "BENCH_pingpong.json",
+            extract_pingpong as fn(&Json, &Json) -> Vec<Metric>,
+        ),
+        ("BENCH_overlap.json", extract_overlap as _),
+        ("BENCH_batch.json", extract_batch as _),
+    ] {
+        let base_path = Path::new(&baseline_dir).join(file);
+        let cur_path = Path::new(&current_dir).join(file);
+        match (load(&base_path), load(&cur_path)) {
+            (Ok(base), Ok(cur)) => {
+                let extracted = extract(&base, &cur);
+                if extracted.is_empty() {
+                    eprintln!("bench-diff: {file}: no comparable metrics (malformed report?)");
+                    broken = true;
+                }
+                metrics.extend(extracted);
+            }
+            (Err(e), _) => {
+                eprintln!("bench-diff: {}: {e}", base_path.display());
+                broken = true;
+            }
+            (_, Err(e)) => {
+                eprintln!("bench-diff: {}: {e}", cur_path.display());
+                broken = true;
+            }
+        }
+    }
+
+    let mut regressions = 0usize;
+    println!(
+        "\n## bench-diff — current vs {baseline_dir} (tolerance {:.0}%)\n",
+        tolerance * 100.0
+    );
+    println!("| metric | baseline | current | delta | status |");
+    println!("|--------|----------|---------|-------|--------|");
+    for m in &metrics {
+        let (delta, status) = match m.current {
+            None => (String::from("—"), "REGRESSION (missing)"),
+            Some(cur) => {
+                let delta_pct = if m.baseline.abs() > f64::EPSILON {
+                    (cur - m.baseline) / m.baseline * 100.0
+                } else {
+                    0.0
+                };
+                let status = match (m.better, m.skipped) {
+                    (Better::Info, _) => "info",
+                    (_, Some(reason)) => reason,
+                    (Better::Lower, None) if cur > m.baseline * (1.0 + tolerance) => "REGRESSION",
+                    (Better::Higher, None) if cur < m.baseline * (1.0 - tolerance) => "REGRESSION",
+                    _ => "ok",
+                };
+                (format!("{delta_pct:+.1}%"), status)
+            }
+        };
+        if status.starts_with("REGRESSION") {
+            regressions += 1;
+        }
+        println!(
+            "| {} | {:.3} | {} | {} | {} |",
+            m.key,
+            m.baseline,
+            m.current.map_or("—".into(), |c| format!("{c:.3}")),
+            delta,
+            status
+        );
+    }
+    println!(
+        "\n{} metric(s), {} regression(s){}",
+        metrics.len(),
+        regressions,
+        if broken { ", broken report(s)" } else { "" }
+    );
+    if regressions > 0 || broken {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn parse_tolerance(text: &str) -> Result<f64, String> {
+    let trimmed = text.strip_suffix('%').unwrap_or(text);
+    let value: f64 = trimmed
+        .parse()
+        .map_err(|_| format!("bad tolerance {text:?} (want e.g. 20%)"))?;
+    if !(0.0..=100.0).contains(&value) {
+        return Err(format!("tolerance {value} out of range 0..=100"));
+    }
+    Ok(value / 100.0)
+}
+
+fn load(path: &Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    parse(&text).map_err(|e| format!("invalid JSON: {e}"))
+}
+
+/// Float lookup helpers over the row arrays. Rows are matched by their
+/// identity fields, not array position, so reordering a report never
+/// produces a bogus diff.
+fn row_metric(doc: &Json, section: &str, ident: &[&str], metric: &str) -> Vec<(String, f64)> {
+    let Some(rows) = doc.get(section).and_then(Json::as_arr) else {
+        return Vec::new();
+    };
+    rows.iter()
+        .filter_map(|row| {
+            let key = ident
+                .iter()
+                .map(|field| match row.get(field) {
+                    Some(Json::Str(s)) => s.clone(),
+                    Some(Json::Num(n)) => format!("{n}"),
+                    _ => String::from("?"),
+                })
+                .collect::<Vec<_>>()
+                .join("/");
+            row.get(metric)
+                .and_then(Json::as_f64)
+                .map(|v| (format!("{section}:{key}:{metric}"), v))
+        })
+        .collect()
+}
+
+fn pair(
+    base: Vec<(String, f64)>,
+    cur: Vec<(String, f64)>,
+    better: Better,
+    skip: impl Fn(&str, f64) -> Option<&'static str>,
+) -> Vec<Metric> {
+    base.into_iter()
+        .map(|(key, baseline)| Metric {
+            current: cur.iter().find(|(k, _)| *k == key).map(|(_, v)| *v),
+            skipped: skip(&key, baseline),
+            key,
+            baseline,
+            better,
+        })
+        .collect()
+}
+
+fn extract_pingpong(base: &Json, cur: &Json) -> Vec<Metric> {
+    pair(
+        row_metric(
+            base,
+            "benchmarks",
+            &["bench", "engine", "size"],
+            "one_way_us_median",
+        ),
+        row_metric(
+            cur,
+            "benchmarks",
+            &["bench", "engine", "size"],
+            "one_way_us_median",
+        ),
+        Better::Lower,
+        // Simulated-time rows are deterministic and gate strictly; the
+        // mem-driver rows are wall clock and only informational.
+        |key, _| (!key.contains("/sim")).then_some("skipped (wall-clock)"),
+    )
+}
+
+/// Baseline overlap below this is scheduler luck, not a property of
+/// the code (see the module docs), so such rows never gate.
+const OVERLAP_STABLE_FLOOR: f64 = 50.0;
+
+fn extract_overlap(base: &Json, cur: &Json) -> Vec<Metric> {
+    pair(
+        row_metric(base, "overlap", &["mode", "size"], "overlap_pct"),
+        row_metric(cur, "overlap", &["mode", "size"], "overlap_pct"),
+        Better::Higher,
+        |_, baseline| (baseline < OVERLAP_STABLE_FLOOR).then_some("skipped (below stable floor)"),
+    )
+}
+
+fn extract_batch(base: &Json, cur: &Json) -> Vec<Metric> {
+    let speedups = |doc: &Json| -> Vec<(String, f64)> {
+        doc.get("speedups")
+            .and_then(Json::members)
+            .map(|members| {
+                members
+                    .iter()
+                    .filter_map(|(k, v)| v.as_f64().map(|f| (format!("speedups:{k}"), f)))
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    // The send-burst speedup is dominated by how the OS interleaves
+    // the two engines' progression threads with the submitting thread
+    // — observed 5x to 30x run to run on the same build — so it is
+    // context, not a gate. The recv-burst and wheel ratios measure
+    // machinery the scheduler barely touches and gate normally.
+    let mut out = pair(speedups(base), speedups(cur), Better::Higher, |key, _| {
+        key.contains("send_")
+            .then_some("skipped (interference-bound)")
+    });
+    out.extend(pair(
+        row_metric(base, "batch", &["bench", "variant"], "ns_per_op"),
+        row_metric(cur, "batch", &["bench", "variant"], "ns_per_op"),
+        Better::Info,
+        |_, _| None,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE_BATCH: &str = r#"{"batch":[
+        {"bench":"submit_overhead","variant":"batch32","ns_per_op":20.0,"ops":256}],
+        "speedups":{"submit_batch32_vs_batch1":4.0,"wheel_vs_heap_10k_flows":7.0}}"#;
+
+    fn metrics_for(base: &str, cur: &str) -> Vec<Metric> {
+        extract_batch(&parse(base).unwrap(), &parse(cur).unwrap())
+    }
+
+    fn regressed(m: &Metric, tolerance: f64) -> bool {
+        match (m.better, m.skipped, m.current) {
+            (Better::Info, _, _) => false,
+            (_, Some(_), _) => false,
+            (_, _, None) => true,
+            (Better::Lower, None, Some(c)) => c > m.baseline * (1.0 + tolerance),
+            (Better::Higher, None, Some(c)) => c < m.baseline * (1.0 - tolerance),
+        }
+    }
+
+    #[test]
+    fn tolerance_accepts_percent_and_plain_forms() {
+        assert_eq!(parse_tolerance("20%").unwrap(), 0.20);
+        assert_eq!(parse_tolerance("5").unwrap(), 0.05);
+        assert!(parse_tolerance("abc").is_err());
+        assert!(parse_tolerance("150%").is_err());
+    }
+
+    #[test]
+    fn a_2x_speedup_drop_is_a_regression_but_small_drift_is_not() {
+        let halved = BASE_BATCH.replace("4.0", "2.0");
+        let m = metrics_for(BASE_BATCH, &halved);
+        let slow = m.iter().find(|m| m.key.contains("submit")).unwrap();
+        assert!(regressed(slow, 0.20), "2x slowdown must gate");
+        let drift = BASE_BATCH.replace("4.0", "3.6");
+        let m = metrics_for(BASE_BATCH, &drift);
+        let ok = m.iter().find(|m| m.key.contains("submit")).unwrap();
+        assert!(!regressed(ok, 0.20), "10% drift is within tolerance");
+    }
+
+    #[test]
+    fn a_missing_metric_is_a_regression() {
+        let gone = r#"{"batch":[],"speedups":{"wheel_vs_heap_10k_flows":7.0}}"#;
+        let m = metrics_for(BASE_BATCH, gone);
+        let lost = m.iter().find(|m| m.key.contains("submit")).unwrap();
+        assert!(lost.current.is_none());
+        assert!(regressed(lost, 0.20));
+    }
+
+    #[test]
+    fn ns_per_op_rows_are_context_not_gates() {
+        let slower = BASE_BATCH.replace("20.0", "200.0");
+        let m = metrics_for(BASE_BATCH, &slower);
+        let info = m.iter().find(|m| m.key.contains("ns_per_op")).unwrap();
+        assert_eq!(info.better, Better::Info);
+        assert!(!regressed(info, 0.20));
+    }
+
+    #[test]
+    fn overlap_below_stable_floor_never_gates() {
+        let base = r#"{"overlap":[
+            {"mode":"inline","size":16384,"overlap_pct":0.6},
+            {"mode":"threaded","size":65536,"overlap_pct":60.0}]}"#;
+        let cur = r#"{"overlap":[
+            {"mode":"inline","size":16384,"overlap_pct":0.0},
+            {"mode":"threaded","size":65536,"overlap_pct":10.0}]}"#;
+        let m = extract_overlap(&parse(base).unwrap(), &parse(cur).unwrap());
+        let noisy = m.iter().find(|m| m.key.contains("inline")).unwrap();
+        assert!(noisy.skipped.is_some());
+        assert!(!regressed(noisy, 0.20));
+        let real = m.iter().find(|m| m.key.contains("threaded")).unwrap();
+        assert!(regressed(real, 0.20), "60% -> 10% overlap must gate");
+    }
+
+    #[test]
+    fn pingpong_latency_gates_in_the_lower_is_better_direction() {
+        let base = r#"{"benchmarks":[
+            {"bench":"pp/sim/MX","engine":"nmad","size":4096,"one_way_us_median":10.0}],"verify":{}}"#;
+        let slower = base.replace("10.0", "25.0");
+        let faster = base.replace("10.0", "5.0");
+        let m = extract_pingpong(&parse(base).unwrap(), &parse(&slower).unwrap());
+        assert!(regressed(&m[0], 0.20));
+        let m = extract_pingpong(&parse(base).unwrap(), &parse(&faster).unwrap());
+        assert!(!regressed(&m[0], 0.20));
+    }
+
+    #[test]
+    fn wall_clock_pingpong_rows_never_gate() {
+        let base = r#"{"benchmarks":[
+            {"bench":"pp/mem","engine":"nmad","size":4096,"one_way_us_median":10.0}],"verify":{}}"#;
+        let slower = base.replace("10.0", "25.0");
+        let m = extract_pingpong(&parse(base).unwrap(), &parse(&slower).unwrap());
+        assert_eq!(m[0].skipped, Some("skipped (wall-clock)"));
+        assert!(!regressed(&m[0], 0.20));
+    }
+
+    #[test]
+    fn interference_bound_send_speedup_never_gates() {
+        let base = r#"{"batch":[],"speedups":{"send_batch32_vs_batch1":30.0}}"#;
+        let cratered = base.replace("30.0", "5.0");
+        let m = metrics_for(base, &cratered);
+        assert!(m[0].skipped.is_some());
+        assert!(!regressed(&m[0], 0.20));
+    }
+}

@@ -1,20 +1,26 @@
 //! Workspace automation tasks, invoked as `cargo run -p xtask -- <task>`.
 //!
-//! The only task today is `lint`: walk every Rust source in the
-//! workspace and enforce the repo invariants in
-//! [`nmad_verify::lint::RULES`]. Exit code 0 when clean, 1 with one
-//! line per violation otherwise (`--json` for machine-readable
-//! output).
+//! * `lint` — walk every Rust source in the workspace and enforce the
+//!   repo invariants in [`nmad_verify::lint::RULES`]. Exit code 0 when
+//!   clean, 1 with one line per violation otherwise (`--json` for
+//!   machine-readable output).
+//! * `bench-diff` — compare freshly generated `BENCH_*.json` reports
+//!   against the committed `BENCH_baseline/`; exit 1 on any metric
+//!   regressing past the tolerance (see [`bench_diff`]).
 
 #![forbid(unsafe_code)]
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+mod bench_diff;
+mod json;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(args.iter().any(|a| a == "--json")),
+        Some("bench-diff") => bench_diff::bench_diff(&args[1..]),
         Some(other) => {
             eprintln!("unknown task `{other}`");
             usage();
@@ -29,6 +35,10 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!("usage: cargo run -p xtask -- lint [--json]");
+    eprintln!(
+        "       cargo run -p xtask -- bench-diff [--tolerance 20%] \
+         [--baseline BENCH_baseline] [--current .]"
+    );
 }
 
 /// Workspace root: xtask lives at <root>/crates/xtask.

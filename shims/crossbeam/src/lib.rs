@@ -138,6 +138,7 @@ pub mod queue {
         }
 
         /// Attempts to enqueue `value`; a full queue returns it back.
+        #[inline]
         pub fn push(&self, value: T) -> Result<(), T> {
             let mut tail = self.tail.load(Ordering::Relaxed);
             loop {
@@ -176,6 +177,7 @@ pub mod queue {
         }
 
         /// Attempts to dequeue the oldest value.
+        #[inline]
         pub fn pop(&self) -> Option<T> {
             let mut head = self.head.load(Ordering::Relaxed);
             loop {
