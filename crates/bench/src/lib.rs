@@ -23,7 +23,8 @@ pub use pingpong::{
 pub use plot::{LogLogChart, Series};
 pub use report::{
     bench_json_arg, median, BatchReport, BatchRow, BenchReport, BenchRow, OverlapReport,
-    OverlapRow, BENCH_BATCH_JSON_PATH, BENCH_JSON_PATH, BENCH_OVERLAP_JSON_PATH,
+    OverlapRow, ShardReport, ShardRow, BENCH_BATCH_JSON_PATH, BENCH_JSON_PATH,
+    BENCH_OVERLAP_JSON_PATH, BENCH_SHARDS_JSON_PATH,
 };
 pub use table::Table;
 pub use workload::{generate, payload_for, WorkItem, WorkloadSpec};

@@ -402,6 +402,102 @@ impl BatchReport {
     }
 }
 
+/// Default output path of the shard-scaling benchmark (`shards`
+/// binary); `--json PATH` overrides it.
+pub const BENCH_SHARDS_JSON_PATH: &str = "BENCH_shards.json";
+
+/// One point of the shard-scaling curve: the aggregate throughput of
+/// one shard count over as many simulated rails.
+#[derive(Clone, Debug)]
+pub struct ShardRow {
+    /// Progression shards (== rails in this study).
+    pub shards: usize,
+    /// Simulated rails per node.
+    pub rails: usize,
+    /// Distinct (tag) flows hashed across the shards.
+    pub flows: usize,
+    /// Payload bytes moved node 0 → node 1.
+    pub total_bytes: u64,
+    /// Virtual time to move them, µs.
+    pub virtual_us: f64,
+    /// Aggregate throughput, MB/s of virtual time.
+    pub throughput_mbs: f64,
+}
+
+/// Accumulator for [`ShardRow`]s plus named scaling ratios derived from
+/// them, rendered as one JSON document (`BENCH_shards.json`).
+#[derive(Default)]
+pub struct ShardReport {
+    rows: Mutex<Vec<ShardRow>>,
+    scaling: Mutex<Vec<(String, f64)>>,
+}
+
+impl ShardReport {
+    /// Fresh.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one shard count's measurement.
+    pub fn record(&self, row: ShardRow) {
+        self.rows.lock().expect("report poisoned").push(row);
+    }
+
+    /// Records a named scaling ratio (n-shard throughput / 1-shard
+    /// throughput — higher is better, 1.0 is parity).
+    pub fn record_scaling(&self, name: &str, ratio: f64) {
+        self.scaling
+            .lock()
+            .expect("report poisoned")
+            .push((name.to_string(), ratio));
+    }
+
+    /// Rows recorded so far.
+    pub fn len(&self) -> usize {
+        self.rows.lock().expect("report poisoned").len()
+    }
+
+    /// No rows yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The whole report as one JSON document.
+    pub fn to_json(&self) -> String {
+        let rows = self.rows.lock().expect("report poisoned");
+        let mut out = String::from("{\"shards\":[");
+        for (i, r) in rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"shards\":{},\"rails\":{},\"flows\":{},\
+                 \"total_bytes\":{},\"virtual_us\":{:.2},\
+                 \"throughput_mbs\":{:.2}}}",
+                r.shards, r.rails, r.flows, r.total_bytes, r.virtual_us, r.throughput_mbs,
+            ));
+        }
+        out.push_str("],\"scaling\":{");
+        let scaling = self.scaling.lock().expect("report poisoned");
+        for (i, (name, ratio)) in scaling.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{:.3}", escape(name), ratio));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Writes the report; failures are printed, never propagated.
+    pub fn write(&self, path: &str) {
+        match std::fs::write(path, self.to_json()) {
+            Ok(()) => eprintln!("wrote {} shard rows to {path}", self.len()),
+            Err(e) => eprintln!("could not write shard report {path}: {e}"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -434,6 +530,26 @@ mod tests {
             json.contains("\"submit_batch32_vs_batch1\":3.700"),
             "{json}"
         );
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn shard_report_renders_rows_and_scaling_as_json() {
+        let report = ShardReport::new();
+        assert!(report.is_empty());
+        report.record(ShardRow {
+            shards: 4,
+            rails: 4,
+            flows: 64,
+            total_bytes: 16 << 20,
+            virtual_us: 4200.5,
+            throughput_mbs: 3993.81,
+        });
+        report.record_scaling("scale_4x_over_1x", 3.8);
+        let json = report.to_json();
+        assert!(json.contains("\"shards\":4"));
+        assert!(json.contains("\"throughput_mbs\":3993.81"), "{json}");
+        assert!(json.contains("\"scale_4x_over_1x\":3.800"), "{json}");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

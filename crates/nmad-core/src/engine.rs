@@ -80,8 +80,69 @@ pub enum ProgressMode {
     Threaded,
 }
 
+/// How a sharded runtime assigns a flow to a progression shard.
+///
+/// Both routing policies hash the **unordered node pair** of a flow,
+/// never one endpoint alone: the two peers of a link then agree on the
+/// owning shard index, and because rails are partitioned identically
+/// on every node (shard `s` owns rails `{r : r % shards == s}`), a
+/// frame transmitted on shard `s`'s rails arrives on the receiving
+/// node's shard `s` — the owner of every flow it carries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ShardPolicy {
+    /// All traffic of a node pair rides one shard (and therefore one
+    /// rail group). Cheapest routing; parallelism comes from talking
+    /// to many peers.
+    PerRail,
+    /// Flows of one node pair spread over shards by tag, so even a
+    /// two-node workload with several logical flows exercises every
+    /// shard. The default.
+    #[default]
+    HashByDest,
+}
+
+impl ShardPolicy {
+    /// The shard owning flow `(a, b, tag)` among `shards` shards.
+    /// Symmetric in `a`/`b` and deterministic across processes.
+    pub fn route(self, shards: usize, a: NodeId, b: NodeId, tag: Tag) -> usize {
+        if shards <= 1 {
+            return 0;
+        }
+        let (lo, hi) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        let mut h = (u64::from(lo) << 32) | u64::from(hi);
+        if self == ShardPolicy::HashByDest {
+            h ^= u64::from(tag.0).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+        // splitmix64 finalizer — deterministic, no global state.
+        h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        (h % shards as u64) as usize
+    }
+}
+
+/// A shard engine's identity within a sharded runtime: which shard it
+/// is, how many exist, and the routing policy every participant uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardRoute {
+    /// This engine's shard index.
+    pub shard: usize,
+    /// Total shard count.
+    pub shards: usize,
+    /// The flow-routing policy.
+    pub policy: ShardPolicy,
+}
+
+impl ShardRoute {
+    /// The shard owning the flow between this node and `peer` on `tag`.
+    pub fn owner(&self, node: NodeId, peer: NodeId, tag: Tag) -> usize {
+        self.policy.route(self.shards, node, peer, tag)
+    }
+}
+
 /// Engine driving configuration — progression mode plus the knobs of
-/// the threaded mode's submission ring and idle parking.
+/// the threaded mode's submission rings, sharding and idle parking.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Driving mode. Inline by default.
@@ -95,6 +156,18 @@ pub struct EngineConfig {
     /// How long the progression thread parks when the engine is idle
     /// and the ring is empty before re-checking.
     pub idle_park: std::time::Duration,
+    /// Progression shards (threaded mode). `1` is the single-engine
+    /// monolith; `n > 1` splits the engine into `n` shards, each with
+    /// its own submission ring, window slice and rail subset. Clamped
+    /// to the rail count at launch.
+    pub shards: usize,
+    /// How flows map to shards when `shards > 1`.
+    pub shard_policy: ShardPolicy,
+    /// Work stealing: a shard whose window holds at least this many
+    /// segments is a donation candidate for idle shards.
+    pub steal_depth: usize,
+    /// Work stealing: at most this many eager segments move per steal.
+    pub steal_batch: usize,
 }
 
 impl Default for EngineConfig {
@@ -104,6 +177,10 @@ impl Default for EngineConfig {
             submit_ring_capacity: 1024,
             submit_batch: 256,
             idle_park: std::time::Duration::from_micros(200),
+            shards: 1,
+            shard_policy: ShardPolicy::default(),
+            steal_depth: 16,
+            steal_batch: 8,
         }
     }
 }
@@ -114,6 +191,15 @@ impl EngineConfig {
         EngineConfig {
             mode: ProgressMode::Threaded,
             ..Self::default()
+        }
+    }
+
+    /// Threaded mode with `shards` progression shards.
+    pub fn sharded(shards: usize) -> Self {
+        assert!(shards > 0, "a sharded runtime needs at least one shard");
+        EngineConfig {
+            shards,
+            ..Self::threaded()
         }
     }
 }
@@ -193,6 +279,22 @@ pub struct EngineStats {
     pub credit_frames: u64,
 }
 
+impl EngineStats {
+    /// Adds `other`'s counters into `self` — aggregation across the
+    /// shard engines of a sharded runtime.
+    pub fn absorb(&mut self, other: &EngineStats) {
+        self.frames_sent += other.frames_sent;
+        self.frames_received += other.frames_received;
+        self.data_entries += other.data_entries;
+        self.rts_entries += other.rts_entries;
+        self.cts_entries += other.cts_entries;
+        self.chunk_entries += other.chunk_entries;
+        self.staging_copies += other.staging_copies;
+        self.credit_stalls += other.credit_stalls;
+        self.credit_frames += other.credit_frames;
+    }
+}
+
 type RdvKey = (NodeId, Tag, SeqNo);
 
 enum TxDone {
@@ -200,6 +302,10 @@ enum TxDone {
     Unit(SendReqId),
     /// `bytes` of a rendezvous segment left the host.
     RdvBytes { key: RdvKey, bytes: usize },
+    /// A donated segment of another shard's request left the host; the
+    /// completion must travel back to the victim shard that owns the
+    /// request (this engine has no record of it).
+    Foreign { req: SendReqId, victim: usize },
 }
 
 struct RdvTx {
@@ -264,6 +370,11 @@ struct InflightFrame {
     /// (gather DMA pins them until completion); recycled through the
     /// pool when `test_send` reports done.
     bufs: Vec<Vec<u8>>,
+    /// `Some(victim)` when this is a spool frame carrying another
+    /// shard's donated segment: a rail fault returns the segment to
+    /// the spool (never to this engine's window, which does not own
+    /// the flow).
+    foreign: Option<usize>,
 }
 
 struct NicState {
@@ -304,6 +415,20 @@ pub struct NmadEngine {
     credit_limit: Option<usize>,
     credits: HashMap<NodeId, usize>,
     pending_credit_returns: HashMap<NodeId, u32>,
+    /// Shard identity when this engine is one shard of a sharded
+    /// runtime; `None` for a monolithic engine.
+    route: Option<ShardRoute>,
+    /// Received frames owned by another shard (stolen traffic arrives
+    /// on the thief's rails); the runtime forwards them to the owner's
+    /// [`NmadEngine::inject_frame`].
+    foreign_rx: Vec<(usize, NodeId, Bytes, bool)>,
+    /// Donated eager segments accepted from other shards, each tagged
+    /// with the victim shard that owns the request. Transmitted as
+    /// standalone spool frames by the refill loop.
+    spool: VecDeque<(PackWrapper, usize)>,
+    /// Completions of transmitted spool frames, awaiting forwarding to
+    /// their victim shard.
+    spool_done: Vec<(SendReqId, usize)>,
 }
 
 impl NmadEngine {
@@ -353,6 +478,10 @@ impl NmadEngine {
             credit_limit: None,
             credits: HashMap::new(),
             pending_credit_returns: HashMap::new(),
+            route: None,
+            foreign_rx: Vec::new(),
+            spool: VecDeque::new(),
+            spool_done: Vec::new(),
         }
     }
 
@@ -378,6 +507,13 @@ impl NmadEngine {
     /// Node the event belongs to.
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// Number of rails (drivers) this engine owns. A sharded launch
+    /// clamps its shard count here: a shard without a rail could make
+    /// no progress.
+    pub fn rail_count(&self) -> usize {
+        self.nics.len()
     }
 
     /// Strategy name.
@@ -600,11 +736,41 @@ impl NmadEngine {
         }
     }
 
+    /// The flow tag a frame should be routed by: the first entry that
+    /// belongs to a flow. `None` for pure credit-return frames, which
+    /// are per-rail-group (not per-flow) and always arrive at the
+    /// shard that owes/owns them.
+    fn frame_flow_tag(entries: &[Entry]) -> Option<Tag> {
+        entries.iter().find_map(|e| match e {
+            Entry::Data { tag, .. }
+            | Entry::Rts { tag, .. }
+            | Entry::Cts { tag, .. }
+            | Entry::RdvData { tag, .. } => Some(*tag),
+            Entry::Credit { .. } => None,
+        })
+    }
+
     fn handle_frame(&mut self, src: NodeId, frame: &Bytes, rx_zero_copy: bool) -> NetResult<()> {
-        self.stats.frames_received += 1;
         let entries = parse_frame(frame).map_err(|e| {
             nmad_net::NetError::Protocol(format!("malformed frame from {src}: {e}"))
         })?;
+        // Sharded runtime: a frame for a flow another shard owns (a
+        // spool frame a thief transmitted on its own rails) is handed
+        // to the runtime untouched; it reaches the owner through
+        // [`NmadEngine::inject_frame`].
+        if let Some(route) = self.route {
+            if route.shards > 1 {
+                if let Some(tag) = Self::frame_flow_tag(&entries) {
+                    let owner = route.owner(self.node, src, tag);
+                    if owner != route.shard {
+                        self.foreign_rx
+                            .push((owner, src, frame.clone(), rx_zero_copy));
+                        return Ok(());
+                    }
+                }
+            }
+        }
+        self.stats.frames_received += 1;
         self.meter
             .charge_ns(self.costs.per_entry_ns * entries.len() as u64);
         let had_data = entries.iter().any(|e| matches!(e, Entry::Data { .. }));
@@ -687,6 +853,11 @@ impl NmadEngine {
         for done in dones {
             match done {
                 TxDone::Unit(req) => self.complete_send_part(req),
+                TxDone::Foreign { req, victim } => {
+                    // Not our request: park the completion for the
+                    // runtime to forward to the owning (victim) shard.
+                    self.spool_done.push((req, victim));
+                }
                 TxDone::RdvBytes { key, bytes } => {
                     let finished = {
                         let tx = self
@@ -863,9 +1034,60 @@ impl NmadEngine {
             dones,
             plan,
             bufs,
+            foreign: None,
         });
         self.stats.frames_sent += 1;
         Ok(())
+    }
+
+    /// Posts one donated segment as a standalone spool frame: a single
+    /// data entry, no credit piggyback and no credit decrement (the
+    /// victim shard paid the credit at donation time). Returns `false`
+    /// when the NIC refused (marked dead, segment back on the spool).
+    fn post_spool_frame(
+        &mut self,
+        nic_idx: usize,
+        wrapper: PackWrapper,
+        victim: usize,
+    ) -> NetResult<bool> {
+        let mut fe = FrameEncoder::with_buffer(self.pool.take(&mut self.metrics));
+        fe.push_data(wrapper.tag, wrapper.seq, &wrapper.data);
+        self.meter
+            .charge_ns(self.costs.scheduler_inspect_ns + self.costs.per_entry_ns);
+        let iov = fe.finish();
+        let posted = self.nics[nic_idx]
+            .driver
+            .post_send(wrapper.dst, &iov.segments());
+        let meta = iov.into_meta();
+        let handle = match posted {
+            Ok(handle) => handle,
+            Err(nmad_net::NetError::Closed) => {
+                self.pool.put(meta);
+                self.nics[nic_idx].dead = true;
+                self.metrics.rail_faults += 1;
+                self.spool.push_front((wrapper, victim));
+                self.reclaim_rail(nic_idx);
+                return Ok(false);
+            }
+            Err(e) => {
+                self.pool.put(meta);
+                return Err(e);
+            }
+        };
+        let dst = wrapper.dst;
+        let req = wrapper.req;
+        let mut plan = FramePlan::new(dst);
+        plan.entries.push(PlanEntry::Data(wrapper));
+        self.nics[nic_idx].inflight.push_back(InflightFrame {
+            handle,
+            dones: vec![TxDone::Foreign { req, victim }],
+            plan,
+            bufs: vec![meta],
+            foreign: Some(victim),
+        });
+        self.stats.frames_sent += 1;
+        self.stats.data_entries += 1;
+        Ok(true)
     }
 
     /// Returns a plan's work to the window after a NIC failure, in an
@@ -892,7 +1114,18 @@ impl NmadEngine {
                 self.pool.put(buf);
             }
             self.metrics.requeued_entries += frame.plan.entries.len() as u64;
-            self.requeue_plan(frame.plan);
+            if let Some(victim) = frame.foreign {
+                // A stranded spool frame goes back to the spool, never
+                // into this engine's window — the flow belongs to the
+                // victim shard.
+                for entry in frame.plan.entries {
+                    if let PlanEntry::Data(w) = entry {
+                        self.spool.push_front((w, victim));
+                    }
+                }
+            } else {
+                self.requeue_plan(frame.plan);
+            }
         }
         self.metrics.requeued_entries += self.window.reclaim_dedicated(nic_idx) as u64;
         self.strategy.on_rail_fault(nic_idx);
@@ -955,6 +1188,19 @@ impl NmadEngine {
             return Err(nmad_net::NetError::Closed);
         }
         for i in 0..self.nics.len() {
+            // Donated segments first: the whole point of a steal is to
+            // put this shard's idle NICs to work on them. The spool
+            // check leads the chain: it is empty outside a steal, and
+            // `tx_idle` is a driver call (a fabric lock on mem) the
+            // common pump should not pay.
+            while !self.spool.is_empty() && !self.nics[i].dead && self.nics[i].driver.tx_idle() {
+                let (wrapper, victim) = self.spool.pop_front().expect("checked");
+                if self.post_spool_frame(i, wrapper, victim)? {
+                    any = true;
+                } else {
+                    break;
+                }
+            }
             loop {
                 if self.nics[i].dead
                     || !self.nics[i].driver.tx_idle()
@@ -1011,6 +1257,7 @@ impl NmadEngine {
                         dones: Vec::new(),
                         plan: FramePlan::new(dst),
                         bufs: vec![iov.into_meta()],
+                        foreign: None,
                     });
                     self.stats.frames_sent += 1;
                     self.stats.credit_frames += 1;
@@ -1080,6 +1327,9 @@ impl NmadEngine {
             || !self.rdv_tx.is_empty()
             || self.nics.iter().any(|n| !n.inflight.is_empty())
             || self.pending_credit_returns.values().any(|&c| c > 0)
+            || !self.spool.is_empty()
+            || !self.spool_done.is_empty()
+            || !self.foreign_rx.is_empty()
     }
 
     /// True when the transmit side is fully drained: no pending sends,
@@ -1094,6 +1344,8 @@ impl NmadEngine {
             && self.rdv_wait_cts.is_empty()
             && self.rdv_tx.is_empty()
             && self.nics.iter().all(|n| n.inflight.is_empty())
+            && self.spool.is_empty()
+            && self.spool_done.is_empty()
     }
 
     /// True when the optimization window's per-destination index
@@ -1114,6 +1366,327 @@ impl NmadEngine {
     pub(crate) fn set_req_watermark(&mut self, next: u64) {
         debug_assert!(next >= self.next_req, "request ids must never reuse");
         self.next_req = next;
+    }
+
+    // --- sharded runtime support (see `crate::threaded` and
+    // --- `crate::steal`) ---
+
+    /// This engine's shard identity, when it is one shard of a sharded
+    /// runtime.
+    pub fn shard_route(&self) -> Option<ShardRoute> {
+        self.route
+    }
+
+    /// Donated eager segments accepted from other shards, not yet
+    /// transmitted. Exposed for the runtime's steal bookkeeping.
+    pub fn spool_depth(&self) -> usize {
+        self.spool.len()
+    }
+
+    /// How many eager segments this shard could donate right now: the
+    /// common-list backlog (dedicated and rendezvous work never moves
+    /// — it is rail- or handshake-bound).
+    pub fn donation_backlog(&self) -> usize {
+        self.window.common_ref().len()
+    }
+
+    /// Takes up to `max` eager segments off the *back* of the common
+    /// list for donation to an idle shard. Only small segments move
+    /// (≤ [`NmadEngine::MAX_DONATION_BYTES`]); when flow control is
+    /// on, the victim pays one eager credit per donated segment here,
+    /// and the thief's spool transmit pays none — exactly one debit
+    /// per data frame on the wire, as in the monolith.
+    pub fn donate_eager(&mut self, max: usize) -> Vec<PackWrapper> {
+        let mut out = Vec::new();
+        while out.len() < max {
+            let Some(back) = self.window.common_back() else {
+                break;
+            };
+            if back.len() > Self::MAX_DONATION_BYTES {
+                break;
+            }
+            let dst = back.dst;
+            if self.credit_limit.is_some() && self.credits_for(dst) == 0 {
+                break;
+            }
+            let wrapper = self.window.pop_common_back().expect("just peeked");
+            if let Some(limit) = self.credit_limit {
+                let c = self.credits.entry(dst).or_insert(limit);
+                *c = c.saturating_sub(1);
+            }
+            out.push(wrapper);
+        }
+        out
+    }
+
+    /// Largest segment the steal path will donate. Bounds spool frames
+    /// well under any MTU and keeps steals cheap to undo.
+    pub const MAX_DONATION_BYTES: usize = 16 * 1024;
+
+    /// Returns a donated segment this shard could not place (the thief
+    /// departed): the segment re-enters the window front and the
+    /// credit paid at donation time is refunded.
+    pub fn undonate(&mut self, wrapper: PackWrapper) {
+        if let Some(limit) = self.credit_limit {
+            let c = self.credits.entry(wrapper.dst).or_insert(limit);
+            *c = (*c + 1).min(limit);
+        }
+        self.window.push_segment_front(wrapper);
+    }
+
+    /// Accepts segments donated by shard `victim`; the refill loop
+    /// transmits them as standalone spool frames.
+    pub fn accept_donations(&mut self, victim: usize, wrappers: Vec<PackWrapper>) {
+        for w in wrappers {
+            self.spool.push_back((w, victim));
+        }
+    }
+
+    /// Drains transmit completions of spool frames, each tagged with
+    /// the victim shard that owns the request. The runtime forwards
+    /// them to [`NmadEngine::complete_foreign_done`] on that shard.
+    pub fn drain_spool_done(&mut self) -> Vec<(SendReqId, usize)> {
+        std::mem::take(&mut self.spool_done)
+    }
+
+    /// Applies the completion of a donated segment a thief transmitted
+    /// on this shard's behalf.
+    pub fn complete_foreign_done(&mut self, req: SendReqId) {
+        self.complete_send_part(req);
+    }
+
+    /// Drains received frames owned by other shards (stolen traffic
+    /// arrives on the thief's rails), each tagged with the owner shard
+    /// index. The runtime routes each to its owner's
+    /// [`NmadEngine::inject_frame`].
+    pub fn drain_foreign_rx(&mut self) -> Vec<(usize, NodeId, Bytes, bool)> {
+        std::mem::take(&mut self.foreign_rx)
+    }
+
+    /// Processes a frame another shard received on this shard's
+    /// behalf, then recycles the buffer if nothing retained a slice.
+    pub fn inject_frame(&mut self, src: NodeId, frame: Bytes, rx_zero_copy: bool) -> NetResult<()> {
+        self.handle_frame(src, &frame, rx_zero_copy)?;
+        if let Ok(buf) = frame.try_unwrap() {
+            self.pool.put(buf);
+        }
+        Ok(())
+    }
+
+    /// Splits this engine into `shards` independent shard engines:
+    /// rail `r` goes to shard `r % shards`, and every flow-keyed
+    /// structure (window, matching, sequence allocators, rendezvous
+    /// memos) partitions by `policy`'s owner function. The transmit
+    /// side must be quiescent — nothing in flight crosses the split.
+    ///
+    /// Shard 0 inherits the CPU meter, accumulated statistics, credit
+    /// accounts and undrained completions; the other shards start
+    /// fresh accounts (each shard then runs its own per-peer credit
+    /// window against the peer's same-index shard, which is the only
+    /// shard whose rails its data frames arrive on).
+    pub fn split_for_shards(self, shards: usize, policy: ShardPolicy) -> Vec<NmadEngine> {
+        assert!(shards > 0, "cannot split into zero shards");
+        assert!(
+            shards <= self.nics.len(),
+            "more shards ({shards}) than rails ({})",
+            self.nics.len()
+        );
+        assert!(
+            self.tx_quiescent() && self.foreign_rx.is_empty(),
+            "split_for_shards requires a quiescent transmit side"
+        );
+        let node = self.node;
+        let owner = move |peer: NodeId, tag: Tag| policy.route(shards, node, peer, tag);
+
+        let mut nic_parts: Vec<Vec<NicState>> = (0..shards).map(|_| Vec::new()).collect();
+        for (r, nic) in self.nics.into_iter().enumerate() {
+            nic_parts[r % shards].push(nic);
+        }
+        let windows = self.window.split(shards, owner);
+        let matchings = self.matching.split_by(shards, owner);
+        let mut next_seqs: Vec<HashMap<(NodeId, Tag), SeqNo>> =
+            (0..shards).map(|_| HashMap::new()).collect();
+        for (k, v) in self.next_seq {
+            next_seqs[owner(k.0, k.1)].insert(k, v);
+        }
+        let mut rdv_dones: Vec<HashSet<RdvKey>> = (0..shards).map(|_| HashSet::new()).collect();
+        for key in self.rdv_done {
+            rdv_dones[owner(key.0, key.1)].insert(key);
+        }
+
+        let base_strategy = self.strategy;
+        let mut meter = Some(self.meter);
+        let mut stats = Some(self.stats);
+        let mut metrics = Some(self.metrics);
+        let mut done_sends = Some(self.done_sends);
+        let mut credits = Some(self.credits);
+        let mut pending = Some(self.pending_credit_returns);
+        let mut pool = Some(self.pool);
+
+        let mut parts = Vec::with_capacity(shards);
+        for (s, ((nics, window), matching)) in nic_parts
+            .into_iter()
+            .zip(windows)
+            .zip(matchings)
+            .enumerate()
+        {
+            let caps: Vec<_> = nics.iter().map(|n| n.driver.caps().clone()).collect();
+            let mut strategy = base_strategy.for_shard(s, shards);
+            strategy.init(&caps);
+            parts.push(NmadEngine {
+                node,
+                nics,
+                meter: meter
+                    .take()
+                    .unwrap_or_else(|| Box::new(nmad_net::NullMeter)),
+                strategy,
+                window,
+                matching,
+                rdv_wait_cts: HashMap::new(),
+                rdv_tx: HashMap::new(),
+                rdv_done: std::mem::take(&mut rdv_dones[s]),
+                sends: HashMap::new(),
+                done_sends: done_sends.take().unwrap_or_default(),
+                next_req: self.next_req,
+                next_seq: std::mem::take(&mut next_seqs[s]),
+                order: self.order,
+                costs: self.costs,
+                stats: stats.take().unwrap_or_default(),
+                metrics: metrics.take().unwrap_or_default(),
+                pool: pool.take().unwrap_or_else(|| FramePool::new(64)),
+                credit_limit: self.credit_limit,
+                credits: credits.take().unwrap_or_default(),
+                pending_credit_returns: pending.take().unwrap_or_default(),
+                route: Some(ShardRoute {
+                    shard: s,
+                    shards,
+                    policy,
+                }),
+                foreign_rx: Vec::new(),
+                spool: VecDeque::new(),
+                spool_done: Vec::new(),
+            });
+        }
+        parts
+    }
+
+    /// Reunites shard engines produced by
+    /// [`split_for_shards`](Self::split_for_shards) into one monolith:
+    /// rails re-interleave to their original indices, windows and
+    /// matching states merge, counters aggregate (sums; the window
+    /// high-water mark takes the deepest shard) and per-peer credit
+    /// accounts recombine by total outstanding deficit. Every shard
+    /// must be transmit-quiescent with an empty spool.
+    pub fn merge_shards(parts: Vec<NmadEngine>) -> NmadEngine {
+        assert!(!parts.is_empty(), "cannot merge zero shard engines");
+        let shards = parts.len();
+        let node = parts[0].node;
+        let credit_limit = parts[0].credit_limit;
+        for part in &parts {
+            assert_eq!(part.node, node, "shards of different nodes");
+            assert!(
+                part.tx_quiescent() && part.foreign_rx.is_empty(),
+                "merge_shards requires quiescent shards"
+            );
+        }
+
+        let total_nics: usize = parts.iter().map(|p| p.nics.len()).sum();
+        let mut nic_slots: Vec<Option<NicState>> = (0..total_nics).map(|_| None).collect();
+        let mut windows = Vec::with_capacity(shards);
+        let mut matchings = Vec::with_capacity(shards);
+        let mut meter = None;
+        let mut strategy = None;
+        let mut pool = None;
+        let mut costs = None;
+        let mut stats = EngineStats::default();
+        let mut metrics = EngineMetrics::default();
+        let mut next_seq: HashMap<(NodeId, Tag), SeqNo> = HashMap::new();
+        let mut rdv_done: HashSet<RdvKey> = HashSet::new();
+        let mut done_sends: HashSet<SendReqId> = HashSet::new();
+        let mut deficits: HashMap<NodeId, usize> = HashMap::new();
+        let mut pending: HashMap<NodeId, u32> = HashMap::new();
+        let mut next_req = 0u64;
+        let mut order = 0u64;
+
+        for (s, part) in parts.into_iter().enumerate() {
+            for (j, nic) in part.nics.into_iter().enumerate() {
+                let slot = j * shards + s;
+                assert!(nic_slots[slot].is_none(), "rail slot collision");
+                nic_slots[slot] = Some(nic);
+            }
+            windows.push(part.window);
+            matchings.push(part.matching);
+            if s == 0 {
+                meter = Some(part.meter);
+                strategy = Some(part.strategy);
+                pool = Some(part.pool);
+                costs = Some(part.costs);
+            }
+            stats.absorb(&part.stats);
+            metrics.absorb(&part.metrics);
+            for (k, v) in part.next_seq {
+                let slot = next_seq.entry(k).or_insert(v);
+                if v.0 > slot.0 {
+                    *slot = v;
+                }
+            }
+            rdv_done.extend(part.rdv_done);
+            done_sends.extend(part.done_sends);
+            if let Some(limit) = credit_limit {
+                for (peer, c) in part.credits {
+                    *deficits.entry(peer).or_insert(0) += limit.saturating_sub(c);
+                }
+            }
+            for (peer, c) in part.pending_credit_returns {
+                *pending.entry(peer).or_insert(0) += c;
+            }
+            next_req = next_req.max(part.next_req);
+            order = order.max(part.order);
+        }
+
+        let nics: Vec<NicState> = nic_slots
+            .into_iter()
+            .map(|slot| slot.expect("every rail slot filled"))
+            .collect();
+        let caps: Vec<_> = nics.iter().map(|n| n.driver.caps().clone()).collect();
+        let mut strategy = strategy.expect("shard 0 present");
+        strategy.init(&caps);
+        let credits = credit_limit
+            .map(|limit| {
+                deficits
+                    .into_iter()
+                    .map(|(peer, deficit)| (peer, limit.saturating_sub(deficit)))
+                    .collect()
+            })
+            .unwrap_or_default();
+
+        NmadEngine {
+            node,
+            nics,
+            meter: meter.expect("shard 0 present"),
+            strategy,
+            window: Window::merge(windows),
+            matching: Matching::merge(matchings),
+            rdv_wait_cts: HashMap::new(),
+            rdv_tx: HashMap::new(),
+            rdv_done,
+            sends: HashMap::new(),
+            done_sends,
+            next_req,
+            next_seq,
+            order,
+            costs: costs.expect("shard 0 present"),
+            stats,
+            metrics,
+            pool: pool.expect("shard 0 present"),
+            credit_limit,
+            credits,
+            pending_credit_returns: pending,
+            route: None,
+            foreign_rx: Vec::new(),
+            spool: VecDeque::new(),
+            spool_done: Vec::new(),
+        }
     }
 }
 

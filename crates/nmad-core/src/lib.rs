@@ -55,6 +55,7 @@ pub mod matching;
 pub mod metrics;
 pub mod ring;
 pub mod segment;
+pub mod steal;
 pub mod strategy;
 pub mod sync;
 pub mod threaded;
@@ -64,6 +65,7 @@ pub mod wire;
 pub use api::{RecvHandle, RecvMessage, SendMessage};
 pub use engine::{
     EngineConfig, EngineCosts, EngineDiagnostics, EngineStats, NmadEngine, ProgressMode,
+    ShardPolicy, ShardRoute,
 };
 pub use matching::{Effect, Matching, RecvDone};
 pub use metrics::{
@@ -71,6 +73,7 @@ pub use metrics::{
 };
 pub use ring::{Batch, SubmitRing};
 pub use segment::{PackWrapper, Priority, RecvReqId, SendReqId, SeqNo, Tag};
+pub use steal::{StealGroup, StealStats};
 pub use strategy::{
     eager_cutoff, DynamicStats, FramePlan, NicView, PlanEntry, StratAggreg, StratDefault,
     StratDynamic, StratMultirail, StratReorder, Strategy, Tactic,

@@ -379,6 +379,78 @@ impl Matching {
     pub fn posted_count(&self) -> usize {
         self.posted.len()
     }
+
+    /// Partitions this matching state into `shards` independent states
+    /// by flow ownership: every map entry keyed by a `(src, tag)` flow
+    /// moves to the part `owner(src, tag) % shards` selects. Because
+    /// every structure here is keyed by flow, the partition is exact —
+    /// no state is shared between parts and [`Matching::merge`]
+    /// restores the original.
+    pub fn split_by(
+        self,
+        shards: usize,
+        mut owner: impl FnMut(NodeId, Tag) -> usize,
+    ) -> Vec<Matching> {
+        assert!(shards > 0, "cannot split into zero shards");
+        let mut parts: Vec<Matching> = (0..shards).map(|_| Matching::new()).collect();
+        for (k, v) in self.posted {
+            parts[owner(k.0, k.1) % shards].posted.insert(k, v);
+        }
+        for (k, v) in self.next_seq {
+            parts[owner(k.0, k.1) % shards].next_seq.insert(k, v);
+        }
+        for (k, v) in self.unexpected {
+            parts[owner(k.0, k.1) % shards].unexpected.insert(k, v);
+        }
+        for (k, v) in self.pending_rts {
+            parts[owner(k.0, k.1) % shards].pending_rts.insert(k, v);
+        }
+        for (req, d) in self.done {
+            parts[owner(d.src, d.tag) % shards].done.insert(req, d);
+        }
+        for (k, v) in self.delivered {
+            parts[owner(k.0, k.1) % shards].delivered.insert(k, v);
+        }
+        parts
+    }
+
+    /// Reunites states produced by [`Matching::split_by`]. Keys are
+    /// disjoint when the parts came from one split; overlapping flow
+    /// records (possible when merging independently-grown states) are
+    /// reconciled conservatively: sequence allocators take the maximum,
+    /// delivery watermarks union.
+    pub fn merge(parts: Vec<Matching>) -> Matching {
+        let mut merged = Matching::new();
+        for part in parts {
+            merged.posted.extend(part.posted);
+            for (k, v) in part.next_seq {
+                let slot = merged.next_seq.entry(k).or_insert(v);
+                if v.0 > slot.0 {
+                    *slot = v;
+                }
+            }
+            merged.unexpected.extend(part.unexpected);
+            merged.pending_rts.extend(part.pending_rts);
+            merged.done.extend(part.done);
+            for (k, v) in part.delivered {
+                match merged.delivered.entry(k) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(v);
+                    }
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        let cur = e.get_mut();
+                        cur.next = cur.next.max(v.next);
+                        cur.ahead.extend(v.ahead);
+                        cur.ahead.retain(|&s| s >= cur.next);
+                        while cur.ahead.remove(&cur.next) {
+                            cur.next += 1;
+                        }
+                    }
+                }
+            }
+        }
+        merged
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,295 @@
+//! The cross-shard steal facade.
+//!
+//! A sharded progression runtime (see [`crate::threaded`]) gives every
+//! shard its own submission ring, window slice and rail subset — no
+//! shared mutable state on the hot path. Work stealing is the one
+//! deliberate exception: a shard with a deep window donates eager
+//! segments to an idle shard so the idle shard's NICs don't sit dark.
+//! Every cross-shard transfer flows through this module; nothing else
+//! in the crate touches another shard's state (enforced by an `xtask`
+//! lint rule pinning the mailbox type to this file).
+//!
+//! ## Protocol
+//!
+//! Each shard owns one mailbox. Any shard may push a message to any
+//! other shard's mailbox; the owner drains its own mailbox at the top
+//! of its progression loop. Shutdown is the delicate part: a shard
+//! that exits must neither strand messages already in its mailbox nor
+//! accept messages it will never process. The mailbox therefore keeps
+//! a `departed` flag *under the same mutex as the queue*:
+//!
+//! * [`StealGroup::push`] fails with the message returned to the
+//!   sender once the flag is set — the sender bounces the work back to
+//!   its owner instead of losing it;
+//! * [`StealGroup::depart`] sets the flag and drains the residue in
+//!   one critical section, so there is no window in which a message
+//!   can land unseen.
+//!
+//! ## Memory ordering
+//!
+//! The queue and the departed flag live under a [`Mutex`]; the lock's
+//! acquire/release edges order them. The `pending` counter is a lock-
+//! free emptiness hint only: incremented with `Release` *while the
+//! push lock is held*, read with `Acquire` by the owner to skip
+//! locking an empty mailbox. A stale zero merely delays a drain by one
+//! loop iteration; a non-zero read is always followed by a locked
+//! drain, so no message is ever missed. The advertisement cells
+//! (backlog depth, idleness) are heuristic inputs to the steal
+//! decision and use `Release`/`Acquire` pairs so a thief never acts on
+//! values from its own cache line going backwards in time; acting on a
+//! *stale* advertisement is harmless (the donation bounces or the
+//! steal simply doesn't happen).
+
+use crate::sync::{AtomicU64, AtomicUsize, Mutex, Ordering};
+use std::collections::VecDeque;
+
+/// One shard's steal mailbox: a locked queue plus the departure flag
+/// that makes shutdown loss-free. Private to this module — the rest of
+/// the crate goes through [`StealGroup`].
+struct StealMailbox<T> {
+    inner: Mutex<MailboxInner<T>>,
+    /// Lock-free emptiness hint; see the module documentation.
+    pending: AtomicUsize,
+}
+
+struct MailboxInner<T> {
+    queue: VecDeque<T>,
+    departed: bool,
+}
+
+impl<T> StealMailbox<T> {
+    fn new() -> Self {
+        StealMailbox {
+            inner: Mutex::new(MailboxInner {
+                queue: VecDeque::new(),
+                departed: false,
+            }),
+            pending: AtomicUsize::new(0),
+        }
+    }
+
+    fn push(&self, msg: T) -> Result<(), T> {
+        let mut inner = self.inner.lock();
+        if inner.departed {
+            return Err(msg);
+        }
+        inner.queue.push_back(msg);
+        // Increment while the lock is held: a drainer that observes
+        // the count observes the message.
+        self.pending.fetch_add(1, Ordering::Release);
+        Ok(())
+    }
+
+    fn drain(&self) -> Vec<T> {
+        if self.pending.load(Ordering::Acquire) == 0 {
+            return Vec::new();
+        }
+        let mut inner = self.inner.lock();
+        let out: Vec<T> = inner.queue.drain(..).collect();
+        self.pending.fetch_sub(out.len(), Ordering::Release);
+        out
+    }
+
+    fn depart(&self) -> Vec<T> {
+        let mut inner = self.inner.lock();
+        inner.departed = true;
+        let out: Vec<T> = inner.queue.drain(..).collect();
+        self.pending.fetch_sub(out.len(), Ordering::Release);
+        out
+    }
+
+    fn departed(&self) -> bool {
+        self.inner.lock().departed
+    }
+}
+
+/// Counters of the steal machinery, for tests and diagnostics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StealStats {
+    /// Eager segments donated victim → thief.
+    pub donated: u64,
+    /// Donations bounced back to their owner (the thief departed or
+    /// never placed them).
+    pub bounced: u64,
+    /// Received foreign frames forwarded thief → owner.
+    pub forwarded_frames: u64,
+    /// Spool-transmit completions forwarded thief → victim.
+    pub forwarded_dones: u64,
+}
+
+/// The steal channels of one sharded runtime: one mailbox per shard
+/// plus the advertisement cells the steal decision reads. Generic over
+/// the message type so the model suites can drive the protocol with
+/// plain integers.
+pub struct StealGroup<T> {
+    boxes: Vec<StealMailbox<T>>,
+    /// Advertised donation backlog per shard (window common depth).
+    depth: Vec<AtomicUsize>,
+    /// Advertised idleness per shard (1 = nothing to do).
+    idle: Vec<AtomicUsize>,
+    donated: AtomicU64,
+    bounced: AtomicU64,
+    forwarded_frames: AtomicU64,
+    forwarded_dones: AtomicU64,
+}
+
+impl<T> StealGroup<T> {
+    /// A group of `shards` mailboxes, all empty, none departed.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "a steal group needs at least one shard");
+        StealGroup {
+            boxes: (0..shards).map(|_| StealMailbox::new()).collect(),
+            depth: (0..shards).map(|_| AtomicUsize::new(0)).collect(),
+            idle: (0..shards).map(|_| AtomicUsize::new(0)).collect(),
+            donated: AtomicU64::new(0),
+            bounced: AtomicU64::new(0),
+            forwarded_frames: AtomicU64::new(0),
+            forwarded_dones: AtomicU64::new(0),
+        }
+    }
+
+    /// Shard count.
+    pub fn shards(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// Delivers `msg` to shard `to`'s mailbox. `Err(msg)` when the
+    /// shard has departed — the sender must re-route the work (bounce
+    /// a donation home, drop a forward whose owner is gone).
+    pub fn push(&self, to: usize, msg: T) -> Result<(), T> {
+        self.boxes[to].push(msg)
+    }
+
+    /// Takes every message currently in shard `shard`'s mailbox.
+    /// Cheap (one relaxed-ish load, no lock) when empty.
+    pub fn drain(&self, shard: usize) -> Vec<T> {
+        self.boxes[shard].drain()
+    }
+
+    /// Marks `shard` departed and returns the residue of its mailbox
+    /// in one atomic step: every message ever accepted is either
+    /// returned here or was drained earlier — none is lost.
+    pub fn depart(&self, shard: usize) -> Vec<T> {
+        self.idle[shard].store(0, Ordering::Release);
+        self.boxes[shard].depart()
+    }
+
+    /// Whether `shard` has departed.
+    pub fn is_departed(&self, shard: usize) -> bool {
+        self.boxes[shard].departed()
+    }
+
+    /// Publishes shard `shard`'s donation backlog (steal heuristic).
+    pub fn advertise_depth(&self, shard: usize, depth: usize) {
+        self.depth[shard].store(depth, Ordering::Release);
+    }
+
+    /// Publishes whether shard `shard` is idle (steal heuristic).
+    pub fn advertise_idle(&self, shard: usize, idle: bool) {
+        self.idle[shard].store(usize::from(idle), Ordering::Release);
+    }
+
+    /// Advertised backlog of shard `shard`.
+    pub fn depth_of(&self, shard: usize) -> usize {
+        self.depth[shard].load(Ordering::Acquire)
+    }
+
+    /// An idle, not-departed shard other than `victim`, if any — the
+    /// candidate thief for `victim`'s surplus.
+    pub fn pick_thief(&self, victim: usize) -> Option<usize> {
+        (0..self.boxes.len())
+            .filter(|&s| s != victim)
+            .find(|&s| self.idle[s].load(Ordering::Acquire) == 1 && !self.is_departed(s))
+    }
+
+    /// Counts `n` donated segments.
+    pub fn note_donated(&self, n: u64) {
+        self.donated.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts `n` bounced donations.
+    pub fn note_bounced(&self, n: u64) {
+        self.bounced.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts one forwarded foreign frame.
+    pub fn note_forwarded_frame(&self) {
+        self.forwarded_frames.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one forwarded spool completion.
+    pub fn note_forwarded_done(&self) {
+        self.forwarded_dones.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the steal counters.
+    pub fn stats(&self) -> StealStats {
+        StealStats {
+            donated: self.donated.load(Ordering::Relaxed),
+            bounced: self.bounced.load(Ordering::Relaxed),
+            forwarded_frames: self.forwarded_frames.load(Ordering::Relaxed),
+            forwarded_dones: self.forwarded_dones.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_drain_is_fifo_per_mailbox() {
+        let g: StealGroup<u32> = StealGroup::new(3);
+        g.push(1, 10).unwrap();
+        g.push(1, 11).unwrap();
+        g.push(2, 20).unwrap();
+        assert_eq!(g.drain(1), vec![10, 11]);
+        assert_eq!(g.drain(1), Vec::<u32>::new());
+        assert_eq!(g.drain(2), vec![20]);
+    }
+
+    #[test]
+    fn departed_mailbox_bounces_pushes_and_returns_residue() {
+        let g: StealGroup<u32> = StealGroup::new(2);
+        g.push(1, 7).unwrap();
+        let residue = g.depart(1);
+        assert_eq!(residue, vec![7]);
+        assert!(g.is_departed(1));
+        assert_eq!(g.push(1, 8), Err(8));
+        assert_eq!(g.drain(1), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn thief_selection_skips_busy_and_departed_shards() {
+        let g: StealGroup<u32> = StealGroup::new(4);
+        assert_eq!(g.pick_thief(0), None);
+        g.advertise_idle(2, true);
+        g.advertise_idle(3, true);
+        assert_eq!(g.pick_thief(0), Some(2));
+        assert_eq!(g.pick_thief(2), Some(3));
+        g.depart(2);
+        assert_eq!(g.pick_thief(0), Some(3));
+        g.advertise_idle(3, false);
+        assert_eq!(g.pick_thief(0), None);
+    }
+
+    #[test]
+    fn advertisements_and_stats_round_trip() {
+        let g: StealGroup<u32> = StealGroup::new(2);
+        g.advertise_depth(0, 42);
+        assert_eq!(g.depth_of(0), 42);
+        g.note_donated(3);
+        g.note_bounced(1);
+        g.note_forwarded_frame();
+        g.note_forwarded_done();
+        assert_eq!(
+            g.stats(),
+            StealStats {
+                donated: 3,
+                bounced: 1,
+                forwarded_frames: 1,
+                forwarded_dones: 1,
+            }
+        );
+    }
+}

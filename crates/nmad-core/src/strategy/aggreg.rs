@@ -24,6 +24,10 @@ impl Strategy for StratAggreg {
         "aggreg"
     }
 
+    fn for_shard(&self, _shard: usize, _shards: usize) -> Box<dyn Strategy> {
+        Box::new(StratAggreg)
+    }
+
     fn schedule(&mut self, window: &mut Window, nic: &NicView<'_>) -> Option<FramePlan> {
         let dst = window.next_dst(nic.index)?;
         let mut plan = FramePlan::new(dst);

@@ -20,6 +20,10 @@ impl Strategy for StratDefault {
         "default"
     }
 
+    fn for_shard(&self, _shard: usize, _shards: usize) -> Box<dyn Strategy> {
+        Box::new(StratDefault)
+    }
+
     fn schedule(&mut self, window: &mut Window, nic: &NicView<'_>) -> Option<FramePlan> {
         let dst = window.next_dst(nic.index)?;
         let mut plan = FramePlan::new(dst);

@@ -106,6 +106,13 @@ impl Strategy for StratDynamic {
         "dynamic"
     }
 
+    fn for_shard(&self, _shard: usize, _shards: usize) -> Box<dyn Strategy> {
+        // A forced tactic is configuration: every shard inherits it.
+        let mut clone = StratDynamic::new();
+        clone.forced = self.forced;
+        Box::new(clone)
+    }
+
     fn init(&mut self, nics: &[Capabilities]) {
         self.latency.init(nics);
         self.aggregate.init(nics);

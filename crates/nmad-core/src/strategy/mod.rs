@@ -113,6 +113,14 @@ pub trait Strategy: Send {
     /// dead. Strategies holding per-rail state (bandwidth shares)
     /// re-plan over the survivors; the default is a no-op.
     fn on_rail_fault(&mut self, _rail: usize) {}
+
+    /// Builds the instance a progression shard will own when the
+    /// engine splits into `shards` independent shards (this one being
+    /// shard `shard`). The shard engine calls [`Strategy::init`] on
+    /// the returned instance with its own rail subset, so
+    /// implementations only carry over *configuration* (forced
+    /// tactics, tuning knobs) — per-rail state re-derives from `init`.
+    fn for_shard(&self, shard: usize, shards: usize) -> Box<dyn Strategy>;
 }
 
 /// Per-frame aggregation budget shared by the strategy implementations.

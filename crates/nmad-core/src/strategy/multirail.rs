@@ -48,6 +48,11 @@ impl Strategy for StratMultirail {
         "multirail"
     }
 
+    fn for_shard(&self, _shard: usize, _shards: usize) -> Box<dyn Strategy> {
+        // Bandwidth shares re-derive from `init` over the shard's rails.
+        Box::new(StratMultirail::default())
+    }
+
     fn init(&mut self, nics: &[Capabilities]) {
         self.rail_bw = nics.iter().map(|c| c.bandwidth_bps).collect();
         self.total_bw = self.rail_bw.iter().sum();

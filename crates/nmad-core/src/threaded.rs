@@ -23,6 +23,29 @@
 //!   counters through a seqlock-published
 //!   [`SharedMetrics`](crate::metrics::SharedMetrics) mirror.
 //!
+//! ## Sharding
+//!
+//! With [`EngineConfig::shards`] > 1 the runtime splits the engine
+//! into **N progression shards** (see
+//! [`NmadEngine::split_for_shards`]): each shard owns its own
+//! submission ring, optimization-window slice, rail subset (rail `r`
+//! belongs to shard `r % N`) and progression thread. Flows map to
+//! shards by [`ShardPolicy`] — a symmetric hash over the node pair
+//! (plus the tag under [`ShardPolicy::HashByDest`]), identical on both
+//! endpoints, so a frame sent on shard `s`'s rails always lands on the
+//! receiving node's shard `s`. [`ThreadedHandle`] routes every
+//! submission to its owner shard's ring; the [`CompletionBoard`] keeps
+//! one global id-keyed bucket space, so waiting works unchanged.
+//!
+//! An idle shard's NICs are kept busy through the steal facade
+//! ([`crate::steal`]): a shard whose window backlog exceeds
+//! [`EngineConfig::steal_depth`] donates small eager segments to an
+//! idle shard, which transmits them as standalone spool frames on its
+//! own rails; the receiving node's same-index shard forwards such
+//! foreign frames to the flow's owner shard, and transmit completions
+//! travel back to the victim. See `DESIGN.md` §14 for the protocol and
+//! its memory-ordering obligations.
+//!
 //! The simulated transports stay on the inline path
 //! ([`ProgressMode::Inline`]): virtual time only advances through the
 //! co-simulation loop on the application thread, and a background pump
@@ -40,11 +63,12 @@ use nmad_sim::NodeId;
 
 use crate::sync::{AtomicBool, AtomicU64, Condvar, Mutex, Ordering};
 
-use crate::engine::{EngineConfig, NmadEngine, ProgressMode};
+use crate::engine::{EngineConfig, NmadEngine, ProgressMode, ShardPolicy};
 use crate::matching::RecvDone;
-use crate::metrics::{EngineMetrics, MetricsSnapshot, SharedMetrics};
+use crate::metrics::{EngineMetrics, MetricsSnapshot, NicMetrics, SharedMetrics};
 use crate::ring::{Batch, SubmitRing};
-use crate::segment::{Priority, RecvReqId, SendReqId, Tag};
+use crate::segment::{PackWrapper, Priority, RecvReqId, SendReqId, Tag};
+use crate::steal::{StealGroup, StealStats};
 use crate::EngineStats;
 
 // The whole design rests on the engine being movable to the
@@ -84,6 +108,9 @@ pub const SLOT_OPS: usize = 8;
 /// The ring slot format: an inline batch of up to [`SLOT_OPS`] ops.
 type OpBatch = Batch<EngineOp, SLOT_OPS>;
 
+/// Board buckets per engine shard: the total bucket count is
+/// `BOARD_SHARDS × engine shards`, so poll-path lock contention stays
+/// constant per shard as the runtime scales out.
 const BOARD_SHARDS: usize = 16;
 
 #[derive(Default)]
@@ -92,10 +119,12 @@ struct BoardShard {
     recvs: HashMap<u64, RecvDone>,
 }
 
-/// Sharded completion queue the progression thread fills and
+/// Sharded completion queue the progression threads fill and
 /// application threads poll. Sharding by request id keeps unrelated
 /// waiters off each other's cache lines and locks; the engine itself
-/// is never touched on the poll path.
+/// is never touched on the poll path. The bucket index is a pure
+/// function of the request id, so completions posted by *any*
+/// progression shard land where the waiter looks.
 pub struct CompletionBoard {
     shards: Vec<CachePadded<Mutex<BoardShard>>>,
     /// Completions posted for an id already on the board — always a
@@ -105,30 +134,36 @@ pub struct CompletionBoard {
 }
 
 impl CompletionBoard {
-    fn new() -> Self {
+    fn new(engine_shards: usize) -> Self {
+        let buckets = BOARD_SHARDS * engine_shards.max(1);
         CompletionBoard {
-            shards: (0..BOARD_SHARDS)
+            shards: (0..buckets)
                 .map(|_| CachePadded::new(Mutex::new(BoardShard::default())))
                 .collect(),
             duplicates: AtomicU64::new(0),
         }
     }
 
+    #[inline]
+    fn bucket_of(&self, id: u64) -> usize {
+        (id as usize) % self.shards.len()
+    }
+
     fn shard(&self, id: u64) -> &Mutex<BoardShard> {
-        &self.shards[(id as usize) % BOARD_SHARDS]
+        &self.shards[self.bucket_of(id)]
     }
 
     /// Posts a harvest of send completions, taking each shard lock at
     /// most once — the consumer-side half of batching: a pump that
-    /// finishes a burst pays ≤ [`BOARD_SHARDS`] lock rounds, not one
+    /// finishes a burst pays at most one lock round per bucket, not one
     /// per completion.
     fn post_sends_done(&self, reqs: &[SendReqId]) {
         if reqs.is_empty() {
             return;
         }
-        let mut buckets: [Vec<u64>; BOARD_SHARDS] = std::array::from_fn(|_| Vec::new());
+        let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); self.shards.len()];
         for req in reqs {
-            buckets[(req.0 as usize) % BOARD_SHARDS].push(req.0);
+            buckets[self.bucket_of(req.0)].push(req.0);
         }
         for (shard, bucket) in self.shards.iter().zip(buckets) {
             if bucket.is_empty() {
@@ -149,9 +184,9 @@ impl CompletionBoard {
         if dones.is_empty() {
             return;
         }
-        let mut buckets: [Vec<(u64, RecvDone)>; BOARD_SHARDS] = std::array::from_fn(|_| Vec::new());
+        let mut buckets: Vec<Vec<(u64, RecvDone)>> = vec![Vec::new(); self.shards.len()];
         for (req, done) in dones {
-            buckets[(req.0 as usize) % BOARD_SHARDS].push((req.0, done));
+            buckets[self.bucket_of(req.0)].push((req.0, done));
         }
         for (shard, bucket) in self.shards.iter().zip(buckets) {
             if bucket.is_empty() {
@@ -169,9 +204,9 @@ impl CompletionBoard {
     /// True once *every* listed send has left the host, taking each
     /// shard lock at most once (the poll half of batched waiting).
     pub fn all_sends_done(&self, reqs: &[SendReqId]) -> bool {
-        let mut buckets: [Vec<u64>; BOARD_SHARDS] = std::array::from_fn(|_| Vec::new());
+        let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); self.shards.len()];
         for req in reqs {
-            buckets[(req.0 as usize) % BOARD_SHARDS].push(req.0);
+            buckets[self.bucket_of(req.0)].push(req.0);
         }
         for (shard, bucket) in self.shards.iter().zip(buckets) {
             if bucket.is_empty() {
@@ -206,32 +241,81 @@ impl CompletionBoard {
     }
 }
 
-/// State shared between application threads and the progression thread.
-struct Shared {
+/// A message crossing the steal facade between two progression shards.
+/// The variants are the whole cross-shard protocol: everything else a
+/// shard owns is private to its thread.
+enum StealMsg {
+    /// Victim → thief: eager segments for the thief's spool. The
+    /// victim already debited flow-control credit for each.
+    Donation {
+        victim: usize,
+        wrappers: Vec<PackWrapper>,
+    },
+    /// Thief → victim: a donation the thief could not place (it is
+    /// departing); the victim re-queues and refunds.
+    Undonate { wrappers: Vec<PackWrapper> },
+    /// Receiving shard → owner shard: a frame for a flow you own
+    /// arrived on my rails (the sender's thief transmitted it there).
+    Frame {
+        src: NodeId,
+        frame: Bytes,
+        rx_zero_copy: bool,
+    },
+    /// Thief → victim: a donated segment's frame fully left the host.
+    Done(SendReqId),
+}
+
+/// Per-shard half of the shared state: one submission ring and one hot
+/// mirror per progression thread, so shards never contend on the
+/// submit or publish path.
+struct ShardShared {
     ring: SubmitRing<OpBatch>,
+    /// Seqlock mirror of this shard's hot counters, published after
+    /// every pump.
+    hot: SharedMetrics,
+}
+
+/// State shared between application threads and the progression
+/// shards.
+struct Shared {
+    shards: Vec<ShardShared>,
+    /// Flow → shard routing, identical to the split the engine did.
+    policy: ShardPolicy,
+    node: NodeId,
+    /// One global id-keyed board: waiters don't care which shard
+    /// completed their request.
     board: CompletionBoard,
     /// Application-side request id allocator, seeded from the engine's
-    /// watermark at launch.
+    /// watermark at launch. Global across shards so ids stay unique.
     next_req: AtomicU64,
-    /// Seqlock mirror of the hot counters, published after every pump.
-    hot: SharedMetrics,
+    /// The cross-shard work-stealing mailboxes.
+    steal: StealGroup<StealMsg>,
     /// Serialises snapshot requesters (one RPC slot).
     snap_serial: Mutex<()>,
-    snap_slot: Mutex<Option<MetricsSnapshot>>,
+    /// One snapshot cell per shard; a requester broadcasts a
+    /// [`EngineOp::Snapshot`] and waits until every cell fills.
+    snap_slot: Mutex<Vec<Option<MetricsSnapshot>>>,
     snap_cv: Condvar,
-    /// The progression thread died on a transport error.
+    /// Some progression shard died on a transport error.
     dead: AtomicBool,
     fail: Mutex<Option<String>>,
 }
 
-/// A running progression thread plus the engine it owns. Created with
+impl Shared {
+    fn route(&self, peer: NodeId, tag: Tag) -> usize {
+        self.policy.route(self.shards.len(), self.node, peer, tag)
+    }
+}
+
+/// A running progression runtime — one thread per shard — plus the
+/// engine shards those threads own. Created with
 /// [`ThreadedEngine::launch`]; hand out [`ThreadedHandle`]s with
-/// [`handle`](Self::handle); get the engine back with
+/// [`handle`](Self::handle); get the (re-merged) engine back with
 /// [`shutdown`](Self::shutdown).
 pub struct ThreadedEngine {
     shared: Arc<Shared>,
     node: NodeId,
-    thread: Option<std::thread::JoinHandle<NmadEngine>>,
+    threads: Vec<std::thread::JoinHandle<NmadEngine>>,
 }
 
 /// Cloneable application-side handle to a [`ThreadedEngine`]: submit
@@ -243,7 +327,11 @@ pub struct ThreadedHandle {
 }
 
 impl ThreadedEngine {
-    /// Moves `engine` onto a freshly spawned progression thread.
+    /// Moves `engine` onto freshly spawned progression threads — one
+    /// per shard. `config.shards` is clamped to the engine's rail
+    /// count (a shard without a rail could make no progress); with one
+    /// shard the runtime degenerates to the original single-thread
+    /// layout, byte for byte.
     ///
     /// Panics if `config.mode` is not [`ProgressMode::Threaded`] or if
     /// any of the engine's drivers vetoes background progression (the
@@ -261,28 +349,46 @@ impl ThreadedEngine {
             engine.node()
         );
         let node = engine.node();
+        let shards = config.shards.max(1).min(engine.rail_count().max(1));
+        let watermark = engine.req_watermark();
+        let engines = if shards > 1 {
+            engine.split_for_shards(shards, config.shard_policy)
+        } else {
+            vec![engine]
+        };
         let shared = Arc::new(Shared {
-            ring: SubmitRing::new(config.submit_ring_capacity),
-            board: CompletionBoard::new(),
-            next_req: AtomicU64::new(engine.req_watermark()),
-            hot: SharedMetrics::new(),
+            shards: (0..shards)
+                .map(|_| ShardShared {
+                    ring: SubmitRing::new(config.submit_ring_capacity),
+                    hot: SharedMetrics::new(),
+                })
+                .collect(),
+            policy: config.shard_policy,
+            node,
+            board: CompletionBoard::new(shards),
+            next_req: AtomicU64::new(watermark),
+            steal: StealGroup::new(shards),
             snap_serial: Mutex::new(()),
-            snap_slot: Mutex::new(None),
+            snap_slot: Mutex::new(Vec::new()),
             snap_cv: Condvar::new(),
             dead: AtomicBool::new(false),
             fail: Mutex::new(None),
         });
-        let thread = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name(format!("nmad-progress-{}", node.0))
-                .spawn(move || run(engine, &shared, &config))
-                .expect("spawn progression thread")
-        };
+        let threads = engines
+            .into_iter()
+            .enumerate()
+            .map(|(shard, eng)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("nmad-progress-{}-s{shard}", node.0))
+                    .spawn(move || run(eng, &shared, &config, shard))
+                    .expect("spawn progression thread")
+            })
+            .collect();
         ThreadedEngine {
             shared,
             node,
-            thread: Some(thread),
+            threads,
         }
     }
 
@@ -299,13 +405,30 @@ impl ThreadedEngine {
         self.node
     }
 
-    /// Stops the progression thread — after draining the ring and
-    /// quiescing the transmit side — and returns the engine for inline
-    /// use. Completions still parked on the board are dropped with it.
+    /// Progression shards this runtime is running (after the launch
+    /// clamp to the rail count).
+    pub fn shards(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// Stops every progression shard — after draining its ring and
+    /// quiescing its transmit side — and returns the re-merged engine
+    /// for inline use. Completions still parked on the board are
+    /// dropped with it.
     pub fn shutdown(mut self) -> NmadEngine {
-        self.shared.ring.push(Batch::of_one(EngineOp::Shutdown));
-        let thread = self.thread.take().expect("not yet joined");
-        let mut engine = thread.join().expect("progression thread panicked");
+        for shard in &self.shared.shards {
+            shard.ring.push(Batch::of_one(EngineOp::Shutdown));
+        }
+        let parts: Vec<NmadEngine> = self
+            .threads
+            .drain(..)
+            .map(|t| t.join().expect("progression thread panicked"))
+            .collect();
+        let mut engine = if parts.len() == 1 {
+            parts.into_iter().next().expect("one shard")
+        } else {
+            NmadEngine::merge_shards(parts)
+        };
         // Ids handed out by handles but never submitted must still
         // never be reallocated inline.
         engine.set_req_watermark(self.shared.next_req.load(Ordering::Relaxed));
@@ -315,11 +438,15 @@ impl ThreadedEngine {
 
 impl Drop for ThreadedEngine {
     fn drop(&mut self) {
-        if let Some(thread) = self.thread.take() {
-            self.shared.ring.push(Batch::of_one(EngineOp::Shutdown));
-            // The engine is discarded; a panic on the progression
-            // thread surfaces at the join unless we are already
-            // unwinding.
+        if self.threads.is_empty() {
+            return;
+        }
+        for shard in &self.shared.shards {
+            shard.ring.push(Batch::of_one(EngineOp::Shutdown));
+        }
+        // The engines are discarded; a panic on a progression thread
+        // surfaces at the join unless we are already unwinding.
+        for thread in self.threads.drain(..) {
             if std::thread::panicking() {
                 let _ = thread.join();
             } else {
@@ -352,9 +479,27 @@ impl ThreadedHandle {
         }
     }
 
+    /// Progression shards behind this handle.
+    pub fn shards(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// The shard owning flow (peer, tag) — where a submission for that
+    /// flow is routed. Exposed so tests and benches can pin flows to
+    /// shards deliberately.
+    pub fn shard_of(&self, peer: NodeId, tag: Tag) -> usize {
+        self.shared.route(peer, tag)
+    }
+
+    /// Counters of the cross-shard steal machinery.
+    pub fn steal_stats(&self) -> StealStats {
+        self.shared.steal.stats()
+    }
+
     /// Submits one application send made of `parts` segments (see
-    /// [`NmadEngine::submit_send_parts`]). Blocks only for ring
-    /// backpressure (a full submission ring).
+    /// [`NmadEngine::submit_send_parts`]). Routed to the ring of the
+    /// shard owning flow (dst, tag). Blocks only for ring backpressure
+    /// (a full submission ring).
     pub fn submit_send_parts(
         &self,
         dst: NodeId,
@@ -363,13 +508,16 @@ impl ThreadedHandle {
         rail_hint: Option<usize>,
     ) -> SendReqId {
         let req = SendReqId(self.alloc());
-        self.shared.ring.push(Batch::of_one(EngineOp::Send {
-            req,
-            dst,
-            tag,
-            parts,
-            rail_hint,
-        }));
+        let shard = self.shared.route(dst, tag);
+        self.shared.shards[shard]
+            .ring
+            .push(Batch::of_one(EngineOp::Send {
+                req,
+                dst,
+                tag,
+                parts,
+                rail_hint,
+            }));
         req
     }
 
@@ -379,10 +527,13 @@ impl ThreadedHandle {
     }
 
     /// Posts a receive of up to `max` bytes for the next segment of
-    /// flow (src, tag).
+    /// flow (src, tag), routed to the shard owning that flow (the hash
+    /// is symmetric, so it is the shard whose rails the frame arrives
+    /// on).
     pub fn post_recv(&self, src: NodeId, tag: Tag, max: usize) -> RecvReqId {
         let req = RecvReqId(self.alloc());
-        self.shared
+        let shard = self.shared.route(src, tag);
+        self.shared.shards[shard]
             .ring
             .push(Batch::of_one(EngineOp::Recv { req, src, tag, max }));
         req
@@ -395,10 +546,14 @@ impl ThreadedHandle {
     /// can be waited on — after the flush — exactly like single
     /// submissions.
     pub fn submit_batch(&self) -> SubmitBatch<'_> {
+        let shards = self.shared.shards.len();
         SubmitBatch {
             handle: self,
-            current: Batch::new(),
-            staged: 0,
+            shards,
+            primary: Batch::new(),
+            primary_staged: 0,
+            rest: (1..shards).map(|_| (Batch::new(), 0)).collect(),
+            pending: 0,
             next_id: 0,
             id_limit: 0,
         }
@@ -472,25 +627,43 @@ impl ThreadedHandle {
         out.into_iter().map(|d| d.expect("all taken")).collect()
     }
 
-    /// The hot counters as last published by the progression thread
-    /// (seqlock read: never torn, never blocking the publisher). Lags
-    /// the engine by at most one pump.
+    /// The hot counters as last published by the progression threads
+    /// (seqlock reads: never torn, never blocking a publisher), summed
+    /// across shards. Lags each shard's engine by at most one pump.
     pub fn hot_metrics(&self) -> (EngineMetrics, EngineStats) {
-        self.shared.hot.read()
+        let mut engine = EngineMetrics::default();
+        let mut wire = EngineStats::default();
+        for shard in &self.shared.shards {
+            let (m, w) = shard.hot.read();
+            engine.absorb(&m);
+            wire.absorb(&w);
+        }
+        (engine, wire)
     }
 
     /// A full [`MetricsSnapshot`] including per-NIC link counters,
-    /// taken *on the progression thread* between pumps — exact at the
-    /// moment it is taken, like the inline [`NmadEngine::metrics`].
+    /// taken *on the progression threads* between pumps — each shard's
+    /// totals are exact at the moment its snapshot is taken, like the
+    /// inline [`NmadEngine::metrics`]. With several shards the
+    /// per-shard snapshots are aggregated: counters sum, NIC rows come
+    /// back in global rail order.
     pub fn metrics(&self) -> MetricsSnapshot {
-        // One requester at a time owns the RPC slot.
+        let n = self.shared.shards.len();
+        // One requester at a time owns the RPC slots.
         let _serial = self.shared.snap_serial.lock();
+        {
+            let mut slot = self.shared.snap_slot.lock();
+            *slot = (0..n).map(|_| None).collect();
+        }
+        for shard in &self.shared.shards {
+            shard.ring.push(Batch::of_one(EngineOp::Snapshot));
+        }
         let mut slot = self.shared.snap_slot.lock();
-        *slot = None;
-        self.shared.ring.push(Batch::of_one(EngineOp::Snapshot));
         loop {
-            if let Some(snap) = slot.take() {
-                return snap;
+            if slot.iter().all(Option::is_some) {
+                let parts: Vec<MetricsSnapshot> =
+                    slot.drain(..).map(|s| s.expect("all filled")).collect();
+                return aggregate_snapshots(parts);
             }
             self.check_alive("metrics snapshot");
             let (g, _) = self
@@ -508,20 +681,73 @@ impl ThreadedHandle {
     }
 }
 
+/// Sums per-shard snapshots into the view a single engine would have
+/// produced: counters sum ([`EngineMetrics::absorb`] /
+/// [`EngineStats::absorb`]), NIC rows interleave back into global rail
+/// order (shard `s` owns rails `s`, `s + N`, `s + 2N`, …).
+fn aggregate_snapshots(parts: Vec<MetricsSnapshot>) -> MetricsSnapshot {
+    let shards = parts.len();
+    let mut engine = EngineMetrics::default();
+    let mut wire = EngineStats::default();
+    let mut per_shard_nics: Vec<std::collections::VecDeque<NicMetrics>> = Vec::new();
+    let mut strategy = "";
+    for part in parts {
+        strategy = part.strategy;
+        engine.absorb(&part.engine);
+        wire.absorb(&part.wire);
+        per_shard_nics.push(part.nics.into());
+    }
+    let mut nics = Vec::new();
+    loop {
+        let mut any = false;
+        for shard_nics in per_shard_nics.iter_mut().take(shards) {
+            if let Some(nic) = shard_nics.pop_front() {
+                nics.push(nic);
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    MetricsSnapshot {
+        strategy,
+        engine,
+        wire,
+        nics,
+    }
+}
+
 /// A staged run of submissions sharing ring slots and one doorbell.
 ///
 /// Obtained from [`ThreadedHandle::submit_batch`]. Operations staged
-/// here are pushed quietly — full slots go into the ring without waking
-/// the consumer — and the doorbell rings once at
-/// [`flush`](Self::flush). Until the flush, a parked progression thread
-/// stays parked, so **never wait on a staged request before flushing**.
-/// Dropping the builder flushes.
+/// here are pushed quietly — full slots go into the owner shard's ring
+/// without waking the consumer — and each shard's doorbell rings at
+/// most once, at [`flush`](Self::flush). Until the flush, a parked
+/// progression thread stays parked, so **never wait on a staged
+/// request before flushing**. Dropping the builder flushes.
 pub struct SubmitBatch<'a> {
     handle: &'a ThreadedHandle,
-    current: OpBatch,
-    /// Operations staged (pushed quietly or buffered) since the last
-    /// flush.
-    staged: usize,
+    /// Cached shard count: lets the per-op path skip the routing hash
+    /// (and the `Arc` dereference it needs) entirely when the runtime
+    /// is single-sharded — the overwhelmingly common layout, and the
+    /// one the hot-path microbenches gate.
+    shards: usize,
+    /// Shard 0's open slot, inline: in single-shard mode every staged
+    /// op lands here with no per-op indexing or indirection.
+    primary: OpBatch,
+    /// Operations staged to shard 0 (pushed quietly or buffered) since
+    /// the last flush; a nonzero count earns shard 0 exactly one
+    /// doorbell at flush.
+    primary_staged: usize,
+    /// Open slot and staged count for shards `1..` — empty in
+    /// single-shard mode. Operations for different shards ride
+    /// different rings, so they cannot share a slot.
+    rest: Vec<(OpBatch, usize)>,
+    /// Total staged since the last flush, kept as a scalar because
+    /// [`pending`](Self::pending) sits on the application's per-op
+    /// flush-decision path.
+    pending: usize,
     /// Block-reserved request ids: `next_id..id_limit` belong to this
     /// builder. Reserving [`SLOT_OPS`] ids per `fetch_add` amortizes
     /// the shared counter's RMW the same way slots amortize the ring
@@ -548,21 +774,43 @@ impl SubmitBatch<'_> {
         id
     }
 
+    /// The shard owning flow (peer, tag) — constant 0 when the runtime
+    /// is single-sharded, so the batched path pays no hash per op.
     #[inline]
-    fn stage(&mut self, op: EngineOp) {
-        if let Err(op) = self.current.push(op) {
-            let full = std::mem::take(&mut self.current);
-            self.push_slot(full);
-            let _ = self.current.push(op);
+    fn shard_of(&self, peer: NodeId, tag: Tag) -> usize {
+        if self.shards == 1 {
+            0
+        } else {
+            self.handle.shared.route(peer, tag)
         }
-        self.staged += 1;
+    }
+
+    #[inline]
+    fn stage(&mut self, shard: usize, op: EngineOp) {
+        self.pending += 1;
+        if shard == 0 {
+            self.primary_staged += 1;
+            if let Err(op) = self.primary.push(op) {
+                let full = std::mem::take(&mut self.primary);
+                let _ = self.primary.push(op);
+                self.push_slot(0, full);
+            }
+        } else {
+            let r = &mut self.rest[shard - 1];
+            r.1 += 1;
+            if let Err(op) = r.0.push(op) {
+                let full = std::mem::take(&mut r.0);
+                let _ = r.0.push(op);
+                self.push_slot(shard, full);
+            }
+        }
     }
 
     /// Quiet slot push with backpressure: a full ring gets the doorbell
     /// (the consumer may be parked behind our own unflushed work) and a
     /// yield, never a drop.
-    fn push_slot(&self, mut slot: OpBatch) {
-        let ring = &self.handle.shared.ring;
+    fn push_slot(&self, shard: usize, mut slot: OpBatch) {
+        let ring = &self.handle.shared.shards[shard].ring;
         loop {
             match ring.try_push_quiet(slot) {
                 Ok(()) => return,
@@ -585,13 +833,17 @@ impl SubmitBatch<'_> {
         rail_hint: Option<usize>,
     ) -> SendReqId {
         let req = SendReqId(self.alloc_id());
-        self.stage(EngineOp::Send {
-            req,
-            dst,
-            tag,
-            parts,
-            rail_hint,
-        });
+        let shard = self.shard_of(dst, tag);
+        self.stage(
+            shard,
+            EngineOp::Send {
+                req,
+                dst,
+                tag,
+                parts,
+                rail_hint,
+            },
+        );
         req
     }
 
@@ -604,26 +856,39 @@ impl SubmitBatch<'_> {
     #[inline]
     pub fn post_recv(&mut self, src: NodeId, tag: Tag, max: usize) -> RecvReqId {
         let req = RecvReqId(self.alloc_id());
-        self.stage(EngineOp::Recv { req, src, tag, max });
+        let shard = self.shard_of(src, tag);
+        self.stage(shard, EngineOp::Recv { req, src, tag, max });
         req
     }
 
-    /// Operations staged since the last flush.
+    /// Operations staged since the last flush, across all shards.
+    #[inline]
     pub fn pending(&self) -> usize {
-        self.staged
+        self.pending
     }
 
-    /// Pushes the partially filled slot (if any) and rings the doorbell
-    /// once for everything staged since the last flush. The builder is
-    /// reusable afterwards.
+    /// Pushes the partially filled slots (if any) and rings each
+    /// touched shard's doorbell once for everything staged since the
+    /// last flush. The builder is reusable afterwards.
     pub fn flush(&mut self) {
-        if !self.current.is_empty() {
-            let full = std::mem::take(&mut self.current);
-            self.push_slot(full);
+        self.pending = 0;
+        if !self.primary.is_empty() {
+            let full = std::mem::take(&mut self.primary);
+            self.push_slot(0, full);
         }
-        if self.staged > 0 {
-            self.handle.shared.ring.doorbell();
-            self.staged = 0;
+        if self.primary_staged > 0 {
+            self.handle.shared.shards[0].ring.doorbell();
+            self.primary_staged = 0;
+        }
+        for shard in 1..self.shards {
+            if !self.rest[shard - 1].0.is_empty() {
+                let full = std::mem::take(&mut self.rest[shard - 1].0);
+                self.push_slot(shard, full);
+            }
+            if self.rest[shard - 1].1 > 0 {
+                self.handle.shared.shards[shard].ring.doorbell();
+                self.rest[shard - 1].1 = 0;
+            }
         }
     }
 }
@@ -634,17 +899,129 @@ impl Drop for SubmitBatch<'_> {
     }
 }
 
-/// The progression thread body: drain the ring, pump the engine,
-/// harvest completions, publish metrics, park when idle.
-fn run(mut engine: NmadEngine, shared: &Shared, config: &EngineConfig) -> NmadEngine {
+/// Drains shard `shard`'s steal mailbox into its engine. Returns true
+/// if anything arrived.
+fn drain_steal_mailbox(engine: &mut NmadEngine, shared: &Shared, shard: usize) -> bool {
+    let mut moved = false;
+    for msg in shared.steal.drain(shard) {
+        moved = true;
+        match msg {
+            StealMsg::Donation { victim, wrappers } => engine.accept_donations(victim, wrappers),
+            StealMsg::Undonate { wrappers } => {
+                for w in wrappers {
+                    engine.undonate(w);
+                }
+            }
+            StealMsg::Frame {
+                src,
+                frame,
+                rx_zero_copy,
+            } => {
+                // An injection error is a protocol corruption, not a
+                // transport fault, but waiters still need the diagnosis.
+                if let Err(e) = engine.inject_frame(src, frame, rx_zero_copy) {
+                    *shared.fail.lock() = Some(format!(
+                        "forwarded-frame injection failed on node {} shard {shard}: {e}",
+                        engine.node()
+                    ));
+                    shared.dead.store(true, Ordering::SeqCst);
+                }
+            }
+            StealMsg::Done(req) => engine.complete_foreign_done(req),
+        }
+    }
+    moved
+}
+
+/// Forwards what the engine produced for *other* shards: received
+/// foreign frames to their owner shard, spool-transmit completions to
+/// their victim. Returns true if anything was forwarded.
+fn forward_cross_shard(engine: &mut NmadEngine, shared: &Shared, shard: usize) -> bool {
+    let mut moved = false;
+    for (owner, src, frame, rx_zero_copy) in engine.drain_foreign_rx() {
+        moved = true;
+        debug_assert_ne!(owner, shard, "own frames never reach the foreign path");
+        // On Err the owner departed: the runtime is shutting down and
+        // the owner had no posted work left; the frame is dropped like
+        // completions still parked on the board at shutdown.
+        if let Ok(()) = shared.steal.push(
+            owner,
+            StealMsg::Frame {
+                src,
+                frame,
+                rx_zero_copy,
+            },
+        ) {
+            shared.steal.note_forwarded_frame()
+        }
+    }
+    for (req, victim) in engine.drain_spool_done() {
+        moved = true;
+        // A victim with outstanding donations has a nonempty sends
+        // map, is not tx-quiescent, and therefore cannot have
+        // departed; the push only fails after a transport death.
+        if shared.steal.push(victim, StealMsg::Done(req)).is_ok() {
+            shared.steal.note_forwarded_done();
+        }
+    }
+    moved
+}
+
+/// The victim half of the steal decision: if this shard's donation
+/// backlog is deep and some other shard advertises idle, donate a
+/// batch of small eager segments to it.
+fn maybe_donate(engine: &mut NmadEngine, shared: &Shared, shard: usize, config: &EngineConfig) {
+    if engine.donation_backlog() < config.steal_depth {
+        return;
+    }
+    let Some(thief) = shared.steal.pick_thief(shard) else {
+        return;
+    };
+    let wrappers = engine.donate_eager(config.steal_batch);
+    if wrappers.is_empty() {
+        return;
+    }
+    let n = wrappers.len() as u64;
+    match shared.steal.push(
+        thief,
+        StealMsg::Donation {
+            victim: shard,
+            wrappers,
+        },
+    ) {
+        Ok(()) => shared.steal.note_donated(n),
+        Err(StealMsg::Donation { wrappers, .. }) => {
+            // The thief departed between pick and push: take the work
+            // back (re-queue + credit refund), nothing is lost.
+            shared.steal.note_bounced(n);
+            for w in wrappers {
+                engine.undonate(w);
+            }
+        }
+        Err(_) => unreachable!("push returns the message it was given"),
+    }
+}
+
+/// A progression shard's thread body: drain the steal mailbox and the
+/// submission ring, pump the engine, forward cross-shard work, harvest
+/// completions, publish metrics, park when idle.
+/// The single-shard pump loop: the unsharded engine's loop, verbatim.
+///
+/// A single-shard runtime has no peer to steal from or forward to, so
+/// none of the cross-shard protocol belongs in its pump. This is kept
+/// as a separate loop rather than `sharded` branches inside [`run`]
+/// because the submit-overhead microbench gates the pump's per-spin
+/// cost on one core, where every cycle the consumer burns — including
+/// dead branches bloating the loop body — lengthens the producer's
+/// timed burst.
+fn run_single(mut engine: NmadEngine, shared: &Shared, config: &EngineConfig) -> NmadEngine {
     let mut shutting_down = false;
+    let my = &shared.shards[0];
     loop {
-        // 1. Drain a bounded batch of submissions: one ring pop hands
-        // over a whole slot of up to SLOT_OPS operations, so the
-        // per-slot synchronization cost is amortized across the run.
+        // 1. Drain a bounded batch of submissions.
         let mut drained = 0usize;
         while drained < config.submit_batch {
-            let Some(batch) = shared.ring.pop() else {
+            let Some(batch) = my.ring.pop() else {
                 break;
             };
             for op in batch {
@@ -661,7 +1038,92 @@ fn run(mut engine: NmadEngine, shared: &Shared, config: &EngineConfig) -> NmadEn
                     }
                     EngineOp::Snapshot => {
                         let snap = engine.metrics();
-                        *shared.snap_slot.lock() = Some(snap);
+                        shared.snap_slot.lock()[0] = Some(snap);
+                        shared.snap_cv.notify_all();
+                    }
+                    EngineOp::Shutdown => shutting_down = true,
+                }
+                drained += 1;
+            }
+        }
+
+        // 2. One engine pump.
+        let moved = match engine.try_progress() {
+            Ok(moved) => moved,
+            Err(e) => {
+                *shared.fail.lock() =
+                    Some(format!("transport failure on node {}: {e}", engine.node()));
+                shared.dead.store(true, Ordering::SeqCst);
+                break;
+            }
+        };
+
+        // 3. Harvest completions onto the board.
+        let done_sends = engine.drain_done_sends();
+        let done_recvs = engine.drain_done_recvs();
+        let harvested = !done_sends.is_empty() || !done_recvs.is_empty();
+        shared.board.post_sends_done(&done_sends);
+        shared.board.post_recvs_done(done_recvs);
+
+        // 4. Mirror the hot counters.
+        my.hot.publish(engine.engine_metrics(), engine.stats());
+
+        if shutting_down && my.ring.is_empty() && engine.tx_quiescent() {
+            break;
+        }
+
+        // 5. Pace: spin while work is outstanding, park otherwise.
+        if !moved && !harvested && drained == 0 {
+            if engine.has_outstanding() || shutting_down {
+                std::thread::yield_now();
+            } else {
+                my.ring.wait_nonempty(config.idle_park);
+            }
+        }
+    }
+    // Keep the exit invariant the sharded loop establishes: the
+    // mailbox refuses pushes once its owner is gone. Nothing can have
+    // been pushed — only progression threads send steal messages.
+    let residue = shared.steal.depart(0);
+    debug_assert!(residue.is_empty(), "steal traffic on a lone shard");
+    engine
+}
+
+fn run(mut engine: NmadEngine, shared: &Shared, config: &EngineConfig, shard: usize) -> NmadEngine {
+    if shared.shards.len() == 1 {
+        return run_single(engine, shared, config);
+    }
+    let mut shutting_down = false;
+    let my = &shared.shards[shard];
+    loop {
+        // 0. Cross-shard inbox: donations to spool, bounced donations
+        // to re-queue, forwarded frames to inject, spool completions
+        // to settle.
+        let steal_moved = drain_steal_mailbox(&mut engine, shared, shard);
+
+        // 1. Drain a bounded batch of submissions: one ring pop hands
+        // over a whole slot of up to SLOT_OPS operations, so the
+        // per-slot synchronization cost is amortized across the run.
+        let mut drained = 0usize;
+        while drained < config.submit_batch {
+            let Some(batch) = my.ring.pop() else {
+                break;
+            };
+            for op in batch {
+                match op {
+                    EngineOp::Send {
+                        req,
+                        dst,
+                        tag,
+                        parts,
+                        rail_hint,
+                    } => engine.submit_send_parts_as(req, dst, tag, parts, rail_hint),
+                    EngineOp::Recv { req, src, tag, max } => {
+                        engine.post_recv_as(req, src, tag, max)
+                    }
+                    EngineOp::Snapshot => {
+                        let snap = engine.metrics();
+                        shared.snap_slot.lock()[shard] = Some(snap);
                         shared.snap_cv.notify_all();
                     }
                     EngineOp::Shutdown => shutting_down = true,
@@ -678,37 +1140,91 @@ fn run(mut engine: NmadEngine, shared: &Shared, config: &EngineConfig) -> NmadEn
                 *shared.fail.lock() =
                     Some(format!("transport failure on node {}: {e}", engine.node()));
                 shared.dead.store(true, Ordering::SeqCst);
-                shared.snap_cv.notify_all();
-                return engine;
+                break;
             }
         };
 
-        // 3. Harvest completions onto the board, batched symmetrically
-        // with submission: each shard lock is taken at most once per
-        // harvest instead of once per completion.
+        // 3. Cross-shard outbox, then the steal decision.
+        let forwarded = forward_cross_shard(&mut engine, shared, shard);
+        shared
+            .steal
+            .advertise_depth(shard, engine.donation_backlog());
+        shared
+            .steal
+            .advertise_idle(shard, engine.tx_quiescent() && !shutting_down);
+        if !shutting_down {
+            maybe_donate(&mut engine, shared, shard, config);
+        }
+
+        // 4. Harvest completions onto the board, batched symmetrically
+        // with submission: each board bucket's lock is taken at most
+        // once per harvest instead of once per completion.
         let done_sends = engine.drain_done_sends();
         let done_recvs = engine.drain_done_recvs();
         let harvested = !done_sends.is_empty() || !done_recvs.is_empty();
         shared.board.post_sends_done(&done_sends);
         shared.board.post_recvs_done(done_recvs);
 
-        // 4. Mirror the hot counters.
-        shared.hot.publish(engine.engine_metrics(), engine.stats());
+        // 5. Mirror the hot counters.
+        my.hot.publish(engine.engine_metrics(), engine.stats());
 
-        if shutting_down && shared.ring.is_empty() && engine.tx_quiescent() {
-            return engine;
+        // Another shard died: exit even if not quiescent, so shutdown
+        // joins don't hang behind work that can never finish.
+        if shared.dead.load(Ordering::Relaxed) {
+            break;
         }
 
-        // 5. Pace: spin while work is outstanding, park on the ring
-        // otherwise.
-        if !moved && !harvested && drained == 0 {
+        if shutting_down && my.ring.is_empty() && engine.tx_quiescent() {
+            break;
+        }
+
+        // 6. Pace: spin while work is outstanding, park on the ring
+        // otherwise. (Steal messages don't ring the doorbell; a parked
+        // shard sees them after at most one idle_park.)
+        if !moved && !harvested && !steal_moved && !forwarded && drained == 0 {
             if engine.has_outstanding() || shutting_down {
                 std::thread::yield_now();
             } else {
-                shared.ring.wait_nonempty(config.idle_park);
+                my.ring.wait_nonempty(config.idle_park);
             }
         }
     }
+
+    // Exit: refuse further steal messages and settle the residue in
+    // one atomic step, so nothing is stranded in the mailbox.
+    for msg in shared.steal.depart(shard) {
+        match msg {
+            // Bounce unplaced donations home. The victim still has the
+            // donated requests in its sends map, so it is not
+            // quiescent and cannot have departed.
+            StealMsg::Donation { victim, wrappers } => {
+                let n = wrappers.len() as u64;
+                if shared
+                    .steal
+                    .push(victim, StealMsg::Undonate { wrappers })
+                    .is_ok()
+                {
+                    shared.steal.note_bounced(n);
+                }
+            }
+            // Our own donation bounced back after we decided to leave:
+            // only possible when we were not quiescent, i.e. on the
+            // dead-runtime path — re-queue for the merged engine.
+            StealMsg::Undonate { wrappers } => {
+                for w in wrappers {
+                    engine.undonate(w);
+                }
+            }
+            // A frame for a flow we own, arriving as we leave with no
+            // posted work: dropped, like completions parked on the
+            // board at shutdown.
+            StealMsg::Frame { .. } => {}
+            // A completion for a donation we made: unreachable on the
+            // clean path (we'd not be quiescent), settle it anyway.
+            StealMsg::Done(req) => engine.complete_foreign_done(req),
+        }
+    }
+    engine
 }
 
 /// Model-checked board properties (see `tests/model_check.rs` for the
@@ -726,7 +1242,7 @@ mod model_tests {
     fn model_board_distinct_posts_are_duplicate_free() {
         let stats = Checker::new()
             .check(|| {
-                let board = Arc::new(CompletionBoard::new());
+                let board = Arc::new(CompletionBoard::new(1));
                 let (b1, b2) = (Arc::clone(&board), Arc::clone(&board));
                 let t1 = thread::spawn(move || b1.post_sends_done(&[SendReqId(1)]));
                 let t2 = thread::spawn(move || b2.post_sends_done(&[SendReqId(2)]));
@@ -759,7 +1275,7 @@ mod model_tests {
     fn model_board_counts_racing_duplicate_posts() {
         Checker::new()
             .check(|| {
-                let board = Arc::new(CompletionBoard::new());
+                let board = Arc::new(CompletionBoard::new(1));
                 let (b1, b2) = (Arc::clone(&board), Arc::clone(&board));
                 let t1 = thread::spawn(move || b1.post_sends_done(&[SendReqId(7)]));
                 let t2 = thread::spawn(move || b2.post_sends_done(&[SendReqId(7)]));
@@ -800,6 +1316,33 @@ mod tests {
             )
         };
         (launch(a), launch(b))
+    }
+
+    /// A two-node pair with `rails` independent in-memory rails per
+    /// node (one fabric per rail), launched with `shards` progression
+    /// shards.
+    fn mem_pair_sharded(rails: usize, shards: usize) -> (ThreadedEngine, ThreadedEngine) {
+        let mut a_rails: Vec<Box<dyn nmad_net::Driver>> = Vec::new();
+        let mut b_rails: Vec<Box<dyn nmad_net::Driver>> = Vec::new();
+        for _ in 0..rails {
+            let mut fabric = mem_fabric(2);
+            let b = fabric.pop().unwrap();
+            let a = fabric.pop().unwrap();
+            a_rails.push(Box::new(a));
+            b_rails.push(Box::new(b));
+        }
+        let launch = |drivers: Vec<Box<dyn nmad_net::Driver>>| {
+            ThreadedEngine::launch(
+                NmadEngine::new(
+                    drivers,
+                    Box::new(NullMeter),
+                    Box::new(StratAggreg),
+                    EngineCosts::zero(),
+                ),
+                EngineConfig::sharded(shards),
+            )
+        };
+        (launch(a_rails), launch(b_rails))
     }
 
     #[test]
@@ -957,6 +1500,101 @@ mod tests {
             std::thread::yield_now();
         }
         panic!("hot mirror never converged to the snapshot totals");
+    }
+
+    #[test]
+    fn sharded_roundtrip_covers_every_shard() {
+        let (a, b) = mem_pair_sharded(2, 2);
+        assert_eq!(a.shards(), 2);
+        let (ah, bh) = (a.handle(), b.handle());
+        // Enough tags that HashByDest populates both shards.
+        let n = 32u32;
+        let shards_hit: HashSet<usize> = (0..n).map(|t| ah.shard_of(NodeId(1), Tag(t))).collect();
+        assert_eq!(shards_hit.len(), 2, "tag mix must cover both shards");
+        let recvs: Vec<_> = (0..n)
+            .map(|t| bh.post_recv(NodeId(0), Tag(t), 64))
+            .collect();
+        let sends: Vec<_> = (0..n)
+            .map(|t| ah.isend(NodeId(1), Tag(t), vec![t as u8; 48]))
+            .collect();
+        ah.wait_sends(&sends);
+        let dones = bh.wait_recvs(&recvs);
+        for (t, done) in dones.iter().enumerate() {
+            assert_eq!(done.data, vec![t as u8; 48], "payload for tag {t}");
+            assert_eq!(done.src, NodeId(0));
+        }
+        assert_eq!(ah.completion_duplicates(), 0);
+        assert_eq!(bh.completion_duplicates(), 0);
+    }
+
+    #[test]
+    fn sharded_launch_clamps_shards_to_rail_count() {
+        let (a, b) = mem_pair_sharded(2, 8);
+        assert_eq!(a.shards(), 2, "no shard may run without a rail");
+        let (ah, bh) = (a.handle(), b.handle());
+        let r = bh.post_recv(NodeId(0), Tag(1), 16);
+        let s = ah.isend(NodeId(1), Tag(1), &b"clamped"[..]);
+        ah.wait_send(s);
+        assert_eq!(bh.wait_recv(r).data, b"clamped");
+    }
+
+    #[test]
+    fn sharded_shutdown_merges_back_to_one_inline_engine() {
+        let (a, b) = mem_pair_sharded(2, 2);
+        let (ah, bh) = (a.handle(), b.handle());
+        let n = 16u32;
+        let recvs: Vec<_> = (0..n)
+            .map(|t| bh.post_recv(NodeId(0), Tag(t), 32))
+            .collect();
+        let sends: Vec<_> = (0..n)
+            .map(|t| ah.isend(NodeId(1), Tag(t), vec![t as u8; 24]))
+            .collect();
+        ah.wait_sends(&sends);
+        bh.wait_recvs(&recvs);
+        let max_send = sends.iter().map(|s| s.0).max().unwrap();
+        let mut a = a.shutdown();
+        let mut b = b.shutdown();
+        assert_eq!(a.rail_count(), 2, "merge restores every rail");
+        // Inline use after the merge; sequence state must continue the
+        // threaded phase's per-flow numbering.
+        let r2 = b.post_recv(NodeId(0), Tag(3), 32);
+        let s2 = a.isend(NodeId(1), Tag(3), &b"post-merge"[..]);
+        assert!(s2.0 > max_send, "request ids reused after shutdown");
+        for _ in 0..10_000 {
+            a.progress_until_idle();
+            b.progress_until_idle();
+            if a.is_send_done(s2) && b.is_recv_done(r2) {
+                break;
+            }
+        }
+        assert_eq!(b.try_take_recv(r2).unwrap().data, b"post-merge");
+    }
+
+    #[test]
+    fn sharded_metrics_aggregate_across_shards() {
+        let (a, b) = mem_pair_sharded(2, 2);
+        let (ah, bh) = (a.handle(), b.handle());
+        let n = 24u32;
+        let recvs: Vec<_> = (0..n)
+            .map(|t| bh.post_recv(NodeId(0), Tag(t), 64))
+            .collect();
+        let sends: Vec<_> = (0..n)
+            .map(|t| ah.isend(NodeId(1), Tag(t), vec![t as u8; 64]))
+            .collect();
+        ah.wait_sends(&sends);
+        bh.wait_recvs(&recvs);
+        let snap = ah.metrics();
+        assert_eq!(snap.engine.requests_submitted, u64::from(n));
+        assert_eq!(snap.wire.data_entries, u64::from(n));
+        assert_eq!(snap.nics.len(), 2, "both rails in the aggregate");
+        for _ in 0..1_000_000 {
+            let (hot, wire) = ah.hot_metrics();
+            if hot == snap.engine && wire == snap.wire {
+                return;
+            }
+            std::thread::yield_now();
+        }
+        panic!("sharded hot mirror never converged to the snapshot totals");
     }
 
     #[test]

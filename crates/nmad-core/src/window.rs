@@ -224,6 +224,19 @@ impl Window {
         self.common.push_front(wrapper);
     }
 
+    /// The segment at the back of the common list, if any (the steal
+    /// path peeks here before deciding to donate).
+    pub fn common_back(&self) -> Option<&PackWrapper> {
+        self.common.back()
+    }
+
+    /// Pops the back of the common list. Donations come from the back
+    /// so the front — the oldest traffic, next in line for a NIC —
+    /// keeps its position.
+    pub fn pop_common_back(&mut self) -> Option<PackWrapper> {
+        self.common.pop_back()
+    }
+
     /// Push rdv.
     pub fn push_rdv(&mut self, job: RdvJob) {
         self.update_counts(job.dst, |c| c.rdv += 1);
@@ -356,6 +369,99 @@ impl Window {
     /// Read-only view of the common list (selection heuristics).
     pub fn common_ref(&self) -> &VecDeque<PackWrapper> {
         &self.common
+    }
+
+    /// Read-only view of the queued control messages (tests, shard
+    /// split verification).
+    pub fn ctrl_ref(&self) -> &VecDeque<CtrlMsg> {
+        &self.ctrl
+    }
+
+    /// Read-only view of the queued rendezvous jobs (tests, shard
+    /// split verification).
+    pub fn rdv_ref(&self) -> &VecDeque<RdvJob> {
+        &self.rdv
+    }
+
+    /// Number of dedicated per-NIC lists this window was built with.
+    pub fn nic_count(&self) -> usize {
+        self.dedicated.len()
+    }
+
+    // --- shard split / merge ---
+
+    /// Splits the window into `shards` parts for the sharded
+    /// progression runtime.
+    ///
+    /// * **Dedicated lists** follow their rail: global rail `r` belongs
+    ///   to shard `r % shards` (the same round-robin partition the
+    ///   engine applies to its drivers), becoming that part's local
+    ///   list `r / shards`. Their contents move wholesale and in order
+    ///   — an application that pinned a rail keeps its pinning.
+    /// * **Control messages, common segments and rendezvous jobs** go
+    ///   to `owner(dst, tag)` — the shard-routing function — keeping
+    ///   their relative order within each part.
+    ///
+    /// Every queued item lands in exactly one part and every part's
+    /// destination index is consistent ([`Self::index_is_consistent`]);
+    /// [`Window::merge`] restores the original window exactly up to the
+    /// documented interleaving (per-flow order is always preserved,
+    /// which is the delivery-relevant invariant — receivers restore
+    /// per-flow order from sequence numbers regardless).
+    pub fn split(self, shards: usize, mut owner: impl FnMut(NodeId, Tag) -> usize) -> Vec<Window> {
+        assert!(shards > 0, "cannot split into zero shards");
+        let nic_count = self.dedicated.len();
+        let mut parts: Vec<Window> = (0..shards)
+            .map(|s| {
+                // Rails r with r % shards == s, i.e. one list per
+                // global rail this shard owns (possibly zero).
+                let local_nics = (s..nic_count).step_by(shards.max(1)).count();
+                Window::new(local_nics)
+            })
+            .collect();
+        for (rail, list) in self.dedicated.into_iter().enumerate() {
+            parts[rail % shards].dedicated[rail / shards] = list;
+        }
+        for msg in self.ctrl {
+            let s = owner(msg.dst, msg.tag) % shards;
+            parts[s].push_ctrl(msg);
+        }
+        for w in self.common {
+            let s = owner(w.dst, w.tag) % shards;
+            parts[s].common.push_back(w);
+        }
+        for job in self.rdv {
+            let s = owner(job.dst, job.tag) % shards;
+            parts[s].push_rdv(job);
+        }
+        debug_assert!(parts.iter().all(Window::index_is_consistent));
+        parts
+    }
+
+    /// Reassembles a window from the parts produced by
+    /// [`Window::split`], inverting the rail partition: part `s`'s
+    /// local list `j` becomes global rail `j * parts.len() + s`.
+    /// Control, common and rendezvous queues concatenate in part
+    /// order, preserving each part's internal (hence per-flow) order.
+    pub fn merge(parts: Vec<Window>) -> Window {
+        assert!(!parts.is_empty(), "cannot merge zero windows");
+        let shards = parts.len();
+        let nic_count: usize = parts.iter().map(|p| p.dedicated.len()).sum();
+        let mut merged = Window::new(nic_count);
+        for (s, part) in parts.into_iter().enumerate() {
+            for (j, list) in part.dedicated.into_iter().enumerate() {
+                merged.dedicated[j * shards + s] = list;
+            }
+            for msg in part.ctrl {
+                merged.push_ctrl(msg);
+            }
+            merged.common.extend(part.common);
+            for job in part.rdv {
+                merged.push_rdv(job);
+            }
+        }
+        debug_assert!(merged.index_is_consistent());
+        merged
     }
 
     /// Read-only view of a dedicated list (selection heuristics).
@@ -728,6 +834,43 @@ mod failover_tests {
     }
 
     #[test]
+    fn split_partitions_by_owner_and_rail() {
+        let mut w = Window::new(4);
+        w.push_segment(wrapper(11, 4), Some(0));
+        w.push_segment(wrapper(12, 4), Some(3));
+        w.push_segment(wrapper(13, 4), None);
+        w.push_ctrl(CtrlMsg {
+            dst: NodeId(1),
+            tag: Tag(20),
+            seq: SeqNo(0),
+            total: 9,
+        });
+        // Owner = tag parity.
+        let parts = w.split(2, |_, tag| tag.0 as usize % 2);
+        assert_eq!(parts.len(), 2);
+        // Rails 0 and 2 belong to part 0; rails 1 and 3 to part 1.
+        assert_eq!(parts[0].nic_count(), 2);
+        assert_eq!(parts[1].nic_count(), 2);
+        assert_eq!(parts[0].dedicated_ref(0).len(), 1, "rail 0 moved whole");
+        assert_eq!(
+            parts[1].dedicated_ref(1).len(),
+            1,
+            "rail 3 is part 1's list 1"
+        );
+        // tag 13 is odd → part 1's common list; ctrl tag 20 is even → part 0.
+        assert_eq!(parts[1].common_ref().len(), 1);
+        assert_eq!(parts[0].ctrl_ref().len(), 1);
+        assert!(parts.iter().all(Window::index_is_consistent));
+        let merged = Window::merge(parts);
+        assert_eq!(merged.nic_count(), 4);
+        assert!(merged.index_is_consistent());
+        assert_eq!(merged.dedicated_ref(0).len(), 1);
+        assert_eq!(merged.dedicated_ref(3).len(), 1);
+        assert_eq!(merged.common_ref().len(), 1);
+        assert_eq!(merged.ctrl_ref().len(), 1);
+    }
+
+    #[test]
     fn has_non_data_work_distinguishes_traffic_classes() {
         let mut w = Window::new(1);
         assert!(!w.has_non_data_work_for(NodeId(1)));
@@ -744,5 +887,184 @@ mod failover_tests {
         });
         assert!(w.has_non_data_work_for(NodeId(1)));
         assert!(!w.has_non_data_work_for(NodeId(2)), "per-destination");
+    }
+}
+
+/// Satellite 3: `Window::split` / `Window::merge` round-trip exactly for
+/// arbitrary shard counts and destination mixes. "Exactly" means: the
+/// per-destination index stays consistent in every part and after the
+/// merge, dedicated rail lists are restored verbatim, and every traffic
+/// class is restored as a multiset with per-flow (dst, tag) relative
+/// order preserved.
+#[cfg(test)]
+mod split_roundtrip_props {
+    use super::*;
+    use crate::segment::Priority;
+    use proptest::prelude::*;
+
+    /// One generated push. `kind` selects the traffic class, `rail`
+    /// picks a dedicated list when the class is a pinned segment.
+    type Op = (u8, u32, u32, u8);
+
+    fn owner_hash(dst: NodeId, tag: Tag) -> usize {
+        (dst.0 as usize)
+            .wrapping_mul(31)
+            .wrapping_add(tag.0 as usize)
+            .wrapping_mul(0x9e37)
+    }
+
+    fn seg(dst: u32, tag: u32, seq: u32) -> PackWrapper {
+        PackWrapper {
+            dst: NodeId(dst),
+            tag: Tag(tag),
+            seq: SeqNo(seq),
+            priority: Priority::Normal,
+            data: Bytes::from(vec![seq as u8; 4]),
+            req: SendReqId(u64::from(seq)),
+            order: u64::from(seq),
+        }
+    }
+
+    /// Flattened identity of a queued item, comparable across the
+    /// round trip: (class, dst, tag, seq).
+    fn build(nics: usize, ops: &[Op]) -> Window {
+        let mut w = Window::new(nics);
+        for (i, &(kind, dst, tag, rail)) in ops.iter().enumerate() {
+            let seq = i as u32;
+            match kind % 4 {
+                0 => w.push_segment(seg(dst, tag, seq), None),
+                1 => w.push_segment(seg(dst, tag, seq), Some(rail as usize % nics)),
+                2 => w.push_ctrl(CtrlMsg {
+                    dst: NodeId(dst),
+                    tag: Tag(tag),
+                    seq: SeqNo(seq),
+                    total: seq,
+                }),
+                _ => w.push_rdv(RdvJob::new(
+                    NodeId(dst),
+                    Tag(tag),
+                    SeqNo(seq),
+                    Bytes::from(vec![0u8; 8]),
+                    SendReqId(u64::from(seq)),
+                )),
+            }
+        }
+        w
+    }
+
+    fn ctrl_ids(w: &Window) -> Vec<(u32, u32, u32)> {
+        w.ctrl_ref()
+            .iter()
+            .map(|m| (m.dst.0, m.tag.0, m.seq.0))
+            .collect()
+    }
+
+    fn common_ids(w: &Window) -> Vec<(u32, u32, u32)> {
+        w.common_ref()
+            .iter()
+            .map(|s| (s.dst.0, s.tag.0, s.seq.0))
+            .collect()
+    }
+
+    fn rdv_ids(w: &Window) -> Vec<(u32, u32, u32)> {
+        w.rdv_ref()
+            .iter()
+            .map(|j| (j.dst.0, j.tag.0, j.seq.0))
+            .collect()
+    }
+
+    fn dedicated_ids(w: &Window) -> Vec<Vec<(u32, u32, u32)>> {
+        (0..w.nic_count())
+            .map(|n| {
+                w.dedicated_ref(n)
+                    .iter()
+                    .map(|s| (s.dst.0, s.tag.0, s.seq.0))
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn per_flow(ids: &[(u32, u32, u32)]) -> HashMap<(u32, u32), Vec<u32>> {
+        let mut flows: HashMap<(u32, u32), Vec<u32>> = HashMap::new();
+        for &(dst, tag, seq) in ids {
+            flows.entry((dst, tag)).or_default().push(seq);
+        }
+        flows
+    }
+
+    fn sorted(mut ids: Vec<(u32, u32, u32)>) -> Vec<(u32, u32, u32)> {
+        ids.sort_unstable();
+        ids
+    }
+
+    proptest! {
+        #[test]
+        fn split_merge_roundtrips_exactly(
+            nics in 1usize..5,
+            shards in 1usize..6,
+            ops in proptest::collection::vec(
+                (0u8..4, 0u32..5, 0u32..6, 0u8..4),
+                0..60,
+            ),
+        ) {
+            let original = build(nics, &ops);
+            let before_ctrl = ctrl_ids(&original);
+            let before_common = common_ids(&original);
+            let before_rdv = rdv_ids(&original);
+            let before_dedicated = dedicated_ids(&original);
+
+            let parts = original.split(shards, owner_hash);
+            prop_assert_eq!(parts.len(), shards);
+            let mut total_nics = 0;
+            for (s, part) in parts.iter().enumerate() {
+                prop_assert!(part.index_is_consistent(), "part {} index diverged", s);
+                total_nics += part.nic_count();
+                // Routed classes must actually live on their owner shard.
+                for m in part.ctrl_ref() {
+                    prop_assert_eq!(owner_hash(m.dst, m.tag) % shards, s);
+                }
+                for w in part.common_ref() {
+                    prop_assert_eq!(owner_hash(w.dst, w.tag) % shards, s);
+                }
+                for j in part.rdv_ref() {
+                    prop_assert_eq!(owner_hash(j.dst, j.tag) % shards, s);
+                }
+            }
+            prop_assert_eq!(total_nics, nics, "no rail lost or duplicated");
+
+            let merged = Window::merge(parts);
+            prop_assert!(merged.index_is_consistent());
+            prop_assert_eq!(merged.nic_count(), nics);
+
+            // Dedicated rail lists are restored verbatim.
+            prop_assert_eq!(dedicated_ids(&merged), before_dedicated);
+
+            // Routed classes: multiset identity...
+            let after_ctrl = ctrl_ids(&merged);
+            let after_common = common_ids(&merged);
+            let after_rdv = rdv_ids(&merged);
+            prop_assert_eq!(sorted(after_ctrl.clone()), sorted(before_ctrl.clone()));
+            prop_assert_eq!(sorted(after_common.clone()), sorted(before_common.clone()));
+            prop_assert_eq!(sorted(after_rdv.clone()), sorted(before_rdv.clone()));
+            // ...and per-flow (dst, tag) relative order preserved.
+            prop_assert_eq!(per_flow(&after_ctrl), per_flow(&before_ctrl));
+            prop_assert_eq!(per_flow(&after_common), per_flow(&before_common));
+            prop_assert_eq!(per_flow(&after_rdv), per_flow(&before_rdv));
+        }
+
+        #[test]
+        fn split_of_empty_window_yields_empty_consistent_parts(
+            nics in 1usize..5,
+            shards in 1usize..9,
+        ) {
+            let parts = Window::new(nics).split(shards, |dst, _| dst.0 as usize);
+            for part in &parts {
+                prop_assert!(part.is_empty());
+                prop_assert!(part.index_is_consistent());
+            }
+            let merged = Window::merge(parts);
+            prop_assert!(merged.is_empty());
+            prop_assert_eq!(merged.nic_count(), nics);
+        }
     }
 }

@@ -57,6 +57,13 @@ pub static RULES: &[Rule] = &[
         description: "every crates/*/src/lib.rs (and the umbrella src/lib.rs) \
                       declares #![forbid(unsafe_code)]",
     },
+    Rule {
+        name: "steal-facade-only",
+        description: "no `StealMailbox` token outside crates/nmad-core/src/steal.rs: \
+                      cross-shard state moves only through the StealGroup facade, \
+                      whose departed-under-lock protocol is what the shard model \
+                      suites verify",
+    },
 ];
 
 /// A single finding.
@@ -333,6 +340,15 @@ pub fn lint_file(path: &str, raw: &str) -> Vec<Violation> {
             });
         }
 
+        if path != "crates/nmad-core/src/steal.rs" && has_word(line, "StealMailbox") {
+            out.push(Violation {
+                rule: "steal-facade-only",
+                file: path.to_string(),
+                line: lineno,
+                excerpt: excerpt(line),
+            });
+        }
+
         if HOT_PATH_FILES.contains(&path)
             && (line.contains("std::sync::Mutex")
                 || line.contains("std::sync::Condvar")
@@ -473,9 +489,24 @@ let c = 'u';
     }
 
     #[test]
+    fn steal_mailbox_confined_to_the_facade() {
+        let src = "let m: StealMailbox<u64> = StealMailbox::new();\n";
+        let v = lint_file("crates/nmad-core/src/threaded.rs", src);
+        assert_eq!(v[0].rule, "steal-facade-only");
+        assert!(lint_file("crates/nmad-core/src/steal.rs", src).is_empty());
+        // Comments and longer identifiers do not trip the rule.
+        let ok = lint_file(
+            "crates/nmad-core/src/threaded.rs",
+            "// the StealMailbox protocol is documented in steal.rs\nlet x = NotAStealMailboxX;\n",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
     fn rule_catalog_is_stable() {
-        assert_eq!(RULES.len(), 6);
+        assert_eq!(RULES.len(), 7);
         let names: Vec<&str> = RULES.iter().map(|r| r.name).collect();
         assert!(names.contains(&"raw-atomics-outside-facade"));
+        assert!(names.contains(&"steal-facade-only"));
     }
 }

@@ -15,11 +15,13 @@
 //!   scheduler luck — 47% and 0% were observed on consecutive runs of
 //!   the same build on one core — while saturated overlap (the 256K
 //!   threaded row pins at ~99.9%) is robust enough to defend.
-//! * `BENCH_batch.json` — the `speedups` ratios (batched vs single
-//!   submission, wheel vs heap), higher is better. The absolute
+//! * `BENCH_batch.json` — the `speedups` ratios, higher is better.
+//!   Only the wheel-vs-heap ratio gates: the batched-vs-single ratios
+//!   are two-thread wall clock on a shared one-core runner and swing
+//!   severalfold run to run (see `extract_batch`). The absolute
 //!   `ns_per_op` rows are printed for context but not gated: wall
-//!   clock ns depends on the machine, while the amortization *ratio*
-//!   is the property the batching work guarantees.
+//!   clock ns depends on the machine, while a same-process *ratio*
+//!   is the property the work guarantees.
 //!
 //! A metric is a regression when it moves past the tolerance in its
 //! bad direction; a baseline metric missing from the current report
@@ -98,6 +100,7 @@ pub fn bench_diff(args: &[String]) -> ExitCode {
         ),
         ("BENCH_overlap.json", extract_overlap as _),
         ("BENCH_batch.json", extract_batch as _),
+        ("BENCH_shards.json", extract_shards as _),
     ] {
         let base_path = Path::new(&baseline_dir).join(file);
         let cur_path = Path::new(&current_dir).join(file);
@@ -276,18 +279,47 @@ fn extract_batch(base: &Json, cur: &Json) -> Vec<Metric> {
             })
             .unwrap_or_default()
     };
-    // The send-burst speedup is dominated by how the OS interleaves
-    // the two engines' progression threads with the submitting thread
-    // — observed 5x to 30x run to run on the same build — so it is
-    // context, not a gate. The recv-burst and wheel ratios measure
-    // machinery the scheduler barely touches and gate normally.
+    // Both batched-vs-single ratios are dominated by how the OS
+    // interleaves the submitting thread with the progression threads
+    // — observed 5x to 30x (send burst) and 2.7x to 8x (recv burst)
+    // run to run on the *same build* on a one-core host, the latter
+    // driven entirely by the batch1 denominator's doorbell/wake cost
+    // — so they are context, not gates. The wheel ratio measures
+    // single-thread machinery the scheduler barely touches and gates
+    // normally.
     let mut out = pair(speedups(base), speedups(cur), Better::Higher, |key, _| {
-        key.contains("send_")
+        key.contains("_vs_batch1")
             .then_some("skipped (interference-bound)")
     });
     out.extend(pair(
         row_metric(base, "batch", &["bench", "variant"], "ns_per_op"),
         row_metric(cur, "batch", &["bench", "variant"], "ns_per_op"),
+        Better::Info,
+        |_, _| None,
+    ));
+    out
+}
+
+fn extract_shards(base: &Json, cur: &Json) -> Vec<Metric> {
+    let scaling = |doc: &Json| -> Vec<(String, f64)> {
+        doc.get("scaling")
+            .and_then(Json::members)
+            .map(|members| {
+                members
+                    .iter()
+                    .filter_map(|(k, v)| v.as_f64().map(|f| (format!("scaling:{k}"), f)))
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    // The scaling ratios come from deterministic virtual time, so they
+    // gate strictly: a shard-count that stops paying for itself is a
+    // real routing or steal-path change. The absolute MB/s rows repeat
+    // the same information per point and are context.
+    let mut out = pair(scaling(base), scaling(cur), Better::Higher, |_, _| None);
+    out.extend(pair(
+        row_metric(base, "shards", &["shards"], "throughput_mbs"),
+        row_metric(cur, "shards", &["shards"], "throughput_mbs"),
         Better::Info,
         |_, _| None,
     ));
@@ -326,21 +358,21 @@ mod tests {
 
     #[test]
     fn a_2x_speedup_drop_is_a_regression_but_small_drift_is_not() {
-        let halved = BASE_BATCH.replace("4.0", "2.0");
+        let halved = BASE_BATCH.replace("7.0", "3.5");
         let m = metrics_for(BASE_BATCH, &halved);
-        let slow = m.iter().find(|m| m.key.contains("submit")).unwrap();
+        let slow = m.iter().find(|m| m.key.contains("wheel")).unwrap();
         assert!(regressed(slow, 0.20), "2x slowdown must gate");
-        let drift = BASE_BATCH.replace("4.0", "3.6");
+        let drift = BASE_BATCH.replace("7.0", "6.3");
         let m = metrics_for(BASE_BATCH, &drift);
-        let ok = m.iter().find(|m| m.key.contains("submit")).unwrap();
+        let ok = m.iter().find(|m| m.key.contains("wheel")).unwrap();
         assert!(!regressed(ok, 0.20), "10% drift is within tolerance");
     }
 
     #[test]
     fn a_missing_metric_is_a_regression() {
-        let gone = r#"{"batch":[],"speedups":{"wheel_vs_heap_10k_flows":7.0}}"#;
+        let gone = r#"{"batch":[],"speedups":{"submit_batch32_vs_batch1":4.0}}"#;
         let m = metrics_for(BASE_BATCH, gone);
-        let lost = m.iter().find(|m| m.key.contains("submit")).unwrap();
+        let lost = m.iter().find(|m| m.key.contains("wheel")).unwrap();
         assert!(lost.current.is_none());
         assert!(regressed(lost, 0.20));
     }
@@ -392,12 +424,49 @@ mod tests {
         assert!(!regressed(&m[0], 0.20));
     }
 
+    const BASE_SHARDS: &str = r#"{"shards":[
+        {"shards":1,"rails":1,"flows":64,"total_bytes":16777216,"virtual_us":13728.0,"throughput_mbs":1222.0},
+        {"shards":4,"rails":4,"flows":64,"total_bytes":16777216,"virtual_us":3442.0,"throughput_mbs":4874.0}],
+        "scaling":{"scale_4x_over_1x":3.989}}"#;
+
     #[test]
-    fn interference_bound_send_speedup_never_gates() {
-        let base = r#"{"batch":[],"speedups":{"send_batch32_vs_batch1":30.0}}"#;
-        let cratered = base.replace("30.0", "5.0");
+    fn a_collapsed_shard_scaling_ratio_is_a_regression() {
+        let collapsed = BASE_SHARDS.replace("3.989", "1.100");
+        let m = extract_shards(&parse(BASE_SHARDS).unwrap(), &parse(&collapsed).unwrap());
+        let ratio = m.iter().find(|m| m.key.contains("scale_4x")).unwrap();
+        assert!(regressed(ratio, 0.20), "4x -> 1.1x scaling must gate");
+        let drift = BASE_SHARDS.replace("3.989", "3.700");
+        let m = extract_shards(&parse(BASE_SHARDS).unwrap(), &parse(&drift).unwrap());
+        let ok = m.iter().find(|m| m.key.contains("scale_4x")).unwrap();
+        assert!(!regressed(ok, 0.20), "7% drift is within tolerance");
+    }
+
+    #[test]
+    fn shard_throughput_rows_are_context_not_gates() {
+        let slower = BASE_SHARDS.replace("4874.0", "100.0");
+        let m = extract_shards(&parse(BASE_SHARDS).unwrap(), &parse(&slower).unwrap());
+        let info = m.iter().find(|m| m.key.contains("throughput_mbs")).unwrap();
+        assert_eq!(info.better, Better::Info);
+        assert!(!regressed(info, 0.20));
+    }
+
+    #[test]
+    fn a_missing_scaling_ratio_is_a_regression() {
+        let gone = r#"{"shards":[],"scaling":{}}"#;
+        let m = extract_shards(&parse(BASE_SHARDS).unwrap(), &parse(gone).unwrap());
+        let lost = m.iter().find(|m| m.key.contains("scale_4x")).unwrap();
+        assert!(lost.current.is_none());
+        assert!(regressed(lost, 0.20));
+    }
+
+    #[test]
+    fn interference_bound_batch1_ratios_never_gate() {
+        let base = r#"{"batch":[],"speedups":{"send_batch32_vs_batch1":30.0,"submit_batch32_vs_batch1":6.0}}"#;
+        let cratered = base.replace("30.0", "5.0").replace("6.0", "2.7");
         let m = metrics_for(base, &cratered);
-        assert!(m[0].skipped.is_some());
-        assert!(!regressed(&m[0], 0.20));
+        for metric in &m {
+            assert!(metric.skipped.is_some(), "{} must be skipped", metric.key);
+            assert!(!regressed(metric, 0.20));
+        }
     }
 }

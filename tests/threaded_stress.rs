@@ -74,23 +74,38 @@ fn wait_recv(h: &ThreadedHandle, req: RecvReqId, t0: Instant) -> RecvDone {
     }
 }
 
-#[test]
-fn threaded_stress_loses_nothing_and_duplicates_nothing() {
-    let mut fabric = mem_fabric((PEERS + 1) as usize);
-    let sender = fabric.remove(0);
-    let launch = |d: newmadeleine::net::mem::MemDriver| {
+/// Builds the (sender, peers) engines over `shards` independent mem
+/// rails per node (one fully connected fabric per rail) and launches
+/// each on `shards` progression shards. With `shards == 1` this is
+/// exactly the original single-engine runtime.
+fn launch_cluster(shards: usize) -> (ThreadedEngine, Vec<ThreadedEngine>) {
+    let nodes = (PEERS + 1) as usize;
+    let mut rails: Vec<Vec<Box<dyn newmadeleine::net::Driver>>> =
+        (0..nodes).map(|_| Vec::new()).collect();
+    for _ in 0..shards {
+        for (node, d) in mem_fabric(nodes).into_iter().enumerate() {
+            rails[node].push(Box::new(d));
+        }
+    }
+    let launch = |drivers: Vec<Box<dyn newmadeleine::net::Driver>>| {
         ThreadedEngine::launch(
             NmadEngine::new(
-                vec![Box::new(d)],
+                drivers,
                 Box::new(NullMeter),
                 Box::new(StratAggreg),
                 EngineCosts::zero(),
             ),
-            EngineConfig::threaded(),
+            EngineConfig::sharded(shards),
         )
     };
-    let node0 = launch(sender);
-    let peers: Vec<ThreadedEngine> = fabric.into_iter().map(launch).collect();
+    let mut engines: Vec<ThreadedEngine> = rails.into_iter().map(launch).collect();
+    let node0 = engines.remove(0);
+    (node0, engines)
+}
+
+fn stress_loses_nothing_and_duplicates_nothing(shards: usize) {
+    let (node0, peers) = launch_cluster(shards);
+    assert_eq!(node0.shards(), shards, "no clamp expected: rails == shards");
     let peer_handles: Vec<ThreadedHandle> = peers.iter().map(|p| p.handle()).collect();
     let t0 = Instant::now();
 
@@ -178,13 +193,30 @@ fn threaded_stress_loses_nothing_and_duplicates_nothing() {
         assert_eq!(snap.engine.duplicates_dropped, 0);
     }
 
-    // Clean teardown returns every engine with nothing pending.
+    // Clean teardown returns every engine — re-merged from its shards
+    // — with nothing pending.
     let e0 = node0.shutdown();
     assert!(e0.tx_quiescent(), "sender retired with work pending");
+    assert_eq!(e0.rail_count(), shards, "merge restores every rail");
     for p in peers {
         let e = p.shutdown();
         assert!(e.tx_quiescent());
     }
+}
+
+#[test]
+fn threaded_stress_loses_nothing_and_duplicates_nothing() {
+    stress_loses_nothing_and_duplicates_nothing(1);
+}
+
+#[test]
+fn threaded_stress_two_shards_loses_nothing_and_duplicates_nothing() {
+    stress_loses_nothing_and_duplicates_nothing(2);
+}
+
+#[test]
+fn threaded_stress_four_shards_loses_nothing_and_duplicates_nothing() {
+    stress_loses_nothing_and_duplicates_nothing(4);
 }
 
 /// Same schedule, twice: the payload schedule and conservation totals
