@@ -1,0 +1,351 @@
+//! Massive-fanout endpoint study: one event-driven TCP endpoint
+//! serving 64 → 10 000 concurrent loopback connections.
+//!
+//! The process plays the server: a [`TcpDriver::server`] endpoint
+//! accepting identified clients under churn. The client side runs as a
+//! **child process** (`--swarm-client`, spawned from the same binary)
+//! so each side stays inside the runner's file-descriptor budget while
+//! the pair still holds 2×10k real sockets. The child is driven over
+//! its stdin (probe / ping / quit commands) and reports its latency
+//! measurements on stdout.
+//!
+//! Each sweep point measures:
+//!
+//! * **accept churn** — wall-clock connections/second from first dial
+//!   to full fan-in (context only on a shared runner);
+//! * **echo latency** — one-way p50/p99/p99.9 of serial echo
+//!   round-trips spread across the fanout (context only);
+//! * **idle events per pump** — readiness events while every
+//!   connection idles: exactly 0 at any fanout, or the pump is
+//!   touching idle sockets (deterministic, gated);
+//! * **events per ready socket** — readiness events serviced while
+//!   exactly K of the N connections carry one frame each: ~1.0
+//!   independent of N (deterministic, gated). A linear scan would pay
+//!   N/K here — 312× at the top of the sweep.
+//!
+//! Results land in `BENCH_swarm.json` (override with `--json PATH`);
+//! `cargo run -p xtask -- bench-diff` gates the deterministic event
+//! counts against the committed baseline.
+//!
+//! Run: `cargo run --release -p bench --bin swarm [-- --quick]`
+
+use bench::{SwarmReport, SwarmRow, Table, BENCH_SWARM_JSON_PATH};
+use nmad_net::poller::raise_nofile_limit;
+use nmad_net::tcp::TcpDriver;
+use nmad_net::Driver;
+use nmad_sim::NodeId;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Connections whose sockets the ready-probe exercises at once.
+const PROBE_READY: usize = 32;
+/// Pumps of the idle probe.
+const IDLE_PUMPS: u64 = 200;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--swarm-client") {
+        let addr: SocketAddr = args[i + 1].parse().expect("client addr");
+        let n: usize = args[i + 2].parse().expect("client connection count");
+        swarm_client(addr, n);
+        return;
+    }
+
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = bench::json_arg().unwrap_or_else(|| BENCH_SWARM_JSON_PATH.to_string());
+    let (sweep, pings): (&[usize], usize) = if quick {
+        (&[64, 1024], 2_000)
+    } else {
+        (&[64, 256, 1024, 4096, 10_000], 10_000)
+    };
+
+    if let Err(e) = raise_nofile_limit(20_000) {
+        eprintln!("could not raise fd limit: {e} (large sweep points may fail)");
+    }
+
+    let report = SwarmReport::new();
+    println!("\n## swarm — event-driven TCP endpoint, loopback fan-in\n");
+    let mut table = Table::new(vec![
+        "connections",
+        "backend",
+        "accepts/s",
+        "p50 (us)",
+        "p99 (us)",
+        "p99.9 (us)",
+        "idle ev/pump",
+        "ev/ready",
+    ]);
+    let mut first_ready_cost = 0.0;
+    let mut last: Option<(usize, f64)> = None;
+    for &n in sweep {
+        let row = run_point(n, pings);
+        if first_ready_cost == 0.0 {
+            first_ready_cost = row.probe_events_per_ready;
+        }
+        last = Some((n, row.probe_events_per_ready));
+        table.row(vec![
+            format!("{n}"),
+            row.backend.clone(),
+            format!("{:.0}", row.accepts_per_sec),
+            format!("{:.1}", row.ping_p50_us),
+            format!("{:.1}", row.ping_p99_us),
+            format!("{:.1}", row.ping_p999_us),
+            format!("{:.3}", row.idle_events_per_pump),
+            format!("{:.3}", row.probe_events_per_ready),
+        ]);
+        report.record(row);
+    }
+    // The scaling headline: per-ready-socket cost at the largest fanout
+    // over the smallest — ~1.0 when pump cost is O(ready), ~N_max/N_min
+    // when it is O(held). The key is sweep-independent so quick-mode CI
+    // runs diff cleanly against a full-sweep report and vice versa.
+    if let Some((_, cost_max)) = last {
+        report.record_probe("ready_cost_max_vs_min", cost_max / first_ready_cost);
+    }
+    table.print();
+    report.write(&json);
+}
+
+/// One sweep point: stands up a fresh server endpoint and a fresh
+/// client child holding `n` connections, runs the probes and the
+/// latency sweep, tears everything down.
+fn run_point(n: usize, pings: usize) -> SwarmRow {
+    let mut server =
+        TcpDriver::server(NodeId(0), "127.0.0.1:0".parse().unwrap(), n + 1).expect("bind server");
+    let addr = server.local_addr().expect("server has a listener");
+
+    let exe = std::env::current_exe().expect("own path");
+    let mut child = Command::new(exe)
+        .arg("--swarm-client")
+        .arg(addr.to_string())
+        .arg(n.to_string())
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn swarm client");
+    let mut to_child = child.stdin.take().expect("piped stdin");
+    // Child stdout drains on its own thread so the echo loop below
+    // never blocks on the pipe.
+    let from_child = {
+        let stdout = child.stdout.take().expect("piped stdout");
+        let (tx, rx) = mpsc::channel::<String>();
+        std::thread::spawn(move || {
+            for line in BufReader::new(stdout).lines() {
+                match line {
+                    Ok(l) => {
+                        if tx.send(l).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        rx
+    };
+
+    // Accept churn: first dial to full fan-in.
+    let t0 = Instant::now();
+    pump_until(&mut server, &format!("{n} accepts"), |s| {
+        s.connected_peers() == n
+    });
+    let accepts_per_sec = n as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+
+    // Idle probe: the child sits blocked on its stdin, every socket
+    // quiet. Any readiness event here means pump cost leaks towards
+    // O(held sockets).
+    let before = server.endpoint_stats();
+    for _ in 0..IDLE_PUMPS {
+        server.pump().expect("idle pump");
+    }
+    let idle_events = server.endpoint_stats().sockets_polled - before.sockets_polled;
+    let idle_events_per_pump = idle_events as f64 / IDLE_PUMPS as f64;
+
+    // Ready probe: exactly K sockets carry one frame each; count the
+    // readiness events serviced until all K frames arrived.
+    let k = PROBE_READY.min(n);
+    let before = server.endpoint_stats();
+    writeln!(to_child, "probe {k}").expect("child stdin");
+    to_child.flush().expect("child stdin");
+    let mut got = 0usize;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while got < k {
+        assert!(Instant::now() < deadline, "probe frames did not arrive");
+        if server.poll_recv().expect("probe recv").is_some() {
+            got += 1;
+        } else {
+            std::thread::sleep(Duration::from_micros(20));
+        }
+    }
+    let probe_events = server.endpoint_stats().sockets_polled - before.sockets_polled;
+    let probe_events_per_ready = probe_events as f64 / k as f64;
+
+    // Latency sweep: serial echo round-trips, measured by the child,
+    // spread across the fanout. The server echoes everything back.
+    writeln!(to_child, "ping {pings}").expect("child stdin");
+    to_child.flush().expect("child stdin");
+    let deadline = Instant::now() + Duration::from_secs(600);
+    let stats_line = loop {
+        assert!(Instant::now() < deadline, "ping sweep did not finish");
+        match from_child.try_recv() {
+            Ok(line) if line.starts_with("PINGS ") => break line,
+            Ok(_) => continue,
+            Err(mpsc::TryRecvError::Empty) => {}
+            Err(mpsc::TryRecvError::Disconnected) => panic!("swarm client died mid-sweep"),
+        }
+        let mut moved = false;
+        while let Some(frame) = server.poll_recv().expect("echo recv") {
+            server
+                .post_send(frame.src, &[&frame.payload])
+                .expect("echo send");
+            moved = true;
+        }
+        if !moved {
+            // One core: let the child run.
+            std::thread::sleep(Duration::from_micros(20));
+        }
+    };
+    let mut parts = stats_line.split_whitespace().skip(1);
+    let mut next = || -> f64 { parts.next().expect("PINGS fields").parse().expect("µs") };
+    let (ping_p50_us, ping_p99_us, ping_p999_us) = (next(), next(), next());
+
+    // Teardown churn: every hangup must come back as a teardown.
+    writeln!(to_child, "quit").expect("child stdin");
+    to_child.flush().expect("child stdin");
+    pump_until(&mut server, "teardowns", |s| s.connected_peers() == 0);
+    wait_child(&mut child);
+    let stats = server.endpoint_stats();
+    assert_eq!(stats.accepts, n as u64, "every client must have handshaken");
+    assert_eq!(stats.teardowns, n as u64, "every hangup must tear down");
+
+    SwarmRow {
+        connections: n,
+        backend: server.backend_name().to_string(),
+        accepts_per_sec,
+        ping_p50_us,
+        ping_p99_us,
+        ping_p999_us,
+        idle_events_per_pump,
+        probe_events_per_ready,
+    }
+}
+
+fn pump_until(server: &mut TcpDriver, what: &str, mut cond: impl FnMut(&TcpDriver) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(300);
+    while !cond(server) {
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {what} ({} connected)",
+            server.connected_peers()
+        );
+        server.pump().expect("server pump");
+        std::thread::sleep(Duration::from_micros(50));
+    }
+}
+
+fn wait_child(child: &mut Child) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match child.try_wait().expect("child wait") {
+            Some(status) => {
+                assert!(status.success(), "swarm client exited with {status}");
+                return;
+            }
+            None if Instant::now() > deadline => {
+                let _ = child.kill();
+                panic!("swarm client did not exit");
+            }
+            None => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+// --- client role ----------------------------------------------------
+
+/// Writes one length-prefixed frame.
+fn write_frame(s: &mut TcpStream, payload: &[u8]) {
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    s.write_all(&buf).expect("client write");
+}
+
+/// Reads one length-prefixed frame (blocking), returning its payload.
+fn read_frame(s: &mut TcpStream) -> Vec<u8> {
+    let mut hdr = [0u8; 4];
+    s.read_exact(&mut hdr).expect("client read header");
+    let len = u32::from_le_bytes(hdr) as usize;
+    let mut payload = vec![0u8; len];
+    s.read_exact(&mut payload).expect("client read payload");
+    payload
+}
+
+/// The child-process role: holds `n` identified connections to the
+/// server at `addr` and performs probe / ping commands read from
+/// stdin. Stateless between commands; exits on `quit` or EOF.
+fn swarm_client(addr: SocketAddr, n: usize) {
+    if let Err(e) = raise_nofile_limit(20_000) {
+        eprintln!("swarm client: could not raise fd limit: {e}");
+    }
+    let mut sockets: Vec<TcpStream> = (1..=n as u32)
+        .map(|id| {
+            let mut s = connect_retry(addr);
+            s.set_nodelay(true).expect("nodelay");
+            s.write_all(&id.to_le_bytes()).expect("handshake");
+            s
+        })
+        .collect();
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.expect("command stream");
+        let mut words = line.split_whitespace();
+        match words.next() {
+            Some("probe") => {
+                let k: usize = words.next().expect("probe K").parse().expect("probe K");
+                for s in sockets.iter_mut().take(k) {
+                    write_frame(s, b"PRB!");
+                }
+            }
+            Some("ping") => {
+                let count: usize = words.next().expect("ping N").parse().expect("ping N");
+                let mut one_way_us = Vec::with_capacity(count);
+                for i in 0..count {
+                    let s = &mut sockets[i % n];
+                    let t = Instant::now();
+                    write_frame(s, &(i as u64).to_le_bytes());
+                    let echo = read_frame(s);
+                    one_way_us.push(t.elapsed().as_secs_f64() * 1e6 / 2.0);
+                    assert_eq!(echo, (i as u64).to_le_bytes(), "echo mismatch");
+                }
+                println!(
+                    "PINGS {:.3} {:.3} {:.3}",
+                    bench::percentile(&one_way_us, 0.5),
+                    bench::percentile(&one_way_us, 0.99),
+                    bench::percentile(&one_way_us, 0.999),
+                );
+            }
+            Some("quit") | None => break,
+            Some(other) => panic!("unknown swarm command {other:?}"),
+        }
+    }
+    // Sockets drop here; the server counts the teardowns.
+}
+
+/// Serial dials; under heavy churn the server's accept queue can
+/// transiently fill, so a refused dial retries briefly.
+fn connect_retry(addr: SocketAddr) -> TcpStream {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return s,
+            Err(e) => {
+                assert!(Instant::now() < deadline, "client connect failed: {e}");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+}

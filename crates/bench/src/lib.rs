@@ -22,9 +22,9 @@ pub use pingpong::{
 };
 pub use plot::{LogLogChart, Series};
 pub use report::{
-    bench_json_arg, median, BatchReport, BatchRow, BenchReport, BenchRow, OverlapReport,
-    OverlapRow, ShardReport, ShardRow, BENCH_BATCH_JSON_PATH, BENCH_JSON_PATH,
-    BENCH_OVERLAP_JSON_PATH, BENCH_SHARDS_JSON_PATH,
+    bench_json_arg, median, percentile, BatchReport, BatchRow, BenchReport, BenchRow,
+    OverlapReport, OverlapRow, ShardReport, ShardRow, SwarmReport, SwarmRow, BENCH_BATCH_JSON_PATH,
+    BENCH_JSON_PATH, BENCH_OVERLAP_JSON_PATH, BENCH_SHARDS_JSON_PATH, BENCH_SWARM_JSON_PATH,
 };
 pub use table::Table;
 pub use workload::{generate, payload_for, WorkItem, WorkloadSpec};

@@ -498,6 +498,135 @@ impl ShardReport {
     }
 }
 
+/// Default output path of the massive-fanout endpoint benchmark
+/// (`swarm` binary); `--json PATH` overrides it.
+pub const BENCH_SWARM_JSON_PATH: &str = "BENCH_swarm.json";
+
+/// One sweep point of the swarm benchmark: one connection count.
+///
+/// The two `*_events_*` columns are deterministic event counts from the
+/// endpoint layer's readiness accounting and gate in CI; the wall-clock
+/// columns (accept churn, echo latency percentiles) are context on a
+/// shared runner.
+#[derive(Clone, Debug)]
+pub struct SwarmRow {
+    /// Concurrent established connections at this sweep point.
+    pub connections: usize,
+    /// Readiness backend the endpoint used (`epoll` / `poll`).
+    pub backend: String,
+    /// Accept-churn throughput: connections fully handshaken per
+    /// second of wall clock, from first dial to full fan-in.
+    pub accepts_per_sec: f64,
+    /// Echo one-way latency percentiles across the fanout, µs.
+    pub ping_p50_us: f64,
+    /// 99th percentile, µs.
+    pub ping_p99_us: f64,
+    /// 99.9th percentile, µs.
+    pub ping_p999_us: f64,
+    /// Readiness events per pump while every connection idles — the
+    /// O(ready) property at rest: exactly 0.0 regardless of the
+    /// connection count, or the pump is touching idle sockets.
+    pub idle_events_per_pump: f64,
+    /// Readiness events serviced per ready socket while exactly K of
+    /// the N connections carry traffic — ~1.0 independent of N; the
+    /// old linear scan would examine N/K sockets per ready one.
+    pub probe_events_per_ready: f64,
+}
+
+/// Accumulator for [`SwarmRow`]s plus named probe ratios derived from
+/// them, rendered as one JSON document (`BENCH_swarm.json`).
+#[derive(Default)]
+pub struct SwarmReport {
+    rows: Mutex<Vec<SwarmRow>>,
+    probes: Mutex<Vec<(String, f64)>>,
+}
+
+impl SwarmReport {
+    /// Fresh.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sweep point.
+    pub fn record(&self, row: SwarmRow) {
+        self.rows.lock().expect("report poisoned").push(row);
+    }
+
+    /// Records a named probe ratio (e.g. the per-ready-socket event
+    /// cost at the largest fanout over the smallest — ~1.0 when pump
+    /// cost is O(ready), ~N_max/N_min when it is O(held)).
+    pub fn record_probe(&self, name: &str, ratio: f64) {
+        self.probes
+            .lock()
+            .expect("report poisoned")
+            .push((name.to_string(), ratio));
+    }
+
+    /// Rows recorded so far.
+    pub fn len(&self) -> usize {
+        self.rows.lock().expect("report poisoned").len()
+    }
+
+    /// No rows yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The whole report as one JSON document.
+    pub fn to_json(&self) -> String {
+        let rows = self.rows.lock().expect("report poisoned");
+        let mut out = String::from("{\"swarm\":[");
+        for (i, r) in rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"connections\":{},\"backend\":\"{}\",\
+                 \"accepts_per_sec\":{:.1},\"ping_p50_us\":{:.2},\
+                 \"ping_p99_us\":{:.2},\"ping_p999_us\":{:.2},\
+                 \"idle_events_per_pump\":{:.4},\"probe_events_per_ready\":{:.4}}}",
+                r.connections,
+                escape(&r.backend),
+                r.accepts_per_sec,
+                r.ping_p50_us,
+                r.ping_p99_us,
+                r.ping_p999_us,
+                r.idle_events_per_pump,
+                r.probe_events_per_ready,
+            ));
+        }
+        out.push_str("],\"probes\":{");
+        let probes = self.probes.lock().expect("report poisoned");
+        for (i, (name, ratio)) in probes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{:.3}", escape(name), ratio));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Writes the report; failures are printed, never propagated.
+    pub fn write(&self, path: &str) {
+        match std::fs::write(path, self.to_json()) {
+            Ok(()) => eprintln!("wrote {} swarm rows to {path}", self.len()),
+            Err(e) => eprintln!("could not write swarm report {path}: {e}"),
+        }
+    }
+}
+
+/// The `q`-th percentile (0.0..=1.0) of `values` by nearest-rank;
+/// panics on an empty slice (a latency sample set is never empty).
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty());
+    assert!((0.0..=1.0).contains(&q));
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -558,6 +687,41 @@ mod tests {
         assert_eq!(median(&[3.0]), 3.0);
         assert_eq!(median(&[4.0, 1.0, 3.0]), 3.0);
         assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.5), 50.0);
+        assert_eq!(percentile(&v, 0.99), 99.0);
+        assert_eq!(percentile(&v, 0.999), 100.0);
+        assert_eq!(percentile(&[7.0], 0.5), 7.0);
+        assert_eq!(percentile(&[3.0, 1.0], 0.0), 1.0);
+    }
+
+    #[test]
+    fn swarm_report_renders_rows_and_probes_as_json() {
+        let report = SwarmReport::new();
+        assert!(report.is_empty());
+        report.record(SwarmRow {
+            connections: 10000,
+            backend: "epoll".to_string(),
+            accepts_per_sec: 4321.0,
+            ping_p50_us: 18.5,
+            ping_p99_us: 90.25,
+            ping_p999_us: 240.75,
+            idle_events_per_pump: 0.0,
+            probe_events_per_ready: 1.0,
+        });
+        report.record_probe("ready_cost_10000_vs_64", 1.02);
+        let json = report.to_json();
+        assert!(json.contains("\"connections\":10000"));
+        assert!(json.contains("\"backend\":\"epoll\""));
+        assert!(json.contains("\"ping_p99_us\":90.25"), "{json}");
+        assert!(json.contains("\"idle_events_per_pump\":0.0000"), "{json}");
+        assert!(json.contains("\"probe_events_per_ready\":1.0000"), "{json}");
+        assert!(json.contains("\"ready_cost_10000_vs_64\":1.020"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

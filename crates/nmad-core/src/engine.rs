@@ -429,7 +429,19 @@ pub struct NmadEngine {
     /// Completions of transmitted spool frames, awaiting forwarding to
     /// their victim shard.
     spool_done: Vec<(SendReqId, usize)>,
+    /// Unexpected-queue depth at which the engine signals receive-side
+    /// backpressure to its drivers ([`Driver::set_rx_backpressure`]);
+    /// `None` disables the signal.
+    rx_saturation_cap: Option<usize>,
+    /// Whether the backpressure signal is currently raised.
+    rx_backpressured: bool,
 }
+
+/// Default unexpected-queue depth that raises receive-side
+/// backpressure. Generous — a receiver this far behind on matching
+/// gains nothing from buffering more eager traffic; parking the
+/// sockets lets the transport's flow control push back on senders.
+const DEFAULT_RX_SATURATION_CAP: usize = 4096;
 
 impl NmadEngine {
     /// Builds an engine over `drivers` (one per rail, all bound to the
@@ -482,7 +494,21 @@ impl NmadEngine {
             foreign_rx: Vec::new(),
             spool: VecDeque::new(),
             spool_done: Vec::new(),
+            rx_saturation_cap: Some(DEFAULT_RX_SATURATION_CAP),
+            rx_backpressured: false,
         }
+    }
+
+    /// Sets the unexpected-queue depth at which the engine raises
+    /// receive-side backpressure towards its drivers (parking socket
+    /// reads until matching catches up). `None` disables the signal;
+    /// the default is generous ([`DEFAULT_RX_SATURATION_CAP`] frames).
+    pub fn set_rx_saturation_cap(&mut self, cap: Option<usize>) {
+        assert!(
+            cap.is_none_or(|c| c > 0),
+            "a zero saturation cap would park receives forever"
+        );
+        self.rx_saturation_cap = cap;
     }
 
     /// Enables credit-based eager flow control: at most `limit`
@@ -531,13 +557,28 @@ impl NmadEngine {
         &self.metrics
     }
 
+    /// The engine's counters with the endpoint-layer section folded in
+    /// from the drivers (their cumulative [`nmad_net::EndpointStats`],
+    /// summed across rails). This is what snapshots and the threaded
+    /// mirror publish; the plain [`engine_metrics`](Self::engine_metrics)
+    /// cells never hold endpoint counts — the drivers own them.
+    pub fn merged_engine_metrics(&self) -> EngineMetrics {
+        let mut ep = nmad_net::EndpointStats::default();
+        for nic in &self.nics {
+            ep.absorb(&nic.driver.endpoint_stats());
+        }
+        let mut merged = self.metrics;
+        merged.set_endpoint(&ep);
+        merged
+    }
+
     /// A point-in-time snapshot of every observable counter: engine
     /// metrics, wire statistics and per-NIC link counters. Cheap —
     /// a few copies plus one `link_stats` call per driver.
     pub fn metrics(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             strategy: self.strategy.name(),
-            engine: self.metrics,
+            engine: self.merged_engine_metrics(),
             wire: self.stats.clone(),
             nics: self
                 .nics
@@ -1147,6 +1188,27 @@ impl NmadEngine {
     pub fn try_progress(&mut self) -> NetResult<bool> {
         let mut any = false;
 
+        // Receive-side backpressure: when the matching layer's
+        // unexpected queue saturates, park the drivers' socket reads
+        // (transport flow control then pushes back on remote senders);
+        // resume with hysteresis once matching has caught up to half
+        // the cap, so the signal cannot flap at the boundary. Edge
+        // transitions only — the common pump pays one comparison.
+        if let Some(cap) = self.rx_saturation_cap {
+            let backlog = self.matching.unexpected_count();
+            let want = if self.rx_backpressured {
+                backlog > cap / 2
+            } else {
+                backlog >= cap
+            };
+            if want != self.rx_backpressured {
+                self.rx_backpressured = want;
+                for nic in &mut self.nics {
+                    nic.driver.set_rx_backpressure(want);
+                }
+            }
+        }
+
         // Receives and transmit completions.
         for i in 0..self.nics.len() {
             if self.nics[i].dead {
@@ -1565,6 +1627,8 @@ impl NmadEngine {
                 foreign_rx: Vec::new(),
                 spool: VecDeque::new(),
                 spool_done: Vec::new(),
+                rx_saturation_cap: self.rx_saturation_cap,
+                rx_backpressured: self.rx_backpressured,
             });
         }
         parts
@@ -1582,6 +1646,10 @@ impl NmadEngine {
         let shards = parts.len();
         let node = parts[0].node;
         let credit_limit = parts[0].credit_limit;
+        let rx_saturation_cap = parts[0].rx_saturation_cap;
+        // A shard that raised backpressure hands the raised state to
+        // the monolith; the next pump re-evaluates and releases it.
+        let rx_backpressured = parts.iter().any(|p| p.rx_backpressured);
         for part in &parts {
             assert_eq!(part.node, node, "shards of different nodes");
             assert!(
@@ -1686,6 +1754,8 @@ impl NmadEngine {
             foreign_rx: Vec::new(),
             spool: VecDeque::new(),
             spool_done: Vec::new(),
+            rx_saturation_cap,
+            rx_backpressured,
         }
     }
 }
@@ -1803,6 +1873,94 @@ mod tests {
             sends.iter().all(|&s| a.is_send_done(s)) && recvs.iter().all(|&r| b.is_recv_done(r))
         });
         assert_eq!(a.stats().frames_sent, 5);
+    }
+
+    /// Driver decorator recording every backpressure edge the engine
+    /// signals, so the test sees transitions rather than states.
+    struct RecordingBp {
+        inner: nmad_net::mem::MemDriver,
+        signals: std::sync::Arc<parking_lot::Mutex<Vec<bool>>>,
+    }
+
+    impl Driver for RecordingBp {
+        fn caps(&self) -> &nmad_net::Capabilities {
+            self.inner.caps()
+        }
+        fn local_node(&self) -> NodeId {
+            self.inner.local_node()
+        }
+        fn post_send(&mut self, dst: NodeId, iov: &[&[u8]]) -> NetResult<SendHandle> {
+            self.inner.post_send(dst, iov)
+        }
+        fn test_send(&mut self, handle: SendHandle) -> NetResult<bool> {
+            self.inner.test_send(handle)
+        }
+        fn poll_recv(&mut self) -> NetResult<Option<nmad_net::RxFrame>> {
+            self.inner.poll_recv()
+        }
+        fn tx_idle(&self) -> bool {
+            self.inner.tx_idle()
+        }
+        fn set_rx_backpressure(&mut self, paused: bool) {
+            self.signals.lock().push(paused);
+        }
+    }
+
+    #[test]
+    fn saturation_signals_drivers_with_hysteresis() {
+        let mut fabric = nmad_net::mem::mem_fabric(2);
+        let b_driver = fabric.pop().unwrap();
+        let a_driver = fabric.pop().unwrap();
+        let signals = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut a = NmadEngine::new(
+            vec![Box::new(a_driver)],
+            Box::new(nmad_net::NullMeter),
+            Box::new(StratDefault),
+            EngineCosts::zero(),
+        );
+        let mut b = NmadEngine::new(
+            vec![Box::new(RecordingBp {
+                inner: b_driver,
+                signals: signals.clone(),
+            })],
+            Box::new(nmad_net::NullMeter),
+            Box::new(StratDefault),
+            EngineCosts::zero(),
+        );
+        b.set_rx_saturation_cap(Some(4));
+
+        // Eight eager sends with no receives posted: they pile up in
+        // b's unexpected queue and must cross the cap of 4.
+        let sends: Vec<_> = (0..8)
+            .map(|t| a.isend(NodeId(1), Tag(t), vec![t as u8; 16]))
+            .collect();
+        for _ in 0..200 {
+            a.progress();
+            b.progress();
+            if signals.lock().as_slice() == [true] {
+                break;
+            }
+        }
+        assert_eq!(
+            signals.lock().as_slice(),
+            [true],
+            "saturation must raise exactly one edge (unexpected now {})",
+            b.diagnostics().unexpected
+        );
+        assert!(b.diagnostics().unexpected >= 4);
+
+        // Matching catches up: the signal must release — once.
+        let recvs: Vec<_> = (0..8).map(|t| b.post_recv(NodeId(0), Tag(t), 16)).collect();
+        for _ in 0..200 {
+            a.progress();
+            b.progress();
+            if signals.lock().len() == 2 {
+                break;
+            }
+        }
+        assert_eq!(signals.lock().as_slice(), [true, false]);
+        assert!(sends.iter().all(|&s| a.is_send_done(s)));
+        assert!(recvs.iter().all(|&r| b.is_recv_done(r)));
     }
 
     #[test]

@@ -20,7 +20,7 @@
 
 use crate::engine::EngineStats;
 use crate::sync::{fence, spin_loop, AtomicU64, Ordering};
-use nmad_net::LinkStats;
+use nmad_net::{EndpointStats, LinkStats};
 use parking_lot::Mutex;
 use std::fmt::Write as _;
 
@@ -69,6 +69,22 @@ pub struct EngineMetrics {
     /// Receive-side bytes actually memcpy'd (rendezvous reassembly
     /// without RDMA; eager paths are zero-copy slices).
     pub bytes_copied_rx: u64,
+    /// Connections accepted and handshaken by connection-oriented
+    /// drivers (summed across rails at snapshot time).
+    pub ep_accepts: u64,
+    /// Inbound connections dropped during their handshake.
+    pub ep_handshake_failures: u64,
+    /// Established connections torn down.
+    pub ep_teardowns: u64,
+    /// Readiness polls that woke with at least one event.
+    pub ep_readiness_wakeups: u64,
+    /// Per-socket readiness events serviced — O(ready), not O(held).
+    pub ep_sockets_polled: u64,
+    /// Readiness events that produced no progress.
+    pub ep_spurious_wakeups: u64,
+    /// Receive-side pauses for backpressure (socket backlog caps plus
+    /// engine saturation signals).
+    pub ep_backpressure_stalls: u64,
 }
 
 impl EngineMetrics {
@@ -100,6 +116,27 @@ impl EngineMetrics {
         self.pool_hits += other.pool_hits;
         self.pool_misses += other.pool_misses;
         self.bytes_copied_rx += other.bytes_copied_rx;
+        self.ep_accepts += other.ep_accepts;
+        self.ep_handshake_failures += other.ep_handshake_failures;
+        self.ep_teardowns += other.ep_teardowns;
+        self.ep_readiness_wakeups += other.ep_readiness_wakeups;
+        self.ep_sockets_polled += other.ep_sockets_polled;
+        self.ep_spurious_wakeups += other.ep_spurious_wakeups;
+        self.ep_backpressure_stalls += other.ep_backpressure_stalls;
+    }
+
+    /// Overwrites the endpoint-layer counters from the drivers'
+    /// cumulative [`EndpointStats`] (summed across rails by the caller
+    /// at snapshot time — the drivers own these counters, the engine
+    /// only mirrors them).
+    pub fn set_endpoint(&mut self, s: &EndpointStats) {
+        self.ep_accepts = s.accepts;
+        self.ep_handshake_failures = s.handshake_failures;
+        self.ep_teardowns = s.teardowns;
+        self.ep_readiness_wakeups = s.readiness_wakeups;
+        self.ep_sockets_polled = s.sockets_polled;
+        self.ep_spurious_wakeups = s.spurious_wakeups;
+        self.ep_backpressure_stalls = s.backpressure_stalls;
     }
 
     /// Mean wire entries per synthesized frame — the aggregation ratio
@@ -161,6 +198,9 @@ impl MetricsSnapshot {
              \"duplicates_dropped\":{},\"stale_cts_ignored\":{}}},\
              \"zero_copy\":{{\"gather_sends\":{},\"pool_hits\":{},\"pool_misses\":{},\
              \"bytes_copied_rx\":{}}},\
+             \"endpoint\":{{\"accepts\":{},\"handshake_failures\":{},\"teardowns\":{},\
+             \"readiness_wakeups\":{},\"sockets_polled\":{},\"spurious_wakeups\":{},\
+             \"backpressure_stalls\":{}}},\
              \"wire\":{{\"frames_sent\":{},\"frames_received\":{},\"data_entries\":{},\
              \"rts_entries\":{},\"cts_entries\":{},\"chunk_entries\":{},\"staging_copies\":{},\
              \"credit_stalls\":{},\"credit_frames\":{}}},\"nics\":[",
@@ -183,6 +223,13 @@ impl MetricsSnapshot {
             e.pool_hits,
             e.pool_misses,
             e.bytes_copied_rx,
+            e.ep_accepts,
+            e.ep_handshake_failures,
+            e.ep_teardowns,
+            e.ep_readiness_wakeups,
+            e.ep_sockets_polled,
+            e.ep_spurious_wakeups,
+            e.ep_backpressure_stalls,
             w.frames_sent,
             w.frames_received,
             w.data_entries,
@@ -263,8 +310,8 @@ impl MetricsRegistry {
 }
 
 /// Number of `u64` counters mirrored through [`SharedMetrics`]:
-/// 17 [`EngineMetrics`] fields plus 9 [`EngineStats`] fields.
-const SHARED_WORDS: usize = 26;
+/// 24 [`EngineMetrics`] fields plus 9 [`EngineStats`] fields.
+const SHARED_WORDS: usize = 33;
 
 /// A single-writer seqlock over `N` words: the writer publishes a
 /// consistent array without ever blocking, readers retry torn reads.
@@ -386,6 +433,13 @@ fn flatten(e: &EngineMetrics, w: &EngineStats) -> [u64; SHARED_WORDS] {
         e.pool_hits,
         e.pool_misses,
         e.bytes_copied_rx,
+        e.ep_accepts,
+        e.ep_handshake_failures,
+        e.ep_teardowns,
+        e.ep_readiness_wakeups,
+        e.ep_sockets_polled,
+        e.ep_spurious_wakeups,
+        e.ep_backpressure_stalls,
         w.frames_sent,
         w.frames_received,
         w.data_entries,
@@ -418,17 +472,24 @@ fn unflatten(v: &[u64; SHARED_WORDS]) -> (EngineMetrics, EngineStats) {
             pool_hits: v[14],
             pool_misses: v[15],
             bytes_copied_rx: v[16],
+            ep_accepts: v[17],
+            ep_handshake_failures: v[18],
+            ep_teardowns: v[19],
+            ep_readiness_wakeups: v[20],
+            ep_sockets_polled: v[21],
+            ep_spurious_wakeups: v[22],
+            ep_backpressure_stalls: v[23],
         },
         EngineStats {
-            frames_sent: v[17],
-            frames_received: v[18],
-            data_entries: v[19],
-            rts_entries: v[20],
-            cts_entries: v[21],
-            chunk_entries: v[22],
-            staging_copies: v[23],
-            credit_stalls: v[24],
-            credit_frames: v[25],
+            frames_sent: v[24],
+            frames_received: v[25],
+            data_entries: v[26],
+            rts_entries: v[27],
+            cts_entries: v[28],
+            chunk_entries: v[29],
+            staging_copies: v[30],
+            credit_stalls: v[31],
+            credit_frames: v[32],
         },
     )
 }
@@ -479,6 +540,13 @@ mod tests {
                 pool_hits: 6,
                 pool_misses: 2,
                 bytes_copied_rx: 128,
+                ep_accepts: 11,
+                ep_handshake_failures: 1,
+                ep_teardowns: 4,
+                ep_readiness_wakeups: 40,
+                ep_sockets_polled: 55,
+                ep_spurious_wakeups: 3,
+                ep_backpressure_stalls: 2,
             },
             wire: EngineStats {
                 frames_sent: 2,
@@ -531,6 +599,11 @@ mod tests {
         assert!(json.contains("\"pool_hits\":6"));
         assert!(json.contains("\"pool_misses\":2"));
         assert!(json.contains("\"bytes_copied_rx\":128"));
+        assert!(json.contains("\"endpoint\":{\"accepts\":11"));
+        assert!(json.contains("\"readiness_wakeups\":40"));
+        assert!(json.contains("\"sockets_polled\":55"));
+        assert!(json.contains("\"spurious_wakeups\":3"));
+        assert!(json.contains("\"backpressure_stalls\":2"));
         assert!(json.contains("\"retransmits\":3"));
         assert!(json.contains("\"acks\":4"));
         // The quote inside the NIC name must be escaped.
@@ -561,6 +634,37 @@ mod tests {
     fn json_string_escapes_control_characters() {
         assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
         assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn set_endpoint_mirrors_every_driver_counter() {
+        let mut m = EngineMetrics::default();
+        m.set_endpoint(&EndpointStats {
+            accepts: 1,
+            handshake_failures: 2,
+            teardowns: 3,
+            readiness_wakeups: 4,
+            sockets_polled: 5,
+            spurious_wakeups: 6,
+            backpressure_stalls: 7,
+        });
+        assert_eq!(
+            (
+                m.ep_accepts,
+                m.ep_handshake_failures,
+                m.ep_teardowns,
+                m.ep_readiness_wakeups,
+                m.ep_sockets_polled,
+                m.ep_spurious_wakeups,
+                m.ep_backpressure_stalls,
+            ),
+            (1, 2, 3, 4, 5, 6, 7)
+        );
+        // absorb() sums endpoint counters across shard engines.
+        let mut sum = m;
+        sum.absorb(&m);
+        assert_eq!(sum.ep_accepts, 2);
+        assert_eq!(sum.ep_backpressure_stalls, 14);
     }
 
     #[test]

@@ -1066,7 +1066,8 @@ fn run_single(mut engine: NmadEngine, shared: &Shared, config: &EngineConfig) ->
         shared.board.post_recvs_done(done_recvs);
 
         // 4. Mirror the hot counters.
-        my.hot.publish(engine.engine_metrics(), engine.stats());
+        my.hot
+            .publish(&engine.merged_engine_metrics(), engine.stats());
 
         if shutting_down && my.ring.is_empty() && engine.tx_quiescent() {
             break;
@@ -1166,7 +1167,8 @@ fn run(mut engine: NmadEngine, shared: &Shared, config: &EngineConfig, shard: us
         shared.board.post_recvs_done(done_recvs);
 
         // 5. Mirror the hot counters.
-        my.hot.publish(engine.engine_metrics(), engine.stats());
+        my.hot
+            .publish(&engine.merged_engine_metrics(), engine.stats());
 
         // Another shard died: exit even if not quiescent, so shutdown
         // joins don't hang behind work that can never finish.

@@ -12,6 +12,7 @@
 //! nodes, preserving per-link FIFO order, and report transmit-side
 //! completion. The engine's multiplexing headers live inside the frame.
 
+use crate::endpoint::EndpointStats;
 use crate::fault::{FaultPlan, FaultStats};
 use bytes::Bytes;
 use nmad_sim::NodeId;
@@ -198,6 +199,21 @@ pub trait Driver: Send {
     fn fault_stats(&self) -> FaultStats {
         FaultStats::default()
     }
+
+    /// Endpoint-layer counters of connection-oriented transports
+    /// (accepts, teardowns, readiness wakeups, backpressure stalls).
+    /// Connectionless and simulated drivers keep the all-zero default;
+    /// decorators forward to their inner driver.
+    fn endpoint_stats(&self) -> EndpointStats {
+        EndpointStats::default()
+    }
+
+    /// Engine-side backpressure signal: `true` parks receive-side
+    /// progress (stop reading sockets) because the optimization window
+    /// or the unexpected-message queue saturated; `false` resumes it.
+    /// The kernel's transport flow control then pushes back on remote
+    /// senders. Drivers without a receive side to park ignore it.
+    fn set_rx_backpressure(&mut self, _paused: bool) {}
 
     /// True when this endpoint may be owned and polled by a background
     /// progression thread (the engine's threaded mode). Real transports

@@ -1,0 +1,316 @@
+//! Slab-style endpoint table for massive-fanout transports.
+//!
+//! A server-grade driver holds thousands of live connections and
+//! churns through accepts and teardowns constantly, so the per-
+//! connection state must be **dense** (flat `Vec`, cache-friendly to
+//! walk, no per-entry allocation) and its handles must be **safe
+//! against reuse** (a teardown followed by an accept may land in the
+//! same slot; a stale handle from before the teardown must not alias
+//! the new connection). [`EndpointTable`] provides exactly that:
+//! O(1) insert/lookup/remove through [`Token`]s that carry a slot
+//! index *and* a generation — a token minted for a previous occupant
+//! of the slot dies with it.
+//!
+//! Tokens pack into a `usize`, so they double as the registration keys
+//! of the readiness poller ([`crate::poller`]): a late readiness event
+//! for a torn-down socket fails the generation check and is dropped
+//! instead of being delivered to whoever reused the slot.
+//!
+//! [`EndpointStats`] is the endpoint-layer counter block every
+//! connection-oriented driver reports through
+//! [`Driver::endpoint_stats`](crate::driver::Driver::endpoint_stats).
+
+/// Generation-checked handle to one slot of an [`EndpointTable`]:
+/// slot index in the low 32 bits, generation in the high 32.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Token(u64);
+
+impl Token {
+    fn new(index: u32, generation: u32) -> Token {
+        Token(((generation as u64) << 32) | index as u64)
+    }
+
+    /// Slot index (dense, `0..capacity`).
+    pub fn index(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// Slot generation this token was minted for.
+    pub fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// The token as a poller registration key.
+    pub fn key(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a token from a poller key. The generation check at
+    /// lookup rejects keys from torn-down registrations.
+    pub fn from_key(key: usize) -> Token {
+        Token(key as u64)
+    }
+}
+
+struct Slot<T> {
+    /// Bumped on every removal, so old tokens die with their occupant.
+    generation: u32,
+    value: Option<T>,
+}
+
+/// Dense slab of per-connection state with generation-checked O(1)
+/// insert, lookup and removal.
+pub struct EndpointTable<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for EndpointTable<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EndpointTable<T> {
+    /// An empty table.
+    pub fn new() -> Self {
+        EndpointTable {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// No live entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `value`, reusing a freed slot when one exists.
+    pub fn insert(&mut self, value: T) -> Token {
+        self.len += 1;
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            debug_assert!(slot.value.is_none(), "free list pointed at a live slot");
+            slot.value = Some(value);
+            Token::new(index, slot.generation)
+        } else {
+            let index = u32::try_from(self.slots.len()).expect("endpoint table exceeds u32 slots");
+            self.slots.push(Slot {
+                generation: 0,
+                value: Some(value),
+            });
+            Token::new(index, 0)
+        }
+    }
+
+    fn slot(&self, token: Token) -> Option<&Slot<T>> {
+        self.slots
+            .get(token.index() as usize)
+            .filter(|s| s.generation == token.generation())
+    }
+
+    /// The entry `token` refers to, unless it was torn down (or the
+    /// slot was reused by a later connection — the generation check).
+    pub fn get(&self, token: Token) -> Option<&T> {
+        self.slot(token).and_then(|s| s.value.as_ref())
+    }
+
+    /// Mutable [`get`](Self::get).
+    pub fn get_mut(&mut self, token: Token) -> Option<&mut T> {
+        self.slots
+            .get_mut(token.index() as usize)
+            .filter(|s| s.generation == token.generation())
+            .and_then(|s| s.value.as_mut())
+    }
+
+    /// Removes and returns the entry, bumping the slot generation so
+    /// every outstanding token for it goes stale.
+    pub fn remove(&mut self, token: Token) -> Option<T> {
+        let slot = self.slots.get_mut(token.index() as usize)?;
+        if slot.generation != token.generation() {
+            return None;
+        }
+        let value = slot.value.take()?;
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(token.index());
+        self.len -= 1;
+        Some(value)
+    }
+
+    /// Iterates live entries (shutdown sweeps; the hot path never
+    /// walks the table).
+    pub fn iter(&self) -> impl Iterator<Item = (Token, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            s.value
+                .as_ref()
+                .map(|v| (Token::new(i as u32, s.generation), v))
+        })
+    }
+
+    /// Mutable [`iter`](Self::iter).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (Token, &mut T)> {
+        self.slots.iter_mut().enumerate().filter_map(|(i, s)| {
+            let generation = s.generation;
+            s.value
+                .as_mut()
+                .map(move |v| (Token::new(i as u32, generation), v))
+        })
+    }
+
+    /// Tokens of all live entries (teardown sweeps that need `&mut`
+    /// access per entry afterwards).
+    pub fn tokens(&self) -> Vec<Token> {
+        self.iter().map(|(t, _)| t).collect()
+    }
+}
+
+/// Endpoint-layer counters of a connection-oriented driver.
+///
+/// All cumulative since driver construction. The readiness pair
+/// (`readiness_wakeups`, `sockets_polled`) is the massive-fanout
+/// scaling story in two numbers: pump cost tracks sockets *polled*
+/// (ready), not sockets *held* — `sockets_polled / readiness_wakeups`
+/// stays flat as the connection count grows.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EndpointStats {
+    /// Connections accepted and fully handshaken.
+    pub accepts: u64,
+    /// Inbound connections dropped during the handshake (bad id, slot
+    /// collision, deadline expiry, socket error).
+    pub handshake_failures: u64,
+    /// Established connections torn down (EOF, error, protocol
+    /// violation, drain completion).
+    pub teardowns: u64,
+    /// Pump polls that returned at least one readiness event.
+    pub readiness_wakeups: u64,
+    /// Per-socket readiness events serviced — the O(ready) work term.
+    pub sockets_polled: u64,
+    /// Readiness events that produced no progress (no bytes moved, no
+    /// state change).
+    pub spurious_wakeups: u64,
+    /// Times a socket's reads were paused for backpressure (receive
+    /// backlog or engine saturation signal).
+    pub backpressure_stalls: u64,
+}
+
+impl EndpointStats {
+    /// Sums `other` into `self` (aggregation across rails/shards).
+    pub fn absorb(&mut self, other: &EndpointStats) {
+        self.accepts += other.accepts;
+        self.handshake_failures += other.handshake_failures;
+        self.teardowns += other.teardowns;
+        self.readiness_wakeups += other.readiness_wakeups;
+        self.sockets_polled += other.sockets_polled;
+        self.spurious_wakeups += other.spurious_wakeups;
+        self.backpressure_stalls += other.backpressure_stalls;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_remove_roundtrip() {
+        let mut t = EndpointTable::new();
+        let a = t.insert("a");
+        let b = t.insert("b");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(a), Some(&"a"));
+        assert_eq!(t.get(b), Some(&"b"));
+        assert_eq!(t.remove(a), Some("a"));
+        assert_eq!(t.get(a), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn stale_tokens_die_with_their_occupant() {
+        let mut t = EndpointTable::new();
+        let a = t.insert(1);
+        t.remove(a);
+        // The freed slot is reused…
+        let b = t.insert(2);
+        assert_eq!(b.index(), a.index());
+        // …but the old token no longer resolves, in any API.
+        assert_eq!(t.get(a), None);
+        assert_eq!(t.get_mut(a), None);
+        assert_eq!(t.remove(a), None);
+        assert_eq!(t.get(b), Some(&2));
+        // Round-trip through a poller key preserves the generation.
+        assert_eq!(t.get(Token::from_key(a.key())), None);
+        assert_eq!(t.get(Token::from_key(b.key())), Some(&2));
+    }
+
+    #[test]
+    fn double_remove_is_inert() {
+        let mut t = EndpointTable::new();
+        let a = t.insert(7);
+        assert_eq!(t.remove(a), Some(7));
+        assert_eq!(t.remove(a), None);
+        assert_eq!(t.len(), 0);
+        // The slot is on the free list exactly once.
+        let b = t.insert(8);
+        let c = t.insert(9);
+        assert_ne!(b.index(), c.index());
+    }
+
+    #[test]
+    fn token_packs_index_and_generation() {
+        let tok = Token::new(42, 7);
+        assert_eq!(tok.index(), 42);
+        assert_eq!(tok.generation(), 7);
+        assert_eq!(Token::from_key(tok.key()), tok);
+    }
+
+    #[test]
+    fn iteration_sees_exactly_the_live_entries() {
+        let mut t = EndpointTable::new();
+        let toks: Vec<Token> = (0..5).map(|i| t.insert(i)).collect();
+        t.remove(toks[1]);
+        t.remove(toks[3]);
+        let mut live: Vec<i32> = t.iter().map(|(_, v)| *v).collect();
+        live.sort_unstable();
+        assert_eq!(live, vec![0, 2, 4]);
+        assert_eq!(t.tokens().len(), 3);
+        for (_, v) in t.iter_mut() {
+            *v += 10;
+        }
+        let mut bumped: Vec<i32> = t.iter().map(|(_, v)| *v).collect();
+        bumped.sort_unstable();
+        assert_eq!(bumped, vec![10, 12, 14]);
+    }
+
+    #[test]
+    fn endpoint_stats_absorb_sums_every_field() {
+        let one = EndpointStats {
+            accepts: 1,
+            handshake_failures: 2,
+            teardowns: 3,
+            readiness_wakeups: 4,
+            sockets_polled: 5,
+            spurious_wakeups: 6,
+            backpressure_stalls: 7,
+        };
+        let mut sum = one;
+        sum.absorb(&one);
+        assert_eq!(
+            sum,
+            EndpointStats {
+                accepts: 2,
+                handshake_failures: 4,
+                teardowns: 6,
+                readiness_wakeups: 8,
+                sockets_polled: 10,
+                spurious_wakeups: 12,
+                backpressure_stalls: 14,
+            }
+        );
+    }
+}

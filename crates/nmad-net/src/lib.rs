@@ -33,9 +33,11 @@
 
 pub mod backoff;
 pub mod driver;
+pub mod endpoint;
 pub mod fault;
 pub mod lossy;
 pub mod mem;
+pub mod poller;
 pub mod reliable;
 pub mod selective;
 pub mod sim;
@@ -46,11 +48,13 @@ pub use driver::{
     Capabilities, CpuMeter, Driver, LinkStats, NetError, NetResult, NullMeter, RxFrame, SendHandle,
     StrategyDecision,
 };
+pub use endpoint::{EndpointStats, EndpointTable, Token};
 pub use fault::{
     checksum32, DetRng, FaultEvent, FaultInjector, FaultPlan, FaultStats, FaultVerdict,
 };
 pub use lossy::{LossStats, LossyDriver};
 pub use mem::{mem_fabric, MemDriver};
+pub use poller::{Poller, PollerStats};
 pub use reliable::{ReliableDriver, ReliableStats};
 pub use selective::{SelectiveDriver, SelectiveStats};
 pub use sim::{SimCpuMeter, SimDriver};

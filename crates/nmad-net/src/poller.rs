@@ -1,0 +1,137 @@
+//! Safe readiness-polling facade for the event-driven TCP endpoint
+//! layer.
+//!
+//! Wraps the `polling` shim (epoll on Linux, `poll(2)` elsewhere — the
+//! raw syscalls are confined there) and adds the accounting the
+//! endpoint layer reports through
+//! [`EndpointStats`](crate::endpoint::EndpointStats): how often a wait
+//! woke with work and how many per-socket readiness events it
+//! delivered. The contract is level-triggered and persistent:
+//! registrations stay until [`Poller::delete`], and callers change
+//! interest only on edge transitions (write interest appears when an
+//! output buffer becomes non-empty, disappears when it drains), so the
+//! kernel is consulted O(transitions), not O(pumps).
+
+pub use polling::{raise_nofile_limit, Event, Interest};
+
+use std::io;
+use std::os::fd::AsRawFd;
+use std::time::Duration;
+
+/// Cumulative counters of one [`Poller`]'s life.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PollerStats {
+    /// Wait calls issued (each is one `epoll_wait`/`poll` syscall).
+    pub polls: u64,
+    /// Wait calls that returned at least one event.
+    pub wakeups: u64,
+    /// Per-socket readiness events delivered in total.
+    pub events: u64,
+    /// Interest re-registrations (edge transitions only).
+    pub interest_mods: u64,
+}
+
+/// A readiness poller bound to one endpoint table.
+pub struct Poller {
+    inner: polling::Poller,
+    stats: PollerStats,
+}
+
+impl Poller {
+    /// Best backend for the platform (epoll on Linux: O(ready) waits).
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            inner: polling::Poller::new()?,
+            stats: PollerStats::default(),
+        })
+    }
+
+    /// The portable `poll(2)` backend, O(registered) per wait. Exists
+    /// so the fallback stays tested on Linux.
+    pub fn portable() -> io::Result<Poller> {
+        Ok(Poller {
+            inner: polling::Poller::portable()?,
+            stats: PollerStats::default(),
+        })
+    }
+
+    /// Backend name for reports (`"epoll"` / `"poll"`).
+    pub fn backend_name(&self) -> &'static str {
+        self.inner.backend_name()
+    }
+
+    /// Registers `source` under `key` with `interest`.
+    pub fn add(&mut self, source: &impl AsRawFd, key: usize, interest: Interest) -> io::Result<()> {
+        self.inner.add(source, key, interest)
+    }
+
+    /// Changes the interest set of a registered descriptor. Callers
+    /// invoke this only on actual transitions; the count is exposed so
+    /// tests can pin that no per-pump re-registration sneaks in.
+    pub fn modify(
+        &mut self,
+        source: &impl AsRawFd,
+        key: usize,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.stats.interest_mods += 1;
+        self.inner.modify(source, key, interest)
+    }
+
+    /// Removes a registration (before closing the descriptor).
+    pub fn delete(&mut self, source: &impl AsRawFd) -> io::Result<()> {
+        self.inner.delete(source)
+    }
+
+    /// Appends ready events to `events`, returning how many. The
+    /// endpoint pump uses a zero timeout; mesh setup uses short real
+    /// timeouts instead of sleep loops.
+    pub fn wait(
+        &mut self,
+        events: &mut Vec<Event>,
+        timeout: Option<Duration>,
+    ) -> io::Result<usize> {
+        let n = self.inner.wait(events, timeout)?;
+        self.stats.polls += 1;
+        if n > 0 {
+            self.stats.wakeups += 1;
+            self.stats.events += n as u64;
+        }
+        Ok(n)
+    }
+
+    /// Counters since construction.
+    pub fn stats(&self) -> PollerStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn wakeup_accounting_counts_only_productive_polls() {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut a = TcpStream::connect(l.local_addr().unwrap()).unwrap();
+        let (b, _) = l.accept().unwrap();
+        b.set_nonblocking(true).unwrap();
+
+        let mut p = Poller::new().unwrap();
+        p.add(&b, 1, Interest::READABLE).unwrap();
+        let mut events = Vec::new();
+        assert_eq!(p.wait(&mut events, Some(Duration::ZERO)).unwrap(), 0);
+        a.write_all(b"hi").unwrap();
+        let n = p.wait(&mut events, Some(Duration::from_secs(2))).unwrap();
+        assert_eq!(n, 1);
+        let s = p.stats();
+        assert_eq!(s.polls, 2);
+        assert_eq!(s.wakeups, 1, "empty poll must not count as a wakeup");
+        assert_eq!(s.events, 1);
+        assert_eq!(s.interest_mods, 0);
+        p.modify(&b, 1, Interest::NONE).unwrap();
+        assert_eq!(p.stats().interest_mods, 1);
+    }
+}

@@ -324,6 +324,14 @@ impl<D: Driver> Driver for SelectiveDriver<D> {
     fn fault_stats(&self) -> FaultStats {
         self.inner.fault_stats()
     }
+
+    fn endpoint_stats(&self) -> crate::endpoint::EndpointStats {
+        self.inner.endpoint_stats()
+    }
+
+    fn set_rx_backpressure(&mut self, paused: bool) {
+        self.inner.set_rx_backpressure(paused);
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,156 @@
+//! Churn properties of the massive-fanout endpoint layer.
+//!
+//! Two levels:
+//!
+//! * **Model check of the slab** — arbitrary interleavings of
+//!   insert/lookup/remove against [`EndpointTable`], mirrored in a
+//!   naïve `HashMap` model. Every token ever minted is replayed after
+//!   every step: a live token must resolve to its value, a dead one
+//!   (its occupant removed, possibly with the slot since reused) must
+//!   resolve to nothing — in `get`, `get_mut`, `remove`, and through a
+//!   poller-key round-trip. This is the property that makes readiness
+//!   events safe under churn.
+//!
+//! * **Accept/teardown/reconnect churn on a real server** — random
+//!   connect/handshake/disconnect schedules against a live
+//!   [`TcpDriver::server`], checking that the peer map tracks exactly
+//!   the surviving clients and that freed node ids are reusable.
+
+use nmad_net::tcp::TcpDriver;
+use nmad_net::{Driver, EndpointTable, Token};
+use nmad_sim::NodeId;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The slab agrees with a HashMap model under arbitrary churn, and
+    /// stale tokens never alias a slot's next occupant.
+    #[test]
+    fn slab_tracks_model_and_kills_stale_tokens(
+        ops in proptest::collection::vec((0u8..3, 0u8..8), 1..120),
+    ) {
+        let mut table: EndpointTable<u64> = EndpointTable::new();
+        let mut model: HashMap<usize, u64> = HashMap::new(); // token.key() -> value
+        let mut minted: Vec<Token> = Vec::new();
+        let mut live: Vec<Token> = Vec::new();
+        let mut next_value = 0u64;
+
+        for (op, pick) in ops {
+            match op {
+                // Insert a fresh value.
+                0 => {
+                    let v = next_value;
+                    next_value += 1;
+                    let t = table.insert(v);
+                    prop_assert!(
+                        !model.contains_key(&t.key()),
+                        "token key reused while a prior mint could still alias it"
+                    );
+                    model.insert(t.key(), v);
+                    minted.push(t);
+                    live.push(t);
+                }
+                // Remove a (possibly stale) previously-minted token.
+                1 => {
+                    if minted.is_empty() {
+                        continue;
+                    }
+                    let t = minted[pick as usize % minted.len()];
+                    let expect = model.remove(&t.key());
+                    prop_assert_eq!(table.remove(t), expect);
+                    live.retain(|&x| x != t);
+                }
+                // Remove a live token specifically (steady churn).
+                _ => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let t = live.swap_remove(pick as usize % live.len());
+                    let expect = model.remove(&t.key());
+                    prop_assert!(expect.is_some());
+                    prop_assert_eq!(table.remove(t), expect);
+                }
+            }
+
+            // Replay every token ever minted against the model.
+            prop_assert_eq!(table.len(), model.len());
+            for &t in &minted {
+                let expect = model.get(&t.key()).copied();
+                prop_assert_eq!(table.get(t).copied(), expect);
+                // The poller-key round trip preserves the verdict.
+                prop_assert_eq!(table.get(Token::from_key(t.key())).copied(), expect);
+            }
+        }
+
+        // Dead tokens stay dead through get_mut and double-remove too.
+        for &t in &minted {
+            if !model.contains_key(&t.key()) {
+                prop_assert!(table.get_mut(t).is_none());
+                prop_assert!(table.remove(t).is_none());
+            }
+        }
+    }
+}
+
+fn pump_until(server: &mut TcpDriver, mut cond: impl FnMut(&TcpDriver) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cond(server) {
+        assert!(Instant::now() < deadline, "server condition timed out");
+        server.pump().unwrap();
+        std::thread::sleep(Duration::from_micros(200));
+    }
+}
+
+fn handshake(addr: std::net::SocketAddr, id: u32) -> TcpStream {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(&id.to_le_bytes()).unwrap();
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Random connect/disconnect/reconnect schedules against a live
+    /// server endpoint: the peer count tracks the surviving clients,
+    /// teardowns free node ids for reuse, and nothing wedges.
+    #[test]
+    fn server_survives_accept_teardown_reconnect_churn(
+        schedule in proptest::collection::vec((0u8..2, 1u32..9), 1..24),
+    ) {
+        let mut server =
+            TcpDriver::server(NodeId(0), "127.0.0.1:0".parse().unwrap(), 16).unwrap();
+        let addr = server.local_addr().unwrap();
+        let mut clients: HashMap<u32, TcpStream> = HashMap::new();
+
+        for (op, id) in schedule {
+            match op {
+                0 => {
+                    if clients.contains_key(&id) {
+                        continue;
+                    }
+                    clients.insert(id, handshake(addr, id));
+                }
+                _ => {
+                    if clients.remove(&id).is_none() {
+                        continue;
+                    }
+                }
+            }
+            let want = clients.len();
+            pump_until(&mut server, |s| s.connected_peers() == want);
+        }
+
+        // Every surviving client can still exchange a frame.
+        let ids: Vec<u32> = clients.keys().copied().collect();
+        for id in ids {
+            server.post_send(NodeId(id), &[b"alive?"]).unwrap();
+        }
+        drop(clients);
+        pump_until(&mut server, |s| s.connected_peers() == 0);
+    }
+}

@@ -64,6 +64,14 @@ pub static RULES: &[Rule] = &[
                       whose departed-under-lock protocol is what the shard model \
                       suites verify",
     },
+    Rule {
+        name: "raw-poll-outside-shim",
+        description: "no raw readiness-syscall tokens (epoll_create1/epoll_ctl/\
+                      epoll_wait, EPOLLIN/EPOLLOUT, pollfd) outside shims/polling/: \
+                      the endpoint layer talks to the kernel only through the \
+                      Poller facade so backend selection and event accounting \
+                      stay in one audited place",
+    },
 ];
 
 /// A single finding.
@@ -247,6 +255,19 @@ fn has_word(line: &str, needle: &str) -> bool {
     false
 }
 
+/// Tokens a readiness backend needs and nothing else should utter:
+/// seeing one outside `shims/polling/` means someone is issuing poll
+/// syscalls behind the facade's back.
+const POLL_SYSCALL_TOKENS: &[&str] = &[
+    "epoll_create1",
+    "epoll_ctl",
+    "epoll_wait",
+    "EPOLLIN",
+    "EPOLLOUT",
+    "EPOLLRDHUP",
+    "pollfd",
+];
+
 const HOT_PATH_FILES: &[&str] = &[
     "crates/nmad-core/src/ring.rs",
     "crates/nmad-core/src/threaded.rs",
@@ -266,6 +287,9 @@ fn atomics_allowed(path: &str) -> bool {
 fn sim_time_scoped(path: &str) -> bool {
     (path.starts_with("crates/nmad-sim/") || path.starts_with("crates/nmad-net/"))
         && !path.ends_with("/tcp.rs")
+        // Tests that drive the real TCP transport are wall clock by
+        // nature, like tcp.rs itself.
+        && path != "crates/nmad-net/tests/endpoint_churn.rs"
 }
 
 fn is_crate_root(path: &str) -> bool {
@@ -343,6 +367,17 @@ pub fn lint_file(path: &str, raw: &str) -> Vec<Violation> {
         if path != "crates/nmad-core/src/steal.rs" && has_word(line, "StealMailbox") {
             out.push(Violation {
                 rule: "steal-facade-only",
+                file: path.to_string(),
+                line: lineno,
+                excerpt: excerpt(line),
+            });
+        }
+
+        if !path.starts_with("shims/polling/")
+            && POLL_SYSCALL_TOKENS.iter().any(|t| has_word(line, t))
+        {
+            out.push(Violation {
+                rule: "raw-poll-outside-shim",
                 file: path.to_string(),
                 line: lineno,
                 excerpt: excerpt(line),
@@ -503,10 +538,30 @@ let c = 'u';
     }
 
     #[test]
+    fn raw_poll_syscalls_confined_to_the_polling_shim() {
+        let src = "let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };\n\
+                   let mask = EPOLLIN | EPOLLOUT;\n";
+        let v = lint_file("crates/nmad-net/src/tcp.rs", src);
+        assert!(v.iter().any(|v| v.rule == "raw-poll-outside-shim"));
+        // The shim itself may say the tokens (its unsafe is covered by
+        // the SAFETY rules, not this one).
+        let shim = "// SAFETY: fd is owned\nlet fd = unsafe { epoll_create1(0) };\n";
+        let v = lint_file("shims/polling/src/lib.rs", shim);
+        assert!(v.iter().all(|v| v.rule != "raw-poll-outside-shim"));
+        // Comments and the safe facade vocabulary do not trip it.
+        let ok = lint_file(
+            "crates/nmad-net/src/poller.rs",
+            "// epoll_wait lives behind the shim\nlet p = Poller::new();\n",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
     fn rule_catalog_is_stable() {
-        assert_eq!(RULES.len(), 7);
+        assert_eq!(RULES.len(), 8);
         let names: Vec<&str> = RULES.iter().map(|r| r.name).collect();
         assert!(names.contains(&"raw-atomics-outside-facade"));
         assert!(names.contains(&"steal-facade-only"));
+        assert!(names.contains(&"raw-poll-outside-shim"));
     }
 }

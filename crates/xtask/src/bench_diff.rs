@@ -10,11 +10,11 @@
 //!   change. The `mem`-driver rows are wall clock on a shared runner
 //!   (observed ±70% run to run) and are reported but never gated.
 //! * `BENCH_overlap.json` — `overlap_pct` per (mode, size) row,
-//!   higher is better. Rows whose baseline sits below the stable
-//!   floor (50%) are reported but never gated: marginal overlap is
-//!   scheduler luck — 47% and 0% were observed on consecutive runs of
-//!   the same build on one core — while saturated overlap (the 256K
-//!   threaded row pins at ~99.9%) is robust enough to defend.
+//!   reported for context but never gated: overlap is a two-thread
+//!   wall-clock race on a shared one-core runner, and even the
+//!   saturated 256K threaded row (baseline 99.9%) was observed at
+//!   0.0% on a rerun of the same build. The deterministic overlap
+//!   property is held by the virtual-time tests instead.
 //! * `BENCH_batch.json` — the `speedups` ratios, higher is better.
 //!   Only the wheel-vs-heap ratio gates: the batched-vs-single ratios
 //!   are two-thread wall clock on a shared one-core runner and swing
@@ -22,6 +22,13 @@
 //!   `ns_per_op` rows are printed for context but not gated: wall
 //!   clock ns depends on the machine, while a same-process *ratio*
 //!   is the property the work guarantees.
+//! * `BENCH_swarm.json` — the readiness-event counts of the
+//!   event-driven TCP endpoint (`idle_events_per_pump`,
+//!   `probe_events_per_ready`, and the max-vs-min fanout ratio of the
+//!   latter) gate strictly, lower is better: they are deterministic
+//!   properties of the pump, and with a 0.0 idle baseline a single
+//!   leaked event fails. Accept churn and echo percentiles are wall
+//!   clock and context only.
 //!
 //! A metric is a regression when it moves past the tolerance in its
 //! bad direction; a baseline metric missing from the current report
@@ -101,6 +108,7 @@ pub fn bench_diff(args: &[String]) -> ExitCode {
         ("BENCH_overlap.json", extract_overlap as _),
         ("BENCH_batch.json", extract_batch as _),
         ("BENCH_shards.json", extract_shards as _),
+        ("BENCH_swarm.json", extract_swarm as _),
     ] {
         let base_path = Path::new(&baseline_dir).join(file);
         let cur_path = Path::new(&current_dir).join(file);
@@ -254,16 +262,20 @@ fn extract_pingpong(base: &Json, cur: &Json) -> Vec<Metric> {
     )
 }
 
-/// Baseline overlap below this is scheduler luck, not a property of
-/// the code (see the module docs), so such rows never gate.
-const OVERLAP_STABLE_FLOOR: f64 = 50.0;
-
 fn extract_overlap(base: &Json, cur: &Json) -> Vec<Metric> {
+    // Overlap percentage is a two-thread wall-clock race on a shared
+    // one-core runner: whether the progression thread runs at all
+    // during the compute window is scheduler luck. A stable floor of
+    // 50% was tried first, but even the saturated 256K threaded row
+    // (baseline 99.9%) was then observed at 0.0%, 12.2% and 99.9% on
+    // three consecutive runs of the *same build*, so no overlap row
+    // gates. The deterministic overlap property is held by the
+    // virtual-time tests instead; these rows are context.
     pair(
         row_metric(base, "overlap", &["mode", "size"], "overlap_pct"),
         row_metric(cur, "overlap", &["mode", "size"], "overlap_pct"),
         Better::Higher,
-        |_, baseline| (baseline < OVERLAP_STABLE_FLOOR).then_some("skipped (below stable floor)"),
+        |_, _| Some("skipped (interference-bound)"),
     )
 }
 
@@ -326,6 +338,50 @@ fn extract_shards(base: &Json, cur: &Json) -> Vec<Metric> {
     out
 }
 
+fn extract_swarm(base: &Json, cur: &Json) -> Vec<Metric> {
+    // The readiness-event counts are deterministic properties of the
+    // endpoint pump — an idle pump touches zero sockets and K ready
+    // sockets cost ~K events regardless of fanout — so they gate
+    // strictly, lower is better. The idle baseline is 0.0, and the
+    // zero-baseline rule (any positive current exceeds 0*(1+tol))
+    // means a single leaked idle event fails the gate. Accept churn
+    // and echo percentiles are wall clock on a shared one-core runner
+    // and are context only.
+    let mut out = pair(
+        row_metric(base, "swarm", &["connections"], "idle_events_per_pump"),
+        row_metric(cur, "swarm", &["connections"], "idle_events_per_pump"),
+        Better::Lower,
+        |_, _| None,
+    );
+    out.extend(pair(
+        row_metric(base, "swarm", &["connections"], "probe_events_per_ready"),
+        row_metric(cur, "swarm", &["connections"], "probe_events_per_ready"),
+        Better::Lower,
+        |_, _| None,
+    ));
+    let probes = |doc: &Json| -> Vec<(String, f64)> {
+        doc.get("probes")
+            .and_then(Json::members)
+            .map(|members| {
+                members
+                    .iter()
+                    .filter_map(|(k, v)| v.as_f64().map(|f| (format!("probes:{k}"), f)))
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    out.extend(pair(probes(base), probes(cur), Better::Lower, |_, _| None));
+    for metric in ["accepts_per_sec", "ping_p50_us", "ping_p99_us"] {
+        out.extend(pair(
+            row_metric(base, "swarm", &["connections"], metric),
+            row_metric(cur, "swarm", &["connections"], metric),
+            Better::Info,
+            |_, _| None,
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,10 +395,12 @@ mod tests {
     }
 
     fn regressed(m: &Metric, tolerance: f64) -> bool {
+        // Mirrors the driver: a missing metric is a coverage
+        // regression even for skipped/info rows.
         match (m.better, m.skipped, m.current) {
+            (_, _, None) => true,
             (Better::Info, _, _) => false,
             (_, Some(_), _) => false,
-            (_, _, None) => true,
             (Better::Lower, None, Some(c)) => c > m.baseline * (1.0 + tolerance),
             (Better::Higher, None, Some(c)) => c < m.baseline * (1.0 - tolerance),
         }
@@ -387,19 +445,28 @@ mod tests {
     }
 
     #[test]
-    fn overlap_below_stable_floor_never_gates() {
+    fn overlap_rows_never_gate_even_from_a_saturated_baseline() {
+        // Regression test for a flaky CI gate: the 256K threaded row
+        // was observed at 0.0% and 99.9% on consecutive runs of the
+        // same build on a one-core runner, so even a total collapse
+        // from a saturated baseline must not fail the build.
         let base = r#"{"overlap":[
             {"mode":"inline","size":16384,"overlap_pct":0.6},
-            {"mode":"threaded","size":65536,"overlap_pct":60.0}]}"#;
+            {"mode":"threaded","size":262144,"overlap_pct":99.9}]}"#;
         let cur = r#"{"overlap":[
             {"mode":"inline","size":16384,"overlap_pct":0.0},
-            {"mode":"threaded","size":65536,"overlap_pct":10.0}]}"#;
+            {"mode":"threaded","size":262144,"overlap_pct":0.0}]}"#;
         let m = extract_overlap(&parse(base).unwrap(), &parse(cur).unwrap());
-        let noisy = m.iter().find(|m| m.key.contains("inline")).unwrap();
-        assert!(noisy.skipped.is_some());
-        assert!(!regressed(noisy, 0.20));
-        let real = m.iter().find(|m| m.key.contains("threaded")).unwrap();
-        assert!(regressed(real, 0.20), "60% -> 10% overlap must gate");
+        assert_eq!(m.len(), 2);
+        for metric in &m {
+            assert_eq!(metric.skipped, Some("skipped (interference-bound)"));
+            assert!(!regressed(metric, 0.20), "{} must not gate", metric.key);
+        }
+        // But a vanished row is still a coverage regression.
+        let gone = r#"{"overlap":[]}"#;
+        let m = extract_overlap(&parse(base).unwrap(), &parse(gone).unwrap());
+        assert!(m.iter().all(|m| m.current.is_none()));
+        assert!(m.iter().all(|m| regressed(m, 0.20)));
     }
 
     #[test]
@@ -457,6 +524,87 @@ mod tests {
         let lost = m.iter().find(|m| m.key.contains("scale_4x")).unwrap();
         assert!(lost.current.is_none());
         assert!(regressed(lost, 0.20));
+    }
+
+    const BASE_SWARM: &str = r#"{"swarm":[
+        {"connections":64,"backend":"epoll","accepts_per_sec":6693.0,"ping_p50_us":3.5,"ping_p99_us":46.0,"ping_p999_us":57.6,"idle_events_per_pump":0.0000,"probe_events_per_ready":1.0000},
+        {"connections":1024,"backend":"epoll","accepts_per_sec":331.0,"ping_p50_us":40.7,"ping_p99_us":54.4,"ping_p999_us":118.6,"idle_events_per_pump":0.0000,"probe_events_per_ready":1.0000}],
+        "probes":{"ready_cost_max_vs_min":1.000}}"#;
+
+    #[test]
+    fn a_single_leaked_idle_event_fails_the_swarm_gate() {
+        // Zero baseline + Better::Lower: any positive current exceeds
+        // 0*(1+tol), so one idle socket touched per 200 pumps gates.
+        let leaky = BASE_SWARM.replacen("0.0000", "0.0050", 1);
+        let m = extract_swarm(&parse(BASE_SWARM).unwrap(), &parse(&leaky).unwrap());
+        let idle = m
+            .iter()
+            .find(|m| m.key == "swarm:64:idle_events_per_pump")
+            .unwrap();
+        assert!(regressed(idle, 0.20), "leaked idle events must gate");
+    }
+
+    #[test]
+    fn linear_scan_ready_cost_fails_the_swarm_gate_but_drift_does_not() {
+        // O(held) pumping at 1024 conns / 32 ready would show ~32x.
+        let scan = BASE_SWARM.replacen("1.0000", "32.0000", 2);
+        let m = extract_swarm(&parse(BASE_SWARM).unwrap(), &parse(&scan).unwrap());
+        let cost = m
+            .iter()
+            .find(|m| m.key == "swarm:64:probe_events_per_ready")
+            .unwrap();
+        assert!(regressed(cost, 0.20), "O(held) ready cost must gate");
+        let drift = BASE_SWARM.replacen("1.0000", "1.0600", 2);
+        let m = extract_swarm(&parse(BASE_SWARM).unwrap(), &parse(&drift).unwrap());
+        let ok = m
+            .iter()
+            .find(|m| m.key == "swarm:64:probe_events_per_ready")
+            .unwrap();
+        assert!(!regressed(ok, 0.20), "6% drift is within tolerance");
+    }
+
+    #[test]
+    fn swarm_probe_ratio_gates_and_extra_current_rows_are_ignored() {
+        // A full-sweep current report carries more rows and a larger
+        // fanout behind the same probe key; only baseline rows pair.
+        let full = r#"{"swarm":[
+            {"connections":64,"backend":"epoll","accepts_per_sec":5798.0,"ping_p50_us":3.6,"ping_p99_us":47.5,"ping_p999_us":328.2,"idle_events_per_pump":0.0000,"probe_events_per_ready":1.0000},
+            {"connections":1024,"backend":"epoll","accepts_per_sec":972.0,"ping_p50_us":11.7,"ping_p99_us":67.6,"ping_p999_us":823.8,"idle_events_per_pump":0.0000,"probe_events_per_ready":1.0000},
+            {"connections":10000,"backend":"epoll","accepts_per_sec":1522.0,"ping_p50_us":40.7,"ping_p99_us":51.9,"ping_p999_us":90.6,"idle_events_per_pump":0.0000,"probe_events_per_ready":1.0000}],
+            "probes":{"ready_cost_max_vs_min":1.000}}"#;
+        let m = extract_swarm(&parse(BASE_SWARM).unwrap(), &parse(full).unwrap());
+        assert!(m.iter().all(|m| m.current.is_some()), "all rows must pair");
+        assert!(m.iter().all(|m| !regressed(m, 0.20)));
+        let degraded = full.replace(
+            r#""ready_cost_max_vs_min":1.000"#,
+            r#""ready_cost_max_vs_min":156.0"#,
+        );
+        let m = extract_swarm(&parse(BASE_SWARM).unwrap(), &parse(&degraded).unwrap());
+        let probe = m
+            .iter()
+            .find(|m| m.key == "probes:ready_cost_max_vs_min")
+            .unwrap();
+        assert!(
+            regressed(probe, 0.20),
+            "fanout-dependent ready cost must gate"
+        );
+    }
+
+    #[test]
+    fn swarm_wall_clock_rows_are_context_not_gates() {
+        let slower = BASE_SWARM
+            .replace("6693.0", "100.0")
+            .replace("3.5", "900.0")
+            .replace("46.0", "9000.0");
+        let m = extract_swarm(&parse(BASE_SWARM).unwrap(), &parse(&slower).unwrap());
+        for metric in m.iter().filter(|m| {
+            ["accepts_per_sec", "ping_p50_us", "ping_p99_us"]
+                .iter()
+                .any(|s| m.key.ends_with(s))
+        }) {
+            assert_eq!(metric.better, Better::Info, "{}", metric.key);
+            assert!(!regressed(metric, 0.20));
+        }
     }
 
     #[test]
