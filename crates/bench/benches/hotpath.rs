@@ -16,6 +16,7 @@ fn sample_header(i: u32) -> EntryHeader {
     EntryHeader {
         kind: 1,
         flags: 0,
+        lane: (i % 4) as u8,
         tag: Tag(i),
         seq: SeqNo(i.wrapping_mul(7)),
         len: 64 + i,

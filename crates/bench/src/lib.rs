@@ -23,11 +23,15 @@ pub use pingpong::{
 pub use plot::{LogLogChart, Series};
 pub use report::{
     bench_json_arg, median, percentile, BatchReport, BatchRow, BenchReport, BenchRow,
-    OverlapReport, OverlapRow, ShardReport, ShardRow, SwarmReport, SwarmRow, BENCH_BATCH_JSON_PATH,
-    BENCH_JSON_PATH, BENCH_OVERLAP_JSON_PATH, BENCH_SHARDS_JSON_PATH, BENCH_SWARM_JSON_PATH,
+    OverlapReport, OverlapRow, ShardReport, ShardRow, SwarmReport, SwarmRow, TailReport, TailRow,
+    BENCH_BATCH_JSON_PATH, BENCH_JSON_PATH, BENCH_OVERLAP_JSON_PATH, BENCH_SHARDS_JSON_PATH,
+    BENCH_SWARM_JSON_PATH, BENCH_TAIL_JSON_PATH,
 };
 pub use table::Table;
-pub use workload::{generate, payload_for, WorkItem, WorkloadSpec};
+pub use workload::{
+    generate, generate_tail, payload_for, ArrivalModel, ClassMix, SizeDist, TailItem, TailSpec,
+    WorkItem, WorkloadSpec, CLASS_TAG_STRIDE,
+};
 
 /// Power-of-two sizes from `from` to `to` inclusive.
 pub fn byte_sizes(from: usize, to: usize) -> Vec<usize> {

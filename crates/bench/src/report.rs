@@ -616,6 +616,143 @@ impl SwarmReport {
     }
 }
 
+/// Default output path of the heavy-tail multi-tenant benchmark
+/// (`tail` binary); `--json PATH` overrides it.
+pub const BENCH_TAIL_JSON_PATH: &str = "BENCH_tail.json";
+
+/// One row of the tail benchmark: the full latency percentile ladder
+/// of one tenant class under one strategy in one scenario.
+///
+/// All latencies are **virtual time** (deterministic simulator
+/// nanoseconds, reported in µs), so every percentile — including
+/// p99.99 — is bit-reproducible from the seed and can gate in CI.
+#[derive(Clone, Debug)]
+pub struct TailRow {
+    /// Scenario: `mixed` (steady multi-tenant load) or `chaos`
+    /// (same load with a seeded fault plan injected mid-run).
+    pub scenario: String,
+    /// Scheduling strategy under test (`aggreg`, `aggreg_hol`, `lanes`).
+    pub strategy: String,
+    /// Tenant class label (`urgent-small`, `normal-rpc`, `bulk`).
+    pub class: String,
+    /// Completed messages of this class.
+    pub count: u64,
+    /// Median completion latency, µs.
+    pub p50_us: f64,
+    /// 90th percentile, µs.
+    pub p90_us: f64,
+    /// 99th percentile, µs.
+    pub p99_us: f64,
+    /// 99.9th percentile, µs.
+    pub p999_us: f64,
+    /// 99.99th percentile, µs.
+    pub p9999_us: f64,
+    /// Mean completion latency, µs.
+    pub mean_us: f64,
+}
+
+/// Accumulator for [`TailRow`]s plus per-strategy aggregate throughput
+/// and named cross-strategy ratios, rendered as one JSON document
+/// (`BENCH_tail.json`).
+#[derive(Default)]
+pub struct TailReport {
+    rows: Mutex<Vec<TailRow>>,
+    throughput: Mutex<Vec<(String, f64)>>,
+    ratios: Mutex<Vec<(String, f64)>>,
+}
+
+impl TailReport {
+    /// Fresh.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one class × strategy × scenario percentile ladder.
+    pub fn record(&self, row: TailRow) {
+        self.rows.lock().expect("report poisoned").push(row);
+    }
+
+    /// Records one strategy's aggregate goodput in a scenario,
+    /// MB/s of virtual time (key e.g. `mixed/lanes`).
+    pub fn record_throughput(&self, key: &str, mbs: f64) {
+        self.throughput
+            .lock()
+            .expect("report poisoned")
+            .push((key.to_string(), mbs));
+    }
+
+    /// Records a named cross-strategy ratio (e.g. the aggreg-over-lanes
+    /// p99.9 of the urgent class — higher means lanes wins by more).
+    pub fn record_ratio(&self, name: &str, ratio: f64) {
+        self.ratios
+            .lock()
+            .expect("report poisoned")
+            .push((name.to_string(), ratio));
+    }
+
+    /// Rows recorded so far.
+    pub fn len(&self) -> usize {
+        self.rows.lock().expect("report poisoned").len()
+    }
+
+    /// No rows yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The whole report as one JSON document.
+    pub fn to_json(&self) -> String {
+        let rows = self.rows.lock().expect("report poisoned");
+        let mut out = String::from("{\"tail\":[");
+        for (i, r) in rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"scenario\":\"{}\",\"strategy\":\"{}\",\"class\":\"{}\",\
+                 \"count\":{},\"p50_us\":{:.3},\"p90_us\":{:.3},\"p99_us\":{:.3},\
+                 \"p999_us\":{:.3},\"p9999_us\":{:.3},\"mean_us\":{:.3}}}",
+                escape(&r.scenario),
+                escape(&r.strategy),
+                escape(&r.class),
+                r.count,
+                r.p50_us,
+                r.p90_us,
+                r.p99_us,
+                r.p999_us,
+                r.p9999_us,
+                r.mean_us,
+            ));
+        }
+        out.push_str("],\"throughput\":{");
+        let tp = self.throughput.lock().expect("report poisoned");
+        for (i, (name, mbs)) in tp.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{:.2}", escape(name), mbs));
+        }
+        out.push_str("},\"ratios\":{");
+        let ratios = self.ratios.lock().expect("report poisoned");
+        for (i, (name, ratio)) in ratios.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{:.3}", escape(name), ratio));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Writes the report; failures are printed, never propagated.
+    pub fn write(&self, path: &str) {
+        match std::fs::write(path, self.to_json()) {
+            Ok(()) => eprintln!("wrote {} tail rows to {path}", self.len()),
+            Err(e) => eprintln!("could not write tail report {path}: {e}"),
+        }
+    }
+}
+
 /// The `q`-th percentile (0.0..=1.0) of `values` by nearest-rank;
 /// panics on an empty slice (a latency sample set is never empty).
 pub fn percentile(values: &[f64], q: f64) -> f64 {
@@ -742,6 +879,38 @@ mod tests {
         assert!(json.contains("\"mode\":\"threaded\""));
         assert!(json.contains("\"size\":65536"));
         assert!(json.contains("\"overlap_pct\":91.7"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn tail_report_renders_rows_throughput_and_ratios_as_json() {
+        let report = TailReport::new();
+        assert!(report.is_empty());
+        report.record(TailRow {
+            scenario: "mixed".to_string(),
+            strategy: "lanes".to_string(),
+            class: "urgent-small".to_string(),
+            count: 2000,
+            p50_us: 3.2,
+            p90_us: 6.1,
+            p99_us: 11.0,
+            p999_us: 18.75,
+            p9999_us: 31.5,
+            mean_us: 4.0,
+        });
+        report.record_throughput("mixed/lanes", 812.5);
+        report.record_ratio("mixed/urgent-small/aggreg_p999_over_lanes", 4.5);
+        let json = report.to_json();
+        assert!(json.contains("\"scenario\":\"mixed\""));
+        assert!(json.contains("\"strategy\":\"lanes\""));
+        assert!(json.contains("\"class\":\"urgent-small\""));
+        assert!(json.contains("\"p999_us\":18.750"), "{json}");
+        assert!(json.contains("\"p9999_us\":31.500"), "{json}");
+        assert!(json.contains("\"mixed/lanes\":812.50"), "{json}");
+        assert!(
+            json.contains("\"mixed/urgent-small/aggreg_p999_over_lanes\":4.500"),
+            "{json}"
+        );
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

@@ -86,6 +86,289 @@ pub fn payload_for(index: usize, len: usize) -> Vec<u8> {
     (0..len).map(|j| ((index * 37 + j) % 251) as u8).collect()
 }
 
+// ---------------------------------------------------------------------
+// Heavy-tail multi-tenant workloads
+// ---------------------------------------------------------------------
+
+/// Message-size distribution of one tenant class.
+///
+/// The heavy-tail distributions are sampled by hand — Box–Muller for
+/// the log-normal, inverse CDF for the Pareto — so the generator stays
+/// dependency-free and bit-reproducible from the seed.
+#[derive(Clone, Debug)]
+pub enum SizeDist {
+    /// Uniform in `min..=max` bytes.
+    Uniform {
+        /// Smallest size.
+        min: usize,
+        /// Largest size.
+        max: usize,
+    },
+    /// Log-normal: `median * exp(sigma * N(0,1))` — the classic RPC
+    /// size shape (most messages near the median, a long right tail).
+    LogNormal {
+        /// Median size in bytes.
+        median: f64,
+        /// Log-space standard deviation.
+        sigma: f64,
+    },
+    /// Pareto: `scale / U^(1/alpha)` — a power-law tail; `alpha` near 1
+    /// makes occasional messages orders of magnitude above the scale.
+    Pareto {
+        /// Minimum (and modal) size in bytes.
+        scale: f64,
+        /// Tail exponent; smaller is heavier.
+        alpha: f64,
+    },
+}
+
+impl SizeDist {
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        match *self {
+            SizeDist::Uniform { min, max } => rng.gen_range(min..=max.max(min)) as f64,
+            SizeDist::LogNormal { median, sigma } => {
+                // Box–Muller transform; u1 in (0, 1] avoids ln(0).
+                let u1: f64 = 1.0 - rng.gen::<f64>();
+                let u2: f64 = rng.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                median * (sigma * z).exp()
+            }
+            SizeDist::Pareto { scale, alpha } => {
+                let u: f64 = 1.0 - rng.gen::<f64>();
+                scale / u.powf(1.0 / alpha)
+            }
+        }
+    }
+}
+
+/// Arrival process of the whole multi-tenant mix.
+#[derive(Clone, Debug)]
+pub enum ArrivalModel {
+    /// Memoryless arrivals: exponential gaps at `rate_per_s`.
+    Poisson {
+        /// Mean arrivals per second.
+        rate_per_s: f64,
+    },
+    /// Markov-modulated Poisson process with two states (calm, burst):
+    /// gaps are exponential at the current state's rate, and the state
+    /// itself flips after an exponential dwell time. This is the
+    /// standard closed-form model for bursty datacenter traffic.
+    Mmpp {
+        /// Arrival rate in the calm state.
+        rate_lo_per_s: f64,
+        /// Arrival rate in the burst state.
+        rate_hi_per_s: f64,
+        /// Mean dwell time in each state, nanoseconds.
+        mean_dwell_ns: f64,
+    },
+}
+
+/// One tenant class of a heavy-tail mix.
+#[derive(Clone, Debug)]
+pub struct ClassMix {
+    /// Class label, used in reports ("urgent-small", "bulk", ...).
+    pub name: &'static str,
+    /// Priority lane every message of this class is submitted on.
+    pub priority: nmad_core::Priority,
+    /// Fraction of all messages this class contributes (normalized
+    /// against the sum over classes).
+    pub weight: f64,
+    /// Distinct flows (tags) inside the class; tags are allocated in
+    /// disjoint per-class ranges so tenants never share a flow.
+    pub flows: u32,
+    /// Size distribution.
+    pub size: SizeDist,
+    /// Hard cap on the sampled size (heavy tails are unbounded; the
+    /// cap keeps single messages within what the harness can buffer).
+    pub size_cap: usize,
+}
+
+/// Parameters of a heavy-tail multi-tenant workload.
+#[derive(Clone, Debug)]
+pub struct TailSpec {
+    /// Total number of messages across all classes.
+    pub messages: usize,
+    /// The tenant classes and their weights.
+    pub classes: Vec<ClassMix>,
+    /// Arrival process shared by the mix.
+    pub arrivals: ArrivalModel,
+    /// RNG seed: same spec + seed ⇒ identical workload.
+    pub seed: u64,
+}
+
+/// Tag-space stride between classes: class `c` uses tags
+/// `c * CLASS_TAG_STRIDE ..`, so class membership is recoverable from
+/// a tag alone.
+pub const CLASS_TAG_STRIDE: u32 = 64;
+
+impl TailSpec {
+    /// The canonical three-tenant mix: a latency-critical tenant
+    /// sending small urgent messages, an RPC tenant on the normal
+    /// lane, and a bulk tenant with a Pareto tail — Poisson arrivals.
+    pub fn multi_tenant(messages: usize, seed: u64) -> Self {
+        TailSpec {
+            messages,
+            classes: vec![
+                ClassMix {
+                    name: "urgent-small",
+                    priority: nmad_core::Priority::Urgent,
+                    weight: 0.2,
+                    flows: 8,
+                    size: SizeDist::LogNormal {
+                        median: 128.0,
+                        sigma: 0.7,
+                    },
+                    size_cap: 4 * 1024,
+                },
+                ClassMix {
+                    name: "normal-rpc",
+                    priority: nmad_core::Priority::Normal,
+                    weight: 0.5,
+                    flows: 16,
+                    size: SizeDist::LogNormal {
+                        median: 1024.0,
+                        sigma: 1.0,
+                    },
+                    size_cap: 24 * 1024,
+                },
+                ClassMix {
+                    name: "bulk",
+                    priority: nmad_core::Priority::Bulk,
+                    weight: 0.3,
+                    flows: 4,
+                    size: SizeDist::Pareto {
+                        scale: 8.0 * 1024.0,
+                        alpha: 1.3,
+                    },
+                    size_cap: 1 << 20,
+                },
+            ],
+            arrivals: ArrivalModel::Poisson {
+                rate_per_s: 400_000.0,
+            },
+            seed,
+        }
+    }
+
+    /// The same tenant mix under bursty MMPP arrivals: long calm
+    /// stretches punctuated by 10× bursts — the regime where
+    /// head-of-line blocking actually shows up in the tail.
+    pub fn multi_tenant_bursty(messages: usize, seed: u64) -> Self {
+        TailSpec {
+            arrivals: ArrivalModel::Mmpp {
+                rate_lo_per_s: 150_000.0,
+                rate_hi_per_s: 1_500_000.0,
+                mean_dwell_ns: 2_000_000.0,
+            },
+            ..Self::multi_tenant(messages, seed)
+        }
+    }
+}
+
+/// One generated message of a heavy-tail workload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TailItem {
+    /// Virtual arrival time (nanoseconds since run start, monotone).
+    pub at_ns: u64,
+    /// Index into [`TailSpec::classes`].
+    pub class: usize,
+    /// Flow tag (globally unique across classes).
+    pub tag: u32,
+    /// Priority lane.
+    pub priority: nmad_core::Priority,
+    /// Message size in bytes (≥ 1, ≤ the class cap).
+    pub len: usize,
+}
+
+/// Generates the heavy-tail workload described by `spec`: items come
+/// back sorted by arrival time (they are generated in time order).
+pub fn generate_tail(spec: &TailSpec) -> Vec<TailItem> {
+    assert!(!spec.classes.is_empty(), "need at least one class");
+    let total_weight: f64 = spec.classes.iter().map(|c| c.weight).sum();
+    assert!(total_weight > 0.0, "class weights must sum above zero");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    // MMPP state: start calm, flip after an exponential dwell.
+    let mut burst_state = false;
+    let mut dwell_left_ns = match spec.arrivals {
+        ArrivalModel::Mmpp { mean_dwell_ns, .. } => exp_sample(&mut rng, 1.0 / mean_dwell_ns),
+        ArrivalModel::Poisson { .. } => f64::INFINITY,
+    };
+
+    let mut now_ns = 0.0f64;
+    let mut out = Vec::with_capacity(spec.messages);
+    for _ in 0..spec.messages {
+        // Next arrival gap under the current state.
+        let rate = match spec.arrivals {
+            ArrivalModel::Poisson { rate_per_s } => rate_per_s,
+            ArrivalModel::Mmpp {
+                rate_lo_per_s,
+                rate_hi_per_s,
+                mean_dwell_ns,
+            } => {
+                let mut gap_budget = exp_sample(
+                    &mut rng,
+                    current_rate(burst_state, rate_lo_per_s, rate_hi_per_s) / 1e9,
+                );
+                // Consume dwell; flip states until the gap fits.
+                while gap_budget > dwell_left_ns {
+                    now_ns += dwell_left_ns;
+                    gap_budget -= dwell_left_ns;
+                    burst_state = !burst_state;
+                    dwell_left_ns = exp_sample(&mut rng, 1.0 / mean_dwell_ns);
+                    // Rescale the remaining gap to the new rate: the
+                    // exponential's memorylessness makes this exact.
+                    let old = current_rate(!burst_state, rate_lo_per_s, rate_hi_per_s);
+                    let new = current_rate(burst_state, rate_lo_per_s, rate_hi_per_s);
+                    gap_budget *= old / new;
+                }
+                dwell_left_ns -= gap_budget;
+                now_ns += gap_budget;
+                f64::NAN // gap already applied
+            }
+        };
+        if rate.is_finite() {
+            now_ns += exp_sample(&mut rng, rate / 1e9);
+        }
+
+        // Weighted class choice.
+        let mut pick = rng.gen::<f64>() * total_weight;
+        let mut class = spec.classes.len() - 1;
+        for (i, c) in spec.classes.iter().enumerate() {
+            if pick < c.weight {
+                class = i;
+                break;
+            }
+            pick -= c.weight;
+        }
+        let c = &spec.classes[class];
+        let tag = class as u32 * CLASS_TAG_STRIDE + rng.gen_range(0..c.flows.max(1));
+        let len = (c.size.sample(&mut rng).round() as usize).clamp(1, c.size_cap.max(1));
+        out.push(TailItem {
+            at_ns: now_ns as u64,
+            class,
+            tag,
+            priority: c.priority,
+            len,
+        });
+    }
+    out
+}
+
+fn current_rate(burst: bool, lo: f64, hi: f64) -> f64 {
+    if burst {
+        hi
+    } else {
+        lo
+    }
+}
+
+/// Exponential sample with the given rate (events per unit).
+fn exp_sample(rng: &mut StdRng, rate: f64) -> f64 {
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -u.ln() / rate
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,5 +409,82 @@ mod tests {
         assert_eq!(payload_for(3, 16), payload_for(3, 16));
         assert_ne!(payload_for(3, 16), payload_for(4, 16));
         assert_eq!(payload_for(0, 0), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn tail_workload_is_deterministic_and_time_ordered() {
+        let spec = TailSpec::multi_tenant(2_000, 11);
+        let a = generate_tail(&spec);
+        assert_eq!(a, generate_tail(&spec));
+        assert_eq!(a.len(), 2_000);
+        assert!(a.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        let bursty = generate_tail(&TailSpec::multi_tenant_bursty(2_000, 11));
+        assert_eq!(
+            bursty,
+            generate_tail(&TailSpec::multi_tenant_bursty(2_000, 11))
+        );
+        assert!(bursty.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+    }
+
+    #[test]
+    fn tail_classes_follow_their_weights_and_tag_ranges() {
+        let spec = TailSpec::multi_tenant(10_000, 5);
+        let items = generate_tail(&spec);
+        for (i, c) in spec.classes.iter().enumerate() {
+            let n = items.iter().filter(|it| it.class == i).count();
+            let expect = 10_000.0 * c.weight;
+            assert!(
+                (n as f64 - expect).abs() < expect * 0.2,
+                "class {} count {} far from weight share {}",
+                c.name,
+                n,
+                expect
+            );
+        }
+        for it in &items {
+            let c = &spec.classes[it.class];
+            assert_eq!(it.priority, c.priority);
+            let base = it.class as u32 * CLASS_TAG_STRIDE;
+            assert!(it.tag >= base && it.tag < base + c.flows);
+            assert!(it.len >= 1 && it.len <= c.size_cap);
+        }
+    }
+
+    #[test]
+    fn bulk_class_has_a_heavy_tail() {
+        let spec = TailSpec::multi_tenant(10_000, 9);
+        let items = generate_tail(&spec);
+        let mut bulk: Vec<usize> = items
+            .iter()
+            .filter(|it| spec.classes[it.class].name == "bulk")
+            .map(|it| it.len)
+            .collect();
+        bulk.sort_unstable();
+        let median = bulk[bulk.len() / 2];
+        let p999 = bulk[bulk.len() * 999 / 1000];
+        assert!(
+            p999 as f64 > 10.0 * median as f64,
+            "pareto tail too light: median {median}, p99.9 {p999}"
+        );
+    }
+
+    #[test]
+    fn bursty_arrivals_cluster_more_than_poisson() {
+        // Same mean-ish load; the MMPP run must show far more very
+        // short gaps (bursts) than the memoryless baseline.
+        let poisson = generate_tail(&TailSpec::multi_tenant(8_000, 3));
+        let bursty = generate_tail(&TailSpec::multi_tenant_bursty(8_000, 3));
+        let short_gaps = |items: &[TailItem]| {
+            items
+                .windows(2)
+                .filter(|w| w[1].at_ns - w[0].at_ns < 700)
+                .count()
+        };
+        assert!(
+            short_gaps(&bursty) > short_gaps(&poisson),
+            "MMPP should cluster arrivals: {} vs {}",
+            short_gaps(&bursty),
+            short_gaps(&poisson)
+        );
     }
 }

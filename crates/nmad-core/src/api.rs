@@ -57,6 +57,19 @@ impl<'e> SendMessage<'e> {
         self
     }
 
+    /// Appends one latency-critical piece (lane 0): tail-aware
+    /// strategies serve it before every other lane and cap competing
+    /// aggregates on its behalf.
+    pub fn pack_urgent(self, data: impl Into<Bytes>) -> Self {
+        self.pack_priority(data, Priority::Urgent)
+    }
+
+    /// Appends one background bulk piece (lane 3): it yields the rail
+    /// to every other lane and relies on aging for starvation freedom.
+    pub fn pack_bulk(self, data: impl Into<Bytes>) -> Self {
+        self.pack_priority(data, Priority::Bulk)
+    }
+
     /// Pins the whole message onto one NIC's dedicated list instead of
     /// the load-balanced common list (§3.3).
     pub fn via_rail(mut self, nic_index: usize) -> Self {

@@ -817,7 +817,12 @@ impl NmadEngine {
         let had_data = entries.iter().any(|e| matches!(e, Entry::Data { .. }));
         for entry in entries {
             match entry {
-                Entry::Data { tag, seq, payload } => {
+                Entry::Data {
+                    tag,
+                    seq,
+                    lane: _,
+                    payload,
+                } => {
                     // Re-anchor the parsed payload as a zero-copy slice
                     // of the frame buffer: the matching layer retains or
                     // delivers it without a bounce-buffer copy.
@@ -826,7 +831,12 @@ impl NmadEngine {
                     let fx = self.matching.on_data(src, tag, seq, payload);
                     self.apply_effects(fx);
                 }
-                Entry::Rts { tag, seq, total } => {
+                Entry::Rts {
+                    tag,
+                    seq,
+                    lane: _,
+                    total,
+                } => {
                     let fx = self.matching.on_rts(src, tag, seq, total);
                     self.apply_effects(fx);
                 }
@@ -861,7 +871,11 @@ impl NmadEngine {
                             req,
                         },
                     );
-                    self.window.push_rdv(RdvJob::new(src, tag, seq, data, req));
+                    // Stamp the job with the engine's submission clock
+                    // so deadline-aware admission can age it against
+                    // the window's order horizon.
+                    self.window
+                        .push_rdv(RdvJob::new(src, tag, seq, data, req).with_order(self.order));
                 }
                 Entry::RdvData {
                     tag,
@@ -944,12 +958,12 @@ impl NmadEngine {
             match entry {
                 PlanEntry::Cts(c) => fe.push_cts(c.tag, c.seq, c.total),
                 PlanEntry::Data(w) => {
-                    fe.push_data(w.tag, w.seq, &w.data);
+                    fe.push_data_lane(w.tag, w.seq, w.priority.lane(), &w.data);
                     carries_data = true;
                 }
                 PlanEntry::Rts(w) => {
                     let total = u32::try_from(w.data.len()).expect("segment above 4 GiB");
-                    fe.push_rts(w.tag, w.seq, total);
+                    fe.push_rts_lane(w.tag, w.seq, w.priority.lane(), total);
                 }
                 PlanEntry::RdvChunk(c) => {
                     fe.push_rdv_data(c.tag, c.seq, c.offset, c.last, &c.data);
@@ -1092,7 +1106,12 @@ impl NmadEngine {
         victim: usize,
     ) -> NetResult<bool> {
         let mut fe = FrameEncoder::with_buffer(self.pool.take(&mut self.metrics));
-        fe.push_data(wrapper.tag, wrapper.seq, &wrapper.data);
+        fe.push_data_lane(
+            wrapper.tag,
+            wrapper.seq,
+            wrapper.priority.lane(),
+            &wrapper.data,
+        );
         self.meter
             .charge_ns(self.costs.scheduler_inspect_ns + self.costs.per_entry_ns);
         let iov = fe.finish();

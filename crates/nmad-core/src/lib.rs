@@ -69,14 +69,15 @@ pub use engine::{
 };
 pub use matching::{Effect, Matching, RecvDone};
 pub use metrics::{
-    EngineMetrics, MetricsRegistry, MetricsSnapshot, NicMetrics, Seqlock, SharedMetrics,
+    EngineMetrics, LogHistogram, MetricsRegistry, MetricsSnapshot, NicMetrics, Seqlock,
+    SharedMetrics,
 };
 pub use ring::{Batch, SubmitRing};
-pub use segment::{PackWrapper, Priority, RecvReqId, SendReqId, SeqNo, Tag};
+pub use segment::{PackWrapper, Priority, RecvReqId, SendReqId, SeqNo, Tag, NUM_LANES};
 pub use steal::{StealGroup, StealStats};
 pub use strategy::{
-    eager_cutoff, DynamicStats, FramePlan, NicView, PlanEntry, StratAggreg, StratDefault,
-    StratDynamic, StratMultirail, StratReorder, Strategy, Tactic,
+    eager_cutoff, DynamicStats, FramePlan, NicView, PlanEntry, StratAggreg, StratAggregHol,
+    StratDefault, StratDynamic, StratLanes, StratMultirail, StratReorder, Strategy, Tactic,
 };
 pub use threaded::{CompletionBoard, SubmitBatch, ThreadedEngine, ThreadedHandle, SLOT_OPS};
 pub use window::{CtrlMsg, RdvChunk, RdvJob, Window};
@@ -87,7 +88,8 @@ pub mod prelude {
     pub use crate::engine::{EngineConfig, EngineCosts, NmadEngine, ProgressMode};
     pub use crate::segment::{Priority, RecvReqId, SendReqId, Tag};
     pub use crate::strategy::{
-        StratAggreg, StratDefault, StratDynamic, StratMultirail, StratReorder, Strategy,
+        StratAggreg, StratAggregHol, StratDefault, StratDynamic, StratLanes, StratMultirail,
+        StratReorder, Strategy,
     };
     pub use crate::threaded::{ThreadedEngine, ThreadedHandle};
 }

@@ -494,6 +494,155 @@ fn unflatten(v: &[u64; SHARED_WORDS]) -> (EngineMetrics, EngineStats) {
     )
 }
 
+/// Sub-bucket resolution of [`LogHistogram`]: each power-of-two range
+/// splits into `2^LOG_HIST_SUB_BITS` linear sub-buckets, bounding the
+/// relative quantile error at `2^-LOG_HIST_SUB_BITS` (~3.1%).
+const LOG_HIST_SUB_BITS: u32 = 5;
+
+const LOG_HIST_SUBS: usize = 1 << LOG_HIST_SUB_BITS;
+
+/// Bucket count covering the full `u64` range: the linear region plus
+/// one sub-bucket row per remaining exponent (59 rows for exponents
+/// 0 through 58 — the top value `u64::MAX` lands in row 58).
+const LOG_HIST_BUCKETS: usize = LOG_HIST_SUBS * (64 - LOG_HIST_SUB_BITS as usize + 1);
+
+/// HDR-style log-bucketed histogram over `u64` values.
+///
+/// Fixed memory, allocation-free recording: values bucket by their
+/// binary exponent with [`LOG_HIST_SUBS`] linear sub-buckets per
+/// octave, so any quantile is reproduced within ~3.1% relative error
+/// across the entire `u64` range — exactly what full-percentile
+/// latency reporting (p50 through p99.99) needs without keeping every
+/// sample. Exact min and max are tracked on the side so the extreme
+/// quantiles never drift outside the observed range.
+#[derive(Clone, Debug)]
+pub struct LogHistogram {
+    counts: Box<[u64; LOG_HIST_BUCKETS]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram (one fixed allocation, never grows).
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: Box::new([0u64; LOG_HIST_BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_index(v: u64) -> usize {
+        if v < LOG_HIST_SUBS as u64 {
+            v as usize
+        } else {
+            let e = 63 - v.leading_zeros() as usize - LOG_HIST_SUB_BITS as usize;
+            let mantissa = (v >> e) as usize - LOG_HIST_SUBS;
+            LOG_HIST_SUBS + e * LOG_HIST_SUBS + mantissa
+        }
+    }
+
+    /// Lower bound of bucket `i` — the conservative representative
+    /// value reported for quantiles landing in it.
+    fn bucket_value(i: usize) -> u64 {
+        if i < LOG_HIST_SUBS {
+            i as u64
+        } else {
+            let e = (i - LOG_HIST_SUBS) / LOG_HIST_SUBS;
+            let m = (i - LOG_HIST_SUBS) % LOG_HIST_SUBS;
+            ((LOG_HIST_SUBS + m) as u64) << e
+        }
+    }
+
+    /// Records one value. O(1), no allocation.
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value, 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]` (e.g. 0.999 for p99.9):
+    /// the smallest bucket bound such that at least `q * count`
+    /// recorded values are at or below it, clamped to the exact
+    /// observed `[min, max]`. Returns 0 on an empty histogram.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_value(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Adds every recorded value of `other` into `self` (shard
+    /// aggregation: per-class histograms merge across shard engines).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
 /// Escapes `s` as a JSON string literal, quotes included.
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -680,6 +829,78 @@ mod tests {
         let shared = SharedMetrics::new();
         shared.publish(&e, &w);
         assert_eq!(shared.read(), (e, w));
+    }
+
+    #[test]
+    fn log_histogram_buckets_are_monotone_and_tight() {
+        // Index is monotone in the value, and the bucket's lower bound
+        // is within the guaranteed relative error of the value.
+        let mut values: Vec<u64> = (0..4096).collect();
+        for shift in 12..64u32 {
+            let p = 1u64 << shift;
+            values.extend([p - 1, p, p + 1, p + (p >> 3), p + (p >> 1)]);
+        }
+        values.push(u64::MAX);
+        values.sort_unstable();
+        let mut prev = 0usize;
+        for v in values {
+            let i = LogHistogram::bucket_index(v);
+            assert!(i >= prev, "index not monotone at {v}");
+            prev = i;
+            assert!(i < LOG_HIST_BUCKETS, "index {i} out of range at {v}");
+            let lo = LogHistogram::bucket_value(i);
+            assert!(lo <= v, "bucket lower bound {lo} above value {v}");
+            assert!(
+                (v - lo) as f64 <= v as f64 / LOG_HIST_SUBS as f64 + 1.0,
+                "bucket error too large at {v}: lower bound {lo}"
+            );
+        }
+    }
+
+    #[test]
+    fn log_histogram_quantiles_within_error_bound() {
+        let mut h = LogHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 10_000);
+        for (q, exact) in [(0.5, 5_000u64), (0.9, 9_000), (0.99, 9_900), (1.0, 10_000)] {
+            let got = h.value_at_quantile(q);
+            let err = (got as f64 - exact as f64).abs() / exact as f64;
+            assert!(err <= 0.04, "p{q}: got {got}, exact {exact}, err {err:.4}");
+        }
+        assert_eq!(h.value_at_quantile(0.0), 1, "p0 is the exact minimum");
+    }
+
+    #[test]
+    fn log_histogram_empty_zero_and_merge() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.value_at_quantile(0.99), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.mean(), 0.0);
+
+        let mut a = LogHistogram::new();
+        a.record(0);
+        assert_eq!(a.value_at_quantile(0.5), 0, "zero values are representable");
+        let mut b = LogHistogram::new();
+        for _ in 0..999 {
+            b.record(100);
+        }
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 1001);
+        assert_eq!(a.min(), 0);
+        assert_eq!(a.max(), 1_000_000);
+        // The outlier is invisible at p50 but dominates p99.99.
+        assert!(a.value_at_quantile(0.5) <= 100);
+        let tail = a.value_at_quantile(0.9999);
+        assert!(
+            (tail as f64 - 1_000_000.0).abs() / 1_000_000.0 <= 0.04,
+            "p99.99 missed the outlier: {tail}"
+        );
     }
 
     #[test]

@@ -41,16 +41,61 @@ impl fmt::Debug for SeqNo {
     }
 }
 
-/// Scheduling hint attached by the application: high-priority segments
-/// (e.g. an RPC service id needed to prepare receive areas, §2) are
-/// eligible for earlier delivery under reordering strategies.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+/// Number of scheduling lanes. Lane 0 is the most urgent; lane
+/// `NUM_LANES - 1` is background bulk. The wire format reserves one
+/// byte for the lane, so this must stay ≤ 256.
+pub const NUM_LANES: usize = 4;
+
+/// Scheduling class attached by the application. Each class maps to
+/// one *lane*: an ordinal urgency level that tail-aware strategies use
+/// to decide which destination to serve first and when to cap an
+/// aggregate that would head-of-line-block a more urgent segment.
+///
+/// The historical two-level hint (§2: high-priority RPC service ids
+/// eligible for earlier delivery under reordering strategies) maps to
+/// [`Priority::High`] vs [`Priority::Normal`]; the tail-optimization
+/// work adds [`Priority::Urgent`] above and [`Priority::Bulk`] below.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub enum Priority {
-    /// Deliver as early as possible (control/header fragments).
+    /// Latency-critical; jumps every other lane (lane 0).
+    Urgent,
+    /// Deliver as early as possible (control/header fragments, lane 1).
     High,
     #[default]
-    /// No special treatment.
+    /// No special treatment (lane 2).
     Normal,
+    /// Background bulk; yields to every other lane (lane 3).
+    Bulk,
+}
+
+impl Priority {
+    /// Ordinal lane index: 0 (most urgent) … `NUM_LANES - 1` (bulk).
+    pub fn lane(self) -> u8 {
+        match self {
+            Priority::Urgent => 0,
+            Priority::High => 1,
+            Priority::Normal => 2,
+            Priority::Bulk => 3,
+        }
+    }
+
+    /// Inverse of [`lane`](Self::lane); out-of-range values clamp to
+    /// [`Priority::Bulk`] so a corrupted wire byte degrades gracefully
+    /// instead of panicking.
+    pub fn from_lane(lane: u8) -> Priority {
+        match lane {
+            0 => Priority::Urgent,
+            1 => Priority::High,
+            2 => Priority::Normal,
+            _ => Priority::Bulk,
+        }
+    }
+
+    /// True for lanes that reordering strategies treat as queue-jump
+    /// eligible (the §2 service-id scenario).
+    pub fn is_expedited(self) -> bool {
+        self.lane() <= Priority::High.lane()
+    }
 }
 
 /// Handle of an application send request; completes when every segment
@@ -108,6 +153,26 @@ mod tests {
     #[test]
     fn priority_defaults_to_normal() {
         assert_eq!(Priority::default(), Priority::Normal);
+    }
+
+    #[test]
+    fn lanes_roundtrip_and_order_by_urgency() {
+        for lane in 0..NUM_LANES as u8 {
+            assert_eq!(Priority::from_lane(lane).lane(), lane);
+        }
+        assert!(Priority::Urgent < Priority::High);
+        assert!(Priority::High < Priority::Normal);
+        assert!(Priority::Normal < Priority::Bulk);
+        // Corrupted lane bytes clamp instead of panicking.
+        assert_eq!(Priority::from_lane(200), Priority::Bulk);
+    }
+
+    #[test]
+    fn expedited_covers_urgent_and_high_only() {
+        assert!(Priority::Urgent.is_expedited());
+        assert!(Priority::High.is_expedited());
+        assert!(!Priority::Normal.is_expedited());
+        assert!(!Priority::Bulk.is_expedited());
     }
 
     #[test]

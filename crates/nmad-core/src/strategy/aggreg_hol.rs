@@ -1,0 +1,343 @@
+//! Head-of-line-aware aggregation: the paper's aggregation strategy
+//! with a cap on the aggregate whenever a more urgent packet is
+//! pending on the rail.
+//!
+//! [`StratAggreg`](super::StratAggreg) fills each frame up to the
+//! rendezvous threshold. That maximizes throughput, but a large
+//! aggregate is also a head-of-line block: once handed to the NIC it
+//! serializes in full before anything else — including an urgent
+//! packet that arrived a microsecond later — can leave. This variant
+//! keeps the FIFO aggregation discipline but bounds the damage:
+//!
+//! * while a segment of a *strictly more urgent* lane is pending in
+//!   the window, lower-lane payload stops accumulating at `hol_cap`
+//!   bytes (default: a quarter of the rendezvous threshold) instead of
+//!   the full threshold, so the rail frees sooner for the urgent frame
+//!   (the head entry is always admitted, so the window keeps draining
+//!   even when it alone exceeds the cap);
+//! * rendezvous chunks are admitted through the same deadline-aware
+//!   cap as [`StratLanes`](super::StratLanes) (see
+//!   [`super::rdv_admission_cap`]), so granted bulk transfers cannot
+//!   monopolize the rail during an urgent burst either;
+//! * destination choice prefers the destination of the oldest segment
+//!   in the most urgent non-empty lane, so the capped frame is at
+//!   least pointed where the urgency is — falling back to the FIFO
+//!   front's destination whenever that preference yields an empty
+//!   frame, so multi-destination windows always drain.
+//!
+//! `hol_cap` is the tail-vs-throughput knob: `usize::MAX` degenerates
+//! to plain aggregation, 0 to one-urgent-era segment per frame.
+
+use super::{
+    contended_chunk, eager_cutoff, plan_ctrl, plan_rdv_chunk, rdv_admission_cap, Budget, FramePlan,
+    NicView, PlanEntry, Strategy,
+};
+use crate::segment::NUM_LANES;
+use crate::window::Window;
+
+/// Default rendezvous deadline, in submission stamps.
+pub const DEFAULT_HOL_RDV_DEADLINE: u64 = 2048;
+
+/// See the module documentation.
+#[derive(Clone, Debug)]
+pub struct StratAggregHol {
+    /// Aggregate payload cap while more urgent work is pending; when
+    /// `None` it defaults to a quarter of the NIC's rendezvous
+    /// threshold at schedule time.
+    pub hol_cap: Option<usize>,
+    /// Rendezvous ages past this admit full-size chunks even under
+    /// expedited pressure.
+    pub rdv_deadline: u64,
+}
+
+impl Default for StratAggregHol {
+    fn default() -> Self {
+        StratAggregHol {
+            hol_cap: None,
+            rdv_deadline: DEFAULT_HOL_RDV_DEADLINE,
+        }
+    }
+}
+
+impl StratAggregHol {
+    /// Default tuning (cap = rendezvous threshold / 4).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Explicit cap in payload bytes.
+    pub fn with_cap(hol_cap: usize, rdv_deadline: u64) -> Self {
+        StratAggregHol {
+            hol_cap: Some(hol_cap),
+            rdv_deadline,
+        }
+    }
+}
+
+impl Strategy for StratAggregHol {
+    fn name(&self) -> &'static str {
+        "aggreg_hol"
+    }
+
+    fn for_shard(&self, _shard: usize, _shards: usize) -> Box<dyn Strategy> {
+        Box::new(self.clone())
+    }
+
+    fn schedule(&mut self, window: &mut Window, nic: &NicView<'_>) -> Option<FramePlan> {
+        // Point the frame where the urgency is; grants still win. The
+        // FIFO front may live at a different destination though, and
+        // [`Window::take_front_if`] never skips it — so if the
+        // urgency-pointed frame comes out empty, retry at the front's
+        // destination to keep the window draining.
+        let hot = (0..NUM_LANES as u8).find(|&l| window.lane_depth(l) > 0);
+        let primary = window
+            .ctrl_ref()
+            .front()
+            .map(|c| c.dst)
+            .or_else(|| {
+                hot.and_then(|l| window.global_oldest_in_lane(l))
+                    .map(|(d, _)| d)
+            })
+            .or_else(|| window.next_dst(nic.index))?;
+        match self.frame_towards(primary, hot, window, nic) {
+            Some(plan) => Some(plan),
+            None => {
+                let fallback = window.next_dst(nic.index)?;
+                if fallback == primary {
+                    return None;
+                }
+                self.frame_towards(fallback, hot, window, nic)
+            }
+        }
+    }
+}
+
+impl StratAggregHol {
+    /// Synthesizes one frame towards `dst`; `None` when nothing for
+    /// that destination is admissible right now.
+    fn frame_towards(
+        &self,
+        dst: nmad_sim::NodeId,
+        hot: Option<u8>,
+        window: &mut Window,
+        nic: &NicView<'_>,
+    ) -> Option<FramePlan> {
+        let mut plan = FramePlan::new(dst);
+        let mut budget = Budget::new(nic.caps);
+        let hol_cap = self
+            .hol_cap
+            .unwrap_or_else(|| (nic.caps.rdv_threshold / 4).max(1));
+
+        plan_ctrl(&mut plan, window, &mut budget);
+
+        let rdv_cap = rdv_admission_cap(window, dst, contended_chunk(nic.caps), self.rdv_deadline);
+        plan_rdv_chunk(&mut plan, window, &mut budget, rdv_cap);
+
+        // Aggregate under FIFO discipline, but payload from lanes less
+        // urgent than `hot` stops accumulating at the HOL cap.
+        let cutoff = eager_cutoff(nic.caps);
+        loop {
+            let fits = |w: &crate::segment::PackWrapper| {
+                if w.dst != dst {
+                    return false;
+                }
+                if w.len() > cutoff {
+                    return true; // becomes a tiny RTS
+                }
+                if !budget.fits_data(w.len()) {
+                    return false;
+                }
+                match hot {
+                    // The first payload entry is always admitted — the
+                    // cap bounds *growth* of the aggregate; refusing to
+                    // send the front segment at all would stall the
+                    // window (nothing else can leave under FIFO).
+                    Some(h) if h < w.priority.lane() => {
+                        budget.payload == 0 || budget.payload + w.len() <= hol_cap
+                    }
+                    _ => true,
+                }
+            };
+            let Some(wrapper) = window.take_front_if(nic.index, fits) else {
+                break;
+            };
+            if wrapper.len() > cutoff {
+                if !budget.fits_bare() {
+                    window.push_segment(wrapper, None);
+                    break;
+                }
+                budget.add_bare();
+                plan.entries.push(PlanEntry::Rts(wrapper));
+            } else {
+                budget.add_data(wrapper.len());
+                plan.entries.push(PlanEntry::Data(wrapper));
+            }
+        }
+
+        if plan.is_empty() {
+            None
+        } else {
+            Some(plan)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::{PackWrapper, Priority, SendReqId, SeqNo, Tag};
+    use crate::window::RdvJob;
+    use bytes::Bytes;
+    use nmad_net::Capabilities;
+    use nmad_sim::{nic, NodeId};
+
+    fn caps() -> Capabilities {
+        Capabilities::from_nic(&nic::mx_myri10g())
+    }
+
+    fn view(caps: &Capabilities) -> NicView<'_> {
+        NicView { index: 0, caps }
+    }
+
+    fn seg(tag: u32, seq: u32, len: usize, priority: Priority) -> PackWrapper {
+        PackWrapper {
+            dst: NodeId(1),
+            tag: Tag(tag),
+            seq: SeqNo(seq),
+            priority,
+            data: Bytes::from(vec![0u8; len]),
+            req: SendReqId(0),
+            order: seq as u64,
+        }
+    }
+
+    fn payload_of(plan: &FramePlan) -> usize {
+        plan.entries
+            .iter()
+            .map(|e| match e {
+                PlanEntry::Data(w) => w.data.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    #[test]
+    fn caps_the_aggregate_while_urgent_work_is_pending() {
+        let caps = caps();
+        let cap = 1024;
+        let mut w = Window::new(1);
+        // Plenty of Normal payload, one Urgent segment queued behind.
+        for seq in 0..20 {
+            w.push_segment(seg(0, seq, 512, Priority::Normal), None);
+        }
+        w.push_segment(seg(1, 0, 64, Priority::Urgent), None);
+        let mut s = StratAggregHol::with_cap(cap, DEFAULT_HOL_RDV_DEADLINE);
+        let plan = s.schedule(&mut w, &view(&caps)).unwrap();
+        // FIFO still: only Normal segments until the cap stops the scan.
+        assert!(
+            payload_of(&plan) <= cap,
+            "aggregate {} exceeds HOL cap {}",
+            payload_of(&plan),
+            cap
+        );
+        assert!(plan.reordered == 0, "HOL variant never reorders");
+    }
+
+    #[test]
+    fn full_threshold_when_nothing_more_urgent_waits() {
+        let caps = caps();
+        let mut w = Window::new(1);
+        for seq in 0..20 {
+            w.push_segment(seg(0, seq, 512, Priority::Normal), None);
+        }
+        let mut s = StratAggregHol::with_cap(1024, DEFAULT_HOL_RDV_DEADLINE);
+        let plan = s.schedule(&mut w, &view(&caps)).unwrap();
+        // hot == Normal itself: h < lane is false, no cap applies.
+        assert!(
+            payload_of(&plan) > 1024,
+            "no cap without strictly more urgent work, got {}",
+            payload_of(&plan)
+        );
+    }
+
+    #[test]
+    fn urgent_front_segments_aggregate_uncapped() {
+        let caps = caps();
+        let mut w = Window::new(1);
+        for seq in 0..8 {
+            w.push_segment(seg(1, seq, 512, Priority::Urgent), None);
+        }
+        let mut s = StratAggregHol::with_cap(1024, DEFAULT_HOL_RDV_DEADLINE);
+        let plan = s.schedule(&mut w, &view(&caps)).unwrap();
+        assert_eq!(
+            plan.entries.len(),
+            8,
+            "urgent payload is never capped by its own lane"
+        );
+    }
+
+    #[test]
+    fn rdv_chunks_respect_the_contended_cap() {
+        let caps = caps();
+        let mut w = Window::new(1);
+        w.push_segment(seg(1, 0, 64, Priority::Urgent), None);
+        let body: Bytes = vec![1u8; 200_000].into();
+        w.push_rdv(RdvJob::new(NodeId(1), Tag(0), SeqNo(0), body, SendReqId(1)).with_order(0));
+        let mut s = StratAggregHol::new();
+        let plan = s.schedule(&mut w, &view(&caps)).unwrap();
+        let chunk = plan
+            .entries
+            .iter()
+            .find_map(|e| match e {
+                PlanEntry::RdvChunk(c) => Some(c.data.len()),
+                _ => None,
+            })
+            .expect("chunk planned");
+        assert!(chunk <= caps.rdv_threshold, "chunk {} over cap", chunk);
+    }
+
+    #[test]
+    fn multi_destination_windows_keep_draining() {
+        // The FIFO front lives at node 2 while the urgency points at
+        // node 3: the strategy must fall back to the front's
+        // destination instead of planning empty frames forever.
+        let caps = caps();
+        let mut w = Window::new(1);
+        let mut normal = seg(0, 0, 512, Priority::Normal);
+        normal.dst = NodeId(2);
+        w.push_segment(normal, None);
+        let mut urgent = seg(1, 0, 64, Priority::Urgent);
+        urgent.dst = NodeId(3);
+        w.push_segment(urgent, None);
+        let mut s = StratAggregHol::new();
+        let mut frames = 0;
+        while let Some(plan) = s.schedule(&mut w, &view(&caps)) {
+            assert!(!plan.is_empty());
+            frames += 1;
+            assert!(frames <= 4, "runaway scheduling");
+        }
+        assert!(w.is_empty(), "window stalled with {} frames", frames);
+    }
+
+    #[test]
+    fn keeps_fifo_discipline_under_the_cap() {
+        let caps = caps();
+        let mut w = Window::new(1);
+        w.push_segment(seg(0, 0, 900, Priority::Normal), None);
+        w.push_segment(seg(0, 1, 900, Priority::Normal), None); // over cap
+        w.push_segment(seg(2, 0, 16, Priority::Normal), None); // would fit
+        w.push_segment(seg(1, 0, 64, Priority::Urgent), None);
+        let mut s = StratAggregHol::with_cap(1024, DEFAULT_HOL_RDV_DEADLINE);
+        let plan = s.schedule(&mut w, &view(&caps)).unwrap();
+        // Scan stops at the first capped segment: no skipping ahead.
+        let tags: Vec<u32> = plan
+            .entries
+            .iter()
+            .filter_map(|e| match e {
+                PlanEntry::Data(w) => Some(w.tag.0),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(tags, vec![0], "FIFO stops at the capped segment");
+    }
+}

@@ -29,18 +29,22 @@
 //! against the public [`Window`] API.
 
 mod aggreg;
+mod aggreg_hol;
 mod default;
 mod dynamic;
+mod lanes;
 mod multirail;
 mod reorder;
 
 pub use aggreg::StratAggreg;
+pub use aggreg_hol::StratAggregHol;
 pub use default::StratDefault;
 pub use dynamic::{DynamicStats, StratDynamic, Tactic};
+pub use lanes::StratLanes;
 pub use multirail::StratMultirail;
 pub use reorder::StratReorder;
 
-use crate::segment::PackWrapper;
+use crate::segment::{PackWrapper, Priority};
 use crate::window::{CtrlMsg, RdvChunk, Window};
 use crate::wire::{ENTRY_HEADER_LEN, FRAME_HEADER_LEN};
 use nmad_net::Capabilities;
@@ -211,6 +215,43 @@ pub(crate) fn plan_ctrl(plan: &mut FramePlan, window: &mut Window, budget: &mut 
         }
         budget.add_bare();
         plan.entries.push(PlanEntry::Cts(msg));
+    }
+}
+
+/// Deadline-aware rendezvous admission (tail-aware strategies): the
+/// largest chunk a granted rendezvous job towards `dst` may cut right
+/// now. While expedited (Urgent/High) segments are pending anywhere in
+/// the window, chunks are capped at `contended_chunk` bytes so a large
+/// RTS/CTS transfer cannot monopolize the rail during a burst — unless
+/// the job has already waited more than `deadline` submission stamps,
+/// in which case it is admitted at full size again (bulk transfers age
+/// out of the cap instead of starving behind a persistent flood).
+/// The contended-chunk bound the tail-aware strategies feed to
+/// [`rdv_admission_cap`]: a quarter of the MTU, but never more than
+/// the rendezvous threshold (several simulated NICs advertise an
+/// unlimited MTU, where "a quarter of it" would cap nothing).
+pub(crate) fn contended_chunk(caps: &Capabilities) -> usize {
+    (caps.mtu / 4).min(caps.rdv_threshold).max(1)
+}
+
+pub(crate) fn rdv_admission_cap(
+    window: &Window,
+    dst: NodeId,
+    contended_chunk: usize,
+    deadline: u64,
+) -> usize {
+    let contended = (0..=Priority::High.lane()).any(|l| window.lane_depth(l) > 0);
+    if !contended {
+        return usize::MAX;
+    }
+    let Some(job) = window.rdv_front_for(dst) else {
+        return usize::MAX;
+    };
+    let age = window.order_horizon().saturating_sub(job.order());
+    if age > deadline {
+        usize::MAX
+    } else {
+        contended_chunk
     }
 }
 

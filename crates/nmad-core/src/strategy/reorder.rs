@@ -14,7 +14,6 @@
 use super::{
     eager_cutoff, plan_ctrl, plan_rdv_chunk, Budget, FramePlan, NicView, PlanEntry, Strategy,
 };
-use crate::segment::Priority;
 use crate::window::Window;
 
 /// See the module documentation.
@@ -39,12 +38,12 @@ impl Strategy for StratReorder {
         plan_ctrl(&mut plan, window, &mut budget);
         plan_rdv_chunk(&mut plan, window, &mut budget, usize::MAX);
 
-        // Pass 1: high-priority segments jump the whole queue (the RPC
-        // service-id scenario of §2).
+        // Pass 1: expedited segments (Urgent/High lanes) jump the
+        // whole queue (the RPC service-id scenario of §2).
         while budget.fits_bare() {
             let Some((w, jumped)) = window.take_first_matching_tracked(nic.index, |w| {
                 w.dst == dst
-                    && w.priority == Priority::High
+                    && w.priority.is_expedited()
                     && (w.len() > threshold || budget.fits_data(w.len()))
             }) else {
                 break;
@@ -100,7 +99,7 @@ fn push(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::segment::{PackWrapper, SendReqId, SeqNo, Tag};
+    use crate::segment::{PackWrapper, Priority, SendReqId, SeqNo, Tag};
     use bytes::Bytes;
     use nmad_net::Capabilities;
     use nmad_sim::{nic, NodeId};

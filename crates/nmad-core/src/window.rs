@@ -12,7 +12,7 @@
 //! * **rendezvous jobs** — large segments whose CTS has arrived, ready
 //!   for (possibly chunked, possibly multi-rail) zero-copy transfer.
 
-use crate::segment::{PackWrapper, SendReqId, SeqNo, Tag};
+use crate::segment::{PackWrapper, SendReqId, SeqNo, Tag, NUM_LANES};
 use bytes::Bytes;
 use nmad_sim::NodeId;
 use std::collections::{HashMap, VecDeque};
@@ -47,6 +47,8 @@ pub struct RdvJob {
     /// Wire offset of `data[0]` within the full segment (non-zero when
     /// the job resumes a chunk requeued after a NIC failure).
     base: u32,
+    /// Submission-order stamp for deadline-aware admission (0 = old).
+    order: u64,
 }
 
 /// One chunk cut from a rendezvous job by a strategy.
@@ -79,7 +81,22 @@ impl RdvJob {
             req,
             cursor: 0,
             base: 0,
+            order: 0,
         }
+    }
+
+    /// Stamps the job's submission-order age (deadline-aware rendezvous
+    /// admission compares it against the window's order horizon).
+    pub fn with_order(mut self, order: u64) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Submission-order stamp of the grant that created this job. Zero
+    /// (infinitely old, admitted at full size) for resumed failover
+    /// chunks and untracked callers.
+    pub fn order(&self) -> u64 {
+        self.order
     }
 
     /// Rebuilds a job from a chunk that could not be posted (NIC
@@ -94,6 +111,7 @@ impl RdvJob {
             req: chunk.req,
             cursor: 0,
             base: chunk.offset,
+            order: 0,
         }
     }
 
@@ -124,18 +142,26 @@ impl RdvJob {
     }
 }
 
-/// Per-destination work counts, maintained at every push and take so
+/// Per-destination work index, maintained at every push and take so
 /// the per-refill queries below never have to scan a queue that holds
 /// nothing for their destination.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+///
+/// `lanes[l]` holds the submission-order stamps of every queued
+/// segment (common *and* dedicated) towards this destination on lane
+/// `l`, sorted ascending — so "the oldest lane-`l` byte for this
+/// destination" is the front, in O(1). Stamps arrive almost always in
+/// increasing order (the engine's submission counter), so maintaining
+/// sortedness is an O(1) `push_back` except on failover requeues.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 struct DstCounts {
     ctrl: usize,
     rdv: usize,
+    lanes: [VecDeque<u64>; NUM_LANES],
 }
 
 impl DstCounts {
     fn is_zero(&self) -> bool {
-        self.ctrl == 0 && self.rdv == 0
+        self.ctrl == 0 && self.rdv == 0 && self.lanes.iter().all(VecDeque::is_empty)
     }
 }
 
@@ -154,6 +180,13 @@ pub struct Window {
     common: VecDeque<PackWrapper>,
     rdv: VecDeque<RdvJob>,
     index: HashMap<NodeId, DstCounts>,
+    /// Global queued-segment count per lane (all destinations), so
+    /// "is any lane-`l` work pending at all?" is O(1).
+    lane_counts: [usize; NUM_LANES],
+    /// One past the largest submission-order stamp ever indexed; ages
+    /// are measured against this horizon (aging promotion, rendezvous
+    /// admission deadlines).
+    order_horizon: u64,
 }
 
 impl Window {
@@ -165,27 +198,41 @@ impl Window {
             common: VecDeque::new(),
             rdv: VecDeque::new(),
             index: HashMap::new(),
+            lane_counts: [0; NUM_LANES],
+            order_horizon: 0,
         }
     }
 
-    fn counts_for(&self, dst: NodeId) -> DstCounts {
-        self.index.get(&dst).copied().unwrap_or_default()
-    }
-
     /// Recomputes the per-destination index from the actual queue
-    /// contents and compares. `true` when every entry matches and no
-    /// zero entry lingers. O(ctrl + rdv) — meant for `debug_assert!`
-    /// on the mutation paths a rail fault exercises (requeue, reclaim)
-    /// and for regression tests, not for the per-refill hot path.
+    /// contents and compares. `true` when every entry matches (counts,
+    /// per-lane order deques sorted ascending, global lane counts) and
+    /// no zero entry lingers. O(window contents) — meant for
+    /// `debug_assert!` on the mutation paths a rail fault exercises
+    /// (requeue, reclaim) and for regression tests, not for the
+    /// per-refill hot path.
     pub fn index_is_consistent(&self) -> bool {
         let mut expect: HashMap<NodeId, DstCounts> = HashMap::new();
+        let mut expect_lanes = [0usize; NUM_LANES];
         for msg in &self.ctrl {
             expect.entry(msg.dst).or_default().ctrl += 1;
         }
         for job in &self.rdv {
             expect.entry(job.dst).or_default().rdv += 1;
         }
-        self.index.len() == expect.len()
+        for w in self.common.iter().chain(self.dedicated.iter().flatten()) {
+            let lane = w.priority.lane() as usize;
+            expect_lanes[lane] += 1;
+            expect.entry(w.dst).or_default().lanes[lane].push_back(w.order);
+        }
+        for counts in expect.values_mut() {
+            for q in &mut counts.lanes {
+                q.make_contiguous().sort_unstable();
+            }
+        }
+        // Comparing against a sorted expectation also proves the live
+        // deques are sorted, which the O(1) oldest queries rely on.
+        self.lane_counts == expect_lanes
+            && self.index.len() == expect.len()
             && self
                 .index
                 .iter()
@@ -200,6 +247,40 @@ impl Window {
         }
     }
 
+    /// Records a queued segment in the per-(dst, lane) order index.
+    fn index_segment(&mut self, w: &PackWrapper) {
+        let lane = w.priority.lane() as usize;
+        self.lane_counts[lane] += 1;
+        self.order_horizon = self.order_horizon.max(w.order.saturating_add(1));
+        let q = &mut self.index.entry(w.dst).or_default().lanes[lane];
+        // Fresh submissions carry increasing stamps → O(1) append; a
+        // failover requeue re-inserts an older stamp by position.
+        match q.back() {
+            Some(&back) if back > w.order => {
+                let pos = q.partition_point(|&o| o <= w.order);
+                q.insert(pos, w.order);
+            }
+            _ => q.push_back(w.order),
+        }
+    }
+
+    /// Removes a no-longer-queued segment from the order index.
+    fn unindex_segment(&mut self, w: &PackWrapper) {
+        let lane = w.priority.lane() as usize;
+        debug_assert!(self.lane_counts[lane] > 0, "lane count underflow");
+        self.lane_counts[lane] = self.lane_counts[lane].saturating_sub(1);
+        let order = w.order;
+        self.update_counts(w.dst, |c| {
+            let q = &mut c.lanes[lane];
+            match q.binary_search(&order) {
+                Ok(pos) => {
+                    q.remove(pos);
+                }
+                Err(_) => debug_assert!(false, "unindex of untracked segment"),
+            }
+        });
+    }
+
     // --- submission side (collect layer) ---
 
     /// Push ctrl.
@@ -211,6 +292,7 @@ impl Window {
     /// Registers a collected segment; `rail_hint` selects a dedicated
     /// per-NIC list, `None` the common load-balanced list.
     pub fn push_segment(&mut self, wrapper: PackWrapper, rail_hint: Option<usize>) {
+        self.index_segment(&wrapper);
         match rail_hint {
             Some(nic) => self.dedicated[nic].push_back(wrapper),
             None => self.common.push_back(wrapper),
@@ -221,6 +303,7 @@ impl Window {
     /// requeue: the segment was already scheduled once and must keep
     /// its place).
     pub fn push_segment_front(&mut self, wrapper: PackWrapper) {
+        self.index_segment(&wrapper);
         self.common.push_front(wrapper);
     }
 
@@ -234,7 +317,9 @@ impl Window {
     /// so the front — the oldest traffic, next in line for a NIC —
     /// keeps its position.
     pub fn pop_common_back(&mut self) -> Option<PackWrapper> {
-        self.common.pop_back()
+        let w = self.common.pop_back()?;
+        self.unindex_segment(&w);
+        Some(w)
     }
 
     /// Push rdv.
@@ -252,8 +337,8 @@ impl Window {
             self.common.push_front(w);
             moved += 1;
         }
-        // Segments are not indexed, so reclaiming must leave the
-        // control/rendezvous counts untouched.
+        // The lane index spans common and dedicated lists alike, so
+        // moving segments between them leaves every count untouched.
         debug_assert!(
             self.index_is_consistent(),
             "DstCounts index diverged across reclaim_dedicated({nic})"
@@ -303,7 +388,7 @@ impl Window {
     /// Pops every queued control message towards `dst`. O(1) when the
     /// index shows none pending.
     pub fn drain_ctrl_for(&mut self, dst: NodeId) -> Vec<CtrlMsg> {
-        let pending = self.counts_for(dst).ctrl;
+        let pending = self.index.get(&dst).map_or(0, |c| c.ctrl);
         if pending == 0 {
             return Vec::new();
         }
@@ -328,7 +413,7 @@ impl Window {
     /// Front rendezvous job towards `dst`, if any. O(1) when the index
     /// shows none pending.
     pub fn rdv_front_for(&self, dst: NodeId) -> Option<&RdvJob> {
-        if self.counts_for(dst).rdv == 0 {
+        if self.index.get(&dst).map_or(0, |c| c.rdv) == 0 {
             return None;
         }
         self.rdv.iter().find(|j| j.dst == dst)
@@ -338,7 +423,7 @@ impl Window {
     /// job towards `dst`, dropping the job once exhausted. O(1) when
     /// the index shows none pending.
     pub fn take_rdv_chunk(&mut self, dst: NodeId, max: usize) -> Option<RdvChunk> {
-        if self.counts_for(dst).rdv == 0 {
+        if self.index.get(&dst).map_or(0, |c| c.rdv) == 0 {
             return None;
         }
         let idx = self.rdv.iter().position(|j| j.dst == dst)?;
@@ -363,7 +448,66 @@ impl Window {
     /// control: control messages or granted rendezvous data. O(1) via
     /// the destination index (the engine asks on every refill poll).
     pub fn has_non_data_work_for(&self, dst: NodeId) -> bool {
-        !self.counts_for(dst).is_zero()
+        self.index
+            .get(&dst)
+            .is_some_and(|c| c.ctrl > 0 || c.rdv > 0)
+    }
+
+    // --- lane queries (tail-aware strategies) ---
+
+    /// Submission-order stamp of the oldest queued segment towards
+    /// `dst` on `lane`, in O(1) via the lane index.
+    pub fn oldest_in_lane(&self, dst: NodeId, lane: u8) -> Option<u64> {
+        self.index
+            .get(&dst)?
+            .lanes
+            .get(lane as usize)?
+            .front()
+            .copied()
+    }
+
+    /// Oldest stamp per lane towards `dst` (one O(1) lookup per lane).
+    pub fn oldest_per_lane(&self, dst: NodeId) -> [Option<u64>; NUM_LANES] {
+        let mut out = [None; NUM_LANES];
+        if let Some(counts) = self.index.get(&dst) {
+            for (slot, q) in out.iter_mut().zip(&counts.lanes) {
+                *slot = q.front().copied();
+            }
+        }
+        out
+    }
+
+    /// Queued segments towards `dst` on `lane`, in O(1).
+    pub fn lane_pending(&self, dst: NodeId, lane: u8) -> usize {
+        self.index
+            .get(&dst)
+            .and_then(|c| c.lanes.get(lane as usize))
+            .map_or(0, VecDeque::len)
+    }
+
+    /// Queued segments on `lane` across every destination, in O(1).
+    pub fn lane_depth(&self, lane: u8) -> usize {
+        self.lane_counts.get(lane as usize).copied().unwrap_or(0)
+    }
+
+    /// Destination holding the globally-oldest queued segment on
+    /// `lane`, with its stamp. O(active destinations) — one indexed
+    /// front per destination, no queue scan; strategies call it once
+    /// per frame synthesis, not per poll.
+    pub fn global_oldest_in_lane(&self, lane: u8) -> Option<(NodeId, u64)> {
+        if self.lane_depth(lane) == 0 {
+            return None;
+        }
+        self.index
+            .iter()
+            .filter_map(|(dst, c)| c.lanes[lane as usize].front().map(|&o| (*dst, o)))
+            .min_by_key(|&(_, o)| o)
+    }
+
+    /// One past the largest submission-order stamp ever indexed here.
+    /// `order_horizon() - w.order` is a segment's age in submissions.
+    pub fn order_horizon(&self) -> u64 {
+        self.order_horizon
     }
 
     /// Read-only view of the common list (selection heuristics).
@@ -420,7 +564,11 @@ impl Window {
             })
             .collect();
         for (rail, list) in self.dedicated.into_iter().enumerate() {
-            parts[rail % shards].dedicated[rail / shards] = list;
+            // push_segment keeps each part's lane index covering the
+            // moved list; order within the list is preserved.
+            for w in list {
+                parts[rail % shards].push_segment(w, Some(rail / shards));
+            }
         }
         for msg in self.ctrl {
             let s = owner(msg.dst, msg.tag) % shards;
@@ -428,7 +576,7 @@ impl Window {
         }
         for w in self.common {
             let s = owner(w.dst, w.tag) % shards;
-            parts[s].common.push_back(w);
+            parts[s].push_segment(w, None);
         }
         for job in self.rdv {
             let s = owner(job.dst, job.tag) % shards;
@@ -450,12 +598,16 @@ impl Window {
         let mut merged = Window::new(nic_count);
         for (s, part) in parts.into_iter().enumerate() {
             for (j, list) in part.dedicated.into_iter().enumerate() {
-                merged.dedicated[j * shards + s] = list;
+                for w in list {
+                    merged.push_segment(w, Some(j * shards + s));
+                }
             }
             for msg in part.ctrl {
                 merged.push_ctrl(msg);
             }
-            merged.common.extend(part.common);
+            for w in part.common {
+                merged.push_segment(w, None);
+            }
             for job in part.rdv {
                 merged.push_rdv(job);
             }
@@ -489,11 +641,15 @@ impl Window {
         mut pred: impl FnMut(&PackWrapper) -> bool,
     ) -> Option<(PackWrapper, bool)> {
         if let Some(pos) = self.dedicated[nic].iter().position(&mut pred) {
-            return self.dedicated[nic].remove(pos).map(|w| (w, pos > 0));
+            let w = self.dedicated[nic].remove(pos)?;
+            self.unindex_segment(&w);
+            return Some((w, pos > 0));
         }
         if let Some(pos) = self.common.iter().position(&mut pred) {
             let jumped = pos > 0 || !self.dedicated[nic].is_empty();
-            return self.common.remove(pos).map(|w| (w, jumped));
+            let w = self.common.remove(pos)?;
+            self.unindex_segment(&w);
+            return Some((w, jumped));
         }
         None
     }
@@ -507,13 +663,17 @@ impl Window {
     ) -> Option<PackWrapper> {
         if let Some(front) = self.dedicated[nic].front() {
             if pred(front) {
-                return self.dedicated[nic].pop_front();
+                let w = self.dedicated[nic].pop_front()?;
+                self.unindex_segment(&w);
+                return Some(w);
             }
             return None;
         }
         if let Some(front) = self.common.front() {
             if pred(front) {
-                return self.common.pop_front();
+                let w = self.common.pop_front()?;
+                self.unindex_segment(&w);
+                return Some(w);
             }
         }
         None
@@ -718,6 +878,97 @@ mod tests {
         assert!(w.is_empty());
     }
 
+    fn lane_wrapper(dst: u32, lane: u8, order: u64) -> PackWrapper {
+        PackWrapper {
+            dst: NodeId(dst),
+            tag: Tag(0),
+            seq: SeqNo(order as u32),
+            priority: Priority::from_lane(lane),
+            data: Bytes::from(vec![0u8; 4]),
+            req: SendReqId(order),
+            order,
+        }
+    }
+
+    #[test]
+    fn lane_index_answers_oldest_queries_in_o1() {
+        let mut w = Window::new(2);
+        w.push_segment(lane_wrapper(1, 2, 10), None);
+        w.push_segment(lane_wrapper(1, 0, 11), Some(1)); // dedicated counts too
+        w.push_segment(lane_wrapper(2, 0, 12), None);
+        w.push_segment(lane_wrapper(1, 0, 13), None);
+
+        assert_eq!(w.oldest_in_lane(NodeId(1), 0), Some(11));
+        assert_eq!(w.oldest_in_lane(NodeId(1), 2), Some(10));
+        assert_eq!(w.oldest_in_lane(NodeId(1), 3), None);
+        assert_eq!(w.oldest_in_lane(NodeId(9), 0), None);
+        assert_eq!(
+            w.oldest_per_lane(NodeId(1)),
+            [Some(11), None, Some(10), None]
+        );
+        assert_eq!(w.lane_pending(NodeId(1), 0), 2);
+        assert_eq!(w.lane_depth(0), 3);
+        assert_eq!(w.lane_depth(1), 0);
+        assert_eq!(w.global_oldest_in_lane(0), Some((NodeId(1), 11)));
+        assert_eq!(w.global_oldest_in_lane(1), None);
+        assert_eq!(w.order_horizon(), 14);
+        assert!(w.index_is_consistent());
+
+        // Taking the dedicated Urgent segment re-points the oldest.
+        let got = w.take_first_matching(1, |s| s.order == 11).unwrap();
+        assert_eq!(got.order, 11);
+        assert_eq!(w.oldest_in_lane(NodeId(1), 0), Some(13));
+        assert_eq!(w.global_oldest_in_lane(0), Some((NodeId(2), 12)));
+        assert!(w.index_is_consistent());
+
+        // Draining everything clears counts but keeps the horizon.
+        while w.take_front_if(0, |_| true).is_some() {}
+        assert_eq!(w.lane_depth(0), 0);
+        assert_eq!(w.lane_depth(2), 0);
+        assert_eq!(w.order_horizon(), 14);
+        assert!(w.index_is_consistent());
+    }
+
+    #[test]
+    fn requeue_at_front_restores_sorted_lane_order() {
+        let mut w = Window::new(1);
+        w.push_segment(lane_wrapper(1, 0, 5), None);
+        w.push_segment(lane_wrapper(1, 0, 6), None);
+        // Failover requeue: order 4 was scheduled before either.
+        w.push_segment_front(lane_wrapper(1, 0, 4));
+        assert_eq!(w.oldest_in_lane(NodeId(1), 0), Some(4));
+        assert!(w.index_is_consistent());
+        let first = w.take_front_if(0, |_| true).unwrap();
+        assert_eq!(first.order, 4);
+        assert_eq!(w.oldest_in_lane(NodeId(1), 0), Some(5));
+        assert!(w.index_is_consistent());
+    }
+
+    #[test]
+    fn donation_pop_unindexes_the_back() {
+        let mut w = Window::new(1);
+        w.push_segment(lane_wrapper(1, 3, 1), None);
+        w.push_segment(lane_wrapper(1, 3, 2), None);
+        let donated = w.pop_common_back().unwrap();
+        assert_eq!(donated.order, 2);
+        assert_eq!(w.lane_pending(NodeId(1), 3), 1);
+        assert_eq!(w.oldest_in_lane(NodeId(1), 3), Some(1));
+        assert!(w.index_is_consistent());
+    }
+
+    #[test]
+    fn rdv_job_order_stamp_roundtrips() {
+        let job = RdvJob::new(
+            NodeId(1),
+            Tag(0),
+            SeqNo(0),
+            Bytes::from_static(b"abc"),
+            SendReqId(0),
+        );
+        assert_eq!(job.order(), 0, "fresh jobs default to infinitely old");
+        assert_eq!(job.with_order(42).order(), 42);
+    }
+
     #[test]
     fn take_front_if_respects_fifo_discipline() {
         let mut w = Window::new(1);
@@ -918,7 +1169,9 @@ mod split_roundtrip_props {
             dst: NodeId(dst),
             tag: Tag(tag),
             seq: SeqNo(seq),
-            priority: Priority::Normal,
+            // Cycle through every lane so the split/merge round trip
+            // exercises the lane index, not just the Normal lane.
+            priority: Priority::from_lane((seq % NUM_LANES as u32) as u8),
             data: Bytes::from(vec![seq as u8; 4]),
             req: SendReqId(u64::from(seq)),
             order: u64::from(seq),

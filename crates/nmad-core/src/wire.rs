@@ -17,14 +17,14 @@
 //!   at `offset` in the receive buffer (chunking enables the multirail
 //!   strategy to spread one segment over several NICs).
 
-use crate::segment::{SeqNo, Tag};
+use crate::segment::{Priority, SeqNo, Tag};
 use std::fmt;
 
 /// Frame header: magic (2) + version (1) + flags (1) + entry count (2)
 /// + reserved (2).
 pub const FRAME_HEADER_LEN: usize = 8;
-/// Fixed entry header: kind (1) + flags (1) + reserved (2) + tag (4) +
-/// seq (4) + len (4) + offset (4).
+/// Fixed entry header: kind (1) + flags (1) + lane (1) + reserved (1) +
+/// tag (4) + seq (4) + len (4) + offset (4).
 pub const ENTRY_HEADER_LEN: usize = 20;
 
 const MAGIC: u16 = 0xAD3E;
@@ -53,6 +53,9 @@ pub struct EntryHeader {
     pub kind: u8,
     /// Entry flag bits (`EF_*`).
     pub flags: u8,
+    /// Scheduling lane ([`Priority::lane`]); meaningful for Data and
+    /// Rts entries, zero elsewhere.
+    pub lane: u8,
     /// Logical flow identifier.
     pub tag: Tag,
     /// Per-flow sequence number.
@@ -71,7 +74,8 @@ pub fn pack_entry_header(h: EntryHeader) -> [u8; ENTRY_HEADER_LEN] {
     let mut out = [0u8; ENTRY_HEADER_LEN];
     out[0] = h.kind;
     out[1] = h.flags;
-    // out[2..4] stays zero (reserved).
+    out[2] = h.lane;
+    // out[3] stays zero (reserved).
     out[4..8].copy_from_slice(&h.tag.0.to_le_bytes());
     out[8..12].copy_from_slice(&h.seq.0.to_le_bytes());
     out[12..16].copy_from_slice(&h.len.to_le_bytes());
@@ -89,6 +93,7 @@ pub fn unpack_entry_header(h: &[u8; ENTRY_HEADER_LEN]) -> EntryHeader {
     EntryHeader {
         kind: h[0],
         flags: h[1],
+        lane: h[2],
         tag: Tag(u32::from_le_bytes([h[4], h[5], h[6], h[7]])),
         seq: SeqNo(u32::from_le_bytes([h[8], h[9], h[10], h[11]])),
         len: u32::from_le_bytes([h[12], h[13], h[14], h[15]]),
@@ -129,6 +134,8 @@ pub enum Entry<'a> {
         tag: Tag,
         /// Per-flow sequence number.
         seq: SeqNo,
+        /// Scheduling lane the sender submitted the segment on.
+        lane: u8,
         /// Payload bytes.
         payload: &'a [u8],
     },
@@ -138,6 +145,8 @@ pub enum Entry<'a> {
         tag: Tag,
         /// Per-flow sequence number.
         seq: SeqNo,
+        /// Scheduling lane the sender submitted the segment on.
+        lane: u8,
         /// Announced total length in bytes.
         total: u32,
     },
@@ -209,10 +218,12 @@ fn write_frame_header(buf: &mut Vec<u8>) {
 /// Writes one 20-byte entry header: pack into a stack image (all
 /// bounds compile-time), then one append — a single capacity check
 /// instead of seven.
+#[allow(clippy::too_many_arguments)]
 fn write_entry_header(
     buf: &mut Vec<u8>,
     kind: u8,
     flags: u8,
+    lane: u8,
     tag: Tag,
     seq: SeqNo,
     len: u32,
@@ -221,6 +232,7 @@ fn write_entry_header(
     buf.extend_from_slice(&pack_entry_header(EntryHeader {
         kind,
         flags,
+        lane,
         tag,
         seq,
         len,
@@ -249,35 +261,55 @@ impl FrameBuilder {
         }
     }
 
-    fn push_header(&mut self, kind: u8, flags: u8, tag: Tag, seq: SeqNo, len: u32, offset: u32) {
-        write_entry_header(&mut self.buf, kind, flags, tag, seq, len, offset);
+    #[allow(clippy::too_many_arguments)]
+    fn push_header(
+        &mut self,
+        kind: u8,
+        flags: u8,
+        lane: u8,
+        tag: Tag,
+        seq: SeqNo,
+        len: u32,
+        offset: u32,
+    ) {
+        write_entry_header(&mut self.buf, kind, flags, lane, tag, seq, len, offset);
         self.count = self.count.checked_add(1).expect("entry count overflow");
     }
 
-    /// Push data.
+    /// Push data on the default (Normal) lane.
     pub fn push_data(&mut self, tag: Tag, seq: SeqNo, payload: &[u8]) {
+        self.push_data_lane(tag, seq, Priority::Normal.lane(), payload);
+    }
+
+    /// Push data carrying an explicit scheduling lane.
+    pub fn push_data_lane(&mut self, tag: Tag, seq: SeqNo, lane: u8, payload: &[u8]) {
         let len = u32::try_from(payload.len()).expect("segment too large for wire");
-        self.push_header(KIND_DATA, 0, tag, seq, len, 0);
+        self.push_header(KIND_DATA, 0, lane, tag, seq, len, 0);
         self.buf.extend_from_slice(payload);
         self.payload_segs += 1;
         self.payload_bytes += payload.len();
     }
 
-    /// Push rts.
+    /// Push rts on the default (Normal) lane.
     pub fn push_rts(&mut self, tag: Tag, seq: SeqNo, total: u32) {
-        self.push_header(KIND_RTS, 0, tag, seq, total, 0);
+        self.push_rts_lane(tag, seq, Priority::Normal.lane(), total);
+    }
+
+    /// Push rts carrying an explicit scheduling lane.
+    pub fn push_rts_lane(&mut self, tag: Tag, seq: SeqNo, lane: u8, total: u32) {
+        self.push_header(KIND_RTS, 0, lane, tag, seq, total, 0);
     }
 
     /// Push cts.
     pub fn push_cts(&mut self, tag: Tag, seq: SeqNo, total: u32) {
-        self.push_header(KIND_CTS, 0, tag, seq, total, 0);
+        self.push_header(KIND_CTS, 0, 0, tag, seq, total, 0);
     }
 
     /// Push rdv data.
     pub fn push_rdv_data(&mut self, tag: Tag, seq: SeqNo, offset: u32, last: bool, payload: &[u8]) {
         let len = u32::try_from(payload.len()).expect("chunk too large for wire");
         let flags = if last { EF_LAST_CHUNK } else { 0 };
-        self.push_header(KIND_RDV_DATA, flags, tag, seq, len, offset);
+        self.push_header(KIND_RDV_DATA, flags, 0, tag, seq, len, offset);
         self.buf.extend_from_slice(payload);
         self.payload_segs += 1;
         self.payload_bytes += payload.len();
@@ -285,7 +317,7 @@ impl FrameBuilder {
 
     /// Push credit.
     pub fn push_credit(&mut self, count: u32) {
-        self.push_header(KIND_CREDIT, 0, Tag(0), SeqNo(0), count, 0);
+        self.push_header(KIND_CREDIT, 0, 0, Tag(0), SeqNo(0), count, 0);
     }
 
     /// Entries pushed so far.
@@ -367,8 +399,18 @@ impl<'p> FrameEncoder<'p> {
         }
     }
 
-    fn push_header(&mut self, kind: u8, flags: u8, tag: Tag, seq: SeqNo, len: u32, offset: u32) {
-        write_entry_header(&mut self.meta, kind, flags, tag, seq, len, offset);
+    #[allow(clippy::too_many_arguments)]
+    fn push_header(
+        &mut self,
+        kind: u8,
+        flags: u8,
+        lane: u8,
+        tag: Tag,
+        seq: SeqNo,
+        len: u32,
+        offset: u32,
+    ) {
+        write_entry_header(&mut self.meta, kind, flags, lane, tag, seq, len, offset);
         self.count = self.count.checked_add(1).expect("entry count overflow");
     }
 
@@ -380,21 +422,33 @@ impl<'p> FrameEncoder<'p> {
         }
     }
 
-    /// Push data (payload borrowed, not copied).
+    /// Push data on the default (Normal) lane (payload borrowed, not
+    /// copied).
     pub fn push_data(&mut self, tag: Tag, seq: SeqNo, payload: &'p [u8]) {
+        self.push_data_lane(tag, seq, Priority::Normal.lane(), payload);
+    }
+
+    /// Push data carrying an explicit scheduling lane (payload
+    /// borrowed, not copied).
+    pub fn push_data_lane(&mut self, tag: Tag, seq: SeqNo, lane: u8, payload: &'p [u8]) {
         let len = u32::try_from(payload.len()).expect("segment too large for wire");
-        self.push_header(KIND_DATA, 0, tag, seq, len, 0);
+        self.push_header(KIND_DATA, 0, lane, tag, seq, len, 0);
         self.push_payload(payload);
     }
 
-    /// Push rts.
+    /// Push rts on the default (Normal) lane.
     pub fn push_rts(&mut self, tag: Tag, seq: SeqNo, total: u32) {
-        self.push_header(KIND_RTS, 0, tag, seq, total, 0);
+        self.push_rts_lane(tag, seq, Priority::Normal.lane(), total);
+    }
+
+    /// Push rts carrying an explicit scheduling lane.
+    pub fn push_rts_lane(&mut self, tag: Tag, seq: SeqNo, lane: u8, total: u32) {
+        self.push_header(KIND_RTS, 0, lane, tag, seq, total, 0);
     }
 
     /// Push cts.
     pub fn push_cts(&mut self, tag: Tag, seq: SeqNo, total: u32) {
-        self.push_header(KIND_CTS, 0, tag, seq, total, 0);
+        self.push_header(KIND_CTS, 0, 0, tag, seq, total, 0);
     }
 
     /// Push rdv data (payload borrowed, not copied).
@@ -408,13 +462,13 @@ impl<'p> FrameEncoder<'p> {
     ) {
         let len = u32::try_from(payload.len()).expect("chunk too large for wire");
         let flags = if last { EF_LAST_CHUNK } else { 0 };
-        self.push_header(KIND_RDV_DATA, flags, tag, seq, len, offset);
+        self.push_header(KIND_RDV_DATA, flags, 0, tag, seq, len, offset);
         self.push_payload(payload);
     }
 
     /// Push credit.
     pub fn push_credit(&mut self, count: u32) {
-        self.push_header(KIND_CREDIT, 0, Tag(0), SeqNo(0), count, 0);
+        self.push_header(KIND_CREDIT, 0, 0, Tag(0), SeqNo(0), count, 0);
     }
 
     /// Entries pushed so far.
@@ -571,6 +625,7 @@ pub fn parse_frame(bytes: &[u8]) -> Result<Vec<Entry<'_>>, WireError> {
             KIND_RTS => Entry::Rts {
                 tag: h.tag,
                 seq: h.seq,
+                lane: h.lane,
                 total: h.len,
             },
             KIND_CTS => Entry::Cts {
@@ -588,6 +643,7 @@ pub fn parse_frame(bytes: &[u8]) -> Result<Vec<Entry<'_>>, WireError> {
                     Entry::Data {
                         tag: h.tag,
                         seq: h.seq,
+                        lane: h.lane,
                         payload,
                     }
                 } else {
@@ -647,6 +703,7 @@ mod tests {
             Entry::Data {
                 tag: Tag(3),
                 seq: SeqNo(0),
+                lane: Priority::Normal.lane(),
                 payload: b"small payload"
             }
         );
@@ -655,6 +712,7 @@ mod tests {
             Entry::Rts {
                 tag: Tag(3),
                 seq: SeqNo(1),
+                lane: Priority::Normal.lane(),
                 total: 512 * 1024
             }
         );
@@ -813,6 +871,7 @@ mod tests {
             Entry::Data {
                 tag: Tag(1),
                 seq: SeqNo(0),
+                lane: Priority::Normal.lane(),
                 payload: b""
             }
         );
@@ -869,6 +928,7 @@ mod tests {
             let h = EntryHeader {
                 kind,
                 flags,
+                lane: 3,
                 tag: Tag(0xDEAD_BEEF),
                 seq: SeqNo(0x0102_0304),
                 len: 0xA5A5_5A5A,
@@ -888,6 +948,7 @@ mod tests {
         let packed = pack_entry_header(EntryHeader {
             kind: KIND_RDV_DATA,
             flags: EF_LAST_CHUNK,
+            lane: 0,
             tag: Tag(9),
             seq: SeqNo(4),
             len: 1,
@@ -911,6 +972,49 @@ mod tests {
         let mut bad = pack_frame_header(1);
         bad[2] = 9;
         assert_eq!(unpack_frame_header(&bad), Err(WireError::BadVersion(9)));
+    }
+
+    #[test]
+    fn lanes_roundtrip_on_data_and_rts() {
+        for lane in 0..crate::segment::NUM_LANES as u8 {
+            let mut fb = FrameBuilder::new();
+            fb.push_data_lane(Tag(1), SeqNo(0), lane, b"pay");
+            fb.push_rts_lane(Tag(1), SeqNo(1), lane, 1 << 20);
+            let mut fe = FrameEncoder::new();
+            fe.push_data_lane(Tag(1), SeqNo(0), lane, b"pay");
+            fe.push_rts_lane(Tag(1), SeqNo(1), lane, 1 << 20);
+            let reference = fb.finish();
+            let gathered: Vec<u8> = fe.finish().segments().concat();
+            assert_eq!(gathered, reference, "lane {lane}: encoders must agree");
+            let entries = parse_frame(&reference).unwrap();
+            assert_eq!(
+                entries,
+                vec![
+                    Entry::Data {
+                        tag: Tag(1),
+                        seq: SeqNo(0),
+                        lane,
+                        payload: b"pay"
+                    },
+                    Entry::Rts {
+                        tag: Tag(1),
+                        seq: SeqNo(1),
+                        lane,
+                        total: 1 << 20
+                    },
+                ]
+            );
+        }
+    }
+
+    #[test]
+    fn default_pushes_ride_the_normal_lane() {
+        let mut fb = FrameBuilder::new();
+        fb.push_data(Tag(1), SeqNo(0), b"x");
+        match parse_frame(&fb.finish()).unwrap()[0] {
+            Entry::Data { lane, .. } => assert_eq!(Priority::from_lane(lane), Priority::Normal),
+            ref e => panic!("wrong entry {e:?}"),
+        }
     }
 
     #[test]

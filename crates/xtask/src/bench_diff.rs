@@ -29,6 +29,15 @@
 //!   properties of the pump, and with a 0.0 idle baseline a single
 //!   leaked event fails. Accept churn and echo percentiles are wall
 //!   clock and context only.
+//! * `BENCH_tail.json` — the heavy-tail multi-tenant study. Every
+//!   per-class percentile row (p50 → p99.99) and every cross-strategy
+//!   ratio is deterministic virtual time and gates strictly; means and
+//!   absolute throughput are context.
+//!
+//! Rows that do not gate are *demoted*, never silently dropped: a
+//! demoted row always carries a `context_reason` shown in the status
+//! column, and the `Gate` type makes it impossible for a gating row to
+//! carry one.
 //!
 //! A metric is a regression when it moves past the tolerance in its
 //! bad direction; a baseline metric missing from the current report
@@ -46,17 +55,42 @@ use crate::json::{parse, Json};
 enum Better {
     Lower,
     Higher,
-    /// Context only: printed, never gated.
-    Info,
+}
+
+/// Whether a metric gates the build or is demoted to context.
+///
+/// Demotion is structural: a gated metric has nowhere to put a reason,
+/// and a context metric cannot exist without one. A row therefore can
+/// never both gate and carry a "why this doesn't gate" annotation —
+/// the combination that would silently lie in the delta table.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Gate {
+    /// Gates the build in `Better`'s bad direction.
+    Gated(Better),
+    /// Printed for context only, with the mandatory human-readable
+    /// reason shown in the status column (wall clock, interference,
+    /// redundant absolute of a gated ratio, ...).
+    Context { context_reason: &'static str },
 }
 
 struct Metric {
     key: String,
     baseline: f64,
     current: Option<f64>,
-    better: Better,
-    /// Gating suppressed (below the noise floor), with the reason.
-    skipped: Option<&'static str>,
+    gate: Gate,
+}
+
+impl Metric {
+    /// The demotion reason, present exactly when the row is context.
+    /// The report path matches on [`Gate`] directly; the structural
+    /// no-silent-demotion tests are what consume this accessor.
+    #[cfg(test)]
+    fn context_reason(&self) -> Option<&'static str> {
+        match self.gate {
+            Gate::Context { context_reason } => Some(context_reason),
+            Gate::Gated(_) => None,
+        }
+    }
 }
 
 pub fn bench_diff(args: &[String]) -> ExitCode {
@@ -109,6 +143,7 @@ pub fn bench_diff(args: &[String]) -> ExitCode {
         ("BENCH_batch.json", extract_batch as _),
         ("BENCH_shards.json", extract_shards as _),
         ("BENCH_swarm.json", extract_swarm as _),
+        ("BENCH_tail.json", extract_tail as _),
     ] {
         let base_path = Path::new(&baseline_dir).join(file);
         let cur_path = Path::new(&current_dir).join(file);
@@ -148,12 +183,15 @@ pub fn bench_diff(args: &[String]) -> ExitCode {
                 } else {
                     0.0
                 };
-                let status = match (m.better, m.skipped) {
-                    (Better::Info, _) => "info",
-                    (_, Some(reason)) => reason,
-                    (Better::Lower, None) if cur > m.baseline * (1.0 + tolerance) => "REGRESSION",
-                    (Better::Higher, None) if cur < m.baseline * (1.0 - tolerance) => "REGRESSION",
-                    _ => "ok",
+                let status = match m.gate {
+                    Gate::Context { context_reason } => context_reason,
+                    Gate::Gated(Better::Lower) if cur > m.baseline * (1.0 + tolerance) => {
+                        "REGRESSION"
+                    }
+                    Gate::Gated(Better::Higher) if cur < m.baseline * (1.0 - tolerance) => {
+                        "REGRESSION"
+                    }
+                    Gate::Gated(_) => "ok",
                 };
                 (format!("{delta_pct:+.1}%"), status)
             }
@@ -227,16 +265,14 @@ fn row_metric(doc: &Json, section: &str, ident: &[&str], metric: &str) -> Vec<(S
 fn pair(
     base: Vec<(String, f64)>,
     cur: Vec<(String, f64)>,
-    better: Better,
-    skip: impl Fn(&str, f64) -> Option<&'static str>,
+    gate_for: impl Fn(&str) -> Gate,
 ) -> Vec<Metric> {
     base.into_iter()
         .map(|(key, baseline)| Metric {
             current: cur.iter().find(|(k, _)| *k == key).map(|(_, v)| *v),
-            skipped: skip(&key, baseline),
+            gate: gate_for(&key),
             key,
             baseline,
-            better,
         })
         .collect()
 }
@@ -255,10 +291,17 @@ fn extract_pingpong(base: &Json, cur: &Json) -> Vec<Metric> {
             &["bench", "engine", "size"],
             "one_way_us_median",
         ),
-        Better::Lower,
         // Simulated-time rows are deterministic and gate strictly; the
         // mem-driver rows are wall clock and only informational.
-        |key, _| (!key.contains("/sim")).then_some("skipped (wall-clock)"),
+        |key| {
+            if key.contains("/sim") {
+                Gate::Gated(Better::Lower)
+            } else {
+                Gate::Context {
+                    context_reason: "skipped (wall-clock)",
+                }
+            }
+        },
     )
 }
 
@@ -274,8 +317,9 @@ fn extract_overlap(base: &Json, cur: &Json) -> Vec<Metric> {
     pair(
         row_metric(base, "overlap", &["mode", "size"], "overlap_pct"),
         row_metric(cur, "overlap", &["mode", "size"], "overlap_pct"),
-        Better::Higher,
-        |_, _| Some("skipped (interference-bound)"),
+        |_| Gate::Context {
+            context_reason: "skipped (interference-bound)",
+        },
     )
 }
 
@@ -299,15 +343,21 @@ fn extract_batch(base: &Json, cur: &Json) -> Vec<Metric> {
     // — so they are context, not gates. The wheel ratio measures
     // single-thread machinery the scheduler barely touches and gates
     // normally.
-    let mut out = pair(speedups(base), speedups(cur), Better::Higher, |key, _| {
-        key.contains("_vs_batch1")
-            .then_some("skipped (interference-bound)")
+    let mut out = pair(speedups(base), speedups(cur), |key| {
+        if key.contains("_vs_batch1") {
+            Gate::Context {
+                context_reason: "skipped (interference-bound)",
+            }
+        } else {
+            Gate::Gated(Better::Higher)
+        }
     });
     out.extend(pair(
         row_metric(base, "batch", &["bench", "variant"], "ns_per_op"),
         row_metric(cur, "batch", &["bench", "variant"], "ns_per_op"),
-        Better::Info,
-        |_, _| None,
+        |_| Gate::Context {
+            context_reason: "info (wall-clock ns)",
+        },
     ));
     out
 }
@@ -328,12 +378,13 @@ fn extract_shards(base: &Json, cur: &Json) -> Vec<Metric> {
     // gate strictly: a shard-count that stops paying for itself is a
     // real routing or steal-path change. The absolute MB/s rows repeat
     // the same information per point and are context.
-    let mut out = pair(scaling(base), scaling(cur), Better::Higher, |_, _| None);
+    let mut out = pair(scaling(base), scaling(cur), |_| Gate::Gated(Better::Higher));
     out.extend(pair(
         row_metric(base, "shards", &["shards"], "throughput_mbs"),
         row_metric(cur, "shards", &["shards"], "throughput_mbs"),
-        Better::Info,
-        |_, _| None,
+        |_| Gate::Context {
+            context_reason: "info (absolute of gated ratio)",
+        },
     ));
     out
 }
@@ -350,14 +401,12 @@ fn extract_swarm(base: &Json, cur: &Json) -> Vec<Metric> {
     let mut out = pair(
         row_metric(base, "swarm", &["connections"], "idle_events_per_pump"),
         row_metric(cur, "swarm", &["connections"], "idle_events_per_pump"),
-        Better::Lower,
-        |_, _| None,
+        |_| Gate::Gated(Better::Lower),
     );
     out.extend(pair(
         row_metric(base, "swarm", &["connections"], "probe_events_per_ready"),
         row_metric(cur, "swarm", &["connections"], "probe_events_per_ready"),
-        Better::Lower,
-        |_, _| None,
+        |_| Gate::Gated(Better::Lower),
     ));
     let probes = |doc: &Json| -> Vec<(String, f64)> {
         doc.get("probes")
@@ -370,15 +419,95 @@ fn extract_swarm(base: &Json, cur: &Json) -> Vec<Metric> {
             })
             .unwrap_or_default()
     };
-    out.extend(pair(probes(base), probes(cur), Better::Lower, |_, _| None));
+    out.extend(pair(probes(base), probes(cur), |_| {
+        Gate::Gated(Better::Lower)
+    }));
     for metric in ["accepts_per_sec", "ping_p50_us", "ping_p99_us"] {
         out.extend(pair(
             row_metric(base, "swarm", &["connections"], metric),
             row_metric(cur, "swarm", &["connections"], metric),
-            Better::Info,
-            |_, _| None,
+            |_| Gate::Context {
+                context_reason: "info (wall-clock)",
+            },
         ));
     }
+    out
+}
+
+fn extract_tail(base: &Json, cur: &Json) -> Vec<Metric> {
+    // The tail benchmark's percentile ladder is deterministic virtual
+    // time (log-bucketed, so values only move when scheduling actually
+    // changes): every percentile row gates strictly, lower is better —
+    // including p99.99, which is the whole point of the study. The
+    // named cross-strategy ratios (aggreg-over-lanes p99.9, throughput
+    // shares) gate in the higher-is-better direction: a collapse there
+    // means the tail-aware strategies stopped paying for themselves.
+    // Mean latency and absolute MB/s repeat gated information and are
+    // context.
+    //
+    // One more wrinkle: the workload is saturating, so its backlog —
+    // and with it every percentile and cross-strategy ratio — grows
+    // with the sweep's message count. The rows only gate when both
+    // reports ran the same sweep (the per-class `count` fields agree);
+    // diffing the committed repo-root *full* sweep against the quick
+    // baseline demotes them to context instead of false-failing. CI
+    // regenerates quick against the quick baseline, where they gate
+    // strictly.
+    let mut out = Vec::new();
+    let ident: &[&str] = &["scenario", "strategy", "class"];
+    let base_counts = row_metric(base, "tail", ident, "count");
+    let cur_counts = row_metric(cur, "tail", ident, "count");
+    let same_sweep = !base_counts.is_empty()
+        && base_counts.iter().all(|(key, n)| {
+            cur_counts
+                .iter()
+                .find(|(k, _)| k == key)
+                .is_none_or(|(_, c)| c == n)
+        });
+    let scale_gate = |better: Better| {
+        if same_sweep {
+            Gate::Gated(better)
+        } else {
+            Gate::Context {
+                context_reason: "skipped (different sweep scale)",
+            }
+        }
+    };
+    for metric in ["p50_us", "p90_us", "p99_us", "p999_us", "p9999_us"] {
+        out.extend(pair(
+            row_metric(base, "tail", ident, metric),
+            row_metric(cur, "tail", ident, metric),
+            |_| scale_gate(Better::Lower),
+        ));
+    }
+    out.extend(pair(
+        row_metric(base, "tail", ident, "mean_us"),
+        row_metric(cur, "tail", ident, "mean_us"),
+        |_| Gate::Context {
+            context_reason: "info (derived mean)",
+        },
+    ));
+    let map = |doc: &Json, section: &str| -> Vec<(String, f64)> {
+        doc.get(section)
+            .and_then(Json::members)
+            .map(|members| {
+                members
+                    .iter()
+                    .filter_map(|(k, v)| v.as_f64().map(|f| (format!("{section}:{k}"), f)))
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    out.extend(pair(map(base, "ratios"), map(cur, "ratios"), |_| {
+        scale_gate(Better::Higher)
+    }));
+    out.extend(pair(
+        map(base, "throughput"),
+        map(cur, "throughput"),
+        |_| Gate::Context {
+            context_reason: "info (absolute of gated ratio)",
+        },
+    ));
     out
 }
 
@@ -396,13 +525,12 @@ mod tests {
 
     fn regressed(m: &Metric, tolerance: f64) -> bool {
         // Mirrors the driver: a missing metric is a coverage
-        // regression even for skipped/info rows.
-        match (m.better, m.skipped, m.current) {
-            (_, _, None) => true,
-            (Better::Info, _, _) => false,
-            (_, Some(_), _) => false,
-            (Better::Lower, None, Some(c)) => c > m.baseline * (1.0 + tolerance),
-            (Better::Higher, None, Some(c)) => c < m.baseline * (1.0 - tolerance),
+        // regression even for context rows.
+        match (m.gate, m.current) {
+            (_, None) => true,
+            (Gate::Context { .. }, _) => false,
+            (Gate::Gated(Better::Lower), Some(c)) => c > m.baseline * (1.0 + tolerance),
+            (Gate::Gated(Better::Higher), Some(c)) => c < m.baseline * (1.0 - tolerance),
         }
     }
 
@@ -440,7 +568,7 @@ mod tests {
         let slower = BASE_BATCH.replace("20.0", "200.0");
         let m = metrics_for(BASE_BATCH, &slower);
         let info = m.iter().find(|m| m.key.contains("ns_per_op")).unwrap();
-        assert_eq!(info.better, Better::Info);
+        assert!(info.context_reason().is_some());
         assert!(!regressed(info, 0.20));
     }
 
@@ -459,7 +587,10 @@ mod tests {
         let m = extract_overlap(&parse(base).unwrap(), &parse(cur).unwrap());
         assert_eq!(m.len(), 2);
         for metric in &m {
-            assert_eq!(metric.skipped, Some("skipped (interference-bound)"));
+            assert_eq!(
+                metric.context_reason(),
+                Some("skipped (interference-bound)")
+            );
             assert!(!regressed(metric, 0.20), "{} must not gate", metric.key);
         }
         // But a vanished row is still a coverage regression.
@@ -487,7 +618,7 @@ mod tests {
             {"bench":"pp/mem","engine":"nmad","size":4096,"one_way_us_median":10.0}],"verify":{}}"#;
         let slower = base.replace("10.0", "25.0");
         let m = extract_pingpong(&parse(base).unwrap(), &parse(&slower).unwrap());
-        assert_eq!(m[0].skipped, Some("skipped (wall-clock)"));
+        assert_eq!(m[0].context_reason(), Some("skipped (wall-clock)"));
         assert!(!regressed(&m[0], 0.20));
     }
 
@@ -513,7 +644,7 @@ mod tests {
         let slower = BASE_SHARDS.replace("4874.0", "100.0");
         let m = extract_shards(&parse(BASE_SHARDS).unwrap(), &parse(&slower).unwrap());
         let info = m.iter().find(|m| m.key.contains("throughput_mbs")).unwrap();
-        assert_eq!(info.better, Better::Info);
+        assert!(info.context_reason().is_some());
         assert!(!regressed(info, 0.20));
     }
 
@@ -602,8 +733,116 @@ mod tests {
                 .iter()
                 .any(|s| m.key.ends_with(s))
         }) {
-            assert_eq!(metric.better, Better::Info, "{}", metric.key);
+            assert!(metric.context_reason().is_some(), "{}", metric.key);
             assert!(!regressed(metric, 0.20));
+        }
+    }
+
+    const BASE_TAIL: &str = r#"{"tail":[
+        {"scenario":"mixed","strategy":"aggreg","class":"urgent-small","count":415,"p50_us":217.1,"p90_us":4063.2,"p99_us":4587.5,"p999_us":4587.5,"p9999_us":4587.5,"mean_us":1000.0},
+        {"scenario":"mixed","strategy":"lanes","class":"urgent-small","count":415,"p50_us":57.3,"p90_us":102.4,"p99_us":180.2,"p999_us":344.1,"p9999_us":344.1,"mean_us":70.0}],
+        "throughput":{"mixed/aggreg":1813.00,"mixed/lanes":1816.00},
+        "ratios":{"mixed/urgent-small/aggreg_p999_over_lanes":13.331,"mixed/lanes_throughput_over_aggreg":1.002}}"#;
+
+    #[test]
+    fn tail_percentile_rows_gate_lower_is_better() {
+        let slower = BASE_TAIL.replace("\"p999_us\":344.1", "\"p999_us\":4000.0");
+        let m = extract_tail(&parse(BASE_TAIL).unwrap(), &parse(&slower).unwrap());
+        let p999 = m
+            .iter()
+            .find(|m| m.key == "tail:mixed/lanes/urgent-small:p999_us")
+            .unwrap();
+        assert_eq!(p999.gate, Gate::Gated(Better::Lower));
+        assert!(regressed(p999, 0.20), "a 10x p99.9 blowup must gate");
+        let m = extract_tail(&parse(BASE_TAIL).unwrap(), &parse(BASE_TAIL).unwrap());
+        assert!(m.iter().all(|m| !regressed(m, 0.20)));
+    }
+
+    #[test]
+    fn tail_rows_from_a_different_sweep_scale_demote_instead_of_gating() {
+        // The committed repo-root report is the full sweep; the
+        // baseline is the quick one. Percentiles and ratios of a
+        // saturating workload scale with message count, so rows from
+        // mismatched sweeps must demote with a reason — never gate.
+        let full = BASE_TAIL
+            .replace("\"count\":415", "\"count\":2393")
+            .replace("\"p999_us\":344.1", "\"p999_us\":1605.6")
+            .replace("13.331", "20.245");
+        let m = extract_tail(&parse(BASE_TAIL).unwrap(), &parse(&full).unwrap());
+        assert!(!m.is_empty());
+        for metric in &m {
+            assert!(!regressed(metric, 0.20), "{} must not gate", metric.key);
+        }
+        let p999 = m
+            .iter()
+            .find(|m| m.key == "tail:mixed/lanes/urgent-small:p999_us")
+            .unwrap();
+        assert_eq!(
+            p999.context_reason(),
+            Some("skipped (different sweep scale)")
+        );
+        let ratio = m
+            .iter()
+            .find(|m| m.key.contains("aggreg_p999_over_lanes"))
+            .unwrap();
+        assert_eq!(
+            ratio.context_reason(),
+            Some("skipped (different sweep scale)")
+        );
+    }
+
+    #[test]
+    fn a_collapsed_tail_ratio_is_a_regression_but_means_are_context() {
+        let collapsed = BASE_TAIL.replace("13.331", "1.500");
+        let m = extract_tail(&parse(BASE_TAIL).unwrap(), &parse(&collapsed).unwrap());
+        let ratio = m
+            .iter()
+            .find(|m| m.key.contains("aggreg_p999_over_lanes"))
+            .unwrap();
+        assert!(regressed(ratio, 0.20), "13x -> 1.5x tail win must gate");
+        let slower_mean = BASE_TAIL.replace("\"mean_us\":70.0", "\"mean_us\":900.0");
+        let m = extract_tail(&parse(BASE_TAIL).unwrap(), &parse(&slower_mean).unwrap());
+        let mean = m
+            .iter()
+            .find(|m| m.key == "tail:mixed/lanes/urgent-small:mean_us")
+            .unwrap();
+        assert!(mean.context_reason().is_some());
+        assert!(!regressed(mean, 0.20));
+        // Absolute throughput is context; the ratio above is the gate.
+        let tp = m
+            .iter()
+            .find(|m| m.key == "throughput:mixed/lanes")
+            .unwrap();
+        assert!(tp.context_reason().is_some());
+    }
+
+    #[test]
+    fn a_gated_row_cannot_silently_carry_a_context_reason() {
+        // Structural guarantee of the `Gate` type: a reason exists if
+        // and only if the row is demoted to context, so a row that
+        // gates can never also carry a "why this doesn't gate" note.
+        // Sweep every extractor over its sample document and check the
+        // iff both ways; demoted rows must also explain themselves
+        // with a non-empty reason.
+        let all: Vec<Metric> = [
+            extract_batch(&parse(BASE_BATCH).unwrap(), &parse(BASE_BATCH).unwrap()),
+            extract_shards(&parse(BASE_SHARDS).unwrap(), &parse(BASE_SHARDS).unwrap()),
+            extract_swarm(&parse(BASE_SWARM).unwrap(), &parse(BASE_SWARM).unwrap()),
+            extract_tail(&parse(BASE_TAIL).unwrap(), &parse(BASE_TAIL).unwrap()),
+        ]
+        .into_iter()
+        .flatten()
+        .collect();
+        assert!(all.iter().any(|m| matches!(m.gate, Gate::Gated(_))));
+        assert!(all.iter().any(|m| matches!(m.gate, Gate::Context { .. })));
+        for m in &all {
+            match m.gate {
+                Gate::Gated(_) => assert_eq!(m.context_reason(), None, "{}", m.key),
+                Gate::Context { context_reason } => {
+                    assert_eq!(m.context_reason(), Some(context_reason), "{}", m.key);
+                    assert!(!context_reason.is_empty(), "{}", m.key);
+                }
+            }
         }
     }
 
@@ -613,7 +852,11 @@ mod tests {
         let cratered = base.replace("30.0", "5.0").replace("6.0", "2.7");
         let m = metrics_for(base, &cratered);
         for metric in &m {
-            assert!(metric.skipped.is_some(), "{} must be skipped", metric.key);
+            assert!(
+                metric.context_reason().is_some(),
+                "{} must be demoted",
+                metric.key
+            );
             assert!(!regressed(metric, 0.20));
         }
     }

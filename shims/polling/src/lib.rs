@@ -332,11 +332,11 @@ mod sys {
         }
 
         pub fn wait(epfd: c_int, buf: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
-            // SAFETY: `buf` points at `buf.len()` writable EpollEvent
-            // slots; the kernel writes at most `buf.len()` of them and
-            // returns how many.
-            let n =
-                cvt(unsafe { epoll_wait(epfd, buf.as_mut_ptr(), buf.len() as c_int, timeout_ms) });
+            let cap = buf.len() as c_int;
+            // SAFETY: `buf` points at `cap` writable EpollEvent slots;
+            // the kernel writes at most `cap` of them and returns how
+            // many.
+            let n = cvt(unsafe { epoll_wait(epfd, buf.as_mut_ptr(), cap, timeout_ms) });
             match n {
                 Ok(n) => Ok(n as usize),
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(0),

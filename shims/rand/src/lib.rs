@@ -49,6 +49,32 @@ macro_rules! impl_sample_range_uint {
 
 impl_sample_range_uint!(u8, u16, u32, u64, usize);
 
+/// Types `Rng::gen` can draw from the full-width uniform distribution
+/// (the shim's analogue of the real crate's `Standard`).
+pub trait StandardSample {
+    /// Draws one uniformly distributed value.
+    fn sample_std<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 mantissa bits of resolution.
+    fn sample_std<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample_std<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_std<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
 /// Convenience sampling methods layered over [`RngCore`].
 pub trait Rng: RngCore {
     /// Uniform draw from `range` (half-open or inclusive).
@@ -57,6 +83,15 @@ pub trait Rng: RngCore {
         Self: Sized,
     {
         range.sample_from(self)
+    }
+
+    /// Full-width uniform draw (`gen::<f64>()` is uniform in
+    /// `[0, 1)`), mirroring the real crate's `Standard` distribution.
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_std(self)
     }
 
     /// Bernoulli draw: true with probability `p`.

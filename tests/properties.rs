@@ -18,8 +18,10 @@ fn strategies() -> Vec<(&'static str, MkStrategy)> {
     vec![
         ("default", || Box::new(StratDefault)),
         ("aggreg", || Box::new(StratAggreg)),
+        ("aggreg_hol", || Box::new(StratAggregHol::new())),
         ("reorder", || Box::new(StratReorder)),
         ("multirail", || Box::new(StratMultirail::default())),
+        ("lanes", || Box::new(StratLanes::new())),
     ]
 }
 
@@ -106,8 +108,8 @@ proptest! {
         let mut fb = FrameBuilder::new();
         for (tag, seq, payload, kind) in &entries {
             match kind {
-                0 => fb.push_data(Tag(*tag), SeqNo(*seq), payload),
-                1 => fb.push_rts(Tag(*tag), SeqNo(*seq), payload.len() as u32),
+                0 => fb.push_data_lane(Tag(*tag), SeqNo(*seq), (*tag % 4) as u8, payload),
+                1 => fb.push_rts_lane(Tag(*tag), SeqNo(*seq), (*tag % 4) as u8, payload.len() as u32),
                 2 => fb.push_cts(Tag(*tag), SeqNo(*seq), payload.len() as u32),
                 _ => fb.push_rdv_data(Tag(*tag), SeqNo(*seq), *seq, *seq % 2 == 0, payload),
             }
@@ -117,12 +119,17 @@ proptest! {
         prop_assert_eq!(parsed.len(), entries.len());
         for (entry, (tag, seq, payload, kind)) in parsed.iter().zip(&entries) {
             match (entry, kind) {
-                (Entry::Data { tag: t, seq: s, payload: p }, 0) => {
+                (Entry::Data { tag: t, seq: s, lane, payload: p }, 0) => {
                     prop_assert_eq!(t.0, *tag);
                     prop_assert_eq!(s.0, *seq);
+                    prop_assert_eq!(*lane, (*tag % 4) as u8);
                     prop_assert_eq!(*p, payload.as_slice());
                 }
-                (Entry::Rts { total, .. }, 1) | (Entry::Cts { total, .. }, 2) => {
+                (Entry::Rts { total, lane, .. }, 1) => {
+                    prop_assert_eq!(*total as usize, payload.len());
+                    prop_assert_eq!(*lane, (*tag % 4) as u8);
+                }
+                (Entry::Cts { total, .. }, 2) => {
                     prop_assert_eq!(*total as usize, payload.len());
                 }
                 (Entry::RdvData { offset, payload: p, .. }, _) => {
@@ -304,6 +311,185 @@ proptest! {
         prop_assert!(saw_last);
         prop_assert_eq!(total, len);
         prop_assert_eq!(rebuilt.as_slice(), &data[..]);
+    }
+
+    /// Priority classes survive the submission hot path's slot format:
+    /// arbitrary op sequences packed into `SLOT_OPS`-sized batches and
+    /// pushed through the MPSC ring drain in submission order with
+    /// every priority intact.
+    #[test]
+    fn priority_survives_ring_slot_batching(
+        ops in proptest::collection::vec((0u32..64, 0u8..4), 1..100)
+    ) {
+        use newmadeleine::core::ring::{Batch, SubmitRing};
+        use newmadeleine::core::SLOT_OPS;
+        let ring: SubmitRing<Batch<(u32, Priority), SLOT_OPS>> = SubmitRing::new(64);
+        let mut batch = Batch::new();
+        for &(tag, lane) in &ops {
+            let op = (tag, Priority::from_lane(lane));
+            if let Err(op) = batch.push(op) {
+                ring.push(std::mem::replace(&mut batch, Batch::new()));
+                batch.push(op).expect("fresh batch has room");
+            }
+        }
+        if !batch.is_empty() {
+            ring.push(batch);
+        }
+        let mut drained = Vec::new();
+        while let Some(b) = ring.pop() {
+            drained.extend(b);
+        }
+        let expected: Vec<(u32, Priority)> = ops
+            .iter()
+            .map(|&(tag, lane)| (tag, Priority::from_lane(lane)))
+            .collect();
+        prop_assert_eq!(drained, expected);
+    }
+
+    /// Sharded routing with mixed priorities: flows hash to a shard on
+    /// both nodes, every class of traffic rides its flow's shard, and
+    /// delivery is exact per flow under the tail-aware strategies —
+    /// lane-based reordering never crosses a flow boundary.
+    #[test]
+    fn sharded_routing_delivers_mixed_priority_flows_exactly(
+        items in proptest::collection::vec((0u32..12, 1usize..2000, 0u8..4), 1..16)
+    ) {
+        use newmadeleine::core::ShardPolicy;
+        const SHARDS: usize = 2;
+        for (name, mk) in [
+            ("lanes", (|| Box::new(StratLanes::new())) as MkStrategy),
+            ("aggreg_hol", || Box::new(StratAggregHol::new())),
+        ] {
+            let world = shared_world(SimConfig::two_nodes_multirail(vec![nic::mx_myri10g(); SHARDS]));
+            let policy = ShardPolicy::HashByDest;
+            let multi = |node: u32| {
+                let drivers: Vec<Box<dyn Driver>> = SimDriver::all_rails(&world, NodeId(node))
+                    .into_iter()
+                    .map(|d| Box::new(d) as Box<dyn Driver>)
+                    .collect();
+                let meter = Box::new(newmadeleine::net::SimCpuMeter::new(world.clone(), NodeId(node)));
+                NmadEngine::new(drivers, meter, mk(), EngineCosts::zero())
+            };
+            let mut senders = multi(0).split_for_shards(SHARDS, policy);
+            let mut sinks = multi(1).split_for_shards(SHARDS, policy);
+            let shard_of = |tag: u32| policy.route(SHARDS, NodeId(0), NodeId(1), Tag(tag));
+            let mut expected: std::collections::HashMap<u32, Vec<Vec<u8>>> = Default::default();
+            let mut sends = Vec::new();
+            let mut recvs = Vec::new();
+            for (i, &(tag, len, lane)) in items.iter().enumerate() {
+                let body: Vec<u8> = (0..len).map(|j| ((i * 17 + j) % 251) as u8).collect();
+                let s = shard_of(tag);
+                let idx = expected.get(&tag).map_or(0, Vec::len);
+                recvs.push((tag, idx, s, sinks[s].post_recv(NodeId(0), Tag(tag), len)));
+                sends.push((s, senders[s].submit_send_parts(
+                    NodeId(1),
+                    Tag(tag),
+                    vec![(Bytes::from(body.clone()), Priority::from_lane(lane))],
+                    None,
+                )));
+                expected.entry(tag).or_default().push(body);
+            }
+            let mut spins = 0u32;
+            loop {
+                let mut moved = false;
+                for e in senders.iter_mut().chain(sinks.iter_mut()) {
+                    moved |= e.progress_until_idle();
+                }
+                let all = sends.iter().all(|&(s, r)| senders[s].is_send_done(r))
+                    && recvs.iter().all(|&(_, _, s, r)| sinks[s].is_recv_done(r));
+                if all { break; }
+                if !moved && world.lock().advance().is_none() {
+                    panic!("sharded deadlock under {name}");
+                }
+                spins += 1;
+                prop_assert!(spins < 1_000_000, "sharded livelock under {name}");
+            }
+            for (tag, idx, s, r) in recvs {
+                let done = sinks[s].try_take_recv(r).expect("completed");
+                prop_assert_eq!(
+                    &done.data,
+                    &expected[&tag][idx],
+                    "strategy {} flow {} item {}", name, tag, idx
+                );
+            }
+        }
+    }
+
+    /// The steal path is priority-transparent: segments pulled off a
+    /// victim by `donate_eager` keep their class, payload, and request
+    /// identity; the thief transmits them as spool frames; and the
+    /// `TxDone::Foreign` hand-back (`drain_spool_done` →
+    /// `complete_foreign_done`) completes the victim's requests while
+    /// the sink receives every byte exactly.
+    #[test]
+    fn steal_donation_keeps_priority_and_completes_foreign_sends(
+        items in proptest::collection::vec((1usize..2048, 0u8..4), 1..12),
+        donate_sel in 0usize..16
+    ) {
+        use newmadeleine::core::PackWrapper;
+        let world = shared_world(SimConfig::two_nodes_multirail(vec![nic::mx_myri10g(); 2]));
+        let single = |node: u32, rail: u16, strat: Box<dyn Strategy>| {
+            let driver = SimDriver::new(world.clone(), NodeId(node), RailId(rail));
+            let meter = Box::new(driver.meter());
+            NmadEngine::new(vec![Box::new(driver) as Box<dyn Driver>], meter, strat, EngineCosts::zero())
+        };
+        let mut victim = single(0, 0, Box::new(StratLanes::new()));
+        let mut thief = single(0, 1, Box::new(StratDefault));
+        let drivers: Vec<Box<dyn Driver>> = SimDriver::all_rails(&world, NodeId(1))
+            .into_iter()
+            .map(|d| Box::new(d) as Box<dyn Driver>)
+            .collect();
+        let meter = Box::new(newmadeleine::net::SimCpuMeter::new(world.clone(), NodeId(1)));
+        let mut sink = NmadEngine::new(drivers, meter, Box::new(StratDefault), EngineCosts::zero());
+
+        let mut sends = Vec::new();
+        for (i, &(len, lane)) in items.iter().enumerate() {
+            let body: Vec<u8> = (0..len).map(|j| ((i * 13 + j) % 251) as u8).collect();
+            sends.push(victim.submit_send_parts(
+                NodeId(1),
+                Tag(i as u32),
+                vec![(Bytes::from(body), Priority::from_lane(lane))],
+                None,
+            ));
+        }
+        let donated: Vec<PackWrapper> = victim.donate_eager(donate_sel % (items.len() + 1));
+        for w in &donated {
+            let (len, lane) = items[w.tag.0 as usize];
+            prop_assert_eq!(w.priority, Priority::from_lane(lane), "donation changed the class");
+            prop_assert_eq!(w.len(), len, "donation changed the payload");
+        }
+        let donated_reqs: Vec<_> = donated.iter().map(|w| w.req).collect();
+        thief.accept_donations(0, donated);
+
+        let mut recvs = Vec::new();
+        for (i, &(len, _)) in items.iter().enumerate() {
+            recvs.push(sink.post_recv(NodeId(0), Tag(i as u32), len));
+        }
+        let mut spins = 0u32;
+        loop {
+            let mut moved = victim.progress();
+            moved |= thief.progress();
+            moved |= sink.progress();
+            for (req, victim_idx) in thief.drain_spool_done() {
+                prop_assert_eq!(victim_idx, 0, "foreign done routed to the wrong victim");
+                victim.complete_foreign_done(req);
+            }
+            let all = sends.iter().all(|&s| victim.is_send_done(s))
+                && recvs.iter().all(|&r| sink.is_recv_done(r));
+            if all { break; }
+            if !moved && world.lock().advance().is_none() {
+                panic!("steal co-simulation deadlock");
+            }
+            spins += 1;
+            prop_assert!(spins < 1_000_000, "steal co-simulation livelock");
+        }
+        for req in donated_reqs {
+            prop_assert!(victim.is_send_done(req), "foreign completion lost");
+        }
+        for (i, &(len, _)) in items.iter().enumerate() {
+            let done = sink.try_take_recv(recvs[i]).expect("completed");
+            prop_assert_eq!(done.data.len(), len, "flow {} truncated", i);
+        }
     }
 }
 

@@ -10,7 +10,8 @@ use newmadeleine::core::eager_cutoff;
 use newmadeleine::core::wire::{ENTRY_HEADER_LEN, FRAME_HEADER_LEN};
 use newmadeleine::core::{
     EngineCosts, NmadEngine, PackWrapper, PlanEntry, Priority, SendReqId, SeqNo, StratAggreg,
-    StratDefault, StratDynamic, StratMultirail, StratReorder, Strategy, Tag, Window,
+    StratAggregHol, StratDefault, StratDynamic, StratLanes, StratMultirail, StratReorder, Strategy,
+    Tag, Window,
 };
 use newmadeleine::net::{Capabilities, SimDriver};
 use newmadeleine::sim::{nic, shared_world, NodeId, RailId, SimConfig};
@@ -51,6 +52,8 @@ fn strategies() -> Vec<(&'static str, Box<dyn Strategy>)> {
         ("reorder", Box::new(StratReorder)),
         ("multirail", Box::new(StratMultirail::default())),
         ("dynamic", Box::new(StratDynamic::new())),
+        ("aggreg_hol", Box::new(StratAggregHol::new())),
+        ("lanes", Box::new(StratLanes::new())),
     ];
     for (_, s) in &mut out {
         s.init(&caps);
