@@ -526,7 +526,12 @@ impl NmadEngine {
     }
 
     fn credits_for(&mut self, dst: NodeId) -> usize {
-        let limit = self.credit_limit.expect("flow control enabled");
+        // Callers gate on `credit_limit.is_some()`; a disabled limit
+        // means unlimited credit rather than a pump-thread panic.
+        let Some(limit) = self.credit_limit else {
+            debug_assert!(false, "credits_for with flow control disabled");
+            return usize::MAX;
+        };
         *self.credits.entry(dst).or_insert(limit)
     }
 
@@ -665,7 +670,7 @@ impl NmadEngine {
         parts: Vec<(Bytes, Priority)>,
         rail_hint: Option<usize>,
     ) {
-        assert_ne!(dst, self.node, "self-sends are not routed through NICs");
+        assert_ne!(dst, self.node, "self-sends are not routed through NICs"); // PANIC-OK: API misuse guard at submit; not data-dependent
         self.meter.charge_ns(self.costs.per_request_ns);
         self.metrics.requests_submitted += 1;
         if parts.is_empty() {
@@ -766,10 +771,13 @@ impl NmadEngine {
     }
 
     fn complete_send_part(&mut self, req: SendReqId) {
-        let remaining = self
-            .sends
-            .get_mut(&req)
-            .expect("completion for unknown send request");
+        // A completion for a request we no longer track is a driver
+        // protocol bug; tolerate it in release rather than tearing
+        // down the progression thread.
+        let Some(remaining) = self.sends.get_mut(&req) else {
+            debug_assert!(false, "completion for unknown send request");
+            return;
+        };
         *remaining -= 1;
         if *remaining == 0 {
             self.sends.remove(&req);
@@ -914,15 +922,15 @@ impl NmadEngine {
                     self.spool_done.push((req, victim));
                 }
                 TxDone::RdvBytes { key, bytes } => {
-                    let finished = {
-                        let tx = self
-                            .rdv_tx
-                            .get_mut(&key)
-                            .expect("chunk completion for unknown rendezvous");
-                        tx.sent += bytes;
-                        debug_assert!(tx.sent <= tx.total);
-                        (tx.sent == tx.total).then_some(tx.req)
+                    // An untracked rendezvous key is a driver protocol
+                    // bug; drop the stray completion in release.
+                    let Some(tx) = self.rdv_tx.get_mut(&key) else {
+                        debug_assert!(false, "chunk completion for unknown rendezvous");
+                        continue;
                     };
+                    tx.sent += bytes;
+                    debug_assert!(tx.sent <= tx.total);
+                    let finished = (tx.sent == tx.total).then_some(tx.req);
                     if let Some(req) = finished {
                         self.rdv_tx.remove(&key);
                         // A failover requeue may have re-announced this
@@ -962,7 +970,10 @@ impl NmadEngine {
                     carries_data = true;
                 }
                 PlanEntry::Rts(w) => {
-                    let total = u32::try_from(w.data.len()).expect("segment above 4 GiB");
+                    // Segment lengths are bounded at submit; clamp in
+                    // release instead of panicking mid-pump.
+                    debug_assert!(u32::try_from(w.data.len()).is_ok(), "segment above 4 GiB");
+                    let total = w.data.len().min(u32::MAX as usize) as u32;
                     fe.push_rts_lane(w.tag, w.seq, w.priority.lane(), total);
                 }
                 PlanEntry::RdvChunk(c) => {
@@ -1204,6 +1215,7 @@ impl NmadEngine {
 
     /// One pump: drain receives, harvest transmit completions, refill
     /// idle NICs. Returns whether anything moved.
+    // HOT-PATH: progression pump root
     pub fn try_progress(&mut self) -> NetResult<bool> {
         let mut any = false;
 
@@ -1230,12 +1242,14 @@ impl NmadEngine {
 
         // Receives and transmit completions.
         for i in 0..self.nics.len() {
+            // PANIC-OK: i < nics.len() loop bound
             if self.nics[i].dead {
                 continue;
             }
-            self.nics[i].driver.pump()?;
-            let rx_zero_copy = self.nics[i].driver.caps().supports_rdma;
+            self.nics[i].driver.pump()?; // PANIC-OK: i < nics.len() loop bound
+            let rx_zero_copy = self.nics[i].driver.caps().supports_rdma; // PANIC-OK: i < nics.len() loop bound
             while let Some(frame) = self.nics[i].driver.poll_recv()? {
+                // PANIC-OK: i < nics.len() loop bound
                 debug_assert_ne!(frame.src, self.node);
                 let payload = frame.payload;
                 self.handle_frame(frame.src, &payload, rx_zero_copy)?;
@@ -1247,11 +1261,16 @@ impl NmadEngine {
                 }
                 any = true;
             }
+            // PANIC-OK: i < nics.len() loop bound
             while let Some(handle) = self.nics[i].inflight.front().map(|f| f.handle) {
+                // PANIC-OK: i < nics.len() loop bound
                 if !self.nics[i].driver.test_send(handle)? {
                     break;
                 }
-                let frame = self.nics[i].inflight.pop_front().expect("checked");
+                // PANIC-OK: i < nics.len() loop bound
+                let Some(frame) = self.nics[i].inflight.pop_front() else {
+                    break;
+                };
                 for buf in frame.bufs {
                     self.pool.put(buf);
                 }
@@ -1274,8 +1293,11 @@ impl NmadEngine {
             // check leads the chain: it is empty outside a steal, and
             // `tx_idle` is a driver call (a fabric lock on mem) the
             // common pump should not pay.
+            // PANIC-OK: i < nics.len() loop bound
             while !self.spool.is_empty() && !self.nics[i].dead && self.nics[i].driver.tx_idle() {
-                let (wrapper, victim) = self.spool.pop_front().expect("checked");
+                let Some((wrapper, victim)) = self.spool.pop_front() else {
+                    break;
+                };
                 if self.post_spool_frame(i, wrapper, victim)? {
                     any = true;
                 } else {
@@ -1283,8 +1305,8 @@ impl NmadEngine {
                 }
             }
             loop {
-                if self.nics[i].dead
-                    || !self.nics[i].driver.tx_idle()
+                if self.nics[i].dead // PANIC-OK: i < nics.len() loop bound
+                    || !self.nics[i].driver.tx_idle() // PANIC-OK: i < nics.len() loop bound
                     || self.window.is_empty_for(i)
                 {
                     break;
@@ -1302,7 +1324,7 @@ impl NmadEngine {
                         break;
                     }
                 }
-                let caps = self.nics[i].driver.caps().clone();
+                let caps = self.nics[i].driver.caps().clone(); // ALLOC-OK: caps snapshot copied once per spool drain, not per frame; PANIC-OK: i < nics.len() loop bound
                 let view = NicView {
                     index: i,
                     caps: &caps,
@@ -1316,6 +1338,7 @@ impl NmadEngine {
             }
             // Standalone credit returns: peers we owe credits but have
             // no other traffic towards.
+            // PANIC-OK: i < nics.len() loop bound
             if self.credit_limit.is_some() && !self.nics[i].dead && self.nics[i].driver.tx_idle() {
                 let owed: Vec<NodeId> = self
                     .pending_credit_returns
@@ -1324,20 +1347,24 @@ impl NmadEngine {
                     .map(|(&n, _)| n)
                     .collect();
                 for dst in owed {
+                    // PANIC-OK: i < nics.len() loop bound
                     if !self.nics[i].driver.tx_idle() {
                         break;
                     }
-                    let count =
-                        std::mem::take(self.pending_credit_returns.get_mut(&dst).expect("present"));
+                    let Some(owed_count) = self.pending_credit_returns.get_mut(&dst) else {
+                        continue;
+                    };
+                    let count = std::mem::take(owed_count);
                     let mut fe = FrameEncoder::with_buffer(self.pool.take(&mut self.metrics));
                     fe.push_credit(count);
                     let iov = fe.finish();
-                    let handle = self.nics[i].driver.post_send(dst, &iov.segments())?;
+                    let handle = self.nics[i].driver.post_send(dst, &iov.segments())?; // PANIC-OK: i < nics.len() loop bound
                     self.nics[i].inflight.push_back(InflightFrame {
+                        // PANIC-OK: i < nics.len() loop bound
                         handle,
-                        dones: Vec::new(),
+                        dones: Vec::new(), // ALLOC-OK: Vec::new does not allocate
                         plan: FramePlan::new(dst),
-                        bufs: vec![iov.into_meta()],
+                        bufs: vec![iov.into_meta()], // ALLOC-OK: one-element buffer list per posted credit frame
                         foreign: None,
                     });
                     self.stats.frames_sent += 1;
@@ -1490,7 +1517,9 @@ impl NmadEngine {
             if self.credit_limit.is_some() && self.credits_for(dst) == 0 {
                 break;
             }
-            let wrapper = self.window.pop_common_back().expect("just peeked");
+            let Some(wrapper) = self.window.pop_common_back() else {
+                break;
+            };
             if let Some(limit) = self.credit_limit {
                 let c = self.credits.entry(dst).or_insert(limit);
                 *c = c.saturating_sub(1);

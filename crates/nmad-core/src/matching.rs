@@ -293,11 +293,11 @@ impl Matching {
                 // first attempt had in fact delivered.
                 return vec![Effect::DuplicateDropped];
             }
-            panic!("rdv chunk for a never-granted segment (protocol bug)");
+            panic!("rdv chunk for a never-granted segment (protocol bug)"); // PANIC-OK: peer protocol violation; failing loudly beats silent corruption
         };
         let total = slot
             .total
-            .expect("rdv chunk before RTS grant (protocol bug)");
+            .expect("rdv chunk before RTS grant (protocol bug)"); // PANIC-OK: peer protocol violation; failing loudly beats silent corruption
         if !slot.chunk_offsets.insert(offset) {
             return vec![Effect::DuplicateDropped];
         }
@@ -308,6 +308,7 @@ impl Matching {
             slot.buf[offset..offset + kept].copy_from_slice(&payload[..kept]);
         }
         slot.received += payload.len();
+        // PANIC-OK: peer protocol violation; failing loudly beats silent corruption
         assert!(
             slot.received <= total,
             "rendezvous over-delivery: {} of {total} bytes",
@@ -318,7 +319,7 @@ impl Matching {
             effects.push(Effect::ChargeCopy(payload.len()));
         }
         if slot.received == total {
-            let slot = self.posted.remove(&key).expect("present");
+            let slot = self.posted.remove(&key).expect("present"); // PANIC-OK: key presence established by the grant check above
             let truncated = slot.sender_len > slot.max;
             self.done.insert(
                 slot.req,

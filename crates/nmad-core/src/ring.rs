@@ -57,6 +57,7 @@ impl<T: Send> SubmitRing<T> {
 
     /// Non-blocking push; a full ring returns the operation back.
     /// Wakes the consumer if it is parked.
+    // HOT-PATH: submit ring
     #[inline]
     pub fn try_push(&self, op: T) -> Result<(), T> {
         self.queue.push(op)?;
@@ -66,6 +67,7 @@ impl<T: Send> SubmitRing<T> {
 
     /// Pushes `op`, spinning (with yields) while the ring is full —
     /// backpressure, not loss.
+    // HOT-PATH: submit ring
     pub fn push(&self, mut op: T) {
         loop {
             match self.queue.push(op) {
@@ -87,6 +89,7 @@ impl<T: Send> SubmitRing<T> {
     /// flag load (and at most one notify) per batch instead of per op.
     /// A parked consumer stays parked until the doorbell — callers must
     /// ring it before waiting on any pushed operation.
+    // HOT-PATH: submit ring
     #[inline]
     pub fn try_push_quiet(&self, op: T) -> Result<(), T> {
         self.queue.push(op)
@@ -94,6 +97,7 @@ impl<T: Send> SubmitRing<T> {
 
     /// [`push`](Self::push) without the doorbell: spins on a full ring,
     /// never notifies. See [`try_push_quiet`](Self::try_push_quiet).
+    // HOT-PATH: submit ring
     pub fn push_quiet(&self, mut op: T) {
         loop {
             match self.queue.push(op) {
@@ -107,6 +111,7 @@ impl<T: Send> SubmitRing<T> {
     }
 
     /// Consumer side: next buffered operation, if any.
+    // HOT-PATH: submit ring consumer
     #[inline]
     pub fn pop(&self) -> Option<T> {
         self.queue.pop()
@@ -115,6 +120,7 @@ impl<T: Send> SubmitRing<T> {
     /// Consumer side: parks the calling thread until the ring is
     /// (probably) non-empty or `timeout` elapses. Returns whether any
     /// operation is buffered on exit.
+    // HOT-PATH: consumer park/wake
     pub fn wait_nonempty(&self, timeout: Duration) -> bool {
         if !self.queue.is_empty() {
             return true;
@@ -129,7 +135,7 @@ impl<T: Send> SubmitRing<T> {
             self.sleeping.store(false, Ordering::SeqCst);
             return true;
         }
-        let (guard, _) = self.wakeup.wait_timeout(guard, timeout);
+        let (guard, _) = self.wakeup.wait_timeout(guard, timeout); // BLOCKING-OK: deliberate bounded consumer park; producers never enter here
         self.sleeping.store(false, Ordering::SeqCst);
         drop(guard);
         !self.queue.is_empty()
@@ -138,6 +144,7 @@ impl<T: Send> SubmitRing<T> {
     /// Producer-side half of the wakeup protocol. Must be rung after
     /// every quiet push run; the plain `push`/`try_push` ring it
     /// automatically.
+    // HOT-PATH: producer doorbell
     #[inline]
     pub fn doorbell(&self) {
         fence(Ordering::SeqCst);
@@ -188,12 +195,13 @@ impl<T, const N: usize> Batch<T, N> {
     }
 
     /// Appends an operation; a full batch hands it back.
+    // HOT-PATH: submit batch
     #[inline]
     pub fn push(&mut self, op: T) -> Result<(), T> {
-        if self.len == N {
+        let Some(slot) = self.slots.get_mut(self.len) else {
             return Err(op);
-        }
-        self.slots[self.len] = Some(op);
+        };
+        *slot = Some(op);
         self.len += 1;
         Ok(())
     }

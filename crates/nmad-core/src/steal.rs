@@ -68,6 +68,7 @@ impl<T> StealMailbox<T> {
         }
     }
 
+    // HOT-PATH: steal handoff
     fn push(&self, msg: T) -> Result<(), T> {
         let mut inner = self.inner.lock();
         if inner.departed {
@@ -80,9 +81,10 @@ impl<T> StealMailbox<T> {
         Ok(())
     }
 
+    // HOT-PATH: steal handoff
     fn drain(&self) -> Vec<T> {
         if self.pending.load(Ordering::Acquire) == 0 {
-            return Vec::new();
+            return Vec::new(); // ALLOC-OK: Vec::new does not allocate
         }
         let mut inner = self.inner.lock();
         let out: Vec<T> = inner.queue.drain(..).collect();
@@ -156,14 +158,16 @@ impl<T> StealGroup<T> {
     /// Delivers `msg` to shard `to`'s mailbox. `Err(msg)` when the
     /// shard has departed — the sender must re-route the work (bounce
     /// a donation home, drop a forward whose owner is gone).
+    // HOT-PATH: steal handoff
     pub fn push(&self, to: usize, msg: T) -> Result<(), T> {
-        self.boxes[to].push(msg)
+        self.boxes[to].push(msg) // PANIC-OK: shard index bounded by StealGroup::new
     }
 
     /// Takes every message currently in shard `shard`'s mailbox.
     /// Cheap (one relaxed-ish load, no lock) when empty.
+    // HOT-PATH: steal handoff
     pub fn drain(&self, shard: usize) -> Vec<T> {
-        self.boxes[shard].drain()
+        self.boxes[shard].drain() // PANIC-OK: shard index bounded by StealGroup::new
     }
 
     /// Marks `shard` departed and returns the residue of its mailbox
@@ -204,31 +208,31 @@ impl<T> StealGroup<T> {
 
     /// Counts `n` donated segments.
     pub fn note_donated(&self, n: u64) {
-        self.donated.fetch_add(n, Ordering::Relaxed);
+        self.donated.fetch_add(n, Ordering::Relaxed); // ORDERING: monotonic stats counter; no synchronization role
     }
 
     /// Counts `n` bounced donations.
     pub fn note_bounced(&self, n: u64) {
-        self.bounced.fetch_add(n, Ordering::Relaxed);
+        self.bounced.fetch_add(n, Ordering::Relaxed); // ORDERING: monotonic stats counter; no synchronization role
     }
 
     /// Counts one forwarded foreign frame.
     pub fn note_forwarded_frame(&self) {
-        self.forwarded_frames.fetch_add(1, Ordering::Relaxed);
+        self.forwarded_frames.fetch_add(1, Ordering::Relaxed); // ORDERING: monotonic stats counter; no synchronization role
     }
 
     /// Counts one forwarded spool completion.
     pub fn note_forwarded_done(&self) {
-        self.forwarded_dones.fetch_add(1, Ordering::Relaxed);
+        self.forwarded_dones.fetch_add(1, Ordering::Relaxed); // ORDERING: monotonic stats counter; no synchronization role
     }
 
     /// Snapshot of the steal counters.
     pub fn stats(&self) -> StealStats {
         StealStats {
-            donated: self.donated.load(Ordering::Relaxed),
-            bounced: self.bounced.load(Ordering::Relaxed),
-            forwarded_frames: self.forwarded_frames.load(Ordering::Relaxed),
-            forwarded_dones: self.forwarded_dones.load(Ordering::Relaxed),
+            donated: self.donated.load(Ordering::Relaxed), // ORDERING: advisory stats snapshot
+            bounced: self.bounced.load(Ordering::Relaxed), // ORDERING: advisory stats snapshot
+            forwarded_frames: self.forwarded_frames.load(Ordering::Relaxed), // ORDERING: advisory stats snapshot
+            forwarded_dones: self.forwarded_dones.load(Ordering::Relaxed), // ORDERING: advisory stats snapshot
         }
     }
 }

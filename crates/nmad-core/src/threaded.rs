@@ -172,7 +172,7 @@ impl CompletionBoard {
             let mut guard = shard.lock();
             for id in bucket {
                 if !guard.sends.insert(id) {
-                    self.duplicates.fetch_add(1, Ordering::Relaxed);
+                    self.duplicates.fetch_add(1, Ordering::Relaxed); // ORDERING: monotonic stats counter; no synchronization role
                 }
             }
         }
@@ -195,7 +195,7 @@ impl CompletionBoard {
             let mut guard = shard.lock();
             for (id, done) in bucket {
                 if guard.recvs.insert(id, done).is_some() {
-                    self.duplicates.fetch_add(1, Ordering::Relaxed);
+                    self.duplicates.fetch_add(1, Ordering::Relaxed); // ORDERING: monotonic stats counter; no synchronization role
                 }
             }
         }
@@ -237,7 +237,7 @@ impl CompletionBoard {
 
     /// Completions posted twice for one request id — must stay zero.
     pub fn duplicates(&self) -> u64 {
-        self.duplicates.load(Ordering::Relaxed)
+        self.duplicates.load(Ordering::Relaxed) // ORDERING: advisory stats snapshot
     }
 }
 
@@ -431,7 +431,7 @@ impl ThreadedEngine {
         };
         // Ids handed out by handles but never submitted must still
         // never be reallocated inline.
-        engine.set_req_watermark(self.shared.next_req.load(Ordering::Relaxed));
+        engine.set_req_watermark(self.shared.next_req.load(Ordering::Relaxed)); // ORDERING: read after the submit ring quiesced; the drain orders it
         engine
     }
 }
@@ -464,10 +464,11 @@ impl ThreadedHandle {
 
     #[inline]
     fn alloc(&self) -> u64 {
-        self.shared.next_req.fetch_add(1, Ordering::Relaxed)
+        self.shared.next_req.fetch_add(1, Ordering::Relaxed) // ORDERING: id allocator; atomicity alone is the contract
     }
 
     fn check_alive(&self, waiting_on: &str) {
+        // ORDERING: advisory liveness flag; the error message travels under the board mutex
         if self.shared.dead.load(Ordering::Relaxed) {
             let msg = self
                 .shared
@@ -475,6 +476,7 @@ impl ThreadedHandle {
                 .lock()
                 .clone()
                 .unwrap_or_else(|| "progression thread stopped".to_string());
+            // PANIC-OK: deliberate: surfaces progression-thread death to the caller
             panic!("progression thread died while waiting on {waiting_on}: {msg}");
         }
     }
@@ -661,15 +663,15 @@ impl ThreadedHandle {
         let mut slot = self.shared.snap_slot.lock();
         loop {
             if slot.iter().all(Option::is_some) {
-                let parts: Vec<MetricsSnapshot> =
-                    slot.drain(..).map(|s| s.expect("all filled")).collect();
+                // The all-Some check above makes `flatten` lossless.
+                let parts: Vec<MetricsSnapshot> = slot.drain(..).flatten().collect();
                 return aggregate_snapshots(parts);
             }
             self.check_alive("metrics snapshot");
             let (g, _) = self
                 .shared
                 .snap_cv
-                .wait_timeout(slot, Duration::from_millis(50));
+                .wait_timeout(slot, Duration::from_millis(50)); // BLOCKING-OK: control-plane snapshot RPC, not the pump loop
             slot = g;
         }
     }
@@ -766,7 +768,7 @@ impl SubmitBatch<'_> {
                 .handle
                 .shared
                 .next_req
-                .fetch_add(block, Ordering::Relaxed);
+                .fetch_add(block, Ordering::Relaxed); // ORDERING: id allocator; atomicity alone is the contract
             self.id_limit = self.next_id + block;
         }
         let id = self.next_id;
@@ -998,7 +1000,9 @@ fn maybe_donate(engine: &mut NmadEngine, shared: &Shared, shard: usize, config: 
                 engine.undonate(w);
             }
         }
-        Err(_) => unreachable!("push returns the message it was given"),
+        // `push` hands back the message it was given, so a donation in
+        // means a donation out; nothing to recover from other shapes.
+        Err(_) => debug_assert!(false, "push returns the message it was given"),
     }
 }
 
@@ -1014,9 +1018,10 @@ fn maybe_donate(engine: &mut NmadEngine, shared: &Shared, shard: usize, config: 
 /// cost on one core, where every cycle the consumer burns — including
 /// dead branches bloating the loop body — lengthens the producer's
 /// timed burst.
+// HOT-PATH: single-shard pump loop
 fn run_single(mut engine: NmadEngine, shared: &Shared, config: &EngineConfig) -> NmadEngine {
     let mut shutting_down = false;
-    let my = &shared.shards[0];
+    let my = &shared.shards[0]; // PANIC-OK: shard < shards.len() by the spawn loop
     loop {
         // 1. Drain a bounded batch of submissions.
         let mut drained = 0usize;
@@ -1052,7 +1057,7 @@ fn run_single(mut engine: NmadEngine, shared: &Shared, config: &EngineConfig) ->
             Ok(moved) => moved,
             Err(e) => {
                 *shared.fail.lock() =
-                    Some(format!("transport failure on node {}: {e}", engine.node()));
+                    Some(format!("transport failure on node {}: {e}", engine.node())); // ALLOC-OK: fatal-error path; the pump exits after
                 shared.dead.store(true, Ordering::SeqCst);
                 break;
             }
@@ -1090,12 +1095,13 @@ fn run_single(mut engine: NmadEngine, shared: &Shared, config: &EngineConfig) ->
     engine
 }
 
+// HOT-PATH: shard pump loop
 fn run(mut engine: NmadEngine, shared: &Shared, config: &EngineConfig, shard: usize) -> NmadEngine {
     if shared.shards.len() == 1 {
         return run_single(engine, shared, config);
     }
     let mut shutting_down = false;
-    let my = &shared.shards[shard];
+    let my = &shared.shards[shard]; // PANIC-OK: shard < shards.len() by the spawn loop
     loop {
         // 0. Cross-shard inbox: donations to spool, bounced donations
         // to re-queue, forwarded frames to inject, spool completions
@@ -1139,7 +1145,7 @@ fn run(mut engine: NmadEngine, shared: &Shared, config: &EngineConfig, shard: us
             Ok(moved) => moved,
             Err(e) => {
                 *shared.fail.lock() =
-                    Some(format!("transport failure on node {}: {e}", engine.node()));
+                    Some(format!("transport failure on node {}: {e}", engine.node())); // ALLOC-OK: fatal-error path; the pump exits after
                 shared.dead.store(true, Ordering::SeqCst);
                 break;
             }
@@ -1172,6 +1178,7 @@ fn run(mut engine: NmadEngine, shared: &Shared, config: &EngineConfig, shard: us
 
         // Another shard died: exit even if not quiescent, so shutdown
         // joins don't hang behind work that can never finish.
+        // ORDERING: advisory liveness flag; the error message travels under the board mutex
         if shared.dead.load(Ordering::Relaxed) {
             break;
         }

@@ -134,7 +134,7 @@ impl RdvJob {
             dst: self.dst,
             tag: self.tag,
             seq: self.seq,
-            offset: self.base + u32::try_from(offset).expect("segment larger than 4 GiB"),
+            offset: self.base + u32::try_from(offset).expect("segment larger than 4 GiB"), // PANIC-OK: offsets bounded by the 4 GiB segment cap at submit
             data,
             last: self.remaining() == 0,
             req: self.req,
@@ -284,6 +284,7 @@ impl Window {
     // --- submission side (collect layer) ---
 
     /// Push ctrl.
+    // HOT-PATH: window plan
     pub fn push_ctrl(&mut self, msg: CtrlMsg) {
         self.update_counts(msg.dst, |c| c.ctrl += 1);
         self.ctrl.push_back(msg);
@@ -291,10 +292,11 @@ impl Window {
 
     /// Registers a collected segment; `rail_hint` selects a dedicated
     /// per-NIC list, `None` the common load-balanced list.
+    // HOT-PATH: window plan
     pub fn push_segment(&mut self, wrapper: PackWrapper, rail_hint: Option<usize>) {
         self.index_segment(&wrapper);
         match rail_hint {
-            Some(nic) => self.dedicated[nic].push_back(wrapper),
+            Some(nic) => self.dedicated[nic].push_back(wrapper), // PANIC-OK: nic < dedicated.len() checked at enqueue
             None => self.common.push_back(wrapper),
         }
     }
@@ -302,6 +304,7 @@ impl Window {
     /// Re-inserts a segment at the *front* of the common list (failover
     /// requeue: the segment was already scheduled once and must keep
     /// its place).
+    // HOT-PATH: window plan
     pub fn push_segment_front(&mut self, wrapper: PackWrapper) {
         self.index_segment(&wrapper);
         self.common.push_front(wrapper);
@@ -316,6 +319,7 @@ impl Window {
     /// Pops the back of the common list. Donations come from the back
     /// so the front — the oldest traffic, next in line for a NIC —
     /// keeps its position.
+    // HOT-PATH: window drain
     pub fn pop_common_back(&mut self) -> Option<PackWrapper> {
         let w = self.common.pop_back()?;
         self.unindex_segment(&w);
@@ -323,6 +327,7 @@ impl Window {
     }
 
     /// Push rdv.
+    // HOT-PATH: window plan
     pub fn push_rdv(&mut self, job: RdvJob) {
         self.update_counts(job.dst, |c| c.rdv += 1);
         self.rdv.push_back(job);
@@ -372,6 +377,7 @@ impl Window {
 
     /// Destination the next frame for `nic` should target, honouring
     /// the urgency order control > rendezvous data > fresh segments.
+    // HOT-PATH: window drain
     pub fn next_dst(&self, nic: usize) -> Option<NodeId> {
         if let Some(c) = self.ctrl.front() {
             return Some(c.dst);
@@ -379,6 +385,7 @@ impl Window {
         if let Some(j) = self.rdv.front() {
             return Some(j.dst);
         }
+        // PANIC-OK: nic < dedicated.len() checked at enqueue
         if let Some(w) = self.dedicated[nic].front() {
             return Some(w.dst);
         }
@@ -387,12 +394,13 @@ impl Window {
 
     /// Pops every queued control message towards `dst`. O(1) when the
     /// index shows none pending.
+    // HOT-PATH: window drain
     pub fn drain_ctrl_for(&mut self, dst: NodeId) -> Vec<CtrlMsg> {
         let pending = self.index.get(&dst).map_or(0, |c| c.ctrl);
         if pending == 0 {
-            return Vec::new();
+            return Vec::new(); // ALLOC-OK: Vec::new does not allocate
         }
-        let mut out = Vec::with_capacity(pending);
+        let mut out = Vec::with_capacity(pending); // ALLOC-OK: one exactly-sized drain batch
         let mut rest = VecDeque::with_capacity(self.ctrl.len() - pending);
         for msg in self.ctrl.drain(..) {
             if msg.dst == dst {
@@ -422,12 +430,13 @@ impl Window {
     /// Cuts a chunk of at most `max` bytes from the first rendezvous
     /// job towards `dst`, dropping the job once exhausted. O(1) when
     /// the index shows none pending.
+    // HOT-PATH: window drain
     pub fn take_rdv_chunk(&mut self, dst: NodeId, max: usize) -> Option<RdvChunk> {
         if self.index.get(&dst).map_or(0, |c| c.rdv) == 0 {
             return None;
         }
         let idx = self.rdv.iter().position(|j| j.dst == dst)?;
-        let chunk = self.rdv[idx].take_chunk(max)?;
+        let chunk = self.rdv[idx].take_chunk(max)?; // PANIC-OK: idx from enumerate over rdv
         if chunk.last {
             self.rdv.remove(idx);
             self.update_counts(dst, |c| c.rdv -= 1);
@@ -624,6 +633,7 @@ impl Window {
     /// Removes and returns the first segment visible to `nic` (its
     /// dedicated list first, then the common list) satisfying `pred`,
     /// scanning past non-matching segments (reordering permitted).
+    // HOT-PATH: window drain
     pub fn take_first_matching(
         &mut self,
         nic: usize,
@@ -635,18 +645,20 @@ impl Window {
     /// Like [`take_first_matching`](Self::take_first_matching) but also
     /// reports whether the take jumped past earlier-queued segments
     /// (i.e. an actual reordering decision, not a FIFO pop).
+    // HOT-PATH: window drain
     pub fn take_first_matching_tracked(
         &mut self,
         nic: usize,
         mut pred: impl FnMut(&PackWrapper) -> bool,
     ) -> Option<(PackWrapper, bool)> {
+        // PANIC-OK: nic < dedicated.len() checked at enqueue
         if let Some(pos) = self.dedicated[nic].iter().position(&mut pred) {
-            let w = self.dedicated[nic].remove(pos)?;
+            let w = self.dedicated[nic].remove(pos)?; // PANIC-OK: nic < dedicated.len() checked at enqueue
             self.unindex_segment(&w);
             return Some((w, pos > 0));
         }
         if let Some(pos) = self.common.iter().position(&mut pred) {
-            let jumped = pos > 0 || !self.dedicated[nic].is_empty();
+            let jumped = pos > 0 || !self.dedicated[nic].is_empty(); // PANIC-OK: nic < dedicated.len() checked at enqueue
             let w = self.common.remove(pos)?;
             self.unindex_segment(&w);
             return Some((w, jumped));
@@ -656,14 +668,16 @@ impl Window {
 
     /// Removes and returns the front segment visible to `nic` if it
     /// satisfies `pred` (FIFO discipline, no reordering).
+    // HOT-PATH: window drain
     pub fn take_front_if(
         &mut self,
         nic: usize,
         mut pred: impl FnMut(&PackWrapper) -> bool,
     ) -> Option<PackWrapper> {
+        // PANIC-OK: nic < dedicated.len() checked at enqueue
         if let Some(front) = self.dedicated[nic].front() {
             if pred(front) {
-                let w = self.dedicated[nic].pop_front()?;
+                let w = self.dedicated[nic].pop_front()?; // PANIC-OK: nic < dedicated.len() checked at enqueue
                 self.unindex_segment(&w);
                 return Some(w);
             }

@@ -273,7 +273,7 @@ impl FrameBuilder {
         offset: u32,
     ) {
         write_entry_header(&mut self.buf, kind, flags, lane, tag, seq, len, offset);
-        self.count = self.count.checked_add(1).expect("entry count overflow");
+        self.count = self.count.checked_add(1).expect("entry count overflow"); // PANIC-OK: frame limits enforced by the planner before packing
     }
 
     /// Push data on the default (Normal) lane.
@@ -283,7 +283,7 @@ impl FrameBuilder {
 
     /// Push data carrying an explicit scheduling lane.
     pub fn push_data_lane(&mut self, tag: Tag, seq: SeqNo, lane: u8, payload: &[u8]) {
-        let len = u32::try_from(payload.len()).expect("segment too large for wire");
+        let len = u32::try_from(payload.len()).expect("segment too large for wire"); // PANIC-OK: frame limits enforced by the planner before packing
         self.push_header(KIND_DATA, 0, lane, tag, seq, len, 0);
         self.buf.extend_from_slice(payload);
         self.payload_segs += 1;
@@ -307,7 +307,7 @@ impl FrameBuilder {
 
     /// Push rdv data.
     pub fn push_rdv_data(&mut self, tag: Tag, seq: SeqNo, offset: u32, last: bool, payload: &[u8]) {
-        let len = u32::try_from(payload.len()).expect("chunk too large for wire");
+        let len = u32::try_from(payload.len()).expect("chunk too large for wire"); // PANIC-OK: frame limits enforced by the planner before packing
         let flags = if last { EF_LAST_CHUNK } else { 0 };
         self.push_header(KIND_RDV_DATA, flags, 0, tag, seq, len, offset);
         self.buf.extend_from_slice(payload);
@@ -411,7 +411,7 @@ impl<'p> FrameEncoder<'p> {
         offset: u32,
     ) {
         write_entry_header(&mut self.meta, kind, flags, lane, tag, seq, len, offset);
-        self.count = self.count.checked_add(1).expect("entry count overflow");
+        self.count = self.count.checked_add(1).expect("entry count overflow"); // PANIC-OK: frame limits enforced by the planner before packing
     }
 
     fn push_payload(&mut self, payload: &'p [u8]) {
@@ -431,7 +431,7 @@ impl<'p> FrameEncoder<'p> {
     /// Push data carrying an explicit scheduling lane (payload
     /// borrowed, not copied).
     pub fn push_data_lane(&mut self, tag: Tag, seq: SeqNo, lane: u8, payload: &'p [u8]) {
-        let len = u32::try_from(payload.len()).expect("segment too large for wire");
+        let len = u32::try_from(payload.len()).expect("segment too large for wire"); // PANIC-OK: frame limits enforced by the planner before packing
         self.push_header(KIND_DATA, 0, lane, tag, seq, len, 0);
         self.push_payload(payload);
     }
@@ -460,7 +460,7 @@ impl<'p> FrameEncoder<'p> {
         last: bool,
         payload: &'p [u8],
     ) {
-        let len = u32::try_from(payload.len()).expect("chunk too large for wire");
+        let len = u32::try_from(payload.len()).expect("chunk too large for wire"); // PANIC-OK: frame limits enforced by the planner before packing
         let flags = if last { EF_LAST_CHUNK } else { 0 };
         self.push_header(KIND_RDV_DATA, flags, 0, tag, seq, len, offset);
         self.push_payload(payload);

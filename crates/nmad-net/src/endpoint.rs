@@ -101,7 +101,7 @@ impl<T> EndpointTable<T> {
             slot.value = Some(value);
             Token::new(index, slot.generation)
         } else {
-            let index = u32::try_from(self.slots.len()).expect("endpoint table exceeds u32 slots");
+            let index = u32::try_from(self.slots.len()).expect("endpoint table exceeds u32 slots"); // PANIC-OK: table size bounded far below u32 by fd limits
             self.slots.push(Slot {
                 generation: 0,
                 value: Some(value),

@@ -91,7 +91,7 @@ impl Poller {
         events: &mut Vec<Event>,
         timeout: Option<Duration>,
     ) -> io::Result<usize> {
-        let n = self.inner.wait(events, timeout)?;
+        let n = self.inner.wait(events, timeout)?; // BLOCKING-OK: bounded poll; the pump passes a zero timeout when busy
         self.stats.polls += 1;
         if n > 0 {
             self.stats.wakeups += 1;

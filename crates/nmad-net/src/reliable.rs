@@ -129,7 +129,7 @@ fn encode_iov(kind: u8, seq: u32, ack: u32, iov: &[&[u8]]) -> Vec<u8> {
 /// Verifies a received decorator frame's checksum.
 fn verify(frame: &[u8]) -> bool {
     debug_assert!(frame.len() >= HEADER_LEN);
-    let stamped = u32::from_le_bytes(frame[9..13].try_into().expect("4"));
+    let stamped = u32::from_le_bytes(frame[9..13].try_into().expect("4")); // PANIC-OK: 4-byte slice by construction
     stamped == checksum32(&[&frame[..9], &frame[HEADER_LEN..]])
 }
 
@@ -188,7 +188,7 @@ impl<D: Driver> ReliableDriver<D> {
 
     fn reap_inner_handles(&mut self) -> NetResult<()> {
         for _ in 0..self.inner_handles.len() {
-            let h = self.inner_handles.pop_front().expect("len checked");
+            let h = self.inner_handles.pop_front().expect("len checked"); // PANIC-OK: len checked in the loop condition
             if !self.inner.test_send(h)? {
                 self.inner_handles.push_back(h);
             }
@@ -216,7 +216,7 @@ impl<D: Driver> ReliableDriver<D> {
             return Ok(());
         }
         let attempt = {
-            let peer = self.peers.get_mut(&dst).expect("present");
+            let peer = self.peers.get_mut(&dst).expect("present"); // PANIC-OK: dst drawn from the peers keys
             peer.last_tx_ns = now;
             peer.rto_attempt
         };
@@ -364,8 +364,8 @@ impl<D: Driver> Driver for ReliableDriver<D> {
                 continue;
             }
             let kind = frame.payload[0];
-            let seq = u32::from_le_bytes(frame.payload[1..5].try_into().expect("4"));
-            let ack = u32::from_le_bytes(frame.payload[5..9].try_into().expect("4"));
+            let seq = u32::from_le_bytes(frame.payload[1..5].try_into().expect("4")); // PANIC-OK: 4-byte slice by construction
+            let ack = u32::from_le_bytes(frame.payload[5..9].try_into().expect("4")); // PANIC-OK: 4-byte slice by construction
             self.handle_ack(frame.src, ack)?;
             if kind == KIND_DATA {
                 // Zero-copy: the delivered payload is a slice of the
@@ -401,7 +401,7 @@ impl<D: Driver> Driver for ReliableDriver<D> {
             self.stats.timeouts += 1;
             // Another consecutive timeout: back the RTO off before the
             // retransmission arms the next timer.
-            let peer = self.peers.get_mut(&dst).expect("expired implies present");
+            let peer = self.peers.get_mut(&dst).expect("expired implies present"); // PANIC-OK: expiry list built from live peers entries
             peer.rto_attempt = peer.rto_attempt.saturating_add(1);
             self.retransmit_all(dst)?;
         }

@@ -108,7 +108,7 @@ fn encode_iov(kind: u8, seq: u32, iov: &[&[u8]]) -> Vec<u8> {
 /// Verifies a received decorator frame's checksum.
 fn verify(frame: &[u8]) -> bool {
     debug_assert!(frame.len() >= HEADER_LEN);
-    let stamped = u32::from_le_bytes(frame[5..9].try_into().expect("4"));
+    let stamped = u32::from_le_bytes(frame[5..9].try_into().expect("4")); // PANIC-OK: 4-byte slice by construction
     stamped == checksum32(&[&frame[..5], &frame[HEADER_LEN..]])
 }
 
@@ -156,7 +156,7 @@ impl<D: Driver> SelectiveDriver<D> {
 
     fn reap_inner_handles(&mut self) -> NetResult<()> {
         for _ in 0..self.inner_handles.len() {
-            let h = self.inner_handles.pop_front().expect("len checked");
+            let h = self.inner_handles.pop_front().expect("len checked"); // PANIC-OK: len checked in the loop condition
             if !self.inner.test_send(h)? {
                 self.inner_handles.push_back(h);
             }
@@ -257,7 +257,7 @@ impl<D: Driver> Driver for SelectiveDriver<D> {
                 continue;
             }
             let kind = frame.payload[0];
-            let seq = u32::from_le_bytes(frame.payload[1..5].try_into().expect("4"));
+            let seq = u32::from_le_bytes(frame.payload[1..5].try_into().expect("4")); // PANIC-OK: 4-byte slice by construction
             match kind {
                 KIND_ACK => {
                     if let Some(peer) = self.peers.get_mut(&frame.src) {

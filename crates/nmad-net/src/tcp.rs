@@ -109,7 +109,7 @@ impl Endpoint {
             in_buf: Vec::new(),
             hs_have: 0,
             hs_buf: [0; LEN_PREFIX],
-            hs_deadline: Instant::now() + HANDSHAKE_TIMEOUT,
+            hs_deadline: Instant::now() + HANDSHAKE_TIMEOUT, // BLOCKING-OK: one clock read per accepted connection, not per frame
             read_paused: false,
         })
     }
@@ -213,7 +213,7 @@ impl TcpDriver {
     fn adopt(&mut self, ep: Endpoint) -> NetResult<Token> {
         let desired = ep.desired_interest(self.engine_paused);
         let token = self.table.insert(ep);
-        let ep = self.table.get_mut(token).expect("just inserted");
+        let ep = self.table.get_mut(token).expect("just inserted"); // PANIC-OK: slot filled by the insert on the line above
         ep.interest = desired;
         self.poller.add(&ep.stream, token.key(), desired)?;
         Ok(token)
@@ -363,13 +363,14 @@ impl TcpDriver {
 
     // --- event loop -------------------------------------------------
 
+    // HOT-PATH: driver pump
     fn pump_with_timeout(&mut self, timeout: Option<Duration>) -> NetResult<()> {
         self.sweep_handshake_deadlines();
         let mut events = std::mem::take(&mut self.events);
         events.clear();
         let res = self
             .poller
-            .wait(&mut events, timeout.or(Some(Duration::ZERO)));
+            .wait(&mut events, timeout.or(Some(Duration::ZERO))); // BLOCKING-OK: zero timeout when busy; idle waits are the contract of pump_with_timeout
         match res {
             Ok(_) => {}
             Err(e) => {
@@ -402,7 +403,7 @@ impl TcpDriver {
             let listener = self
                 .listener
                 .as_ref()
-                .expect("listen event without listener");
+                .expect("listen event without listener"); // PANIC-OK: token registered as the listener at bind
             match listener.accept() {
                 Ok((stream, _)) => {
                     let ep = Endpoint::new(stream, ConnState::Handshaking, None)?;
@@ -479,7 +480,7 @@ impl TcpDriver {
             self.fail_handshake(token);
             return Ok(true);
         }
-        let ep = self.table.get_mut(token).expect("checked live above");
+        let ep = self.table.get_mut(token).expect("checked live above"); // PANIC-OK: liveness checked at entry
         ep.state = ConnState::Established;
         ep.peer = Some(NodeId(peer as u32));
         self.by_node[peer] = Some(token);
@@ -503,7 +504,7 @@ impl TcpDriver {
         if self.handshaking.is_empty() {
             return;
         }
-        let now = Instant::now();
+        let now = Instant::now(); // BLOCKING-OK: one clock read per pump for the deadline sweep
         let expired: Vec<Token> = self
             .handshaking
             .iter()
@@ -561,7 +562,7 @@ impl TcpDriver {
         if ep.read_paused || self.engine_paused || ep.state != ConnState::Established {
             return Ok(false);
         }
-        let peer = ep.peer.expect("established endpoints are identified");
+        let peer = ep.peer.expect("established endpoints are identified"); // PANIC-OK: established endpoints always carry a peer id
         let mut progressed = false;
         let mut eof = false;
         let mut chunk = [0u8; 64 * 1024];
@@ -601,7 +602,7 @@ impl TcpDriver {
             }
         }
         if eof {
-            let ep = self.table.get_mut(token).expect("live: no teardown above");
+            let ep = self.table.get_mut(token).expect("live: no teardown above"); // PANIC-OK: no teardown between lookup and use
             if ep.out.is_empty() {
                 self.teardown(token);
             } else {
@@ -685,7 +686,7 @@ fn parse_frames(
     let mut consumed = 0;
     while in_buf.len() - consumed >= LEN_PREFIX {
         let hdr = &in_buf[consumed..consumed + LEN_PREFIX];
-        let len = u32::from_le_bytes(hdr.try_into().expect("4 bytes")) as usize;
+        let len = u32::from_le_bytes(hdr.try_into().expect("4 bytes")) as usize; // PANIC-OK: 4-byte slice by construction
         if len > MAX_FRAME {
             return Err(());
         }
@@ -737,7 +738,7 @@ impl Driver for TcpDriver {
             self.tx_busy += 1;
         }
         ep.out
-            .extend(u32::try_from(len).expect("checked above").to_le_bytes());
+            .extend(u32::try_from(len).expect("checked above").to_le_bytes()); // PANIC-OK: length validated against the frame cap above
         for seg in iov {
             ep.out.extend(seg.iter().copied());
         }
@@ -791,6 +792,7 @@ impl Driver for TcpDriver {
         self.tx_busy == 0
     }
 
+    // HOT-PATH: endpoint pump
     fn pump(&mut self) -> NetResult<()> {
         self.pump_with_timeout(Some(Duration::ZERO))
     }

@@ -91,9 +91,9 @@ impl SimDuration {
     /// Uses 128-bit intermediates: 2 MiB at 1 byte/s would overflow u64
     /// nanoseconds otherwise.
     pub fn for_bytes(bytes: usize, bytes_per_sec: u64) -> Self {
-        assert!(bytes_per_sec > 0, "zero bandwidth");
+        assert!(bytes_per_sec > 0, "zero bandwidth"); // PANIC-OK: sim-time overflow is a configuration bug; clamping would corrupt the clock
         let ns = (bytes as u128 * 1_000_000_000u128).div_ceil(bytes_per_sec as u128);
-        SimDuration(u64::try_from(ns).expect("transfer time overflows u64 ns"))
+        SimDuration(u64::try_from(ns).expect("transfer time overflows u64 ns")) // PANIC-OK: sim-time overflow is a configuration bug; clamping would corrupt the clock
     }
 
     /// Saturating addition (used when accumulating worst-case bounds).
@@ -105,7 +105,7 @@ impl SimDuration {
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0.checked_add(rhs.0).expect("sim time overflow"))
+        SimTime(self.0.checked_add(rhs.0).expect("sim time overflow")) // PANIC-OK: sim-time overflow is a configuration bug; clamping would corrupt the clock
     }
 }
 
@@ -125,7 +125,7 @@ impl Sub<SimTime> for SimTime {
 impl Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0.checked_add(rhs.0).expect("sim duration overflow"))
+        SimDuration(self.0.checked_add(rhs.0).expect("sim duration overflow")) // PANIC-OK: sim-time overflow is a configuration bug; clamping would corrupt the clock
     }
 }
 

@@ -297,13 +297,16 @@ impl SimWorld {
         payload: Vec<u8>,
         extra: SimDuration,
     ) -> SendToken {
-        assert!(src.index() < self.nodes.len(), "bad src {src}");
-        assert!(dst.index() < self.nodes.len(), "bad dst {dst}");
+        assert!(src.index() < self.nodes.len(), "bad src {src}"); // PANIC-OK: simulator precondition; a sim panic is a test failure
+        assert!(dst.index() < self.nodes.len(), "bad dst {dst}"); // PANIC-OK: simulator precondition; a sim panic is a test failure
         assert_ne!(
-            src, dst,
+            // PANIC-OK: simulator precondition; a sim panic is a test failure
+            src,
+            dst,
             "self-send must be short-circuited above the driver"
         );
         let model = &self.rails[rail.index()];
+        // PANIC-OK: simulator precondition; a sim panic is a test failure
         assert!(
             payload.len() <= model.mtu,
             "packet of {} bytes exceeds {} MTU ({})",
@@ -316,6 +319,7 @@ impl SimWorld {
         let wire = model.wire_time(payload.len());
         let latency = model.latency;
 
+        // PANIC-OK: simulator precondition; a sim panic is a test failure
         assert!(
             !self.nodes[src.index()].rails[rail.index()].failed,
             "post_send on a failed rail (drivers must check rail_failed)"
@@ -391,7 +395,7 @@ impl SimWorld {
         let Reverse(pkt) = self.nodes[node.index()].rails[rail.index()]
             .inbox
             .pop()
-            .expect("peeked");
+            .expect("peeked"); // PANIC-OK: peeked on the line above
         let rx_overhead = self.rails[rail.index()].rx_overhead;
         self.charge_cpu(node, rx_overhead);
         self.record(TraceEvent::Deliver {

@@ -1,0 +1,477 @@
+//! A token lexer for the structural analysis pass.
+//!
+//! [`lex`] runs one pass over a Rust source file and produces three
+//! coordinated views the rule engine consumes:
+//!
+//! * `stripped` — the source with comments and string/char literals
+//!   blanked to spaces, newlines and columns preserved. Semantically
+//!   identical to the legacy `lint::strip_comments_and_strings` (a
+//!   differential proptest in the umbrella crate holds the two
+//!   implementations to byte equality), but produced by this lexer's
+//!   own state machine so the legacy function can eventually retire.
+//! * `toks` — the token stream over the stripped text: identifiers,
+//!   numbers, lifetimes, string/char markers, and single-character
+//!   punctuation, each carrying its 1-based line. This is what the
+//!   item-tree builder ([`crate::tree`]) and the structural rules
+//!   ([`crate::analyze`]) pattern-match on.
+//! * `comments` — per-line comment text (line comments and each line
+//!   of block comments), which is where the escape-hatch annotations
+//!   (`HOT-PATH`, `PANIC-OK:`, `ALLOC-OK:`, `BLOCKING-OK:`,
+//!   `ORDERING:`) live: annotations *are* comments, so the stripped
+//!   views cannot see them.
+//!
+//! The lexer is intentionally not a full Rust parser: it does not
+//! distinguish keywords from identifiers, fold multi-character
+//! operators, or interpret literals. The downstream passes match small
+//! token patterns (`fn` + name, `.` + `lock` + `(`, `Ordering` then
+//! `::` then `Relaxed`) for which this resolution is exactly enough, and
+//! anything subtler would drag in a dependency the verification crate
+//! must not have.
+
+/// Token kind. `Str`/`Char` tokens stand for whole (blanked) literals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Num,
+    Lifetime,
+    Str,
+    Char,
+    Punct,
+}
+
+/// One token of the stripped source.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// Token text. For `Str`/`Char` this is the opening delimiter
+    /// only; the literal body was blanked before tokenization.
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// Lexed view of one source file.
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub stripped: String,
+    /// Comment text per 1-based line (text after `//`, or a block
+    /// comment's content attributed to each line it spans). Lines
+    /// without comments are absent. Multiple comments on one line
+    /// concatenate.
+    pub comments: std::collections::BTreeMap<u32, String>,
+}
+
+impl Lexed {
+    /// The comment text on `line`, if any.
+    pub fn comment_on(&self, line: u32) -> Option<&str> {
+        self.comments.get(&line).map(String::as_str)
+    }
+
+    /// Searches for `marker` in the comment on `line`, in the
+    /// contiguous run of comment-only context directly above it, and on
+    /// the same line after the code. "Contiguous above" tolerates
+    /// attribute lines between the comment block and the code line
+    /// (`// HOT-PATH` above `#[inline]` above `pub fn push` must
+    /// count), which callers signal via `attr_top`: the first line of
+    /// the item's attribute block (== `line` when there are none).
+    /// Returns the text following the first occurrence of `marker`.
+    pub fn annotation(&self, line: u32, attr_top: u32, marker: &str) -> Option<&str> {
+        let find = |l: u32| {
+            self.comment_on(l)
+                .and_then(|c| c.find(marker).map(|at| &self.comment_on(l).unwrap()[at..]))
+        };
+        if let Some(hit) = find(line) {
+            return Some(&hit[marker.len()..]);
+        }
+        // Scan the contiguous comment block above the item (above its
+        // first attribute, if any).
+        let mut l = attr_top.min(line);
+        while l > 1 {
+            l -= 1;
+            match find(l) {
+                Some(hit) => return Some(&hit[marker.len()..]),
+                None => {
+                    if self.comment_on(l).is_none() {
+                        break;
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Lexes `src`. See the module docs for the three output views.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out: Vec<char> = Vec::with_capacity(b.len());
+    let mut comments = std::collections::BTreeMap::<u32, String>::new();
+    let mut line: u32 = 1;
+    let mut i = 0;
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+    let note = |comments: &mut std::collections::BTreeMap<u32, String>, line: u32, c: char| {
+        if c != '\n' {
+            comments.entry(line).or_default().push(c);
+        }
+    };
+    while i < b.len() {
+        let c = b[i];
+        // Line comment.
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
+            while i < b.len() && b[i] != '\n' {
+                note(&mut comments, line, b[i]);
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nests in Rust).
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+            let mut depth = 0usize;
+            while i < b.len() {
+                if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                    depth += 1;
+                    note(&mut comments, line, ' ');
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                    depth -= 1;
+                    note(&mut comments, line, ' ');
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    note(&mut comments, line, b[i]);
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw string: r"…" / r#"…"# (also br…).
+        if (c == 'r' || (c == 'b' && i + 1 < b.len() && b[i + 1] == 'r')) && !prev_is_ident(&out) {
+            let start = if c == 'b' { i + 1 } else { i };
+            let mut j = start + 1;
+            let mut hashes = 0;
+            while j < b.len() && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < b.len() && b[j] == '"' {
+                for &p in &b[i..=j] {
+                    out.push(p);
+                }
+                i = j + 1;
+                'raw: while i < b.len() {
+                    if b[i] == '"' {
+                        let mut k = i + 1;
+                        let mut h = 0;
+                        while k < b.len() && b[k] == '#' && h < hashes {
+                            h += 1;
+                            k += 1;
+                        }
+                        if h == hashes {
+                            // Quirk preserved from the legacy stripper:
+                            // the closing hashes are emitted as quote
+                            // characters, keeping column positions.
+                            out.extend(std::iter::repeat_n('"', k - i));
+                            i = k;
+                            break 'raw;
+                        }
+                    }
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // Ordinary string.
+        if c == '"' {
+            out.push('"');
+            i += 1;
+            while i < b.len() {
+                if b[i] == '\\' && i + 1 < b.len() {
+                    if b[i + 1] == '\n' {
+                        line += 1;
+                    }
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if b[i] == '"' {
+                    out.push('"');
+                    i += 1;
+                    break;
+                } else {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let is_char = if i + 1 < b.len() && b[i + 1] == '\\' {
+                true
+            } else {
+                i + 2 < b.len() && b[i + 2] == '\''
+            };
+            if is_char {
+                out.push('\'');
+                i += 1;
+                while i < b.len() {
+                    if b[i] == '\\' && i + 1 < b.len() {
+                        out.push(' ');
+                        out.push(' ');
+                        i += 2;
+                    } else if b[i] == '\'' {
+                        out.push('\'');
+                        i += 1;
+                        break;
+                    } else {
+                        if b[i] == '\n' {
+                            line += 1;
+                        }
+                        out.push(blank(b[i]));
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+        }
+        if c == '\n' {
+            line += 1;
+        }
+        out.push(c);
+        i += 1;
+    }
+    let stripped: String = out.into_iter().collect();
+    // Stripping is char-for-char: every branch replaces n source chars
+    // with n output chars. (One consequence, inherited from the legacy
+    // stripper: a `\<newline>` escape pair inside a string becomes two
+    // spaces, so `stripped` can hold *fewer* newlines than the source.)
+    // Token lines therefore come from a source-derived line table, not
+    // from counting newlines in the stripped text.
+    let mut line_at = Vec::with_capacity(b.len());
+    let mut l: u32 = 1;
+    for &c in &b {
+        line_at.push(l);
+        if c == '\n' {
+            l += 1;
+        }
+    }
+    let toks = tokenize(&stripped, &line_at);
+    Lexed {
+        toks,
+        stripped,
+        comments,
+    }
+}
+
+fn prev_is_ident(out: &[char]) -> bool {
+    out.last().is_some_and(|&c| c.is_alphanumeric() || c == '_')
+}
+
+/// Tokenizes the stripped text (no comments, blanked literals).
+/// `line_at[i]` is the 1-based source line of character `i`.
+fn tokenize(stripped: &str, line_at: &[u32]) -> Vec<Tok> {
+    let b: Vec<char> = stripped.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        let line = line_at[i];
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < b.len()
+                && (b[i].is_alphanumeric()
+                    || b[i] == '_'
+                    || (b[i] == '.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())))
+            {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Blanked string literal: `"   "` — one Str token, skip the body.
+        if c == '"' {
+            i += 1;
+            while i < b.len() && b[i] != '"' {
+                i += 1;
+            }
+            i += 1; // closing quote (or EOF)
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: "\"".into(),
+                line,
+            });
+            continue;
+        }
+        if c == '\'' {
+            // Lifetime (`'a`) or the shell of a blanked char literal.
+            if b.get(i + 1).is_some_and(|d| d.is_alphabetic() || *d == '_') {
+                let start = i;
+                i += 1;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+                continue;
+            }
+            // Blanked char literal `'   '`: consume to the closing quote.
+            i += 1;
+            while i < b.len() && b[i] != '\'' {
+                i += 1;
+            }
+            i += 1;
+            toks.push(Tok {
+                kind: TokKind::Char,
+                text: "'".into(),
+                line,
+            });
+            continue;
+        }
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripping_matches_the_legacy_stripper_on_representative_source() {
+        let src = r##"let a = "unsafe"; // unsafe here too
+/* unsafe
+   in /* nested */ block */
+let lt: &'static str = r#"unsafe"#;
+let c = 'u';
+let esc = "a\"b\\c";
+"##;
+        assert_eq!(
+            lex(src).stripped,
+            crate::lint::strip_comments_and_strings(src)
+        );
+    }
+
+    #[test]
+    fn tokens_carry_lines_and_kinds() {
+        let lexed = lex("fn foo() {\n    bar.lock();\n}\n");
+        let idents: Vec<(&str, u32)> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| (t.text.as_str(), t.line))
+            .collect();
+        assert_eq!(idents, vec![("fn", 1), ("foo", 1), ("bar", 2), ("lock", 2)]);
+        assert!(lexed.toks.iter().any(|t| t.is_punct('{') && t.line == 1));
+        assert!(lexed.toks.iter().any(|t| t.is_punct('}') && t.line == 3));
+    }
+
+    #[test]
+    fn comments_are_captured_per_line() {
+        let lexed = lex("// HOT-PATH\nfn f() {} // PANIC-OK: checked above\n/* block\nspan */\n");
+        assert!(lexed.comment_on(1).unwrap().contains("HOT-PATH"));
+        assert!(lexed
+            .comment_on(2)
+            .unwrap()
+            .contains("PANIC-OK: checked above"));
+        assert!(lexed.comment_on(3).unwrap().contains("block"));
+        assert!(lexed.comment_on(4).unwrap().contains("span"));
+    }
+
+    #[test]
+    fn annotation_lookup_spans_attribute_lines() {
+        let src = "// HOT-PATH: the pump\n#[inline]\nfn pump() {}\n";
+        let lexed = lex(src);
+        // fn on line 3, attributes start line 2.
+        assert_eq!(lexed.annotation(3, 2, "HOT-PATH"), Some(": the pump"));
+        // Without the attr_top hint the block above line 3 is the
+        // attribute line, which has no comment.
+        assert_eq!(lexed.annotation(3, 3, "HOT-PATH"), None);
+    }
+
+    #[test]
+    fn annotation_requires_contiguity() {
+        let src = "// PANIC-OK: far away\n\nlet x = a.unwrap();\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.annotation(3, 3, "PANIC-OK:"), None);
+    }
+
+    #[test]
+    fn escaped_newline_in_string_does_not_shift_token_lines() {
+        // The stripper turns `\<newline>` inside a string into two
+        // spaces (legacy byte-equality), removing a newline from the
+        // stripped text. Token lines must still track the source.
+        let src = "let s = \"a\\\nb\";\nfn after() {}\n";
+        let lexed = lex(src);
+        let after = lexed.toks.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(after.line, 3);
+        assert_eq!(lexed.stripped, crate::lint::strip_comments_and_strings(src));
+    }
+
+    #[test]
+    fn literals_do_not_leak_tokens() {
+        let lexed = lex("let s = \"unsafe fn lock\"; let c = 'x';\n");
+        assert!(!lexed.toks.iter().any(|t| t.is_ident("unsafe")));
+        assert!(!lexed.toks.iter().any(|t| t.is_ident("lock")));
+        assert_eq!(
+            lexed.toks.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1
+        );
+    }
+}

@@ -13,21 +13,30 @@
 //!   pruning. An assertion that holds across the explored space holds
 //!   for every schedule up to the bound — not for one lucky seed.
 //!
-//! * The **lint rule catalog** ([`lint`]) behind
-//!   `cargo run -p xtask -- lint`: repo invariants clippy cannot
-//!   express (unsafe confinement, sync-facade discipline, virtual-time
-//!   determinism, hot-path lock bans).
+//! * The **static-analysis engine** behind
+//!   `cargo run -p xtask -- analyze`: repo invariants clippy cannot
+//!   express. The [`lexer`] strips comments/strings and tokenizes,
+//!   [`tree`] recovers the function/impl structure, and [`analyze`]
+//!   runs the unified rule catalog — the eight original lexical rules
+//!   ([`lint`]) re-expressed on the token stream plus five structural
+//!   families (hot-path panic freedom, allocation audit, blocking-call
+//!   detection, lock-order acyclicity, atomic-ordering audit) that
+//!   walk a name-based intra-workspace call graph rooted at
+//!   `// HOT-PATH` annotations.
 //!
-//! See `DESIGN.md` §12 for the memory-model write-up and the list of
-//! what is and is not covered.
+//! See `DESIGN.md` §12 for the memory-model write-up and §17 for the
+//! static-analysis architecture.
 
 #![forbid(unsafe_code)]
 
+pub mod analyze;
 pub mod clock;
 mod exec;
+pub mod lexer;
 pub mod lint;
 pub mod sync;
 pub mod thread;
+pub mod tree;
 
 mod checker;
 

@@ -278,7 +278,7 @@ const HOT_PATH_FILES: &[&str] = &[
 
 /// Files allowed to touch raw atomics: the model runtime and the two
 /// sync facades everything else must go through.
-fn atomics_allowed(path: &str) -> bool {
+pub(crate) fn atomics_allowed(path: &str) -> bool {
     path.starts_with("crates/nmad-verify/")
         || path == "crates/nmad-core/src/sync.rs"
         || path == "shims/crossbeam/src/sync.rs"
@@ -299,8 +299,16 @@ fn is_crate_root(path: &str) -> bool {
 /// Lints one Rust source file. `path` is workspace-relative with
 /// forward slashes; `raw` is the file contents.
 pub fn lint_file(path: &str, raw: &str) -> Vec<Violation> {
+    lint_stripped(path, raw, &strip_comments_and_strings(raw))
+}
+
+/// The lexical rules over an already-stripped view. `analyze` calls
+/// this with the [`crate::lexer`] output so the unified engine strips
+/// each source exactly once; `lint_file` strips with the legacy
+/// function. The two strippers are held to byte equality by a
+/// differential proptest in the umbrella crate.
+pub fn lint_stripped(path: &str, raw: &str, stripped: &str) -> Vec<Violation> {
     let mut out = Vec::new();
-    let stripped = strip_comments_and_strings(raw);
     let raw_lines: Vec<&str> = raw.lines().collect();
     let in_shims = path.starts_with("shims/");
 
@@ -409,7 +417,7 @@ pub fn lint_file(path: &str, raw: &str) -> Vec<Violation> {
     }
     if in_shims
         && path.ends_with("/src/lib.rs")
-        && has_word(&stripped, "unsafe")
+        && has_word(stripped, "unsafe")
         && !raw.contains("#![deny(unsafe_op_in_unsafe_fn)]")
     {
         out.push(Violation {

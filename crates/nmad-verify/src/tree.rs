@@ -1,0 +1,403 @@
+//! Brace/item tree builder: functions, impl context, test scoping.
+//!
+//! One pass over a [`crate::lexer::Lexed`] token stream recovers the
+//! item structure the structural rules need: every `fn` with its name,
+//! impl-qualified name, source line, body token range, and whether it
+//! sits inside `#[cfg(test)]`/`#[test]` scope. The builder tracks
+//! brace nesting with a scope stack — `mod`/`impl`/`fn` heads label
+//! the scope their `{` opens, every other brace (blocks, closures,
+//! match arms, struct literals) is a plain block that inherits its
+//! context.
+//!
+//! This is an approximation, not a parser: signatures are scanned with
+//! a paren/angle-depth counter to find the body brace, generic
+//! parameters are skipped rather than understood, and `impl Trait for
+//! Type` takes `Type` as the qualifier. For the workspace's own
+//! sources (rustfmt-clean, compiling Rust) the approximation is exact
+//! in practice, and the analyzer's unit tests pin the cases that
+//! matter (nested mods, test scoping, fn-pointer types, trait decls).
+
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// One function item.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// Bare name (`try_progress`).
+    pub name: String,
+    /// Impl-qualified name (`NmadEngine::try_progress`), equal to
+    /// `name` for free functions.
+    pub qual: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// First line of the item's attribute block (== `line` when the fn
+    /// has no attributes). Annotation lookups scan comments above this.
+    pub attr_top: u32,
+    /// Token index range `[open_brace, close_brace]` of the body in
+    /// the lexed stream; `None` for bodiless declarations (traits).
+    pub body: Option<(usize, usize)>,
+    /// Inside `#[cfg(test)]` scope or carrying `#[test]`.
+    pub is_test: bool,
+}
+
+#[derive(Clone, Debug)]
+enum ScopeKind {
+    Block,
+    Mod,
+    Impl(String),
+    Fn(usize), // index into the output items
+}
+
+struct Scope {
+    kind: ScopeKind,
+    test: bool,
+}
+
+/// Pending item head since the last `{`, `}`, or `;` at item level.
+#[derive(Default)]
+struct Head {
+    fn_item: Option<PendingFn>,
+    impl_ty: Option<String>,
+    is_mod: bool,
+    test_attr: bool,
+    attr_top: Option<u32>,
+}
+
+struct PendingFn {
+    name: String,
+    line: u32,
+    attr_top: u32,
+    body_open: Option<usize>,
+    test_attr: bool,
+}
+
+/// Builds the function list for one lexed file.
+pub fn parse_items(lexed: &Lexed) -> Vec<FnItem> {
+    let toks = &lexed.toks;
+    let mut items: Vec<FnItem> = Vec::new();
+    let mut stack: Vec<Scope> = Vec::new();
+    let mut head = Head::default();
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Punct if t.text == "#" => {
+                // Attribute: record its span and whether it is a test
+                // marker. `#![...]` inner attributes are skipped the
+                // same way.
+                let first_line = t.line;
+                if head.attr_top.is_none() {
+                    head.attr_top = Some(first_line);
+                }
+                let mut j = i + 1;
+                if toks.get(j).is_some_and(|t| t.is_punct('!')) {
+                    j += 1;
+                }
+                if toks.get(j).is_some_and(|t| t.is_punct('[')) {
+                    let mut depth = 0usize;
+                    let mut saw_test = false;
+                    while j < toks.len() {
+                        let a = &toks[j];
+                        if a.is_punct('[') {
+                            depth += 1;
+                        } else if a.is_punct(']') {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        } else if a.is_ident("test") {
+                            saw_test = true;
+                        }
+                        j += 1;
+                    }
+                    if saw_test {
+                        head.test_attr = true;
+                    }
+                    i = j + 1;
+                    continue;
+                }
+                i += 1;
+            }
+            TokKind::Ident if t.text == "mod" => {
+                head.is_mod = true;
+                i += 1;
+            }
+            TokKind::Ident if t.text == "impl" => {
+                // Collect the implemented type: idents between `impl`
+                // and the body `{` (or `;`), taking the segment after
+                // `for` when present, otherwise the first path segment
+                // past the generics.
+                let mut j = i + 1;
+                let mut angle = 0i32;
+                let mut ty: Option<String> = None;
+                let mut after_for: Option<String> = None;
+                let mut saw_for = false;
+                while j < toks.len() {
+                    let a = &toks[j];
+                    if a.is_punct('{') || a.is_punct(';') {
+                        break;
+                    }
+                    if a.is_punct('<') {
+                        angle += 1;
+                    } else if a.is_punct('>') && !toks[j - 1].is_punct('-') {
+                        angle -= 1;
+                    } else if a.is_ident("for") {
+                        saw_for = true;
+                    } else if a.kind == TokKind::Ident && angle == 0 && a.text != "where" {
+                        if saw_for {
+                            if after_for.is_none() {
+                                after_for = Some(a.text.clone());
+                            }
+                        } else if ty.is_none() {
+                            ty = Some(a.text.clone());
+                        }
+                    }
+                    j += 1;
+                }
+                head.impl_ty = Some(after_for.or(ty).unwrap_or_default());
+                i += 1;
+            }
+            TokKind::Ident if t.text == "fn" => {
+                // `fn(` is a fn-pointer type, not an item.
+                match toks.get(i + 1) {
+                    Some(n) if n.kind == TokKind::Ident => {
+                        let name = n.text.clone();
+                        let line = t.line;
+                        let attr_top = head.attr_top.unwrap_or(line);
+                        // Scan the signature for the body `{` or a
+                        // terminating `;`.
+                        let mut j = i + 2;
+                        let mut paren = 0i32;
+                        let mut angle = 0i32;
+                        let mut body_open = None;
+                        while j < toks.len() {
+                            let a = &toks[j];
+                            if a.is_punct('(') {
+                                paren += 1;
+                            } else if a.is_punct(')') {
+                                paren -= 1;
+                            } else if a.is_punct('<') {
+                                angle += 1;
+                            } else if a.is_punct('>') && !toks[j - 1].is_punct('-') {
+                                angle -= 1;
+                            } else if a.is_punct('{') && paren == 0 && angle <= 0 {
+                                body_open = Some(j);
+                                break;
+                            } else if a.is_punct(';') && paren == 0 {
+                                break;
+                            }
+                            j += 1;
+                        }
+                        head.fn_item = Some(PendingFn {
+                            name,
+                            line,
+                            attr_top,
+                            body_open,
+                            test_attr: head.test_attr,
+                        });
+                        if head.fn_item.as_ref().is_some_and(|f| f.body_open.is_none()) {
+                            // Bodiless declaration: record immediately.
+                            let inherited = stack.iter().any(|s| s.test);
+                            let f = head.fn_item.take().unwrap();
+                            let qual = qualify(&stack, &f.name);
+                            items.push(FnItem {
+                                name: f.name,
+                                qual,
+                                line: f.line,
+                                attr_top: f.attr_top,
+                                body: None,
+                                is_test: inherited || f.test_attr,
+                            });
+                            head.test_attr = false;
+                            head.attr_top = None;
+                        }
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            TokKind::Punct if t.text == "{" => {
+                let inherited = stack.iter().any(|s| s.test);
+                let scope = if head
+                    .fn_item
+                    .as_ref()
+                    .is_some_and(|f| f.body_open == Some(i))
+                {
+                    let f = head.fn_item.take().unwrap();
+                    let qual = qualify(&stack, &f.name);
+                    items.push(FnItem {
+                        name: f.name,
+                        qual,
+                        line: f.line,
+                        attr_top: f.attr_top,
+                        body: Some((i, i)), // close patched on pop
+                        is_test: inherited || f.test_attr,
+                    });
+                    Scope {
+                        kind: ScopeKind::Fn(items.len() - 1),
+                        test: inherited || head.test_attr,
+                    }
+                } else if let Some(ty) = head.impl_ty.take() {
+                    Scope {
+                        kind: ScopeKind::Impl(ty),
+                        test: inherited || head.test_attr,
+                    }
+                } else if head.is_mod {
+                    Scope {
+                        kind: ScopeKind::Mod,
+                        test: inherited || head.test_attr,
+                    }
+                } else {
+                    Scope {
+                        kind: ScopeKind::Block,
+                        test: inherited,
+                    }
+                };
+                stack.push(scope);
+                head = Head::default();
+                i += 1;
+            }
+            TokKind::Punct if t.text == "}" => {
+                if let Some(scope) = stack.pop() {
+                    if let ScopeKind::Fn(idx) = scope.kind {
+                        if let Some((open, _)) = items[idx].body {
+                            items[idx].body = Some((open, i));
+                        }
+                    }
+                }
+                head = Head::default();
+                i += 1;
+            }
+            TokKind::Punct if t.text == ";" => {
+                head = Head::default();
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    items
+}
+
+fn qualify(stack: &[Scope], name: &str) -> String {
+    for scope in stack.iter().rev() {
+        if let ScopeKind::Impl(ty) = &scope.kind {
+            if !ty.is_empty() {
+                return format!("{ty}::{name}");
+            }
+        }
+    }
+    name.to_string()
+}
+
+/// True when `tok` at `idx` begins a call: `ident (`. Method calls
+/// (`.ident(`) match too; definitions (`fn ident(`) and macro
+/// invocations (`ident!(`) do not.
+pub fn is_call(toks: &[Tok], idx: usize) -> bool {
+    let t = &toks[idx];
+    if t.kind != TokKind::Ident {
+        return false;
+    }
+    if !toks.get(idx + 1).is_some_and(|n| n.is_punct('(')) {
+        return false;
+    }
+    if idx > 0 && toks[idx - 1].is_ident("fn") {
+        return false;
+    }
+    // Control-flow keywords followed by a parenthesized expression.
+    !matches!(
+        t.text.as_str(),
+        "if" | "while" | "for" | "match" | "loop" | "return" | "in" | "move"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn items_of(src: &str) -> Vec<FnItem> {
+        parse_items(&lex(src))
+    }
+
+    #[test]
+    fn finds_free_and_impl_fns_with_quals() {
+        let src = "fn free() { body(); }\n\
+                   impl Ring { pub fn push(&self) { let x = 1; } }\n\
+                   impl Driver for TcpDriver { fn pump(&mut self) {} }\n";
+        let items = items_of(src);
+        let quals: Vec<&str> = items.iter().map(|f| f.qual.as_str()).collect();
+        assert_eq!(quals, vec!["free", "Ring::push", "TcpDriver::pump"]);
+        assert_eq!(items[0].line, 1);
+        assert!(items.iter().all(|f| !f.is_test));
+    }
+
+    #[test]
+    fn body_ranges_cover_nested_braces() {
+        let src = "fn outer() { if x { y(); } match z { _ => {} } }\nfn after() {}\n";
+        let items = items_of(src);
+        assert_eq!(items.len(), 2);
+        let lexed = lex(src);
+        let (open, close) = items[0].body.unwrap();
+        assert!(lexed.toks[open].is_punct('{'));
+        assert!(lexed.toks[close].is_punct('}'));
+        // The close brace of `outer` is on line 1; `after` opens fresh.
+        assert_eq!(lexed.toks[close].line, 1);
+        assert_eq!(items[1].name, "after");
+    }
+
+    #[test]
+    fn cfg_test_mod_and_test_attr_mark_fns() {
+        let src = "fn prod() {}\n\
+                   #[cfg(test)]\nmod tests {\n    #[test]\n    fn check() { prod(); }\n    fn helper() {}\n}\n";
+        let items = items_of(src);
+        let by_name = |n: &str| items.iter().find(|f| f.name == n).unwrap();
+        assert!(!by_name("prod").is_test);
+        assert!(by_name("check").is_test);
+        assert!(
+            by_name("helper").is_test,
+            "helpers in test mods are test code"
+        );
+    }
+
+    #[test]
+    fn fn_pointer_types_and_trait_decls_do_not_confuse_the_parser() {
+        let src = "trait T { fn decl(&self); }\n\
+                   fn takes(f: fn(u32) -> u32) -> fn(u32) -> u32 { f }\n";
+        let items = items_of(src);
+        let decl = items.iter().find(|f| f.name == "decl").unwrap();
+        assert!(decl.body.is_none());
+        let takes = items.iter().find(|f| f.name == "takes").unwrap();
+        assert!(takes.body.is_some());
+        assert_eq!(items.len(), 2);
+    }
+
+    #[test]
+    fn generics_and_where_clauses_are_skipped() {
+        let src = "impl<T: Send, const N: usize> Batch<T, N> {\n\
+                       pub fn push<F>(&mut self, f: F) -> Result<(), T> where F: Fn() -> T { Err(f()) }\n\
+                   }\n";
+        let items = items_of(src);
+        assert_eq!(items[0].qual, "Batch::push");
+        assert!(items[0].body.is_some());
+    }
+
+    #[test]
+    fn attr_top_precedes_attributes() {
+        let src = "// HOT-PATH\n#[inline]\n#[allow(dead_code)]\npub fn fast() {}\n";
+        let items = items_of(src);
+        assert_eq!(items[0].line, 4);
+        assert_eq!(items[0].attr_top, 2);
+    }
+
+    #[test]
+    fn call_detection() {
+        let lexed = lex("fn f() { g(); x.h(); mac!(z); if (a) {} }\n");
+        let calls: Vec<&str> = lexed
+            .toks
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| is_call(&lexed.toks, i))
+            .map(|(_, t)| t.text.as_str())
+            .collect();
+        assert_eq!(calls, vec!["g", "h"]);
+    }
+}

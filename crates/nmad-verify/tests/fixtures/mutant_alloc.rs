@@ -1,0 +1,15 @@
+//! Mutant: allocations directly inside a hot function — a `vec!`
+//! literal, a `format!`, and a `.clone()` — all flagged by `hot-alloc`
+//! (the rule is direct-only, so the helper's Vec::new is exempt).
+
+// HOT-PATH: fixture alloc root
+pub fn mutant_hot_alloc(name: &str) -> usize {
+    let buf = vec![0u8; 64];
+    let label = format!("lane-{name}");
+    let copy = label.clone();
+    buf.len() + copy.len() + mutant_cold_alloc().len()
+}
+
+fn mutant_cold_alloc() -> Vec<u8> {
+    Vec::new()
+}

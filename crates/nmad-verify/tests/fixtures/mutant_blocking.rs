@@ -1,0 +1,18 @@
+//! Mutant: a sleep and an OS-clock read hidden one call below a hot
+//! root — `hot-blocking` must find both transitively (the callee names
+//! are unique, so the call graph follows them).
+
+// HOT-PATH: fixture blocking root
+pub fn mutant_blocking_pump() -> u64 {
+    mutant_backoff();
+    mutant_stamp()
+}
+
+fn mutant_backoff() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+fn mutant_stamp() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

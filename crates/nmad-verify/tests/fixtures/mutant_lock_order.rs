@@ -1,0 +1,33 @@
+//! Mutant: an AB/BA lock-order cycle that only exists through the call
+//! graph — neither function nests both locks itself, so the
+//! `lock-order-cycle` rule must propagate held locks through the
+//! (uniquely named) callees to see it.
+
+use crate::sync::Mutex;
+
+pub struct MutantPair {
+    alpha_mu: Mutex<u64>,
+    beta_mu: Mutex<u64>,
+}
+
+impl MutantPair {
+    pub fn mutant_forward(&self) {
+        let g = self.alpha_mu.lock();
+        self.mutant_grab_beta();
+        drop(g);
+    }
+
+    fn mutant_grab_beta(&self) {
+        let _g = self.beta_mu.lock();
+    }
+
+    pub fn mutant_backward(&self) {
+        let g = self.beta_mu.lock();
+        self.mutant_grab_alpha();
+        drop(g);
+    }
+
+    fn mutant_grab_alpha(&self) {
+        let _g = self.alpha_mu.lock();
+    }
+}

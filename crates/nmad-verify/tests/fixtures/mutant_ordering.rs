@@ -1,0 +1,20 @@
+//! Mutant: both halves of `atomic-ordering-audit` — an unjustified
+//! `Ordering::Relaxed` outside the sync facades, and a Release store
+//! whose field has no Acquire/SeqCst reader anywhere in scope.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct MutantFlags {
+    ready_flag: AtomicU64,
+    tick_count: AtomicU64,
+}
+
+impl MutantFlags {
+    pub fn mutant_publish(&self) {
+        self.ready_flag.store(1, Ordering::Release);
+    }
+
+    pub fn mutant_tick(&self) -> u64 {
+        self.tick_count.fetch_add(1, Ordering::Relaxed)
+    }
+}

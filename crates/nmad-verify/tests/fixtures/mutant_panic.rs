@@ -1,0 +1,18 @@
+//! Mutant: an unwrap two calls deep below a hot root, plus direct
+//! indexing inside the root. Both must be flagged by
+//! `hot-panic-freedom` when this file is fed to the analyzer.
+
+// HOT-PATH: fixture pump root
+pub fn mutant_pump(slots: &[u32]) -> u32 {
+    let first = slots[0];
+    first + mutant_middle()
+}
+
+fn mutant_middle() -> u32 {
+    mutant_leaf()
+}
+
+fn mutant_leaf() -> u32 {
+    let v: Option<u32> = None;
+    v.unwrap()
+}

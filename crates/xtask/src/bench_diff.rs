@@ -97,9 +97,17 @@ pub fn bench_diff(args: &[String]) -> ExitCode {
     let mut tolerance = 0.20f64;
     let mut baseline_dir = "BENCH_baseline".to_string();
     let mut current_dir = ".".to_string();
+    let mut json_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--json" => match it.next() {
+                Some(path) => json_path = Some(path.clone()),
+                None => {
+                    eprintln!("bench-diff: --json needs an output path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--tolerance" => match it.next().map(|v| parse_tolerance(v)) {
                 Some(Ok(t)) => tolerance = t,
                 Some(Err(e)) => {
@@ -168,6 +176,7 @@ pub fn bench_diff(args: &[String]) -> ExitCode {
     }
 
     let mut regressions = 0usize;
+    let mut rows: Vec<(String, f64, Option<f64>, String, String)> = Vec::new();
     println!(
         "\n## bench-diff — current vs {baseline_dir} (tolerance {:.0}%)\n",
         tolerance * 100.0
@@ -207,6 +216,13 @@ pub fn bench_diff(args: &[String]) -> ExitCode {
             delta,
             status
         );
+        rows.push((
+            m.key.clone(),
+            m.baseline,
+            m.current,
+            delta,
+            status.to_string(),
+        ));
     }
     println!(
         "\n{} metric(s), {} regression(s){}",
@@ -214,11 +230,47 @@ pub fn bench_diff(args: &[String]) -> ExitCode {
         regressions,
         if broken { ", broken report(s)" } else { "" }
     );
+    if let Some(path) = json_path {
+        let doc = diff_json(&rows, tolerance, regressions, broken);
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("bench-diff: cannot write {path}: {e}");
+            broken = true;
+        }
+    }
     if regressions > 0 || broken {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// The delta table as a JSON document, through the shared
+/// [`crate::json::escape`] emitter (metric keys carry `/` and `%`
+/// today, but the escaper owns the contract either way).
+fn diff_json(
+    rows: &[(String, f64, Option<f64>, String, String)],
+    tolerance: f64,
+    regressions: usize,
+    broken: bool,
+) -> String {
+    use crate::json::escape;
+    let mut s = format!("{{\"task\":\"bench-diff\",\"tolerance\":{tolerance},\"metrics\":[");
+    for (i, (key, baseline, current, delta, status)) in rows.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"key\":\"{}\",\"baseline\":{baseline},\"current\":{},\"delta\":\"{}\",\"status\":\"{}\"}}",
+            escape(key),
+            current.map_or("null".to_string(), |c| format!("{c}")),
+            escape(delta),
+            escape(status)
+        ));
+    }
+    s.push_str(&format!(
+        "],\"regressions\":{regressions},\"broken\":{broken}}}\n"
+    ));
+    s
 }
 
 fn parse_tolerance(text: &str) -> Result<f64, String> {
@@ -532,6 +584,35 @@ mod tests {
             (Gate::Gated(Better::Lower), Some(c)) => c > m.baseline * (1.0 + tolerance),
             (Gate::Gated(Better::Higher), Some(c)) => c < m.baseline * (1.0 - tolerance),
         }
+    }
+
+    #[test]
+    fn diff_json_emits_valid_parseable_json() {
+        let rows = vec![
+            (
+                "speedups:wheel_vs_heap".to_string(),
+                7.0,
+                Some(6.3),
+                "-10.0%".to_string(),
+                "ok".to_string(),
+            ),
+            (
+                "tail:mixed/\"q\"\tclass:p99_us".to_string(),
+                10.0,
+                None,
+                "—".to_string(),
+                "REGRESSION (missing)".to_string(),
+            ),
+        ];
+        let doc = parse(&diff_json(&rows, 0.20, 1, false)).expect("emitted JSON parses");
+        let metrics = doc.get("metrics").and_then(Json::as_arr).unwrap();
+        assert_eq!(metrics.len(), 2);
+        assert_eq!(metrics[1].get("current"), Some(&Json::Null));
+        assert_eq!(
+            metrics[1].get("key"),
+            Some(&Json::Str("tail:mixed/\"q\"\tclass:p99_us".into()))
+        );
+        assert_eq!(doc.get("regressions").and_then(Json::as_f64), Some(1.0));
     }
 
     #[test]

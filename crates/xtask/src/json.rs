@@ -51,6 +51,27 @@ impl Json {
     }
 }
 
+/// Escapes `s` for embedding in a JSON string literal: backslash,
+/// quote, and every control character (U+0000..U+001F must be escaped
+/// per RFC 8259 — a raw tab in a flagged source line used to produce
+/// invalid output). The one emitter shared by every hand-rolled JSON
+/// writer in xtask (`lint`/`analyze` reports, `bench-diff --json`).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Parses one JSON document; trailing non-whitespace is an error.
 pub fn parse(text: &str) -> Result<Json, String> {
     let mut p = Parser {
@@ -297,5 +318,23 @@ mod tests {
     fn empty_containers_parse() {
         assert_eq!(parse("{}").unwrap(), Json::Obj(vec![]));
         assert_eq!(parse("[]").unwrap(), Json::Arr(vec![]));
+    }
+
+    #[test]
+    fn escape_covers_control_characters() {
+        // The regression that motivated the shared escaper: a raw tab
+        // in a flagged source excerpt produced invalid JSON.
+        assert_eq!(escape("a\tb"), "a\\tb");
+        assert_eq!(escape("a\nb\rc"), "a\\nb\\rc");
+        assert_eq!(escape("\u{1}\u{1f}"), "\\u0001\\u001f");
+        assert_eq!(escape(r#"q"\"#), r#"q\"\\"#);
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn escape_round_trips_through_the_parser() {
+        let nasty = "tab\there \"quote\" back\\slash\nnew\u{7}bell";
+        let doc = parse(&format!("{{\"k\":\"{}\"}}", escape(nasty))).expect("escaped JSON parses");
+        assert_eq!(doc.get("k"), Some(&Json::Str(nasty.to_string())));
     }
 }

@@ -1,12 +1,17 @@
 //! Workspace automation tasks, invoked as `cargo run -p xtask -- <task>`.
 //!
-//! * `lint` — walk every Rust source in the workspace and enforce the
-//!   repo invariants in [`nmad_verify::lint::RULES`]. Exit code 0 when
-//!   clean, 1 with one line per violation otherwise (`--json` for
-//!   machine-readable output).
+//! * `analyze` — the full 13-rule static-analysis catalog
+//!   ([`nmad_verify::analyze`]): the 8 lexical rules plus the 5
+//!   structural hot-path families (panic freedom, allocation audit,
+//!   blocking calls, lock-order acyclicity, atomic-ordering audit)
+//!   over the workspace call graph. Exit 0 when clean; `--json` for
+//!   machine-readable output, `--list-rules` to print the catalog.
+//! * `lint` — the lexical subset only (kept for quick iteration and
+//!   older CI invocations; `analyze` subsumes it).
 //! * `bench-diff` — compare freshly generated `BENCH_*.json` reports
 //!   against the committed `BENCH_baseline/`; exit 1 on any metric
-//!   regressing past the tolerance (see [`bench_diff`]).
+//!   regressing past the tolerance (see [`bench_diff`]). `--json PATH`
+//!   additionally writes the delta table as JSON.
 
 #![forbid(unsafe_code)]
 
@@ -20,6 +25,18 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(args.iter().any(|a| a == "--json")),
+        Some("analyze") => {
+            if args.iter().any(|a| a == "--list-rules") {
+                for (name, description) in nmad_verify::analyze::rule_catalog() {
+                    println!(
+                        "{name}\t{}",
+                        description.split_whitespace().collect::<Vec<_>>().join(" ")
+                    );
+                }
+                return ExitCode::SUCCESS;
+            }
+            analyze(args.iter().any(|a| a == "--json"))
+        }
         Some("bench-diff") => bench_diff::bench_diff(&args[1..]),
         Some(other) => {
             eprintln!("unknown task `{other}`");
@@ -34,10 +51,11 @@ fn main() -> ExitCode {
 }
 
 fn usage() {
-    eprintln!("usage: cargo run -p xtask -- lint [--json]");
+    eprintln!("usage: cargo run -p xtask -- analyze [--json | --list-rules]");
+    eprintln!("       cargo run -p xtask -- lint [--json]");
     eprintln!(
         "       cargo run -p xtask -- bench-diff [--tolerance 20%] \
-         [--baseline BENCH_baseline] [--current .]"
+         [--baseline BENCH_baseline] [--current .] [--json PATH]"
     );
 }
 
@@ -52,7 +70,8 @@ fn workspace_root() -> PathBuf {
 }
 
 /// Collects every tracked Rust source under the workspace, skipping
-/// build output and VCS metadata.
+/// build output, VCS metadata, and the committed mutant fixtures (they
+/// exist to be flagged — the analyzer's own tests feed them in).
 fn rust_sources(root: &Path) -> Vec<PathBuf> {
     let mut out = Vec::new();
     let mut stack = vec![root.to_path_buf()];
@@ -69,7 +88,7 @@ fn rust_sources(root: &Path) -> Vec<PathBuf> {
             let name = entry.file_name();
             let name = name.to_string_lossy();
             if path.is_dir() {
-                if name == "target" || name.starts_with('.') {
+                if name == "target" || name == "fixtures" || name.starts_with('.') {
                     continue;
                 }
                 stack.push(path);
@@ -82,50 +101,89 @@ fn rust_sources(root: &Path) -> Vec<PathBuf> {
     out
 }
 
+/// Reads every workspace source as (relative path, contents).
+fn read_sources(root: &Path) -> Vec<(String, String)> {
+    rust_sources(root)
+        .into_iter()
+        .filter_map(|path| {
+            let rel = path
+                .strip_prefix(root)
+                .expect("file under workspace root")
+                .to_string_lossy()
+                .replace('\\', "/");
+            match std::fs::read_to_string(&path) {
+                Ok(raw) => Some((rel, raw)),
+                Err(err) => {
+                    eprintln!("warning: cannot read {}: {err}", path.display());
+                    None
+                }
+            }
+        })
+        .collect()
+}
+
+fn emit_violations_json(
+    task: &str,
+    violations: &[nmad_verify::lint::Violation],
+    checked: usize,
+    rules: usize,
+) {
+    let mut s = format!("{{\"task\":\"{task}\",\"violations\":[");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"excerpt\":\"{}\"}}",
+            v.rule,
+            json::escape(&v.file),
+            v.line,
+            json::escape(&v.excerpt)
+        ));
+    }
+    s.push_str(&format!(
+        "],\"files_checked\":{checked},\"rules\":{rules}}}"
+    ));
+    println!("{s}");
+}
+
+fn analyze(json: bool) -> ExitCode {
+    let root = workspace_root();
+    let files = read_sources(&root);
+    let violations = nmad_verify::analyze::analyze_files(&files);
+    let rules = nmad_verify::analyze::rule_catalog().len();
+    if json {
+        emit_violations_json("analyze", &violations, files.len(), rules);
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
+        println!(
+            "analyze: {} file(s) checked against {} rule(s), {} violation(s)",
+            files.len(),
+            rules,
+            violations.len()
+        );
+    }
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn lint(json: bool) -> ExitCode {
     let root = workspace_root();
-    let files = rust_sources(&root);
+    let files = read_sources(&root);
     let mut violations = Vec::new();
     let mut checked = 0usize;
-    for path in &files {
-        let rel = path
-            .strip_prefix(&root)
-            .expect("file under workspace root")
-            .to_string_lossy()
-            .replace('\\', "/");
-        let raw = match std::fs::read_to_string(path) {
-            Ok(s) => s,
-            Err(err) => {
-                eprintln!("warning: cannot read {}: {err}", path.display());
-                continue;
-            }
-        };
+    for (rel, raw) in &files {
         checked += 1;
-        violations.extend(nmad_verify::lint::lint_file(&rel, &raw));
+        violations.extend(nmad_verify::lint::lint_file(rel, raw));
     }
 
     if json {
-        // Hand-rolled JSON: the workspace has no serde and the shape
-        // is tiny.
-        let mut s = String::from("{\"task\":\"lint\",\"violations\":[");
-        for (i, v) in violations.iter().enumerate() {
-            if i > 0 {
-                s.push(',');
-            }
-            s.push_str(&format!(
-                "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"excerpt\":\"{}\"}}",
-                v.rule,
-                v.file,
-                v.line,
-                v.excerpt.replace('\\', "\\\\").replace('"', "\\\"")
-            ));
-        }
-        s.push_str(&format!(
-            "],\"files_checked\":{},\"rules\":{}}}",
-            checked,
-            nmad_verify::lint::RULES.len()
-        ));
-        println!("{s}");
+        emit_violations_json("lint", &violations, checked, nmad_verify::lint::RULES.len());
     } else {
         for v in &violations {
             println!("{v}");

@@ -65,8 +65,8 @@ impl Bytes {
             Bound::Excluded(&n) => n,
             Bound::Unbounded => len,
         };
-        assert!(begin <= end, "range start must not exceed end");
-        assert!(end <= len, "range end {end} out of bounds (len {len})");
+        assert!(begin <= end, "range start must not exceed end"); // PANIC-OK: slice range contract mirrors std
+        assert!(end <= len, "range end {end} out of bounds (len {len})"); // PANIC-OK: slice range contract mirrors std
         Bytes {
             data: self.data.clone(),
             start: self.start + begin,

@@ -140,7 +140,7 @@ pub mod queue {
         /// Attempts to enqueue `value`; a full queue returns it back.
         #[inline]
         pub fn push(&self, value: T) -> Result<(), T> {
-            let mut tail = self.tail.load(Ordering::Relaxed);
+            let mut tail = self.tail.load(Ordering::Relaxed); // ORDERING: queue protocol; the slot stamps carry the Acquire/Release pairing
             loop {
                 let slot = &self.slots[tail % self.cap];
                 let seq = slot.seq.load(Ordering::Acquire);
@@ -150,8 +150,8 @@ pub mod queue {
                     match self.tail.compare_exchange_weak(
                         tail,
                         tail.wrapping_add(1),
-                        Ordering::Relaxed,
-                        Ordering::Relaxed,
+                        Ordering::Relaxed, // ORDERING: queue protocol; the slot stamps carry the Acquire/Release pairing
+                        Ordering::Relaxed, // ORDERING: queue protocol; the slot stamps carry the Acquire/Release pairing
                     ) {
                         Ok(_) => {
                             // SAFETY: the tail CAS claimed ticket
@@ -171,7 +171,7 @@ pub mod queue {
                     return Err(value);
                 } else {
                     // Another pusher claimed this ticket; catch up.
-                    tail = self.tail.load(Ordering::Relaxed);
+                    tail = self.tail.load(Ordering::Relaxed); // ORDERING: queue protocol; the slot stamps carry the Acquire/Release pairing
                 }
             }
         }
@@ -179,7 +179,7 @@ pub mod queue {
         /// Attempts to dequeue the oldest value.
         #[inline]
         pub fn pop(&self) -> Option<T> {
-            let mut head = self.head.load(Ordering::Relaxed);
+            let mut head = self.head.load(Ordering::Relaxed); // ORDERING: queue protocol; the slot stamps carry the Acquire/Release pairing
             loop {
                 let slot = &self.slots[head % self.cap];
                 let seq = slot.seq.load(Ordering::Acquire);
@@ -189,8 +189,8 @@ pub mod queue {
                     match self.head.compare_exchange_weak(
                         head,
                         head.wrapping_add(1),
-                        Ordering::Relaxed,
-                        Ordering::Relaxed,
+                        Ordering::Relaxed, // ORDERING: queue protocol; the slot stamps carry the Acquire/Release pairing
+                        Ordering::Relaxed, // ORDERING: queue protocol; the slot stamps carry the Acquire/Release pairing
                     ) {
                         Ok(_) => {
                             // SAFETY: the head CAS claimed ticket
@@ -211,7 +211,7 @@ pub mod queue {
                     // The slot is still waiting for its pusher: empty.
                     return None;
                 } else {
-                    head = self.head.load(Ordering::Relaxed);
+                    head = self.head.load(Ordering::Relaxed); // ORDERING: queue protocol; the slot stamps carry the Acquire/Release pairing
                 }
             }
         }

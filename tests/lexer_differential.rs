@@ -1,0 +1,65 @@
+//! Differential test: the analyzer's lexer against the legacy lexical
+//! stripper.
+//!
+//! `nmad-verify`'s structural pass is built on a token lexer whose
+//! stripped view must agree *byte-for-byte* with the original
+//! `strip_comments_and_strings` — the eight lexical rules now run over
+//! the lexer's view, so any divergence silently changes what the lint
+//! gate sees. Sources are generated from the constructs that make
+//! stripping hard: nested block comments, string escapes (including
+//! escaped newlines, which delete a physical line from the stripped
+//! text), raw strings with hash fences, char literals, and lifetimes.
+
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct Frag(String, bool); // text, carries a comment
+
+fn frag_strategy() -> impl proptest::strategy::Strategy<Value = Frag> {
+    (0u32..8, 0u32..5, 0u32..5).prop_map(|(kind, a, b)| match kind {
+        0 => Frag(format!("let x{a} = {b};\n"), false),
+        1 => Frag(format!("// note {a} HOT-PATH {b}\n"), true),
+        2 => Frag(format!("/* b{a} /* nested {b} */ tail */"), true),
+        3 => Frag(format!("let s = \"s{a}\\\"q\\\\{b}\";\n"), false),
+        // The escaped-newline case: two source lines, one stripped line.
+        4 => Frag(format!("let t = \"head{a}\\\n tail{b}\";\n"), false),
+        5 => Frag(format!("let r = r#\"raw {a} \" inside {b}\"#;\n"), false),
+        6 => Frag(format!("let c{a}: &'a char = &'x'; // tail{b}\n"), true),
+        _ => Frag(format!("fn f{a}() {{ g{b}(); }}\n"), false),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn lexer_stripping_matches_the_legacy_stripper(
+        frags in proptest::collection::vec(frag_strategy(), 0..24)
+    ) {
+        let src: String = frags.iter().map(|f| f.0.as_str()).collect::<Vec<_>>().join(" ");
+        let legacy = nmad_verify::lint::strip_comments_and_strings(&src);
+        let lexed = nmad_verify::lexer::lex(&src);
+
+        // Byte-for-byte agreement between the two stripping engines.
+        prop_assert_eq!(&lexed.stripped, &legacy);
+        // Stripping is char-count preserving (every replaced construct
+        // is blanked in place) — the property the token-line table
+        // relies on.
+        prop_assert_eq!(lexed.stripped.chars().count(), src.chars().count());
+
+        // Comments are harvested from comments only: the HOT-PATH
+        // marker planted in line comments is recovered exactly as many
+        // times as it was planted, never from string literals.
+        let planted = frags.iter().filter(|f| f.0.contains("HOT-PATH")).count();
+        let harvested = lexed
+            .comments
+            .values()
+            .filter(|c| c.contains("HOT-PATH"))
+            .count();
+        prop_assert_eq!(harvested, planted);
+
+        // Line comments land on their physical source line.
+        let commented = frags.iter().any(|f| f.1);
+        prop_assert_eq!(commented, !lexed.comments.is_empty());
+    }
+}
